@@ -1,0 +1,34 @@
+//! Criterion bench: whole BD steps — conventional Ewald BD vs matrix-free.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hibd_bench::suspension;
+use hibd_core::ewald_bd::{EwaldBd, EwaldBdConfig};
+use hibd_core::forces::RepulsiveHarmonic;
+use hibd_core::mf_bd::{MatrixFreeBd, MatrixFreeConfig};
+
+fn bench_bd_step(c: &mut Criterion) {
+    let n = 500;
+    let mut group = c.benchmark_group("bd_step");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    let sys = suspension(n, 0.2, 13);
+    let mut dense = EwaldBd::new(sys.clone(), EwaldBdConfig::default(), 17);
+    dense.add_force(RepulsiveHarmonic::default());
+    dense.step().unwrap(); // pay the first factorization outside the loop
+    group.bench_function("ewald_bd_step_n500", |b| {
+        b.iter(|| dense.step().unwrap());
+    });
+
+    let mut mf = MatrixFreeBd::new(sys, MatrixFreeConfig::default(), 17).unwrap();
+    mf.add_force(RepulsiveHarmonic::default());
+    mf.step().unwrap();
+    group.bench_function("matrix_free_step_n500", |b| {
+        b.iter(|| mf.step().unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bd_step);
+criterion_main!(benches);

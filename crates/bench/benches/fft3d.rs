@@ -1,0 +1,32 @@
+//! Criterion bench: 3D r2c/c2r FFT throughput (the dominant PME phase).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hibd_fft::{Complex64, Fft3};
+
+fn bench_fft3d(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft3d");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for k in [32usize, 64] {
+        let fft = Fft3::new([k, k, k]).unwrap();
+        let real: Vec<f64> = (0..k * k * k).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut spec = vec![Complex64::ZERO; fft.spectrum_len()];
+        group.bench_with_input(BenchmarkId::new("forward_r2c", k), &k, |b, _| {
+            b.iter(|| fft.forward(&real, &mut spec));
+        });
+        fft.forward(&real, &mut spec);
+        let mut out = vec![0.0; k * k * k];
+        let template = spec.clone();
+        group.bench_with_input(BenchmarkId::new("inverse_c2r", k), &k, |b, _| {
+            b.iter(|| {
+                spec.copy_from_slice(&template);
+                fft.inverse(&mut spec, &mut out);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft3d);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench: neighbor search — fresh cell lists vs a skinned Verlet
+//! list reused across BD-step-sized displacements.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hibd_bench::suspension;
+use hibd_cells::{CellList, VerletList};
+use hibd_mathx::Vec3;
+
+fn bench_neighbor(c: &mut Criterion) {
+    let n = 5000;
+    let sys = suspension(n, 0.2, 21);
+    let box_l = sys.box_l;
+    let cutoff = 2.0;
+    let mut group = c.benchmark_group("neighbor_search");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    let pos: Vec<Vec3> = sys.positions().to_vec();
+    group.bench_function("cell_list_rebuild_and_scan", |b| {
+        b.iter(|| {
+            let cl = CellList::new(&pos, box_l, cutoff);
+            let mut acc = 0.0;
+            cl.for_each_pair(|_, _, _, r2| acc += r2);
+            std::hint::black_box(acc);
+        })
+    });
+
+    let mut vl = VerletList::new(&pos, box_l, cutoff, 0.3);
+    group.bench_function("verlet_list_reuse_scan", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            vl.for_each_pair(&pos, |_, _, _, r2| acc += r2);
+            std::hint::black_box(acc);
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_neighbor);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion bench: the five reciprocal-space PME phases in isolation
+//! (the bars of Figure 5), plus precomputed-P vs on-the-fly spreading
+//! (Figure 4's kernel-level view).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hibd_bench::suspension;
+use hibd_fft::{Complex64, Fft3};
+use hibd_pme::influence::Influence;
+use hibd_pme::onthefly::spread_on_the_fly;
+use hibd_pme::pmat::build_interp_matrix;
+use hibd_pme::spread::{interpolate, SpreadPlan};
+use hibd_rpy::RpyEwald;
+
+fn bench_phases(c: &mut Criterion) {
+    let (n, k, p) = (2000usize, 64usize, 6usize);
+    let sys = suspension(n, 0.2, 3);
+    let ewald = RpyEwald::kernel_only(1.0, 1.0, sys.box_l, 0.5);
+    let pm = build_interp_matrix(sys.positions(), sys.box_l, k, p);
+    let plan = SpreadPlan::new(&pm.scaled, k, p);
+    let inf = Influence::new(&ewald, k, p);
+    let fft = Fft3::new([k, k, k]).unwrap();
+    let k3 = k * k * k;
+    let s_len = fft.spectrum_len();
+
+    let f: Vec<f64> = (0..3 * n).map(|i| (i as f64 * 0.19).sin()).collect();
+    let mut mesh = vec![0.0; 3 * k3];
+    let mut spec = vec![Complex64::ZERO; 3 * s_len];
+    let mut u = vec![0.0; 3 * n];
+
+    let mut group = c.benchmark_group("pme_phases");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("spreading", |b| b.iter(|| plan.spread(&pm, &f, &mut mesh)));
+    group.bench_function("spreading_on_the_fly", |b| {
+        b.iter(|| spread_on_the_fly(&plan, &pm, &f, &mut mesh))
+    });
+    plan.spread(&pm, &f, &mut mesh);
+    group.bench_function("forward_fft_x3", |b| {
+        b.iter(|| {
+            for theta in 0..3 {
+                fft.forward(
+                    &mesh[theta * k3..(theta + 1) * k3],
+                    &mut spec[theta * s_len..(theta + 1) * s_len],
+                );
+            }
+        })
+    });
+    group.bench_function("influence", |b| b.iter(|| inf.apply(&mut spec)));
+    group.bench_function("inverse_fft_x3", |b| {
+        b.iter(|| {
+            for theta in 0..3 {
+                fft.inverse(
+                    &mut spec[theta * s_len..(theta + 1) * s_len],
+                    &mut mesh[theta * k3..(theta + 1) * k3],
+                );
+            }
+        })
+    });
+    group.bench_function("interpolation", |b| b.iter(|| interpolate(&pm, &mesh, &mut u)));
+    group.bench_function("construct_p", |b| {
+        b.iter(|| build_interp_matrix(sys.positions(), sys.box_l, k, p))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_phases);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench: BCSR real-space SpMV, single vector vs multi-RHS
+//! (the paper's ref. [24] optimization exploited by block Krylov).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hibd_bench::suspension;
+use hibd_pme::real::assemble_real_space;
+use hibd_rpy::RpyEwald;
+
+fn bench_spmv(c: &mut Criterion) {
+    let n = 5000;
+    let sys = suspension(n, 0.2, 1);
+    let ewald = RpyEwald::kernel_only(1.0, 1.0, sys.box_l, 0.5);
+    let m = assemble_real_space(sys.positions(), &ewald, 4.0);
+    let mut group = c.benchmark_group("bcsr_spmv");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    let x: Vec<f64> = (0..3 * n).map(|i| (i as f64 * 0.11).cos()).collect();
+    let mut y = vec![0.0; 3 * n];
+    group.bench_function("single_vector", |b| {
+        b.iter(|| m.mul_vec(&x, &mut y));
+    });
+
+    for s in [4usize, 16] {
+        let xs: Vec<f64> = (0..3 * n * s).map(|i| (i as f64 * 0.07).sin()).collect();
+        let mut ys = vec![0.0; 3 * n * s];
+        group.bench_with_input(BenchmarkId::new("multi_rhs", s), &s, |b, &s| {
+            b.iter(|| m.mul_multi(&xs, &mut ys, s));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmv);
+criterion_main!(benches);

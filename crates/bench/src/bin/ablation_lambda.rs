@@ -1,0 +1,56 @@
+//! Ablation: the mobility reuse interval `lambda_RPY`.
+//!
+//! Algorithm 2 rebuilds the PME operator and redraws displacements every
+//! `lambda_RPY` steps (paper: 10–100). Larger lambda amortizes setup and
+//! Krylov cost over more steps but uses a staler mobility. This harness
+//! measures amortized time per step across lambda, and the mobility
+//! staleness proxy: how far particles move (in units of `a`) within one
+//! reuse window.
+
+use hibd_bench::{flush_stdout, fmt_secs, suspension, Opts};
+use hibd_core::forces::RepulsiveHarmonic;
+use hibd_core::mf_bd::{MatrixFreeBd, MatrixFreeConfig};
+use hibd_mathx::Vec3;
+
+fn main() {
+    let opts = Opts::parse();
+    let n = if opts.full { 5000 } else { 800 };
+    let windows = 2; // measure over two reuse windows
+
+    println!("# Ablation: mobility reuse interval lambda_RPY (n = {n})");
+    println!(
+        "{:>7} | {:>10} {:>12} {:>12} {:>12} | {:>14}",
+        "lambda", "steps", "setup", "krylov", "t/step", "drift/window"
+    );
+    for lambda in [1usize, 4, 8, 16, 32] {
+        let sys = suspension(n, 0.2, opts.seed);
+        let cfg = MatrixFreeConfig { lambda_rpy: lambda, ..Default::default() };
+        let mut bd = MatrixFreeBd::new(sys, cfg, opts.seed).expect("driver");
+        bd.add_force(RepulsiveHarmonic::default());
+        let steps = lambda * windows;
+        let before: Vec<Vec3> = bd.system().unwrapped().to_vec();
+        bd.run(steps).expect("run");
+        let t = bd.timings();
+        // RMS displacement accumulated per reuse window, in radii.
+        let msd: f64 = bd
+            .system()
+            .unwrapped()
+            .iter()
+            .zip(&before)
+            .map(|(u, p)| (*u - *p).norm2())
+            .sum::<f64>()
+            / n as f64;
+        let drift_per_window = (msd / windows as f64).sqrt();
+        println!(
+            "{lambda:>7} | {steps:>10} {:>12} {:>12} {:>12} | {drift_per_window:>13.4}a",
+            fmt_secs(t.setup),
+            fmt_secs(t.displacements),
+            fmt_secs(t.per_step()),
+        );
+        flush_stdout();
+    }
+    println!();
+    println!("# Expected: time/step falls steeply up to lambda ~ 16 then flattens;");
+    println!("# the per-window drift stays a small fraction of a radius, which is");
+    println!("# why reusing the mobility over 10-100 steps is admissible.");
+}

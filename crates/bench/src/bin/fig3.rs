@@ -1,0 +1,51 @@
+//! Figure 3: diffusion coefficients vs volume fraction.
+//!
+//! Matrix-free BD runs (lambda_RPY = 16, e_k = 1e-2, e_p ~ 1e-3) at several
+//! volume fractions; the measured short-time self-diffusion coefficient
+//! D/D0 is compared with the Beenakker–Mazur-style theoretical trend
+//! `D/D0 ~ 1 - 1.832 phi + 0.88 phi^2` for hard-sphere suspensions.
+
+use hibd_bench::{flush_stdout, suspension, Opts};
+use hibd_core::diffusion::DiffusionEstimator;
+use hibd_core::forces::RepulsiveHarmonic;
+use hibd_core::mf_bd::{MatrixFreeBd, MatrixFreeConfig};
+
+fn main() {
+    let opts = Opts::parse();
+    let (n, steps) = if opts.full { (5000, 10_000) } else { (400, 400) };
+    let phis = [0.1, 0.2, 0.3, 0.4];
+    let mu0 = 1.0 / (6.0 * std::f64::consts::PI);
+
+    println!("# Figure 3: D/D0 vs volume fraction (n = {n}, {steps} steps)");
+    println!(
+        "{:>5} {:>12} {:>10} {:>12} {:>10}",
+        "Phi", "D/D0", "err", "theory", "krylov its"
+    );
+    for &phi in &phis {
+        let sys = suspension(n, phi, opts.seed);
+        let cfg = MatrixFreeConfig { e_k: 1e-2, target_ep: 1e-3, ..Default::default() };
+        let dt = cfg.dt;
+        let mut bd = MatrixFreeBd::new(sys, cfg, opts.seed).expect("driver");
+        bd.add_force(RepulsiveHarmonic::default());
+        bd.run(steps / 10).expect("equilibration");
+        let mut est = DiffusionEstimator::new(dt, 8);
+        est.record(bd.system().unwrapped());
+        for _ in 0..steps {
+            bd.step().expect("step");
+            est.record(bd.system().unwrapped());
+        }
+        let (d, err) = est.diffusion().expect("estimate");
+        let theory = 1.0 - 1.832 * phi + 0.88 * phi * phi;
+        println!(
+            "{phi:>5.2} {:>12.4} {:>10.4} {:>12.4} {:>10}",
+            d / mu0,
+            err / mu0,
+            theory,
+            bd.timings().krylov_iterations
+        );
+        flush_stdout();
+    }
+    println!();
+    println!("# Paper shape: D decreases with phi (crowding slows diffusion),");
+    println!("# in good agreement with theory at low-to-moderate phi.");
+}

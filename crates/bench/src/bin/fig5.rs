@@ -1,0 +1,97 @@
+//! Figure 5: reciprocal-space PME phase breakdown vs n and vs K,
+//! measured against the Section IV-D performance model.
+//!
+//! (a) fixed mesh `K`, sweep particle count `n`;
+//! (b) fixed `n`, sweep mesh dimension `K`.
+//!
+//! Both the measured per-phase seconds (spreading / forward FFT / influence
+//! / inverse FFT / interpolation) and the model's prediction for *this host*
+//! (calibrated bandwidth and FFT rate) are printed.
+
+use hibd_bench::{flush_stdout, calibrate_host, fmt_secs, suspension, time_mean, Opts};
+use hibd_pme::perf::PerfModel;
+use hibd_pme::{PmeOperator, PmeParams};
+
+fn breakdown(n: usize, k: usize, p: usize, phi: f64, seed: u64, reps: usize, host: &PerfModel) {
+    let box_l = hibd_pme::tuner::box_from_volume_fraction(n, phi, 1.0);
+    let params = PmeParams {
+        a: 1.0,
+        eta: 1.0,
+        box_l,
+        alpha: 0.5, // fixed split: this experiment times the pipeline only
+        mesh_dim: k,
+        spline_order: p,
+        r_max: (4.0f64).min(box_l / 2.0),
+    };
+    let sys = suspension(n, phi, seed);
+    let mut op = PmeOperator::new(sys.positions(), params).expect("operator");
+    let f: Vec<f64> = (0..3 * n).map(|i| ((i * 13 + 7) % 97) as f64 / 48.0 - 1.0).collect();
+    let mut u = vec![0.0; 3 * n];
+    op.take_times();
+    let total = time_mean(reps, || {
+        u.fill(0.0);
+        op.recip_apply_add(&f, &mut u);
+    });
+    let t = op.take_times();
+    let cnt = (reps + 1) as f64; // warmup included in the accumulators
+    println!(
+        "{n:>8} {k:>5} | {:>9} {:>9} {:>9} {:>9} {:>9} | {:>9} | {:>9}",
+        fmt_secs(t.spreading / cnt),
+        fmt_secs(t.forward_fft / cnt),
+        fmt_secs(t.influence / cnt),
+        fmt_secs(t.inverse_fft / cnt),
+        fmt_secs(t.interpolation / cnt),
+        fmt_secs(total),
+        fmt_secs(host.t_recip()),
+    );
+}
+
+fn main() {
+    let opts = Opts::parse();
+    let phi = 0.2;
+    let reps = if opts.full { 5 } else { 2 };
+    let host = calibrate_host();
+    eprintln!(
+        "# host calibration: bandwidth {:.1} GB/s, fft {:.1} GF/s, ifft {:.1} GF/s",
+        host.bandwidth / 1e9,
+        host.fft_flops / 1e9,
+        host.ifft_flops / 1e9
+    );
+
+    let header = || {
+        println!(
+            "{:>8} {:>5} | {:>9} {:>9} {:>9} {:>9} {:>9} | {:>9} | {:>9}",
+            "n", "K", "spread", "fft", "influence", "ifft", "interp", "measured", "model"
+        );
+        flush_stdout();
+    };
+
+    println!("# Figure 5a: fixed K, sweeping n (p = 6)");
+    let (k_a, ns) = if opts.full {
+        (256usize, vec![10_000usize, 50_000, 100_000, 300_000, 500_000])
+    } else {
+        (64, vec![1000, 5000, 20_000, 50_000])
+    };
+    header();
+    for &n in &ns {
+        let pm = PerfModel::new(host, k_a, 6, n);
+        breakdown(n, k_a, 6, phi, opts.seed, reps, &pm);
+    }
+
+    println!();
+    println!("# Figure 5b: fixed n, sweeping K (p = 6)");
+    let (n_b, ks) = if opts.full {
+        (5000usize, vec![64usize, 128, 256, 400])
+    } else {
+        (2000, vec![32, 64, 96, 128])
+    };
+    header();
+    for &k in &ks {
+        let pm = PerfModel::new(host, k, 6, n_b);
+        breakdown(n_b, k, 6, phi, opts.seed, reps, &pm);
+    }
+
+    println!();
+    println!("# Paper shape: FFTs dominate, but spreading/interpolation grow with n");
+    println!("# and the influence function grows with K; measured ~ model.");
+}

@@ -1,0 +1,206 @@
+//! Shared helpers for the hibd experiment harnesses.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md for the index). All binaries accept:
+//!
+//! * `--quick` — scaled-down workloads (default on this 1-core host);
+//! * `--full`  — paper-scale workloads (hours of wall clock);
+//! * `--seed N` — RNG seed.
+
+use hibd_core::system::ParticleSystem;
+use hibd_pme::perf::Machine;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Parsed command-line options shared by all harnesses.
+#[derive(Clone, Copy, Debug)]
+pub struct Opts {
+    pub full: bool,
+    pub seed: u64,
+}
+
+impl Opts {
+    pub fn parse() -> Opts {
+        let mut full = false;
+        let mut seed = 2014;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--full" => full = true,
+                "--quick" => full = false,
+                "--seed" => {
+                    seed = args
+                        .next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--seed requires an integer");
+                }
+                "--help" | "-h" => {
+                    eprintln!("options: --quick (default) | --full | --seed N");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown option {other}; see --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        Opts { full, seed }
+    }
+}
+
+/// Build the standard monodisperse test suspension.
+pub fn suspension(n: usize, phi: f64, seed: u64) -> ParticleSystem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    ParticleSystem::random_suspension(n, phi, &mut rng)
+}
+
+/// Paper Table III particle counts (quick subset vs full list).
+pub fn table3_sizes(full: bool) -> Vec<usize> {
+    if full {
+        vec![
+            500, 600, 1000, 2000, 3000, 4000, 5000, 6000, 7000, 8000, 10_000, 20_000, 50_000,
+            80_000, 100_000, 200_000, 300_000, 500_000,
+        ]
+    } else {
+        vec![500, 1000, 2000, 5000, 10_000]
+    }
+}
+
+/// Time a closure once (seconds).
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let v = f();
+    (v, t0.elapsed().as_secs_f64())
+}
+
+/// Time a closure with one warmup and `reps` measured repetitions; returns
+/// the mean seconds.
+pub fn time_mean(reps: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / reps as f64
+}
+
+/// Calibrate a [`Machine`] description for *this* host: STREAM-like triad
+/// bandwidth and an achieved FFT rate, so the Section IV-D model can be
+/// compared against measurements on the machine actually running.
+pub fn calibrate_host() -> Machine {
+    // Bandwidth: out-of-cache triad a[i] = b[i] + s*c[i].
+    let n = 8 << 20; // 8 Mi doubles per array, 192 MiB total traffic per pass
+    let b = vec![1.0f64; n];
+    let c = vec![2.0f64; n];
+    let mut a = vec![0.0f64; n];
+    let t = time_mean(3, || {
+        for ((x, y), z) in a.iter_mut().zip(&b).zip(&c) {
+            *x = y + 0.5 * z;
+        }
+        std::hint::black_box(&a);
+    });
+    let bandwidth = (3 * n * 8) as f64 / t;
+
+    // FFT rate: one 3D r2c transform at K = 64.
+    let k = 64;
+    let fft = hibd_fft::Fft3::new([k, k, k]).expect("smooth size");
+    let real = vec![0.1f64; k * k * k];
+    let mut spec = vec![hibd_fft::Complex64::ZERO; fft.spectrum_len()];
+    let t_fft = time_mean(3, || {
+        fft.forward(&real, &mut spec);
+        std::hint::black_box(&spec);
+    });
+    let k3 = (k * k * k) as f64;
+    let flops = 2.5 * k3 * k3.log2() / 2.0; // r2c at half the c2c flops
+    let fft_flops = flops / t_fft;
+
+    let mut inv_spec = spec.clone();
+    let mut out = vec![0.0f64; k * k * k];
+    let t_ifft = time_mean(3, || {
+        inv_spec.copy_from_slice(&spec);
+        fft.inverse(&mut inv_spec, &mut out);
+        std::hint::black_box(&out);
+    });
+    let ifft_flops = flops / t_ifft;
+
+    Machine {
+        name: "this host (calibrated)",
+        bandwidth,
+        fft_flops,
+        ifft_flops,
+        fft_sat_k3: 32.0 * 32.0 * 32.0,
+        peak_flops: 0.0,
+    }
+}
+
+/// Flush stdout (harness rows must survive a timeout kill).
+pub fn flush_stdout() {
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+}
+
+/// Format seconds for table output.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}")
+    } else if s >= 1.0 {
+        format!("{s:.2}")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+/// Format bytes with binary units.
+pub fn fmt_bytes(b: usize) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = b as f64;
+    let mut u = 0;
+    while v >= 1024.0 && u < UNITS.len() - 1 {
+        v /= 1024.0;
+        u += 1;
+    }
+    format!("{v:.1}{}", UNITS[u])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_secs(123.0), "123");
+        assert_eq!(fmt_secs(1.5), "1.50");
+        assert_eq!(fmt_secs(0.0025), "2.50ms");
+        assert_eq!(fmt_secs(2.5e-5), "25.0us");
+        assert_eq!(fmt_bytes(512), "512.0B");
+        assert_eq!(fmt_bytes(2048), "2.0KiB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.0MiB");
+    }
+
+    #[test]
+    fn suspension_builder_is_seeded() {
+        let a = suspension(20, 0.1, 7);
+        let b = suspension(20, 0.1, 7);
+        assert_eq!(a.positions(), b.positions());
+    }
+
+    #[test]
+    fn table3_lists() {
+        assert!(table3_sizes(false).len() < table3_sizes(true).len());
+        assert!(table3_sizes(true).contains(&500_000));
+    }
+
+    #[test]
+    fn timing_helpers_run() {
+        let (v, t) = time_once(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(t >= 0.0);
+        let m = time_mean(2, || {
+            std::hint::black_box(1 + 1);
+        });
+        assert!(m >= 0.0);
+    }
+}

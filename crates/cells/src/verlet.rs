@@ -1,0 +1,193 @@
+//! Verlet neighbor list with a skin radius.
+//!
+//! The classic amortization on top of cell lists (ref. [27] of the paper):
+//! build pairs out to `cutoff + skin` once, then reuse the list while no
+//! particle has moved more than `skin / 2` — at BD step sizes a list
+//! survives many steps. The stored candidate pairs are re-filtered against
+//! the true cutoff with *current* minimum-image distances on every use, so
+//! reuse never changes results, only the cost of finding candidates.
+
+use crate::CellList;
+use hibd_mathx::Vec3;
+
+/// A reusable neighbor list.
+#[derive(Clone, Debug)]
+pub struct VerletList {
+    box_l: f64,
+    cutoff: f64,
+    skin: f64,
+    /// Candidate pairs within `cutoff + skin` at build time.
+    pairs: Vec<(u32, u32)>,
+    /// Positions at build time (wrapped), for displacement tracking.
+    reference: Vec<Vec3>,
+    rebuilds: usize,
+    reuses: usize,
+}
+
+impl VerletList {
+    /// Build for the given configuration.
+    pub fn new(positions: &[Vec3], box_l: f64, cutoff: f64, skin: f64) -> VerletList {
+        assert!(skin >= 0.0, "skin must be nonnegative");
+        let mut list = VerletList {
+            box_l,
+            cutoff,
+            skin,
+            pairs: Vec::new(),
+            reference: Vec::new(),
+            rebuilds: 0,
+            reuses: 0,
+        };
+        list.rebuild(positions);
+        list
+    }
+
+    fn rebuild(&mut self, positions: &[Vec3]) {
+        let cl = CellList::new(positions, self.box_l, self.cutoff + self.skin);
+        self.pairs.clear();
+        cl.for_each_pair(|i, j, _, _| self.pairs.push((i as u32, j as u32)));
+        self.reference = positions.iter().map(|p| p.wrap_into_box(self.box_l)).collect();
+        self.rebuilds += 1;
+    }
+
+    /// Whether the list is still valid for `positions`: no particle moved
+    /// more than `skin / 2` since the last rebuild.
+    pub fn is_valid(&self, positions: &[Vec3]) -> bool {
+        if positions.len() != self.reference.len() {
+            return false;
+        }
+        let limit2 = (self.skin / 2.0) * (self.skin / 2.0);
+        positions.iter().zip(&self.reference).all(|(p, r)| {
+            (p.wrap_into_box(self.box_l) - *r).min_image(self.box_l).norm2() <= limit2
+        })
+    }
+
+    /// Ensure validity (rebuilding if needed), then visit every pair within
+    /// the true cutoff at the *current* positions.
+    pub fn for_each_pair(
+        &mut self,
+        positions: &[Vec3],
+        mut f: impl FnMut(usize, usize, Vec3, f64),
+    ) {
+        if !self.is_valid(positions) {
+            self.rebuild(positions);
+        } else {
+            self.reuses += 1;
+        }
+        let rc2 = self.cutoff * self.cutoff;
+        for &(i, j) in &self.pairs {
+            let (i, j) = (i as usize, j as usize);
+            let dr = (positions[i] - positions[j]).min_image(self.box_l);
+            let r2 = dr.norm2();
+            if r2 <= rc2 && r2 > 0.0 {
+                f(i, j, dr, r2);
+            }
+        }
+    }
+
+    /// Candidate pair count (within `cutoff + skin` at build time).
+    pub fn candidate_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// `(rebuilds, reuses)` since construction.
+    pub fn stats(&self) -> (usize, usize) {
+        (self.rebuilds, self.reuses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn lcg_positions(n: usize, box_l: f64, seed: u64) -> Vec<Vec3> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 * box_l
+        };
+        (0..n).map(|_| Vec3::new(next(), next(), next())).collect()
+    }
+
+    fn pair_set(pos: &[Vec3], box_l: f64, rc: f64) -> HashSet<(u32, u32)> {
+        let cl = CellList::new(pos, box_l, rc);
+        let mut s = HashSet::new();
+        cl.for_each_pair(|i, j, _, _| {
+            s.insert(if i < j { (i as u32, j as u32) } else { (j as u32, i as u32) });
+        });
+        s
+    }
+
+    #[test]
+    fn fresh_list_matches_cell_list() {
+        let (box_l, rc) = (12.0, 2.5);
+        let pos = lcg_positions(150, box_l, 1);
+        let mut vl = VerletList::new(&pos, box_l, rc, 0.5);
+        let mut got = HashSet::new();
+        vl.for_each_pair(&pos, |i, j, _, _| {
+            got.insert(if i < j { (i as u32, j as u32) } else { (j as u32, i as u32) });
+        });
+        assert_eq!(got, pair_set(&pos, box_l, rc));
+    }
+
+    #[test]
+    fn reuse_stays_exact_under_small_motion() {
+        let (box_l, rc, skin) = (10.0, 2.0, 0.8);
+        let mut pos = lcg_positions(100, box_l, 2);
+        let mut vl = VerletList::new(&pos, box_l, rc, skin);
+        let mut state = 7u64;
+        let mut nudge = move || {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            ((state >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 0.1
+        };
+        for _step in 0..5 {
+            for p in pos.iter_mut() {
+                *p = (*p + Vec3::new(nudge(), nudge(), nudge())).wrap_into_box(box_l);
+            }
+            let mut got = HashSet::new();
+            vl.for_each_pair(&pos, |i, j, _, _| {
+                got.insert(if i < j { (i as u32, j as u32) } else { (j as u32, i as u32) });
+            });
+            assert_eq!(got, pair_set(&pos, box_l, rc), "reused list must stay exact");
+        }
+        let (rebuilds, reuses) = vl.stats();
+        assert_eq!(rebuilds, 1, "small motion must not trigger rebuilds");
+        assert_eq!(reuses, 5);
+    }
+
+    #[test]
+    fn large_motion_triggers_rebuild_and_stays_exact() {
+        let (box_l, rc, skin) = (10.0, 2.0, 0.4);
+        let mut pos = lcg_positions(80, box_l, 3);
+        let mut vl = VerletList::new(&pos, box_l, rc, skin);
+        // Move one particle past skin/2.
+        pos[0] = (pos[0] + Vec3::new(0.5, 0.0, 0.0)).wrap_into_box(box_l);
+        assert!(!vl.is_valid(&pos));
+        let mut got = HashSet::new();
+        vl.for_each_pair(&pos, |i, j, _, _| {
+            got.insert(if i < j { (i as u32, j as u32) } else { (j as u32, i as u32) });
+        });
+        assert_eq!(got, pair_set(&pos, box_l, rc));
+        assert_eq!(vl.stats().0, 2);
+    }
+
+    #[test]
+    fn zero_skin_always_rebuilds_on_any_motion() {
+        let (box_l, rc) = (8.0, 2.0);
+        let mut pos = lcg_positions(40, box_l, 4);
+        let mut vl = VerletList::new(&pos, box_l, rc, 0.0);
+        pos[3] = (pos[3] + Vec3::new(1e-3, 0.0, 0.0)).wrap_into_box(box_l);
+        assert!(!vl.is_valid(&pos));
+        vl.for_each_pair(&pos, |_, _, _, _| {});
+        assert_eq!(vl.stats(), (2, 0));
+    }
+
+    #[test]
+    fn candidate_count_grows_with_skin() {
+        let (box_l, rc) = (12.0, 2.0);
+        let pos = lcg_positions(200, box_l, 5);
+        let thin = VerletList::new(&pos, box_l, rc, 0.1).candidate_count();
+        let fat = VerletList::new(&pos, box_l, rc, 2.0).candidate_count();
+        assert!(fat > thin);
+    }
+}

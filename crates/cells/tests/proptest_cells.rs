@@ -1,0 +1,71 @@
+//! Property: the cell list finds exactly the brute-force pair set, for any
+//! particle configuration, box size, and cutoff.
+
+use hibd_cells::CellList;
+use hibd_mathx::Vec3;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn config() -> impl Strategy<Value = (Vec<(f64, f64, f64)>, f64, f64)> {
+    (4.0f64..25.0, 0.5f64..5.0).prop_flat_map(|(box_l, rc)| {
+        (
+            prop::collection::vec((-5.0f64..30.0, -5.0f64..30.0, -5.0f64..30.0), 0..60),
+            Just(box_l),
+            Just(rc),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pair_set_matches_brute_force((raw, box_l, rc) in config()) {
+        let pos: Vec<Vec3> = raw.iter().map(|&(x, y, z)| Vec3::new(x, y, z)).collect();
+        let cl = CellList::new(&pos, box_l, rc);
+
+        let mut visits: Vec<(usize, usize, Vec3, f64)> = Vec::new();
+        cl.for_each_pair(|i, j, dr, r2| visits.push((i, j, dr, r2)));
+
+        let mut got = HashSet::new();
+        for &(i, j, dr, r2) in &visits {
+            prop_assert!(r2 <= rc * rc + 1e-12, "pair beyond cutoff");
+            prop_assert!((dr.norm2() - r2).abs() < 1e-12, "inconsistent geometry");
+            let key = if i < j { (i, j) } else { (j, i) };
+            got.insert(key);
+        }
+        prop_assert_eq!(visits.len(), got.len(), "each pair visited exactly once");
+
+        let wrapped: Vec<Vec3> = pos.iter().map(|p| p.wrap_into_box(box_l)).collect();
+        let mut want = HashSet::new();
+        for i in 0..wrapped.len() {
+            for j in i + 1..wrapped.len() {
+                let d2 = (wrapped[i] - wrapped[j]).min_image(box_l).norm2();
+                if d2 <= rc * rc && d2 > 0.0 {
+                    want.insert((i, j));
+                }
+            }
+        }
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn cell_decomposition_covers_exactly_once((raw, box_l, rc) in config()) {
+        // The per-cell iteration used for parallel assembly must partition
+        // the pair set.
+        let pos: Vec<Vec3> = raw.iter().map(|&(x, y, z)| Vec3::new(x, y, z)).collect();
+        let cl = CellList::new(&pos, box_l, rc);
+        let mut whole = Vec::new();
+        cl.for_each_pair(|i, j, _, _| whole.push(if i < j { (i, j) } else { (j, i) }));
+        let mut by_cell = Vec::new();
+        for c in 0..cl.num_cells() {
+            cl.for_each_pair_in_cell(c, &mut |i, j, _, _| {
+                by_cell.push(if i < j { (i, j) } else { (j, i) })
+            });
+        }
+        prop_assert_eq!(whole.len(), by_cell.len());
+        let s1: HashSet<_> = whole.into_iter().collect();
+        let s2: HashSet<_> = by_cell.into_iter().collect();
+        prop_assert_eq!(s1, s2);
+    }
+}

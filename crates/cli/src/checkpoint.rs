@@ -1,0 +1,255 @@
+//! Binary checkpoint / restart of the simulation state.
+//!
+//! Long BD runs (the paper's Figure 3 run took 10 hours on its testbed)
+//! need restart capability. The format is a minimal, versioned,
+//! little-endian binary layout:
+//!
+//! ```text
+//! magic   "HIBDCKPT"            8 bytes
+//! version u32                   (currently 1)
+//! step    u64                   completed steps
+//! n       u64                   particle count
+//! box_l   f64, a f64, eta f64
+//! wrapped   n * 3 * f64
+//! unwrapped n * 3 * f64
+//! crc     u64                   FNV-1a over everything above
+//! ```
+
+use hibd_core::system::ParticleSystem;
+use hibd_mathx::Vec3;
+use std::fmt;
+
+const MAGIC: &[u8; 8] = b"HIBDCKPT";
+const VERSION: u32 = 1;
+
+/// A decoded checkpoint.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// Steps completed when the snapshot was taken.
+    pub step: u64,
+    pub box_l: f64,
+    pub a: f64,
+    pub eta: f64,
+    pub wrapped: Vec<Vec3>,
+    pub unwrapped: Vec<Vec3>,
+}
+
+/// Decode errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    BadMagic,
+    UnsupportedVersion(u32),
+    Truncated,
+    CorruptChecksum,
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "not a hibd checkpoint (bad magic)"),
+            CheckpointError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
+            CheckpointError::Truncated => write!(f, "truncated checkpoint"),
+            CheckpointError::CorruptChecksum => write!(f, "checksum mismatch (corrupt file)"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl Checkpoint {
+    /// Snapshot a system.
+    pub fn capture(system: &ParticleSystem, step: u64) -> Checkpoint {
+        Checkpoint {
+            step,
+            box_l: system.box_l,
+            a: system.a,
+            eta: system.eta,
+            wrapped: system.positions().to_vec(),
+            unwrapped: system.unwrapped().to_vec(),
+        }
+    }
+
+    /// Rebuild the particle system (positions and continuous trajectories).
+    pub fn restore(&self) -> ParticleSystem {
+        let mut sys = ParticleSystem::new(self.wrapped.clone(), self.box_l, self.a, self.eta);
+        sys.set_unwrapped(self.unwrapped.clone());
+        sys
+    }
+
+    /// Encode to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let n = self.wrapped.len();
+        let mut out = Vec::with_capacity(8 + 4 + 8 + 8 + 24 + n * 48 + 8);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&self.step.to_le_bytes());
+        out.extend_from_slice(&(n as u64).to_le_bytes());
+        for v in [self.box_l, self.a, self.eta] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for p in self.wrapped.iter().chain(&self.unwrapped) {
+            for c in [p.x, p.y, p.z] {
+                out.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        let crc = fnv1a(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Decode from bytes, verifying magic, version and checksum.
+    pub fn decode(bytes: &[u8]) -> Result<Checkpoint, CheckpointError> {
+        let mut r = Reader { bytes, pos: 0 };
+        let magic = r.take(8)?;
+        if magic != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        let step = r.u64()?;
+        let n = r.u64()? as usize;
+        let box_l = r.f64()?;
+        let a = r.f64()?;
+        let eta = r.f64()?;
+        let read_points = |r: &mut Reader| -> Result<Vec<Vec3>, CheckpointError> {
+            let mut out = Vec::with_capacity(n);
+            for _ in 0..n {
+                let x = r.f64()?;
+                let y = r.f64()?;
+                let z = r.f64()?;
+                out.push(Vec3::new(x, y, z));
+            }
+            Ok(out)
+        };
+        let wrapped = read_points(&mut r)?;
+        let unwrapped = read_points(&mut r)?;
+        let body_end = r.pos;
+        let stored_crc = r.u64()?;
+        if fnv1a(&bytes[..body_end]) != stored_crc {
+            return Err(CheckpointError::CorruptChecksum);
+        }
+        Ok(Checkpoint { step, box_l, a, eta, wrapped, unwrapped })
+    }
+
+    /// Write to a file.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.encode())
+    }
+
+    /// Read from a file.
+    pub fn load(path: &std::path::Path) -> Result<Checkpoint, Box<dyn std::error::Error>> {
+        let bytes = std::fs::read(path)?;
+        Ok(Checkpoint::decode(&bytes)?)
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, len: usize) -> Result<&'a [u8], CheckpointError> {
+        if self.pos + len > self.bytes.len() {
+            return Err(CheckpointError::Truncated);
+        }
+        let s = &self.bytes[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// FNV-1a 64-bit hash (checksum, not cryptographic).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_system() -> ParticleSystem {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut sys = ParticleSystem::random_suspension(40, 0.15, &mut rng);
+        // Give the unwrapped coordinates some history.
+        let d: Vec<f64> = (0..120).map(|i| (i as f64 * 0.37).sin() * 3.0).collect();
+        sys.apply_displacements(&d);
+        sys
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let sys = sample_system();
+        let ck = Checkpoint::capture(&sys, 1234);
+        let decoded = Checkpoint::decode(&ck.encode()).unwrap();
+        assert_eq!(decoded, ck);
+        let restored = decoded.restore();
+        assert_eq!(restored.positions(), sys.positions());
+        assert_eq!(restored.unwrapped(), sys.unwrapped());
+        assert_eq!(restored.box_l, sys.box_l);
+    }
+
+    #[test]
+    fn detects_corruption() {
+        let ck = Checkpoint::capture(&sample_system(), 7);
+        let mut bytes = ck.encode();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        assert_eq!(Checkpoint::decode(&bytes), Err(CheckpointError::CorruptChecksum));
+    }
+
+    #[test]
+    fn detects_truncation_and_bad_magic() {
+        let ck = Checkpoint::capture(&sample_system(), 7);
+        let bytes = ck.encode();
+        assert_eq!(
+            Checkpoint::decode(&bytes[..bytes.len() - 4]),
+            Err(CheckpointError::Truncated)
+        );
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert_eq!(Checkpoint::decode(&bad), Err(CheckpointError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_future_versions() {
+        let ck = Checkpoint::capture(&sample_system(), 7);
+        let mut bytes = ck.encode();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        // Checksum now mismatches too, but version is checked first.
+        assert_eq!(Checkpoint::decode(&bytes), Err(CheckpointError::UnsupportedVersion(99)));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("hibd_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.hibd");
+        let ck = Checkpoint::capture(&sample_system(), 42);
+        ck.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded, ck);
+        std::fs::remove_file(&path).ok();
+    }
+}

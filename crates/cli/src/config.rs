@@ -1,0 +1,380 @@
+//! The hibd configuration format.
+//!
+//! A deliberately tiny, dependency-free `key = value` format with `#`
+//! comments — enough to describe every knob the drivers expose without
+//! pulling a serialization stack into the build:
+//!
+//! ```text
+//! # suspension
+//! particles      = 1000
+//! volume_fraction = 0.2
+//! seed           = 7
+//!
+//! # integrator
+//! algorithm   = matrix-free      # or: dense
+//! dt          = 0.01
+//! kbt         = 1.0
+//! lambda_rpy  = 16
+//! e_k         = 1e-2
+//! e_p         = 1e-3
+//! steps       = 1000
+//!
+//! # forces
+//! repulsion   = on
+//! gravity     = 0 0 -0.5
+//! lj_epsilon  = 0.0
+//!
+//! # output
+//! trajectory          = out.xyz
+//! trajectory_interval = 50
+//! report_interval     = 100
+//! checkpoint          = state.hibd
+//! checkpoint_interval = 500
+//! ```
+
+use hibd_mathx::Vec3;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Which propagation algorithm to run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Algorithm 2: PME + block Krylov.
+    #[default]
+    MatrixFree,
+    /// Algorithm 1: dense Ewald + Cholesky (baseline; small systems only).
+    Dense,
+}
+
+/// A fully parsed simulation specification.
+#[derive(Clone, Debug)]
+pub struct SimSpec {
+    pub particles: usize,
+    pub volume_fraction: f64,
+    pub radius: f64,
+    pub viscosity: f64,
+    pub seed: u64,
+    pub algorithm: Algorithm,
+    pub dt: f64,
+    pub kbt: f64,
+    pub lambda_rpy: usize,
+    pub e_k: f64,
+    pub e_p: f64,
+    pub steps: usize,
+    pub repulsion: bool,
+    pub gravity: Option<Vec3>,
+    pub lj_epsilon: f64,
+    pub trajectory: Option<String>,
+    pub trajectory_interval: usize,
+    pub report_interval: usize,
+    pub checkpoint: Option<String>,
+    pub checkpoint_interval: usize,
+}
+
+impl Default for SimSpec {
+    fn default() -> Self {
+        SimSpec {
+            particles: 100,
+            volume_fraction: 0.2,
+            radius: 1.0,
+            viscosity: 1.0,
+            seed: 2014,
+            algorithm: Algorithm::MatrixFree,
+            dt: 0.01,
+            kbt: 1.0,
+            lambda_rpy: 16,
+            e_k: 1e-2,
+            e_p: 1e-3,
+            steps: 100,
+            repulsion: true,
+            gravity: None,
+            lj_epsilon: 0.0,
+            trajectory: None,
+            trajectory_interval: 50,
+            report_interval: 100,
+            checkpoint: None,
+            checkpoint_interval: 0,
+        }
+    }
+}
+
+/// Parse error with a line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "config line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err(line: usize, message: impl Into<String>) -> ConfigError {
+    ConfigError { line, message: message.into() }
+}
+
+impl SimSpec {
+    /// Parse the configuration text.
+    pub fn parse(text: &str) -> Result<SimSpec, ConfigError> {
+        let mut kv: BTreeMap<String, (usize, String)> = BTreeMap::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| err(line_no, format!("expected `key = value`, got `{line}`")))?;
+            let key = key.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if value.is_empty() {
+                return Err(err(line_no, format!("empty value for `{key}`")));
+            }
+            if kv.insert(key.clone(), (line_no, value)).is_some() {
+                return Err(err(line_no, format!("duplicate key `{key}`")));
+            }
+        }
+
+        let mut spec = SimSpec::default();
+        for (key, (line, value)) in &kv {
+            match key.as_str() {
+                "particles" => spec.particles = parse_num(*line, key, value)?,
+                "volume_fraction" => spec.volume_fraction = parse_num(*line, key, value)?,
+                "radius" => spec.radius = parse_num(*line, key, value)?,
+                "viscosity" => spec.viscosity = parse_num(*line, key, value)?,
+                "seed" => spec.seed = parse_num(*line, key, value)?,
+                "algorithm" => {
+                    spec.algorithm = match value.to_ascii_lowercase().as_str() {
+                        "matrix-free" | "matrixfree" | "pme" => Algorithm::MatrixFree,
+                        "dense" | "ewald" | "cholesky" => Algorithm::Dense,
+                        other => {
+                            return Err(err(
+                                *line,
+                                format!("unknown algorithm `{other}` (matrix-free | dense)"),
+                            ))
+                        }
+                    }
+                }
+                "dt" => spec.dt = parse_num(*line, key, value)?,
+                "kbt" => spec.kbt = parse_num(*line, key, value)?,
+                "lambda_rpy" => spec.lambda_rpy = parse_num(*line, key, value)?,
+                "e_k" => spec.e_k = parse_num(*line, key, value)?,
+                "e_p" => spec.e_p = parse_num(*line, key, value)?,
+                "steps" => spec.steps = parse_num(*line, key, value)?,
+                "repulsion" => spec.repulsion = parse_bool(*line, key, value)?,
+                "gravity" => {
+                    let parts: Vec<&str> = value.split_whitespace().collect();
+                    if parts.len() != 3 {
+                        return Err(err(*line, "gravity needs three components"));
+                    }
+                    let mut g = [0.0; 3];
+                    for (i, p) in parts.iter().enumerate() {
+                        g[i] = p
+                            .parse()
+                            .map_err(|_| err(*line, format!("bad gravity component `{p}`")))?;
+                    }
+                    spec.gravity = Some(Vec3::new(g[0], g[1], g[2]));
+                }
+                "lj_epsilon" => spec.lj_epsilon = parse_num(*line, key, value)?,
+                "trajectory" => spec.trajectory = Some(value.clone()),
+                "trajectory_interval" => spec.trajectory_interval = parse_num(*line, key, value)?,
+                "report_interval" => spec.report_interval = parse_num(*line, key, value)?,
+                "checkpoint" => spec.checkpoint = Some(value.clone()),
+                "checkpoint_interval" => spec.checkpoint_interval = parse_num(*line, key, value)?,
+                other => return Err(err(*line, format!("unknown key `{other}`"))),
+            }
+        }
+        spec.validate().map_err(|m| err(0, m))?;
+        Ok(spec)
+    }
+
+    /// Cross-field validation.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.particles == 0 {
+            return Err("particles must be positive".into());
+        }
+        if !(0.0..0.52).contains(&self.volume_fraction) || self.volume_fraction <= 0.0 {
+            return Err(format!(
+                "volume_fraction {} outside supported (0, 0.52)",
+                self.volume_fraction
+            ));
+        }
+        if self.dt <= 0.0 {
+            return Err("dt must be positive".into());
+        }
+        if self.kbt < 0.0 {
+            return Err("kbt must be nonnegative".into());
+        }
+        if self.lambda_rpy == 0 {
+            return Err("lambda_rpy must be at least 1".into());
+        }
+        if !(self.e_k > 0.0 && self.e_k < 1.0) {
+            return Err(format!("e_k {} outside (0, 1)", self.e_k));
+        }
+        if !(self.e_p > 0.0 && self.e_p < 0.5) {
+            return Err(format!("e_p {} outside (0, 0.5)", self.e_p));
+        }
+        if self.algorithm == Algorithm::Dense && self.particles > 5000 {
+            return Err(format!(
+                "dense algorithm at n = {} would need {:.1} GiB for the mobility matrix; \
+                 use matrix-free",
+                self.particles,
+                (3.0 * self.particles as f64).powi(2) * 8.0 / 1024f64.powi(3)
+            ));
+        }
+        if self.trajectory.is_some() && self.trajectory_interval == 0 {
+            return Err("trajectory_interval must be positive when trajectory is set".into());
+        }
+        if self.checkpoint.is_some() && self.checkpoint_interval == 0 {
+            return Err("checkpoint_interval must be positive when checkpoint is set".into());
+        }
+        Ok(())
+    }
+}
+
+impl SimSpec {
+    /// Serialize back to the config text format (inverse of [`parse`](Self::parse)).
+    pub fn to_config_text(&self) -> String {
+        let mut out = String::new();
+        use std::fmt::Write;
+        writeln!(out, "particles = {}", self.particles).unwrap();
+        writeln!(out, "volume_fraction = {}", self.volume_fraction).unwrap();
+        writeln!(out, "radius = {}", self.radius).unwrap();
+        writeln!(out, "viscosity = {}", self.viscosity).unwrap();
+        writeln!(out, "seed = {}", self.seed).unwrap();
+        let alg = match self.algorithm {
+            Algorithm::MatrixFree => "matrix-free",
+            Algorithm::Dense => "dense",
+        };
+        writeln!(out, "algorithm = {alg}").unwrap();
+        writeln!(out, "dt = {}", self.dt).unwrap();
+        writeln!(out, "kbt = {}", self.kbt).unwrap();
+        writeln!(out, "lambda_rpy = {}", self.lambda_rpy).unwrap();
+        writeln!(out, "e_k = {}", self.e_k).unwrap();
+        writeln!(out, "e_p = {}", self.e_p).unwrap();
+        writeln!(out, "steps = {}", self.steps).unwrap();
+        writeln!(out, "repulsion = {}", if self.repulsion { "on" } else { "off" }).unwrap();
+        if let Some(g) = self.gravity {
+            writeln!(out, "gravity = {} {} {}", g.x, g.y, g.z).unwrap();
+        }
+        writeln!(out, "lj_epsilon = {}", self.lj_epsilon).unwrap();
+        if let Some(t) = &self.trajectory {
+            writeln!(out, "trajectory = {t}").unwrap();
+            writeln!(out, "trajectory_interval = {}", self.trajectory_interval).unwrap();
+        }
+        writeln!(out, "report_interval = {}", self.report_interval).unwrap();
+        if let Some(c) = &self.checkpoint {
+            writeln!(out, "checkpoint = {c}").unwrap();
+            writeln!(out, "checkpoint_interval = {}", self.checkpoint_interval).unwrap();
+        }
+        out
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(line: usize, key: &str, value: &str) -> Result<T, ConfigError> {
+    value.parse().map_err(|_| err(line, format!("cannot parse `{value}` for `{key}`")))
+}
+
+fn parse_bool(line: usize, key: &str, value: &str) -> Result<bool, ConfigError> {
+    match value.to_ascii_lowercase().as_str() {
+        "on" | "true" | "yes" | "1" => Ok(true),
+        "off" | "false" | "no" | "0" => Ok(false),
+        other => Err(err(line, format!("cannot parse `{other}` as boolean for `{key}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_config() {
+        let text = r#"
+            # system
+            particles = 500
+            volume_fraction = 0.3
+            seed = 99
+            algorithm = dense
+            dt = 0.005
+            kbt = 0.5       # cool
+            lambda_rpy = 8
+            e_k = 1e-3
+            e_p = 1e-4
+            steps = 250
+            repulsion = off
+            gravity = 0 0 -9.8
+            lj_epsilon = 1.5
+            trajectory = out.xyz
+            trajectory_interval = 10
+            report_interval = 50
+            checkpoint = state.bin
+            checkpoint_interval = 100
+        "#;
+        let s = SimSpec::parse(text).unwrap();
+        assert_eq!(s.particles, 500);
+        assert_eq!(s.volume_fraction, 0.3);
+        assert_eq!(s.algorithm, Algorithm::Dense);
+        assert_eq!(s.dt, 0.005);
+        assert_eq!(s.lambda_rpy, 8);
+        assert!(!s.repulsion);
+        assert_eq!(s.gravity.unwrap().z, -9.8);
+        assert_eq!(s.lj_epsilon, 1.5);
+        assert_eq!(s.trajectory.as_deref(), Some("out.xyz"));
+        assert_eq!(s.checkpoint_interval, 100);
+    }
+
+    #[test]
+    fn defaults_fill_missing_keys() {
+        let s = SimSpec::parse("particles = 64\n").unwrap();
+        assert_eq!(s.particles, 64);
+        assert_eq!(s.algorithm, Algorithm::MatrixFree);
+        assert_eq!(s.lambda_rpy, 16);
+        assert!(s.repulsion);
+        assert!(s.gravity.is_none());
+    }
+
+    #[test]
+    fn rejects_unknown_keys_with_line_numbers() {
+        let e = SimSpec::parse("particles = 10\nbogus = 3\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+    }
+
+    #[test]
+    fn rejects_duplicates_and_syntax_errors() {
+        assert!(SimSpec::parse("dt = 0.01\ndt = 0.02\n").unwrap_err().message.contains("duplicate"));
+        assert!(SimSpec::parse("just a line\n").unwrap_err().message.contains("key = value"));
+        assert!(SimSpec::parse("dt =\n").unwrap_err().message.contains("empty value"));
+        assert!(SimSpec::parse("dt = fast\n").unwrap_err().message.contains("cannot parse"));
+    }
+
+    #[test]
+    fn validation_catches_physical_nonsense() {
+        assert!(SimSpec::parse("particles = 0\n").is_err());
+        assert!(SimSpec::parse("volume_fraction = 0.9\n").is_err());
+        assert!(SimSpec::parse("dt = -1\n").is_err());
+        assert!(SimSpec::parse("e_k = 2\n").is_err());
+        assert!(SimSpec::parse("algorithm = dense\nparticles = 100000\n").is_err());
+        assert!(SimSpec::parse("trajectory = a.xyz\ntrajectory_interval = 0\n").is_err());
+    }
+
+    #[test]
+    fn gravity_parsing_edge_cases() {
+        assert!(SimSpec::parse("gravity = 1 2\n").unwrap_err().message.contains("three"));
+        assert!(SimSpec::parse("gravity = a b c\n").is_err());
+        let s = SimSpec::parse("gravity = -1.5 0 2e-3\n").unwrap();
+        let g = s.gravity.unwrap();
+        assert_eq!((g.x, g.y, g.z), (-1.5, 0.0, 2e-3));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let s = SimSpec::parse("\n# full line comment\n  \nparticles = 7 # trailing\n").unwrap();
+        assert_eq!(s.particles, 7);
+    }
+}

@@ -1,0 +1,22 @@
+//! `hibd-cli`: a config-file-driven Brownian dynamics runner.
+//!
+//! The reference codes the paper compares against (BD_BOX, Brownmove) are
+//! standalone simulation programs; this crate provides the equivalent
+//! front end for the hibd library:
+//!
+//! * [`config`] — a small `key = value` configuration format describing the
+//!   system, integrator, forces, and outputs;
+//! * [`checkpoint`] — binary snapshot/restart of the full simulation state;
+//! * [`runner`] — assembles the matrix-free (or dense baseline) driver from
+//!   a [`config::SimSpec`] and runs it with periodic reporting, trajectory
+//!   output, and checkpointing;
+//! * [`analyze`] — post-processing of trajectories (diffusion coefficient,
+//!   radial distribution function).
+
+pub mod analyze;
+pub mod checkpoint;
+pub mod config;
+pub mod runner;
+
+pub use config::SimSpec;
+pub use runner::run_simulation;

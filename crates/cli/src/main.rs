@@ -1,0 +1,138 @@
+//! `hibd` — the command-line Brownian dynamics runner.
+//!
+//! ```text
+//! hibd run <config>                 run a simulation from a config file
+//! hibd resume <config> <ckpt>      continue from a checkpoint
+//! hibd check <config>               parse + validate a config
+//! hibd analyze <traj.xyz> [dt]      diffusion + g(r) from a trajectory
+//! hibd example-config               print an annotated example config
+//! ```
+
+use hibd_cli::analyze::{analyze_trajectory, render};
+use hibd_cli::config::SimSpec;
+use hibd_cli::runner::run_simulation;
+use std::path::Path;
+use std::process::ExitCode;
+
+const EXAMPLE: &str = r#"# hibd example configuration
+# system
+particles       = 500
+volume_fraction = 0.2
+radius          = 1.0
+viscosity       = 1.0
+seed            = 2014
+
+# integrator (Algorithm 2 of Liu & Chow, IPDPS 2014)
+algorithm   = matrix-free    # or: dense
+dt          = 0.01
+kbt         = 1.0
+lambda_rpy  = 16             # mobility reuse interval
+e_k         = 1e-2           # Krylov tolerance
+e_p         = 1e-3           # PME accuracy target
+steps       = 1000
+
+# forces
+repulsion  = on              # contact repulsion, k = 125
+#gravity   = 0 0 -0.5
+#lj_epsilon = 1.0
+
+# output
+trajectory          = trajectory.xyz
+trajectory_interval = 50
+report_interval     = 100
+checkpoint          = state.hibd
+checkpoint_interval = 500
+"#;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: hibd <run CONFIG | resume CONFIG CHECKPOINT | check CONFIG | \
+         analyze TRAJECTORY [FRAME_DT] | example-config>"
+    );
+    ExitCode::from(2)
+}
+
+fn load_spec(path: &str) -> Result<SimSpec, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    SimSpec::parse(&text).map_err(|e| e.to_string())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("example-config") => {
+            print!("{EXAMPLE}");
+            ExitCode::SUCCESS
+        }
+        Some("check") => {
+            let Some(path) = args.get(1) else { return usage() };
+            match load_spec(path) {
+                Ok(spec) => {
+                    println!("config ok: {spec:#?}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("analyze") => {
+            let Some(path) = args.get(1) else { return usage() };
+            let frame_dt: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(1.0);
+            let file = match std::fs::File::open(path) {
+                Ok(f) => std::io::BufReader::new(f),
+                Err(e) => {
+                    eprintln!("error: cannot open {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match analyze_trajectory(file, frame_dt) {
+                Ok(a) => {
+                    print!("{}", render(&a, frame_dt));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("run") | Some("resume") => {
+            let cmd = args[0].as_str();
+            let Some(path) = args.get(1) else { return usage() };
+            let resume = if cmd == "resume" {
+                match args.get(2) {
+                    Some(p) => Some(Path::new(p.as_str()).to_path_buf()),
+                    None => return usage(),
+                }
+            } else {
+                None
+            };
+            let spec = match load_spec(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match run_simulation(&spec, resume.as_deref(), |m| println!("[hibd] {m}")) {
+                Ok(report) => {
+                    println!(
+                        "[hibd] done: {} steps in {:.2} s ({:.2} ms/step, {} Krylov iterations)",
+                        report.steps,
+                        report.seconds,
+                        report.seconds_per_step * 1e3,
+                        report.krylov_iterations
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,252 @@
+//! Assemble and run a simulation from a [`SimSpec`].
+
+use crate::checkpoint::Checkpoint;
+use crate::config::{Algorithm, SimSpec};
+use hibd_core::ewald_bd::{BdError, EwaldBd, EwaldBdConfig};
+use hibd_core::forces::{ConstantForce, LennardJones, RepulsiveHarmonic};
+use hibd_core::io::{Coordinates, XyzWriter};
+use hibd_core::mf_bd::{MatrixFreeBd, MatrixFreeConfig};
+use hibd_core::system::ParticleSystem;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// Summary of a completed run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunReport {
+    pub steps: usize,
+    pub seconds: f64,
+    pub seconds_per_step: f64,
+    pub krylov_iterations: usize,
+}
+
+/// Either BD driver behind one stepping interface.
+enum Driver {
+    MatrixFree(Box<MatrixFreeBd>),
+    Dense(Box<EwaldBd>),
+}
+
+impl Driver {
+    fn step(&mut self) -> Result<(), BdError> {
+        match self {
+            Driver::MatrixFree(d) => d.step(),
+            Driver::Dense(d) => d.step(),
+        }
+    }
+
+    fn system(&self) -> &ParticleSystem {
+        match self {
+            Driver::MatrixFree(d) => d.system(),
+            Driver::Dense(d) => d.system(),
+        }
+    }
+
+    fn krylov_iterations(&self) -> usize {
+        match self {
+            Driver::MatrixFree(d) => d.timings().krylov_iterations,
+            Driver::Dense(_) => 0,
+        }
+    }
+}
+
+/// Run a simulation; `resume_from` optionally restores a checkpoint
+/// (overriding the generated initial configuration), `log` receives
+/// progress lines.
+pub fn run_simulation(
+    spec: &SimSpec,
+    resume_from: Option<&Path>,
+    mut log: impl FnMut(&str),
+) -> Result<RunReport, Box<dyn std::error::Error>> {
+    // Initial configuration: fresh suspension or checkpoint.
+    let (system, start_step) = match resume_from {
+        Some(path) => {
+            let ck = Checkpoint::load(path)?;
+            log(&format!(
+                "resumed from {} at step {} ({} particles)",
+                path.display(),
+                ck.step,
+                ck.wrapped.len()
+            ));
+            (ck.restore(), ck.step as usize)
+        }
+        None => {
+            let mut rng = StdRng::seed_from_u64(spec.seed);
+            let sys = ParticleSystem::random_suspension_with(
+                spec.particles,
+                spec.volume_fraction,
+                spec.radius,
+                spec.viscosity,
+                &mut rng,
+            );
+            (sys, 0)
+        }
+    };
+    log(&format!(
+        "system: n = {}, L = {:.3}, phi = {:.3}",
+        system.len(),
+        system.box_l,
+        system.volume_fraction()
+    ));
+
+    // Driver.
+    let mut driver = match spec.algorithm {
+        Algorithm::MatrixFree => {
+            let cfg = MatrixFreeConfig {
+                dt: spec.dt,
+                kbt: spec.kbt,
+                lambda_rpy: spec.lambda_rpy,
+                e_k: spec.e_k,
+                target_ep: spec.e_p,
+                ..Default::default()
+            };
+            let mut bd = MatrixFreeBd::new(system, cfg, spec.seed)?;
+            let p = bd.pme_params();
+            log(&format!(
+                "matrix-free: K = {}, p = {}, r_max = {:.2}, alpha = {:.4}",
+                p.mesh_dim, p.spline_order, p.r_max, p.alpha
+            ));
+            add_forces(spec, |f| bd.add_force_boxed(f));
+            Driver::MatrixFree(Box::new(bd))
+        }
+        Algorithm::Dense => {
+            let cfg = EwaldBdConfig {
+                dt: spec.dt,
+                kbt: spec.kbt,
+                lambda_rpy: spec.lambda_rpy,
+                ..Default::default()
+            };
+            let mut bd = EwaldBd::new(system, cfg, spec.seed);
+            log("dense Ewald baseline (Algorithm 1)");
+            add_forces(spec, |f| bd.add_force_boxed(f));
+            Driver::Dense(Box::new(bd))
+        }
+    };
+
+    // Trajectory sink.
+    let mut traj = match &spec.trajectory {
+        Some(path) => {
+            let file = BufWriter::new(File::create(path)?);
+            Some(XyzWriter::new(file, Coordinates::Wrapped))
+        }
+        None => None,
+    };
+
+    let t0 = std::time::Instant::now();
+    for local in 1..=spec.steps {
+        driver.step()?;
+        let global = start_step + local;
+        if let Some(w) = traj.as_mut() {
+            if local % spec.trajectory_interval == 0 {
+                w.write_frame(driver.system(), &format!("step={global}"))?;
+            }
+        }
+        if spec.report_interval > 0 && local % spec.report_interval == 0 {
+            let per = t0.elapsed().as_secs_f64() / local as f64;
+            log(&format!(
+                "step {global}: {:.2} ms/step, {} Krylov iterations total",
+                per * 1e3,
+                driver.krylov_iterations()
+            ));
+        }
+        if let Some(path) = &spec.checkpoint {
+            if local % spec.checkpoint_interval == 0 || local == spec.steps {
+                Checkpoint::capture(driver.system(), global as u64).save(Path::new(path))?;
+            }
+        }
+    }
+    if let Some(w) = traj {
+        let mut inner = w.into_inner()?;
+        inner.flush()?;
+    }
+
+    let seconds = t0.elapsed().as_secs_f64();
+    Ok(RunReport {
+        steps: spec.steps,
+        seconds,
+        seconds_per_step: seconds / spec.steps.max(1) as f64,
+        krylov_iterations: driver.krylov_iterations(),
+    })
+}
+
+fn add_forces(spec: &SimSpec, mut add: impl FnMut(Box<dyn hibd_core::forces::Force>)) {
+    if spec.repulsion {
+        add(Box::new(RepulsiveHarmonic::default()));
+    }
+    if let Some(g) = spec.gravity {
+        add(Box::new(ConstantForce(g)));
+    }
+    if spec.lj_epsilon > 0.0 {
+        add(Box::new(LennardJones::wca(spec.lj_epsilon, 2.0 * spec.radius)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimSpec;
+
+    fn quiet() -> impl FnMut(&str) {
+        |_msg: &str| {}
+    }
+
+    #[test]
+    fn runs_a_small_matrix_free_simulation() {
+        let spec = SimSpec {
+            particles: 20,
+            steps: 3,
+            report_interval: 0,
+            ..Default::default()
+        };
+        let report = run_simulation(&spec, None, quiet()).unwrap();
+        assert_eq!(report.steps, 3);
+        assert!(report.seconds_per_step > 0.0);
+        assert!(report.krylov_iterations > 0);
+    }
+
+    #[test]
+    fn runs_the_dense_baseline() {
+        let spec = SimSpec {
+            particles: 12,
+            steps: 2,
+            algorithm: Algorithm::Dense,
+            report_interval: 0,
+            ..Default::default()
+        };
+        let report = run_simulation(&spec, None, quiet()).unwrap();
+        assert_eq!(report.steps, 2);
+        assert_eq!(report.krylov_iterations, 0);
+    }
+
+    #[test]
+    fn writes_trajectory_and_checkpoint_then_resumes() {
+        let dir = std::env::temp_dir().join("hibd_runner_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let traj = dir.join("t.xyz");
+        let ckpt = dir.join("s.hibd");
+        let spec = SimSpec {
+            particles: 15,
+            steps: 4,
+            trajectory: Some(traj.to_string_lossy().into_owned()),
+            trajectory_interval: 2,
+            checkpoint: Some(ckpt.to_string_lossy().into_owned()),
+            checkpoint_interval: 2,
+            report_interval: 0,
+            ..Default::default()
+        };
+        run_simulation(&spec, None, quiet()).unwrap();
+        let text = std::fs::read_to_string(&traj).unwrap();
+        assert_eq!(text.lines().filter(|l| l.starts_with("Lattice")).count(), 2);
+
+        // Resume: the checkpoint stores step 4; two more steps continue it.
+        let spec2 = SimSpec { steps: 2, trajectory: None, ..spec.clone() };
+        let mut lines = Vec::new();
+        run_simulation(&spec2, Some(&ckpt), |m| lines.push(m.to_string())).unwrap();
+        assert!(lines.iter().any(|l| l.contains("resumed") && l.contains("step 4")));
+        // Final checkpoint now at global step 6.
+        let ck = Checkpoint::load(&ckpt).unwrap();
+        assert_eq!(ck.step, 6);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

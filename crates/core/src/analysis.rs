@@ -1,0 +1,164 @@
+//! Structural analysis of suspensions.
+//!
+//! Besides the diffusion coefficient (paper Eq. 12, in [`crate::diffusion`]),
+//! the standard observable for validating suspension microstructure is the
+//! radial distribution function g(r); BD studies report it to check that
+//! the repulsive contact force maintains the expected hard-sphere-like
+//! structure.
+
+use crate::system::ParticleSystem;
+use hibd_cells::CellList;
+
+/// Radial distribution function accumulated over configurations.
+#[derive(Clone, Debug)]
+pub struct RdfAccumulator {
+    r_max: f64,
+    nbins: usize,
+    counts: Vec<f64>,
+    frames: usize,
+    n: usize,
+    box_l: f64,
+}
+
+impl RdfAccumulator {
+    /// Histogram pair distances up to `r_max` into `nbins` bins.
+    pub fn new(r_max: f64, nbins: usize) -> RdfAccumulator {
+        assert!(r_max > 0.0 && nbins > 0);
+        RdfAccumulator { r_max, nbins, counts: vec![0.0; nbins], frames: 0, n: 0, box_l: 0.0 }
+    }
+
+    /// Accumulate one configuration.
+    pub fn record(&mut self, system: &ParticleSystem) {
+        assert!(
+            self.r_max <= system.box_l / 2.0 + 1e-9,
+            "g(r) beyond L/2 is ill-defined under minimum image"
+        );
+        if self.frames == 0 {
+            self.n = system.len();
+            self.box_l = system.box_l;
+        } else {
+            assert_eq!(self.n, system.len(), "particle count changed");
+        }
+        let cl = CellList::new(system.positions(), system.box_l, self.r_max);
+        let bin_w = self.r_max / self.nbins as f64;
+        cl.for_each_pair(|_, _, _, r2| {
+            let r = r2.sqrt();
+            let b = (r / bin_w) as usize;
+            if b < self.nbins {
+                self.counts[b] += 2.0; // each unordered pair counts for both
+            }
+        });
+        self.frames += 1;
+    }
+
+    /// Number of configurations accumulated.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// `(r_center, g(r))` per bin, ideal-gas normalized.
+    pub fn normalized(&self) -> Vec<(f64, f64)> {
+        if self.frames == 0 {
+            return Vec::new();
+        }
+        let bin_w = self.r_max / self.nbins as f64;
+        let density = self.n as f64 / self.box_l.powi(3);
+        let mut out = Vec::with_capacity(self.nbins);
+        for b in 0..self.nbins {
+            let r_lo = b as f64 * bin_w;
+            let r_hi = r_lo + bin_w;
+            let shell = 4.0 / 3.0 * std::f64::consts::PI * (r_hi.powi(3) - r_lo.powi(3));
+            let ideal = density * shell * self.n as f64 * self.frames as f64;
+            out.push((r_lo + 0.5 * bin_w, self.counts[b] / ideal));
+        }
+        out
+    }
+}
+
+/// Mean collective velocity `Σ u_i / n` from a flat `3n` velocity vector.
+pub fn mean_velocity(u: &[f64]) -> [f64; 3] {
+    assert_eq!(u.len() % 3, 0);
+    let n = (u.len() / 3).max(1) as f64;
+    let mut m = [0.0; 3];
+    for chunk in u.chunks_exact(3) {
+        m[0] += chunk[0];
+        m[1] += chunk[1];
+        m[2] += chunk[2];
+    }
+    [m[0] / n, m[1] / n, m[2] / n]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hibd_mathx::Vec3;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ideal_gas_rdf_is_flat_at_one() {
+        // Uncorrelated uniform points: g(r) ~ 1 for all r.
+        let mut rng = StdRng::seed_from_u64(3);
+        let box_l = 20.0;
+        let n = 800;
+        let mut acc = RdfAccumulator::new(8.0, 16);
+        for _ in 0..4 {
+            use rand::Rng;
+            let pos: Vec<Vec3> = (0..n)
+                .map(|_| {
+                    Vec3::new(
+                        rng.gen_range(0.0..box_l),
+                        rng.gen_range(0.0..box_l),
+                        rng.gen_range(0.0..box_l),
+                    )
+                })
+                .collect();
+            let sys = ParticleSystem::new(pos, box_l, 0.1, 1.0);
+            acc.record(&sys);
+        }
+        for (r, g) in acc.normalized() {
+            if r > 1.0 {
+                assert!((g - 1.0).abs() < 0.25, "r = {r}: g = {g}");
+            }
+        }
+    }
+
+    #[test]
+    fn hard_sphere_suspension_has_depleted_core() {
+        // Non-overlapping spheres: g(r) ~ 0 below contact (2a), and a
+        // contact peak above.
+        let mut rng = StdRng::seed_from_u64(9);
+        let sys = ParticleSystem::random_suspension(400, 0.2, &mut rng);
+        let mut acc = RdfAccumulator::new((sys.box_l / 2.0).min(6.0), 24);
+        acc.record(&sys);
+        let rdf = acc.normalized();
+        for &(r, g) in &rdf {
+            if r < 1.9 {
+                assert!(g < 0.05, "core not depleted at r = {r}: g = {g}");
+            }
+        }
+        let peak = rdf
+            .iter()
+            .filter(|(r, _)| *r > 2.0 && *r < 3.0)
+            .map(|(_, g)| *g)
+            .fold(0.0f64, f64::max);
+        assert!(peak > 0.8, "no structure near contact: peak = {peak}");
+    }
+
+    #[test]
+    fn rdf_rejects_cutoff_beyond_half_box() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let sys = ParticleSystem::random_suspension(50, 0.1, &mut rng);
+        let mut acc = RdfAccumulator::new(sys.box_l, 10);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            acc.record(&sys);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn mean_velocity_averages_components() {
+        let u = [1.0, 0.0, 2.0, 3.0, 0.0, 4.0];
+        assert_eq!(mean_velocity(&u), [2.0, 0.0, 3.0]);
+    }
+}

@@ -1,0 +1,286 @@
+//! Trajectory output in the XYZ format.
+//!
+//! Minimal, dependency-free trajectory writing so simulation results can be
+//! inspected with standard tools (OVITO, VMD, MDAnalysis). Frames append to
+//! one file; wrapped or unwrapped coordinates can be selected.
+
+use crate::system::ParticleSystem;
+use hibd_mathx::Vec3;
+use std::io::{self, BufRead, Write};
+
+/// Which coordinate set to write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Coordinates {
+    /// Positions wrapped into the primary box.
+    Wrapped,
+    /// Continuous (unwrapped) trajectories.
+    Unwrapped,
+}
+
+/// Streaming XYZ trajectory writer.
+pub struct XyzWriter<W: Write> {
+    sink: W,
+    coords: Coordinates,
+    element: String,
+    frames: usize,
+}
+
+impl<W: Write> XyzWriter<W> {
+    pub fn new(sink: W, coords: Coordinates) -> XyzWriter<W> {
+        XyzWriter { sink, coords, element: "C".to_string(), frames: 0 }
+    }
+
+    /// Element symbol written per particle (cosmetic; default "C").
+    pub fn with_element(mut self, element: impl Into<String>) -> Self {
+        self.element = element.into();
+        self
+    }
+
+    /// Append one frame.
+    pub fn write_frame(&mut self, system: &ParticleSystem, comment: &str) -> io::Result<()> {
+        let pts = match self.coords {
+            Coordinates::Wrapped => system.positions(),
+            Coordinates::Unwrapped => system.unwrapped(),
+        };
+        writeln!(self.sink, "{}", pts.len())?;
+        // Extended-XYZ style lattice in the comment line.
+        let l = system.box_l;
+        writeln!(
+            self.sink,
+            "Lattice=\"{l} 0 0 0 {l} 0 0 0 {l}\" frame={} {comment}",
+            self.frames
+        )?;
+        for p in pts {
+            writeln!(self.sink, "{} {:.8} {:.8} {:.8}", self.element, p.x, p.y, p.z)?;
+        }
+        self.frames += 1;
+        Ok(())
+    }
+
+    /// Frames written so far.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// Flush and return the underlying sink.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// One frame read back from an XYZ trajectory.
+#[derive(Clone, Debug, PartialEq)]
+pub struct XyzFrame {
+    /// The comment line (with any `Lattice="..."` metadata).
+    pub comment: String,
+    /// Box side parsed from the extended-XYZ lattice, if present and cubic.
+    pub box_l: Option<f64>,
+    pub positions: Vec<Vec3>,
+}
+
+/// Streaming XYZ reader (accepts the output of [`XyzWriter`] and plain XYZ).
+pub struct XyzReader<R: BufRead> {
+    source: R,
+    line: String,
+    frames: usize,
+}
+
+/// XYZ parse error with the offending frame index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct XyzError {
+    pub frame: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for XyzError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "xyz frame {}: {}", self.frame, self.message)
+    }
+}
+
+impl std::error::Error for XyzError {}
+
+impl<R: BufRead> XyzReader<R> {
+    pub fn new(source: R) -> XyzReader<R> {
+        XyzReader { source, line: String::new(), frames: 0 }
+    }
+
+    fn fail(&self, message: impl Into<String>) -> XyzError {
+        XyzError { frame: self.frames, message: message.into() }
+    }
+
+    fn read_line(&mut self) -> Result<bool, XyzError> {
+        self.line.clear();
+        let n = self
+            .source
+            .read_line(&mut self.line)
+            .map_err(|e| self.fail(format!("io error: {e}")))?;
+        Ok(n > 0)
+    }
+
+    /// Read the next frame; `Ok(None)` at end of input.
+    pub fn next_frame(&mut self) -> Result<Option<XyzFrame>, XyzError> {
+        // Particle count line (skip trailing blank lines).
+        loop {
+            if !self.read_line()? {
+                return Ok(None);
+            }
+            if !self.line.trim().is_empty() {
+                break;
+            }
+        }
+        let n: usize = self
+            .line
+            .trim()
+            .parse()
+            .map_err(|_| self.fail(format!("bad particle count `{}`", self.line.trim())))?;
+        if !self.read_line()? {
+            return Err(self.fail("missing comment line"));
+        }
+        let comment = self.line.trim_end().to_string();
+        let box_l = parse_cubic_lattice(&comment);
+        let mut positions = Vec::with_capacity(n);
+        for i in 0..n {
+            if !self.read_line()? {
+                return Err(self.fail(format!("truncated at atom {i} of {n}")));
+            }
+            let mut it = self.line.split_whitespace();
+            let _element = it.next().ok_or_else(|| self.fail("empty atom line"))?;
+            let mut coord = [0.0f64; 3];
+            for c in coord.iter_mut() {
+                *c = it
+                    .next()
+                    .ok_or_else(|| self.fail("missing coordinate"))?
+                    .parse()
+                    .map_err(|_| self.fail("bad coordinate"))?;
+            }
+            positions.push(Vec3::new(coord[0], coord[1], coord[2]));
+        }
+        self.frames += 1;
+        Ok(Some(XyzFrame { comment, box_l, positions }))
+    }
+
+    /// Read all remaining frames.
+    pub fn read_all(&mut self) -> Result<Vec<XyzFrame>, XyzError> {
+        let mut out = Vec::new();
+        while let Some(f) = self.next_frame()? {
+            out.push(f);
+        }
+        Ok(out)
+    }
+}
+
+/// Extract `L` from an extended-XYZ `Lattice="L 0 0 0 L 0 0 0 L"` comment.
+fn parse_cubic_lattice(comment: &str) -> Option<f64> {
+    let start = comment.find("Lattice=\"")? + 9;
+    let rest = &comment[start..];
+    let end = rest.find('"')?;
+    let nums: Vec<f64> =
+        rest[..end].split_whitespace().filter_map(|t| t.parse().ok()).collect();
+    if nums.len() != 9 {
+        return None;
+    }
+    let l = nums[0];
+    let cubic = nums == [l, 0.0, 0.0, 0.0, l, 0.0, 0.0, 0.0, l];
+    if cubic && l > 0.0 {
+        Some(l)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hibd_mathx::Vec3;
+
+    fn sample_system() -> ParticleSystem {
+        ParticleSystem::new(
+            vec![Vec3::new(1.0, 2.0, 3.0), Vec3::new(9.5, 0.5, 4.25)],
+            10.0,
+            1.0,
+            1.0,
+        )
+    }
+
+    #[test]
+    fn writes_well_formed_frames() {
+        let sys = sample_system();
+        let mut w = XyzWriter::new(Vec::new(), Coordinates::Wrapped).with_element("Ar");
+        w.write_frame(&sys, "t=0").unwrap();
+        w.write_frame(&sys, "t=1").unwrap();
+        assert_eq!(w.frames(), 2);
+        let text = String::from_utf8(w.into_inner().unwrap()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // 2 frames x (1 count + 1 comment + 2 atoms).
+        assert_eq!(lines.len(), 8);
+        assert_eq!(lines[0], "2");
+        assert!(lines[1].contains("Lattice=\"10 0 0 0 10 0 0 0 10\""));
+        assert!(lines[1].contains("frame=0"));
+        assert!(lines[1].ends_with("t=0"));
+        assert!(lines[2].starts_with("Ar 1.0"));
+        assert!(lines[5].contains("frame=1"));
+    }
+
+    #[test]
+    fn unwrapped_coordinates_track_motion_across_boundary() {
+        let mut sys = sample_system();
+        sys.apply_displacements(&[0.0, 0.0, 0.0, 1.0, 0.0, 0.0]); // wraps p1
+        let mut w = XyzWriter::new(Vec::new(), Coordinates::Unwrapped);
+        w.write_frame(&sys, "").unwrap();
+        let text = String::from_utf8(w.into_inner().unwrap()).unwrap();
+        assert!(text.contains("10.5"), "unwrapped x must exceed the box:\n{text}");
+
+        let mut w2 = XyzWriter::new(Vec::new(), Coordinates::Wrapped);
+        w2.write_frame(&sys, "").unwrap();
+        let text2 = String::from_utf8(w2.into_inner().unwrap()).unwrap();
+        assert!(text2.contains("0.5"), "wrapped x re-enters the box:\n{text2}");
+    }
+
+    #[test]
+    fn reader_roundtrips_writer_output() {
+        let sys = sample_system();
+        let mut w = XyzWriter::new(Vec::new(), Coordinates::Wrapped);
+        w.write_frame(&sys, "t=0").unwrap();
+        w.write_frame(&sys, "t=1").unwrap();
+        let bytes = w.into_inner().unwrap();
+        let mut r = XyzReader::new(&bytes[..]);
+        let frames = r.read_all().unwrap();
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[0].box_l, Some(10.0));
+        assert_eq!(frames[0].positions.len(), 2);
+        for (got, want) in frames[0].positions.iter().zip(sys.positions()) {
+            assert!((*got - *want).norm() < 1e-7);
+        }
+        assert!(frames[1].comment.contains("t=1"));
+    }
+
+    #[test]
+    fn reader_rejects_malformed_input() {
+        let r = |text: &str| XyzReader::new(text.as_bytes()).read_all();
+        assert!(r("abc\ncomment\n").is_err(), "bad count");
+        assert!(r("2\ncomment\nC 1 2 3\n").is_err(), "truncated");
+        assert!(r("1\ncomment\nC 1 2\n").is_err(), "missing coordinate");
+        assert!(r("1\ncomment\nC a b c\n").is_err(), "bad coordinate");
+        assert!(r("").unwrap().is_empty(), "empty input is zero frames");
+    }
+
+    #[test]
+    fn plain_xyz_without_lattice_parses() {
+        let text = "3\njust a comment\nAr 0 0 0\nAr 1 1 1\nAr 2 2 2\n";
+        let frames = XyzReader::new(text.as_bytes()).read_all().unwrap();
+        assert_eq!(frames[0].box_l, None);
+        assert_eq!(frames[0].positions[2], Vec3::new(2.0, 2.0, 2.0));
+    }
+
+    #[test]
+    fn frame_parsable_particle_count() {
+        let sys = sample_system();
+        let mut w = XyzWriter::new(Vec::new(), Coordinates::Wrapped);
+        w.write_frame(&sys, "x").unwrap();
+        let text = String::from_utf8(w.into_inner().unwrap()).unwrap();
+        let n: usize = text.lines().next().unwrap().parse().unwrap();
+        assert_eq!(n, 2);
+    }
+}

@@ -1,0 +1,274 @@
+//! The simulated particle suspension.
+//!
+//! Positions are kept twice: wrapped into the primary box (what the
+//! operators consume) and unwrapped (continuous trajectories, what the
+//! mean-squared-displacement estimator needs). The builders produce the
+//! monodisperse suspensions used throughout the paper's evaluation.
+
+use hibd_mathx::Vec3;
+use rand::Rng;
+
+/// A monodisperse particle suspension in a cubic periodic box.
+#[derive(Clone, Debug)]
+pub struct ParticleSystem {
+    /// Box side `L`.
+    pub box_l: f64,
+    /// Particle radius `a`.
+    pub a: f64,
+    /// Fluid viscosity `eta`.
+    pub eta: f64,
+    pos: Vec<Vec3>,
+    unwrapped: Vec<Vec3>,
+}
+
+impl ParticleSystem {
+    /// Wrap the given positions into the box and take them as the initial
+    /// configuration.
+    pub fn new(positions: Vec<Vec3>, box_l: f64, a: f64, eta: f64) -> ParticleSystem {
+        assert!(box_l > 0.0 && a > 0.0 && eta > 0.0);
+        let pos: Vec<Vec3> = positions.iter().map(|p| p.wrap_into_box(box_l)).collect();
+        let unwrapped = pos.clone();
+        ParticleSystem { box_l, a, eta, pos, unwrapped }
+    }
+
+    /// Random non-overlapping suspension of `n` unit spheres (`a = eta = 1`)
+    /// at volume fraction `phi`, the monodisperse model of Section V-A.
+    ///
+    /// Uses random sequential insertion; above the RSA saturation regime
+    /// (`phi > 0.25`) it falls back to a jittered simple-cubic lattice, from
+    /// which the repulsive force quickly equilibrates the structure.
+    pub fn random_suspension<R: Rng + ?Sized>(n: usize, phi: f64, rng: &mut R) -> ParticleSystem {
+        Self::random_suspension_with(n, phi, 1.0, 1.0, rng)
+    }
+
+    /// As [`random_suspension`](Self::random_suspension) with explicit
+    /// radius and viscosity.
+    pub fn random_suspension_with<R: Rng + ?Sized>(
+        n: usize,
+        phi: f64,
+        a: f64,
+        eta: f64,
+        rng: &mut R,
+    ) -> ParticleSystem {
+        let box_l = (4.0 * std::f64::consts::PI * a.powi(3) * n as f64 / (3.0 * phi)).cbrt();
+        let pos = if phi <= 0.25 {
+            rsa_insert(n, box_l, a, rng).unwrap_or_else(|| lattice_jitter(n, box_l, a, rng))
+        } else {
+            lattice_jitter(n, box_l, a, rng)
+        };
+        ParticleSystem::new(pos, box_l, a, eta)
+    }
+
+    pub fn len(&self) -> usize {
+        self.pos.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pos.is_empty()
+    }
+
+    /// Wrapped positions (inside `[0, L)^3`).
+    pub fn positions(&self) -> &[Vec3] {
+        &self.pos
+    }
+
+    /// Unwrapped positions (continuous trajectories).
+    pub fn unwrapped(&self) -> &[Vec3] {
+        &self.unwrapped
+    }
+
+    /// Overwrite the unwrapped trajectories (checkpoint restore). The
+    /// wrapped positions are unchanged; lengths must match.
+    pub fn set_unwrapped(&mut self, unwrapped: Vec<Vec3>) {
+        assert_eq!(unwrapped.len(), self.pos.len(), "particle count mismatch");
+        self.unwrapped = unwrapped;
+    }
+
+    /// Achieved volume fraction `n (4/3) pi a^3 / L^3`.
+    pub fn volume_fraction(&self) -> f64 {
+        self.len() as f64 * 4.0 / 3.0 * std::f64::consts::PI * self.a.powi(3)
+            / self.box_l.powi(3)
+    }
+
+    /// Apply a flat displacement vector `d` (length `3n`): unwrapped
+    /// coordinates accumulate it verbatim, wrapped coordinates re-enter the
+    /// box.
+    pub fn apply_displacements(&mut self, d: &[f64]) {
+        assert_eq!(d.len(), 3 * self.len());
+        for (i, (p, u)) in self.pos.iter_mut().zip(self.unwrapped.iter_mut()).enumerate() {
+            let dv = Vec3::new(d[3 * i], d[3 * i + 1], d[3 * i + 2]);
+            *u += dv;
+            *p = (*p + dv).wrap_into_box(self.box_l);
+        }
+    }
+
+    /// Smallest pair separation (minimum image); `None` for n < 2.
+    pub fn min_separation(&self) -> Option<f64> {
+        if self.len() < 2 {
+            return None;
+        }
+        let cl = hibd_cells::CellList::new(&self.pos, self.box_l, self.box_l / 2.001);
+        let mut min = f64::INFINITY;
+        cl.for_each_pair(|_, _, _, r2| {
+            min = min.min(r2.sqrt());
+        });
+        // All pairs beyond L/2 from each other: fall back to brute scan.
+        if min.is_infinite() {
+            for i in 0..self.len() {
+                for j in i + 1..self.len() {
+                    min = min.min((self.pos[i] - self.pos[j]).min_image(self.box_l).norm());
+                }
+            }
+        }
+        Some(min)
+    }
+}
+
+/// Random sequential insertion of non-overlapping spheres. `None` if an
+/// insertion cannot be placed within the attempt budget.
+fn rsa_insert<R: Rng + ?Sized>(n: usize, box_l: f64, a: f64, rng: &mut R) -> Option<Vec<Vec3>> {
+    // Spatial hash with cells of side >= 2a for O(1) overlap checks.
+    let ncell = ((box_l / (2.0 * a)).floor() as usize).max(1);
+    let cell_of = |p: Vec3| -> usize {
+        let f = |v: f64| (((v / box_l) * ncell as f64) as usize).min(ncell - 1);
+        (f(p.x) * ncell + f(p.y)) * ncell + f(p.z)
+    };
+    let mut grid: Vec<Vec<u32>> = vec![Vec::new(); ncell * ncell * ncell];
+    let mut pos: Vec<Vec3> = Vec::with_capacity(n);
+    let min2 = 4.0 * a * a;
+    'outer: for _ in 0..n {
+        for _attempt in 0..2000 {
+            let cand = Vec3::new(
+                rng.gen_range(0.0..box_l),
+                rng.gen_range(0.0..box_l),
+                rng.gen_range(0.0..box_l),
+            );
+            let c = cell_of(cand);
+            let cz = c % ncell;
+            let cy = (c / ncell) % ncell;
+            let cx = c / (ncell * ncell);
+            let mut ok = true;
+            'scan: for dx in -1i64..=1 {
+                for dy in -1i64..=1 {
+                    for dz in -1i64..=1 {
+                        let nx = (cx as i64 + dx).rem_euclid(ncell as i64) as usize;
+                        let ny = (cy as i64 + dy).rem_euclid(ncell as i64) as usize;
+                        let nz = (cz as i64 + dz).rem_euclid(ncell as i64) as usize;
+                        for &other in &grid[(nx * ncell + ny) * ncell + nz] {
+                            let dr = (cand - pos[other as usize]).min_image(box_l);
+                            if dr.norm2() < min2 {
+                                ok = false;
+                                break 'scan;
+                            }
+                        }
+                    }
+                }
+            }
+            if ok {
+                grid[c].push(pos.len() as u32);
+                pos.push(cand);
+                continue 'outer;
+            }
+        }
+        return None;
+    }
+    Some(pos)
+}
+
+/// Jittered simple-cubic lattice that fits `n` spheres; valid (overlap-free)
+/// as long as the lattice constant exceeds `2a`, which holds up to
+/// `phi ~ 0.52` minus the jitter allowance.
+fn lattice_jitter<R: Rng + ?Sized>(n: usize, box_l: f64, a: f64, rng: &mut R) -> Vec<Vec3> {
+    let per_dim = (n as f64).cbrt().ceil() as usize;
+    let spacing = box_l / per_dim as f64;
+    let jitter = ((spacing - 2.0 * a) * 0.45).max(0.0);
+    let mut pos = Vec::with_capacity(n);
+    'fill: for ix in 0..per_dim {
+        for iy in 0..per_dim {
+            for iz in 0..per_dim {
+                if pos.len() == n {
+                    break 'fill;
+                }
+                let base = Vec3::new(
+                    (ix as f64 + 0.5) * spacing,
+                    (iy as f64 + 0.5) * spacing,
+                    (iz as f64 + 0.5) * spacing,
+                );
+                let j = Vec3::new(
+                    rng.gen_range(-0.5..0.5) * jitter,
+                    rng.gen_range(-0.5..0.5) * jitter,
+                    rng.gen_range(-0.5..0.5) * jitter,
+                );
+                pos.push(base + j);
+            }
+        }
+    }
+    pos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn suspension_hits_target_volume_fraction() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for phi in [0.05, 0.1, 0.2, 0.3, 0.4] {
+            let sys = ParticleSystem::random_suspension(200, phi, &mut rng);
+            assert!((sys.volume_fraction() - phi).abs() < 1e-9, "phi {phi}");
+            assert_eq!(sys.len(), 200);
+        }
+    }
+
+    #[test]
+    fn suspension_has_no_overlaps_at_low_phi() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let sys = ParticleSystem::random_suspension(300, 0.2, &mut rng);
+        let min = sys.min_separation().unwrap();
+        assert!(min >= 2.0, "min separation {min}");
+    }
+
+    #[test]
+    fn lattice_fallback_has_no_overlaps_at_high_phi() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sys = ParticleSystem::random_suspension(216, 0.4, &mut rng);
+        let min = sys.min_separation().unwrap();
+        assert!(min >= 2.0 * 0.999, "min separation {min}");
+    }
+
+    #[test]
+    fn displacements_update_wrapped_and_unwrapped() {
+        let pos = vec![Vec3::new(9.9, 5.0, 5.0), Vec3::new(1.0, 1.0, 1.0)];
+        let mut sys = ParticleSystem::new(pos, 10.0, 1.0, 1.0);
+        let d = vec![0.3, 0.0, 0.0, -2.0, 0.0, 0.0];
+        sys.apply_displacements(&d);
+        // Particle 0 wrapped around the seam.
+        assert!((sys.positions()[0].x - 0.2).abs() < 1e-12);
+        // Unwrapped keeps going.
+        assert!((sys.unwrapped()[0].x - 10.2).abs() < 1e-12);
+        assert!((sys.unwrapped()[1].x - -1.0).abs() < 1e-12);
+        assert!((sys.positions()[1].x - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = ParticleSystem::random_suspension(50, 0.15, &mut StdRng::seed_from_u64(7));
+        let b = ParticleSystem::random_suspension(50, 0.15, &mut StdRng::seed_from_u64(7));
+        for (x, y) in a.positions().iter().zip(b.positions()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn min_separation_of_pair() {
+        let sys = ParticleSystem::new(
+            vec![Vec3::new(0.5, 5.0, 5.0), Vec3::new(9.5, 5.0, 5.0)],
+            10.0,
+            1.0,
+            1.0,
+        );
+        assert!((sys.min_separation().unwrap() - 1.0).abs() < 1e-12);
+    }
+}

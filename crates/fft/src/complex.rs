@@ -1,0 +1,183 @@
+//! A minimal double-precision complex number.
+//!
+//! Only the operations the FFT and the PME influence function need; kept
+//! `#[repr(C)]` so a `&[Complex64]` can be treated as interleaved
+//! `re, im, re, im, ...` storage (the layout MKL calls `DFTI_COMPLEX`).
+
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Complex number `re + i * im` in double precision.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[repr(C)]
+pub struct Complex64 {
+    pub re: f64,
+    pub im: f64,
+}
+
+impl Complex64 {
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// `e^{i theta} = cos(theta) + i sin(theta)`.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        let (s, c) = theta.sin_cos();
+        Complex64::new(c, s)
+    }
+
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex64::new(self.re, -self.im)
+    }
+
+    #[inline]
+    pub fn scale(self, s: f64) -> Self {
+        Complex64::new(self.re * s, self.im * s)
+    }
+
+    /// Multiply by the imaginary unit: `i * z = -im + i re`.
+    #[inline]
+    pub fn mul_i(self) -> Self {
+        Complex64::new(-self.im, self.re)
+    }
+
+    /// Multiply by `-i`: `-i * z = im - i re`.
+    #[inline]
+    pub fn mul_neg_i(self) -> Self {
+        Complex64::new(self.im, -self.re)
+    }
+
+    #[inline]
+    pub fn norm2(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.norm2().sqrt()
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, o: Complex64) -> Complex64 {
+        Complex64::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, o: Complex64) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, o: Complex64) -> Complex64 {
+        Complex64::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, o: Complex64) {
+        self.re -= o.re;
+        self.im -= o.im;
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, o: Complex64) -> Complex64 {
+        Complex64::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, o: Complex64) {
+        *self = *self * o;
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, s: f64) -> Complex64 {
+        self.scale(s)
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Complex64 {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex64::new(re, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(3.0, -1.0);
+        assert_eq!(a + b, Complex64::new(4.0, 1.0));
+        assert_eq!(a - b, Complex64::new(-2.0, 3.0));
+        // (1+2i)(3-i) = 3 - i + 6i - 2i^2 = 5 + 5i
+        assert_eq!(a * b, Complex64::new(5.0, 5.0));
+        assert_eq!(-a, Complex64::new(-1.0, -2.0));
+        assert_eq!(a.conj(), Complex64::new(1.0, -2.0));
+        assert_eq!(a.scale(2.0), Complex64::new(2.0, 4.0));
+    }
+
+    #[test]
+    fn mul_i_identities() {
+        let z = Complex64::new(0.3, -0.7);
+        assert_eq!(z.mul_i(), Complex64::I * z);
+        assert_eq!(z.mul_neg_i(), (-Complex64::I) * z);
+        assert_eq!(z.mul_i().mul_neg_i(), z);
+    }
+
+    #[test]
+    fn cis_unit_circle() {
+        use std::f64::consts::PI;
+        let z = Complex64::cis(PI / 2.0);
+        assert!((z.re).abs() < 1e-15);
+        assert!((z.im - 1.0).abs() < 1e-15);
+        assert!((Complex64::cis(0.7).abs() - 1.0).abs() < 1e-15);
+        // Group property: cis(a) * cis(b) = cis(a + b)
+        let (a, b) = (0.4, -1.3);
+        let lhs = Complex64::cis(a) * Complex64::cis(b);
+        let rhs = Complex64::cis(a + b);
+        assert!((lhs - rhs).abs() < 1e-15);
+    }
+
+    #[test]
+    fn norms() {
+        let z = Complex64::new(3.0, 4.0);
+        assert_eq!(z.norm2(), 25.0);
+        assert_eq!(z.abs(), 5.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Naive `O(n^2)` discrete Fourier transforms.
+//!
+//! Reference implementations used by the test suites of [`crate::plan`],
+//! [`crate::real`] and [`crate::fft3`]; also handy for validating the PME
+//! reciprocal sum on tiny meshes. Never used on a hot path.
+
+use crate::complex::Complex64;
+use std::f64::consts::TAU;
+
+/// Naive forward DFT: `X[k] = Σ_j x[j] e^{-2 pi i jk/n}`.
+pub fn dft_forward(x: &[Complex64]) -> Vec<Complex64> {
+    dft(x, -1.0)
+}
+
+/// Naive unnormalized inverse DFT: `y[j] = Σ_k X[k] e^{+2 pi i jk/n}`.
+pub fn dft_inverse(x: &[Complex64]) -> Vec<Complex64> {
+    dft(x, 1.0)
+}
+
+fn dft(x: &[Complex64], sign: f64) -> Vec<Complex64> {
+    let n = x.len();
+    let mut out = vec![Complex64::ZERO; n];
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = Complex64::ZERO;
+        for (j, &v) in x.iter().enumerate() {
+            // Reduce j*k mod n before the trig call to keep the angle small.
+            let phase = sign * TAU * ((j * k) % n) as f64 / n as f64;
+            acc += v * Complex64::cis(phase);
+        }
+        *o = acc;
+    }
+    out
+}
+
+/// Naive forward DFT of a real sequence, returning the full spectrum.
+pub fn dft_forward_real(x: &[f64]) -> Vec<Complex64> {
+    let cx: Vec<Complex64> = x.iter().map(|&v| Complex64::from(v)).collect();
+    dft_forward(&cx)
+}
+
+/// Naive 3D forward DFT of a real array with dims `[n0][n1][n2]` (`n2`
+/// fastest), returning the full `n0*n1*n2` complex spectrum in the same
+/// layout.
+pub fn dft3_forward_real(x: &[f64], dims: [usize; 3]) -> Vec<Complex64> {
+    let [n0, n1, n2] = dims;
+    assert_eq!(x.len(), n0 * n1 * n2);
+    let mut out = vec![Complex64::ZERO; n0 * n1 * n2];
+    for k0 in 0..n0 {
+        for k1 in 0..n1 {
+            for k2 in 0..n2 {
+                let mut acc = Complex64::ZERO;
+                for j0 in 0..n0 {
+                    for j1 in 0..n1 {
+                        for j2 in 0..n2 {
+                            let phase = -TAU
+                                * (j0 * k0) as f64 / n0 as f64
+                                - TAU * (j1 * k1) as f64 / n1 as f64
+                                - TAU * (j2 * k2) as f64 / n2 as f64;
+                            acc += Complex64::cis(phase).scale(x[(j0 * n1 + j1) * n2 + j2]);
+                        }
+                    }
+                }
+                out[(k0 * n1 + k1) * n2 + k2] = acc;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dft_of_delta_is_flat() {
+        let mut x = vec![Complex64::ZERO; 8];
+        x[0] = Complex64::ONE;
+        let s = dft_forward(&x);
+        for v in s {
+            assert!((v - Complex64::ONE).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn dft_of_constant_is_delta() {
+        let x = vec![Complex64::ONE; 6];
+        let s = dft_forward(&x);
+        assert!((s[0] - Complex64::from(6.0)).abs() < 1e-13);
+        for v in &s[1..] {
+            assert!(v.abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn inverse_of_forward_scales_by_n() {
+        let x: Vec<Complex64> =
+            (0..10).map(|i| Complex64::new((i as f64).sin(), (i as f64).cos())).collect();
+        let y = dft_inverse(&dft_forward(&x));
+        for (a, b) in x.iter().zip(&y) {
+            assert!((b.scale(0.1) - *a).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn real_input_has_hermitian_spectrum() {
+        let x: Vec<f64> = (0..12).map(|i| (0.3 * i as f64).sin() + 0.1 * i as f64).collect();
+        let s = dft_forward_real(&x);
+        for k in 1..12 {
+            let d = s[k] - s[12 - k].conj();
+            assert!(d.abs() < 1e-12, "k={k}");
+        }
+    }
+}

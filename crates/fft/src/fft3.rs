@@ -1,0 +1,296 @@
+//! 3D real-to-complex / complex-to-real FFT.
+//!
+//! Layout: a real array with dims `[n0][n1][n2]`, `n2` fastest (row-major,
+//! matching the paper's `F_theta(k1, k2, k3)` mesh with `k3` fastest). The
+//! half spectrum has dims `[n0][n1][nc]` with `nc = n2/2 + 1`.
+//!
+//! Axis `n2` uses the packed real transform; axes `n1` and `n0` are complex
+//! transforms over strided lines, processed by gathering each line into a
+//! contiguous buffer. Lines are batched with Rayon: the `n2`/`n1` passes
+//! parallelize over `i0`-planes (disjoint chunks), the `n0` pass over
+//! `(i1)`-slabs of a gathered transpose.
+
+use crate::complex::Complex64;
+use crate::plan::{FftError, FftPlan};
+use crate::real::RealFftPlan;
+use rayon::prelude::*;
+
+/// Reusable 3D r2c/c2r transform for fixed dims.
+#[derive(Debug)]
+pub struct Fft3 {
+    dims: [usize; 3],
+    rplan: RealFftPlan,
+    plan1: FftPlan,
+    plan0: FftPlan,
+}
+
+impl Fft3 {
+    /// Build a transform for real dims `[n0, n1, n2]` (`n2` even).
+    pub fn new(dims: [usize; 3]) -> Result<Fft3, FftError> {
+        let [n0, n1, n2] = dims;
+        Ok(Fft3 {
+            dims,
+            rplan: RealFftPlan::new(n2)?,
+            plan1: FftPlan::new(n1)?,
+            plan0: FftPlan::new(n0)?,
+        })
+    }
+
+    /// Real-array dims `[n0, n1, n2]`.
+    pub fn dims(&self) -> [usize; 3] {
+        self.dims
+    }
+
+    /// Real array length `n0 * n1 * n2`.
+    pub fn real_len(&self) -> usize {
+        self.dims[0] * self.dims[1] * self.dims[2]
+    }
+
+    /// Half-spectrum length `n0 * n1 * (n2/2 + 1)`.
+    pub fn spectrum_len(&self) -> usize {
+        self.dims[0] * self.dims[1] * (self.dims[2] / 2 + 1)
+    }
+
+    /// Number of complex coefficients along the fastest axis, `n2/2 + 1`.
+    pub fn nc(&self) -> usize {
+        self.dims[2] / 2 + 1
+    }
+
+    /// Forward r2c transform (unnormalized, `e^{-2 pi i}`).
+    ///
+    /// `spectrum[(k0*n1 + k1)*nc + k2] = Σ_j real[j] e^{-2 pi i (j·k)/(n)}`
+    /// for `k2 in 0..=n2/2`; the missing `k2` follow from the Hermitian
+    /// symmetry of a real signal.
+    pub fn forward(&self, real: &[f64], spectrum: &mut [Complex64]) {
+        let [n0, n1, n2] = self.dims;
+        let nc = self.nc();
+        assert_eq!(real.len(), n0 * n1 * n2, "real length mismatch");
+        assert_eq!(spectrum.len(), n0 * n1 * nc, "spectrum length mismatch");
+
+        // Pass 1: r2c along n2, plane-parallel over i0 (and rows within).
+        spectrum
+            .par_chunks_mut(n1 * nc)
+            .zip(real.par_chunks(n1 * n2))
+            .for_each(|(spec_plane, real_plane)| {
+                let mut scratch = vec![Complex64::ZERO; self.rplan.scratch_len()];
+                for i1 in 0..n1 {
+                    self.rplan.forward(
+                        &real_plane[i1 * n2..(i1 + 1) * n2],
+                        &mut spec_plane[i1 * nc..(i1 + 1) * nc],
+                        &mut scratch,
+                    );
+                }
+            });
+
+        // Pass 2: complex FFT along n1 (stride nc within each i0-plane).
+        self.pass_axis1(spectrum, false);
+        // Pass 3: complex FFT along n0 (stride n1*nc).
+        self.pass_axis0(spectrum, false);
+    }
+
+    /// Inverse c2r transform (unnormalized, `e^{+2 pi i}`):
+    /// `inverse(forward(x)) = n0*n1*n2 * x`. Destroys `spectrum`.
+    pub fn inverse(&self, spectrum: &mut [Complex64], real: &mut [f64]) {
+        let [n0, n1, n2] = self.dims;
+        let nc = self.nc();
+        assert_eq!(real.len(), n0 * n1 * n2, "real length mismatch");
+        assert_eq!(spectrum.len(), n0 * n1 * nc, "spectrum length mismatch");
+
+        self.pass_axis0(spectrum, true);
+        self.pass_axis1(spectrum, true);
+
+        real.par_chunks_mut(n1 * n2)
+            .zip(spectrum.par_chunks(n1 * nc))
+            .for_each(|(real_plane, spec_plane)| {
+                let mut scratch = vec![Complex64::ZERO; self.rplan.scratch_len()];
+                for i1 in 0..n1 {
+                    self.rplan.inverse(
+                        &spec_plane[i1 * nc..(i1 + 1) * nc],
+                        &mut real_plane[i1 * n2..(i1 + 1) * n2],
+                        &mut scratch,
+                    );
+                }
+            });
+    }
+
+    /// Complex transform along axis 1. Lines have stride `nc` inside each
+    /// `i0`-plane; planes are disjoint, so we parallelize across them.
+    fn pass_axis1(&self, spectrum: &mut [Complex64], inverse: bool) {
+        let [_, n1, _] = self.dims;
+        let nc = self.nc();
+        if n1 == 1 {
+            return;
+        }
+        spectrum.par_chunks_mut(n1 * nc).for_each(|plane| {
+            let mut line = vec![Complex64::ZERO; n1];
+            let mut scratch = vec![Complex64::ZERO; self.plan1.scratch_len()];
+            for k2 in 0..nc {
+                for i1 in 0..n1 {
+                    line[i1] = plane[i1 * nc + k2];
+                }
+                if inverse {
+                    self.plan1.inverse(&mut line, &mut scratch);
+                } else {
+                    self.plan1.forward(&mut line, &mut scratch);
+                }
+                for i1 in 0..n1 {
+                    plane[i1 * nc + k2] = line[i1];
+                }
+            }
+        });
+    }
+
+    /// Complex transform along axis 0. Lines have stride `n1*nc`; we walk
+    /// `i1`-slabs sequentially (their elements interleave in memory) and
+    /// parallelize the `nc` lines inside each gathered slab.
+    fn pass_axis0(&self, spectrum: &mut [Complex64], inverse: bool) {
+        let [n0, n1, _] = self.dims;
+        let nc = self.nc();
+        if n0 == 1 {
+            return;
+        }
+        let plane_stride = n1 * nc;
+        let mut slab = vec![Complex64::ZERO; n0 * nc]; // [k2][i0]
+        for i1 in 0..n1 {
+            // Gather: slab[k2*n0 + i0] = spectrum[(i0*n1 + i1)*nc + k2]
+            for i0 in 0..n0 {
+                let base = i0 * plane_stride + i1 * nc;
+                for k2 in 0..nc {
+                    slab[k2 * n0 + i0] = spectrum[base + k2];
+                }
+            }
+            slab.par_chunks_mut(n0).for_each(|line| {
+                let mut scratch = vec![Complex64::ZERO; self.plan0.scratch_len()];
+                if inverse {
+                    self.plan0.inverse(line, &mut scratch);
+                } else {
+                    self.plan0.forward(line, &mut scratch);
+                }
+            });
+            for i0 in 0..n0 {
+                let base = i0 * plane_stride + i1 * nc;
+                for k2 in 0..nc {
+                    spectrum[base + k2] = slab[k2 * n0 + i0];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft3_forward_real;
+
+    fn random_real(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn forward_matches_naive_3d_dft() {
+        for dims in [[4usize, 6, 8], [3, 5, 4], [2, 2, 2], [1, 4, 6], [5, 1, 10], [8, 8, 8]] {
+            let [n0, n1, n2] = dims;
+            let fft = Fft3::new(dims).unwrap();
+            let x = random_real(n0 * n1 * n2, (n0 * 100 + n1 * 10 + n2) as u64);
+            let mut spec = vec![Complex64::ZERO; fft.spectrum_len()];
+            fft.forward(&x, &mut spec);
+            let want = dft3_forward_real(&x, dims);
+            let nc = n2 / 2 + 1;
+            for k0 in 0..n0 {
+                for k1 in 0..n1 {
+                    for k2 in 0..nc {
+                        let got = spec[(k0 * n1 + k1) * nc + k2];
+                        let w = want[(k0 * n1 + k1) * n2 + k2];
+                        assert!(
+                            (got - w).abs() < 1e-10,
+                            "dims {dims:?} k=({k0},{k1},{k2}): {got:?} vs {w:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_scales_by_total_size() {
+        for dims in [[4usize, 4, 4], [6, 5, 8], [2, 3, 10], [16, 16, 16], [10, 10, 10]] {
+            let [n0, n1, n2] = dims;
+            let total = (n0 * n1 * n2) as f64;
+            let fft = Fft3::new(dims).unwrap();
+            let x = random_real(n0 * n1 * n2, 42);
+            let mut spec = vec![Complex64::ZERO; fft.spectrum_len()];
+            fft.forward(&x, &mut spec);
+            let mut y = vec![0.0; x.len()];
+            fft.inverse(&mut spec, &mut y);
+            for (a, b) in x.iter().zip(&y) {
+                assert!((b / total - a).abs() < 1e-11, "dims {dims:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn delta_input_gives_flat_spectrum() {
+        let dims = [4usize, 4, 4];
+        let fft = Fft3::new(dims).unwrap();
+        let mut x = vec![0.0; 64];
+        x[0] = 1.0;
+        let mut spec = vec![Complex64::ZERO; fft.spectrum_len()];
+        fft.forward(&x, &mut spec);
+        for v in &spec {
+            assert!((*v - Complex64::ONE).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn constant_input_concentrates_at_dc() {
+        let dims = [4usize, 6, 8];
+        let fft = Fft3::new(dims).unwrap();
+        let x = vec![2.0; 4 * 6 * 8];
+        let mut spec = vec![Complex64::ZERO; fft.spectrum_len()];
+        fft.forward(&x, &mut spec);
+        assert!((spec[0].re - 2.0 * 192.0).abs() < 1e-10);
+        assert!(spec[0].im.abs() < 1e-10);
+        for v in &spec[1..] {
+            assert!(v.abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rejects_odd_fastest_dim() {
+        assert!(Fft3::new([4, 4, 5]).is_err());
+        assert!(Fft3::new([5, 5, 4]).is_ok());
+    }
+
+    #[test]
+    fn parseval_3d() {
+        // For a real signal: sum x^2 = (1/N) [ |X|^2 over full spectrum ].
+        // Reconstruct the full-spectrum energy from the half spectrum.
+        let dims = [6usize, 4, 8];
+        let [n0, n1, n2] = dims;
+        let nc = n2 / 2 + 1;
+        let fft = Fft3::new(dims).unwrap();
+        let x = random_real(n0 * n1 * n2, 7);
+        let mut spec = vec![Complex64::ZERO; fft.spectrum_len()];
+        fft.forward(&x, &mut spec);
+        let mut freq_energy = 0.0;
+        for k0 in 0..n0 {
+            for k1 in 0..n1 {
+                for k2 in 0..nc {
+                    let e = spec[(k0 * n1 + k1) * nc + k2].norm2();
+                    // Interior k2 represent two conjugate coefficients.
+                    let w = if k2 == 0 || k2 == n2 / 2 { 1.0 } else { 2.0 };
+                    freq_energy += w * e;
+                }
+            }
+        }
+        freq_energy /= (n0 * n1 * n2) as f64;
+        let time_energy: f64 = x.iter().map(|v| v * v).sum();
+        assert!((time_energy - freq_energy).abs() < 1e-10 * time_energy);
+    }
+}

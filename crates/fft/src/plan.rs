@@ -1,0 +1,543 @@
+//! 1D complex FFT: mixed-radix Cooley–Tukey with a Bluestein fallback.
+//!
+//! Lengths whose prime factors are at most [`MAX_RADIX`] run through the
+//! mixed-radix path (the PME tuner only ever chooses such "smooth" mesh
+//! dimensions; the paper's Table III uses K in {32, 64, 128, 256, 400}, all
+//! 5-smooth). Radices 2, 3, 4 and 5 have hand-written butterflies; other
+//! small primes use a direct `O(r^2)` kernel. Any other length — including
+//! large primes — is handled by Bluestein's chirp-z algorithm on a
+//! power-of-two inner transform, so every size is supported.
+//!
+//! The plan precomputes one twiddle table per recursion level, so applying
+//! the plan performs no trigonometry. Plans are immutable after construction
+//! and can be shared across threads (`&self` apply with caller-provided
+//! scratch), which is how [`crate::Fft3`] runs many lines in parallel.
+
+use crate::complex::Complex64;
+use std::f64::consts::TAU;
+
+/// Largest supported prime factor of the transform length.
+pub const MAX_RADIX: usize = 16;
+
+/// Errors from plan construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FftError {
+    /// Length zero is not a valid transform size.
+    ZeroLength,
+    /// The length has a prime factor larger than [`MAX_RADIX`] (no longer
+    /// returned by [`FftPlan::new`], which falls back to Bluestein; kept for
+    /// [`FftPlan::new_mixed_radix`] callers that want smooth sizes only).
+    RoughLength { n: usize, prime: usize },
+    /// Real transforms additionally require an even length.
+    OddRealLength { n: usize },
+}
+
+impl std::fmt::Display for FftError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FftError::ZeroLength => write!(f, "FFT length must be positive"),
+            FftError::RoughLength { n, prime } => {
+                write!(f, "FFT length {n} has unsupported prime factor {prime} (> {MAX_RADIX})")
+            }
+            FftError::OddRealLength { n } => {
+                write!(f, "real FFT length {n} must be even")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FftError {}
+
+/// Transform direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Direction {
+    Forward,
+    Inverse,
+}
+
+/// A reusable plan for complex FFTs of a fixed length.
+#[derive(Debug)]
+pub struct FftPlan {
+    n: usize,
+    /// Radix used at each recursion level, outermost first.
+    factors: Vec<usize>,
+    /// Sub-transform length at each level: `sizes[l] = prod(factors[l..])`.
+    sizes: Vec<usize>,
+    /// Forward twiddles per level: `tw[l][q*m + k] = e^{-2 pi i qk / sizes[l]}`
+    /// for `q in 0..factors[l]`, `k in 0..m`, `m = sizes[l] / factors[l]`.
+    twiddles: Vec<Vec<Complex64>>,
+    /// Bluestein fallback state for rough lengths.
+    bluestein: Option<Box<Bluestein>>,
+}
+
+/// Bluestein chirp-z state: an `n`-point DFT as a circular convolution of
+/// length `m` (power of two, `>= 2n - 1`).
+#[derive(Debug)]
+struct Bluestein {
+    m: usize,
+    inner: FftPlan,
+    /// Forward chirp `c_j = e^{-pi i j^2 / n}`, `j in 0..n`.
+    chirp: Vec<Complex64>,
+    /// Inner-FFT image of the circular chirp kernel `b_j = conj(c_{|j|})`.
+    bhat: Vec<Complex64>,
+}
+
+impl Bluestein {
+    fn new(n: usize) -> Bluestein {
+        let m = (2 * n - 1).next_power_of_two();
+        let inner = FftPlan::new(m).expect("powers of two are always smooth");
+        // Angle pi j^2 / n is periodic in j with period 2n.
+        let chirp: Vec<Complex64> = (0..n)
+            .map(|j| {
+                let e = (j * j) % (2 * n);
+                Complex64::cis(-std::f64::consts::PI * e as f64 / n as f64)
+            })
+            .collect();
+        let mut b = vec![Complex64::ZERO; m];
+        for j in 0..n {
+            let v = chirp[j].conj();
+            b[j] = v;
+            if j > 0 {
+                b[m - j] = v;
+            }
+        }
+        let mut scratch = vec![Complex64::ZERO; m];
+        inner.forward(&mut b, &mut scratch);
+        Bluestein { m, inner, chirp, bhat: b }
+    }
+
+    /// Forward n-point DFT of `data` (in place) via chirp convolution.
+    fn forward(&self, data: &mut [Complex64], scratch: &mut [Complex64]) {
+        let n = data.len();
+        let m = self.m;
+        let (a, rest) = scratch.split_at_mut(m);
+        let inner_scratch = &mut rest[..m];
+        // a_j = x_j c_j, zero-padded to m.
+        for j in 0..n {
+            a[j] = data[j] * self.chirp[j];
+        }
+        for v in a[n..].iter_mut() {
+            *v = Complex64::ZERO;
+        }
+        self.inner.forward(a, inner_scratch);
+        for (av, bv) in a.iter_mut().zip(&self.bhat) {
+            *av *= *bv;
+        }
+        self.inner.inverse(a, inner_scratch);
+        let inv_m = 1.0 / m as f64;
+        for k in 0..n {
+            data[k] = a[k].scale(inv_m) * self.chirp[k];
+        }
+    }
+}
+
+/// Factor `n` into radices (4s first, then 2, 3, 5, then other primes).
+fn factorize(mut n: usize) -> Result<Vec<usize>, FftError> {
+    let mut f = Vec::new();
+    while n.is_multiple_of(4) {
+        f.push(4);
+        n /= 4;
+    }
+    for p in [2usize, 3, 5] {
+        while n.is_multiple_of(p) {
+            f.push(p);
+            n /= p;
+        }
+    }
+    let mut p = 7;
+    while n > 1 {
+        while n.is_multiple_of(p) {
+            if p > MAX_RADIX {
+                return Err(FftError::RoughLength { n, prime: p });
+            }
+            f.push(p);
+            n /= p;
+        }
+        p += 2;
+        if p * p > n && n > 1 {
+            if n > MAX_RADIX {
+                return Err(FftError::RoughLength { n, prime: n });
+            }
+            f.push(n);
+            n = 1;
+        }
+    }
+    Ok(f)
+}
+
+impl FftPlan {
+    /// Build a plan for length-`n` transforms: mixed radix for smooth `n`,
+    /// Bluestein otherwise.
+    pub fn new(n: usize) -> Result<FftPlan, FftError> {
+        match FftPlan::new_mixed_radix(n) {
+            Err(FftError::RoughLength { .. }) => Ok(FftPlan {
+                n,
+                factors: Vec::new(),
+                sizes: Vec::new(),
+                twiddles: Vec::new(),
+                bluestein: Some(Box::new(Bluestein::new(n))),
+            }),
+            other => other,
+        }
+    }
+
+    /// Build a mixed-radix plan; errors with [`FftError::RoughLength`] when
+    /// `n` has a prime factor above [`MAX_RADIX`] (useful to *detect* smooth
+    /// sizes, as the PME tuner does).
+    pub fn new_mixed_radix(n: usize) -> Result<FftPlan, FftError> {
+        if n == 0 {
+            return Err(FftError::ZeroLength);
+        }
+        let factors = factorize(n)?;
+        let mut sizes = Vec::with_capacity(factors.len());
+        let mut twiddles = Vec::with_capacity(factors.len());
+        let mut cur = n;
+        for &r in &factors {
+            sizes.push(cur);
+            let m = cur / r;
+            let mut tw = Vec::with_capacity(r * m);
+            for q in 0..r {
+                for k in 0..m {
+                    tw.push(Complex64::cis(-TAU * ((q * k) % cur) as f64 / cur as f64));
+                }
+            }
+            twiddles.push(tw);
+            cur = m;
+        }
+        Ok(FftPlan { n, factors, sizes, twiddles, bluestein: None })
+    }
+
+    /// Whether this plan uses the Bluestein fallback.
+    pub fn is_bluestein(&self) -> bool {
+        self.bluestein.is_some()
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Scratch length required by [`forward`](Self::forward) /
+    /// [`inverse`](Self::inverse).
+    pub fn scratch_len(&self) -> usize {
+        match &self.bluestein {
+            Some(b) => 2 * b.m,
+            None => self.n,
+        }
+    }
+
+    /// In-place forward transform (`e^{-2 pi i}`, unnormalized).
+    ///
+    /// `scratch` must have at least [`scratch_len`](Self::scratch_len)
+    /// elements; its contents are clobbered.
+    pub fn forward(&self, data: &mut [Complex64], scratch: &mut [Complex64]) {
+        self.process(data, scratch, Direction::Forward);
+    }
+
+    /// In-place inverse transform (`e^{+2 pi i}`, **unnormalized**: the
+    /// composition `inverse(forward(x))` yields `n * x`).
+    pub fn inverse(&self, data: &mut [Complex64], scratch: &mut [Complex64]) {
+        self.process(data, scratch, Direction::Inverse);
+    }
+
+    fn process(&self, data: &mut [Complex64], scratch: &mut [Complex64], dir: Direction) {
+        assert_eq!(data.len(), self.n, "data length mismatch");
+        assert!(scratch.len() >= self.scratch_len(), "scratch too small");
+        if self.n == 1 {
+            return;
+        }
+        if let Some(b) = &self.bluestein {
+            // IDFT(x) = conj(DFT(conj(x))) turns the forward chirp transform
+            // into the (unnormalized) inverse.
+            if dir == Direction::Inverse {
+                for v in data.iter_mut() {
+                    *v = v.conj();
+                }
+            }
+            b.forward(data, scratch);
+            if dir == Direction::Inverse {
+                for v in data.iter_mut() {
+                    *v = v.conj();
+                }
+            }
+            return;
+        }
+        scratch[..self.n].copy_from_slice(data);
+        self.recurse(0, &scratch[..self.n], 1, data, dir);
+    }
+
+    /// Out-of-place DIT recursion: transform the `sizes[level]`-point
+    /// sequence `src[0], src[stride], src[2*stride], ...` into contiguous
+    /// `dst[0..sizes[level]]`.
+    fn recurse(
+        &self,
+        level: usize,
+        src: &[Complex64],
+        stride: usize,
+        dst: &mut [Complex64],
+        dir: Direction,
+    ) {
+        let nl = self.sizes[level];
+        let r = self.factors[level];
+        let m = nl / r;
+
+        if m == 1 {
+            // Leaf: gather the r strided inputs and do a single butterfly.
+            let mut t = [Complex64::ZERO; MAX_RADIX];
+            for (q, tq) in t[..r].iter_mut().enumerate() {
+                *tq = src[q * stride];
+            }
+            butterfly(&mut t[..r], &mut dst[..r], dir);
+            return;
+        }
+
+        // Sub-transforms of the r interleaved subsequences.
+        for q in 0..r {
+            self.recurse(level + 1, &src[q * stride..], stride * r, &mut dst[q * m..(q + 1) * m], dir);
+        }
+
+        // Combine: X[k + m*s] = Σ_q w^{qk} ω_r^{qs} Y_q[k].
+        let tw = &self.twiddles[level];
+        let mut t = [Complex64::ZERO; MAX_RADIX];
+        let mut out = [Complex64::ZERO; MAX_RADIX];
+        for k in 0..m {
+            for q in 0..r {
+                let mut w = tw[q * m + k];
+                if dir == Direction::Inverse {
+                    w = w.conj();
+                }
+                t[q] = dst[q * m + k] * w;
+            }
+            butterfly_into(&t[..r], &mut out[..r], dir);
+            for s in 0..r {
+                dst[s * m + k] = out[s];
+            }
+        }
+    }
+}
+
+/// In-place small DFT used at recursion leaves.
+fn butterfly(t: &mut [Complex64], out: &mut [Complex64], dir: Direction) {
+    let mut tmp = [Complex64::ZERO; MAX_RADIX];
+    tmp[..t.len()].copy_from_slice(t);
+    butterfly_into(&tmp[..t.len()], out, dir);
+}
+
+/// `out[s] = Σ_q t[q] e^{∓2 pi i qs/r}` for `r = t.len()` (hand-written for
+/// r = 1..5, direct O(r^2) otherwise).
+fn butterfly_into(t: &[Complex64], out: &mut [Complex64], dir: Direction) {
+    let inv = dir == Direction::Inverse;
+    match t.len() {
+        1 => out[0] = t[0],
+        2 => {
+            out[0] = t[0] + t[1];
+            out[1] = t[0] - t[1];
+        }
+        3 => {
+            // w = e^{∓2 pi i/3} = -1/2 ∓ i sqrt(3)/2
+            const HALF_SQRT3: f64 = 0.866_025_403_784_438_6;
+            let s = t[1] + t[2];
+            let d = t[1] - t[2];
+            let m1 = t[0] - s.scale(0.5);
+            let m2 = if inv { d.mul_i().scale(HALF_SQRT3) } else { d.mul_neg_i().scale(HALF_SQRT3) };
+            out[0] = t[0] + s;
+            out[1] = m1 + m2;
+            out[2] = m1 - m2;
+        }
+        4 => {
+            let a = t[0] + t[2];
+            let b = t[0] - t[2];
+            let c = t[1] + t[3];
+            let d = t[1] - t[3];
+            let id = if inv { d.mul_i() } else { d.mul_neg_i() };
+            out[0] = a + c;
+            out[1] = b + id;
+            out[2] = a - c;
+            out[3] = b - id;
+        }
+        5 => {
+            // cos/sin of 2 pi/5 and 4 pi/5.
+            const C1: f64 = 0.309_016_994_374_947_45;
+            const S1: f64 = 0.951_056_516_295_153_5;
+            const C2: f64 = -0.809_016_994_374_947_5;
+            const S2: f64 = 0.587_785_252_292_473_1;
+            let a = t[1] + t[4];
+            let b = t[1] - t[4];
+            let c = t[2] + t[3];
+            let d = t[2] - t[3];
+            let sgn = if inv { 1.0 } else { -1.0 };
+            let re1 = t[0] + a.scale(C1) + c.scale(C2);
+            let im1 = (b.scale(S1) + d.scale(S2)).mul_i().scale(sgn);
+            let re2 = t[0] + a.scale(C2) + c.scale(C1);
+            let im2 = (b.scale(S2) - d.scale(S1)).mul_i().scale(sgn);
+            out[0] = t[0] + a + c;
+            out[1] = re1 + im1;
+            out[2] = re2 + im2;
+            out[3] = re2 - im2;
+            out[4] = re1 - im1;
+        }
+        r => {
+            // Direct O(r^2) DFT for other small primes (r <= MAX_RADIX).
+            let sign = if inv { TAU } else { -TAU };
+            for (s, o) in out.iter_mut().enumerate() {
+                let mut acc = Complex64::ZERO;
+                for (q, &v) in t.iter().enumerate() {
+                    acc += v * Complex64::cis(sign * ((q * s) % r) as f64 / r as f64);
+                }
+                *o = acc;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::{dft_forward, dft_inverse};
+
+    fn random_signal(n: usize, seed: u64) -> Vec<Complex64> {
+        // Small deterministic LCG; avoids a rand dependency here.
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut next = move || {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        (0..n).map(|_| Complex64::new(next(), next())).collect()
+    }
+
+    fn max_err(a: &[Complex64], b: &[Complex64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+    }
+
+    const SIZES: &[usize] = &[
+        1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 15, 16, 20, 24, 25, 27, 30, 32, 36, 40, 45,
+        48, 60, 64, 100, 121, 125, 128, 144, 169, 200, 243, 256, 400,
+        // Rough sizes exercising the Bluestein fallback.
+        17, 19, 23, 34, 97, 101, 257,
+    ];
+
+    #[test]
+    fn forward_matches_naive_dft() {
+        for &n in SIZES {
+            let plan = FftPlan::new(n).unwrap();
+            let x = random_signal(n, n as u64);
+            let want = dft_forward(&x);
+            let mut got = x.clone();
+            let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
+            plan.forward(&mut got, &mut scratch);
+            let scale = (n as f64).sqrt();
+            assert!(
+                max_err(&got, &want) < 1e-11 * scale,
+                "n={n}: err {}",
+                max_err(&got, &want)
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_matches_naive_dft() {
+        for &n in SIZES {
+            let plan = FftPlan::new(n).unwrap();
+            let x = random_signal(n, 1000 + n as u64);
+            let want = dft_inverse(&x);
+            let mut got = x.clone();
+            let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
+            plan.inverse(&mut got, &mut scratch);
+            assert!(max_err(&got, &want) < 1e-11 * (n as f64).sqrt(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_scales_by_n() {
+        for &n in SIZES {
+            let plan = FftPlan::new(n).unwrap();
+            let x = random_signal(n, 7 * n as u64 + 3);
+            let mut y = x.clone();
+            let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
+            plan.forward(&mut y, &mut scratch);
+            plan.inverse(&mut y, &mut scratch);
+            let recovered: Vec<Complex64> = y.iter().map(|v| v.scale(1.0 / n as f64)).collect();
+            assert!(max_err(&recovered, &x) < 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    fn parseval_identity() {
+        for &n in &[16usize, 30, 100, 400] {
+            let plan = FftPlan::new(n).unwrap();
+            let x = random_signal(n, 555 + n as u64);
+            let time_energy: f64 = x.iter().map(|v| v.norm2()).sum();
+            let mut y = x.clone();
+            let mut scratch = vec![Complex64::ZERO; n];
+            plan.forward(&mut y, &mut scratch);
+            let freq_energy: f64 = y.iter().map(|v| v.norm2()).sum::<f64>() / n as f64;
+            assert!(
+                (time_energy - freq_energy).abs() < 1e-10 * time_energy,
+                "n={n}: {time_energy} vs {freq_energy}"
+            );
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 48;
+        let plan = FftPlan::new(n).unwrap();
+        let x = random_signal(n, 1);
+        let y = random_signal(n, 2);
+        let mut scratch = vec![Complex64::ZERO; n];
+        let alpha = Complex64::new(0.7, -0.3);
+
+        let mut fx = x.clone();
+        plan.forward(&mut fx, &mut scratch);
+        let mut fy = y.clone();
+        plan.forward(&mut fy, &mut scratch);
+        let combined_spectra: Vec<Complex64> =
+            fx.iter().zip(&fy).map(|(a, b)| alpha * *a + *b).collect();
+
+        let mut z: Vec<Complex64> = x.iter().zip(&y).map(|(a, b)| alpha * *a + *b).collect();
+        plan.forward(&mut z, &mut scratch);
+        assert!(max_err(&z, &combined_spectra) < 1e-12);
+    }
+
+    #[test]
+    fn plan_selection_and_errors() {
+        assert_eq!(FftPlan::new(0).unwrap_err(), FftError::ZeroLength);
+        // Rough lengths now succeed via Bluestein...
+        assert!(FftPlan::new(17).unwrap().is_bluestein());
+        assert!(FftPlan::new(2 * 19).unwrap().is_bluestein());
+        // ...while the mixed-radix constructor still reports them.
+        assert!(matches!(
+            FftPlan::new_mixed_radix(17).unwrap_err(),
+            FftError::RoughLength { .. }
+        ));
+        // Smooth sizes stay on the mixed-radix path.
+        assert!(!FftPlan::new(13).unwrap().is_bluestein());
+        assert!(!FftPlan::new(400).unwrap().is_bluestein());
+    }
+
+    #[test]
+    fn factorization_products() {
+        for &n in SIZES {
+            match factorize(n) {
+                Ok(f) => assert_eq!(f.iter().product::<usize>(), n.max(1), "n={n}"),
+                Err(FftError::RoughLength { prime, .. }) => {
+                    assert!(prime > MAX_RADIX, "n={n} flagged prime {prime}")
+                }
+                Err(e) => panic!("n={n}: unexpected error {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn length_one_is_identity() {
+        let plan = FftPlan::new(1).unwrap();
+        let mut x = vec![Complex64::new(2.5, -1.5)];
+        let mut s = vec![Complex64::ZERO; 1];
+        plan.forward(&mut x, &mut s);
+        assert_eq!(x[0], Complex64::new(2.5, -1.5));
+    }
+}

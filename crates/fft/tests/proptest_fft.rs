@@ -1,0 +1,88 @@
+//! Property-based tests of the FFT substrate.
+
+use hibd_fft::dft::{dft_forward, dft_inverse};
+use hibd_fft::{Complex64, FftPlan, RealFftPlan};
+use proptest::prelude::*;
+
+/// Supported smooth sizes used in practice.
+fn smooth_sizes() -> impl Strategy<Value = usize> {
+    prop::sample::select(vec![2usize, 3, 4, 6, 8, 10, 12, 16, 20, 24, 30, 32, 40, 48, 60, 64])
+}
+
+fn signal(n: usize) -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn roundtrip_recovers_input((n, raw) in smooth_sizes().prop_flat_map(|n| (Just(n), signal(n)))) {
+        let plan = FftPlan::new(n).unwrap();
+        let x: Vec<Complex64> = raw.iter().map(|&(r, i)| Complex64::new(r, i)).collect();
+        let mut y = x.clone();
+        let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
+        plan.forward(&mut y, &mut scratch);
+        plan.inverse(&mut y, &mut scratch);
+        for (a, b) in x.iter().zip(&y) {
+            prop_assert!((b.scale(1.0 / n as f64) - *a).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft((n, raw) in smooth_sizes().prop_flat_map(|n| (Just(n), signal(n)))) {
+        let plan = FftPlan::new(n).unwrap();
+        let x: Vec<Complex64> = raw.iter().map(|&(r, i)| Complex64::new(r, i)).collect();
+        let want = dft_forward(&x);
+        let mut got = x.clone();
+        let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
+        plan.forward(&mut got, &mut scratch);
+        for (a, b) in got.iter().zip(&want) {
+            prop_assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conservation((n, raw) in smooth_sizes().prop_flat_map(|n| (Just(n), signal(n)))) {
+        let plan = FftPlan::new(n).unwrap();
+        let x: Vec<Complex64> = raw.iter().map(|&(r, i)| Complex64::new(r, i)).collect();
+        let e_time: f64 = x.iter().map(|v| v.norm2()).sum();
+        let mut y = x;
+        let mut scratch = vec![Complex64::ZERO; n];
+        plan.forward(&mut y, &mut scratch);
+        let e_freq: f64 = y.iter().map(|v| v.norm2()).sum::<f64>() / n as f64;
+        prop_assert!((e_time - e_freq).abs() <= 1e-10 * e_time.max(1.0));
+    }
+
+    #[test]
+    fn inverse_matches_naive_inverse((n, raw) in smooth_sizes().prop_flat_map(|n| (Just(n), signal(n)))) {
+        let plan = FftPlan::new(n).unwrap();
+        let x: Vec<Complex64> = raw.iter().map(|&(r, i)| Complex64::new(r, i)).collect();
+        let want = dft_inverse(&x);
+        let mut got = x;
+        let mut scratch = vec![Complex64::ZERO; n];
+        plan.inverse(&mut got, &mut scratch);
+        for (a, b) in got.iter().zip(&want) {
+            prop_assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn real_transform_agrees_with_complex_transform(
+        (n, raw) in prop::sample::select(vec![2usize, 4, 6, 8, 12, 16, 20, 32, 48, 64])
+            .prop_flat_map(|n| (Just(n), prop::collection::vec(-1.0f64..1.0, n)))
+    ) {
+        let rplan = RealFftPlan::new(n).unwrap();
+        let cplan = FftPlan::new(n).unwrap();
+        let mut cx: Vec<Complex64> = raw.iter().map(|&r| Complex64::from(r)).collect();
+        let mut scratch = vec![Complex64::ZERO; n];
+        cplan.forward(&mut cx, &mut scratch);
+
+        let mut half = vec![Complex64::ZERO; rplan.spectrum_len()];
+        let mut rscratch = vec![Complex64::ZERO; rplan.scratch_len()];
+        rplan.forward(&raw, &mut half, &mut rscratch);
+        for k in 0..=n / 2 {
+            prop_assert!((half[k] - cx[k]).abs() < 1e-10, "k={}", k);
+        }
+    }
+}

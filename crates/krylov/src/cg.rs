@@ -1,0 +1,172 @@
+//! Conjugate gradients for SPD operator systems `M x = b`.
+//!
+//! The *resistance problem* — given particle velocities, find the forces —
+//! inverts the mobility: `f = M^{-1} u`. With the matrix-free PME operator
+//! the natural solver is CG, which (like the displacement computation)
+//! needs only operator applications. Used by constrained BD schemes and by
+//! tests as an independent check that the PME operator is well-conditioned
+//! SPD.
+
+use crate::{KrylovError, KrylovStats};
+use hibd_linalg::LinearOperator;
+
+/// Options for [`conjugate_gradient`].
+#[derive(Clone, Copy, Debug)]
+pub struct CgConfig {
+    /// Relative residual tolerance `|r| / |b|`.
+    pub tol: f64,
+    pub max_iter: usize,
+}
+
+impl Default for CgConfig {
+    fn default() -> Self {
+        CgConfig { tol: 1e-8, max_iter: 500 }
+    }
+}
+
+/// Solve `M x = b` for SPD `M`. Returns the solution and stats (the
+/// `rel_change` field reports the final relative residual).
+pub fn conjugate_gradient(
+    op: &mut dyn LinearOperator,
+    b: &[f64],
+    cfg: &CgConfig,
+) -> Result<(Vec<f64>, KrylovStats), KrylovError> {
+    let n = op.dim();
+    if b.len() != n {
+        return Err(KrylovError::BadShape(format!("b has {} entries, dim {n}", b.len())));
+    }
+    let bnorm = norm(b);
+    if bnorm == 0.0 {
+        return Ok((vec![0.0; n], KrylovStats { iterations: 0, converged: true, rel_change: 0.0 }));
+    }
+
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut p = r.clone();
+    let mut ap = vec![0.0; n];
+    let mut rr = dot(&r, &r);
+
+    for it in 0..cfg.max_iter {
+        op.apply(&p, &mut ap);
+        let pap = dot(&p, &ap);
+        if pap <= 0.0 {
+            return Err(KrylovError::NotPositiveSemidefinite { eigenvalue: pap / dot(&p, &p) });
+        }
+        let alpha = rr / pap;
+        for ((xi, pi), (ri, api)) in
+            x.iter_mut().zip(&p).zip(r.iter_mut().zip(&ap))
+        {
+            *xi += alpha * pi;
+            *ri -= alpha * api;
+        }
+        let rr_new = dot(&r, &r);
+        let rel = rr_new.sqrt() / bnorm;
+        if rel < cfg.tol {
+            return Ok((
+                x,
+                KrylovStats { iterations: it + 1, converged: true, rel_change: rel },
+            ));
+        }
+        let beta = rr_new / rr;
+        for (pi, ri) in p.iter_mut().zip(&r) {
+            *pi = ri + beta * *pi;
+        }
+        rr = rr_new;
+    }
+    let rel = rr.sqrt() / bnorm;
+    Ok((x, KrylovStats { iterations: cfg.max_iter, converged: false, rel_change: rel }))
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hibd_linalg::{DenseOp, DMat};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn spd(n: usize, seed: u64) -> DMat {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b = DMat::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+        let mut a = b.matmul(&b.transpose());
+        for i in 0..n {
+            a[(i, i)] += n as f64 * 0.5;
+        }
+        a
+    }
+
+    #[test]
+    fn solves_spd_system_to_tolerance() {
+        let n = 50;
+        let a = spd(n, 1);
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).sin()).collect();
+        let mut b = vec![0.0; n];
+        a.mul_vec(&x_true, &mut b);
+        let (x, stats) =
+            conjugate_gradient(&mut DenseOp::new(a), &b, &CgConfig::default()).unwrap();
+        assert!(stats.converged, "iters {}", stats.iterations);
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn converges_in_at_most_n_iterations() {
+        let n = 20;
+        let a = spd(n, 3);
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 + 1.0).recip()).collect();
+        let (_, stats) =
+            conjugate_gradient(&mut DenseOp::new(a), &b, &CgConfig::default()).unwrap();
+        assert!(stats.converged);
+        assert!(stats.iterations <= n + 2, "{}", stats.iterations);
+    }
+
+    #[test]
+    fn zero_rhs_is_trivial() {
+        let a = spd(8, 5);
+        let (x, stats) =
+            conjugate_gradient(&mut DenseOp::new(a), &[0.0; 8], &CgConfig::default()).unwrap();
+        assert_eq!(x, vec![0.0; 8]);
+        assert_eq!(stats.iterations, 0);
+    }
+
+    #[test]
+    fn detects_indefinite_operator() {
+        let mut a = DMat::identity(4);
+        a[(1, 1)] = -2.0;
+        let b = [1.0, 1.0, 1.0, 1.0];
+        let err = conjugate_gradient(&mut DenseOp::new(a), &b, &CgConfig::default());
+        assert!(matches!(err, Err(KrylovError::NotPositiveSemidefinite { .. })));
+    }
+
+    #[test]
+    fn unconverged_reports_honestly() {
+        let a = spd(30, 9);
+        let b: Vec<f64> = (0..30).map(|i| (i as f64).cos()).collect();
+        let cfg = CgConfig { tol: 1e-14, max_iter: 2 };
+        let (_, stats) = conjugate_gradient(&mut DenseOp::new(a), &b, &cfg).unwrap();
+        assert!(!stats.converged);
+        assert!(stats.rel_change > 1e-14);
+    }
+
+    #[test]
+    fn inverse_of_sqrt_squared_is_identity_action() {
+        // CG(M, M z) == z: consistency between apply and solve.
+        let n = 25;
+        let a = spd(n, 11);
+        let z: Vec<f64> = (0..n).map(|i| ((i * 3 + 1) as f64 * 0.17).sin()).collect();
+        let mut mz = vec![0.0; n];
+        a.mul_vec(&z, &mut mz);
+        let (x, _) = conjugate_gradient(&mut DenseOp::new(a), &mz, &CgConfig::default()).unwrap();
+        for (got, want) in x.iter().zip(&z) {
+            assert!((got - want).abs() < 1e-7);
+        }
+    }
+}

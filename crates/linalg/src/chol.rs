@@ -1,0 +1,271 @@
+//! Cholesky factorization — the conventional Brownian-displacement path.
+//!
+//! Algorithm 1 of the paper computes `M = S S^T` and draws correlated
+//! displacements as `d = sqrt(2 kB T dt) S z`. This module provides the
+//! factorization, the triangular product `S z` (single and blocked), and
+//! triangular solves (used by tests to verify the factor).
+
+use crate::dmat::{dot, DMat};
+use rayon::prelude::*;
+
+/// Error for non-SPD inputs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NotPositiveDefinite {
+    /// Pivot index at which the factorization broke down.
+    pub pivot: usize,
+}
+
+impl std::fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "matrix is not positive definite (pivot {})", self.pivot)
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+/// Lower-triangular Cholesky factor `L` with `M = L L^T`.
+#[derive(Clone, Debug)]
+pub struct CholeskyFactor {
+    l: DMat,
+}
+
+impl CholeskyFactor {
+    /// Factorize a symmetric positive definite matrix (only the lower
+    /// triangle of `m` is read).
+    pub fn new(m: &DMat) -> Result<CholeskyFactor, NotPositiveDefinite> {
+        assert_eq!(m.nrows(), m.ncols(), "matrix must be square");
+        let n = m.nrows();
+        let mut l = DMat::zeros(n, n);
+        for j in 0..n {
+            // Diagonal pivot.
+            let ljj2 = m[(j, j)] - dot(&l.row(j)[..j], &l.row(j)[..j]);
+            if ljj2 <= 0.0 || !ljj2.is_finite() {
+                return Err(NotPositiveDefinite { pivot: j });
+            }
+            let ljj = ljj2.sqrt();
+            l[(j, j)] = ljj;
+            // Column update below the pivot, parallel over rows.
+            let (done, rest) = l.as_mut_slice().split_at_mut((j + 1) * n);
+            let ljrow = &done[j * n..j * n + j];
+            rest.par_chunks_mut(n).enumerate().for_each(|(off, lrow)| {
+                let i = j + 1 + off;
+                let lij = (m[(i, j)] - dot(&lrow[..j], ljrow)) / ljj;
+                lrow[j] = lij;
+            });
+        }
+        Ok(CholeskyFactor { l })
+    }
+
+    pub fn dim(&self) -> usize {
+        self.l.nrows()
+    }
+
+    /// The lower-triangular factor.
+    pub fn l(&self) -> &DMat {
+        &self.l
+    }
+
+    /// `y = L x` (the sampling transform).
+    pub fn mul_vec(&self, x: &[f64], y: &mut [f64]) {
+        let n = self.dim();
+        assert_eq!(x.len(), n);
+        assert_eq!(y.len(), n);
+        y.par_iter_mut().enumerate().for_each(|(i, yi)| {
+            *yi = dot(&self.l.row(i)[..=i], &x[..=i]);
+        });
+    }
+
+    /// `Y = L X` for `X` row-major `[n][s]` — draws `s` correlated
+    /// displacement vectors at once (Algorithm 1, line 7).
+    pub fn mul_multi(&self, x: &[f64], y: &mut [f64], s: usize) {
+        let n = self.dim();
+        assert_eq!(x.len(), n * s);
+        assert_eq!(y.len(), n * s);
+        y.par_chunks_mut(s).enumerate().for_each(|(i, yrow)| {
+            yrow.fill(0.0);
+            for (k, lik) in self.l.row(i)[..=i].iter().enumerate() {
+                if *lik != 0.0 {
+                    let xrow = &x[k * s..(k + 1) * s];
+                    for (o, xv) in yrow.iter_mut().zip(xrow) {
+                        *o += lik * xv;
+                    }
+                }
+            }
+        });
+    }
+
+    /// Solve `L z = b` (forward substitution).
+    pub fn solve_lower(&self, b: &[f64], z: &mut [f64]) {
+        let n = self.dim();
+        assert_eq!(b.len(), n);
+        assert_eq!(z.len(), n);
+        for i in 0..n {
+            let s = dot(&self.l.row(i)[..i], &z[..i]);
+            z[i] = (b[i] - s) / self.l[(i, i)];
+        }
+    }
+
+    /// Solve `M x = b` via `L L^T x = b`.
+    pub fn solve(&self, b: &[f64], x: &mut [f64]) {
+        let n = self.dim();
+        let mut z = vec![0.0; n];
+        self.solve_lower(b, &mut z);
+        // Back substitution with L^T.
+        for i in (0..n).rev() {
+            let mut s = z[i];
+            for k in i + 1..n {
+                s -= self.l[(k, i)] * x[k];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+    }
+
+    /// Reconstruct `L L^T` (tests).
+    pub fn reconstruct(&self) -> DMat {
+        let lt = self.l.transpose();
+        self.l.matmul(&lt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Random SPD matrix `A = B B^T + n I`.
+    fn random_spd(n: usize, seed: u64) -> DMat {
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut next = move || {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let b = DMat::from_fn(n, n, |_, _| next());
+        let mut a = b.matmul(&b.transpose());
+        for i in 0..n {
+            a[(i, i)] += n as f64;
+        }
+        a
+    }
+
+    #[test]
+    fn factor_reconstructs_matrix() {
+        for n in [1usize, 2, 5, 20, 50] {
+            let a = random_spd(n, n as u64);
+            let f = CholeskyFactor::new(&a).unwrap();
+            assert!(f.reconstruct().max_abs_diff(&a) < 1e-10 * n as f64, "n={n}");
+            // L is lower triangular with positive diagonal.
+            for i in 0..n {
+                assert!(f.l()[(i, i)] > 0.0);
+                for j in i + 1..n {
+                    assert_eq!(f.l()[(i, j)], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn known_3x3_factor() {
+        // Classic example: A = [[4,12,-16],[12,37,-43],[-16,-43,98]]
+        // has L = [[2,0,0],[6,1,0],[-8,5,3]].
+        let a = DMat::from_vec(
+            3,
+            3,
+            vec![4.0, 12.0, -16.0, 12.0, 37.0, -43.0, -16.0, -43.0, 98.0],
+        );
+        let f = CholeskyFactor::new(&a).unwrap();
+        let want = [2.0, 0.0, 0.0, 6.0, 1.0, 0.0, -8.0, 5.0, 3.0];
+        for (got, want) in f.l().as_slice().iter().zip(&want) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_indefinite_matrix() {
+        let a = DMat::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]); // eigenvalues 3, -1
+        let err = CholeskyFactor::new(&a).unwrap_err();
+        assert_eq!(err.pivot, 1);
+    }
+
+    #[test]
+    fn mul_vec_matches_dense_triangular_product() {
+        let a = random_spd(12, 3);
+        let f = CholeskyFactor::new(&a).unwrap();
+        let x: Vec<f64> = (0..12).map(|i| (i as f64 * 0.77).sin()).collect();
+        let mut y = vec![0.0; 12];
+        f.mul_vec(&x, &mut y);
+        let mut want = vec![0.0; 12];
+        f.l().mul_vec(&x, &mut want);
+        for (a, b) in y.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn mul_multi_matches_mul_vec() {
+        let a = random_spd(9, 8);
+        let f = CholeskyFactor::new(&a).unwrap();
+        let s = 4;
+        let x: Vec<f64> = (0..9 * s).map(|i| (i as f64 * 0.19).cos()).collect();
+        let mut y = vec![0.0; 9 * s];
+        f.mul_multi(&x, &mut y, s);
+        for col in 0..s {
+            let xc: Vec<f64> = (0..9).map(|r| x[r * s + col]).collect();
+            let mut yc = vec![0.0; 9];
+            f.mul_vec(&xc, &mut yc);
+            for r in 0..9 {
+                assert!((y[r * s + col] - yc[r]).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_inverts_the_matrix() {
+        let a = random_spd(15, 5);
+        let f = CholeskyFactor::new(&a).unwrap();
+        let x_true: Vec<f64> = (0..15).map(|i| (i as f64 * 1.3).sin()).collect();
+        let mut b = vec![0.0; 15];
+        a.mul_vec(&x_true, &mut b);
+        let mut x = vec![0.0; 15];
+        f.solve(&b, &mut x);
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sampling_covariance_is_m() {
+        // Statistical check: cov(L z) = L L^T = M for z ~ N(0, I).
+        let n = 4;
+        let a = random_spd(n, 11);
+        let f = CholeskyFactor::new(&a).unwrap();
+        let samples = 200_000;
+        let mut cov = DMat::zeros(n, n);
+        let mut state = 777u64;
+        let mut next_gauss = move || {
+            // Sum of 12 uniforms minus 6: near-Gaussian, adequate here.
+            let mut s = 0.0;
+            for _ in 0..12 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                s += (state >> 11) as f64 / (1u64 << 53) as f64;
+            }
+            s - 6.0
+        };
+        let mut z = vec![0.0; n];
+        let mut d = vec![0.0; n];
+        for _ in 0..samples {
+            for zi in z.iter_mut() {
+                *zi = next_gauss();
+            }
+            f.mul_vec(&z, &mut d);
+            for i in 0..n {
+                for j in 0..n {
+                    cov[(i, j)] += d[i] * d[j];
+                }
+            }
+        }
+        for v in cov.as_mut_slice() {
+            *v /= samples as f64;
+        }
+        let scale = a.fro_norm();
+        assert!(cov.max_abs_diff(&a) < 0.02 * scale, "cov err {}", cov.max_abs_diff(&a));
+    }
+}

@@ -1,0 +1,263 @@
+//! Symmetric eigendecompositions and matrix square roots.
+//!
+//! The Krylov Brownian-displacement method reduces `M^{1/2} z` to the square
+//! root of a *small* projected matrix `T` (tridiagonal for single-vector
+//! Lanczos, block tridiagonal for block Lanczos). Those square roots are
+//! computed through a full eigendecomposition `T = V diag(w) V^T` here.
+//!
+//! The workhorse is a cyclic Jacobi solver: slower asymptotically than
+//! tridiagonalization + QL, but unconditionally robust and plenty fast for
+//! the `<= few hundred` dimensions that occur (the projected matrix is
+//! `m*s x m*s` with `m` Krylov iterations and `s = lambda_RPY`).
+
+use crate::dmat::DMat;
+
+/// Eigendecomposition of a symmetric matrix: `a = V diag(w) V^T`.
+///
+/// Returns `(w, v)` with eigenvalues `w` ascending and the corresponding
+/// eigenvectors as the *columns* of `v`. Only the lower triangle of the
+/// symmetrized input `(a + a^T)/2` matters; minor asymmetry is tolerated.
+pub fn sym_eig(a: &DMat) -> (Vec<f64>, DMat) {
+    assert_eq!(a.nrows(), a.ncols(), "matrix must be square");
+    let n = a.nrows();
+    // Work on a symmetrized copy.
+    let mut m = DMat::from_fn(n, n, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]));
+    let mut v = DMat::identity(n);
+
+    let scale = (0..n).map(|i| m[(i, i)].abs()).fold(0.0f64, f64::max).max(m.fro_norm() / (n as f64).max(1.0)).max(1e-300);
+    let tol = 1e-15 * scale;
+
+    for _sweep in 0..100 {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in p + 1..n {
+                off = off.max(m[(p, q)].abs());
+            }
+        }
+        if off <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = m[(p, q)];
+                if apq.abs() <= tol * 1e-2 {
+                    continue;
+                }
+                // Jacobi rotation zeroing m[p][q].
+                let theta = (m[(q, q)] - m[(p, p)]) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (theta * theta + 1.0).sqrt())
+                } else {
+                    -1.0 / (-theta + (theta * theta + 1.0).sqrt())
+                };
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+
+                // Update rows/columns p and q of the symmetric matrix.
+                for k in 0..n {
+                    if k != p && k != q {
+                        let mkp = m[(k, p)];
+                        let mkq = m[(k, q)];
+                        m[(k, p)] = c * mkp - s * mkq;
+                        m[(p, k)] = m[(k, p)];
+                        m[(k, q)] = s * mkp + c * mkq;
+                        m[(q, k)] = m[(k, q)];
+                    }
+                }
+                let app = m[(p, p)];
+                let aqq = m[(q, q)];
+                m[(p, p)] = app - t * apq;
+                m[(q, q)] = aqq + t * apq;
+                m[(p, q)] = 0.0;
+                m[(q, p)] = 0.0;
+
+                // Accumulate eigenvectors (columns of v).
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Extract and sort ascending.
+    let mut idx: Vec<usize> = (0..n).collect();
+    let w_raw: Vec<f64> = (0..n).map(|i| m[(i, i)]).collect();
+    idx.sort_by(|&i, &j| w_raw[i].partial_cmp(&w_raw[j]).unwrap());
+    let w: Vec<f64> = idx.iter().map(|&i| w_raw[i]).collect();
+    let vs = DMat::from_fn(n, n, |i, j| v[(i, idx[j])]);
+    (w, vs)
+}
+
+/// Eigendecomposition of a symmetric tridiagonal matrix given its diagonal
+/// `d` and subdiagonal `e` (`e.len() == d.len() - 1`). Returns `(w, v)` like
+/// [`sym_eig`].
+pub fn tridiag_eig(d: &[f64], e: &[f64]) -> (Vec<f64>, DMat) {
+    let n = d.len();
+    assert!(n > 0);
+    assert_eq!(e.len(), n - 1, "subdiagonal length must be n-1");
+    let mut a = DMat::zeros(n, n);
+    for i in 0..n {
+        a[(i, i)] = d[i];
+        if i + 1 < n {
+            a[(i, i + 1)] = e[i];
+            a[(i + 1, i)] = e[i];
+        }
+    }
+    sym_eig(&a)
+}
+
+/// Compute `sqrt(T) * B` for a small symmetric positive semidefinite `T`
+/// (`k x k`) and a block `B` (`k x s`).
+///
+/// Tiny negative eigenvalues (roundoff from a PSD source) are clamped to
+/// zero; a significantly negative eigenvalue (beyond `-1e-8 * max|w|`)
+/// returns `Err` with its value, signalling the source operator was not PSD.
+pub fn sym_sqrt_times_block(t: &DMat, b: &DMat) -> Result<DMat, f64> {
+    assert_eq!(t.nrows(), t.ncols());
+    assert_eq!(t.nrows(), b.nrows());
+    let (w, v) = sym_eig(t);
+    let wmax = w.iter().fold(0.0f64, |m, &x| m.max(x.abs())).max(1e-300);
+    let mut sqrt_w = Vec::with_capacity(w.len());
+    for &wi in &w {
+        if wi < -1e-8 * wmax {
+            return Err(wi);
+        }
+        sqrt_w.push(wi.max(0.0).sqrt());
+    }
+    // sqrt(T) B = V diag(sqrt w) V^T B
+    let vtb = v.tr_matmul(b);
+    let mut scaled = vtb;
+    for (i, sw) in sqrt_w.iter().enumerate() {
+        for x in scaled.row_mut(i) {
+            *x *= sw;
+        }
+    }
+    Ok(v.matmul(&scaled))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_sym(n: usize, seed: u64) -> DMat {
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut next = move || {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let b = DMat::from_fn(n, n, |_, _| next());
+        let bt = b.transpose();
+        DMat::from_fn(n, n, |i, j| b[(i, j)] + bt[(i, j)])
+    }
+
+    fn check_decomposition(a: &DMat, w: &[f64], v: &DMat, tol: f64) {
+        let n = a.nrows();
+        // A v_j = w_j v_j
+        for j in 0..n {
+            let vj: Vec<f64> = (0..n).map(|i| v[(i, j)]).collect();
+            let mut av = vec![0.0; n];
+            a.mul_vec(&vj, &mut av);
+            for i in 0..n {
+                assert!(
+                    (av[i] - w[j] * vj[i]).abs() < tol,
+                    "residual at ({i},{j}): {} vs {}",
+                    av[i],
+                    w[j] * vj[i]
+                );
+            }
+        }
+        // V orthogonal
+        let gram = v.tr_matmul(v);
+        assert!(gram.max_abs_diff(&DMat::identity(n)) < tol);
+    }
+
+    #[test]
+    fn known_2x2() {
+        let a = DMat::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let (w, v) = sym_eig(&a);
+        assert!((w[0] - 1.0).abs() < 1e-13);
+        assert!((w[1] - 3.0).abs() < 1e-13);
+        check_decomposition(&a, &w, &v, 1e-12);
+    }
+
+    #[test]
+    fn random_symmetric_matrices() {
+        for n in [1usize, 2, 3, 8, 25, 60] {
+            let a = random_sym(n, n as u64);
+            let (w, v) = sym_eig(&a);
+            assert!(w.windows(2).all(|p| p[0] <= p[1]), "sorted ascending");
+            check_decomposition(&a, &w, &v, 1e-10 * (n as f64).max(1.0));
+            // Trace preserved.
+            let tr: f64 = (0..n).map(|i| a[(i, i)]).sum();
+            let ws: f64 = w.iter().sum();
+            assert!((tr - ws).abs() < 1e-10 * (n as f64).max(1.0));
+        }
+    }
+
+    #[test]
+    fn diagonal_matrix_is_trivial() {
+        let a = DMat::from_vec(3, 3, vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]);
+        let (w, v) = sym_eig(&a);
+        assert_eq!(w, vec![1.0, 2.0, 3.0]);
+        check_decomposition(&a, &w, &v, 1e-14);
+    }
+
+    #[test]
+    fn tridiagonal_known_eigenvalues() {
+        // The n x n tridiagonal (2, -1) matrix has eigenvalues
+        // 2 - 2 cos(k pi/(n+1)).
+        let n = 10;
+        let d = vec![2.0; n];
+        let e = vec![-1.0; n - 1];
+        let (w, v) = tridiag_eig(&d, &e);
+        for k in 1..=n {
+            let want = 2.0 - 2.0 * (k as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
+            assert!((w[k - 1] - want).abs() < 1e-12, "k={k}");
+        }
+        let mut a = DMat::zeros(n, n);
+        for i in 0..n {
+            a[(i, i)] = 2.0;
+            if i + 1 < n {
+                a[(i, i + 1)] = -1.0;
+                a[(i + 1, i)] = -1.0;
+            }
+        }
+        check_decomposition(&a, &w, &v, 1e-11);
+    }
+
+    #[test]
+    fn sqrt_times_block_squares_back() {
+        // T PSD: sqrt(T) applied twice = T applied once.
+        let n = 12;
+        let b = random_sym(n, 77);
+        let t = b.matmul(&b.transpose()); // PSD
+        let x = DMat::from_fn(n, 4, |i, j| ((i * 4 + j) as f64 * 0.21).sin());
+        let s1 = sym_sqrt_times_block(&t, &x).unwrap();
+        let s2 = sym_sqrt_times_block(&t, &s1).unwrap();
+        let tx = t.matmul(&x);
+        assert!(s2.max_abs_diff(&tx) < 1e-8 * tx.fro_norm().max(1.0));
+    }
+
+    #[test]
+    fn sqrt_rejects_indefinite() {
+        let a = DMat::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]); // eigenvalue -1
+        let b = DMat::identity(2);
+        let err = sym_sqrt_times_block(&a, &b).unwrap_err();
+        assert!((err + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sqrt_clamps_roundoff_negatives() {
+        // PSD with an exactly-zero eigenvalue perturbed by tiny negative.
+        let mut a = DMat::zeros(2, 2);
+        a[(0, 0)] = 1.0;
+        a[(1, 1)] = -1e-16;
+        let b = DMat::identity(2);
+        let s = sym_sqrt_times_block(&a, &b).unwrap();
+        assert!((s[(0, 0)] - 1.0).abs() < 1e-12);
+        assert!(s[(1, 1)].abs() < 1e-8);
+    }
+}

@@ -1,0 +1,176 @@
+//! Thin QR factorization of tall skinny panels.
+//!
+//! Block Lanczos (paper Section III-B, ref. [8]) re-orthogonalizes an
+//! `n x s` panel every iteration (`s = lambda_RPY` is small, 8–32). Modified
+//! Gram–Schmidt with one re-orthogonalization pass is numerically adequate at
+//! these panel widths and trivially parallel over the long dimension.
+
+use crate::dmat::{dot, DMat};
+
+/// Result of a thin QR: `A = Q R` with `Q` `n x s` orthonormal columns and
+/// `R` `s x s` upper triangular.
+#[derive(Clone, Debug)]
+pub struct ThinQr {
+    pub q: DMat,
+    pub r: DMat,
+    /// Columns whose norm collapsed below the breakdown tolerance; their `Q`
+    /// columns were replaced by zeros and `R` diagonal by 0. A nonempty list
+    /// signals (benign) Lanczos breakdown.
+    pub deficient: Vec<usize>,
+}
+
+/// Factor a tall skinny `n x s` panel (`a` row-major, `n >= s`).
+///
+/// Uses modified Gram–Schmidt with a second orthogonalization pass
+/// ("twice is enough").
+pub fn thin_qr(a: &DMat) -> ThinQr {
+    let n = a.nrows();
+    let s = a.ncols();
+    assert!(n >= s, "panel must be tall: {n} x {s}");
+    // Work on columns: copy into column-major scratch.
+    let mut cols: Vec<Vec<f64>> = (0..s)
+        .map(|j| (0..n).map(|i| a[(i, j)]).collect())
+        .collect();
+    let mut r = DMat::zeros(s, s);
+    let mut deficient = Vec::new();
+
+    let scale = cols
+        .iter()
+        .map(|c| c.iter().map(|v| v * v).sum::<f64>().sqrt())
+        .fold(0.0f64, f64::max)
+        .max(1e-300);
+
+    for j in 0..s {
+        // Two MGS passes against the already-finished columns.
+        for _pass in 0..2 {
+            for k in 0..j {
+                let proj = dot_vec(&cols[k], &cols[j]);
+                r[(k, j)] += proj;
+                // cols[j] -= proj * cols[k]; split borrows by index math.
+                let (left, right) = cols.split_at_mut(j);
+                let qk = &left[k];
+                let cj = &mut right[0];
+                for (x, qv) in cj.iter_mut().zip(qk) {
+                    *x -= proj * qv;
+                }
+            }
+        }
+        let norm = cols[j].iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm <= 1e-14 * scale {
+            deficient.push(j);
+            r[(j, j)] = 0.0;
+            for v in cols[j].iter_mut() {
+                *v = 0.0;
+            }
+        } else {
+            r[(j, j)] = norm;
+            for v in cols[j].iter_mut() {
+                *v /= norm;
+            }
+        }
+    }
+
+    let q = DMat::from_fn(n, s, |i, j| cols[j][i]);
+    ThinQr { q, r, deficient }
+}
+
+fn dot_vec(a: &[f64], b: &[f64]) -> f64 {
+    dot(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_panel(n: usize, s: usize, seed: u64) -> DMat {
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        DMat::from_fn(n, s, |_, _| {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+    }
+
+    #[test]
+    fn qr_reconstructs_panel() {
+        for (n, s) in [(10usize, 3usize), (50, 8), (7, 7), (100, 16)] {
+            let a = random_panel(n, s, (n + s) as u64);
+            let f = thin_qr(&a);
+            assert!(f.deficient.is_empty());
+            let qr = f.q.matmul(&f.r);
+            assert!(qr.max_abs_diff(&a) < 1e-12, "({n},{s}): {}", qr.max_abs_diff(&a));
+        }
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let a = random_panel(40, 10, 5);
+        let f = thin_qr(&a);
+        let gram = f.q.tr_matmul(&f.q);
+        let eye = DMat::identity(10);
+        assert!(gram.max_abs_diff(&eye) < 1e-13);
+    }
+
+    #[test]
+    fn r_is_upper_triangular_with_nonnegative_diagonal() {
+        let a = random_panel(20, 6, 9);
+        let f = thin_qr(&a);
+        for i in 0..6 {
+            assert!(f.r[(i, i)] >= 0.0);
+            for j in 0..i {
+                assert_eq!(f.r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn detects_rank_deficiency() {
+        // Third column = sum of the first two.
+        let mut a = random_panel(30, 3, 1);
+        for i in 0..30 {
+            a[(i, 2)] = a[(i, 0)] + a[(i, 1)];
+        }
+        let f = thin_qr(&a);
+        assert_eq!(f.deficient, vec![2]);
+        // Q's surviving columns are still orthonormal and reconstruct A.
+        let qr = f.q.matmul(&f.r);
+        assert!(qr.max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn already_orthogonal_input_is_fixed_point() {
+        let n = 12;
+        let a = DMat::identity(n);
+        let f = thin_qr(&a);
+        assert!(f.q.max_abs_diff(&DMat::identity(n)) < 1e-15);
+        assert!(f.r.max_abs_diff(&DMat::identity(n)) < 1e-15);
+    }
+
+    #[test]
+    fn severely_ill_conditioned_panel_stays_orthogonal() {
+        // Nearly parallel columns stress MGS; the second pass must rescue
+        // orthogonality.
+        let n = 50;
+        let base = random_panel(n, 1, 2);
+        let mut a = DMat::zeros(n, 3);
+        let eps = 1e-9;
+        let pert1 = random_panel(n, 1, 3);
+        let pert2 = random_panel(n, 1, 4);
+        for i in 0..n {
+            a[(i, 0)] = base[(i, 0)];
+            a[(i, 1)] = base[(i, 0)] + eps * pert1[(i, 0)];
+            a[(i, 2)] = base[(i, 0)] - eps * pert2[(i, 0)];
+        }
+        let f = thin_qr(&a);
+        let gram = f.q.tr_matmul(&f.q);
+        for i in 0..3 {
+            for j in 0..3 {
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (gram[(i, j)] - want).abs() < 1e-10,
+                    "gram[{i},{j}] = {}",
+                    gram[(i, j)]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests of the dense linear algebra kernels.
+
+use hibd_linalg::{sym_eig, sym_sqrt_times_block, thin_qr, CholeskyFactor, DMat};
+use proptest::prelude::*;
+
+fn square(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1.0f64..1.0, n * n)
+}
+
+fn spd_from(raw: &[f64], n: usize) -> DMat {
+    let b = DMat::from_vec(n, n, raw.to_vec());
+    let mut a = b.matmul(&b.transpose());
+    for i in 0..n {
+        a[(i, i)] += n as f64; // diagonal shift guarantees SPD
+    }
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn cholesky_reconstructs((n, raw) in (1usize..12).prop_flat_map(|n| (Just(n), square(n)))) {
+        let a = spd_from(&raw, n);
+        let f = CholeskyFactor::new(&a).unwrap();
+        prop_assert!(f.reconstruct().max_abs_diff(&a) < 1e-9 * (n as f64));
+    }
+
+    #[test]
+    fn cholesky_solve_inverts((n, raw, xs) in (1usize..10)
+        .prop_flat_map(|n| (Just(n), square(n), prop::collection::vec(-1.0f64..1.0, n))))
+    {
+        let a = spd_from(&raw, n);
+        let f = CholeskyFactor::new(&a).unwrap();
+        let mut b = vec![0.0; n];
+        a.mul_vec(&xs, &mut b);
+        let mut x = vec![0.0; n];
+        f.solve(&b, &mut x);
+        for (got, want) in x.iter().zip(&xs) {
+            prop_assert!((got - want).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn qr_reconstruction_and_orthogonality(
+        (n, s, raw) in (2usize..20, 1usize..6)
+            .prop_flat_map(|(n, s)| {
+                let s = s.min(n);
+                (Just(n), Just(s), prop::collection::vec(-1.0f64..1.0, n * s))
+            })
+    ) {
+        let a = DMat::from_vec(n, s, raw);
+        let f = thin_qr(&a);
+        let qr = f.q.matmul(&f.r);
+        prop_assert!(qr.max_abs_diff(&a) < 1e-10);
+        // Columns not flagged deficient must be orthonormal.
+        let gram = f.q.tr_matmul(&f.q);
+        for i in 0..s {
+            if f.deficient.contains(&i) {
+                continue;
+            }
+            for j in 0..s {
+                if f.deficient.contains(&j) {
+                    continue;
+                }
+                let want = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((gram[(i, j)] - want).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn eigendecomposition_residuals((n, raw) in (1usize..10).prop_flat_map(|n| (Just(n), square(n)))) {
+        let b = DMat::from_vec(n, n, raw);
+        let a = DMat::from_fn(n, n, |i, j| b[(i, j)] + b[(j, i)]);
+        let (w, v) = sym_eig(&a);
+        // Sorted eigenvalues, orthonormal V, small residuals.
+        prop_assert!(w.windows(2).all(|p| p[0] <= p[1]));
+        let gram = v.tr_matmul(&v);
+        prop_assert!(gram.max_abs_diff(&DMat::identity(n)) < 1e-9);
+        for j in 0..n {
+            let vj: Vec<f64> = (0..n).map(|i| v[(i, j)]).collect();
+            let mut av = vec![0.0; n];
+            a.mul_vec(&vj, &mut av);
+            for i in 0..n {
+                prop_assert!((av[i] - w[j] * vj[i]).abs() < 1e-8 * (1.0 + w[j].abs()));
+            }
+        }
+    }
+
+    #[test]
+    fn sqrt_squares_to_operator((n, raw) in (1usize..8).prop_flat_map(|n| (Just(n), square(n)))) {
+        let a = spd_from(&raw, n);
+        let eye = DMat::identity(n);
+        let s1 = sym_sqrt_times_block(&a, &eye).unwrap();
+        let s2 = s1.matmul(&s1);
+        prop_assert!(s2.max_abs_diff(&a) < 1e-8 * a.fro_norm().max(1.0));
+    }
+
+    #[test]
+    fn gemm_is_associative_with_vectors(
+        (n, raw1, raw2, xs) in (1usize..8)
+            .prop_flat_map(|n| (Just(n), square(n), square(n), prop::collection::vec(-1.0f64..1.0, n)))
+    ) {
+        // (A B) x == A (B x)
+        let a = DMat::from_vec(n, n, raw1);
+        let b = DMat::from_vec(n, n, raw2);
+        let ab = a.matmul(&b);
+        let mut lhs = vec![0.0; n];
+        ab.mul_vec(&xs, &mut lhs);
+        let mut bx = vec![0.0; n];
+        b.mul_vec(&xs, &mut bx);
+        let mut rhs = vec![0.0; n];
+        a.mul_vec(&bx, &mut rhs);
+        for (p, q) in lhs.iter().zip(&rhs) {
+            prop_assert!((p - q).abs() < 1e-10);
+        }
+    }
+}

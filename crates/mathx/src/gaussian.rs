@@ -1,0 +1,107 @@
+//! Standard-normal sampling on top of any [`rand::Rng`].
+//!
+//! The Brownian displacement computation consumes blocks of i.i.d. standard
+//! Gaussian vectors `z ~ N(0, I)` (Section II-C of the paper). We implement
+//! the Marsaglia polar method, which needs no tables and no transcendental
+//! functions beyond `ln`/`sqrt`.
+
+use rand::Rng;
+
+/// Draw a single standard-normal variate.
+///
+/// Uses the Marsaglia polar method; one of the two generated variates is
+/// discarded, which keeps the API stateless. Use [`fill_standard_normal`]
+/// when filling whole vectors — it uses both.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            let factor = (-2.0 * s.ln() / s).sqrt();
+            return u * factor;
+        }
+    }
+}
+
+/// Fill `out` with i.i.d. standard-normal variates.
+pub fn fill_standard_normal<R: Rng + ?Sized>(rng: &mut R, out: &mut [f64]) {
+    let mut i = 0;
+    while i + 1 < out.len() {
+        let (a, b) = polar_pair(rng);
+        out[i] = a;
+        out[i + 1] = b;
+        i += 2;
+    }
+    if i < out.len() {
+        out[i] = standard_normal(rng);
+    }
+}
+
+#[inline]
+fn polar_pair<R: Rng + ?Sized>(rng: &mut R) -> (f64, f64) {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            let factor = (-2.0 * s.ln() / s).sqrt();
+            return (u * factor, v * factor);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::special::erf;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_match_standard_normal() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let mut v = vec![0.0; n];
+        fill_standard_normal(&mut rng, &mut v);
+        let mean: f64 = v.iter().sum::<f64>() / n as f64;
+        let var: f64 = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let skew: f64 = v.iter().map(|x| x.powi(3)).sum::<f64>() / n as f64;
+        let kurt: f64 = v.iter().map(|x| x.powi(4)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+        assert!(skew.abs() < 0.03, "skew {skew}");
+        assert!((kurt - 3.0).abs() < 0.1, "kurtosis {kurt}");
+    }
+
+    #[test]
+    fn cdf_matches_erf_at_quartiles() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let n = 100_000;
+        let mut v = vec![0.0; n];
+        fill_standard_normal(&mut rng, &mut v);
+        for t in [-1.5f64, -0.5, 0.0, 0.5, 1.5] {
+            let emp = v.iter().filter(|&&x| x <= t).count() as f64 / n as f64;
+            let exact = 0.5 * (1.0 + erf(t / std::f64::consts::SQRT_2));
+            assert!((emp - exact).abs() < 0.01, "t={t}: emp {emp} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn odd_length_fill_works() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v = vec![0.0; 7];
+        fill_standard_normal(&mut rng, &mut v);
+        assert!(v.iter().all(|x| x.is_finite()));
+        assert!(v.iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = vec![0.0; 16];
+        let mut b = vec![0.0; 16];
+        fill_standard_normal(&mut StdRng::seed_from_u64(42), &mut a);
+        fill_standard_normal(&mut StdRng::seed_from_u64(42), &mut b);
+        assert_eq!(a, b);
+    }
+}

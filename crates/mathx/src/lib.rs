@@ -1,0 +1,25 @@
+//! `hibd-mathx`: small numerical substrate shared by the whole workspace.
+//!
+//! The paper's reference implementation leans on Intel MKL (vector math,
+//! random number generation) for these pieces; here everything is implemented
+//! from scratch:
+//!
+//! * [`Vec3`] — a plain 3-vector with the periodic minimum-image helpers used
+//!   throughout the Brownian-dynamics code;
+//! * [`special`] — `erf`/`erfc` in double precision (series + continued
+//!   fraction), needed by the Beenakker real-space Ewald kernels;
+//! * [`gaussian`] — standard-normal sampling (Marsaglia polar method) on top
+//!   of any [`rand::Rng`], used to generate the random vectors `z` of the
+//!   Brownian displacement computation;
+//! * [`stats`] — Welford running statistics, Kahan summation and block
+//!   averaging for the diffusion-coefficient estimates.
+
+pub mod gaussian;
+pub mod special;
+pub mod stats;
+pub mod vec3;
+
+pub use gaussian::{fill_standard_normal, standard_normal};
+pub use special::{erf, erfc};
+pub use stats::{block_average, KahanSum, RunningStats};
+pub use vec3::Vec3;

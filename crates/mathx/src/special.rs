@@ -1,0 +1,183 @@
+//! Error function and complementary error function in double precision.
+//!
+//! The Beenakker Ewald split of the Rotne–Prager–Yamakawa tensor needs
+//! `erfc(xi * r)` in its real-space kernels; the Rust standard library does
+//! not provide it, so it is implemented here:
+//!
+//! * `erf`: Maclaurin series for `|x| <= 3` (full double precision there,
+//!   worst-case ~3 digits of cancellation at the boundary), `1 - erfc` above;
+//! * `erfc`: backward-evaluated continued fraction for `|x| >= 1` (no
+//!   cancellation), `1 - erf` series below.
+//!
+//! Accuracy is verified in the tests against high-precision reference values
+//! and the identity `erf(x) + erfc(x) = 1`.
+
+const FRAC_2_SQRT_PI: f64 = std::f64::consts::FRAC_2_SQRT_PI;
+
+/// The error function `erf(x) = 2/sqrt(pi) * ∫_0^x exp(-t^2) dt`.
+pub fn erf(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    let ax = x.abs();
+    if ax <= 3.0 {
+        erf_series(x)
+    } else {
+        let e = 1.0 - erfc_cf(ax);
+        if x > 0.0 {
+            e
+        } else {
+            -e
+        }
+    }
+}
+
+/// The complementary error function `erfc(x) = 1 - erf(x)`.
+///
+/// Computed without cancellation for large positive `x`, where
+/// `erfc(x) ~ exp(-x^2)/(x sqrt(pi))` underflows gracefully.
+pub fn erfc(x: f64) -> f64 {
+    if x.is_nan() {
+        return f64::NAN;
+    }
+    if x >= 1.0 {
+        erfc_cf(x)
+    } else if x <= -1.0 {
+        2.0 - erfc_cf(-x)
+    } else {
+        1.0 - erf_series(x)
+    }
+}
+
+/// Maclaurin series `erf(x) = 2/sqrt(pi) Σ (-1)^n x^(2n+1) / (n! (2n+1))`,
+/// valid (fast, accurate) for `|x| <= 3`.
+fn erf_series(x: f64) -> f64 {
+    let x2 = x * x;
+    let mut term = x; // x^(2n+1) / n!
+    let mut sum = x; // term / (2n+1) accumulated
+    for n in 1..200 {
+        term *= -x2 / n as f64;
+        let add = term / (2.0 * n as f64 + 1.0);
+        sum += add;
+        if add.abs() <= sum.abs() * 1e-18 + 1e-300 {
+            break;
+        }
+    }
+    FRAC_2_SQRT_PI * sum
+}
+
+/// Continued fraction for `erfc(x)`, `x > 0`:
+/// `erfc(x) = exp(-x^2)/sqrt(pi) * 1/(x + (1/2)/(x + (2/2)/(x + (3/2)/(x + ...))))`.
+///
+/// Evaluated backwards with a depth that over-converges for every `x >= 1`
+/// (at the switch point `x = 1` the tail is below double rounding by depth
+/// 200; convergence improves rapidly with `x`).
+fn erfc_cf(x: f64) -> f64 {
+    debug_assert!(x > 0.0);
+    // Convergence depth scales like 1/x^2: ~200 terms suffice at the x = 1
+    // switch point, ~26 at x = 3, a couple dozen beyond (verified against
+    // high-precision references across the switch range in the tests).
+    let depth = ((260.0 / (x * x)) as usize).clamp(24, 260);
+    let mut f = 0.0;
+    for i in (1..=depth).rev() {
+        f = (i as f64 / 2.0) / (x + f);
+    }
+    let k = 1.0 / (x + f);
+    (-x * x).exp() * k / std::f64::consts::PI.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Reference values computed with mpmath (50 digits, rounded to f64).
+    const REF: &[(f64, f64)] = &[
+        (0.0, 0.0),
+        (1e-8, 1.1283791670955126e-8),
+        (0.1, 0.1124629160182849),
+        (0.5, 0.5204998778130465),
+        (1.0, 0.8427007929497149),
+        (1.5, 0.9661051464753107),
+        (2.0, 0.9953222650189527),
+        (2.5, 0.999593047982555),
+        (3.0, 0.9999779095030014),
+        (3.5, 0.9999992569016276),
+        (4.0, 0.9999999845827421),
+        (5.0, 0.9999999999984626),
+    ];
+
+    const REF_ERFC_LARGE: &[(f64, f64)] = &[
+        (3.0, 2.2090496998585445e-5),
+        (4.0, 1.541725790028002e-8),
+        (5.0, 1.537_459_794_428_035e-12),
+        (6.0, 2.1519736712498913e-17),
+        (8.0, 1.1224297172982928e-29),
+        (10.0, 2.088_487_583_762_545e-45),
+        (15.0, 7.212994172451207e-100),
+    ];
+
+    #[test]
+    fn erf_matches_reference() {
+        for &(x, want) in REF {
+            let got = erf(x);
+            let err = (got - want).abs() / want.abs().max(1e-30);
+            assert!(
+                err < 5e-14 || (got - want).abs() < 1e-300,
+                "erf({x}) = {got}, want {want}, rel err {err:.3e}"
+            );
+        }
+    }
+
+    #[test]
+    fn erfc_matches_reference_large_x() {
+        for &(x, want) in REF_ERFC_LARGE {
+            let got = erfc(x);
+            let err = (got - want).abs() / want;
+            assert!(err < 1e-13, "erfc({x}) = {got:e}, want {want:e}, rel err {err:.3e}");
+        }
+    }
+
+    #[test]
+    fn erf_is_odd() {
+        for x in [0.1, 0.7, 1.3, 2.9, 4.2, 7.7] {
+            assert_eq!(erf(-x), -erf(x));
+        }
+    }
+
+    #[test]
+    fn erf_plus_erfc_is_one() {
+        for i in 0..200 {
+            let x = -6.0 + 0.06 * i as f64;
+            let s = erf(x) + erfc(x);
+            assert!((s - 1.0).abs() < 6e-14, "x={x}: erf+erfc={s}");
+        }
+    }
+
+    #[test]
+    fn erfc_negative_arguments() {
+        assert!((erfc(-2.0) - (2.0 - erfc(2.0))).abs() < 1e-15);
+        assert!((erfc(-5.0) - 2.0).abs() < 1e-11);
+    }
+
+    #[test]
+    fn limits() {
+        assert_eq!(erf(0.0), 0.0);
+        assert!((erf(30.0) - 1.0).abs() < 1e-16);
+        assert_eq!(erfc(40.0), 0.0); // underflows to zero
+        assert!(erf(f64::NAN).is_nan());
+        assert!(erfc(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn continuity_at_branch_boundary() {
+        // The implementation switches algorithms at |x| = 1. Across the
+        // switch the two branches must agree up to the true local slope
+        // erfc'(1) = -2/sqrt(pi) * e^{-1}.
+        let h = 1e-9;
+        let below = erfc(1.0 - h);
+        let above = erfc(1.0 + h);
+        let slope = -FRAC_2_SQRT_PI * (-1.0f64).exp();
+        let jump = (above - below) - 2.0 * h * slope;
+        assert!(jump.abs() < 1e-15, "branch mismatch {jump:e}");
+    }
+}

@@ -1,0 +1,210 @@
+//! Running statistics, compensated summation, and block averaging.
+//!
+//! Used by the diffusion-coefficient estimator (paper Eq. 12): mean-squared
+//! displacements are averaged over many time origins, and block averaging
+//! provides an error bar that is honest about the correlations between
+//! successive configurations.
+
+/// Welford online mean/variance accumulator.
+#[derive(Clone, Debug, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance; 0 for fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean (assumes independent samples).
+    pub fn std_err(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let n = n1 + n2;
+        self.mean += delta * n2 / n;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / n;
+        self.n += other.n;
+    }
+}
+
+/// Kahan–Babuska compensated summation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KahanSum {
+    sum: f64,
+    c: f64,
+}
+
+impl KahanSum {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn add(&mut self, x: f64) {
+        let t = self.sum + x;
+        if self.sum.abs() >= x.abs() {
+            self.c += (self.sum - t) + x;
+        } else {
+            self.c += (x - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.sum + self.c
+    }
+}
+
+/// Block-average a correlated time series: split into `nblocks` contiguous
+/// blocks, average each, and return `(mean, standard error of block means)`.
+///
+/// Returns `(mean, 0.0)` when there are fewer than two full blocks.
+pub fn block_average(series: &[f64], nblocks: usize) -> (f64, f64) {
+    assert!(nblocks > 0, "nblocks must be positive");
+    let total_mean = if series.is_empty() {
+        0.0
+    } else {
+        series.iter().sum::<f64>() / series.len() as f64
+    };
+    let bs = series.len() / nblocks;
+    if bs == 0 || nblocks < 2 {
+        return (total_mean, 0.0);
+    }
+    let mut stats = RunningStats::new();
+    for b in 0..nblocks {
+        let blk = &series[b * bs..(b + 1) * bs];
+        stats.push(blk.iter().sum::<f64>() / bs as f64);
+    }
+    (stats.mean(), stats.std_err())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_mean_variance() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = RunningStats::new();
+        for &x in &data {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-14);
+        // Sample variance of this classic dataset is 32/7.
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 3.0 + 1.0).collect();
+        let mut all = RunningStats::new();
+        for &x in &data {
+            all.push(x);
+        }
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for &x in &data[..37] {
+            a.push(x);
+        }
+        for &x in &data[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.variance() - all.variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = RunningStats::new();
+        a.push(1.0);
+        a.push(3.0);
+        let before = a.clone();
+        a.merge(&RunningStats::new());
+        assert_eq!(a.mean(), before.mean());
+        let mut e = RunningStats::new();
+        e.merge(&a);
+        assert_eq!(e.mean(), a.mean());
+    }
+
+    #[test]
+    fn kahan_beats_naive_on_ill_conditioned_sum() {
+        let mut k = KahanSum::new();
+        let mut naive = 0.0f64;
+        // 1 + 1e16 - 1e16 repeated: naive drops the ones.
+        for _ in 0..1000 {
+            for x in [1.0, 1e16, -1e16] {
+                k.add(x);
+                naive += x;
+            }
+        }
+        assert_eq!(k.value(), 1000.0);
+        assert_ne!(naive, 1000.0);
+    }
+
+    #[test]
+    fn block_average_basic() {
+        let series: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 1.0 } else { 3.0 }).collect();
+        let (mean, err) = block_average(&series, 10);
+        assert!((mean - 2.0).abs() < 1e-12);
+        assert!(err < 1e-12); // every block has the same mean
+    }
+
+    #[test]
+    fn block_average_degenerate_inputs() {
+        assert_eq!(block_average(&[], 4), (0.0, 0.0));
+        let (m, e) = block_average(&[5.0], 4);
+        assert_eq!((m, e), (5.0, 0.0));
+    }
+}

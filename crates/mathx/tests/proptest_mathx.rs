@@ -1,0 +1,114 @@
+//! Property-based tests of the numerical utilities.
+
+use hibd_mathx::{block_average, erf, erfc, KahanSum, RunningStats, Vec3};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn erf_is_odd_and_bounded(x in -20.0f64..20.0) {
+        prop_assert!((erf(x) + erf(-x)).abs() < 1e-14);
+        prop_assert!(erf(x).abs() <= 1.0);
+        prop_assert!((0.0..=2.0).contains(&erfc(x)));
+    }
+
+    #[test]
+    fn erf_is_monotone(x in -5.0f64..5.0, d in 1e-6f64..0.5) {
+        // Strictly monotone where the values are representably away from
+        // the saturation limits +-1 (|x| < ~5.8 in double precision).
+        prop_assert!(erf(x + d) > erf(x));
+        prop_assert!(erfc(x + d) < erfc(x));
+    }
+
+    #[test]
+    fn erf_is_weakly_monotone_everywhere(x in -30.0f64..30.0, d in 1e-6f64..2.0) {
+        prop_assert!(erf(x + d) >= erf(x));
+        prop_assert!(erfc(x + d) <= erfc(x));
+    }
+
+    #[test]
+    fn erf_erfc_complementary(x in -10.0f64..10.0) {
+        prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-13);
+    }
+
+    #[test]
+    fn min_image_is_shortest_representative(
+        (x, y, z, l) in (-50.0f64..50.0, -50.0f64..50.0, -50.0f64..50.0, 1.0f64..20.0)
+    ) {
+        let v = Vec3::new(x, y, z);
+        let m = v.min_image(l);
+        // Components in [-l/2, l/2].
+        for c in 0..3 {
+            prop_assert!(m[c].abs() <= l / 2.0 + 1e-9);
+            // Same residue class.
+            let diff = (v[c] - m[c]) / l;
+            prop_assert!((diff - diff.round()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn wrap_into_box_preserves_residue(
+        (x, l) in (-100.0f64..100.0, 0.5f64..25.0)
+    ) {
+        let w = Vec3::splat(x).wrap_into_box(l);
+        prop_assert!(w.x >= 0.0 && w.x < l);
+        let diff = (x - w.x) / l;
+        prop_assert!((diff - diff.round()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn running_stats_merge_equals_sequential(
+        data in prop::collection::vec(-100.0f64..100.0, 2..60),
+        split in 0usize..60,
+    ) {
+        let split = split.min(data.len());
+        let mut all = RunningStats::new();
+        for &x in &data {
+            all.push(x);
+        }
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for &x in &data[..split] {
+            a.push(x);
+        }
+        for &x in &data[split..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), all.count());
+        prop_assert!((a.mean() - all.mean()).abs() < 1e-9);
+        prop_assert!((a.variance() - all.variance()).abs() < 1e-7 * (1.0 + all.variance()));
+    }
+
+    #[test]
+    fn kahan_matches_exact_rational_sums(data in prop::collection::vec(-1000i64..1000, 0..200)) {
+        // Integer-valued doubles sum exactly; Kahan must agree.
+        let mut k = KahanSum::new();
+        let mut exact = 0i64;
+        for &v in &data {
+            k.add(v as f64);
+            exact += v;
+        }
+        prop_assert_eq!(k.value(), exact as f64);
+    }
+
+    #[test]
+    fn block_average_mean_is_series_mean_when_divisible(
+        (blocks, per_block) in (2usize..8, 1usize..16),
+        seed in 0u64..1000,
+    ) {
+        let n = blocks * per_block;
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(12345);
+        let series: Vec<f64> = (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(2862933555777941757).wrapping_add(12345);
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect();
+        let (mean, err) = block_average(&series, blocks);
+        let direct: f64 = series.iter().sum::<f64>() / n as f64;
+        prop_assert!((mean - direct).abs() < 1e-12);
+        prop_assert!(err >= 0.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Cardinal B-splines and their Euler (exponential-interpolation) factors.
+//!
+//! Smooth PME (paper Section III-A, ref. [7]) spreads each force onto `p^3`
+//! mesh points with weights `W_p(u - m)`, where `W_p` is the cardinal
+//! B-spline of order `p` (a piecewise polynomial of degree `p-1` supported
+//! on `(0, p)`). Interpolating complex exponentials with B-splines leaves a
+//! per-mode correction `|b(m)|^2` that is folded into the influence
+//! function.
+
+use std::f64::consts::TAU;
+
+/// Evaluate the cardinal B-spline `M_p(u)` of order `p >= 2` (support
+/// `(0, p)`), by the standard recurrence.
+pub fn bspline(p: usize, u: f64) -> f64 {
+    assert!(p >= 2, "B-spline order must be >= 2");
+    if u <= 0.0 || u >= p as f64 {
+        return 0.0;
+    }
+    // M_2 is the hat function on (0, 2).
+    if p == 2 {
+        return 1.0 - (u - 1.0).abs();
+    }
+    let pm = (p - 1) as f64;
+    (u / pm) * bspline(p - 1, u) + ((p as f64 - u) / pm) * bspline(p - 1, u - 1.0)
+}
+
+/// Spreading stencil for a particle with scaled coordinate `u in [0, K)`:
+/// returns the first mesh index (possibly negative, caller wraps mod `K`)
+/// and the `p` weights `w[t] = W_p(u - (first + t))`.
+///
+/// `weights` must have length `p`.
+pub fn stencil(p: usize, u: f64, weights: &mut [f64]) -> i64 {
+    debug_assert_eq!(weights.len(), p);
+    let floor = u.floor();
+    let first = floor as i64 - (p as i64 - 1);
+    let frac = u - floor;
+    // Argument of W_p for mesh point first + t is u - first - t = frac + p - 1 - t.
+    for (t, w) in weights.iter_mut().enumerate() {
+        *w = bspline(p, frac + (p - 1 - t) as f64);
+    }
+    first
+}
+
+/// `|b(m)|^2` factors for one mesh dimension of size `k` and order `p`:
+/// `b(m) = e^{2 pi i (p-1) m / k} / Σ_{j=0}^{p-2} W_p(j+1) e^{2 pi i m j / k}`.
+///
+/// Modes where the denominator (numerically) vanishes are zeroed, which
+/// simply drops them from the reciprocal sum.
+pub fn euler_factors(k: usize, p: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(k);
+    let w: Vec<f64> = (0..p - 1).map(|j| bspline(p, (j + 1) as f64)).collect();
+    for m in 0..k {
+        let mut re = 0.0;
+        let mut im = 0.0;
+        for (j, wj) in w.iter().enumerate() {
+            let phase = TAU * (m as f64) * (j as f64) / k as f64;
+            re += wj * phase.cos();
+            im += wj * phase.sin();
+        }
+        let d2 = re * re + im * im;
+        out.push(if d2 < 1e-10 { 0.0 } else { 1.0 / d2 });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bspline_partition_of_unity() {
+        // Σ_m W_p(u - m) = 1 for any u.
+        for p in [2usize, 3, 4, 5, 6, 8] {
+            for i in 0..50 {
+                let u = 10.0 + 0.37 * i as f64;
+                let mut s = 0.0;
+                for m in -20..40 {
+                    s += bspline(p, u - m as f64);
+                }
+                assert!((s - 1.0).abs() < 1e-12, "p={p} u={u}: sum {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn bspline_is_nonnegative_and_supported_on_0_p() {
+        for p in [2usize, 4, 6] {
+            assert_eq!(bspline(p, 0.0), 0.0);
+            assert_eq!(bspline(p, p as f64), 0.0);
+            assert_eq!(bspline(p, -0.5), 0.0);
+            assert_eq!(bspline(p, p as f64 + 0.5), 0.0);
+            for i in 1..(10 * p) {
+                let u = i as f64 * 0.1;
+                assert!(bspline(p, u) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn bspline_symmetry_about_center() {
+        for p in [3usize, 4, 5, 6] {
+            for i in 0..20 {
+                let d = 0.11 * i as f64;
+                let c = p as f64 / 2.0;
+                assert!((bspline(p, c - d) - bspline(p, c + d)).abs() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn bspline_known_values() {
+        // M_2 hat: M_2(1) = 1. M_4 cubic: M_4(2) = 2/3, M_4(1) = 1/6.
+        assert!((bspline(2, 1.0) - 1.0).abs() < 1e-15);
+        assert!((bspline(4, 2.0) - 2.0 / 3.0).abs() < 1e-15);
+        assert!((bspline(4, 1.0) - 1.0 / 6.0).abs() < 1e-15);
+        assert!((bspline(4, 3.0) - 1.0 / 6.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn stencil_weights_sum_to_one_and_cover_support() {
+        for p in [4usize, 6] {
+            for u in [3.2, 7.9, 0.4, 15.0001] {
+                let mut w = vec![0.0; p];
+                let first = stencil(p, u, &mut w);
+                let s: f64 = w.iter().sum();
+                assert!((s - 1.0).abs() < 1e-12, "p={p} u={u}");
+                assert!(w.iter().all(|&x| x >= 0.0));
+                // The stencil spans the p mesh points below/at u.
+                assert_eq!(first, u.floor() as i64 - (p as i64 - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn euler_factors_are_positive_and_one_at_dc() {
+        for (k, p) in [(16usize, 4usize), (32, 6), (20, 4), (10, 8)] {
+            let b2 = euler_factors(k, p);
+            assert_eq!(b2.len(), k);
+            // At m = 0 the denominator is Σ W_p(j+1) = 1 (partition of
+            // unity at integer nodes), so |b|^2 = 1.
+            assert!((b2[0] - 1.0).abs() < 1e-12, "k={k} p={p}");
+            for &v in &b2 {
+                assert!(v >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn euler_factors_interpolate_exponentials() {
+        // Defining property: for any mode m (away from degenerate modes),
+        // e^{2 pi i m u / k} ≈ b(m) Σ_j W_p(u - j) e^{2 pi i m j / k}.
+        // Verify |b(m)|^2 * |Σ_j W_p(u - j) e^{2 pi i m j/k}|^2 ≈ 1 at
+        // integer u (exact there).
+        let (k, p) = (16usize, 4usize);
+        let b2 = euler_factors(k, p);
+        let u = 5.0;
+        for m in 0..k / 2 {
+            let mut re = 0.0;
+            let mut im = 0.0;
+            for j in -(p as i64)..(k as i64 + p as i64) {
+                let w = bspline(p, u - j as f64);
+                if w > 0.0 {
+                    let phase = TAU * m as f64 * j as f64 / k as f64;
+                    re += w * phase.cos();
+                    im += w * phase.sin();
+                }
+            }
+            let s2 = re * re + im * im;
+            if b2[m] > 0.0 {
+                assert!((b2[m] * s2 - 1.0).abs() < 1e-10, "m={m}: {}", b2[m] * s2);
+            }
+        }
+    }
+}

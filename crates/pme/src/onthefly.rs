@@ -1,0 +1,138 @@
+//! On-the-fly spreading/interpolation (the Figure 4 baseline).
+//!
+//! Instead of storing `P`, the B-spline weights are recomputed from the
+//! particle positions at every application. This lowers memory traffic (no
+//! `12 p^3 n` bytes of matrix reads) but pays the polynomial evaluation each
+//! time; the paper finds the precomputed variant ~1.5x faster because `P` is
+//! reused across the 300+ PME applications of a time step.
+
+use crate::pmat::{fill_row, InterpMatrix};
+use crate::spread::SpreadPlan;
+use rayon::prelude::*;
+
+/// Maximum supported spline order for the stack-allocated row buffers.
+pub const MAX_ORDER: usize = 8;
+
+/// Spread all three components, recomputing weights per particle.
+/// `mesh` is `[F_x | F_y | F_z]`, zeroed by this call.
+pub fn spread_on_the_fly(
+    plan: &SpreadPlan,
+    pm: &InterpMatrix,
+    f: &[f64],
+    mesh: &mut [f64],
+) {
+    let k = pm.k;
+    let p = pm.p;
+    assert!(p <= MAX_ORDER, "spline order > {MAX_ORDER} not supported on the fly");
+    let k3 = k * k * k;
+    assert_eq!(mesh.len(), 3 * k3);
+    mesh.par_chunks_mut(8192).for_each(|c| c.fill(0.0));
+
+    // Reuse the independent-set schedule; only the weight source differs.
+    plan.for_each_block_set(|rows, mesh_ptr| {
+        let mesh = unsafe { std::slice::from_raw_parts_mut(mesh_ptr, 3 * k3) };
+        let (mx, rest) = mesh.split_at_mut(k3);
+        let (my, mz) = rest.split_at_mut(k3);
+        let mut cols = [0u32; MAX_ORDER * MAX_ORDER * MAX_ORDER];
+        let mut vals = [0.0f64; MAX_ORDER * MAX_ORDER * MAX_ORDER];
+        let p3 = p * p * p;
+        for &r in rows {
+            let r = r as usize;
+            fill_row(&pm.scaled[r], k, p, &mut cols[..p3], &mut vals[..p3]);
+            let (fx, fy, fz) = (f[3 * r], f[3 * r + 1], f[3 * r + 2]);
+            for t in 0..p3 {
+                let c = cols[t] as usize;
+                let w = vals[t];
+                mx[c] += w * fx;
+                my[c] += w * fy;
+                mz[c] += w * fz;
+            }
+        }
+    }, mesh);
+}
+
+/// Interpolate all three components, recomputing weights per particle.
+pub fn interpolate_on_the_fly(pm: &InterpMatrix, mesh: &[f64], u: &mut [f64]) {
+    let k = pm.k;
+    let p = pm.p;
+    assert!(p <= MAX_ORDER);
+    let k3 = k * k * k;
+    assert_eq!(mesh.len(), 3 * k3);
+    let (mx, rest) = mesh.split_at(k3);
+    let (my, mz) = rest.split_at(k3);
+    let p3 = p * p * p;
+    u.par_chunks_mut(3).enumerate().for_each(|(r, ur)| {
+        let mut cols = [0u32; MAX_ORDER * MAX_ORDER * MAX_ORDER];
+        let mut vals = [0.0f64; MAX_ORDER * MAX_ORDER * MAX_ORDER];
+        fill_row(&pm.scaled[r], k, p, &mut cols[..p3], &mut vals[..p3]);
+        let (mut ax, mut ay, mut az) = (0.0, 0.0, 0.0);
+        for t in 0..p3 {
+            let c = cols[t] as usize;
+            let w = vals[t];
+            ax += w * mx[c];
+            ay += w * my[c];
+            az += w * mz[c];
+        }
+        ur[0] = ax;
+        ur[1] = ay;
+        ur[2] = az;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pmat::build_interp_matrix;
+    use crate::spread::interpolate;
+    use hibd_mathx::Vec3;
+
+    fn lcg_positions(n: usize, box_l: f64, seed: u64) -> Vec<Vec3> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 * box_l
+        };
+        (0..n).map(|_| Vec3::new(next(), next(), next())).collect()
+    }
+
+    fn lcg_forces(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        (0..3 * n)
+            .map(|_| {
+                state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn on_the_fly_spreading_matches_precomputed() {
+        let (n, k, p, box_l) = (120usize, 24usize, 4usize, 12.0);
+        let pos = lcg_positions(n, box_l, 1);
+        let pm = build_interp_matrix(&pos, box_l, k, p);
+        let plan = SpreadPlan::new(&pm.scaled, k, p);
+        let f = lcg_forces(n, 3);
+        let k3 = k * k * k;
+        let mut m1 = vec![0.0; 3 * k3];
+        let mut m2 = vec![0.0; 3 * k3];
+        plan.spread(&pm, &f, &mut m1);
+        spread_on_the_fly(&plan, &pm, &f, &mut m2);
+        let maxd = m1.iter().zip(&m2).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+        assert!(maxd < 1e-14, "{maxd}");
+    }
+
+    #[test]
+    fn on_the_fly_interpolation_matches_precomputed() {
+        let (n, k, p, box_l) = (90usize, 16usize, 6usize, 9.0);
+        let pos = lcg_positions(n, box_l, 5);
+        let pm = build_interp_matrix(&pos, box_l, k, p);
+        let k3 = k * k * k;
+        let mesh = lcg_forces(k3, 7); // 3*k3 values
+        let mut u1 = vec![0.0; 3 * n];
+        let mut u2 = vec![0.0; 3 * n];
+        interpolate(&pm, &mesh, &mut u1);
+        interpolate_on_the_fly(&pm, &mesh, &mut u2);
+        let maxd = u1.iter().zip(&u2).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+        assert!(maxd < 1e-14, "{maxd}");
+    }
+}

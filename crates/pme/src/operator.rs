@@ -1,0 +1,584 @@
+//! The assembled PME mobility operator (paper Algorithm 2, line 4).
+//!
+//! `PmeOperator::new` performs the per-time-step setup: interpolation matrix
+//! `P`, spreading plan (independent sets), influence function, real-space
+//! BCSR matrix, FFT plans, and mesh buffers. `apply` then evaluates
+//! `u = M f` with no further setup — the property that makes the operator
+//! cheap to use inside the Krylov iteration.
+//!
+//! Wall-clock time of each reciprocal phase is accumulated into
+//! [`PmePhaseTimes`], which the Figure 5 harness reads.
+
+use crate::influence::Influence;
+use crate::pmat::{build_interp_matrix, InterpMatrix};
+use crate::real::assemble_real_space;
+use crate::spread::{interpolate, SpreadPlan};
+use hibd_fft::{Complex64, Fft3, FftError};
+use hibd_linalg::LinearOperator;
+use hibd_mathx::Vec3;
+use hibd_rpy::RpyEwald;
+use hibd_sparse::Bcsr3;
+use std::time::Instant;
+
+/// PME discretization parameters (one row of the paper's Table III).
+#[derive(Clone, Copy, Debug)]
+pub struct PmeParams {
+    /// Particle radius.
+    pub a: f64,
+    /// Fluid viscosity.
+    pub eta: f64,
+    /// Cubic box side `L`.
+    pub box_l: f64,
+    /// Ewald splitting parameter (the paper's `alpha`).
+    pub alpha: f64,
+    /// FFT mesh dimension `K` (`K^3` points; must be even and 16-smooth).
+    pub mesh_dim: usize,
+    /// Cardinal B-spline order `p`.
+    pub spline_order: usize,
+    /// Real-space cutoff `r_max` (`<= L/2`).
+    pub r_max: f64,
+}
+
+impl Default for PmeParams {
+    fn default() -> Self {
+        PmeParams {
+            a: 1.0,
+            eta: 1.0,
+            box_l: 10.0,
+            alpha: 0.8,
+            mesh_dim: 32,
+            spline_order: 4,
+            r_max: 4.0,
+        }
+    }
+}
+
+/// Accumulated wall-clock seconds per pipeline phase.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PmePhaseTimes {
+    pub spreading: f64,
+    pub forward_fft: f64,
+    pub influence: f64,
+    pub inverse_fft: f64,
+    pub interpolation: f64,
+    pub real_space: f64,
+    /// Number of `apply` calls accumulated.
+    pub applications: usize,
+}
+
+impl PmePhaseTimes {
+    /// Total reciprocal-space time.
+    pub fn recip_total(&self) -> f64 {
+        self.spreading + self.forward_fft + self.influence + self.inverse_fft + self.interpolation
+    }
+
+    pub fn total(&self) -> f64 {
+        self.recip_total() + self.real_space
+    }
+}
+
+/// The matrix-free periodic RPY mobility operator.
+///
+/// ```
+/// use hibd_mathx::Vec3;
+/// use hibd_pme::{PmeOperator, PmeParams};
+/// use hibd_linalg::LinearOperator;
+///
+/// let positions = vec![
+///     Vec3::new(1.0, 2.0, 3.0),
+///     Vec3::new(6.0, 5.0, 4.0),
+///     Vec3::new(3.0, 8.0, 7.5),
+/// ];
+/// let params = PmeParams::default(); // L = 10, K = 32, p = 4
+/// let mut op = PmeOperator::new(&positions, params).unwrap();
+///
+/// // u = M f: velocities induced by forces through the fluid.
+/// let f = vec![1.0, 0.0, 0.0,  0.0, 0.0, 0.0,  0.0, 0.0, 0.0];
+/// let mut u = vec![0.0; 9];
+/// op.apply(&f, &mut u);
+/// assert!(u[0] > 0.0, "forced particle moves along the force");
+/// assert!(u[3].abs() > 0.0, "other particles are dragged along");
+/// ```
+pub struct PmeOperator {
+    params: PmeParams,
+    ewald: RpyEwald,
+    n: usize,
+    fft: Fft3,
+    pm: InterpMatrix,
+    plan: SpreadPlan,
+    inf: Influence,
+    real: Bcsr3,
+    self_coef: f64,
+    /// `[F_x | F_y | F_z]` real meshes, each `K^3`.
+    mesh: Vec<f64>,
+    /// `[C_x | C_y | C_z]` half spectra, each `K^2 (K/2+1)`.
+    spec: Vec<Complex64>,
+    times: PmePhaseTimes,
+}
+
+impl PmeOperator {
+    /// Build the operator for a particle configuration (Algorithm 2 line 4:
+    /// "Construct PME operator using r_k").
+    pub fn new(positions: &[Vec3], params: PmeParams) -> Result<PmeOperator, FftError> {
+        let k = params.mesh_dim;
+        let p = params.spline_order;
+        let ewald = RpyEwald::kernel_only(params.a, params.eta, params.box_l, params.alpha);
+        let fft = Fft3::new([k, k, k])?;
+        let pm = build_interp_matrix(positions, params.box_l, k, p);
+        let plan = SpreadPlan::new(&pm.scaled, k, p);
+        let inf = Influence::new(&ewald, k, p);
+        let real = assemble_real_space(positions, &ewald, params.r_max);
+        let self_coef = ewald.self_coefficient();
+        let k3 = k * k * k;
+        let s_len = k * k * (k / 2 + 1);
+        Ok(PmeOperator {
+            params,
+            ewald,
+            n: positions.len(),
+            fft,
+            pm,
+            plan,
+            inf,
+            real,
+            self_coef,
+            mesh: vec![0.0; 3 * k3],
+            spec: vec![Complex64::ZERO; 3 * s_len],
+            times: PmePhaseTimes::default(),
+        })
+    }
+
+    /// Number of particles.
+    pub fn num_particles(&self) -> usize {
+        self.n
+    }
+
+    pub fn params(&self) -> &PmeParams {
+        &self.params
+    }
+
+    /// The Ewald kernel in use.
+    pub fn ewald(&self) -> &RpyEwald {
+        &self.ewald
+    }
+
+    /// The interpolation matrix (for the Figure 4 comparison and tests).
+    pub fn interp_matrix(&self) -> &InterpMatrix {
+        &self.pm
+    }
+
+    /// The spreading plan.
+    pub fn spread_plan(&self) -> &SpreadPlan {
+        &self.plan
+    }
+
+    /// The real-space BCSR operator.
+    pub fn real_matrix(&self) -> &Bcsr3 {
+        &self.real
+    }
+
+    /// Reset and return accumulated phase timings.
+    pub fn take_times(&mut self) -> PmePhaseTimes {
+        std::mem::take(&mut self.times)
+    }
+
+    /// Estimated resident bytes of the operator (paper Eq. 11 plus the
+    /// real-space matrix): meshes + spectra + P + influence + BCSR.
+    pub fn memory_bytes(&self) -> usize {
+        self.mesh.len() * 8
+            + self.spec.len() * 16
+            + self.pm.mat.memory_bytes()
+            + self.inf.memory_bytes()
+            + self.real.memory_bytes()
+    }
+
+    /// `u += M_recip f` — the six-step reciprocal pipeline.
+    pub fn recip_apply_add(&mut self, f: &[f64], u: &mut [f64]) {
+        assert_eq!(f.len(), 3 * self.n);
+        assert_eq!(u.len(), 3 * self.n);
+        let k = self.params.mesh_dim;
+        let k3 = k * k * k;
+        let s_len = k * k * (k / 2 + 1);
+
+        let t0 = Instant::now();
+        self.plan.spread(&self.pm, f, &mut self.mesh);
+        let t1 = Instant::now();
+        for theta in 0..3 {
+            self.fft.forward(
+                &self.mesh[theta * k3..(theta + 1) * k3],
+                &mut self.spec[theta * s_len..(theta + 1) * s_len],
+            );
+        }
+        let t2 = Instant::now();
+        self.inf.apply(&mut self.spec);
+        let t3 = Instant::now();
+        for theta in 0..3 {
+            self.fft.inverse(
+                &mut self.spec[theta * s_len..(theta + 1) * s_len],
+                &mut self.mesh[theta * k3..(theta + 1) * k3],
+            );
+        }
+        let t4 = Instant::now();
+        // Interpolate into a scratch then accumulate (interpolate overwrites).
+        let mut u_recip = vec![0.0; 3 * self.n];
+        interpolate(&self.pm, &self.mesh, &mut u_recip);
+        for (o, v) in u.iter_mut().zip(&u_recip) {
+            *o += v;
+        }
+        let t5 = Instant::now();
+
+        self.times.spreading += (t1 - t0).as_secs_f64();
+        self.times.forward_fft += (t2 - t1).as_secs_f64();
+        self.times.influence += (t3 - t2).as_secs_f64();
+        self.times.inverse_fft += (t4 - t3).as_secs_f64();
+        self.times.interpolation += (t5 - t4).as_secs_f64();
+    }
+
+    /// `u += M_recip f` recomputing the B-spline weights on the fly instead
+    /// of reading the precomputed `P` — the Figure 4 baseline. Timing is
+    /// accumulated into the same phase counters.
+    pub fn recip_apply_add_on_the_fly(&mut self, f: &[f64], u: &mut [f64]) {
+        assert_eq!(f.len(), 3 * self.n);
+        assert_eq!(u.len(), 3 * self.n);
+        let k = self.params.mesh_dim;
+        let k3 = k * k * k;
+        let s_len = k * k * (k / 2 + 1);
+
+        let t0 = Instant::now();
+        crate::onthefly::spread_on_the_fly(&self.plan, &self.pm, f, &mut self.mesh);
+        let t1 = Instant::now();
+        for theta in 0..3 {
+            self.fft.forward(
+                &self.mesh[theta * k3..(theta + 1) * k3],
+                &mut self.spec[theta * s_len..(theta + 1) * s_len],
+            );
+        }
+        let t2 = Instant::now();
+        self.inf.apply(&mut self.spec);
+        let t3 = Instant::now();
+        for theta in 0..3 {
+            self.fft.inverse(
+                &mut self.spec[theta * s_len..(theta + 1) * s_len],
+                &mut self.mesh[theta * k3..(theta + 1) * k3],
+            );
+        }
+        let t4 = Instant::now();
+        let mut u_recip = vec![0.0; 3 * self.n];
+        crate::onthefly::interpolate_on_the_fly(&self.pm, &self.mesh, &mut u_recip);
+        for (o, v) in u.iter_mut().zip(&u_recip) {
+            *o += v;
+        }
+        let t5 = Instant::now();
+
+        self.times.spreading += (t1 - t0).as_secs_f64();
+        self.times.forward_fft += (t2 - t1).as_secs_f64();
+        self.times.influence += (t3 - t2).as_secs_f64();
+        self.times.inverse_fft += (t4 - t3).as_secs_f64();
+        self.times.interpolation += (t5 - t4).as_secs_f64();
+    }
+
+    /// `u = (M_real + M_self) f` — the short-range part.
+    pub fn real_apply(&mut self, f: &[f64], u: &mut [f64]) {
+        let t0 = Instant::now();
+        self.real.mul_vec(f, u);
+        for (o, v) in u.iter_mut().zip(f) {
+            *o += self.self_coef * v;
+        }
+        self.times.real_space += t0.elapsed().as_secs_f64();
+    }
+
+    /// Multi-RHS real part: `U = (M_real + M_self) F` for row-major
+    /// `[3n][s]` blocks (BCSR SpMM, paper ref. [24]).
+    pub fn real_apply_multi(&mut self, f: &[f64], u: &mut [f64], s: usize) {
+        let t0 = Instant::now();
+        self.real.mul_multi(f, u, s);
+        for (o, v) in u.iter_mut().zip(f) {
+            *o += self.self_coef * v;
+        }
+        self.times.real_space += t0.elapsed().as_secs_f64();
+    }
+
+    /// `u = PME(f)` with the real-space and reciprocal-space parts computed
+    /// **concurrently** (the paper's hybrid scheme, Section IV-E: "the
+    /// real-space terms and the reciprocal-space terms can be computed
+    /// concurrently"). Returns `(t_real, t_recip)` wall-clock seconds of the
+    /// two branches, which the hybrid load balancer consumes.
+    pub fn apply_overlapped(&mut self, f: &[f64], u: &mut [f64]) -> (f64, f64) {
+        assert_eq!(f.len(), 3 * self.n);
+        assert_eq!(u.len(), 3 * self.n);
+        // Split borrows: the real branch only reads `real`/`self_coef`;
+        // the reciprocal branch mutates the meshes and spectra.
+        let real = &self.real;
+        let self_coef = self.self_coef;
+        let plan = &self.plan;
+        let pm = &self.pm;
+        let fft = &self.fft;
+        let inf = &self.inf;
+        let mesh = &mut self.mesh;
+        let spec = &mut self.spec;
+        let k = self.params.mesh_dim;
+        let k3 = k * k * k;
+        let s_len = k * k * (k / 2 + 1);
+        let n = self.n;
+
+        let mut u_real = vec![0.0; 3 * n];
+        let mut u_recip = vec![0.0; 3 * n];
+        let mut t_real = 0.0;
+        let mut t_recip = 0.0;
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                let t0 = Instant::now();
+                real.mul_vec(f, &mut u_real);
+                for (o, v) in u_real.iter_mut().zip(f) {
+                    *o += self_coef * v;
+                }
+                t0.elapsed().as_secs_f64()
+            });
+            let t0 = Instant::now();
+            plan.spread(pm, f, mesh);
+            for theta in 0..3 {
+                fft.forward(
+                    &mesh[theta * k3..(theta + 1) * k3],
+                    &mut spec[theta * s_len..(theta + 1) * s_len],
+                );
+            }
+            inf.apply(spec);
+            for theta in 0..3 {
+                fft.inverse(
+                    &mut spec[theta * s_len..(theta + 1) * s_len],
+                    &mut mesh[theta * k3..(theta + 1) * k3],
+                );
+            }
+            interpolate(pm, mesh, &mut u_recip);
+            t_recip = t0.elapsed().as_secs_f64();
+            t_real = handle.join().expect("real-space branch panicked");
+        });
+        for ((o, a), b) in u.iter_mut().zip(&u_real).zip(&u_recip) {
+            *o = a + b;
+        }
+        self.times.real_space += t_real;
+        self.times.applications += 1;
+        (t_real, t_recip)
+    }
+
+    /// Reciprocal part for one column of a row-major multivector: gathers
+    /// column `col`, runs the pipeline, scatters the result back. Exposed
+    /// for the hybrid executor's static partitioning of block applications.
+    pub fn recip_apply_add_column(&mut self, x: &[f64], y: &mut [f64], s: usize, col: usize) {
+        let n3 = 3 * self.n;
+        let mut fc = vec![0.0; n3];
+        for i in 0..n3 {
+            fc[i] = x[i * s + col];
+        }
+        let mut uc = vec![0.0; n3];
+        self.recip_apply_add(&fc, &mut uc);
+        for i in 0..n3 {
+            y[i * s + col] += uc[i];
+        }
+    }
+}
+
+impl LinearOperator for PmeOperator {
+    fn dim(&self) -> usize {
+        3 * self.n
+    }
+
+    /// `u = PME(f) = (M_real + M_self) f + M_recip f`.
+    fn apply(&mut self, f: &[f64], u: &mut [f64]) {
+        self.real_apply(f, u);
+        self.recip_apply_add(f, u);
+        self.times.applications += 1;
+    }
+
+    /// Block application: multi-RHS SpMM for the real part, per-column FFT
+    /// pipeline for the reciprocal part (the paper notes "there is no
+    /// library function for 3D FFTs for blocks of vectors").
+    fn apply_multi(&mut self, x: &[f64], y: &mut [f64], s: usize) {
+        assert_eq!(x.len(), 3 * self.n * s);
+        assert_eq!(y.len(), 3 * self.n * s);
+        self.real_apply_multi(x, y, s);
+        for col in 0..s {
+            self.recip_apply_add_column(x, y, s, col);
+        }
+        self.times.applications += s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hibd_rpy::dense_ewald_mobility;
+
+    fn lcg_positions(n: usize, box_l: f64, seed: u64) -> Vec<Vec3> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 * box_l
+        };
+        (0..n).map(|_| Vec3::new(next(), next(), next())).collect()
+    }
+
+    fn lcg_vector(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect()
+    }
+
+    fn test_params() -> PmeParams {
+        PmeParams {
+            a: 1.0,
+            eta: 1.0,
+            box_l: 10.0,
+            alpha: 0.8,
+            mesh_dim: 32,
+            spline_order: 6,
+            r_max: 4.5,
+        }
+    }
+
+    #[test]
+    fn pme_matches_dense_ewald() {
+        // The headline correctness test: e_p = |u_pme - u_exact| / |u_exact|
+        // against the tight-tolerance dense Ewald matrix.
+        let n = 10;
+        let params = test_params();
+        let pos = lcg_positions(n, params.box_l, 3);
+        let mut op = PmeOperator::new(&pos, params).unwrap();
+        let dense = dense_ewald_mobility(
+            &pos,
+            &RpyEwald::new(params.a, params.eta, params.box_l, params.alpha, 1e-12),
+        );
+        let f = lcg_vector(3 * n, 7);
+        let mut u_pme = vec![0.0; 3 * n];
+        op.apply(&f, &mut u_pme);
+        let mut u_exact = vec![0.0; 3 * n];
+        dense.mul_vec(&f, &mut u_exact);
+        let num: f64 =
+            u_pme.iter().zip(&u_exact).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+        let den: f64 = u_exact.iter().map(|v| v * v).sum::<f64>().sqrt();
+        let ep = num / den;
+        assert!(ep < 1e-3, "PME relative error e_p = {ep:e}");
+    }
+
+    #[test]
+    fn operator_is_symmetric() {
+        // g^T (M f) == f^T (M g) for the full PME operator.
+        let n = 12;
+        let params = test_params();
+        let pos = lcg_positions(n, params.box_l, 9);
+        let mut op = PmeOperator::new(&pos, params).unwrap();
+        let f = lcg_vector(3 * n, 11);
+        let g = lcg_vector(3 * n, 13);
+        let mut mf = vec![0.0; 3 * n];
+        op.apply(&f, &mut mf);
+        let mut mg = vec![0.0; 3 * n];
+        op.apply(&g, &mut mg);
+        let lhs: f64 = g.iter().zip(&mf).map(|(a, b)| a * b).sum();
+        let rhs: f64 = f.iter().zip(&mg).map(|(a, b)| a * b).sum();
+        assert!(
+            (lhs - rhs).abs() < 1e-10 * lhs.abs().max(1e-10),
+            "{lhs} vs {rhs}"
+        );
+    }
+
+    #[test]
+    fn operator_is_linear() {
+        let n = 8;
+        let params = test_params();
+        let pos = lcg_positions(n, params.box_l, 15);
+        let mut op = PmeOperator::new(&pos, params).unwrap();
+        let f = lcg_vector(3 * n, 17);
+        let g = lcg_vector(3 * n, 19);
+        let comb: Vec<f64> = f.iter().zip(&g).map(|(a, b)| 2.0 * a - 0.5 * b).collect();
+        let mut mf = vec![0.0; 3 * n];
+        op.apply(&f, &mut mf);
+        let mut mg = vec![0.0; 3 * n];
+        op.apply(&g, &mut mg);
+        let mut mc = vec![0.0; 3 * n];
+        op.apply(&comb, &mut mc);
+        for i in 0..3 * n {
+            let want = 2.0 * mf[i] - 0.5 * mg[i];
+            assert!((mc[i] - want).abs() < 1e-12, "i={i}");
+        }
+    }
+
+    #[test]
+    fn apply_multi_matches_columnwise_apply() {
+        let n = 6;
+        let s = 3;
+        let params = test_params();
+        let pos = lcg_positions(n, params.box_l, 21);
+        let mut op = PmeOperator::new(&pos, params).unwrap();
+        let x = lcg_vector(3 * n * s, 23);
+        let mut y = vec![0.0; 3 * n * s];
+        op.apply_multi(&x, &mut y, s);
+        for col in 0..s {
+            let xc: Vec<f64> = (0..3 * n).map(|i| x[i * s + col]).collect();
+            let mut yc = vec![0.0; 3 * n];
+            op.apply(&xc, &mut yc);
+            for i in 0..3 * n {
+                assert!(
+                    (y[i * s + col] - yc[i]).abs() < 1e-12,
+                    "col {col} i {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overlapped_apply_matches_sequential() {
+        let n = 10;
+        let params = test_params();
+        let pos = lcg_positions(n, params.box_l, 51);
+        let mut op = PmeOperator::new(&pos, params).unwrap();
+        let f = lcg_vector(3 * n, 53);
+        let mut u_seq = vec![0.0; 3 * n];
+        op.apply(&f, &mut u_seq);
+        let mut u_ovl = vec![0.0; 3 * n];
+        let (t_real, t_recip) = op.apply_overlapped(&f, &mut u_ovl);
+        assert!(t_real >= 0.0 && t_recip > 0.0);
+        for i in 0..3 * n {
+            assert!((u_seq[i] - u_ovl[i]).abs() < 1e-13, "i={i}");
+        }
+    }
+
+    #[test]
+    fn phase_times_accumulate() {
+        let n = 8;
+        let params = test_params();
+        let pos = lcg_positions(n, params.box_l, 31);
+        let mut op = PmeOperator::new(&pos, params).unwrap();
+        let f = lcg_vector(3 * n, 33);
+        let mut u = vec![0.0; 3 * n];
+        op.apply(&f, &mut u);
+        op.apply(&f, &mut u);
+        let t = op.take_times();
+        assert_eq!(t.applications, 2);
+        assert!(t.forward_fft > 0.0);
+        assert!(t.recip_total() > 0.0);
+        assert!(t.total() >= t.recip_total());
+        // take_times resets.
+        let t2 = op.take_times();
+        assert_eq!(t2.applications, 0);
+    }
+
+    #[test]
+    fn memory_scales_linearly_in_particles_for_fixed_mesh() {
+        let params = test_params();
+        let pos_small = lcg_positions(10, params.box_l, 41);
+        let pos_large = lcg_positions(40, params.box_l, 43);
+        let m_small = PmeOperator::new(&pos_small, params).unwrap().memory_bytes();
+        let m_large = PmeOperator::new(&pos_large, params).unwrap().memory_bytes();
+        // P grows by 12 p^3 per particle; meshes stay fixed.
+        let p3 = params.spline_order.pow(3);
+        let expected_growth = 30 * 12 * p3;
+        let growth = m_large - m_small;
+        assert!(
+            growth >= expected_growth && growth < expected_growth * 4,
+            "growth {growth} vs P-only {expected_growth}"
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! The paper's performance model (Section IV-D) and machine descriptions
+//! (Table I).
+//!
+//! Each reciprocal-space phase is modeled either as memory-bandwidth-bound
+//! (spreading, influence application, interpolation) or flop-bound at the
+//! machine's achievable FFT rate (the two transform phases):
+//!
+//! * `T_spreading     = (24 K^3 + 36 p^3 n) / B`
+//! * `T_fft / T_ifft  = 3 * 2.5 K^3 log2(K^3) / P_fft(K)`
+//! * `T_influence     = 52 K^3 / B`
+//! * `T_interpolation = 36 p^3 n / B`
+//!
+//! summing to the paper's Eq. 10, with the memory requirement of Eq. 11.
+//! `P_fft(K)` uses a saturation curve: wide-SIMD machines (KNC) only reach
+//! their asymptotic FFT rate on large meshes, which reproduces the Figure 6
+//! crossover (KNC no faster than the CPU for small problems, up to ~1.6x
+//! faster for large ones).
+//!
+//! **Hardware substitution note.** This host has neither a Westmere-EP pair
+//! nor Xeon Phi cards; the machine constants below encode Table I plus
+//! canonical MKL FFT efficiencies, and the hybrid scheduler consumes the
+//! *model*, exactly as the paper's static partitioner does. See DESIGN.md.
+
+/// A machine description for the performance model.
+#[derive(Clone, Copy, Debug)]
+pub struct Machine {
+    pub name: &'static str,
+    /// STREAM memory bandwidth, bytes/second.
+    pub bandwidth: f64,
+    /// Asymptotic achievable forward 3D-FFT rate, flop/s.
+    pub fft_flops: f64,
+    /// Asymptotic achievable inverse 3D-FFT rate, flop/s.
+    pub ifft_flops: f64,
+    /// Mesh size `K^3` at which the FFT rate reaches half its asymptote
+    /// (efficiency saturation scale).
+    pub fft_sat_k3: f64,
+    /// Peak double-precision flop rate (Table I), for reporting.
+    pub peak_flops: f64,
+}
+
+impl Machine {
+    /// Dual-socket Intel Xeon X5680 (Westmere-EP), Table I column 1.
+    pub fn westmere() -> Machine {
+        Machine {
+            name: "2x Xeon X5680 (Westmere-EP)",
+            bandwidth: 41.6e9,
+            fft_flops: 24.0e9,
+            ifft_flops: 24.0e9,
+            fft_sat_k3: 32.0 * 32.0 * 32.0,
+            peak_flops: 160.0e9,
+        }
+    }
+
+    /// Intel Xeon Phi (Knights Corner), Table I column 2. The inverse FFT
+    /// rate is depressed, reflecting the paper's observation that MKL's 3D
+    /// inverse FFT was inefficient on KNC at the time.
+    pub fn knc() -> Machine {
+        Machine {
+            name: "Intel Xeon Phi (KNC)",
+            bandwidth: 160.0e9,
+            fft_flops: 55.0e9,
+            ifft_flops: 30.0e9,
+            fft_sat_k3: 128.0 * 128.0 * 128.0,
+            peak_flops: 1074.0e9,
+        }
+    }
+
+    /// Achievable forward-FFT rate on a `K^3` mesh.
+    pub fn p_fft(&self, k: usize) -> f64 {
+        let k3 = (k * k * k) as f64;
+        self.fft_flops * k3 / (k3 + self.fft_sat_k3)
+    }
+
+    /// Achievable inverse-FFT rate on a `K^3` mesh.
+    pub fn p_ifft(&self, k: usize) -> f64 {
+        let k3 = (k * k * k) as f64;
+        self.ifft_flops * k3 / (k3 + self.fft_sat_k3)
+    }
+}
+
+/// Performance model for one PME configuration on one machine.
+#[derive(Clone, Copy, Debug)]
+pub struct PerfModel {
+    pub machine: Machine,
+    /// Mesh dimension `K`.
+    pub k: usize,
+    /// Spline order `p`.
+    pub p: usize,
+    /// Number of particles.
+    pub n: usize,
+}
+
+impl PerfModel {
+    pub fn new(machine: Machine, k: usize, p: usize, n: usize) -> PerfModel {
+        PerfModel { machine, k, p, n }
+    }
+
+    fn k3(&self) -> f64 {
+        (self.k * self.k * self.k) as f64
+    }
+
+    fn p3n(&self) -> f64 {
+        (self.p * self.p * self.p * self.n) as f64
+    }
+
+    /// Spreading bytes: mesh init `3*8*K^3` + P footprint `12 p^3 n`
+    /// + scattered writes `3*8*p^3 n`.
+    pub fn spreading_bytes(&self) -> f64 {
+        24.0 * self.k3() + 36.0 * self.p3n()
+    }
+
+    pub fn t_spreading(&self) -> f64 {
+        self.spreading_bytes() / self.machine.bandwidth
+    }
+
+    /// Forward FFT flops: three r2c transforms at `2.5 K^3 log2(K^3)` each.
+    pub fn fft_flops(&self) -> f64 {
+        3.0 * 2.5 * self.k3() * self.k3().log2()
+    }
+
+    pub fn t_fft(&self) -> f64 {
+        self.fft_flops() / self.machine.p_fft(self.k)
+    }
+
+    pub fn t_ifft(&self) -> f64 {
+        self.fft_flops() / self.machine.p_ifft(self.k)
+    }
+
+    /// Influence bytes: scalar table `8*K^3/2` + read `C` and write `D`
+    /// (three complex components over the half spectrum each way).
+    pub fn influence_bytes(&self) -> f64 {
+        (8.0 + 2.0 * 48.0) * self.k3() / 2.0
+    }
+
+    pub fn t_influence(&self) -> f64 {
+        self.influence_bytes() / self.machine.bandwidth
+    }
+
+    /// Interpolation bytes: P footprint + gathered reads.
+    pub fn interpolation_bytes(&self) -> f64 {
+        36.0 * self.p3n()
+    }
+
+    pub fn t_interpolation(&self) -> f64 {
+        self.interpolation_bytes() / self.machine.bandwidth
+    }
+
+    /// Total reciprocal-space time (paper Eq. 10).
+    pub fn t_recip(&self) -> f64 {
+        self.t_spreading() + self.t_fft() + self.t_influence() + self.t_ifft()
+            + self.t_interpolation()
+    }
+
+    /// Reciprocal-space memory (paper Eq. 11): meshes + P + influence.
+    pub fn m_pme_bytes(&self) -> f64 {
+        24.0 * self.k3() + 12.0 * self.p3n() + 8.0 * self.k3() / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equation_10_terms_recompose() {
+        // The sum of the bandwidth-bound terms must equal the paper's
+        // (72 p^3 n + 76 K^3)/B.
+        let m = PerfModel::new(Machine::westmere(), 64, 4, 5000);
+        let bw_terms = m.t_spreading() + m.t_influence() + m.t_interpolation();
+        let k3 = (64.0f64).powi(3);
+        let p3n = 64.0 * 5000.0;
+        let want = (72.0 * p3n + 76.0 * k3) / m.machine.bandwidth;
+        assert!((bw_terms - want).abs() < 1e-12 * want, "{bw_terms} vs {want}");
+    }
+
+    #[test]
+    fn equation_11_memory() {
+        let m = PerfModel::new(Machine::westmere(), 128, 6, 80000);
+        let k3 = (128.0f64).powi(3);
+        let p3n = 216.0 * 80000.0;
+        let want = 24.0 * k3 + 12.0 * p3n + 4.0 * k3;
+        assert!((m.m_pme_bytes() - want).abs() < 1.0);
+    }
+
+    #[test]
+    fn fft_dominates_at_small_n_bandwidth_at_large_n() {
+        // Paper Fig. 5a: FFT dominates for few particles; spreading /
+        // interpolation overtake as n grows at fixed K.
+        let small = PerfModel::new(Machine::westmere(), 256, 6, 1000);
+        assert!(small.t_fft() > small.t_spreading());
+        let large = PerfModel::new(Machine::westmere(), 256, 6, 2_000_000);
+        assert!(large.t_spreading() > large.t_fft());
+    }
+
+    #[test]
+    fn knc_slower_on_small_meshes_faster_on_large() {
+        // The Figure 6 crossover.
+        let small_w = PerfModel::new(Machine::westmere(), 32, 4, 500).t_recip();
+        let small_k = PerfModel::new(Machine::knc(), 32, 4, 500).t_recip();
+        assert!(small_k > small_w * 0.8, "KNC not much faster on tiny meshes");
+        let large_w = PerfModel::new(Machine::westmere(), 256, 6, 200_000).t_recip();
+        let large_k = PerfModel::new(Machine::knc(), 256, 6, 200_000).t_recip();
+        assert!(large_w / large_k > 1.3, "KNC {large_k} vs Westmere {large_w}");
+        assert!(large_w / large_k < 2.5);
+    }
+
+    #[test]
+    fn recip_time_scales_superlinearly_with_mesh() {
+        let t64 = PerfModel::new(Machine::westmere(), 64, 4, 5000).t_recip();
+        let t128 = PerfModel::new(Machine::westmere(), 128, 4, 5000).t_recip();
+        assert!(t128 > 7.0 * t64, "K doubling costs ~8x: {t128} vs {t64}");
+    }
+}

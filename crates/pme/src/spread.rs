@@ -1,0 +1,350 @@
+//! Parallel spreading via independent sets (paper Section IV-B2, Figure 2).
+//!
+//! Spreading is `F_theta = P^T f_theta`: a scatter with write conflicts when
+//! two particles' stencils overlap. The paper's solution: partition the mesh
+//! into blocks of side `>= p`, group blocks into 8 parity classes ("independent
+//! sets") such that no two blocks in a class are adjacent (including across
+//! the periodic seam), and run the classes sequentially with all blocks of a
+//! class scattering in parallel — race-free by construction, no atomics.
+//!
+//! Disjointness argument: a particle binned in block `b` (by the cell
+//! `floor(u)`) writes mesh cells in `[b_start - p + 1, b_end - 1]` per
+//! dimension. Two same-parity blocks are separated by at least one full
+//! block of side `>= p > p - 2`, so their write footprints cannot meet; with
+//! an even block count per dimension the parity classes remain proper around
+//! the periodic ring.
+
+use crate::pmat::InterpMatrix;
+use hibd_mathx::Vec3;
+use rayon::prelude::*;
+
+/// Block decomposition of the mesh with particles binned per block.
+#[derive(Clone, Debug)]
+pub struct SpreadPlan {
+    /// Mesh dimension.
+    k: usize,
+    /// Blocks per dimension (even), or 0 in serial-fallback mode.
+    nb: usize,
+    /// Block side in mesh cells (last block per dim may be larger).
+    bs: usize,
+    /// Particles grouped by block: CSR over `nb^3` blocks.
+    start: Vec<usize>,
+    members: Vec<u32>,
+    /// Block ids per parity class.
+    sets: [Vec<u32>; 8],
+    serial: bool,
+}
+
+impl SpreadPlan {
+    /// Build the plan from the scaled coordinates of the particles.
+    pub fn new(scaled: &[Vec3], k: usize, p: usize) -> SpreadPlan {
+        let bs = p.max(2);
+        let mut nb = k / bs;
+        if nb % 2 == 1 {
+            nb -= 1;
+        }
+        if nb < 2 {
+            // Mesh too small to guarantee disjoint write sets: serial mode.
+            return SpreadPlan {
+                k,
+                nb: 0,
+                bs,
+                start: vec![0, scaled.len()],
+                members: (0..scaled.len() as u32).collect(),
+                sets: Default::default(),
+                serial: true,
+            };
+        }
+        let nb3 = nb * nb * nb;
+        let block_of_dim = |u: f64| -> usize { ((u as usize) / bs).min(nb - 1) };
+        let block_of = |u: &Vec3| -> usize {
+            (block_of_dim(u.x) * nb + block_of_dim(u.y)) * nb + block_of_dim(u.z)
+        };
+        // Counting sort of particles into blocks.
+        let mut count = vec![0usize; nb3 + 1];
+        for u in scaled {
+            count[block_of(u) + 1] += 1;
+        }
+        for b in 0..nb3 {
+            count[b + 1] += count[b];
+        }
+        let start = count.clone();
+        let mut cursor = count;
+        let mut members = vec![0u32; scaled.len()];
+        for (i, u) in scaled.iter().enumerate() {
+            let b = block_of(u);
+            members[cursor[b]] = i as u32;
+            cursor[b] += 1;
+        }
+        // Parity classes.
+        let mut sets: [Vec<u32>; 8] = Default::default();
+        for bx in 0..nb {
+            for by in 0..nb {
+                for bz in 0..nb {
+                    let parity = (bx % 2) * 4 + (by % 2) * 2 + (bz % 2);
+                    sets[parity].push(((bx * nb + by) * nb + bz) as u32);
+                }
+            }
+        }
+        SpreadPlan { k, nb, bs, start, members, sets, serial: false }
+    }
+
+    /// Whether the serial fallback is active (mesh `< 4p` per dimension).
+    pub fn is_serial(&self) -> bool {
+        self.serial
+    }
+
+    /// Number of independent sets actually used.
+    pub fn num_sets(&self) -> usize {
+        if self.serial {
+            1
+        } else {
+            8
+        }
+    }
+
+    /// Blocks per dimension (0 in serial mode).
+    pub fn blocks_per_dim(&self) -> usize {
+        self.nb
+    }
+
+    /// Block side length in mesh cells (the `>= p` guarantee behind the
+    /// independent-set disjointness argument).
+    pub fn block_side(&self) -> usize {
+        self.bs
+    }
+
+    /// Spread all three force components: `mesh` is `[F_x | F_y | F_z]`
+    /// (each `K^3`, zero-initialized by this call), `f` is the interleaved
+    /// force vector `[f_x0, f_y0, f_z0, f_x1, ...]` of length `3n`.
+    pub fn spread(&self, pm: &InterpMatrix, f: &[f64], mesh: &mut [f64]) {
+        let k3 = self.k * self.k * self.k;
+        assert_eq!(mesh.len(), 3 * k3);
+        assert_eq!(f.len(), 3 * pm.mat.nrows());
+        // Paper: "we explicitly set the result F_theta to zero before
+        // beginning the spreading operation".
+        mesh.par_chunks_mut(8192).for_each(|c| c.fill(0.0));
+
+        if self.serial {
+            scatter_rows(&self.members, pm, f, mesh, k3);
+            return;
+        }
+
+        let ptr = MeshPtr(mesh.as_mut_ptr(), mesh.len());
+        let ptr = &ptr; // capture the Sync wrapper, not the raw field
+        for set in &self.sets {
+            set.par_iter().for_each(|&b| {
+                let rows = &self.members[self.start[b as usize]..self.start[b as usize + 1]];
+                // SAFETY: blocks within one parity class have disjoint write
+                // footprints (see module docs), classes run sequentially.
+                let mesh = unsafe { std::slice::from_raw_parts_mut(ptr.0, ptr.1) };
+                scatter_rows(rows, pm, f, mesh, k3);
+            });
+        }
+    }
+
+    /// Run `body(rows, mesh_ptr)` over every block, honoring the
+    /// independent-set schedule: parity classes sequentially, blocks within
+    /// a class in parallel. `body` receives the particle rows of one block
+    /// and a raw pointer to the full mesh; it may write only the mesh cells
+    /// covered by those rows' stencils (which the schedule guarantees are
+    /// disjoint across concurrently running blocks).
+    pub(crate) fn for_each_block_set(
+        &self,
+        body: impl Fn(&[u32], *mut f64) + Sync,
+        mesh: &mut [f64],
+    ) {
+        if self.serial {
+            body(&self.members, mesh.as_mut_ptr());
+            return;
+        }
+        let ptr = MeshPtr(mesh.as_mut_ptr(), mesh.len());
+        let ptr = &ptr; // capture the Sync wrapper, not the raw field
+        for set in &self.sets {
+            set.par_iter().for_each(|&b| {
+                let rows = &self.members[self.start[b as usize]..self.start[b as usize + 1]];
+                body(rows, ptr.0);
+            });
+        }
+    }
+
+    /// Reference serial spreading (used by tests and the correctness oracle).
+    pub fn spread_serial(&self, pm: &InterpMatrix, f: &[f64], mesh: &mut [f64]) {
+        let k3 = self.k * self.k * self.k;
+        assert_eq!(mesh.len(), 3 * k3);
+        mesh.fill(0.0);
+        let all: Vec<u32> = (0..pm.mat.nrows() as u32).collect();
+        scatter_rows(&all, pm, f, mesh, k3);
+    }
+}
+
+/// Scatter the listed particle rows into the three component meshes.
+fn scatter_rows(rows: &[u32], pm: &InterpMatrix, f: &[f64], mesh: &mut [f64], k3: usize) {
+    let (mx, rest) = mesh.split_at_mut(k3);
+    let (my, mz) = rest.split_at_mut(k3);
+    for &r in rows {
+        let r = r as usize;
+        let (cols, vals) = pm.mat.row(r);
+        let (fx, fy, fz) = (f[3 * r], f[3 * r + 1], f[3 * r + 2]);
+        for (c, w) in cols.iter().zip(vals) {
+            let c = *c as usize;
+            mx[c] += w * fx;
+            my[c] += w * fy;
+            mz[c] += w * fz;
+        }
+    }
+}
+
+/// Interpolate the three velocity components back to the particles:
+/// `u[3i + theta] = Σ_c P[i, c] mesh[theta * K^3 + c]` (paper Eq. 9).
+/// Gather — no write conflicts, parallel over particles.
+pub fn interpolate(pm: &InterpMatrix, mesh: &[f64], u: &mut [f64]) {
+    let k3 = pm.k * pm.k * pm.k;
+    assert_eq!(mesh.len(), 3 * k3);
+    assert_eq!(u.len(), 3 * pm.mat.nrows());
+    let (mx, rest) = mesh.split_at(k3);
+    let (my, mz) = rest.split_at(k3);
+    let nnz = pm.mat.nnz_per_row();
+    u.par_chunks_mut(3).enumerate().for_each(|(r, ur)| {
+        let _ = nnz;
+        let (cols, vals) = pm.mat.row(r);
+        let (mut ax, mut ay, mut az) = (0.0, 0.0, 0.0);
+        for (c, w) in cols.iter().zip(vals) {
+            let c = *c as usize;
+            ax += w * mx[c];
+            ay += w * my[c];
+            az += w * mz[c];
+        }
+        ur[0] = ax;
+        ur[1] = ay;
+        ur[2] = az;
+    });
+}
+
+/// Raw mesh pointer made Sync for the independent-set scatter.
+struct MeshPtr(*mut f64, usize);
+unsafe impl Sync for MeshPtr {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pmat::build_interp_matrix;
+
+    fn lcg_positions(n: usize, box_l: f64, seed: u64) -> Vec<Vec3> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 * box_l
+        };
+        (0..n).map(|_| Vec3::new(next(), next(), next())).collect()
+    }
+
+    fn lcg_forces(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        (0..3 * n)
+            .map(|_| {
+                state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_spreading_matches_serial() {
+        for (n, k, p) in [(200usize, 32usize, 4usize), (100, 24, 6), (50, 16, 4)] {
+            let box_l = 10.0;
+            let pos = lcg_positions(n, box_l, n as u64);
+            let pm = build_interp_matrix(&pos, box_l, k, p);
+            let plan = SpreadPlan::new(&pm.scaled, k, p);
+            assert!(!plan.is_serial(), "k={k} p={p} should run in parallel mode");
+            let f = lcg_forces(n, 7);
+            let k3 = k * k * k;
+            let mut mesh_par = vec![0.0; 3 * k3];
+            let mut mesh_ser = vec![1.0; 3 * k3]; // must be zeroed internally
+            plan.spread(&pm, &f, &mut mesh_par);
+            plan.spread_serial(&pm, &f, &mut mesh_ser);
+            let maxd = mesh_par
+                .iter()
+                .zip(&mesh_ser)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f64, f64::max);
+            assert!(maxd < 1e-14, "(n={n},k={k},p={p}): {maxd}");
+        }
+    }
+
+    #[test]
+    fn serial_fallback_on_small_mesh() {
+        let pos = lcg_positions(20, 5.0, 3);
+        let pm = build_interp_matrix(&pos, 5.0, 8, 6); // 8 < 4*6
+        let plan = SpreadPlan::new(&pm.scaled, 8, 6);
+        assert!(plan.is_serial());
+        let f = lcg_forces(20, 9);
+        let mut a = vec![0.0; 3 * 512];
+        let mut b = vec![0.0; 3 * 512];
+        plan.spread(&pm, &f, &mut a);
+        plan.spread_serial(&pm, &f, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn spreading_conserves_total_force() {
+        // Column sums of P^T f equal sum of f per component (partition of
+        // unity).
+        let n = 80;
+        let (k, p, box_l) = (20usize, 4usize, 10.0);
+        let pos = lcg_positions(n, box_l, 5);
+        let pm = build_interp_matrix(&pos, box_l, k, p);
+        let plan = SpreadPlan::new(&pm.scaled, k, p);
+        let f = lcg_forces(n, 13);
+        let mut mesh = vec![0.0; 3 * k * k * k];
+        plan.spread(&pm, &f, &mut mesh);
+        let k3 = k * k * k;
+        for theta in 0..3 {
+            let mesh_total: f64 = mesh[theta * k3..(theta + 1) * k3].iter().sum();
+            let force_total: f64 = (0..n).map(|i| f[3 * i + theta]).sum();
+            assert!(
+                (mesh_total - force_total).abs() < 1e-11,
+                "theta={theta}: {mesh_total} vs {force_total}"
+            );
+        }
+    }
+
+    #[test]
+    fn interpolation_is_transpose_of_spreading() {
+        // <P^T f, g>_mesh == <f, P g>_particles for random f, g.
+        let n = 60;
+        let (k, p, box_l) = (16usize, 4usize, 8.0);
+        let pos = lcg_positions(n, box_l, 11);
+        let pm = build_interp_matrix(&pos, box_l, k, p);
+        let plan = SpreadPlan::new(&pm.scaled, k, p);
+        let f = lcg_forces(n, 17);
+        let k3 = k * k * k;
+        let g: Vec<f64> = lcg_forces(k3, 19); // 3*k3 values
+        let mut mesh = vec![0.0; 3 * k3];
+        plan.spread(&pm, &f, &mut mesh);
+        let lhs: f64 = mesh.iter().zip(&g).map(|(a, b)| a * b).sum();
+        let mut u = vec![0.0; 3 * n];
+        interpolate(&pm, &g, &mut u);
+        let rhs: f64 = f.iter().zip(&u).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-11 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn interpolation_of_constant_field_returns_constant() {
+        let n = 30;
+        let (k, p, box_l) = (16usize, 6usize, 12.0);
+        let pos = lcg_positions(n, box_l, 23);
+        let pm = build_interp_matrix(&pos, box_l, k, p);
+        let k3 = k * k * k;
+        let mut mesh = vec![0.0; 3 * k3];
+        mesh[..k3].fill(2.5); // x component constant
+        mesh[2 * k3..].fill(-1.0); // z component constant
+        let mut u = vec![0.0; 3 * n];
+        interpolate(&pm, &mesh, &mut u);
+        for i in 0..n {
+            assert!((u[3 * i] - 2.5).abs() < 1e-12);
+            assert!(u[3 * i + 1].abs() < 1e-12);
+            assert!((u[3 * i + 2] + 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Dense mobility-matrix assembly (the conventional algorithm's data
+//! structure and the PME validation reference).
+
+use crate::ewald::RpyEwald;
+use crate::tensor::{rpy_pair_tensor, rpy_self_mobility};
+use hibd_mathx::Vec3;
+use hibd_linalg::DMat;
+use rayon::prelude::*;
+
+/// Assemble the dense `3n x 3n` periodic Ewald mobility matrix
+/// (Algorithm 1, line 4). Parallel over block rows.
+pub fn dense_ewald_mobility(positions: &[Vec3], ewald: &RpyEwald) -> DMat {
+    let n = positions.len();
+    let mut m = DMat::zeros(3 * n, 3 * n);
+    let ncols = 3 * n;
+    // Each thread fills the 3 scalar rows of a particle i for all j >= i;
+    // the mirror is applied afterwards.
+    m.as_mut_slice()
+        .par_chunks_mut(3 * ncols)
+        .enumerate()
+        .for_each(|(i, rows)| {
+            for j in i..n {
+                let (dr, same) = if i == j {
+                    (Vec3::ZERO, true)
+                } else {
+                    ((positions[i] - positions[j]).min_image(ewald.box_l), false)
+                };
+                let t = ewald.mobility_tensor(dr, same);
+                for bi in 0..3 {
+                    for bj in 0..3 {
+                        rows[bi * ncols + 3 * j + bj] = t[3 * bi + bj];
+                    }
+                }
+            }
+        });
+    // Mirror the strictly-lower block triangle.
+    for i in 0..3 * n {
+        for j in 0..i {
+            let v = m[(j, i)];
+            m[(i, j)] = v;
+        }
+    }
+    m
+}
+
+/// Assemble the dense free-space (non-periodic) RPY mobility matrix; used by
+/// unit tests and as a Krylov test operator.
+pub fn dense_rpy_free(positions: &[Vec3], a: f64, eta: f64) -> DMat {
+    let n = positions.len();
+    let mu0 = rpy_self_mobility(a, eta);
+    let mut m = DMat::zeros(3 * n, 3 * n);
+    for i in 0..n {
+        for j in 0..n {
+            let t: [f64; 9] = if i == j {
+                [mu0, 0.0, 0.0, 0.0, mu0, 0.0, 0.0, 0.0, mu0]
+            } else {
+                rpy_pair_tensor(positions[i] - positions[j], a, eta)
+            };
+            for bi in 0..3 {
+                for bj in 0..3 {
+                    m[(3 * i + bi, 3 * j + bj)] = t[3 * bi + bj];
+                }
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hibd_linalg::CholeskyFactor;
+
+    fn lcg_positions(n: usize, box_l: f64, seed: u64) -> Vec<Vec3> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 * box_l
+        };
+        (0..n).map(|_| Vec3::new(next(), next(), next())).collect()
+    }
+
+    #[test]
+    fn ewald_matrix_is_symmetric() {
+        let pos = lcg_positions(6, 10.0, 3);
+        let ewald = RpyEwald::new(1.0, 1.0, 10.0, 0.8, 1e-8);
+        let m = dense_ewald_mobility(&pos, &ewald);
+        assert!(m.max_asymmetry() < 1e-9, "asymmetry {}", m.max_asymmetry());
+    }
+
+    #[test]
+    fn ewald_matrix_is_positive_definite() {
+        // SPD for arbitrary configurations is the property that lets both
+        // Cholesky (Alg. 1) and Lanczos (Alg. 2) work.
+        let pos = lcg_positions(8, 12.0, 9);
+        let ewald = RpyEwald::new(1.0, 1.0, 12.0, 0.7, 1e-8);
+        let m = dense_ewald_mobility(&pos, &ewald);
+        CholeskyFactor::new(&m).expect("Ewald mobility must be SPD");
+    }
+
+    #[test]
+    fn ewald_matrix_is_xi_independent() {
+        let pos = lcg_positions(5, 9.0, 17);
+        let m1 = dense_ewald_mobility(&pos, &RpyEwald::new(1.0, 1.0, 9.0, 0.6, 1e-10));
+        let m2 = dense_ewald_mobility(&pos, &RpyEwald::new(1.0, 1.0, 9.0, 1.1, 1e-10));
+        assert!(m1.max_abs_diff(&m2) < 1e-8, "diff {}", m1.max_abs_diff(&m2));
+    }
+
+    #[test]
+    fn large_box_approaches_free_space() {
+        // With a huge box the periodic images contribute O(a/L).
+        let base = [
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(3.0, 0.0, 0.0),
+            Vec3::new(0.0, 4.0, 1.0),
+        ];
+        let box_l = 2000.0;
+        let pos: Vec<Vec3> = base.iter().map(|p| *p + Vec3::splat(box_l / 2.0)).collect();
+        let ewald = RpyEwald::new(1.0, 1.0, box_l, 4.0 / box_l, 1e-8);
+        let per = dense_ewald_mobility(&pos, &ewald);
+        let free = dense_rpy_free(&base, 1.0, 1.0);
+        // Differences are dominated by the O(mu0 a/L) periodic correction.
+        let mu0 = rpy_self_mobility(1.0, 1.0);
+        let bound = 5.0 * mu0 * 1.0 / box_l * 2.8373;
+        assert!(
+            per.max_abs_diff(&free) < bound,
+            "diff {} vs bound {bound}",
+            per.max_abs_diff(&free)
+        );
+    }
+
+    #[test]
+    fn free_space_matrix_is_spd_even_with_overlaps() {
+        // Yamakawa regularization keeps overlapping configurations SPD.
+        let pos = vec![
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(0.5, 0.0, 0.0), // heavily overlapping
+            Vec3::new(0.0, 1.2, 0.0),
+            Vec3::new(5.0, 5.0, 5.0),
+        ];
+        let m = dense_rpy_free(&pos, 1.0, 1.0);
+        assert!(m.max_asymmetry() < 1e-15);
+        CholeskyFactor::new(&m).expect("free-space RPY must be SPD");
+    }
+
+    #[test]
+    fn periodic_matrix_spd_with_overlaps() {
+        let mut pos = lcg_positions(6, 8.0, 21);
+        pos.push(pos[0] + Vec3::new(0.7, 0.0, 0.0)); // overlapping pair
+        let ewald = RpyEwald::new(1.0, 1.0, 8.0, 0.9, 1e-8);
+        let m = dense_ewald_mobility(&pos, &ewald);
+        CholeskyFactor::new(&m).expect("periodic RPY with overlap must be SPD");
+    }
+
+    #[test]
+    fn diagonal_blocks_equal_self_mobility_tensor() {
+        let pos = lcg_positions(4, 10.0, 5);
+        let ewald = RpyEwald::new(1.0, 1.0, 10.0, 0.8, 1e-8);
+        let m = dense_ewald_mobility(&pos, &ewald);
+        let t = ewald.mobility_tensor(Vec3::ZERO, true);
+        for i in 0..4 {
+            for bi in 0..3 {
+                for bj in 0..3 {
+                    assert!((m[(3 * i + bi, 3 * i + bj)] - t[3 * bi + bj]).abs() < 1e-12);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests of the RPY tensor and its Ewald split.
+
+use hibd_mathx::Vec3;
+use hibd_rpy::ewald::RpyEwald;
+use hibd_rpy::tensor::{rpy_pair_scalars, rpy_pair_tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn rpy_tensor_is_symmetric_psd_2x2(
+        (x, y, z) in (0.1f64..8.0, -8.0f64..8.0, -8.0f64..8.0)
+    ) {
+        let dr = Vec3::new(x, y, z);
+        let t = rpy_pair_tensor(dr, 1.0, 1.0);
+        // Symmetry of the 3x3 block.
+        prop_assert!((t[1] - t[3]).abs() < 1e-15);
+        prop_assert!((t[2] - t[6]).abs() < 1e-15);
+        prop_assert!((t[5] - t[7]).abs() < 1e-15);
+        // The 2-particle mobility [[mu0 I, T],[T, mu0 I]] is PSD iff the
+        // pair coupling satisfies |eigenvalues of T| <= mu0, i.e. the RPY
+        // scalars obey |fI + frr| <= 1 and |fI| <= 1.
+        let r = dr.norm();
+        let (fi, frr) = rpy_pair_scalars(r, 1.0);
+        prop_assert!(fi.abs() <= 1.0 + 1e-12);
+        prop_assert!((fi + frr).abs() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn rpy_scalars_decay_monotonically_beyond_contact(r in 2.0f64..20.0) {
+        let (fi1, _) = rpy_pair_scalars(r, 1.0);
+        let (fi2, _) = rpy_pair_scalars(r + 0.5, 1.0);
+        prop_assert!(fi2 < fi1, "fI must decay: {} !< {}", fi2, fi1);
+        prop_assert!(fi1 > 0.0);
+    }
+
+    #[test]
+    fn ewald_real_kernel_bounded_by_free_space(
+        (xi, r) in (0.3f64..1.5, 2.0f64..6.0)
+    ) {
+        // Screening can only reduce the far-field kernel magnitude.
+        let s = RpyEwald::kernel_only(1.0, 1.0, 20.0, xi);
+        let (fi_e, _) = s.real_scalars(r);
+        let (fi_0, _) = rpy_pair_scalars(r, 1.0);
+        prop_assert!(fi_e.abs() <= fi_0.abs() * 1.5 + 1e-6);
+        // And must vanish rapidly at large xi*r.
+        let (fi_far, frr_far) = s.real_scalars(8.0 / xi);
+        prop_assert!(fi_far.abs() < 1e-10);
+        prop_assert!(frr_far.abs() < 1e-10);
+    }
+
+    #[test]
+    fn recip_kernel_positive_at_long_wavelengths(xi in 0.3f64..2.0) {
+        let s = RpyEwald::kernel_only(1.0, 1.0, 20.0, xi);
+        // For k below 1/a the RPY reciprocal kernel is positive (the
+        // negative lobe only exists past k ~ sqrt(3)/a).
+        for i in 1..10 {
+            let k = 0.1 * i as f64;
+            prop_assert!(s.recip_scalar(k * k) > 0.0, "k = {}", k);
+        }
+    }
+
+    #[test]
+    fn total_mobility_xi_independent_random_geometry(
+        (x, y, z, xi_a, xi_b) in (0.3f64..4.5, -4.5f64..4.5, -4.5f64..4.5, 0.5f64..0.9, 1.0f64..1.4)
+    ) {
+        // The defining Ewald property, over random pair geometry.
+        let dr = Vec3::new(x, y, z);
+        let l = 10.0;
+        let ma = RpyEwald::new(1.0, 1.0, l, xi_a, 1e-9).mobility_tensor(dr, false);
+        let mb = RpyEwald::new(1.0, 1.0, l, xi_b, 1e-9).mobility_tensor(dr, false);
+        for (p, q) in ma.iter().zip(&mb) {
+            prop_assert!((p - q).abs() < 1e-7, "{} vs {}", p, q);
+        }
+    }
+
+    #[test]
+    fn overlap_correction_continuous_at_contact(xi in 0.4f64..1.2) {
+        let s = RpyEwald::kernel_only(1.0, 1.0, 15.0, xi);
+        let eps = 1e-7;
+        let below = s.overlap_scalars(2.0 - eps);
+        prop_assert!(below.0.abs() < 1e-6);
+        prop_assert!(below.1.abs() < 1e-6);
+        prop_assert_eq!(s.overlap_scalars(2.0 + eps), (0.0, 0.0));
+    }
+}

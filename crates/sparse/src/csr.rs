@@ -1,0 +1,269 @@
+//! General compressed sparse row matrices.
+
+use rayon::prelude::*;
+
+/// Coordinate-format accumulator that assembles into [`Csr`].
+///
+/// Duplicate `(row, col)` entries are summed during assembly.
+#[derive(Clone, Debug)]
+pub struct CsrBuilder {
+    nrows: usize,
+    ncols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+impl CsrBuilder {
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        CsrBuilder { nrows, ncols, entries: Vec::new() }
+    }
+
+    /// Record `a[row, col] += val`.
+    pub fn push(&mut self, row: usize, col: usize, val: f64) {
+        debug_assert!(row < self.nrows && col < self.ncols);
+        self.entries.push((row, col, val));
+    }
+
+    /// Assemble into CSR, summing duplicates, columns sorted per row.
+    pub fn build(mut self) -> Csr {
+        self.entries.sort_unstable_by_key(|a| (a.0, a.1));
+        let mut merged: Vec<(usize, usize, f64)> = Vec::with_capacity(self.entries.len());
+        for &(r, c, v) in &self.entries {
+            match merged.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => last.2 += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+        let mut indptr = vec![0usize; self.nrows + 1];
+        for &(r, _, _) in &merged {
+            indptr[r + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            indptr[i + 1] += indptr[i];
+        }
+        let indices = merged.iter().map(|e| e.1).collect();
+        let data = merged.iter().map(|e| e.2).collect();
+        Csr { nrows: self.nrows, ncols: self.ncols, indptr, indices, data }
+    }
+}
+
+/// Compressed sparse row matrix (f64 values, usize indices).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    nrows: usize,
+    ncols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl Csr {
+    /// Construct from raw CSR arrays. Panics if the invariants don't hold.
+    pub fn from_raw(
+        nrows: usize,
+        ncols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<usize>,
+        data: Vec<f64>,
+    ) -> Csr {
+        assert_eq!(indptr.len(), nrows + 1);
+        assert_eq!(indptr[0], 0);
+        assert_eq!(*indptr.last().unwrap(), indices.len());
+        assert_eq!(indices.len(), data.len());
+        assert!(indptr.windows(2).all(|w| w[0] <= w[1]), "indptr must be nondecreasing");
+        assert!(indices.iter().all(|&c| c < ncols), "column index out of range");
+        Csr { nrows, ncols, indptr, indices, data }
+    }
+
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `(columns, values)` of one row.
+    pub fn row(&self, r: usize) -> (&[usize], &[f64]) {
+        let (s, e) = (self.indptr[r], self.indptr[r + 1]);
+        (&self.indices[s..e], &self.data[s..e])
+    }
+
+    /// `y = A x` (parallel over rows).
+    pub fn mul_vec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols);
+        assert_eq!(y.len(), self.nrows);
+        y.par_iter_mut().enumerate().for_each(|(r, yr)| {
+            let (cols, vals) = self.row(r);
+            let mut acc = 0.0;
+            for (c, v) in cols.iter().zip(vals) {
+                acc += v * x[*c];
+            }
+            *yr = acc;
+        });
+    }
+
+    /// `y += A^T x` (serial scatter).
+    pub fn tr_mul_vec_add(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.nrows);
+        assert_eq!(y.len(), self.ncols);
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            let xr = x[r];
+            for (c, v) in cols.iter().zip(vals) {
+                y[*c] += v * xr;
+            }
+        }
+    }
+
+    /// `Y = A X` for `X` with `ncolsx` columns, both row-major `[n][ncolsx]`.
+    pub fn mul_multi(&self, x: &[f64], y: &mut [f64], ncolsx: usize) {
+        assert_eq!(x.len(), self.ncols * ncolsx);
+        assert_eq!(y.len(), self.nrows * ncolsx);
+        y.par_chunks_mut(ncolsx).enumerate().for_each(|(r, yr)| {
+            yr.fill(0.0);
+            let (cols, vals) = self.row(r);
+            for (c, v) in cols.iter().zip(vals) {
+                let xr = &x[c * ncolsx..(c + 1) * ncolsx];
+                for (o, xi) in yr.iter_mut().zip(xr) {
+                    *o += v * xi;
+                }
+            }
+        });
+    }
+
+    /// Densify (tests / tiny systems only).
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut d = vec![0.0; self.nrows * self.ncols];
+        for r in 0..self.nrows {
+            let (cols, vals) = self.row(r);
+            for (c, v) in cols.iter().zip(vals) {
+                d[r * self.ncols + c] += v;
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> Csr {
+        // [1 0 2]
+        // [0 0 0]
+        // [3 4 0]
+        let mut b = CsrBuilder::new(3, 3);
+        b.push(0, 0, 1.0);
+        b.push(0, 2, 2.0);
+        b.push(2, 1, 4.0);
+        b.push(2, 0, 3.0);
+        b.build()
+    }
+
+    #[test]
+    fn build_sorts_and_fills_empty_rows() {
+        let a = example();
+        assert_eq!(a.nnz(), 4);
+        assert_eq!(a.row(0), (&[0usize, 2][..], &[1.0, 2.0][..]));
+        assert_eq!(a.row(1), (&[][..], &[][..]));
+        assert_eq!(a.row(2), (&[0usize, 1][..], &[3.0, 4.0][..]));
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let mut b = CsrBuilder::new(2, 2);
+        b.push(0, 1, 1.0);
+        b.push(0, 1, 2.5);
+        b.push(1, 0, -1.0);
+        let a = b.build();
+        assert_eq!(a.row(0), (&[1usize][..], &[3.5][..]));
+        assert_eq!(a.row(1), (&[0usize][..], &[-1.0][..]));
+    }
+
+    #[test]
+    fn mul_vec_matches_dense() {
+        let a = example();
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [0.0; 3];
+        a.mul_vec(&x, &mut y);
+        assert_eq!(y, [7.0, 0.0, 11.0]);
+    }
+
+    #[test]
+    fn tr_mul_vec_matches_dense_transpose() {
+        let a = example();
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [0.0; 3];
+        a.tr_mul_vec_add(&x, &mut y);
+        // A^T x: col0: 1*1 + 3*3 = 10; col1: 4*3 = 12; col2: 2*1 = 2
+        assert_eq!(y, [10.0, 12.0, 2.0]);
+    }
+
+    #[test]
+    fn mul_multi_matches_repeated_mul_vec() {
+        let a = example();
+        let s = 3;
+        let x: Vec<f64> = (0..9).map(|i| i as f64 * 0.5 - 1.0).collect(); // 3x3 row-major
+        let mut y = vec![0.0; 9];
+        a.mul_multi(&x, &mut y, s);
+        for col in 0..s {
+            let xc: Vec<f64> = (0..3).map(|r| x[r * s + col]).collect();
+            let mut yc = vec![0.0; 3];
+            a.mul_vec(&xc, &mut yc);
+            for r in 0..3 {
+                assert!((y[r * s + col] - yc[r]).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        let a = Csr::from_raw(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]);
+        assert_eq!(a.to_dense(), vec![1.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_raw_rejects_bad_indptr() {
+        Csr::from_raw(2, 2, vec![0, 3, 2], vec![0, 1], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn random_matrix_consistency() {
+        // Pseudo-random matrix: CSR ops vs dense reference.
+        let (nr, nc) = (17, 23);
+        let mut b = CsrBuilder::new(nr, nc);
+        let mut state = 12345u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state
+        };
+        for _ in 0..120 {
+            let r = (next() % nr as u64) as usize;
+            let c = (next() % nc as u64) as usize;
+            let v = (next() % 1000) as f64 / 500.0 - 1.0;
+            b.push(r, c, v);
+        }
+        let a = b.build();
+        let dense = a.to_dense();
+        let x: Vec<f64> = (0..nc).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut y = vec![0.0; nr];
+        a.mul_vec(&x, &mut y);
+        for r in 0..nr {
+            let want: f64 = (0..nc).map(|c| dense[r * nc + c] * x[c]).sum();
+            assert!((y[r] - want).abs() < 1e-12);
+        }
+        // transpose product
+        let xt: Vec<f64> = (0..nr).map(|i| (i as f64 * 0.71).cos()).collect();
+        let mut yt = vec![0.0; nc];
+        a.tr_mul_vec_add(&xt, &mut yt);
+        for c in 0..nc {
+            let want: f64 = (0..nr).map(|r| dense[r * nc + c] * xt[r]).sum();
+            assert!((yt[c] - want).abs() < 1e-12);
+        }
+    }
+}

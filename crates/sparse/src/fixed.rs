@@ -1,0 +1,234 @@
+//! CSR with a fixed nonzero count per row — the PME interpolation matrix.
+//!
+//! Every particle interpolates from / spreads onto exactly `p^3` mesh points
+//! (paper Eq. 7), so the matrix `P` (`n` rows, `K^3` columns) needs no row
+//! pointers: row `i` occupies `indices[i*nnz .. (i+1)*nnz]`. Column indices
+//! are `u32` (a `K^3` mesh fits easily; `400^3 = 6.4e7 < 2^32`) which matches
+//! the memory-traffic model of the paper (Section IV-D uses 4-byte indices:
+//! `12 p^3 n` bytes for values + indices).
+
+use rayon::prelude::*;
+
+/// Sparse matrix with exactly `nnz_per_row` nonzeros in every row.
+#[derive(Clone, Debug)]
+pub struct FixedCsr {
+    nrows: usize,
+    ncols: usize,
+    nnz_per_row: usize,
+    indices: Vec<u32>,
+    data: Vec<f64>,
+}
+
+impl FixedCsr {
+    /// Construct from raw arrays: `indices`/`data` of length
+    /// `nrows * nnz_per_row`, row-contiguous.
+    pub fn from_raw(
+        nrows: usize,
+        ncols: usize,
+        nnz_per_row: usize,
+        indices: Vec<u32>,
+        data: Vec<f64>,
+    ) -> FixedCsr {
+        assert_eq!(indices.len(), nrows * nnz_per_row);
+        assert_eq!(data.len(), nrows * nnz_per_row);
+        assert!(
+            indices.iter().all(|&c| (c as usize) < ncols),
+            "column index out of range"
+        );
+        FixedCsr { nrows, ncols, nnz_per_row, indices, data }
+    }
+
+    /// Allocate a zero matrix (all indices 0, all values 0); rows are filled
+    /// in-place via [`row_mut`](Self::row_mut).
+    pub fn zeros(nrows: usize, ncols: usize, nnz_per_row: usize) -> FixedCsr {
+        FixedCsr {
+            nrows,
+            ncols,
+            nnz_per_row,
+            indices: vec![0; nrows * nnz_per_row],
+            data: vec![0.0; nrows * nnz_per_row],
+        }
+    }
+
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    pub fn nnz_per_row(&self) -> usize {
+        self.nnz_per_row
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Memory footprint in bytes (values + indices), the `12 p^3 n` of the
+    /// paper's performance model.
+    pub fn memory_bytes(&self) -> usize {
+        self.data.len() * 8 + self.indices.len() * 4
+    }
+
+    /// `(columns, values)` of one row.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&[u32], &[f64]) {
+        let s = r * self.nnz_per_row;
+        let e = s + self.nnz_per_row;
+        (&self.indices[s..e], &self.data[s..e])
+    }
+
+    /// Mutable `(columns, values)` of one row, for in-place assembly.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> (&mut [u32], &mut [f64]) {
+        let s = r * self.nnz_per_row;
+        let e = s + self.nnz_per_row;
+        // Split borrows of the two arrays.
+        let idx = &mut self.indices[s..e];
+        let dat = &mut self.data[s..e];
+        (idx, dat)
+    }
+
+    /// Mutable view of all rows at once as `(indices, data)` chunked per row;
+    /// used for parallel assembly.
+    pub fn rows_mut(
+        &mut self,
+    ) -> (rayon::slice::ChunksMut<'_, u32>, rayon::slice::ChunksMut<'_, f64>) {
+        (
+            self.indices.par_chunks_mut(self.nnz_per_row),
+            self.data.par_chunks_mut(self.nnz_per_row),
+        )
+    }
+
+    /// `y = A x` — the PME *interpolation* step (paper Eq. 9), parallel over
+    /// rows (particles).
+    pub fn mul_vec(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.ncols);
+        assert_eq!(y.len(), self.nrows);
+        let nnz = self.nnz_per_row;
+        y.par_iter_mut()
+            .zip(self.indices.par_chunks(nnz).zip(self.data.par_chunks(nnz)))
+            .for_each(|(yr, (cols, vals))| {
+                let mut acc = 0.0;
+                for (c, v) in cols.iter().zip(vals) {
+                    acc += v * x[*c as usize];
+                }
+                *yr = acc;
+            });
+    }
+
+    /// `y += A^T x` over a contiguous range of rows — one *spreading* stage
+    /// (paper Eq. 8). Serial: the caller is responsible for running only
+    /// write-disjoint row sets concurrently (the paper's independent sets).
+    pub fn tr_mul_vec_add_rows(&self, rows: std::ops::Range<usize>, x: &[f64], y: &mut [f64]) {
+        debug_assert!(rows.end <= self.nrows);
+        debug_assert_eq!(x.len(), self.nrows);
+        debug_assert_eq!(y.len(), self.ncols);
+        for r in rows {
+            let (cols, vals) = self.row(r);
+            let xr = x[r];
+            for (c, v) in cols.iter().zip(vals) {
+                y[*c as usize] += v * xr;
+            }
+        }
+    }
+
+    /// `y += A^T x` over an explicit row list (an independent-set block).
+    ///
+    /// # Safety contract (checked only by debug assertions)
+    /// Caller must not run two calls concurrently whose rows share columns.
+    pub fn tr_mul_vec_add_rowlist(&self, rows: &[u32], x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.nrows);
+        debug_assert_eq!(y.len(), self.ncols);
+        for &r in rows {
+            let (cols, vals) = self.row(r as usize);
+            let xr = x[r as usize];
+            for (c, v) in cols.iter().zip(vals) {
+                y[*c as usize] += v * xr;
+            }
+        }
+    }
+
+    /// Full serial `y += A^T x` (reference path / small systems).
+    pub fn tr_mul_vec_add(&self, x: &[f64], y: &mut [f64]) {
+        self.tr_mul_vec_add_rows(0..self.nrows, x, y);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> FixedCsr {
+        // 3 rows x 6 cols, 2 nnz per row:
+        // row0: (0, 1.0) (3, 2.0)
+        // row1: (1, -1.0) (1, 0.5)  [duplicate col within row is allowed]
+        // row2: (5, 4.0) (2, 3.0)
+        FixedCsr::from_raw(
+            3,
+            6,
+            2,
+            vec![0, 3, 1, 1, 5, 2],
+            vec![1.0, 2.0, -1.0, 0.5, 4.0, 3.0],
+        )
+    }
+
+    #[test]
+    fn mul_vec_reference() {
+        let a = example();
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let mut y = [0.0; 3];
+        a.mul_vec(&x, &mut y);
+        assert_eq!(y[0], 1.0 + 8.0);
+        assert_eq!(y[1], -2.0 + 1.0);
+        assert_eq!(y[2], 24.0 + 9.0);
+    }
+
+    #[test]
+    fn tr_mul_matches_dense_transpose() {
+        let a = example();
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [0.0; 6];
+        a.tr_mul_vec_add(&x, &mut y);
+        assert_eq!(y, [1.0, -1.0, 9.0, 2.0, 0.0, 12.0]);
+    }
+
+    #[test]
+    fn tr_mul_in_stages_equals_full() {
+        let a = example();
+        let x = [1.0, 2.0, 3.0];
+        let mut y1 = [0.0; 6];
+        a.tr_mul_vec_add(&x, &mut y1);
+        let mut y2 = [0.0; 6];
+        a.tr_mul_vec_add_rows(0..1, &x, &mut y2);
+        a.tr_mul_vec_add_rows(1..3, &x, &mut y2);
+        assert_eq!(y1, y2);
+        let mut y3 = [0.0; 6];
+        a.tr_mul_vec_add_rowlist(&[2, 0], &x, &mut y3);
+        a.tr_mul_vec_add_rowlist(&[1], &x, &mut y3);
+        assert_eq!(y1, y3);
+    }
+
+    #[test]
+    fn row_mut_assembly() {
+        let mut a = FixedCsr::zeros(2, 4, 3);
+        {
+            let (cols, vals) = a.row_mut(1);
+            cols.copy_from_slice(&[3, 0, 2]);
+            vals.copy_from_slice(&[1.0, 2.0, 3.0]);
+        }
+        let x = [1.0, 1.0, 1.0, 1.0];
+        let mut y = [0.0; 2];
+        a.mul_vec(&x, &mut y);
+        assert_eq!(y, [0.0, 6.0]);
+        assert_eq!(a.memory_bytes(), 6 * 8 + 6 * 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_raw_rejects_out_of_range_column() {
+        FixedCsr::from_raw(1, 2, 2, vec![0, 5], vec![1.0, 1.0]);
+    }
+}

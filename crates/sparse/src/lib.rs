@@ -1,0 +1,30 @@
+//! `hibd-sparse`: sparse matrix kernels for the matrix-free BD pipeline.
+//!
+//! Three formats, each matching a specific role in the paper:
+//!
+//! * [`Csr`] — general compressed sparse row; reference format and builder.
+//! * [`FixedCsr`] — CSR **without row pointers**: every row has the same
+//!   number of nonzeros. This is exactly the storage the paper describes for
+//!   the PME interpolation matrix `P` ("the row pointers are not necessary
+//!   since all rows of P have the same number of nonzeros", Section IV-B1):
+//!   each particle spreads onto `p^3` mesh points. Column indices are `u32`
+//!   to halve index memory.
+//! * [`Bcsr3`] — block CSR with dense 3x3 blocks, the format used for the
+//!   real-space operator `M_real` ("This sparse matrix has 3x3 blocks, owing
+//!   to the tensor nature of the RPY tensor. We thus store the sparse matrix
+//!   in Block Compressed Sparse Row (BCSR) format", Section IV-C).
+//!
+//! All formats provide single-vector products and **multi-right-hand-side**
+//! products (`A * X` for `X` with `s` columns, stored row-major `[n][s]`),
+//! since Algorithm 2 applies the same mobility operator to a block of
+//! `lambda_RPY` vectors at once (the paper's ref. [24] optimization).
+
+#![allow(clippy::needless_range_loop)] // index-heavy numeric kernels
+
+pub mod bcsr3;
+pub mod csr;
+pub mod fixed;
+
+pub use bcsr3::{Bcsr3, Bcsr3Builder};
+pub use csr::{Csr, CsrBuilder};
+pub use fixed::FixedCsr;

@@ -1,0 +1,147 @@
+//! Property-based tests of the sparse kernels against dense references.
+
+use hibd_sparse::{Bcsr3, Bcsr3Builder, Csr, CsrBuilder, FixedCsr};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct CooMatrix {
+    nrows: usize,
+    ncols: usize,
+    entries: Vec<(usize, usize, f64)>,
+}
+
+fn coo_matrix() -> impl Strategy<Value = CooMatrix> {
+    (1usize..12, 1usize..12).prop_flat_map(|(nr, nc)| {
+        prop::collection::vec((0..nr, 0..nc, -2.0f64..2.0), 0..40)
+            .prop_map(move |entries| CooMatrix { nrows: nr, ncols: nc, entries })
+    })
+}
+
+fn build_csr(m: &CooMatrix) -> Csr {
+    let mut b = CsrBuilder::new(m.nrows, m.ncols);
+    for &(r, c, v) in &m.entries {
+        b.push(r, c, v);
+    }
+    b.build()
+}
+
+fn dense_of(m: &CooMatrix) -> Vec<f64> {
+    let mut d = vec![0.0; m.nrows * m.ncols];
+    for &(r, c, v) in &m.entries {
+        d[r * m.ncols + c] += v;
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_matvec_matches_dense(m in coo_matrix(), xs in prop::collection::vec(-1.0f64..1.0, 12)) {
+        let a = build_csr(&m);
+        let dense = dense_of(&m);
+        let x = &xs[..m.ncols];
+        let mut y = vec![0.0; m.nrows];
+        a.mul_vec(x, &mut y);
+        for r in 0..m.nrows {
+            let want: f64 = (0..m.ncols).map(|c| dense[r * m.ncols + c] * x[c]).sum();
+            prop_assert!((y[r] - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn csr_to_dense_roundtrips_builder(m in coo_matrix()) {
+        let a = build_csr(&m);
+        // The builder sums duplicates in sorted order, the reference in
+        // insertion order: equal up to summation-order rounding.
+        for (got, want) in a.to_dense().iter().zip(dense_of(&m)) {
+            prop_assert!((got - want).abs() <= 1e-12 * want.abs().max(1.0));
+        }
+        // nnz never exceeds the entry count.
+        prop_assert!(a.nnz() <= m.entries.len());
+    }
+
+    #[test]
+    fn csr_transpose_product_is_adjoint(
+        m in coo_matrix(),
+        xs in prop::collection::vec(-1.0f64..1.0, 12),
+        ys in prop::collection::vec(-1.0f64..1.0, 12),
+    ) {
+        // <A x, y> == <x, A^T y>
+        let a = build_csr(&m);
+        let x = &xs[..m.ncols];
+        let y = &ys[..m.nrows];
+        let mut ax = vec![0.0; m.nrows];
+        a.mul_vec(x, &mut ax);
+        let lhs: f64 = ax.iter().zip(y).map(|(p, q)| p * q).sum();
+        let mut aty = vec![0.0; m.ncols];
+        a.tr_mul_vec_add(y, &mut aty);
+        let rhs: f64 = aty.iter().zip(x).map(|(p, q)| p * q).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-11);
+    }
+
+    #[test]
+    fn fixed_csr_matches_equivalent_csr(
+        (nr, nc, nnz, cols, vals, xs) in (1usize..10, 2usize..16, 1usize..5)
+            .prop_flat_map(|(nr, nc, nnz)| (
+                Just(nr), Just(nc), Just(nnz),
+                prop::collection::vec(0..nc as u32, nr * nnz),
+                prop::collection::vec(-1.0f64..1.0, nr * nnz),
+                prop::collection::vec(-1.0f64..1.0, nc),
+            ))
+    ) {
+        let fixed = FixedCsr::from_raw(nr, nc, nnz, cols.clone(), vals.clone());
+        let mut b = CsrBuilder::new(nr, nc);
+        for r in 0..nr {
+            for t in 0..nnz {
+                b.push(r, cols[r * nnz + t] as usize, vals[r * nnz + t]);
+            }
+        }
+        let csr = b.build();
+        let mut y1 = vec![0.0; nr];
+        fixed.mul_vec(&xs, &mut y1);
+        let mut y2 = vec![0.0; nr];
+        csr.mul_vec(&xs, &mut y2);
+        for (a, b) in y1.iter().zip(&y2) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+        // Transpose path too.
+        let xr: Vec<f64> = (0..nr).map(|i| (i as f64 * 0.7).sin()).collect();
+        let mut t1 = vec![0.0; nc];
+        fixed.tr_mul_vec_add(&xr, &mut t1);
+        let mut t2 = vec![0.0; nc];
+        csr.tr_mul_vec_add(&xr, &mut t2);
+        for (a, b) in t1.iter().zip(&t2) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bcsr_multi_rhs_consistent_with_single(
+        (nb, blocks, s, xs) in (1usize..6, prop::collection::vec((0usize..6, 0usize..6, -1.0f64..1.0), 1..12), 1usize..5, prop::collection::vec(-1.0f64..1.0, 18 * 4))
+    ) {
+        let mut b = Bcsr3Builder::new(nb, nb);
+        for &(bi, bj, v) in &blocks {
+            if bi < nb && bj < nb {
+                let mut blk = [0.0; 9];
+                for (t, e) in blk.iter_mut().enumerate() {
+                    *e = v + t as f64 * 0.01;
+                }
+                b.push(bi, bj, blk);
+            }
+        }
+        let a: Bcsr3 = b.build();
+        let dim = 3 * nb;
+        let x = &xs[..dim * s];
+        let mut y = vec![0.0; dim * s];
+        a.mul_multi(x, &mut y, s);
+        for col in 0..s {
+            let xc: Vec<f64> = (0..dim).map(|i| x[i * s + col]).collect();
+            let mut yc = vec![0.0; dim];
+            a.mul_vec(&xc, &mut yc);
+            for i in 0..dim {
+                prop_assert!((y[i * s + col] - yc[i]).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Integration: Algorithm 1 (dense Ewald + Cholesky) and Algorithm 2
+//! (PME + block Krylov) must produce the same physics.
+
+use hibd::core::ewald_bd::{EwaldBd, EwaldBdConfig};
+use hibd::core::forces::ConstantForce;
+use hibd::prelude::*;
+
+fn build(n: usize, phi: f64, seed: u64) -> ParticleSystem {
+    let mut rng = make_rng(seed);
+    ParticleSystem::random_suspension(n, phi, &mut rng)
+}
+
+#[test]
+fn deterministic_drift_matches_between_algorithms() {
+    // At kBT = 0 the propagation is deterministic: r += M f dt. Both
+    // algorithms apply the same M (up to Ewald/PME truncation), so short
+    // trajectories must coincide to within the PME error times trajectory
+    // length.
+    let n = 40;
+    let phi = 0.15;
+    let steps = 5;
+
+    let sys = build(n, phi, 77);
+
+    let mut dense = EwaldBd::new(
+        sys.clone(),
+        EwaldBdConfig { kbt: 0.0, ewald_tol: 1e-8, ..Default::default() },
+        1,
+    );
+    dense.add_force(RepulsiveHarmonic::default());
+    dense.add_force(ConstantForce(Vec3::new(0.3, -0.1, 0.2)));
+    dense.run(steps).unwrap();
+
+    let mut mf = MatrixFreeBd::new(
+        sys,
+        MatrixFreeConfig { kbt: 0.0, target_ep: 1e-4, ..Default::default() },
+        2,
+    )
+    .unwrap();
+    mf.add_force(RepulsiveHarmonic::default());
+    mf.add_force(ConstantForce(Vec3::new(0.3, -0.1, 0.2)));
+    mf.run(steps).unwrap();
+
+    let mut max_dev = 0.0f64;
+    for (a, b) in dense.system().unwrapped().iter().zip(mf.system().unwrapped()) {
+        max_dev = max_dev.max((*a - *b).norm());
+    }
+    assert!(max_dev < 3e-3, "trajectory deviation {max_dev}");
+}
+
+#[test]
+fn both_algorithms_sample_comparable_mobility_scale() {
+    // With thermal noise the trajectories differ, but the RMS displacement
+    // per step is set by the same mobility: ratios should be ~1.
+    let n = 60;
+    let phi = 0.2;
+    let steps = 16;
+    let sys = build(n, phi, 88);
+    let initial: Vec<Vec3> = sys.unwrapped().to_vec();
+
+    let mut dense = EwaldBd::new(sys.clone(), EwaldBdConfig::default(), 10);
+    dense.add_force(RepulsiveHarmonic::default());
+    dense.run(steps).unwrap();
+    let msd_dense: f64 = dense
+        .system()
+        .unwrapped()
+        .iter()
+        .zip(&initial)
+        .map(|(u, p)| (*u - *p).norm2())
+        .sum::<f64>()
+        / n as f64;
+
+    let mut mf = MatrixFreeBd::new(sys, MatrixFreeConfig::default(), 20).unwrap();
+    mf.add_force(RepulsiveHarmonic::default());
+    mf.run(steps).unwrap();
+    let msd_mf: f64 = mf
+        .system()
+        .unwrapped()
+        .iter()
+        .zip(&initial)
+        .map(|(u, p)| (*u - *p).norm2())
+        .sum::<f64>()
+        / n as f64;
+
+    let ratio = msd_mf / msd_dense;
+    assert!(
+        (0.6..1.7).contains(&ratio),
+        "MSD ratio {ratio} (dense {msd_dense}, matrix-free {msd_mf})"
+    );
+}
+
+#[test]
+fn repulsion_resolves_initial_overlaps_in_both_algorithms() {
+    // Start from a lattice with mild jitter at high phi; the contact force
+    // must keep the system from collapsing in either integrator.
+    let n = 64;
+    let phi = 0.35;
+    let sys = build(n, phi, 99);
+
+    let mut mf = MatrixFreeBd::new(sys.clone(), MatrixFreeConfig::default(), 30).unwrap();
+    mf.add_force(RepulsiveHarmonic::default());
+    mf.run(20).unwrap();
+    let min_mf = mf.system().min_separation().unwrap();
+    assert!(min_mf > 1.5, "matrix-free min separation {min_mf}");
+
+    let mut dense = EwaldBd::new(sys, EwaldBdConfig::default(), 30);
+    dense.add_force(RepulsiveHarmonic::default());
+    dense.run(20).unwrap();
+    let min_dense = dense.system().min_separation().unwrap();
+    assert!(min_dense > 1.5, "dense min separation {min_dense}");
+}

@@ -1,0 +1,84 @@
+//! Integration: physical sanity of the simulated dynamics.
+
+use hibd::core::diffusion::DiffusionEstimator;
+use hibd::prelude::*;
+
+const MU0: f64 = 1.0 / (6.0 * std::f64::consts::PI);
+
+#[test]
+fn dilute_suspension_diffuses_near_the_isolated_sphere_value() {
+    // At phi -> 0 the short-time self-diffusion approaches D0 = kBT mu0
+    // (less the O(phi) and periodic finite-size corrections).
+    let n = 40;
+    let phi = 0.03; // dilute but not so dilute the box (hence mesh) explodes
+    let mut rng = make_rng(41);
+    let sys = ParticleSystem::random_suspension(n, phi, &mut rng);
+    let cfg = MatrixFreeConfig { lambda_rpy: 8, target_ep: 3e-3, ..Default::default() };
+    let dt = cfg.dt;
+    let mut bd = MatrixFreeBd::new(sys, cfg, 41).unwrap();
+    bd.add_force(RepulsiveHarmonic::default());
+
+    let mut est = DiffusionEstimator::new(dt, 6);
+    est.record(bd.system().unwrapped());
+    for _ in 0..80 {
+        bd.step().unwrap();
+        est.record(bd.system().unwrapped());
+    }
+    let (d, _err) = est.diffusion().unwrap();
+    let ratio = d / MU0;
+    // Periodic self-mobility correction is 1 - 2.837 a/L; L ~ 27.6 here.
+    assert!(
+        (0.75..1.15).contains(&ratio),
+        "dilute D/D0 = {ratio}, expected near 1"
+    );
+}
+
+#[test]
+fn crowding_slows_diffusion() {
+    // The headline physics of Figure 3: D decreases with volume fraction.
+    let n = 40;
+    let measure = |phi: f64| -> f64 {
+        let mut rng = make_rng(43);
+        let sys = ParticleSystem::random_suspension(n, phi, &mut rng);
+        let cfg = MatrixFreeConfig { lambda_rpy: 8, target_ep: 3e-3, ..Default::default() };
+        let dt = cfg.dt;
+        let mut bd = MatrixFreeBd::new(sys, cfg, 43).unwrap();
+        bd.add_force(RepulsiveHarmonic::default());
+        bd.run(24).unwrap();
+        let mut est = DiffusionEstimator::new(dt, 6);
+        est.record(bd.system().unwrapped());
+        for _ in 0..90 {
+            bd.step().unwrap();
+            est.record(bd.system().unwrapped());
+        }
+        est.diffusion().unwrap().0
+    };
+    let d_dilute = measure(0.05);
+    let d_crowded = measure(0.40);
+    assert!(
+        d_crowded < d_dilute,
+        "crowded D {d_crowded} must be below dilute D {d_dilute}"
+    );
+    // And the magnitude of the drop should be substantial (paper: tens of %).
+    assert!(d_crowded / d_dilute < 0.95, "ratio {}", d_crowded / d_dilute);
+}
+
+#[test]
+fn center_of_mass_is_conserved_without_external_forces() {
+    // Internal forces sum to zero and the k = 0 mode is excluded from the
+    // mobility, so the deterministic drift cannot move the center of mass;
+    // Brownian displacements move it only diffusively (collective mode).
+    let n = 30;
+    let mut rng = make_rng(47);
+    let sys = ParticleSystem::random_suspension(n, 0.2, &mut rng);
+    let cfg = MatrixFreeConfig { kbt: 0.0, ..Default::default() };
+    let mut bd = MatrixFreeBd::new(sys, cfg, 47).unwrap();
+    bd.add_force(RepulsiveHarmonic::default());
+    let com_before: Vec3 =
+        bd.system().unwrapped().iter().fold(Vec3::ZERO, |acc, p| acc + *p) / n as f64;
+    bd.run(10).unwrap();
+    let com_after: Vec3 =
+        bd.system().unwrapped().iter().fold(Vec3::ZERO, |acc, p| acc + *p) / n as f64;
+    let drift = (com_after - com_before).norm();
+    assert!(drift < 1e-6, "COM drift {drift}");
+}
