@@ -10,7 +10,8 @@ use hibd_core::mf_bd::{DisplacementMode, MatrixFreeBd, MatrixFreeConfig};
 
 fn run(n: usize, lambda: usize, mode: DisplacementMode, seed: u64) -> (usize, f64) {
     let sys = suspension(n, 0.2, seed);
-    let cfg = MatrixFreeConfig { lambda_rpy: lambda, displacement_mode: mode, ..Default::default() };
+    let cfg =
+        MatrixFreeConfig { lambda_rpy: lambda, displacement_mode: mode, ..Default::default() };
     let mut bd = MatrixFreeBd::new(sys, cfg, seed).expect("driver");
     bd.run(1).expect("one refresh"); // one operator refresh + one step
     let t = bd.timings();
@@ -24,7 +25,13 @@ fn main() {
     println!("# Ablation: displacement solvers (n = {n})");
     println!(
         "{:>7} | {:>11} {:>11} | {:>12} {:>12} | {:>11} {:>11}",
-        "lambda", "block iters", "block time", "single iters", "single time", "cheb applies", "cheb time"
+        "lambda",
+        "block iters",
+        "block time",
+        "single iters",
+        "single time",
+        "cheb applies",
+        "cheb time"
     );
     for lambda in [4usize, 8, 16] {
         let (bi, bt) = run(n, lambda, DisplacementMode::BlockKrylov, opts.seed);

@@ -5,7 +5,7 @@
 //! At fixed Ewald split, sweeps `(p, K)` and reports the measured PME error
 //! against the dense Ewald reference plus the reciprocal-pipeline time.
 
-use hibd_bench::{flush_stdout, fmt_secs, suspension, time_mean, Opts};
+use hibd_bench::{fmt_secs, suspension, time_mean, Opts};
 use hibd_linalg::DenseOp;
 use hibd_pme::tuner::{measure_ep, next_smooth_even};
 use hibd_pme::{PmeOperator, PmeParams};
@@ -19,10 +19,8 @@ fn main() {
     let box_l = sys.box_l;
     let alpha = 0.9;
     let r_max = (4.5f64).min(box_l / 2.0);
-    let dense = dense_ewald_mobility(
-        sys.positions(),
-        &RpyEwald::new(1.0, 1.0, box_l, alpha, 1e-11),
-    );
+    let dense =
+        dense_ewald_mobility(sys.positions(), &RpyEwald::new(1.0, 1.0, box_l, alpha, 1e-11));
 
     println!("# Ablation: spline order p and mesh K at fixed alpha = {alpha} (n = {n})");
     println!("{:>4} {:>6} | {:>12} | {:>12}", "p", "K", "e_p", "recip time");
@@ -30,19 +28,11 @@ fn main() {
     for p in [4usize, 6, 8] {
         for scale in [1.0f64, 1.5, 2.0] {
             let k = next_smooth_even((base_k as f64 * scale) as usize).max(4 * p);
-            let params = PmeParams {
-                a: 1.0,
-                eta: 1.0,
-                box_l,
-                alpha,
-                mesh_dim: k,
-                spline_order: p,
-                r_max,
-            };
+            let params =
+                PmeParams { a: 1.0, eta: 1.0, box_l, alpha, mesh_dim: k, spline_order: p, r_max };
             let mut op = PmeOperator::new(sys.positions(), params).expect("operator");
             let ep = measure_ep(&mut op, &mut DenseOp::new(dense.clone()), 2, opts.seed);
-            let f: Vec<f64> =
-                (0..3 * n).map(|i| ((i * 31 + 7) % 61) as f64 / 30.0 - 1.0).collect();
+            let f: Vec<f64> = (0..3 * n).map(|i| ((i * 31 + 7) % 61) as f64 / 30.0 - 1.0).collect();
             let mut u = vec![0.0; 3 * n];
             let t = time_mean(3, || {
                 u.fill(0.0);

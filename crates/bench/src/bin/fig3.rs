@@ -17,10 +17,7 @@ fn main() {
     let mu0 = 1.0 / (6.0 * std::f64::consts::PI);
 
     println!("# Figure 3: D/D0 vs volume fraction (n = {n}, {steps} steps)");
-    println!(
-        "{:>5} {:>12} {:>10} {:>12} {:>10}",
-        "Phi", "D/D0", "err", "theory", "krylov its"
-    );
+    println!("{:>5} {:>12} {:>10} {:>12} {:>10}", "Phi", "D/D0", "err", "theory", "krylov its");
     for &phi in &phis {
         let sys = suspension(n, phi, opts.seed);
         let cfg = MatrixFreeConfig { e_k: 1e-2, target_ep: 1e-3, ..Default::default() };

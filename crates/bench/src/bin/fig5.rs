@@ -8,7 +8,7 @@
 //! / inverse FFT / interpolation) and the model's prediction for *this host*
 //! (calibrated bandwidth and FFT rate) are printed.
 
-use hibd_bench::{flush_stdout, calibrate_host, fmt_secs, suspension, time_mean, Opts};
+use hibd_bench::{calibrate_host, flush_stdout, fmt_secs, suspension, time_mean, Opts};
 use hibd_pme::perf::PerfModel;
 use hibd_pme::{PmeOperator, PmeParams};
 

@@ -6,7 +6,9 @@
 //! hybrid scheduler uses — plus a measured column for this host as a
 //! sanity anchor.
 
-use hibd_bench::{flush_stdout, calibrate_host, fmt_secs, suspension, table3_sizes, time_mean, Opts};
+use hibd_bench::{
+    calibrate_host, flush_stdout, fmt_secs, suspension, table3_sizes, time_mean, Opts,
+};
 use hibd_pme::perf::{Machine, PerfModel};
 use hibd_pme::{tune, PmeOperator};
 
@@ -30,8 +32,7 @@ fn main() {
         let measured = if n <= if opts.full { 100_000 } else { 10_000 } {
             let sys = suspension(n, phi, opts.seed);
             let mut op = PmeOperator::new(sys.positions(), params).expect("operator");
-            let f: Vec<f64> =
-                (0..3 * n).map(|i| ((i * 29 + 3) % 89) as f64 / 44.0 - 1.0).collect();
+            let f: Vec<f64> = (0..3 * n).map(|i| ((i * 29 + 3) % 89) as f64 / 44.0 - 1.0).collect();
             let mut u = vec![0.0; 3 * n];
             fmt_secs(time_mean(reps, || {
                 u.fill(0.0);

@@ -17,11 +17,8 @@ use hibd_core::mf_bd::{MatrixFreeBd, MatrixFreeConfig};
 fn main() {
     let opts = Opts::parse();
     let phi = 0.2;
-    let sizes: Vec<usize> = if opts.full {
-        vec![500, 1000, 2000, 3000, 5000]
-    } else {
-        vec![125, 250, 500, 1000]
-    };
+    let sizes: Vec<usize> =
+        if opts.full { vec![500, 1000, 2000, 3000, 5000] } else { vec![125, 250, 500, 1000] };
     let lambda = 16;
 
     println!("# Figure 7: Ewald BD (dense) vs matrix-free BD");

@@ -24,12 +24,8 @@ fn main() {
     );
     for n in table3_sizes(opts.full) {
         let params = tune(n, phi, 1.0, 1.0, 1e-3).params;
-        let model = HybridModel::new(
-            params,
-            n,
-            Machine::westmere(),
-            vec![Machine::knc(), Machine::knc()],
-        );
+        let model =
+            HybridModel::new(params, n, Machine::westmere(), vec![Machine::knc(), Machine::knc()]);
         let (cpu_only, hybrid) = model.step_times(lambda, krylov_iters);
         let (cols, _) = model.partition_block(lambda);
         println!(

@@ -42,17 +42,10 @@ fn main() {
     let (n, steps) = if opts.full { (1000, 4000) } else { (150, 160) };
     let phis: &[f64] = if opts.full { &[0.1, 0.2, 0.3, 0.4] } else { &[0.1, 0.4] };
     let (tight_k, tight_p) = if opts.full { (1e-6, 1e-6) } else { (1e-4, 1e-4) };
-    let configs = [
-        (tight_k, tight_p),
-        (1e-2, tight_p),
-        (tight_k, 1e-3),
-        (1e-2, 1e-3),
-    ];
+    let configs = [(tight_k, tight_p), (1e-2, tight_p), (tight_k, 1e-3), (1e-2, 1e-3)];
 
     println!("# Table II: diffusion-coefficient errors (%) and time/step (s)");
-    println!(
-        "# n = {n}, steps = {steps}, reference column: e_k={tight_k:.0e} e_p~{tight_p:.0e}"
-    );
+    println!("# n = {n}, steps = {steps}, reference column: e_k={tight_k:.0e} e_p~{tight_p:.0e}");
     println!(
         "{:>5} | {:>22} | {:>22} | {:>22} | {:>22}",
         "Phi",

@@ -6,7 +6,7 @@
 //! the tight-tolerance dense Ewald matrix where affordable (n <= 500), an
 //! over-resolved PME operator otherwise.
 
-use hibd_bench::{flush_stdout, suspension, table3_sizes, Opts};
+use hibd_bench::{suspension, table3_sizes, Opts};
 use hibd_linalg::DenseOp;
 use hibd_pme::tuner::{measure_ep, reference_operator};
 use hibd_pme::{tune, PmeOperator};

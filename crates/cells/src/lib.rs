@@ -324,7 +324,9 @@ mod tests {
         let cl = CellList::new(&pos, 15.0, 2.0);
         let mut by_cell = Vec::new();
         for c in 0..cl.num_cells() {
-            cl.for_each_pair_in_cell(c, &mut |i, j, _, _| by_cell.push(normalize((i as u32, j as u32))));
+            cl.for_each_pair_in_cell(c, &mut |i, j, _, _| {
+                by_cell.push(normalize((i as u32, j as u32)))
+            });
         }
         let whole: Vec<(u32, u32)> =
             cl.pairs().into_iter().map(|(i, j, _, _)| normalize((i, j))).collect();
@@ -355,8 +357,7 @@ mod tests {
     fn dense_cluster_counts() {
         // All particles within cutoff of each other: n*(n-1)/2 pairs.
         let n = 12;
-        let pos: Vec<Vec3> =
-            (0..n).map(|i| Vec3::new(5.0 + 0.01 * i as f64, 5.0, 5.0)).collect();
+        let pos: Vec<Vec3> = (0..n).map(|i| Vec3::new(5.0 + 0.01 * i as f64, 5.0, 5.0)).collect();
         let cl = CellList::new(&pos, 20.0, 1.0);
         assert_eq!(cl.pairs().len(), n * (n - 1) / 2);
     }

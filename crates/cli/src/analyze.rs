@@ -129,12 +129,8 @@ mod tests {
         let frame_dt = 0.2;
         let sigma = (2.0 * d_true * frame_dt).sqrt();
         let mut rng = StdRng::seed_from_u64(17);
-        let mut sys = ParticleSystem::new(
-            vec![Vec3::new(500.0, 500.0, 500.0); n],
-            1000.0,
-            1.0,
-            1.0,
-        );
+        let mut sys =
+            ParticleSystem::new(vec![Vec3::new(500.0, 500.0, 500.0); n], 1000.0, 1.0, 1.0);
         let mut w = XyzWriter::new(Vec::new(), Coordinates::Unwrapped);
         w.write_frame(&sys, "").unwrap();
         let mut noise = vec![0.0; 3 * n];
@@ -150,10 +146,7 @@ mod tests {
         let analysis = analyze_trajectory(&bytes[..], frame_dt).unwrap();
         assert_eq!(analysis.frames, 121);
         let (_, d, err) = analysis.diffusion[0];
-        assert!(
-            (d - d_true).abs() < 4.0 * err.max(0.02),
-            "D = {d} +- {err}, want {d_true}"
-        );
+        assert!((d - d_true).abs() < 4.0 * err.max(0.02), "D = {d} +- {err}, want {d_true}");
         let text = render(&analysis, frame_dt);
         assert!(text.contains("diffusion"));
     }

@@ -223,10 +223,7 @@ mod tests {
     fn detects_truncation_and_bad_magic() {
         let ck = Checkpoint::capture(&sample_system(), 7);
         let bytes = ck.encode();
-        assert_eq!(
-            Checkpoint::decode(&bytes[..bytes.len() - 4]),
-            Err(CheckpointError::Truncated)
-        );
+        assert_eq!(Checkpoint::decode(&bytes[..bytes.len() - 4]), Err(CheckpointError::Truncated));
         let mut bad = bytes.clone();
         bad[0] = b'X';
         assert_eq!(Checkpoint::decode(&bad), Err(CheckpointError::BadMagic));

@@ -347,7 +347,10 @@ mod tests {
 
     #[test]
     fn rejects_duplicates_and_syntax_errors() {
-        assert!(SimSpec::parse("dt = 0.01\ndt = 0.02\n").unwrap_err().message.contains("duplicate"));
+        assert!(SimSpec::parse("dt = 0.01\ndt = 0.02\n")
+            .unwrap_err()
+            .message
+            .contains("duplicate"));
         assert!(SimSpec::parse("just a line\n").unwrap_err().message.contains("key = value"));
         assert!(SimSpec::parse("dt =\n").unwrap_err().message.contains("empty value"));
         assert!(SimSpec::parse("dt = fast\n").unwrap_err().message.contains("cannot parse"));

@@ -193,12 +193,7 @@ mod tests {
 
     #[test]
     fn runs_a_small_matrix_free_simulation() {
-        let spec = SimSpec {
-            particles: 20,
-            steps: 3,
-            report_interval: 0,
-            ..Default::default()
-        };
+        let spec = SimSpec { particles: 20, steps: 3, report_interval: 0, ..Default::default() };
         let report = run_simulation(&spec, None, quiet()).unwrap();
         assert_eq!(report.steps, 3);
         assert!(report.seconds_per_step > 0.0);

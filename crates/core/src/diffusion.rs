@@ -42,11 +42,7 @@ impl DiffusionEstimator {
                 break;
             }
             debug_assert_eq!(past.len(), snap.len());
-            let msd: f64 = past
-                .iter()
-                .zip(&snap)
-                .map(|(p, q)| (*q - *p).norm2())
-                .sum::<f64>()
+            let msd: f64 = past.iter().zip(&snap).map(|(p, q)| (*q - *p).norm2()).sum::<f64>()
                 / snap.len() as f64;
             self.series[lag - 1].push(msd);
         }

@@ -176,8 +176,8 @@ impl EwaldBd {
         );
         let m = dense_ewald_mobility(self.system.positions(), &ewald);
         let t1 = Instant::now();
-        let chol = CholeskyFactor::new(&m)
-            .map_err(|e| BdError::NotPositiveDefinite { pivot: e.pivot })?;
+        let chol =
+            CholeskyFactor::new(&m).map_err(|e| BdError::NotPositiveDefinite { pivot: e.pivot })?;
         let t2 = Instant::now();
         let mut z = vec![0.0; n3 * lambda];
         fill_standard_normal(&mut self.rng, &mut z);

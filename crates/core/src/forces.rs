@@ -58,12 +58,7 @@ impl Force for RepulsiveHarmonic {
     fn accumulate(&mut self, system: &ParticleSystem, f: &mut [f64]) {
         let contact = 2.0 * system.a;
         let list = self.list.get_or_insert_with(|| {
-            VerletList::new(
-                system.positions(),
-                system.box_l,
-                contact,
-                self.skin * system.a,
-            )
+            VerletList::new(system.positions(), system.box_l, contact, self.skin * system.a)
         });
         let k = self.k;
         list.for_each_pair(system.positions(), |i, j, dr, r2| {

@@ -45,11 +45,7 @@ impl<W: Write> XyzWriter<W> {
         writeln!(self.sink, "{}", pts.len())?;
         // Extended-XYZ style lattice in the comment line.
         let l = system.box_l;
-        writeln!(
-            self.sink,
-            "Lattice=\"{l} 0 0 0 {l} 0 0 0 {l}\" frame={} {comment}",
-            self.frames
-        )?;
+        writeln!(self.sink, "Lattice=\"{l} 0 0 0 {l} 0 0 0 {l}\" frame={} {comment}", self.frames)?;
         for p in pts {
             writeln!(self.sink, "{} {:.8} {:.8} {:.8}", self.element, p.x, p.y, p.z)?;
         }
@@ -176,8 +172,7 @@ fn parse_cubic_lattice(comment: &str) -> Option<f64> {
     let start = comment.find("Lattice=\"")? + 9;
     let rest = &comment[start..];
     let end = rest.find('"')?;
-    let nums: Vec<f64> =
-        rest[..end].split_whitespace().filter_map(|t| t.parse().ok()).collect();
+    let nums: Vec<f64> = rest[..end].split_whitespace().filter_map(|t| t.parse().ok()).collect();
     if nums.len() != 9 {
         return None;
     }

@@ -23,15 +23,15 @@
 pub mod analysis;
 pub mod diffusion;
 pub mod ewald_bd;
-pub mod io;
 pub mod forces;
 pub mod hybrid;
+pub mod io;
 pub mod mf_bd;
 pub mod system;
 
+pub use analysis::RdfAccumulator;
 pub use diffusion::DiffusionEstimator;
 pub use ewald_bd::{EwaldBd, EwaldBdConfig};
-pub use analysis::RdfAccumulator;
 pub use forces::{ConstantForce, Force, HarmonicBond, LennardJones, RepulsiveHarmonic};
 pub use mf_bd::{DisplacementMode, MatrixFreeBd, MatrixFreeConfig};
 pub use system::ParticleSystem;

@@ -112,6 +112,10 @@ pub struct MatrixFreeBd {
     /// `3n x lambda` row-major block of pre-drawn displacements.
     disp: Vec<f64>,
     used: usize,
+    /// Persistent per-step scratch: PME drift output and the combined
+    /// displacement (each `3n`), so `step` allocates nothing.
+    drift_scratch: Vec<f64>,
+    step_scratch: Vec<f64>,
     timings: MfTimings,
 }
 
@@ -145,6 +149,8 @@ impl MatrixFreeBd {
             op: None,
             disp: Vec::new(),
             used: usize::MAX,
+            drift_scratch: Vec::new(),
+            step_scratch: Vec::new(),
             timings: MfTimings::default(),
         })
     }
@@ -197,11 +203,8 @@ impl MatrixFreeBd {
 
         let mut z = vec![0.0; n3 * lambda];
         fill_standard_normal(&mut self.rng, &mut z);
-        let kcfg = KrylovConfig {
-            tol: self.cfg.e_k,
-            max_iter: self.cfg.max_krylov,
-            check_interval: 1,
-        };
+        let kcfg =
+            KrylovConfig { tol: self.cfg.e_k, max_iter: self.cfg.max_krylov, check_interval: 1 };
         let (mut d, iterations) = match self.cfg.displacement_mode {
             DisplacementMode::BlockKrylov => {
                 let (d, stats) = block_lanczos_sqrt(&mut op, &z, lambda, &kcfg)
@@ -277,15 +280,15 @@ impl MatrixFreeBd {
         let lambda = self.cfg.lambda_rpy;
         let f = total_force(&mut self.forces, &self.system);
         let op = self.op.as_mut().expect("operator refreshed above");
-        let mut drift = vec![0.0; n3];
-        op.apply(&f, &mut drift);
+        self.drift_scratch.resize(n3, 0.0);
+        self.step_scratch.resize(n3, 0.0);
+        op.apply(&f, &mut self.drift_scratch);
         let j = self.used;
-        let mut d = vec![0.0; n3];
         for i in 0..n3 {
-            d[i] = drift[i] * self.cfg.dt + self.disp[i * lambda + j];
+            self.step_scratch[i] = self.drift_scratch[i] * self.cfg.dt + self.disp[i * lambda + j];
         }
         self.used += 1;
-        self.system.apply_displacements(&d);
+        self.system.apply_displacements(&self.step_scratch);
         self.timings.stepping += t0.elapsed().as_secs_f64();
         self.timings.steps += 1;
         Ok(())

@@ -86,8 +86,7 @@ impl ParticleSystem {
 
     /// Achieved volume fraction `n (4/3) pi a^3 / L^3`.
     pub fn volume_fraction(&self) -> f64 {
-        self.len() as f64 * 4.0 / 3.0 * std::f64::consts::PI * self.a.powi(3)
-            / self.box_l.powi(3)
+        self.len() as f64 * 4.0 / 3.0 * std::f64::consts::PI * self.a.powi(3) / self.box_l.powi(3)
     }
 
     /// Apply a flat displacement vector `d` (length `3n`): unwrapped

@@ -52,8 +52,7 @@ pub fn dft3_forward_real(x: &[f64], dims: [usize; 3]) -> Vec<Complex64> {
                 for j0 in 0..n0 {
                     for j1 in 0..n1 {
                         for j2 in 0..n2 {
-                            let phase = -TAU
-                                * (j0 * k0) as f64 / n0 as f64
+                            let phase = -TAU * (j0 * k0) as f64 / n0 as f64
                                 - TAU * (j1 * k1) as f64 / n1 as f64
                                 - TAU * (j2 * k2) as f64 / n2 as f64;
                             acc += Complex64::cis(phase).scale(x[(j0 * n1 + j1) * n2 + j2]);

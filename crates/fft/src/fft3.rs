@@ -68,10 +68,8 @@ impl Fft3 {
         assert_eq!(spectrum.len(), n0 * n1 * nc, "spectrum length mismatch");
 
         // Pass 1: r2c along n2, plane-parallel over i0 (and rows within).
-        spectrum
-            .par_chunks_mut(n1 * nc)
-            .zip(real.par_chunks(n1 * n2))
-            .for_each(|(spec_plane, real_plane)| {
+        spectrum.par_chunks_mut(n1 * nc).zip(real.par_chunks(n1 * n2)).for_each(
+            |(spec_plane, real_plane)| {
                 let mut scratch = vec![Complex64::ZERO; self.rplan.scratch_len()];
                 for i1 in 0..n1 {
                     self.rplan.forward(
@@ -80,7 +78,8 @@ impl Fft3 {
                         &mut scratch,
                     );
                 }
-            });
+            },
+        );
 
         // Pass 2: complex FFT along n1 (stride nc within each i0-plane).
         self.pass_axis1(spectrum, false);
@@ -99,9 +98,8 @@ impl Fft3 {
         self.pass_axis0(spectrum, true);
         self.pass_axis1(spectrum, true);
 
-        real.par_chunks_mut(n1 * n2)
-            .zip(spectrum.par_chunks(n1 * nc))
-            .for_each(|(real_plane, spec_plane)| {
+        real.par_chunks_mut(n1 * n2).zip(spectrum.par_chunks(n1 * nc)).for_each(
+            |(real_plane, spec_plane)| {
                 let mut scratch = vec![Complex64::ZERO; self.rplan.scratch_len()];
                 for i1 in 0..n1 {
                     self.rplan.inverse(
@@ -110,7 +108,67 @@ impl Fft3 {
                         &mut scratch,
                     );
                 }
-            });
+            },
+        );
+    }
+
+    /// Forward r2c transforms of `batch` concatenated meshes through this
+    /// one plan (shared twiddles). Semantically identical to `batch` calls of
+    /// [`Fft3::forward`] on consecutive `real_len()` / `spectrum_len()`
+    /// chunks, but the rayon parallelism spans the whole batch and the
+    /// per-line scratch is reused per worker instead of reallocated per
+    /// plane — the "3D FFTs for blocks of vectors" the paper notes no
+    /// library provides (Sec. III-B).
+    pub fn forward_batch(&self, reals: &[f64], spectra: &mut [Complex64], batch: usize) {
+        let [n0, n1, n2] = self.dims;
+        let nc = self.nc();
+        assert_eq!(reals.len(), batch * n0 * n1 * n2, "batched real length mismatch");
+        assert_eq!(spectra.len(), batch * n0 * n1 * nc, "batched spectrum length mismatch");
+
+        // Pass 1: r2c along n2 over all batch * n0 planes at once.
+        spectra.par_chunks_mut(n1 * nc).zip(reals.par_chunks(n1 * n2)).for_each_init(
+            || vec![Complex64::ZERO; self.rplan.scratch_len()],
+            |scratch, (spec_plane, real_plane)| {
+                for i1 in 0..n1 {
+                    self.rplan.forward(
+                        &real_plane[i1 * n2..(i1 + 1) * n2],
+                        &mut spec_plane[i1 * nc..(i1 + 1) * nc],
+                        scratch,
+                    );
+                }
+            },
+        );
+
+        // Pass 2: the axis-1 plane chunking spans the batch transparently.
+        self.pass_axis1(spectra, false);
+        // Pass 3: axis-0 lines, one gathered mesh per rayon task.
+        self.pass_axis0_batch(spectra, false);
+    }
+
+    /// Inverse c2r transforms of `batch` concatenated half spectra (same
+    /// unnormalized convention as [`Fft3::inverse`]:
+    /// `inverse_batch(forward_batch(x)) = n0*n1*n2 * x`). Destroys `spectra`.
+    pub fn inverse_batch(&self, spectra: &mut [Complex64], reals: &mut [f64], batch: usize) {
+        let [n0, n1, n2] = self.dims;
+        let nc = self.nc();
+        assert_eq!(reals.len(), batch * n0 * n1 * n2, "batched real length mismatch");
+        assert_eq!(spectra.len(), batch * n0 * n1 * nc, "batched spectrum length mismatch");
+
+        self.pass_axis0_batch(spectra, true);
+        self.pass_axis1(spectra, true);
+
+        reals.par_chunks_mut(n1 * n2).zip(spectra.par_chunks(n1 * nc)).for_each_init(
+            || vec![Complex64::ZERO; self.rplan.scratch_len()],
+            |scratch, (real_plane, spec_plane)| {
+                for i1 in 0..n1 {
+                    self.rplan.inverse(
+                        &spec_plane[i1 * nc..(i1 + 1) * nc],
+                        &mut real_plane[i1 * n2..(i1 + 1) * n2],
+                        scratch,
+                    );
+                }
+            },
+        );
     }
 
     /// Complex transform along axis 1. Lines have stride `nc` inside each
@@ -175,6 +233,47 @@ impl Fft3 {
             }
         }
     }
+
+    /// Axis-0 pass over `batch` concatenated spectra. Each spectrum is an
+    /// independent `n0*n1*nc` block, so the batch itself is the parallel
+    /// dimension and each worker reuses one gathered slab + one scratch
+    /// buffer across all its `i1`-slabs — the twiddle/plan state in
+    /// `plan0` is shared read-only by every mesh in the batch.
+    fn pass_axis0_batch(&self, spectra: &mut [Complex64], inverse: bool) {
+        let [n0, n1, _] = self.dims;
+        let nc = self.nc();
+        if n0 == 1 {
+            return;
+        }
+        let plane_stride = n1 * nc;
+        spectra.par_chunks_mut(n0 * plane_stride).for_each_init(
+            || (vec![Complex64::ZERO; n0 * nc], vec![Complex64::ZERO; self.plan0.scratch_len()]),
+            |(slab, scratch), spectrum| {
+                for i1 in 0..n1 {
+                    // Gather: slab[k2*n0 + i0] = spectrum[(i0*n1 + i1)*nc + k2]
+                    for i0 in 0..n0 {
+                        let base = i0 * plane_stride + i1 * nc;
+                        for k2 in 0..nc {
+                            slab[k2 * n0 + i0] = spectrum[base + k2];
+                        }
+                    }
+                    for line in slab.chunks_mut(n0) {
+                        if inverse {
+                            self.plan0.inverse(line, scratch);
+                        } else {
+                            self.plan0.forward(line, scratch);
+                        }
+                    }
+                    for i0 in 0..n0 {
+                        let base = i0 * plane_stride + i1 * nc;
+                        for k2 in 0..nc {
+                            spectrum[base + k2] = slab[k2 * n0 + i0];
+                        }
+                    }
+                }
+            },
+        );
+    }
 }
 
 #[cfg(test)]
@@ -230,6 +329,56 @@ mod tests {
             fft.inverse(&mut spec, &mut y);
             for (a, b) in x.iter().zip(&y) {
                 assert!((b / total - a).abs() < 1e-11, "dims {dims:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_batch_matches_per_mesh_loop() {
+        // Odd and even slow dims, batch sizes straddling the plan count.
+        for (dims, batch) in
+            [([4usize, 6, 8], 3usize), ([3, 5, 4], 5), ([8, 8, 8], 1), ([5, 1, 10], 4)]
+        {
+            let [n0, n1, n2] = dims;
+            let fft = Fft3::new(dims).unwrap();
+            let rl = n0 * n1 * n2;
+            let sl = fft.spectrum_len();
+            let x = random_real(batch * rl, (n0 * 1000 + batch) as u64);
+            let mut spec_batch = vec![Complex64::ZERO; batch * sl];
+            fft.forward_batch(&x, &mut spec_batch, batch);
+            for b in 0..batch {
+                let mut spec_one = vec![Complex64::ZERO; sl];
+                fft.forward(&x[b * rl..(b + 1) * rl], &mut spec_one);
+                for i in 0..sl {
+                    assert!(
+                        (spec_batch[b * sl + i] - spec_one[i]).abs() < 1e-12,
+                        "dims {dims:?} mesh {b} idx {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_batch_roundtrip_scales_by_total_size() {
+        // Same unnormalized convention as the single-mesh transforms:
+        // inverse_batch(forward_batch(x)) = n0*n1*n2 * x per mesh.
+        for (dims, batch) in [([4usize, 4, 4], 6usize), ([6, 5, 8], 2), ([2, 3, 10], 7)] {
+            let [n0, n1, n2] = dims;
+            let total = (n0 * n1 * n2) as f64;
+            let fft = Fft3::new(dims).unwrap();
+            let rl = n0 * n1 * n2;
+            let x = random_real(batch * rl, 1234 + batch as u64);
+            let mut spec = vec![Complex64::ZERO; batch * fft.spectrum_len()];
+            fft.forward_batch(&x, &mut spec, batch);
+            let mut y = vec![0.0; batch * rl];
+            fft.inverse_batch(&mut spec, &mut y, batch);
+            for (i, (a, b)) in x.iter().zip(&y).enumerate() {
+                assert!(
+                    (b / total - a).abs() < 1e-11,
+                    "dims {dims:?} flat idx {i}: {a} vs {}",
+                    b / total
+                );
             }
         }
     }

@@ -297,7 +297,13 @@ impl FftPlan {
 
         // Sub-transforms of the r interleaved subsequences.
         for q in 0..r {
-            self.recurse(level + 1, &src[q * stride..], stride * r, &mut dst[q * m..(q + 1) * m], dir);
+            self.recurse(
+                level + 1,
+                &src[q * stride..],
+                stride * r,
+                &mut dst[q * m..(q + 1) * m],
+                dir,
+            );
         }
 
         // Combine: X[k + m*s] = Σ_q w^{qk} ω_r^{qs} Y_q[k].
@@ -343,7 +349,8 @@ fn butterfly_into(t: &[Complex64], out: &mut [Complex64], dir: Direction) {
             let s = t[1] + t[2];
             let d = t[1] - t[2];
             let m1 = t[0] - s.scale(0.5);
-            let m2 = if inv { d.mul_i().scale(HALF_SQRT3) } else { d.mul_neg_i().scale(HALF_SQRT3) };
+            let m2 =
+                if inv { d.mul_i().scale(HALF_SQRT3) } else { d.mul_neg_i().scale(HALF_SQRT3) };
             out[0] = t[0] + s;
             out[1] = m1 + m2;
             out[2] = m1 - m2;
@@ -414,8 +421,8 @@ mod tests {
     }
 
     const SIZES: &[usize] = &[
-        1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 15, 16, 20, 24, 25, 27, 30, 32, 36, 40, 45,
-        48, 60, 64, 100, 121, 125, 128, 144, 169, 200, 243, 256, 400,
+        1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 15, 16, 20, 24, 25, 27, 30, 32, 36, 40, 45, 48,
+        60, 64, 100, 121, 125, 128, 144, 169, 200, 243, 256, 400,
         // Rough sizes exercising the Bluestein fallback.
         17, 19, 23, 34, 97, 101, 257,
     ];
@@ -430,11 +437,7 @@ mod tests {
             let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
             plan.forward(&mut got, &mut scratch);
             let scale = (n as f64).sqrt();
-            assert!(
-                max_err(&got, &want) < 1e-11 * scale,
-                "n={n}: err {}",
-                max_err(&got, &want)
-            );
+            assert!(max_err(&got, &want) < 1e-11 * scale, "n={n}: err {}", max_err(&got, &want));
         }
     }
 
@@ -510,10 +513,7 @@ mod tests {
         assert!(FftPlan::new(17).unwrap().is_bluestein());
         assert!(FftPlan::new(2 * 19).unwrap().is_bluestein());
         // ...while the mixed-radix constructor still reports them.
-        assert!(matches!(
-            FftPlan::new_mixed_radix(17).unwrap_err(),
-            FftError::RoughLength { .. }
-        ));
+        assert!(matches!(FftPlan::new_mixed_radix(17).unwrap_err(), FftError::RoughLength { .. }));
         // Smooth sizes stay on the mixed-radix path.
         assert!(!FftPlan::new(13).unwrap().is_bluestein());
         assert!(!FftPlan::new(400).unwrap().is_bluestein());

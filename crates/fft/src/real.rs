@@ -132,9 +132,11 @@ mod tests {
             .collect()
     }
 
-    const SIZES: &[usize] = &[2, 4, 6, 8, 10, 12, 16, 20, 30, 32, 48, 64, 100, 128, 256, 400,
+    const SIZES: &[usize] = &[
+        2, 4, 6, 8, 10, 12, 16, 20, 30, 32, 48, 64, 100, 128, 256, 400,
         // Half-lengths taking the Bluestein path.
-        34, 38, 46, 194];
+        34, 38, 46, 194,
+    ];
 
     #[test]
     fn forward_matches_naive_dft() {

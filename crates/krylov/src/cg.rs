@@ -53,19 +53,14 @@ pub fn conjugate_gradient(
             return Err(KrylovError::NotPositiveSemidefinite { eigenvalue: pap / dot(&p, &p) });
         }
         let alpha = rr / pap;
-        for ((xi, pi), (ri, api)) in
-            x.iter_mut().zip(&p).zip(r.iter_mut().zip(&ap))
-        {
+        for ((xi, pi), (ri, api)) in x.iter_mut().zip(&p).zip(r.iter_mut().zip(&ap)) {
             *xi += alpha * pi;
             *ri -= alpha * api;
         }
         let rr_new = dot(&r, &r);
         let rel = rr_new.sqrt() / bnorm;
         if rel < cfg.tol {
-            return Ok((
-                x,
-                KrylovStats { iterations: it + 1, converged: true, rel_change: rel },
-            ));
+            return Ok((x, KrylovStats { iterations: it + 1, converged: true, rel_change: rel }));
         }
         let beta = rr_new / rr;
         for (pi, ri) in p.iter_mut().zip(&r) {
@@ -88,7 +83,7 @@ fn norm(a: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hibd_linalg::{DenseOp, DMat};
+    use hibd_linalg::{DMat, DenseOp};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 

@@ -193,12 +193,7 @@ pub fn chebyshev_sqrt(
 
     Ok((
         g,
-        ChebyshevStats {
-            degree,
-            bound_applications: bound_apps,
-            poly_error: tail / floor,
-            bounds,
-        },
+        ChebyshevStats { degree, bound_applications: bound_apps, poly_error: tail / floor, bounds },
     ))
 }
 
@@ -250,7 +245,7 @@ mod tests {
     use super::*;
     use crate::lanczos_sqrt;
     use crate::KrylovConfig;
-    use hibd_linalg::{sym_eig, DenseOp, DMat};
+    use hibd_linalg::{sym_eig, DMat, DenseOp};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -259,7 +254,8 @@ mod tests {
         let raw = DMat::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
         let sym = DMat::from_fn(n, n, |i, j| raw[(i, j)] + raw[(j, i)]);
         let (_, v) = sym_eig(&sym);
-        let w: Vec<f64> = (0..n).map(|i| lo + (hi - lo) * i as f64 / (n - 1).max(1) as f64).collect();
+        let w: Vec<f64> =
+            (0..n).map(|i| lo + (hi - lo) * i as f64 / (n - 1).max(1) as f64).collect();
         let mut vw = v.clone();
         for i in 0..n {
             for j in 0..n {

@@ -154,10 +154,7 @@ pub fn lanczos_sqrt(
             if let Some(prev) = &g_prev {
                 rel_change = rel_diff(&g, prev);
                 if rel_change < cfg.tol || breakdown {
-                    return Ok((
-                        g,
-                        KrylovStats { iterations: j + 1, converged: true, rel_change },
-                    ));
+                    return Ok((g, KrylovStats { iterations: j + 1, converged: true, rel_change }));
                 }
             } else if breakdown {
                 return Ok((
@@ -246,14 +243,16 @@ pub fn block_lanczos_sqrt(
     let mut a_blocks: Vec<DMat> = Vec::new(); // diagonal blocks A_j (s x s)
     let mut b_blocks: Vec<DMat> = Vec::new(); // subdiagonal blocks B_j (s x s)
 
-    let mut w = vec![0.0; n * s];
+    // W is reused across iterations; apply_multi writes the operator's
+    // batched block product straight into it (it fully overwrites), so the
+    // hot loop performs no per-iteration allocation or copy for W.
+    let mut wmat = DMat::zeros(n, s);
     let mut g_prev: Option<DMat> = None;
     let mut rel_change = f64::INFINITY;
     let mut breakdown = false;
 
     for j in 0..cfg.max_iter {
-        op.apply_multi(panels[j].as_slice(), &mut w, s);
-        let mut wmat = DMat::from_vec(n, s, w.clone());
+        op.apply_multi(panels[j].as_slice(), wmat.as_mut_slice(), s);
         if j > 0 {
             // W -= V_{j-1} B_{j-1}^T
             let corr = panels[j - 1].matmul(&b_blocks[j - 1].transpose());
@@ -397,9 +396,7 @@ mod tests {
         let raw = DMat::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
         let sym = DMat::from_fn(n, n, |i, j| raw[(i, j)] + raw[(j, i)]);
         let (_, v) = sym_eig(&sym);
-        let w: Vec<f64> = (0..n)
-            .map(|_| (rng.gen_range(lo.ln()..hi.ln())).exp())
-            .collect();
+        let w: Vec<f64> = (0..n).map(|_| (rng.gen_range(lo.ln()..hi.ln())).exp()).collect();
         // A = V diag(w) V^T
         let mut vw = v.clone();
         for i in 0..n {
@@ -569,11 +566,7 @@ mod tests {
             *v /= samples as f64;
         }
         let scale = m.fro_norm();
-        assert!(
-            cov.max_abs_diff(&m) < 0.05 * scale,
-            "covariance error {}",
-            cov.max_abs_diff(&m)
-        );
+        assert!(cov.max_abs_diff(&m) < 0.05 * scale, "covariance error {}", cov.max_abs_diff(&m));
     }
 
     /// Local standard-normal fill (Box–Muller) to avoid a dev-dependency on

@@ -4,7 +4,7 @@ use hibd_krylov::{
     block_lanczos_sqrt, chebyshev_sqrt, conjugate_gradient, lanczos_sqrt, CgConfig,
     ChebyshevConfig, KrylovConfig,
 };
-use hibd_linalg::{sym_eig, DenseOp, DMat};
+use hibd_linalg::{sym_eig, DMat, DenseOp};
 use proptest::prelude::*;
 
 /// SPD matrix with eigenvalues in [lo, hi] built from a random rotation.

@@ -166,11 +166,7 @@ mod tests {
     fn known_3x3_factor() {
         // Classic example: A = [[4,12,-16],[12,37,-43],[-16,-43,98]]
         // has L = [[2,0,0],[6,1,0],[-8,5,3]].
-        let a = DMat::from_vec(
-            3,
-            3,
-            vec![4.0, 12.0, -16.0, 12.0, 37.0, -43.0, -16.0, -43.0, 98.0],
-        );
+        let a = DMat::from_vec(3, 3, vec![4.0, 12.0, -16.0, 12.0, 37.0, -43.0, -16.0, -43.0, 98.0]);
         let f = CholeskyFactor::new(&a).unwrap();
         let want = [2.0, 0.0, 0.0, 6.0, 1.0, 0.0, -8.0, 5.0, 3.0];
         for (got, want) in f.l().as_slice().iter().zip(&want) {

@@ -24,7 +24,11 @@ pub fn sym_eig(a: &DMat) -> (Vec<f64>, DMat) {
     let mut m = DMat::from_fn(n, n, |i, j| 0.5 * (a[(i, j)] + a[(j, i)]));
     let mut v = DMat::identity(n);
 
-    let scale = (0..n).map(|i| m[(i, i)].abs()).fold(0.0f64, f64::max).max(m.fro_norm() / (n as f64).max(1.0)).max(1e-300);
+    let scale = (0..n)
+        .map(|i| m[(i, i)].abs())
+        .fold(0.0f64, f64::max)
+        .max(m.fro_norm() / (n as f64).max(1.0))
+        .max(1e-300);
     let tol = 1e-15 * scale;
 
     for _sweep in 0..100 {

@@ -28,9 +28,7 @@ pub fn thin_qr(a: &DMat) -> ThinQr {
     let s = a.ncols();
     assert!(n >= s, "panel must be tall: {n} x {s}");
     // Work on columns: copy into column-major scratch.
-    let mut cols: Vec<Vec<f64>> = (0..s)
-        .map(|j| (0..n).map(|i| a[(i, j)]).collect())
-        .collect();
+    let mut cols: Vec<Vec<f64>> = (0..s).map(|j| (0..n).map(|i| a[(i, j)]).collect()).collect();
     let mut r = DMat::zeros(s, s);
     let mut deficient = Vec::new();
 
@@ -165,11 +163,7 @@ mod tests {
         for i in 0..3 {
             for j in 0..3 {
                 let want = if i == j { 1.0 } else { 0.0 };
-                assert!(
-                    (gram[(i, j)] - want).abs() < 1e-10,
-                    "gram[{i},{j}] = {}",
-                    gram[(i, j)]
-                );
+                assert!((gram[(i, j)] - want).abs() < 1e-10, "gram[{i},{j}] = {}", gram[(i, j)]);
             }
         }
     }

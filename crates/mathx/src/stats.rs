@@ -110,11 +110,8 @@ impl KahanSum {
 /// Returns `(mean, 0.0)` when there are fewer than two full blocks.
 pub fn block_average(series: &[f64], nblocks: usize) -> (f64, f64) {
     assert!(nblocks > 0, "nblocks must be positive");
-    let total_mean = if series.is_empty() {
-        0.0
-    } else {
-        series.iter().sum::<f64>() / series.len() as f64
-    };
+    let total_mean =
+        if series.is_empty() { 0.0 } else { series.iter().sum::<f64>() / series.len() as f64 };
     let bs = series.len() / nblocks;
     if bs == 0 || nblocks < 2 {
         return (total_mean, 0.0);

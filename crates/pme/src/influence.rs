@@ -51,24 +51,21 @@ impl Influence {
         let mu0 = ewald.mu0();
         let vol = l * l * l;
         let mut scalars = vec![0.0; k * k * nc];
-        scalars
-            .par_chunks_mut(k * nc)
-            .enumerate()
-            .for_each(|(k0, plane)| {
-                let f0 = fold(k0, k) as f64;
-                for k1 in 0..k {
-                    let f1 = fold(k1, k) as f64;
-                    for k2 in 0..nc {
-                        let f2 = k2 as f64; // half spectrum: always <= K/2
-                        if k0 == 0 && k1 == 0 && k2 == 0 {
-                            continue; // k = 0 excluded
-                        }
-                        let k2norm = kunit * kunit * (f0 * f0 + f1 * f1 + f2 * f2);
-                        let m = ewald.recip_scalar(k2norm);
-                        plane[k1 * nc + k2] = mu0 * m * b2[k0] * b2[k1] * b2[k2] / vol;
+        scalars.par_chunks_mut(k * nc).enumerate().for_each(|(k0, plane)| {
+            let f0 = fold(k0, k) as f64;
+            for k1 in 0..k {
+                let f1 = fold(k1, k) as f64;
+                for k2 in 0..nc {
+                    let f2 = k2 as f64; // half spectrum: always <= K/2
+                    if k0 == 0 && k1 == 0 && k2 == 0 {
+                        continue; // k = 0 excluded
                     }
+                    let k2norm = kunit * kunit * (f0 * f0 + f1 * f1 + f2 * f2);
+                    let m = ewald.recip_scalar(k2norm);
+                    plane[k1 * nc + k2] = mu0 * m * b2[k0] * b2[k1] * b2[k2] / vol;
                 }
-            });
+            }
+        });
         Influence { k, nc, kunit, scalars }
     }
 
@@ -95,6 +92,27 @@ impl Influence {
         assert_eq!(spec.len(), 3 * s_len, "expected three concatenated spectra");
         let (sx, rest) = spec.split_at_mut(s_len);
         let (sy, sz) = rest.split_at_mut(s_len);
+        self.apply_components(sx, sy, sz);
+    }
+
+    /// Apply `I(k)` to a batch of `width` column spectra laid out
+    /// `[theta][col]`: x spectra for all columns first, then y, then z
+    /// (matching the batched mesh layout in `spread_multi`). One scalar-table
+    /// pass per column; the projector is rebuilt from the lattice vector
+    /// exactly as in the single-RHS path.
+    pub fn apply_multi(&self, spec: &mut [Complex64], width: usize) {
+        let s_len = self.k * self.k * self.nc;
+        assert_eq!(spec.len(), 3 * width * s_len, "expected 3*width spectra");
+        let (sx_all, rest) = spec.split_at_mut(width * s_len);
+        let (sy_all, sz_all) = rest.split_at_mut(width * s_len);
+        for j in 0..width {
+            let r = j * s_len..(j + 1) * s_len;
+            self.apply_components(&mut sx_all[r.clone()], &mut sy_all[r.clone()], &mut sz_all[r]);
+        }
+    }
+
+    /// Core streaming pass over one (x, y, z) spectrum triple.
+    fn apply_components(&self, sx: &mut [Complex64], sy: &mut [Complex64], sz: &mut [Complex64]) {
         let plane = self.k * self.nc;
         let k = self.k;
         let nc = self.nc;
@@ -162,8 +180,8 @@ mod tests {
         for (k0, k1, k2) in [(1usize, 0usize, 0usize), (7, 2, 3), (4, 4, 4), (5, 6, 1)] {
             let f = [fold(k0, k), fold(k1, k), fold(k2, k)];
             let k2norm = (TAU / l).powi(2) * f.iter().map(|&x| (x * x) as f64).sum::<f64>();
-            let want = ewald.mu0() * ewald.recip_scalar(k2norm) * b2[k0] * b2[k1] * b2[k2]
-                / (l * l * l);
+            let want =
+                ewald.mu0() * ewald.recip_scalar(k2norm) * b2[k0] * b2[k1] * b2[k2] / (l * l * l);
             let got = inf.scalar_at(k0, k1, k2);
             assert!(
                 (got - want).abs() < 1e-15 * want.abs().max(1e-10),

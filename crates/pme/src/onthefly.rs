@@ -15,12 +15,7 @@ pub const MAX_ORDER: usize = 8;
 
 /// Spread all three components, recomputing weights per particle.
 /// `mesh` is `[F_x | F_y | F_z]`, zeroed by this call.
-pub fn spread_on_the_fly(
-    plan: &SpreadPlan,
-    pm: &InterpMatrix,
-    f: &[f64],
-    mesh: &mut [f64],
-) {
+pub fn spread_on_the_fly(plan: &SpreadPlan, pm: &InterpMatrix, f: &[f64], mesh: &mut [f64]) {
     let k = pm.k;
     let p = pm.p;
     assert!(p <= MAX_ORDER, "spline order > {MAX_ORDER} not supported on the fly");
@@ -29,26 +24,29 @@ pub fn spread_on_the_fly(
     mesh.par_chunks_mut(8192).for_each(|c| c.fill(0.0));
 
     // Reuse the independent-set schedule; only the weight source differs.
-    plan.for_each_block_set(|rows, mesh_ptr| {
-        let mesh = unsafe { std::slice::from_raw_parts_mut(mesh_ptr, 3 * k3) };
-        let (mx, rest) = mesh.split_at_mut(k3);
-        let (my, mz) = rest.split_at_mut(k3);
-        let mut cols = [0u32; MAX_ORDER * MAX_ORDER * MAX_ORDER];
-        let mut vals = [0.0f64; MAX_ORDER * MAX_ORDER * MAX_ORDER];
-        let p3 = p * p * p;
-        for &r in rows {
-            let r = r as usize;
-            fill_row(&pm.scaled[r], k, p, &mut cols[..p3], &mut vals[..p3]);
-            let (fx, fy, fz) = (f[3 * r], f[3 * r + 1], f[3 * r + 2]);
-            for t in 0..p3 {
-                let c = cols[t] as usize;
-                let w = vals[t];
-                mx[c] += w * fx;
-                my[c] += w * fy;
-                mz[c] += w * fz;
+    plan.for_each_block_set(
+        |rows, mesh_ptr| {
+            let mesh = unsafe { std::slice::from_raw_parts_mut(mesh_ptr, 3 * k3) };
+            let (mx, rest) = mesh.split_at_mut(k3);
+            let (my, mz) = rest.split_at_mut(k3);
+            let mut cols = [0u32; MAX_ORDER * MAX_ORDER * MAX_ORDER];
+            let mut vals = [0.0f64; MAX_ORDER * MAX_ORDER * MAX_ORDER];
+            let p3 = p * p * p;
+            for &r in rows {
+                let r = r as usize;
+                fill_row(&pm.scaled[r], k, p, &mut cols[..p3], &mut vals[..p3]);
+                let (fx, fy, fz) = (f[3 * r], f[3 * r + 1], f[3 * r + 2]);
+                for t in 0..p3 {
+                    let c = cols[t] as usize;
+                    let w = vals[t];
+                    mx[c] += w * fx;
+                    my[c] += w * fy;
+                    mz[c] += w * fz;
+                }
             }
-        }
-    }, mesh);
+        },
+        mesh,
+    );
 }
 
 /// Interpolate all three components, recomputing weights per particle.

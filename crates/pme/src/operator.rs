@@ -12,7 +12,7 @@
 use crate::influence::Influence;
 use crate::pmat::{build_interp_matrix, InterpMatrix};
 use crate::real::assemble_real_space;
-use crate::spread::{interpolate, SpreadPlan};
+use crate::spread::{interpolate, interpolate_multi, SpreadPlan};
 use hibd_fft::{Complex64, Fft3, FftError};
 use hibd_linalg::LinearOperator;
 use hibd_mathx::Vec3;
@@ -113,6 +113,18 @@ pub struct PmeOperator {
     mesh: Vec<f64>,
     /// `[C_x | C_y | C_z]` half spectra, each `K^2 (K/2+1)`.
     spec: Vec<Complex64>,
+    /// Single-RHS interpolation / reciprocal-output scratch (`3n`).
+    interp_scratch: Vec<f64>,
+    /// Real-branch output scratch for `apply_overlapped` (`3n`).
+    real_scratch: Vec<f64>,
+    /// Column gather/scatter scratch for the per-column baseline (`6n`).
+    col_scratch: Vec<f64>,
+    /// Batched meshes for `recip_apply_add_cols`: `3*width` meshes of `K^3`
+    /// in `[theta][col]` layout. Grown on demand, never shrunk, so repeated
+    /// block applies at the same width are allocation-free.
+    batch_mesh: Vec<f64>,
+    /// Batched half spectra, `3*width` of `K^2 (K/2+1)` each.
+    batch_spec: Vec<Complex64>,
     times: PmePhaseTimes,
 }
 
@@ -143,6 +155,11 @@ impl PmeOperator {
             self_coef,
             mesh: vec![0.0; 3 * k3],
             spec: vec![Complex64::ZERO; 3 * s_len],
+            interp_scratch: vec![0.0; 3 * positions.len()],
+            real_scratch: vec![0.0; 3 * positions.len()],
+            col_scratch: vec![0.0; 6 * positions.len()],
+            batch_mesh: Vec::new(),
+            batch_spec: Vec::new(),
             times: PmePhaseTimes::default(),
         })
     }
@@ -182,10 +199,12 @@ impl PmeOperator {
     }
 
     /// Estimated resident bytes of the operator (paper Eq. 11 plus the
-    /// real-space matrix): meshes + spectra + P + influence + BCSR.
+    /// real-space matrix): meshes + spectra (including the grown batch
+    /// scratch) + particle scratch + P + influence + BCSR.
     pub fn memory_bytes(&self) -> usize {
-        self.mesh.len() * 8
-            + self.spec.len() * 16
+        (self.mesh.len() + self.batch_mesh.len()) * 8
+            + (self.spec.len() + self.batch_spec.len()) * 16
+            + (self.interp_scratch.len() + self.real_scratch.len() + self.col_scratch.len()) * 8
             + self.pm.mat.memory_bytes()
             + self.inf.memory_bytes()
             + self.real.memory_bytes()
@@ -218,10 +237,10 @@ impl PmeOperator {
             );
         }
         let t4 = Instant::now();
-        // Interpolate into a scratch then accumulate (interpolate overwrites).
-        let mut u_recip = vec![0.0; 3 * self.n];
-        interpolate(&self.pm, &self.mesh, &mut u_recip);
-        for (o, v) in u.iter_mut().zip(&u_recip) {
+        // Interpolate into operator-owned scratch, then accumulate
+        // (interpolate overwrites; no per-apply allocation).
+        interpolate(&self.pm, &self.mesh, &mut self.interp_scratch);
+        for (o, v) in u.iter_mut().zip(&self.interp_scratch) {
             *o += v;
         }
         let t5 = Instant::now();
@@ -262,9 +281,8 @@ impl PmeOperator {
             );
         }
         let t4 = Instant::now();
-        let mut u_recip = vec![0.0; 3 * self.n];
-        crate::onthefly::interpolate_on_the_fly(&self.pm, &self.mesh, &mut u_recip);
-        for (o, v) in u.iter_mut().zip(&u_recip) {
+        crate::onthefly::interpolate_on_the_fly(&self.pm, &self.mesh, &mut self.interp_scratch);
+        for (o, v) in u.iter_mut().zip(&self.interp_scratch) {
             *o += v;
         }
         let t5 = Instant::now();
@@ -315,19 +333,20 @@ impl PmeOperator {
         let inf = &self.inf;
         let mesh = &mut self.mesh;
         let spec = &mut self.spec;
+        let u_real = &mut self.real_scratch;
+        let u_recip = &mut self.interp_scratch;
         let k = self.params.mesh_dim;
         let k3 = k * k * k;
         let s_len = k * k * (k / 2 + 1);
-        let n = self.n;
 
-        let mut u_real = vec![0.0; 3 * n];
-        let mut u_recip = vec![0.0; 3 * n];
         let mut t_real = 0.0;
-        let mut t_recip = 0.0;
+        // Per-phase wall clock of the reciprocal branch, so the Fig. 5
+        // breakdown stays correct when the overlapped path is used.
+        let mut phases = [0.0f64; 5];
         std::thread::scope(|scope| {
             let handle = scope.spawn(|| {
                 let t0 = Instant::now();
-                real.mul_vec(f, &mut u_real);
+                real.mul_vec(f, u_real);
                 for (o, v) in u_real.iter_mut().zip(f) {
                     *o += self_coef * v;
                 }
@@ -335,45 +354,147 @@ impl PmeOperator {
             });
             let t0 = Instant::now();
             plan.spread(pm, f, mesh);
+            let t1 = Instant::now();
             for theta in 0..3 {
                 fft.forward(
                     &mesh[theta * k3..(theta + 1) * k3],
                     &mut spec[theta * s_len..(theta + 1) * s_len],
                 );
             }
+            let t2 = Instant::now();
             inf.apply(spec);
+            let t3 = Instant::now();
             for theta in 0..3 {
                 fft.inverse(
                     &mut spec[theta * s_len..(theta + 1) * s_len],
                     &mut mesh[theta * k3..(theta + 1) * k3],
                 );
             }
-            interpolate(pm, mesh, &mut u_recip);
-            t_recip = t0.elapsed().as_secs_f64();
+            let t4 = Instant::now();
+            interpolate(pm, mesh, u_recip);
+            let t5 = Instant::now();
+            phases = [
+                (t1 - t0).as_secs_f64(),
+                (t2 - t1).as_secs_f64(),
+                (t3 - t2).as_secs_f64(),
+                (t4 - t3).as_secs_f64(),
+                (t5 - t4).as_secs_f64(),
+            ];
             t_real = handle.join().expect("real-space branch panicked");
         });
-        for ((o, a), b) in u.iter_mut().zip(&u_real).zip(&u_recip) {
+        let t_recip: f64 = phases.iter().sum();
+        for ((o, a), b) in u.iter_mut().zip(self.real_scratch.iter()).zip(&self.interp_scratch) {
             *o = a + b;
         }
         self.times.real_space += t_real;
+        self.times.spreading += phases[0];
+        self.times.forward_fft += phases[1];
+        self.times.influence += phases[2];
+        self.times.inverse_fft += phases[3];
+        self.times.interpolation += phases[4];
         self.times.applications += 1;
         (t_real, t_recip)
     }
 
-    /// Reciprocal part for one column of a row-major multivector: gathers
-    /// column `col`, runs the pipeline, scatters the result back. Exposed
-    /// for the hybrid executor's static partitioning of block applications.
+    /// Reciprocal part for one column of a row-major multivector via the
+    /// **single-RHS** pipeline: gathers column `col` into operator-owned
+    /// scratch, runs `recip_apply_add`, scatters the result back. This is
+    /// the pre-batching behavior, kept as the per-column baseline for the
+    /// `pme_apply_multi` bench and the batched-agreement tests.
     pub fn recip_apply_add_column(&mut self, x: &[f64], y: &mut [f64], s: usize, col: usize) {
         let n3 = 3 * self.n;
-        let mut fc = vec![0.0; n3];
-        for i in 0..n3 {
-            fc[i] = x[i * s + col];
+        let mut buf = std::mem::take(&mut self.col_scratch);
+        buf.resize(2 * n3, 0.0);
+        let (fc, uc) = buf.split_at_mut(n3);
+        for (i, fv) in fc.iter_mut().enumerate() {
+            *fv = x[i * s + col];
         }
-        let mut uc = vec![0.0; n3];
-        self.recip_apply_add(&fc, &mut uc);
-        for i in 0..n3 {
-            y[i * s + col] += uc[i];
+        uc.fill(0.0);
+        self.recip_apply_add(fc, uc);
+        for (i, uv) in uc.iter().enumerate() {
+            y[i * s + col] += uv;
         }
+        self.col_scratch = buf;
+    }
+
+    /// Grow the batch scratch to hold `3*width` meshes and spectra. `resize`
+    /// keeps existing capacity, so steady-state block applies never allocate.
+    fn ensure_batch_scratch(&mut self, width: usize) {
+        let k = self.params.mesh_dim;
+        let k3 = k * k * k;
+        let s_len = k * k * (k / 2 + 1);
+        if self.batch_mesh.len() < 3 * width * k3 {
+            self.batch_mesh.resize(3 * width * k3, 0.0);
+        }
+        if self.batch_spec.len() < 3 * width * s_len {
+            self.batch_spec.resize(3 * width * s_len, Complex64::ZERO);
+        }
+    }
+
+    /// `Y[:, col0..col0+width] += M_recip X[:, col0..col0+width]` for
+    /// row-major `[3n][s]` multivectors — the batched reciprocal pipeline.
+    ///
+    /// One spreading pass serves every column (`spread_multi`), all
+    /// `3*width` meshes go through the FFT plans as a single batch
+    /// (`forward_batch`/`inverse_batch`, shared twiddles), the influence
+    /// function streams its scalar table once per column, and
+    /// `interpolate_multi` accumulates straight into `y` — no gather,
+    /// scatter, or per-apply allocation anywhere. The column-chunk form
+    /// exists so the hybrid executor can split a block across devices.
+    pub fn recip_apply_add_cols(
+        &mut self,
+        x: &[f64],
+        y: &mut [f64],
+        s: usize,
+        col0: usize,
+        width: usize,
+    ) {
+        assert_eq!(x.len(), 3 * self.n * s);
+        assert_eq!(y.len(), 3 * self.n * s);
+        assert!(col0 + width <= s && width > 0, "column chunk out of range");
+        let k = self.params.mesh_dim;
+        let k3 = k * k * k;
+        let s_len = k * k * (k / 2 + 1);
+        self.ensure_batch_scratch(width);
+        let mesh = &mut self.batch_mesh[..3 * width * k3];
+        let spec = &mut self.batch_spec[..3 * width * s_len];
+
+        let t0 = Instant::now();
+        self.plan.spread_multi(&self.pm, x, s, col0, width, mesh);
+        let t1 = Instant::now();
+        self.fft.forward_batch(mesh, spec, 3 * width);
+        let t2 = Instant::now();
+        self.inf.apply_multi(spec, width);
+        let t3 = Instant::now();
+        self.fft.inverse_batch(spec, mesh, 3 * width);
+        let t4 = Instant::now();
+        interpolate_multi(&self.pm, mesh, s, col0, width, y);
+        let t5 = Instant::now();
+
+        self.times.spreading += (t1 - t0).as_secs_f64();
+        self.times.forward_fft += (t2 - t1).as_secs_f64();
+        self.times.influence += (t3 - t2).as_secs_f64();
+        self.times.inverse_fft += (t4 - t3).as_secs_f64();
+        self.times.interpolation += (t5 - t4).as_secs_f64();
+    }
+
+    /// `Y += M_recip X` over all `s` columns through the batched pipeline.
+    pub fn recip_apply_add_multi(&mut self, x: &[f64], y: &mut [f64], s: usize) {
+        self.recip_apply_add_cols(x, y, s, 0, s);
+    }
+
+    /// Per-column block application (the pre-batching `apply_multi`):
+    /// multi-RHS SpMM for the real part, then the single-RHS reciprocal
+    /// pipeline once per column. Kept public as the baseline the
+    /// `pme_apply_multi` bench and agreement tests compare against.
+    pub fn apply_multi_columnwise(&mut self, x: &[f64], y: &mut [f64], s: usize) {
+        assert_eq!(x.len(), 3 * self.n * s);
+        assert_eq!(y.len(), 3 * self.n * s);
+        self.real_apply_multi(x, y, s);
+        for col in 0..s {
+            self.recip_apply_add_column(x, y, s, col);
+        }
+        self.times.applications += s;
     }
 }
 
@@ -389,16 +510,16 @@ impl LinearOperator for PmeOperator {
         self.times.applications += 1;
     }
 
-    /// Block application: multi-RHS SpMM for the real part, per-column FFT
-    /// pipeline for the reciprocal part (the paper notes "there is no
-    /// library function for 3D FFTs for blocks of vectors").
+    /// Block application: multi-RHS SpMM for the real part, batched
+    /// spread/FFT/influence/interpolate for the reciprocal part. This is
+    /// the "3D FFTs for blocks of vectors" the paper notes no library
+    /// provides (Sec. III-B) — one pass over the P nonzeros and one batched
+    /// trip through the FFT plans serve all `s` columns.
     fn apply_multi(&mut self, x: &[f64], y: &mut [f64], s: usize) {
         assert_eq!(x.len(), 3 * self.n * s);
         assert_eq!(y.len(), 3 * self.n * s);
         self.real_apply_multi(x, y, s);
-        for col in 0..s {
-            self.recip_apply_add_column(x, y, s, col);
-        }
+        self.recip_apply_add_multi(x, y, s);
         self.times.applications += s;
     }
 }
@@ -478,10 +599,7 @@ mod tests {
         op.apply(&g, &mut mg);
         let lhs: f64 = g.iter().zip(&mf).map(|(a, b)| a * b).sum();
         let rhs: f64 = f.iter().zip(&mg).map(|(a, b)| a * b).sum();
-        assert!(
-            (lhs - rhs).abs() < 1e-10 * lhs.abs().max(1e-10),
-            "{lhs} vs {rhs}"
-        );
+        assert!((lhs - rhs).abs() < 1e-10 * lhs.abs().max(1e-10), "{lhs} vs {rhs}");
     }
 
     #[test]
@@ -520,12 +638,107 @@ mod tests {
             let mut yc = vec![0.0; 3 * n];
             op.apply(&xc, &mut yc);
             for i in 0..3 * n {
+                assert!((y[i * s + col] - yc[i]).abs() < 1e-12, "col {col} i {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_apply_multi_matches_columnwise_baseline() {
+        // The batched pipeline must reproduce the per-column baseline to
+        // roundoff for several block widths.
+        let n = 9;
+        let params = test_params();
+        let pos = lcg_positions(n, params.box_l, 61);
+        let mut op = PmeOperator::new(&pos, params).unwrap();
+        for s in [1usize, 2, 4, 7] {
+            let x = lcg_vector(3 * n * s, 63 + s as u64);
+            let mut y_batched = vec![0.0; 3 * n * s];
+            op.apply_multi(&x, &mut y_batched, s);
+            let mut y_colwise = vec![0.0; 3 * n * s];
+            op.apply_multi_columnwise(&x, &mut y_colwise, s);
+            for i in 0..3 * n * s {
                 assert!(
-                    (y[i * s + col] - yc[i]).abs() < 1e-12,
-                    "col {col} i {i}"
+                    (y_batched[i] - y_colwise[i]).abs() < 1e-12,
+                    "s={s} i={i}: {} vs {}",
+                    y_batched[i],
+                    y_colwise[i]
                 );
             }
         }
+    }
+
+    #[test]
+    fn column_chunks_compose_to_full_block() {
+        // recip_apply_add_cols over disjoint chunks must equal one full-width
+        // call — the property the hybrid partitioned executor relies on.
+        let n = 8;
+        let s = 5;
+        let params = test_params();
+        let pos = lcg_positions(n, params.box_l, 71);
+        let mut op = PmeOperator::new(&pos, params).unwrap();
+        let x = lcg_vector(3 * n * s, 73);
+        let mut y_full = vec![0.0; 3 * n * s];
+        op.recip_apply_add_multi(&x, &mut y_full, s);
+        let mut y_chunked = vec![0.0; 3 * n * s];
+        op.recip_apply_add_cols(&x, &mut y_chunked, s, 0, 2);
+        op.recip_apply_add_cols(&x, &mut y_chunked, s, 2, 2);
+        op.recip_apply_add_cols(&x, &mut y_chunked, s, 4, 1);
+        for i in 0..3 * n * s {
+            assert!(
+                (y_full[i] - y_chunked[i]).abs() < 1e-13,
+                "i={i}: {} vs {}",
+                y_full[i],
+                y_chunked[i]
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_block_applies_do_not_grow_memory() {
+        // Batch scratch is grown once on first use and reused afterwards.
+        let n = 8;
+        let s = 4;
+        let params = test_params();
+        let pos = lcg_positions(n, params.box_l, 81);
+        let mut op = PmeOperator::new(&pos, params).unwrap();
+        let x = lcg_vector(3 * n * s, 83);
+        let mut y = vec![0.0; 3 * n * s];
+        op.apply_multi(&x, &mut y, s);
+        let after_first = op.memory_bytes();
+        for _ in 0..3 {
+            op.apply_multi(&x, &mut y, s);
+        }
+        assert_eq!(op.memory_bytes(), after_first);
+        // And the batch scratch is reflected in the accounting.
+        let k = params.mesh_dim;
+        let k3 = k * k * k;
+        let s_len = k * k * (k / 2 + 1);
+        let batch_bytes = 3 * s * k3 * 8 + 3 * s * s_len * 16;
+        let fresh = PmeOperator::new(&pos, params).unwrap().memory_bytes();
+        assert_eq!(after_first, fresh + batch_bytes);
+    }
+
+    #[test]
+    fn overlapped_apply_accumulates_reciprocal_phase_times() {
+        let n = 8;
+        let params = test_params();
+        let pos = lcg_positions(n, params.box_l, 91);
+        let mut op = PmeOperator::new(&pos, params).unwrap();
+        let f = lcg_vector(3 * n, 93);
+        let mut u = vec![0.0; 3 * n];
+        op.take_times();
+        let (_t_real, t_recip) = op.apply_overlapped(&f, &mut u);
+        let t = op.take_times();
+        assert_eq!(t.applications, 1);
+        assert!(t.forward_fft > 0.0, "forward FFT time must be accumulated");
+        assert!(t.inverse_fft > 0.0, "inverse FFT time must be accumulated");
+        assert!(
+            (t.recip_total() - t_recip).abs() < 1e-9,
+            "phase sum {} vs branch total {}",
+            t.recip_total(),
+            t_recip
+        );
     }
 
     #[test]

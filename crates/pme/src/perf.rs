@@ -147,7 +147,10 @@ impl PerfModel {
 
     /// Total reciprocal-space time (paper Eq. 10).
     pub fn t_recip(&self) -> f64 {
-        self.t_spreading() + self.t_fft() + self.t_influence() + self.t_ifft()
+        self.t_spreading()
+            + self.t_fft()
+            + self.t_influence()
+            + self.t_ifft()
             + self.t_interpolation()
     }
 

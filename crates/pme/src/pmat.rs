@@ -55,12 +55,9 @@ pub fn build_interp_matrix(positions: &[Vec3], box_l: f64, k: usize, p: usize) -
     let p3 = p * p * p;
     let mut mat = FixedCsr::zeros(n, k * k * k, p3);
     let (ind_rows, dat_rows) = mat.rows_mut();
-    ind_rows
-        .zip(dat_rows)
-        .zip(scaled.par_iter())
-        .for_each(|((cols, vals), u)| {
-            fill_row(u, k, p, cols, vals);
-        });
+    ind_rows.zip(dat_rows).zip(scaled.par_iter()).for_each(|((cols, vals), u)| {
+        fill_row(u, k, p, cols, vals);
+    });
     InterpMatrix { p, k, mat, scaled }
 }
 
@@ -171,10 +168,7 @@ mod tests {
 
     #[test]
     fn scaled_coordinates_in_range() {
-        let pos = vec![
-            Vec3::new(-0.1, 10.0, 5.0),
-            Vec3::new(9.999999999, 0.0, 20.0),
-        ];
+        let pos = vec![Vec3::new(-0.1, 10.0, 5.0), Vec3::new(9.999999999, 0.0, 20.0)];
         let scaled = scale_positions(&pos, 10.0, 16);
         for u in &scaled {
             for c in 0..3 {

@@ -23,11 +23,7 @@ fn transpose3(b: &[f64; 9]) -> [f64; 9] {
 /// Assemble `M_real` for `positions` with cutoff `r_max` (must satisfy
 /// `r_max <= L/2` so that at most the minimum image of each pair is inside
 /// the cutoff). Includes the `r < 2a` overlap correction.
-pub fn assemble_real_space(
-    positions: &[Vec3],
-    ewald: &RpyEwald,
-    r_max: f64,
-) -> Bcsr3 {
+pub fn assemble_real_space(positions: &[Vec3], ewald: &RpyEwald, r_max: f64) -> Bcsr3 {
     assert!(
         r_max <= ewald.box_l / 2.0 + 1e-12,
         "r_max {r_max} must be <= L/2 = {}",
@@ -91,11 +87,8 @@ mod tests {
                     continue;
                 }
                 let dr = (pos[i] - pos[j]).min_image(box_l);
-                let want: [f64; 9] = if dr.norm() <= r_max {
-                    ewald.real_tensor_with_overlap(dr)
-                } else {
-                    [0.0; 9]
-                };
+                let want: [f64; 9] =
+                    if dr.norm() <= r_max { ewald.real_tensor_with_overlap(dr) } else { [0.0; 9] };
                 for bi in 0..3 {
                     for bj in 0..3 {
                         let got = dense[(3 * i + bi) * nc + 3 * j + bj];

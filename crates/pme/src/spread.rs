@@ -143,6 +143,43 @@ impl SpreadPlan {
         }
     }
 
+    /// Batched spreading for a chunk of `width` columns out of an `s`-column
+    /// multi-RHS force block `f` (row-major `[dim][s]`, length `3n*s`):
+    /// one pass over the P nonzeros serves every column. `mesh` holds
+    /// `3*width` component meshes laid out `[theta][col]` — the mesh for
+    /// component `theta` of chunk column `j` (global column `col0 + j`)
+    /// starts at `(theta*width + j) * K^3`. Zero-initializes `mesh`.
+    ///
+    /// The independent-set schedule is unchanged: per-column write
+    /// footprints are identical to the single-RHS case (same stencils, just
+    /// `3*width` disjoint accumulator meshes per block), so the
+    /// conflict-freedom proof in the module docs carries over verbatim.
+    pub fn spread_multi(
+        &self,
+        pm: &InterpMatrix,
+        f: &[f64],
+        s: usize,
+        col0: usize,
+        width: usize,
+        mesh: &mut [f64],
+    ) {
+        let k3 = self.k * self.k * self.k;
+        assert!(col0 + width <= s && width > 0, "column chunk out of range");
+        assert_eq!(mesh.len(), 3 * width * k3);
+        assert_eq!(f.len(), 3 * pm.mat.nrows() * s);
+        mesh.par_chunks_mut(8192).for_each(|c| c.fill(0.0));
+
+        let mesh_len = mesh.len();
+        self.for_each_block_set(
+            |rows, ptr| {
+                // SAFETY: disjoint write footprints per the schedule above.
+                let mesh = unsafe { std::slice::from_raw_parts_mut(ptr, mesh_len) };
+                scatter_rows_multi(rows, pm, f, s, col0, width, mesh, k3);
+            },
+            mesh,
+        );
+    }
+
     /// Run `body(rows, mesh_ptr)` over every block, honoring the
     /// independent-set schedule: parity classes sequentially, blocks within
     /// a class in parallel. `body` receives the particle rows of one block
@@ -195,6 +232,38 @@ fn scatter_rows(rows: &[u32], pm: &InterpMatrix, f: &[f64], mesh: &mut [f64], k3
     }
 }
 
+/// Scatter the listed particle rows into `3*width` component meshes at once
+/// (`[theta][col]` layout): the P row is read once per particle and reused
+/// for every column, amortizing the index traffic the per-column loop pays
+/// `s` times.
+#[allow(clippy::too_many_arguments)]
+fn scatter_rows_multi(
+    rows: &[u32],
+    pm: &InterpMatrix,
+    f: &[f64],
+    s: usize,
+    col0: usize,
+    width: usize,
+    mesh: &mut [f64],
+    k3: usize,
+) {
+    let mut fvals = vec![0.0; 3 * width];
+    for &r in rows {
+        let r = r as usize;
+        let (cols, vals) = pm.mat.row(r);
+        for theta in 0..3 {
+            let row = &f[(3 * r + theta) * s..(3 * r + theta) * s + s];
+            fvals[theta * width..(theta + 1) * width].copy_from_slice(&row[col0..col0 + width]);
+        }
+        for (c, w) in cols.iter().zip(vals) {
+            let c = *c as usize;
+            for (q, &fv) in fvals.iter().enumerate() {
+                mesh[q * k3 + c] += w * fv;
+            }
+        }
+    }
+}
+
 /// Interpolate the three velocity components back to the particles:
 /// `u[3i + theta] = Σ_c P[i, c] mesh[theta * K^3 + c]` (paper Eq. 9).
 /// Gather — no write conflicts, parallel over particles.
@@ -219,6 +288,45 @@ pub fn interpolate(pm: &InterpMatrix, mesh: &[f64], u: &mut [f64]) {
         ur[1] = ay;
         ur[2] = az;
     });
+}
+
+/// Batched interpolation for a chunk of `width` columns: gathers from the
+/// `3*width` component meshes (`[theta][col]` layout, matching
+/// [`SpreadPlan::spread_multi`]) and **accumulates** into the multi-RHS
+/// output `u` (row-major `[dim][s]`), i.e. `u[(3i+theta)*s + col0+j] +=
+/// Σ_c P[i,c] mesh[(theta*width+j)*K^3 + c]`. Accumulating (instead of the
+/// overwrite that single-RHS [`interpolate`] does) lets the reciprocal part
+/// land directly on top of the real-space part with no add pass.
+pub fn interpolate_multi(
+    pm: &InterpMatrix,
+    mesh: &[f64],
+    s: usize,
+    col0: usize,
+    width: usize,
+    u: &mut [f64],
+) {
+    let k3 = pm.k * pm.k * pm.k;
+    assert!(col0 + width <= s && width > 0, "column chunk out of range");
+    assert_eq!(mesh.len(), 3 * width * k3);
+    assert_eq!(u.len(), 3 * pm.mat.nrows() * s);
+    u.par_chunks_mut(3 * s).enumerate().for_each_init(
+        || vec![0.0; 3 * width],
+        |acc, (r, ur)| {
+            let (cols, vals) = pm.mat.row(r);
+            acc.fill(0.0);
+            for (c, w) in cols.iter().zip(vals) {
+                let c = *c as usize;
+                for (q, a) in acc.iter_mut().enumerate() {
+                    *a += w * mesh[q * k3 + c];
+                }
+            }
+            for theta in 0..3 {
+                for j in 0..width {
+                    ur[theta * s + col0 + j] += acc[theta * width + j];
+                }
+            }
+        },
+    );
 }
 
 /// Raw mesh pointer made Sync for the independent-set scatter.
@@ -263,11 +371,8 @@ mod tests {
             let mut mesh_ser = vec![1.0; 3 * k3]; // must be zeroed internally
             plan.spread(&pm, &f, &mut mesh_par);
             plan.spread_serial(&pm, &f, &mut mesh_ser);
-            let maxd = mesh_par
-                .iter()
-                .zip(&mesh_ser)
-                .map(|(a, b)| (a - b).abs())
-                .fold(0.0f64, f64::max);
+            let maxd =
+                mesh_par.iter().zip(&mesh_ser).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
             assert!(maxd < 1e-14, "(n={n},k={k},p={p}): {maxd}");
         }
     }

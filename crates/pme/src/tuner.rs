@@ -156,9 +156,8 @@ pub fn tune_with_rmax(
         _ => 2e-3,
     };
     let margin = (c_p / share).powf(1.0 / spline_order as f64).max(1.1);
-    let k_mesh =
-        next_smooth_even((margin * k_max * box_l / std::f64::consts::PI).ceil() as usize)
-            .max(next_smooth_even(2 * spline_order));
+    let k_mesh = next_smooth_even((margin * k_max * box_l / std::f64::consts::PI).ceil() as usize)
+        .max(next_smooth_even(2 * spline_order));
 
     TunedConfig {
         params: PmeParams { a, eta, box_l, alpha, mesh_dim: k_mesh, spline_order, r_max },
@@ -189,8 +188,7 @@ pub fn measure_ep(
         let f: Vec<f64> = (0..dim).map(|_| next()).collect();
         op.apply(&f, &mut u_pme);
         reference.apply(&f, &mut u_ref);
-        let num: f64 =
-            u_pme.iter().zip(&u_ref).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
+        let num: f64 = u_pme.iter().zip(&u_ref).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
         let den: f64 = u_ref.iter().map(|v| v * v).sum::<f64>().sqrt();
         worst = worst.max(num / den.max(1e-300));
     }
@@ -281,14 +279,13 @@ mod tests {
             let p = cfg.params;
             let pos = lcg_positions(n, p.box_l, 5);
             let mut op = PmeOperator::new(&pos, p).unwrap();
-            let dense = dense_ewald_mobility(
-                &pos,
-                &RpyEwald::new(p.a, p.eta, p.box_l, 0.5, 1e-10),
-            );
+            let dense = dense_ewald_mobility(&pos, &RpyEwald::new(p.a, p.eta, p.box_l, 0.5, 1e-10));
             let mut reference = DenseOp::new(dense);
             let ep = measure_ep(&mut op, &mut reference, 2, 77);
-            println!("margin {margin}: K={} p={} alpha={:.3} rmax={} ep={ep:e}",
-                p.mesh_dim, p.spline_order, p.alpha, p.r_max);
+            println!(
+                "margin {margin}: K={} p={} alpha={:.3} rmax={} ep={ep:e}",
+                p.mesh_dim, p.spline_order, p.alpha, p.r_max
+            );
         }
     }
 
@@ -300,8 +297,7 @@ mod tests {
         let p = cfg.params;
         let pos = lcg_positions(n, p.box_l, 5);
         let mut op = PmeOperator::new(&pos, p).unwrap();
-        let dense =
-            dense_ewald_mobility(&pos, &RpyEwald::new(p.a, p.eta, p.box_l, 0.5, 1e-10));
+        let dense = dense_ewald_mobility(&pos, &RpyEwald::new(p.a, p.eta, p.box_l, 0.5, 1e-10));
         let mut reference = DenseOp::new(dense);
         let ep = measure_ep(&mut op, &mut reference, 3, 77);
         assert!(ep < 1e-3, "measured e_p {ep:e} exceeds target 1e-3");
@@ -315,14 +311,10 @@ mod tests {
         let pos = lcg_positions(n, p.box_l, 9);
         let mut op = PmeOperator::new(&pos, p).unwrap();
         let mut refop = reference_operator(&pos, &p);
-        let dense =
-            dense_ewald_mobility(&pos, &RpyEwald::new(p.a, p.eta, p.box_l, 0.5, 1e-10));
+        let dense = dense_ewald_mobility(&pos, &RpyEwald::new(p.a, p.eta, p.box_l, 0.5, 1e-10));
         let mut exact = DenseOp::new(dense);
         let ep_base = measure_ep(&mut op, &mut exact, 2, 3);
         let ep_ref = measure_ep(&mut refop, &mut exact, 2, 3);
-        assert!(
-            ep_ref < ep_base,
-            "reference ({ep_ref:e}) must beat base ({ep_base:e})"
-        );
+        assert!(ep_ref < ep_base, "reference ({ep_ref:e}) must beat base ({ep_base:e})");
     }
 }

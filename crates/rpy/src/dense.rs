@@ -3,8 +3,8 @@
 
 use crate::ewald::RpyEwald;
 use crate::tensor::{rpy_pair_tensor, rpy_self_mobility};
-use hibd_mathx::Vec3;
 use hibd_linalg::DMat;
+use hibd_mathx::Vec3;
 use rayon::prelude::*;
 
 /// Assemble the dense `3n x 3n` periodic Ewald mobility matrix
@@ -15,24 +15,21 @@ pub fn dense_ewald_mobility(positions: &[Vec3], ewald: &RpyEwald) -> DMat {
     let ncols = 3 * n;
     // Each thread fills the 3 scalar rows of a particle i for all j >= i;
     // the mirror is applied afterwards.
-    m.as_mut_slice()
-        .par_chunks_mut(3 * ncols)
-        .enumerate()
-        .for_each(|(i, rows)| {
-            for j in i..n {
-                let (dr, same) = if i == j {
-                    (Vec3::ZERO, true)
-                } else {
-                    ((positions[i] - positions[j]).min_image(ewald.box_l), false)
-                };
-                let t = ewald.mobility_tensor(dr, same);
-                for bi in 0..3 {
-                    for bj in 0..3 {
-                        rows[bi * ncols + 3 * j + bj] = t[3 * bi + bj];
-                    }
+    m.as_mut_slice().par_chunks_mut(3 * ncols).enumerate().for_each(|(i, rows)| {
+        for j in i..n {
+            let (dr, same) = if i == j {
+                (Vec3::ZERO, true)
+            } else {
+                ((positions[i] - positions[j]).min_image(ewald.box_l), false)
+            };
+            let t = ewald.mobility_tensor(dr, same);
+            for bi in 0..3 {
+                for bj in 0..3 {
+                    rows[bi * ncols + 3 * j + bj] = t[3 * bi + bj];
                 }
             }
-        });
+        }
+    });
     // Mirror the strictly-lower block triangle.
     for i in 0..3 * n {
         for j in 0..i {
@@ -109,11 +106,7 @@ mod tests {
     #[test]
     fn large_box_approaches_free_space() {
         // With a huge box the periodic images contribute O(a/L).
-        let base = [
-            Vec3::new(0.0, 0.0, 0.0),
-            Vec3::new(3.0, 0.0, 0.0),
-            Vec3::new(0.0, 4.0, 1.0),
-        ];
+        let base = [Vec3::new(0.0, 0.0, 0.0), Vec3::new(3.0, 0.0, 0.0), Vec3::new(0.0, 4.0, 1.0)];
         let box_l = 2000.0;
         let pos: Vec<Vec3> = base.iter().map(|p| *p + Vec3::splat(box_l / 2.0)).collect();
         let ewald = RpyEwald::new(1.0, 1.0, box_l, 4.0 / box_l, 1e-8);

@@ -131,13 +131,13 @@ impl RpyEwald {
         let xi5 = xi3 * xi * xi;
         let xi7 = xi5 * xi * xi;
         let fi = (0.75 * a / r + 0.5 * a3 / (r2 * r)) * erfc_x
-            + (4.0 * xi7 * a3 * r2 * r2 + 3.0 * xi3 * a * r2 - 20.0 * xi5 * a3 * r2
-                - 4.5 * xi * a
+            + (4.0 * xi7 * a3 * r2 * r2 + 3.0 * xi3 * a * r2 - 20.0 * xi5 * a3 * r2 - 4.5 * xi * a
                 + 14.0 * xi3 * a3
                 + xi * a3 / r2)
                 * e;
         let frr = (0.75 * a / r - 1.5 * a3 / (r2 * r)) * erfc_x
-            + (-4.0 * xi7 * a3 * r2 * r2 - 3.0 * xi3 * a * r2 + 16.0 * xi5 * a3 * r2
+            + (-4.0 * xi7 * a3 * r2 * r2 - 3.0 * xi3 * a * r2
+                + 16.0 * xi5 * a3 * r2
                 + 1.5 * xi * a
                 - 2.0 * xi3 * a3
                 - 3.0 * xi * a3 / r2)
@@ -168,7 +168,8 @@ impl RpyEwald {
         let (a, xi) = (self.a, self.xi);
         let a3 = a * a * a;
         let xi2 = xi * xi;
-        (a - a3 * k2 / 3.0) * (1.0 + k2 / (4.0 * xi2) + k2 * k2 / (8.0 * xi2 * xi2))
+        (a - a3 * k2 / 3.0)
+            * (1.0 + k2 / (4.0 * xi2) + k2 * k2 / (8.0 * xi2 * xi2))
             * (6.0 * PI / k2)
             * (-k2 / (4.0 * xi2)).exp()
     }
@@ -286,11 +287,7 @@ mod tests {
         let reference = RpyEwald::new(A, ETA, L, 1.0, 1e-12).mobility_tensor(dr, false);
         for xi in [0.4, 0.7, 1.5] {
             let m = RpyEwald::new(A, ETA, L, xi, 1e-12).mobility_tensor(dr, false);
-            assert!(
-                max_diff(&m, &reference) < 1e-10,
-                "xi={xi}: diff {}",
-                max_diff(&m, &reference)
-            );
+            assert!(max_diff(&m, &reference) < 1e-10, "xi={xi}: diff {}", max_diff(&m, &reference));
         }
     }
 

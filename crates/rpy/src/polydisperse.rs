@@ -135,8 +135,8 @@ mod tests {
         // The point of the Zuk et al. regularization.
         let positions = vec![
             Vec3::new(0.0, 0.0, 0.0),
-            Vec3::new(1.1, 0.0, 0.0),  // overlapping with 0
-            Vec3::new(0.3, 0.2, 0.1),  // tiny sphere inside sphere 0
+            Vec3::new(1.1, 0.0, 0.0), // overlapping with 0
+            Vec3::new(0.3, 0.2, 0.1), // tiny sphere inside sphere 0
             Vec3::new(5.0, 4.0, 3.0),
             Vec3::new(6.5, 4.0, 3.0),
         ];

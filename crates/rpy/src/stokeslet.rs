@@ -35,14 +35,8 @@ impl OseenEwald {
     pub fn new(eta: f64, box_l: f64, xi: f64, tol: f64) -> OseenEwald {
         assert!(eta > 0.0 && box_l > 0.0 && xi > 0.0 && tol > 0.0 && tol < 1.0);
         let x = (1.0 / tol).ln().sqrt() * 1.5;
-        let mut s = OseenEwald {
-            eta,
-            box_l,
-            xi,
-            rcut: x / xi,
-            kcut: 2.0 * x * xi,
-            kmodes: Vec::new(),
-        };
+        let mut s =
+            OseenEwald { eta, box_l, xi, rcut: x / xi, kcut: 2.0 * x * xi, kmodes: Vec::new() };
         s.build_kmodes();
         s
     }
@@ -190,10 +184,7 @@ mod tests {
                             + 14.0 * xi.powi(3)
                             + xi / (r * r))
                             * e);
-                assert!(
-                    (diff - expected).abs() < 1e-12,
-                    "a={a} r={r}: {diff} vs {expected}"
-                );
+                assert!((diff - expected).abs() < 1e-12, "a={a} r={r}: {diff} vs {expected}");
             }
         }
     }

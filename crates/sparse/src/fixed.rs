@@ -31,10 +31,7 @@ impl FixedCsr {
     ) -> FixedCsr {
         assert_eq!(indices.len(), nrows * nnz_per_row);
         assert_eq!(data.len(), nrows * nnz_per_row);
-        assert!(
-            indices.iter().all(|&c| (c as usize) < ncols),
-            "column index out of range"
-        );
+        assert!(indices.iter().all(|&c| (c as usize) < ncols), "column index out of range");
         FixedCsr { nrows, ncols, nnz_per_row, indices, data }
     }
 
@@ -96,10 +93,7 @@ impl FixedCsr {
     pub fn rows_mut(
         &mut self,
     ) -> (rayon::slice::ChunksMut<'_, u32>, rayon::slice::ChunksMut<'_, f64>) {
-        (
-            self.indices.par_chunks_mut(self.nnz_per_row),
-            self.data.par_chunks_mut(self.nnz_per_row),
-        )
+        (self.indices.par_chunks_mut(self.nnz_per_row), self.data.par_chunks_mut(self.nnz_per_row))
     }
 
     /// `y = A x` — the PME *interpolation* step (paper Eq. 9), parallel over
@@ -108,15 +102,15 @@ impl FixedCsr {
         assert_eq!(x.len(), self.ncols);
         assert_eq!(y.len(), self.nrows);
         let nnz = self.nnz_per_row;
-        y.par_iter_mut()
-            .zip(self.indices.par_chunks(nnz).zip(self.data.par_chunks(nnz)))
-            .for_each(|(yr, (cols, vals))| {
+        y.par_iter_mut().zip(self.indices.par_chunks(nnz).zip(self.data.par_chunks(nnz))).for_each(
+            |(yr, (cols, vals))| {
                 let mut acc = 0.0;
                 for (c, v) in cols.iter().zip(vals) {
                     acc += v * x[*c as usize];
                 }
                 *yr = acc;
-            });
+            },
+        );
     }
 
     /// `y += A^T x` over a contiguous range of rows — one *spreading* stage
@@ -166,13 +160,7 @@ mod tests {
         // row0: (0, 1.0) (3, 2.0)
         // row1: (1, -1.0) (1, 0.5)  [duplicate col within row is allowed]
         // row2: (5, 4.0) (2, 3.0)
-        FixedCsr::from_raw(
-            3,
-            6,
-            2,
-            vec![0, 3, 1, 1, 5, 2],
-            vec![1.0, 2.0, -1.0, 0.5, 4.0, 3.0],
-        )
+        FixedCsr::from_raw(3, 6, 2, vec![0, 3, 1, 1, 5, 2], vec![1.0, 2.0, -1.0, 0.5, 4.0, 3.0])
     }
 
     #[test]

@@ -13,11 +13,7 @@ use hibd::core::ewald_bd::{EwaldBd, EwaldBdConfig};
 use hibd::prelude::*;
 
 fn msd_per_step(unwrapped: &[Vec3], initial: &[Vec3], steps: usize) -> f64 {
-    unwrapped
-        .iter()
-        .zip(initial)
-        .map(|(u, p)| (*u - *p).norm2())
-        .sum::<f64>()
+    unwrapped.iter().zip(initial).map(|(u, p)| (*u - *p).norm2()).sum::<f64>()
         / (unwrapped.len() * steps) as f64
 }
 
@@ -52,7 +48,10 @@ fn main() {
     println!();
     println!("Algorithm 2 (PME + block Krylov):");
     println!("  PME setup     {:>9.3} s", t2.setup);
-    println!("  displacements {:>9.3} s ({} Krylov iterations)", t2.displacements, t2.krylov_iterations);
+    println!(
+        "  displacements {:>9.3} s ({} Krylov iterations)",
+        t2.displacements, t2.krylov_iterations
+    );
     println!("  stepping      {:>9.3} s", t2.stepping);
     println!("  per step      {:>9.3} ms", t2.per_step() * 1e3);
     println!("  operator mem  {:>9.1} MiB", mf.operator_memory_bytes() as f64 / 1048576.0);

@@ -72,12 +72,7 @@ fn main() {
         msd /= cnt as f64;
         let d_com = msd / (6.0 * lag as f64 * dt);
         let rate = sim.timings().steps as f64 / sim.timings().total();
-        println!(
-            "{nbeads:>7} {:>12.4} {:>12.4} {:>12.1}",
-            d_com / mu0,
-            1.0 / nbeads as f64,
-            rate
-        );
+        println!("{nbeads:>7} {:>12.4} {:>12.4} {:>12.1}", d_com / mu0, 1.0 / nbeads as f64, rate);
     }
     println!();
     println!("with HI, D_com/D0 decays slower than the free-draining (Rouse) 1/N");

@@ -51,8 +51,5 @@ fn main() {
     println!();
     println!("D / D0 = {:.3} +- {:.3}  (D0 = kBT mu0)", d / mu0, err / mu0);
     println!("crowding at phi = 0.2 should give D/D0 well below 1 (paper Fig. 3)");
-    println!(
-        "time per BD step: {:.1} ms",
-        sim.timings().per_step() * 1e3
-    );
+    println!("time per BD step: {:.1} ms", sim.timings().per_step() * 1e3);
 }

@@ -33,12 +33,10 @@ fn main() {
     sim.add_force(RepulsiveHarmonic::default());
     sim.add_force(ConstantForce(fg));
 
-    let z0: f64 =
-        sim.system().unwrapped().iter().map(|p| p.z).sum::<f64>() / n as f64;
+    let z0: f64 = sim.system().unwrapped().iter().map(|p| p.z).sum::<f64>() / n as f64;
     let steps = 300;
     sim.run(steps).expect("run");
-    let z1: f64 =
-        sim.system().unwrapped().iter().map(|p| p.z).sum::<f64>() / n as f64;
+    let z1: f64 = sim.system().unwrapped().iter().map(|p| p.z).sum::<f64>() / n as f64;
     let v_mean = (z0 - z1) / (steps as f64 * dt);
 
     println!("sedimentation of {n} spheres at phi = {phi}");

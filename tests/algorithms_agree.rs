@@ -73,14 +73,9 @@ fn both_algorithms_sample_comparable_mobility_scale() {
     let mut mf = MatrixFreeBd::new(sys, MatrixFreeConfig::default(), 20).unwrap();
     mf.add_force(RepulsiveHarmonic::default());
     mf.run(steps).unwrap();
-    let msd_mf: f64 = mf
-        .system()
-        .unwrapped()
-        .iter()
-        .zip(&initial)
-        .map(|(u, p)| (*u - *p).norm2())
-        .sum::<f64>()
-        / n as f64;
+    let msd_mf: f64 =
+        mf.system().unwrapped().iter().zip(&initial).map(|(u, p)| (*u - *p).norm2()).sum::<f64>()
+            / n as f64;
 
     let ratio = msd_mf / msd_dense;
     assert!(

@@ -27,10 +27,7 @@ fn dilute_suspension_diffuses_near_the_isolated_sphere_value() {
     let (d, _err) = est.diffusion().unwrap();
     let ratio = d / MU0;
     // Periodic self-mobility correction is 1 - 2.837 a/L; L ~ 27.6 here.
-    assert!(
-        (0.75..1.15).contains(&ratio),
-        "dilute D/D0 = {ratio}, expected near 1"
-    );
+    assert!((0.75..1.15).contains(&ratio), "dilute D/D0 = {ratio}, expected near 1");
 }
 
 #[test]
@@ -55,10 +52,7 @@ fn crowding_slows_diffusion() {
     };
     let d_dilute = measure(0.05);
     let d_crowded = measure(0.40);
-    assert!(
-        d_crowded < d_dilute,
-        "crowded D {d_crowded} must be below dilute D {d_dilute}"
-    );
+    assert!(d_crowded < d_dilute, "crowded D {d_crowded} must be below dilute D {d_dilute}");
     // And the magnitude of the drop should be substantial (paper: tens of %).
     assert!(d_crowded / d_dilute < 0.95, "ratio {}", d_crowded / d_dilute);
 }
