@@ -1,5 +1,5 @@
 //! Criterion bench: BCSR real-space SpMV, single vector vs multi-RHS
-//! (the paper's ref. [24] optimization exploited by block Krylov).
+//! (the paper's ref. \[24\] optimization exploited by block Krylov).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hibd_bench::suspension;

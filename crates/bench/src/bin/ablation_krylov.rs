@@ -1,6 +1,6 @@
 //! Ablation: block Lanczos vs single-vector Lanczos displacements.
 //!
-//! The paper (Section III-B, ref. [8]) motivates the block method by (a)
+//! The paper (Section III-B, ref. \[8\]) motivates the block method by (a)
 //! fewer total iterations and (b) multi-RHS SpMV efficiency. This harness
 //! quantifies both on the PME operator: total Krylov iterations (= operator
 //! block/single applications) and wall-clock per operator refresh.

@@ -3,7 +3,7 @@
 //! Short-range pair interactions — the real-space Ewald sum (cutoff `r_max`)
 //! and the repulsive contact force (cutoff `2a`) — are found in linear time
 //! by binning particles into cells of side `>= cutoff` and scanning only the
-//! 27-cell neighborhoods (paper Section IV-C, ref. [27]).
+//! 27-cell neighborhoods (paper Section IV-C, ref. \[27\]).
 //!
 //! Pairs are visited once (unordered) through a half stencil of 13 forward
 //! neighbor cells plus the intra-cell pairs. When the box is too small to

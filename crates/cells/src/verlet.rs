@@ -1,6 +1,6 @@
 //! Verlet neighbor list with a skin radius.
 //!
-//! The classic amortization on top of cell lists (ref. [27] of the paper):
+//! The classic amortization on top of cell lists (ref. \[27\] of the paper):
 //! build pairs out to `cutoff + skin` once, then reuse the list while no
 //! particle has moved more than `skin / 2` — at BD step sizes a list
 //! survives many steps. The stored candidate pairs are re-filtered against

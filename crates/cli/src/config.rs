@@ -46,6 +46,21 @@ pub enum Algorithm {
     Dense,
 }
 
+/// Brownian displacement solver for the matrix-free algorithm.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Displacement {
+    /// Block Lanczos over the whole `lambda_rpy` window (Algorithm 2).
+    #[default]
+    BlockKrylov,
+    /// One Lanczos solve per displacement vector (ablation baseline).
+    SingleKrylov,
+    /// Fixman's Chebyshev polynomial method.
+    Chebyshev,
+    /// Positively-split Ewald sampling (wave-space exact square root plus
+    /// sparse near-field Lanczos).
+    SplitEwald,
+}
+
 /// A fully parsed simulation specification.
 #[derive(Clone, Debug)]
 pub struct SimSpec {
@@ -55,6 +70,7 @@ pub struct SimSpec {
     pub viscosity: f64,
     pub seed: u64,
     pub algorithm: Algorithm,
+    pub displacement: Displacement,
     pub dt: f64,
     pub kbt: f64,
     pub lambda_rpy: usize,
@@ -80,6 +96,7 @@ impl Default for SimSpec {
             viscosity: 1.0,
             seed: 2014,
             algorithm: Algorithm::MatrixFree,
+            displacement: Displacement::BlockKrylov,
             dt: 0.01,
             kbt: 1.0,
             lambda_rpy: 16,
@@ -160,6 +177,23 @@ impl SimSpec {
                         }
                     }
                 }
+                "displacement" => {
+                    spec.displacement = match value.to_ascii_lowercase().as_str() {
+                        "block-krylov" | "block" => Displacement::BlockKrylov,
+                        "single-krylov" | "single" => Displacement::SingleKrylov,
+                        "chebyshev" => Displacement::Chebyshev,
+                        "split-ewald" | "pse" => Displacement::SplitEwald,
+                        other => {
+                            return Err(err(
+                                *line,
+                                format!(
+                                    "unknown displacement `{other}` (block-krylov | \
+                                     single-krylov | chebyshev | split-ewald)"
+                                ),
+                            ))
+                        }
+                    }
+                }
                 "dt" => spec.dt = parse_num(*line, key, value)?,
                 "kbt" => spec.kbt = parse_num(*line, key, value)?,
                 "lambda_rpy" => spec.lambda_rpy = parse_num(*line, key, value)?,
@@ -219,6 +253,11 @@ impl SimSpec {
         if !(self.e_p > 0.0 && self.e_p < 0.5) {
             return Err(format!("e_p {} outside (0, 0.5)", self.e_p));
         }
+        if self.algorithm == Algorithm::Dense && self.displacement != Displacement::BlockKrylov {
+            return Err("displacement selects the matrix-free solver; it has no effect with \
+                 algorithm = dense"
+                .into());
+        }
         if self.algorithm == Algorithm::Dense && self.particles > 5000 {
             return Err(format!(
                 "dense algorithm at n = {} would need {:.1} GiB for the mobility matrix; \
@@ -252,6 +291,13 @@ impl SimSpec {
             Algorithm::Dense => "dense",
         };
         writeln!(out, "algorithm = {alg}").unwrap();
+        let disp = match self.displacement {
+            Displacement::BlockKrylov => "block-krylov",
+            Displacement::SingleKrylov => "single-krylov",
+            Displacement::Chebyshev => "chebyshev",
+            Displacement::SplitEwald => "split-ewald",
+        };
+        writeln!(out, "displacement = {disp}").unwrap();
         writeln!(out, "dt = {}", self.dt).unwrap();
         writeln!(out, "kbt = {}", self.kbt).unwrap();
         writeln!(out, "lambda_rpy = {}", self.lambda_rpy).unwrap();
@@ -364,6 +410,37 @@ mod tests {
         assert!(SimSpec::parse("e_k = 2\n").is_err());
         assert!(SimSpec::parse("algorithm = dense\nparticles = 100000\n").is_err());
         assert!(SimSpec::parse("trajectory = a.xyz\ntrajectory_interval = 0\n").is_err());
+    }
+
+    #[test]
+    fn displacement_modes_parse_with_aliases() {
+        for (text, want) in [
+            ("displacement = block-krylov\n", Displacement::BlockKrylov),
+            ("displacement = block\n", Displacement::BlockKrylov),
+            ("displacement = single-krylov\n", Displacement::SingleKrylov),
+            ("displacement = single\n", Displacement::SingleKrylov),
+            ("displacement = chebyshev\n", Displacement::Chebyshev),
+            ("displacement = split-ewald\n", Displacement::SplitEwald),
+            ("displacement = PSE\n", Displacement::SplitEwald),
+        ] {
+            assert_eq!(SimSpec::parse(text).unwrap().displacement, want, "{text}");
+        }
+        assert!(SimSpec::parse("displacement = qr\n")
+            .unwrap_err()
+            .message
+            .contains("unknown displacement"));
+        // Dense Cholesky has no displacement solver to select.
+        assert!(SimSpec::parse("algorithm = dense\ndisplacement = pse\n")
+            .unwrap_err()
+            .message
+            .contains("no effect"));
+    }
+
+    #[test]
+    fn config_text_roundtrips_displacement() {
+        let spec = SimSpec { displacement: Displacement::SplitEwald, ..SimSpec::default() };
+        let back = SimSpec::parse(&spec.to_config_text()).unwrap();
+        assert_eq!(back.displacement, Displacement::SplitEwald);
     }
 
     #[test]

@@ -23,7 +23,8 @@ viscosity       = 1.0
 seed            = 2014
 
 # integrator (Algorithm 2 of Liu & Chow, IPDPS 2014)
-algorithm   = matrix-free    # or: dense
+algorithm    = matrix-free    # or: dense
+displacement = block-krylov   # or: single-krylov | chebyshev | split-ewald
 dt          = 0.01
 kbt         = 1.0
 lambda_rpy  = 16             # mobility reuse interval

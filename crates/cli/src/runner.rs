@@ -1,11 +1,11 @@
 //! Assemble and run a simulation from a [`SimSpec`].
 
 use crate::checkpoint::Checkpoint;
-use crate::config::{Algorithm, SimSpec};
+use crate::config::{Algorithm, Displacement, SimSpec};
 use hibd_core::ewald_bd::{BdError, EwaldBd, EwaldBdConfig};
 use hibd_core::forces::{ConstantForce, LennardJones, RepulsiveHarmonic};
 use hibd_core::io::{Coordinates, XyzWriter};
-use hibd_core::mf_bd::{MatrixFreeBd, MatrixFreeConfig};
+use hibd_core::mf_bd::{DisplacementMode, MatrixFreeBd, MatrixFreeConfig};
 use hibd_core::system::ParticleSystem;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -99,9 +99,19 @@ pub fn run_simulation(
                 lambda_rpy: spec.lambda_rpy,
                 e_k: spec.e_k,
                 target_ep: spec.e_p,
+                displacement_mode: match spec.displacement {
+                    Displacement::BlockKrylov => DisplacementMode::BlockKrylov,
+                    Displacement::SingleKrylov => DisplacementMode::SingleKrylov,
+                    Displacement::Chebyshev => DisplacementMode::Chebyshev,
+                    Displacement::SplitEwald => DisplacementMode::SplitEwald,
+                },
                 ..Default::default()
             };
             let mut bd = MatrixFreeBd::new(system, cfg, spec.seed)?;
+            // The per-window RNG stream is derived from the completed-step
+            // counter, so a checkpoint resumed at a window boundary replays
+            // the uninterrupted run bit for bit.
+            bd.set_completed_steps(start_step as u64);
             let p = bd.pme_params();
             log(&format!(
                 "matrix-free: K = {}, p = {}, r_max = {:.2}, alpha = {:.4}",

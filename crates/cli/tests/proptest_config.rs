@@ -1,13 +1,13 @@
 //! Property: any valid SimSpec survives a serialize -> parse roundtrip.
 
-use hibd_cli::config::{Algorithm, SimSpec};
+use hibd_cli::config::{Algorithm, Displacement, SimSpec};
 use hibd_mathx::Vec3;
 use proptest::prelude::*;
 
 fn spec_strategy() -> impl Strategy<Value = SimSpec> {
     (
         (1usize..3000, 0.01f64..0.5, 0.1f64..3.0, 0.1f64..5.0, any::<u64>()),
-        (prop::bool::ANY, 1e-4f64..0.1, 0.0f64..4.0, 1usize..64),
+        (0u8..5, 1e-4f64..0.1, 0.0f64..4.0, 1usize..64),
         (1e-6f64..0.9, 1e-6f64..0.4, 1usize..5000, prop::bool::ANY),
         (
             prop::option::of((-2.0f64..2.0, -2.0f64..2.0, -2.0f64..2.0)),
@@ -19,20 +19,27 @@ fn spec_strategy() -> impl Strategy<Value = SimSpec> {
         .prop_map(
             |(
                 (particles, volume_fraction, radius, viscosity, seed),
-                (dense, dt, kbt, lambda_rpy),
+                (solver, dt, kbt, lambda_rpy),
                 (e_k, e_p, steps, repulsion),
                 (gravity, lj_epsilon, trajectory, interval),
             )| {
+                // solver 0 = dense, 1..=4 = matrix-free displacement modes.
                 SimSpec {
                     particles,
                     volume_fraction,
                     radius,
                     viscosity,
                     seed,
-                    algorithm: if dense && particles <= 5000 {
+                    algorithm: if solver == 0 && particles <= 5000 {
                         Algorithm::Dense
                     } else {
                         Algorithm::MatrixFree
+                    },
+                    displacement: match solver {
+                        0 | 1 => Displacement::BlockKrylov,
+                        2 => Displacement::SingleKrylov,
+                        3 => Displacement::Chebyshev,
+                        _ => Displacement::SplitEwald,
                     },
                     dt,
                     kbt,
@@ -63,6 +70,7 @@ proptest! {
         let parsed = SimSpec::parse(&text).unwrap();
         prop_assert_eq!(parsed.particles, spec.particles);
         prop_assert_eq!(parsed.algorithm, spec.algorithm);
+        prop_assert_eq!(parsed.displacement, spec.displacement);
         prop_assert!((parsed.volume_fraction - spec.volume_fraction).abs() < 1e-15);
         prop_assert!((parsed.dt - spec.dt).abs() < 1e-18);
         prop_assert!((parsed.e_k - spec.e_k).abs() < 1e-18);

@@ -25,7 +25,7 @@ pub trait Force: Send {
 /// `f_ij = k (2a - r) r̂` on particle `i`, pushing overlapping pairs apart,
 /// zero beyond contact (`r > 2a`). The paper's constant is `k = 125`.
 ///
-/// Neighbor search goes through a skinned [`VerletList`] (ref. [27]) that is
+/// Neighbor search goes through a skinned [`VerletList`] (ref. \[27\]) that is
 /// reused across BD steps while no particle has moved more than half the
 /// skin.
 #[derive(Clone, Debug)]

@@ -90,7 +90,7 @@ impl HybridModel {
     }
 
     /// Modeled multi-RHS real-space SpMM for `s` columns: the matrix
-    /// streams **once** regardless of `s` (the paper's ref. [24] benefit);
+    /// streams **once** regardless of `s` (the paper's ref. \[24\] benefit);
     /// only the vector traffic scales.
     pub fn t_real_block(&self, s: usize) -> f64 {
         let nnz_blocks = self.n as f64 * self.neighbors_per_particle;

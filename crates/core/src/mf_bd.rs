@@ -15,6 +15,7 @@ use hibd_krylov::{
 use hibd_linalg::LinearOperator;
 use hibd_mathx::fill_standard_normal;
 use hibd_pme::{tune, PmeOperator, PmeParams, PmePhaseTimes};
+use hibd_pse::{PseError, PseSampler, PseSplit};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -27,12 +28,16 @@ pub enum DisplacementMode {
     #[default]
     BlockKrylov,
     /// One single-vector Lanczos solve per displacement (the pre-block
-    /// baseline of the paper's ref. [8]; kept for the ablation study).
+    /// baseline of the paper's ref. \[8\]; kept for the ablation study).
     SingleKrylov,
-    /// Fixman's Chebyshev polynomial method (the paper's ref. [25]):
+    /// Fixman's Chebyshev polynomial method (the paper's ref. \[25\]):
     /// spectral bounds are estimated once per operator refresh, then one
     /// polynomial evaluation per displacement vector.
     Chebyshev,
+    /// Positively-split Ewald sampling (`hibd-pse`): exact single-inverse
+    /// FFT square root in wave space plus block Lanczos on a sparse,
+    /// FFT-free near field at the sampler's own small `xi`.
+    SplitEwald,
 }
 
 /// Configuration of the matrix-free algorithm.
@@ -55,6 +60,8 @@ pub struct MatrixFreeConfig {
     pub max_krylov: usize,
     /// Displacement solver variant (block vs single-vector Lanczos).
     pub displacement_mode: DisplacementMode,
+    /// PSE split knobs, used only by [`DisplacementMode::SplitEwald`].
+    pub pse: PseSplit,
 }
 
 impl Default for MatrixFreeConfig {
@@ -68,6 +75,7 @@ impl Default for MatrixFreeConfig {
             pme: None,
             max_krylov: 100,
             displacement_mode: DisplacementMode::BlockKrylov,
+            pse: PseSplit::default(),
         }
     }
 }
@@ -107,8 +115,16 @@ pub struct MatrixFreeBd {
     cfg: MatrixFreeConfig,
     params: PmeParams,
     forces: Vec<Box<dyn Force>>,
-    rng: StdRng,
+    /// Base RNG seed; each operator window re-derives its own stream from
+    /// `(seed, steps_done)` so a run resumed at a window boundary consumes
+    /// exactly the Gaussians an uninterrupted run would (bitwise resume).
+    seed: u64,
+    /// Completed BD steps (drives the window-seeded RNG; restorable via
+    /// [`set_completed_steps`](Self::set_completed_steps)).
+    steps_done: u64,
     op: Option<PmeOperator>,
+    /// PSE sampler, built lazily on the first `SplitEwald` refresh.
+    pse: Option<PseSampler>,
     /// `3n x lambda` row-major block of pre-drawn displacements.
     disp: Vec<f64>,
     used: usize,
@@ -117,6 +133,24 @@ pub struct MatrixFreeBd {
     drift_scratch: Vec<f64>,
     step_scratch: Vec<f64>,
     timings: MfTimings,
+}
+
+/// SplitMix64 finalizer over `(seed, window)` — a cheap, well-mixed stream
+/// seed per operator window.
+fn window_seed(seed: u64, window: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(window.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn map_pse(e: PseError) -> BdError {
+    match e {
+        PseError::Setup(s) => BdError::Setup(s),
+        PseError::Krylov(k) => BdError::Krylov(k.to_string()),
+    }
 }
 
 impl MatrixFreeBd {
@@ -145,14 +179,32 @@ impl MatrixFreeBd {
             cfg,
             params,
             forces: Vec::new(),
-            rng: StdRng::seed_from_u64(seed),
+            seed,
+            steps_done: 0,
             op: None,
+            pse: None,
             disp: Vec::new(),
             used: usize::MAX,
             drift_scratch: Vec::new(),
             step_scratch: Vec::new(),
             timings: MfTimings::default(),
         })
+    }
+
+    /// Restore the completed-step counter when resuming from a checkpoint.
+    /// The next [`step`](Self::step) rebuilds the operator and, because the
+    /// per-window RNG stream is derived from `(seed, steps_done)`, a resume
+    /// at an operator-window boundary (`steps % lambda_rpy == 0`) replays
+    /// the uninterrupted run bit for bit.
+    pub fn set_completed_steps(&mut self, steps: u64) {
+        self.steps_done = steps;
+        self.used = usize::MAX;
+        self.op = None;
+    }
+
+    /// Completed BD steps.
+    pub fn completed_steps(&self) -> u64 {
+        self.steps_done
     }
 
     pub fn add_force(&mut self, force: impl Force + 'static) {
@@ -187,6 +239,17 @@ impl MatrixFreeBd {
         self.op.as_ref().map(|o| o.memory_bytes()).unwrap_or(0)
     }
 
+    /// Resident bytes of the PSE sampler (0 unless `SplitEwald` has run).
+    pub fn pse_memory_bytes(&self) -> usize {
+        self.pse.as_ref().map(|s| s.memory_bytes()).unwrap_or(0)
+    }
+
+    /// The PSE sampler, if `SplitEwald` has built one (counter access for
+    /// harnesses).
+    pub fn pse_sampler(&self) -> Option<&PseSampler> {
+        self.pse.as_ref()
+    }
+
     /// Per-phase PME timings accumulated so far (resets the counters).
     pub fn take_pme_times(&mut self) -> PmePhaseTimes {
         self.op.as_mut().map(|o| o.take_times()).unwrap_or_default()
@@ -201,10 +264,14 @@ impl MatrixFreeBd {
             .map_err(|e| BdError::Setup(e.to_string()))?;
         let t1 = Instant::now();
 
-        let mut z = vec![0.0; n3 * lambda];
-        fill_standard_normal(&mut self.rng, &mut z);
+        let mut rng = StdRng::seed_from_u64(window_seed(self.seed, self.steps_done));
         let kcfg =
             KrylovConfig { tol: self.cfg.e_k, max_iter: self.cfg.max_krylov, check_interval: 1 };
+        let mut z = Vec::new();
+        if self.cfg.displacement_mode != DisplacementMode::SplitEwald {
+            z.resize(n3 * lambda, 0.0);
+            fill_standard_normal(&mut rng, &mut z);
+        }
         let (mut d, iterations) = match self.cfg.displacement_mode {
             DisplacementMode::BlockKrylov => {
                 let (d, stats) = block_lanczos_sqrt(&mut op, &z, lambda, &kcfg)
@@ -227,6 +294,26 @@ impl MatrixFreeBd {
                     }
                 }
                 (d, iters)
+            }
+            DisplacementMode::SplitEwald => {
+                match &mut self.pse {
+                    Some(s) => s.rebuild(self.system.positions()).map_err(map_pse)?,
+                    None => {
+                        let pse_params = self.cfg.pse.resolve(&self.params);
+                        self.pse = Some(
+                            PseSampler::new(self.system.positions(), pse_params)
+                                .map_err(map_pse)?,
+                        );
+                    }
+                }
+                let sampler = self.pse.as_mut().expect("just built");
+                // Reuse the displacement block as the sampler output so the
+                // steady-state refresh allocates nothing here.
+                let mut d = std::mem::take(&mut self.disp);
+                d.resize(n3 * lambda, 0.0);
+                let stats =
+                    sampler.sample_block(&mut rng, &mut d, lambda, &kcfg).map_err(map_pse)?;
+                (d, stats.iterations)
             }
             DisplacementMode::Chebyshev => {
                 // Estimate bounds once; reuse for all lambda evaluations.
@@ -288,6 +375,7 @@ impl MatrixFreeBd {
             self.step_scratch[i] = self.drift_scratch[i] * self.cfg.dt + self.disp[i * lambda + j];
         }
         self.used += 1;
+        self.steps_done += 1;
         self.system.apply_displacements(&self.step_scratch);
         self.timings.stepping += t0.elapsed().as_secs_f64();
         self.timings.steps += 1;
@@ -424,6 +512,66 @@ mod tests {
         }
         let rel = (num / den.max(1e-300)).sqrt();
         assert!(rel < 0.05, "trajectory mismatch {rel}");
+    }
+
+    #[test]
+    fn split_ewald_mode_produces_comparable_displacement_scale() {
+        // SplitEwald consumes a different Gaussian stream (spectral noise +
+        // near-field block instead of one dense block), so trajectories
+        // cannot match bitwise; both paths sample N(0, 2 kBT M dt), so the
+        // RMS displacement per step must agree to within MC scatter.
+        let rms = |mode| {
+            let sys = small_system(15, 0.1, 9);
+            let start: Vec<_> = sys.positions().to_vec();
+            let cfg = MatrixFreeConfig {
+                lambda_rpy: 8,
+                e_k: 1e-4,
+                displacement_mode: mode,
+                ..Default::default()
+            };
+            let mut bd = MatrixFreeBd::new(sys, cfg, 77).unwrap();
+            bd.run(8).unwrap();
+            let mut sum = 0.0;
+            for (p, q) in bd.system().unwrapped().iter().zip(&start) {
+                sum += (*p - *q).norm2();
+            }
+            (sum / start.len() as f64).sqrt()
+        };
+        let block = rms(DisplacementMode::BlockKrylov);
+        let pse = rms(DisplacementMode::SplitEwald);
+        let ratio = pse / block;
+        assert!((0.7..1.4).contains(&ratio), "RMS ratio {ratio} (pse {pse} vs block {block})");
+    }
+
+    #[test]
+    fn resume_at_window_boundary_matches_uninterrupted_run() {
+        // The window-seeded RNG makes a resume at steps % lambda == 0
+        // replay the uninterrupted Gaussian stream exactly, for every
+        // displacement mode.
+        for mode in [DisplacementMode::BlockKrylov, DisplacementMode::SplitEwald] {
+            let cfg =
+                MatrixFreeConfig { lambda_rpy: 4, displacement_mode: mode, ..Default::default() };
+            let sys = small_system(12, 0.1, 21);
+
+            let mut full = MatrixFreeBd::new(sys.clone(), cfg, 55).unwrap();
+            full.add_force(RepulsiveHarmonic::default());
+            full.run(8).unwrap();
+
+            let mut head = MatrixFreeBd::new(sys, cfg, 55).unwrap();
+            head.add_force(RepulsiveHarmonic::default());
+            head.run(4).unwrap();
+            let mut tail = MatrixFreeBd::new(head.system().clone(), cfg, 55).unwrap();
+            tail.add_force(RepulsiveHarmonic::default());
+            tail.set_completed_steps(4);
+            tail.run(4).unwrap();
+            assert_eq!(tail.completed_steps(), 8);
+
+            for (a, b) in full.system().positions().iter().zip(tail.system().positions()) {
+                for c in 0..3 {
+                    assert_eq!(a[c], b[c], "mode {mode:?}: resumed trajectory diverged");
+                }
+            }
+        }
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! The paper (Section III-B) notes that matrix-free alternatives to the
 //! Krylov approach exist "but they require eigenvalue estimates of M, e.g.,
-//! [25]" — Fixman (Macromolecules 19, 1986). This module implements that
+//! \[25\]" — Fixman (Macromolecules 19, 1986). This module implements that
 //! method for completeness and for the ablation comparison:
 //!
 //! 1. estimate the extreme eigenvalues of the SPD operator with a short

@@ -4,7 +4,7 @@
 //! `z ~ N(0, I)`; the conventional algorithm computes `M^{1/2}` via a
 //! Cholesky factor, which requires `M` as an explicit dense matrix. This
 //! crate implements the matrix-free alternative of the paper (Section III-B,
-//! ref. [8] — Ando, Chow, Saad & Skolnick, J. Chem. Phys. 137, 2012):
+//! ref. \[8\] — Ando, Chow, Saad & Skolnick, J. Chem. Phys. 137, 2012):
 //!
 //! * [`lanczos_sqrt`] — single-vector Lanczos: build the Krylov basis
 //!   `K_m(M, z)`, project to a small tridiagonal `T_m`, and approximate
@@ -13,7 +13,7 @@
 //!   the mobility matrix is reused for `lambda_RPY` time steps, all
 //!   `lambda_RPY` displacement vectors are computed together, which both
 //!   converges in fewer iterations and turns the real-space SpMV into a
-//!   multi-RHS SpMM (paper refs. [8], [24]).
+//!   multi-RHS SpMM (paper refs. \[8\], \[24\]).
 //!
 //! Both run against any [`LinearOperator`], so they accept the dense Ewald
 //! matrix and the PME operator interchangeably. Convergence is declared when
@@ -23,7 +23,7 @@
 //! Two further matrix-free solvers round out the toolbox:
 //!
 //! * [`chebyshev_sqrt`] — Fixman's Chebyshev polynomial method (the paper's
-//!   ref. [25]), which needs spectral bounds instead of a Krylov basis;
+//!   ref. \[25\]), which needs spectral bounds instead of a Krylov basis;
 //! * [`conjugate_gradient`] — CG for the resistance problem `M f = u`.
 
 #![allow(clippy::needless_range_loop)] // index-heavy numeric kernels

@@ -12,7 +12,7 @@
 //! * [`eig`] — cyclic Jacobi eigensolver for small symmetric matrices and an
 //!   implicit-shift QL solver for symmetric tridiagonals, plus the matrix
 //!   square roots `f(T) = T^{1/2}` that the Krylov displacement method needs;
-//! * [`op`] — the [`LinearOperator`](op::LinearOperator) abstraction through
+//! * [`op`] — the [`LinearOperator`] abstraction through
 //!   which the Krylov solver consumes either a dense mobility matrix or the
 //!   matrix-free PME operator.
 

@@ -1,6 +1,6 @@
 //! Thin QR factorization of tall skinny panels.
 //!
-//! Block Lanczos (paper Section III-B, ref. [8]) re-orthogonalizes an
+//! Block Lanczos (paper Section III-B, ref. \[8\]) re-orthogonalizes an
 //! `n x s` panel every iteration (`s = lambda_RPY` is small, 8–32). Modified
 //! Gram–Schmidt with one re-orthogonalization pass is numerically adequate at
 //! these panel widths and trivially parallel over the long dimension.

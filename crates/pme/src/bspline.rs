@@ -1,6 +1,6 @@
 //! Cardinal B-splines and their Euler (exponential-interpolation) factors.
 //!
-//! Smooth PME (paper Section III-A, ref. [7]) spreads each force onto `p^3`
+//! Smooth PME (paper Section III-A, ref. \[7\]) spreads each force onto `p^3`
 //! mesh points with weights `W_p(u - m)`, where `W_p` is the cardinal
 //! B-spline of order `p` (a piecewise polynomial of degree `p-1` supported
 //! on `(0, p)`). Interpolating complex exponentials with B-splines leaves a

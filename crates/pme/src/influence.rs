@@ -84,6 +84,29 @@ impl Influence {
         self.scalars[(k0 * self.k + k1) * self.nc + k2]
     }
 
+    /// Zero out every negative scalar, returning the clipped mass ratio
+    /// `sum(|negative|) / sum(positive)`.
+    ///
+    /// Beenakker's reciprocal kernel truncates a square at `O(k^2)`, so
+    /// `m_alpha(k)` dips (exponentially damped) negative for `|k| >
+    /// sqrt(3)/a`. The PSE sampler needs `I(k) >= 0` to take its square
+    /// root; at the small PSE splitting parameter the clipped mass is tiny
+    /// (~1e-5 at `xi = 0.25/a`), but the *exact* influence used by the PME
+    /// drift operator must keep the negative lobes, so clamping is opt-in.
+    pub fn clamp_nonnegative(&mut self) -> f64 {
+        let mut neg = 0.0;
+        let mut pos = 0.0;
+        for s in &mut self.scalars {
+            if *s < 0.0 {
+                neg -= *s;
+                *s = 0.0;
+            } else {
+                pos += *s;
+            }
+        }
+        neg / pos.max(f64::MIN_POSITIVE)
+    }
+
     /// Apply `D_theta = I(k) C_theta` in place. `spec` holds the three force
     /// component spectra concatenated: `[x | y | z]`, each of length
     /// `K*K*(K/2+1)`.
@@ -111,8 +134,52 @@ impl Influence {
         }
     }
 
+    /// Apply `I(k)^{1/2} = s(k)^{1/2} (I - k̂k̂ᵀ)` in place (the projector is
+    /// idempotent, so the square root only touches the scalar). Negative
+    /// scalars are treated as zero; compose with
+    /// [`clamp_nonnegative`](Self::clamp_nonnegative) so that
+    /// `apply_sqrt ∘ apply_sqrt = apply` exactly.
+    pub fn apply_sqrt(&self, spec: &mut [Complex64]) {
+        let s_len = self.k * self.k * self.nc;
+        assert_eq!(spec.len(), 3 * s_len, "expected three concatenated spectra");
+        let (sx, rest) = spec.split_at_mut(s_len);
+        let (sy, sz) = rest.split_at_mut(s_len);
+        self.stream_components(sx, sy, sz, true);
+    }
+
+    /// Batched [`apply_sqrt`](Self::apply_sqrt) over `width` column spectra
+    /// in the `[theta][col]` layout of [`apply_multi`](Self::apply_multi).
+    pub fn apply_sqrt_multi(&self, spec: &mut [Complex64], width: usize) {
+        let s_len = self.k * self.k * self.nc;
+        assert_eq!(spec.len(), 3 * width * s_len, "expected 3*width spectra");
+        let (sx_all, rest) = spec.split_at_mut(width * s_len);
+        let (sy_all, sz_all) = rest.split_at_mut(width * s_len);
+        for j in 0..width {
+            let r = j * s_len..(j + 1) * s_len;
+            self.stream_components(
+                &mut sx_all[r.clone()],
+                &mut sy_all[r.clone()],
+                &mut sz_all[r],
+                true,
+            );
+        }
+    }
+
     /// Core streaming pass over one (x, y, z) spectrum triple.
     fn apply_components(&self, sx: &mut [Complex64], sy: &mut [Complex64], sz: &mut [Complex64]) {
+        self.stream_components(sx, sy, sz, false);
+    }
+
+    /// Streaming pass; `sqrt` selects `s(k)^{1/2}` (clamped at zero) over
+    /// `s(k)`. The projector is applied once either way — it is idempotent,
+    /// so the square root of the tensor only changes the scalar factor.
+    fn stream_components(
+        &self,
+        sx: &mut [Complex64],
+        sy: &mut [Complex64],
+        sz: &mut [Complex64],
+        sqrt: bool,
+    ) {
         let plane = self.k * self.nc;
         let k = self.k;
         let nc = self.nc;
@@ -129,7 +196,7 @@ impl Influence {
                     let f1 = fold(k1, k) as f64 * kunit;
                     let row = k1 * nc;
                     for k2 in 0..nc {
-                        let s = ps[row + k2];
+                        let s = if sqrt { ps[row + k2].max(0.0).sqrt() } else { ps[row + k2] };
                         let idx = row + k2;
                         if s == 0.0 {
                             px[idx] = Complex64::ZERO;
@@ -247,5 +314,108 @@ mod tests {
         let k = 16;
         let inf = Influence::new(&test_ewald(), k, 4);
         assert_eq!(inf.memory_bytes(), 8 * k * k * (k / 2 + 1));
+    }
+
+    #[test]
+    fn clamp_zeroes_exactly_the_negative_scalars() {
+        // At alpha = 0.8, L = 10, K = 8 the corner modes sit beyond
+        // |k| = sqrt(3)/a where Beenakker's kernel goes negative.
+        let mut inf = Influence::new(&test_ewald(), 8, 4);
+        let exact = inf.clone();
+        let mut neg = 0.0;
+        let mut pos = 0.0;
+        for k0 in 0..8 {
+            for k1 in 0..8 {
+                for k2 in 0..5 {
+                    let s = exact.scalar_at(k0, k1, k2);
+                    if s < 0.0 {
+                        neg -= s;
+                    } else {
+                        pos += s;
+                    }
+                }
+            }
+        }
+        assert!(neg > 0.0, "test config must have negative modes");
+        let ratio = inf.clamp_nonnegative();
+        assert!((ratio - neg / pos).abs() < 1e-12 * ratio);
+        for k0 in 0..8 {
+            for k1 in 0..8 {
+                for k2 in 0..5 {
+                    let s = exact.scalar_at(k0, k1, k2);
+                    let c = inf.scalar_at(k0, k1, k2);
+                    if s < 0.0 {
+                        assert_eq!(c, 0.0);
+                    } else {
+                        assert_eq!(c, s);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Deterministic pseudo-random spectrum triple (no RNG dependency here).
+    fn synthetic_spectra(s_len: usize) -> Vec<Complex64> {
+        let mut spec = vec![Complex64::ZERO; 3 * s_len];
+        let mut x = 0x243F6A8885A308D3u64;
+        for v in spec.iter_mut() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let re = (x >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let im = (x >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+            *v = Complex64::new(re, im);
+        }
+        spec
+    }
+
+    #[test]
+    fn apply_sqrt_composed_twice_matches_apply_after_clamp() {
+        let k = 10;
+        let mut inf = Influence::new(&test_ewald(), k, 4);
+        inf.clamp_nonnegative();
+        let s_len = k * k * (k / 2 + 1);
+        let base = synthetic_spectra(s_len);
+        let mut twice = base.clone();
+        inf.apply_sqrt(&mut twice);
+        inf.apply_sqrt(&mut twice);
+        let mut once = base;
+        inf.apply(&mut once);
+        let scale = once.iter().map(|c| c.abs()).fold(0.0f64, f64::max);
+        for (a, b) in twice.iter().zip(&once) {
+            assert!((*a - *b).abs() < 1e-12 * scale, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn apply_sqrt_multi_matches_columnwise_apply_sqrt() {
+        let k = 8;
+        let mut inf = Influence::new(&test_ewald(), k, 4);
+        inf.clamp_nonnegative();
+        let s_len = k * k * (k / 2 + 1);
+        let width = 3;
+        // Build the batched layout [theta][col] from `width` single triples.
+        let singles: Vec<Vec<Complex64>> = (0..width)
+            .map(|j| synthetic_spectra(s_len).iter().map(|c| c.scale(1.0 + j as f64)).collect())
+            .collect();
+        let mut batch = vec![Complex64::ZERO; 3 * width * s_len];
+        for theta in 0..3 {
+            for (j, s) in singles.iter().enumerate() {
+                let dst = (theta * width + j) * s_len;
+                batch[dst..dst + s_len].copy_from_slice(&s[theta * s_len..(theta + 1) * s_len]);
+            }
+        }
+        inf.apply_sqrt_multi(&mut batch, width);
+        for (j, s) in singles.iter().enumerate() {
+            let mut want = s.clone();
+            inf.apply_sqrt(&mut want);
+            for theta in 0..3 {
+                let src = (theta * width + j) * s_len;
+                for i in 0..s_len {
+                    let got = batch[src + i];
+                    let exp = want[theta * s_len + i];
+                    assert!((got - exp).abs() < 1e-14, "col {j} theta {theta}");
+                }
+            }
+        }
     }
 }

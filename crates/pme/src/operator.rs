@@ -305,7 +305,7 @@ impl PmeOperator {
     }
 
     /// Multi-RHS real part: `U = (M_real + M_self) F` for row-major
-    /// `[3n][s]` blocks (BCSR SpMM, paper ref. [24]).
+    /// `[3n][s]` blocks (BCSR SpMM, paper ref. \[24\]).
     pub fn real_apply_multi(&mut self, f: &[f64], u: &mut [f64], s: usize) {
         let t0 = Instant::now();
         self.real.mul_multi(f, u, s);

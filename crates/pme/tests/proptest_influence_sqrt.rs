@@ -1,0 +1,98 @@
+//! Property tests for the influence-function square-root path (the PSE
+//! sampler's precondition): over tuner-chosen `(K, p, alpha)` configs,
+//! every scalar inside Beenakker's positivity region `|k| <= sqrt(3)/a` is
+//! nonnegative as computed, clamping removes exactly the (exponentially
+//! damped) negative tail beyond it, and `apply_sqrt` composed twice
+//! reproduces `apply` to 1e-12.
+
+use hibd_fft::Complex64;
+use hibd_pme::influence::{fold, Influence};
+use hibd_pme::tune;
+use hibd_rpy::RpyEwald;
+use proptest::prelude::*;
+use std::f64::consts::TAU;
+
+/// Deterministic spectrum filler (keeps the property pure).
+fn synthetic_spectra(s_len: usize, salt: u64) -> Vec<Complex64> {
+    let mut spec = vec![Complex64::ZERO; 3 * s_len];
+    let mut x = salt | 1;
+    for v in spec.iter_mut() {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let re = (x >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let im = (x >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+        *v = Complex64::new(re, im);
+    }
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn influence_scalars_nonnegative_where_sqrt_needs_them(
+        n in 16usize..220,
+        phi in 0.05f64..0.35,
+        ep in prop::sample::select(vec![1e-2f64, 1e-3]),
+        salt in any::<u64>(),
+    ) {
+        let cfg = tune(n, phi, 1.0, 1.0, ep);
+        let p = cfg.params;
+        let ewald = RpyEwald::kernel_only(p.a, p.eta, p.box_l, p.alpha);
+        let mut inf = Influence::new(&ewald, p.mesh_dim, p.spline_order);
+
+        // (a) Inside |k| <= sqrt(3)/a the Beenakker kernel is positive, so
+        // every mesh scalar there must be nonnegative as computed.
+        let k = p.mesh_dim;
+        let nc = k / 2 + 1;
+        let kunit = TAU / p.box_l;
+        let k2lim = 3.0 / (p.a * p.a);
+        for k0 in 0..k {
+            for k1 in 0..k {
+                for k2 in 0..nc {
+                    if k0 == 0 && k1 == 0 && k2 == 0 {
+                        continue;
+                    }
+                    let f = [fold(k0, k) as f64, fold(k1, k) as f64, k2 as f64];
+                    let k2norm = kunit * kunit * (f[0] * f[0] + f[1] * f[1] + f[2] * f[2]);
+                    if k2norm <= k2lim {
+                        let s = inf.scalar_at(k0, k1, k2);
+                        prop_assert!(s >= 0.0, "negative scalar {s:e} at ({k0},{k1},{k2})");
+                    }
+                }
+            }
+        }
+
+        // (b) Clamping leaves a nonnegative table. At PME-tuned alphas the
+        // negative tail can even dominate the positive mass (the ratio is
+        // unbounded, which is exactly why the PSE sampler runs its own
+        // small xi) — only finiteness and sign are invariant here.
+        let clipped = inf.clamp_nonnegative();
+        prop_assert!(clipped.is_finite() && clipped >= 0.0, "clip ratio {clipped}");
+        for (k0, k1, k2) in
+            (0..k).flat_map(|a| (0..k).flat_map(move |b| (0..nc).map(move |c| (a, b, c))))
+        {
+            prop_assert!(inf.scalar_at(k0, k1, k2) >= 0.0);
+        }
+
+        // (b') In the PSE regime (small xi) on the same mesh, the clipped
+        // tail really is negligible.
+        let pse_ewald = RpyEwald::kernel_only(p.a, p.eta, p.box_l, 0.25 / p.a);
+        let mut pse_inf = Influence::new(&pse_ewald, p.mesh_dim, p.spline_order);
+        let pse_clipped = pse_inf.clamp_nonnegative();
+        prop_assert!(pse_clipped < 1e-3, "PSE-regime clip ratio {pse_clipped}");
+
+        // (c) sqrt composed twice = apply, to 1e-12 of the spectrum scale.
+        let s_len = k * k * nc;
+        let base = synthetic_spectra(s_len, salt);
+        let mut twice = base.clone();
+        inf.apply_sqrt(&mut twice);
+        inf.apply_sqrt(&mut twice);
+        let mut once = base;
+        inf.apply(&mut once);
+        let scale = once.iter().map(|c| c.abs()).fold(f64::MIN_POSITIVE, f64::max);
+        for (a, b) in twice.iter().zip(&once) {
+            prop_assert!((*a - *b).abs() <= 1e-12 * scale, "{a:?} vs {b:?}");
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! The PSE near-field operator `N = M_self + M_real(xi)`.
+//!
+//! The complement of the wave-space sum at the sampler's splitting
+//! parameter: Beenakker's real-space tensor summed over periodic images out
+//! to the tolerance-driven cutoff `r_max`, plus the Yamakawa overlap
+//! correction for overlapping pairs and the `xi`-dependent self term. At the
+//! small PSE `xi` the cutoff can exceed the box, so assembly has two paths:
+//!
+//! * `r_max < L/2` — only the minimum image of any pair can lie inside the
+//!   cutoff, so a Verlet list delivers exactly the contributing pairs (the
+//!   sparse production path for large boxes);
+//! * `r_max >= L/2` — each pair (including `i = i`) sums a full shell of
+//!   lattice images; blocks are dense-ish, which is fine for the small
+//!   boxes where this triggers.
+//!
+//! Both paths produce one symmetric [`Bcsr3`]; the self coefficient stays a
+//! scalar applied on the fly (it would only pad the diagonal blocks).
+
+use hibd_cells::VerletList;
+use hibd_linalg::LinearOperator;
+use hibd_mathx::Vec3;
+use hibd_rpy::RpyEwald;
+use hibd_sparse::{Bcsr3, Bcsr3Builder};
+
+/// Sparse SPD near-field mobility as a [`LinearOperator`] for (block)
+/// Lanczos. Applies count no FFTs — that is the whole point of the split.
+#[derive(Clone, Debug)]
+pub struct NearFieldOperator {
+    n: usize,
+    mat: Bcsr3,
+    self_coef: f64,
+    /// Column applies served (one per `apply`, `s` per `apply_multi`).
+    matvec_columns: usize,
+}
+
+impl NearFieldOperator {
+    /// Assemble for a configuration; `ewald` must be the `kernel_only`
+    /// split at the PSE `xi`.
+    pub fn new(positions: &[Vec3], ewald: &RpyEwald, r_max: f64) -> NearFieldOperator {
+        NearFieldOperator {
+            n: positions.len(),
+            mat: assemble(positions, ewald, r_max),
+            self_coef: ewald.self_coefficient(),
+            matvec_columns: 0,
+        }
+    }
+
+    /// Re-assemble for new positions (operator refresh), keeping the
+    /// cumulative matvec counter.
+    pub fn rebuild(&mut self, positions: &[Vec3], ewald: &RpyEwald, r_max: f64) {
+        self.n = positions.len();
+        self.mat = assemble(positions, ewald, r_max);
+        self.self_coef = ewald.self_coefficient();
+    }
+
+    /// The sparse off-diagonal-image part.
+    pub fn matrix(&self) -> &Bcsr3 {
+        &self.mat
+    }
+
+    /// Self-mobility coefficient added along the diagonal.
+    pub fn self_coefficient(&self) -> f64 {
+        self.self_coef
+    }
+
+    /// Column applies served so far.
+    pub fn matvec_columns(&self) -> usize {
+        self.matvec_columns
+    }
+
+    pub fn reset_counters(&mut self) {
+        self.matvec_columns = 0;
+    }
+
+    /// Resident bytes of the sparse matrix.
+    pub fn memory_bytes(&self) -> usize {
+        self.mat.memory_bytes()
+    }
+
+    /// Dense `3n x 3n` materialization (tests only).
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut d = self.mat.to_dense();
+        let dim = 3 * self.n;
+        for i in 0..dim {
+            d[i * dim + i] += self.self_coef;
+        }
+        d
+    }
+}
+
+impl LinearOperator for NearFieldOperator {
+    fn dim(&self) -> usize {
+        3 * self.n
+    }
+
+    fn apply(&mut self, x: &[f64], y: &mut [f64]) {
+        self.mat.mul_vec(x, y);
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += self.self_coef * xi;
+        }
+        self.matvec_columns += 1;
+    }
+
+    fn apply_multi(&mut self, x: &[f64], y: &mut [f64], s: usize) {
+        self.mat.mul_multi(x, y, s);
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += self.self_coef * xi;
+        }
+        self.matvec_columns += s;
+    }
+}
+
+/// Image-summed pair block for minimum-image displacement `mi`: every
+/// lattice image within `r_max`, with the Yamakawa overlap correction
+/// applied per image (it vanishes for `r >= 2a`). Returns `None` when no
+/// image contributes.
+fn image_summed_block(ewald: &RpyEwald, mi: Vec3, box_l: f64, r_max: f64) -> Option<[f64; 9]> {
+    let nmax = (r_max / box_l + 0.5).ceil() as i64;
+    let mut blk = [0.0f64; 9];
+    let mut any = false;
+    for lx in -nmax..=nmax {
+        for ly in -nmax..=nmax {
+            for lz in -nmax..=nmax {
+                let rv = mi + Vec3::new(lx as f64, ly as f64, lz as f64) * box_l;
+                let r = rv.norm();
+                if r < 1e-12 || r > r_max {
+                    continue;
+                }
+                any = true;
+                for (acc, v) in blk.iter_mut().zip(&ewald.real_tensor_with_overlap(rv)) {
+                    *acc += v;
+                }
+            }
+        }
+    }
+    any.then_some(blk)
+}
+
+fn assemble(positions: &[Vec3], ewald: &RpyEwald, r_max: f64) -> Bcsr3 {
+    let n = positions.len();
+    let box_l = ewald.box_l;
+    let mut b = Bcsr3Builder::new(n, n);
+    if 2.0 * r_max < box_l {
+        // Minimum image only: any further image of a pair is at least
+        // `L - r_max > r_max` away, and self images at least `L`.
+        let mut vl = VerletList::new(positions, box_l, r_max, 0.0);
+        vl.for_each_pair(positions, |i, j, dr, _r2| {
+            let blk = ewald.real_tensor_with_overlap(dr);
+            // The RPY pair tensor is symmetric and even in `dr`, so the
+            // (j, i) block is identical.
+            b.push(i, j, blk);
+            b.push(j, i, blk);
+        });
+    } else {
+        for i in 0..n {
+            for j in i..n {
+                let mi = (positions[i] - positions[j]).min_image(box_l);
+                if let Some(blk) = image_summed_block(ewald, mi, box_l, r_max) {
+                    b.push(i, j, blk);
+                    if j > i {
+                        b.push(j, i, blk);
+                    }
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hibd_linalg::{sym_eig, DMat};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_positions(n: usize, box_l: f64, seed: u64) -> Vec<Vec3> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Vec3::new(
+                    rng.gen_range(0.0..box_l),
+                    rng.gen_range(0.0..box_l),
+                    rng.gen_range(0.0..box_l),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn verlet_and_image_sum_paths_agree_below_half_box() {
+        // With r_max < L/2 the image sum degenerates to the minimum image,
+        // so both assembly paths must produce the same matrix.
+        let box_l = 20.0;
+        let pos = random_positions(24, box_l, 3);
+        let ewald = RpyEwald::kernel_only(1.0, 1.0, box_l, 0.6);
+        let r_max = 8.0;
+        let sparse = assemble(&pos, &ewald, r_max).to_dense();
+        // Force the image path by assembling as if the box were smaller
+        // than 2 r_max, using a manual all-pairs loop with the real box.
+        let n = pos.len();
+        let mut b = Bcsr3Builder::new(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let mi = (pos[i] - pos[j]).min_image(box_l);
+                if let Some(blk) = image_summed_block(&ewald, mi, box_l, r_max) {
+                    b.push(i, j, blk);
+                    if j > i {
+                        b.push(j, i, blk);
+                    }
+                }
+            }
+        }
+        let dense = b.build().to_dense();
+        assert_eq!(sparse.len(), dense.len());
+        for (a, b) in sparse.iter().zip(&dense) {
+            assert!((a - b).abs() < 1e-15, "{a} vs {b}");
+        }
+    }
+
+    /// Sequential insertion with a minimum pair distance of `2a = 2`.
+    fn random_suspension(n: usize, box_l: f64, seed: u64) -> Vec<Vec3> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pos: Vec<Vec3> = Vec::with_capacity(n);
+        while pos.len() < n {
+            let c = Vec3::new(
+                rng.gen_range(0.0..box_l),
+                rng.gen_range(0.0..box_l),
+                rng.gen_range(0.0..box_l),
+            );
+            if pos.iter().all(|p| (*p - c).min_image(box_l).norm() >= 2.0) {
+                pos.push(c);
+            }
+        }
+        pos
+    }
+
+    #[test]
+    fn near_field_is_spd_at_the_default_split() {
+        // Dense phi ~ 0.2 box small enough that the cutoff wraps images;
+        // xi at the production SPD cap.
+        let box_l = 6.5;
+        let pos = random_suspension(12, box_l, 7);
+        let xi = crate::XI_BOX_CAP / box_l;
+        let ewald = RpyEwald::kernel_only(1.0, 1.0, box_l, xi);
+        let r_max = (1.0f64 / 1e-6).ln().sqrt() * 1.5 / xi;
+        let op = NearFieldOperator::new(&pos, &ewald, r_max);
+        let dim = 3 * pos.len();
+        let d = op.to_dense();
+        let mut m = DMat::zeros(dim, dim);
+        for i in 0..dim {
+            for j in 0..dim {
+                m[(i, j)] = d[i * dim + j];
+            }
+        }
+        // Symmetric by construction.
+        for i in 0..dim {
+            for j in 0..dim {
+                assert!((m[(i, j)] - m[(j, i)]).abs() < 1e-13);
+            }
+        }
+        let (w, _) = sym_eig(&m);
+        let min = w.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(min > 0.0, "near field not SPD: min eigenvalue {min}");
+    }
+
+    #[test]
+    fn apply_adds_self_term_and_counts_columns() {
+        let box_l = 12.0;
+        let pos = random_positions(8, box_l, 11);
+        let ewald = RpyEwald::kernel_only(1.0, 1.0, box_l, 0.5);
+        let mut op = NearFieldOperator::new(&pos, &ewald, 5.0);
+        let dim = op.dim();
+        let x: Vec<f64> = (0..dim).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut y = vec![0.0; dim];
+        op.apply(&x, &mut y);
+        let mut y_mat = vec![0.0; dim];
+        op.matrix().mul_vec(&x, &mut y_mat);
+        for i in 0..dim {
+            assert!((y[i] - y_mat[i] - op.self_coefficient() * x[i]).abs() < 1e-14);
+        }
+        // apply_multi with s columns matches per-column apply and counts s.
+        let s = 3;
+        let mut xm = vec![0.0; dim * s];
+        for i in 0..dim {
+            for c in 0..s {
+                xm[i * s + c] = x[i] * (c + 1) as f64;
+            }
+        }
+        let mut ym = vec![0.0; dim * s];
+        op.apply_multi(&xm, &mut ym, s);
+        for i in 0..dim {
+            for c in 0..s {
+                assert!((ym[i * s + c] - y[i] * (c + 1) as f64).abs() < 1e-12);
+            }
+        }
+        assert_eq!(op.matvec_columns(), 1 + s);
+        op.reset_counters();
+        assert_eq!(op.matvec_columns(), 0);
+        assert!(op.memory_bytes() > 0);
+    }
+}

@@ -8,7 +8,7 @@
 //! * [`tensor`] — the free-space RPY tensor (paper Section II-A), including
 //!   the regularized overlapping form for `r < 2a`;
 //! * [`ewald`] — Beenakker's Ewald summation of the RPY tensor under
-//!   periodic boundary conditions (paper Section II-B, ref. [22]): the
+//!   periodic boundary conditions (paper Section II-B, ref. \[22\]): the
 //!   real-space kernels `M^(1)`, the reciprocal-space kernel `M^(2)`, the
 //!   self term, and tolerance-driven cutoffs;
 //! * [`dense`] — dense mobility-matrix assembly: the periodic Ewald matrix

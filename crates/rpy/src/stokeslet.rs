@@ -1,7 +1,7 @@
 //! Ewald summation of the Oseen (Stokeslet) tensor.
 //!
 //! Prior PME-accelerated Stokes-suspension codes (the paper's refs.
-//! [15]–[17]: Guckel; Sierou & Brady; Saintillan, Darve & Shaqfeh) sum the
+//! \[15\]–\[17\]: Guckel; Sierou & Brady; Saintillan, Darve & Shaqfeh) sum the
 //! *Stokeslet* `G(r) = (I + r̂r̂ᵀ)/(8 pi eta r)` — the point-force Green's
 //! function — rather than the finite-size RPY tensor. This module provides
 //! that kernel with the matching Ewald split so the two formulations can be

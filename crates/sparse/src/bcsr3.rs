@@ -4,7 +4,7 @@
 //! `r_max` through a 3x3 tensor (paper Section IV-C). Storing those tensors
 //! as dense row-major blocks amortizes index overhead 9x compared to scalar
 //! CSR and keeps the inner SpMV kernel fully unrolled, mirroring the BCSR
-//! kernels of the paper's refs. [24] and [26].
+//! kernels of the paper's refs. \[24\] and \[26\].
 //!
 //! Block row `i` acts on particle `i`'s 3-vector; the logical scalar matrix
 //! is `3*nbrows x 3*nbcols`.
@@ -133,7 +133,7 @@ impl Bcsr3 {
     }
 
     /// `Y = A X` for `X` row-major `[3*nbcols][s]` — the paper's
-    /// multiple-right-hand-side SpMV (ref. [24]), used when the same mobility
+    /// multiple-right-hand-side SpMV (ref. \[24\]), used when the same mobility
     /// operator acts on a block of `lambda_RPY` Krylov vectors.
     pub fn mul_multi(&self, x: &[f64], y: &mut [f64], s: usize) {
         assert_eq!(x.len(), 3 * self.nbcols * s);

@@ -17,7 +17,7 @@
 //! All formats provide single-vector products and **multi-right-hand-side**
 //! products (`A * X` for `X` with `s` columns, stored row-major `[n][s]`),
 //! since Algorithm 2 applies the same mobility operator to a block of
-//! `lambda_RPY` vectors at once (the paper's ref. [24] optimization).
+//! `lambda_RPY` vectors at once (the paper's ref. \[24\] optimization).
 
 #![allow(clippy::needless_range_loop)] // index-heavy numeric kernels
 

@@ -38,6 +38,7 @@
 //! | [`rpy`] | RPY tensor and its Beenakker Ewald summation |
 //! | [`pme`] | particle-mesh Ewald operator for the RPY tensor |
 //! | [`krylov`] | (block) Lanczos computation of `M^{1/2} z` |
+//! | [`pse`] | positively-split Ewald Brownian displacement sampler |
 //! | [`core`] | BD drivers, forces, diffusion analysis, hybrid execution |
 
 pub use hibd_cells as cells;
@@ -47,6 +48,7 @@ pub use hibd_krylov as krylov;
 pub use hibd_linalg as linalg;
 pub use hibd_mathx as mathx;
 pub use hibd_pme as pme;
+pub use hibd_pse as pse;
 pub use hibd_rpy as rpy;
 pub use hibd_sparse as sparse;
 
