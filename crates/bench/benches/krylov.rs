@@ -60,13 +60,13 @@ fn bench_displacements(c: &mut Criterion) {
     let mut op = PmeOperator::new(sys.positions(), params).unwrap();
     let cfg = KrylovConfig { tol: 1e-2, max_iter: 60, check_interval: 2 };
     group.bench_function("block_lanczos_pme", |b| {
-        b.iter(|| block_lanczos_sqrt(&mut op, &z, lambda, &cfg).unwrap())
+        b.iter(|| block_lanczos_sqrt(&mut op, &z, lambda, &cfg).unwrap());
     });
 
     // Same solve through the per-column baseline the batched path replaced.
     let mut colwise = ColumnwiseOp(PmeOperator::new(sys.positions(), params).unwrap());
     group.bench_function("block_lanczos_pme_columnwise", |b| {
-        b.iter(|| block_lanczos_sqrt(&mut colwise, &z, lambda, &cfg).unwrap())
+        b.iter(|| block_lanczos_sqrt(&mut colwise, &z, lambda, &cfg).unwrap());
     });
     group.finish();
 }

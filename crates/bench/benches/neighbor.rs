@@ -23,7 +23,7 @@ fn bench_neighbor(c: &mut Criterion) {
             let mut acc = 0.0;
             cl.for_each_pair(|_, _, _, r2| acc += r2);
             std::hint::black_box(acc);
-        })
+        });
     });
 
     let mut vl = VerletList::new(&pos, box_l, cutoff, 0.3);
@@ -32,7 +32,7 @@ fn bench_neighbor(c: &mut Criterion) {
             let mut acc = 0.0;
             vl.for_each_pair(&pos, |_, _, _, r2| acc += r2);
             std::hint::black_box(acc);
-        })
+        });
     });
     group.finish();
 }

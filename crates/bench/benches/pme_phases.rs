@@ -33,7 +33,7 @@ fn bench_phases(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     group.bench_function("spreading", |b| b.iter(|| plan.spread(&pm, &f, &mut mesh)));
     group.bench_function("spreading_on_the_fly", |b| {
-        b.iter(|| spread_on_the_fly(&plan, &pm, &f, &mut mesh))
+        b.iter(|| spread_on_the_fly(&plan, &pm, &f, &mut mesh));
     });
     plan.spread(&pm, &f, &mut mesh);
     group.bench_function("forward_fft_x3", |b| {
@@ -44,7 +44,7 @@ fn bench_phases(c: &mut Criterion) {
                     &mut spec[theta * s_len..(theta + 1) * s_len],
                 );
             }
-        })
+        });
     });
     group.bench_function("influence", |b| b.iter(|| inf.apply(&mut spec)));
     group.bench_function("inverse_fft_x3", |b| {
@@ -55,11 +55,11 @@ fn bench_phases(c: &mut Criterion) {
                     &mut mesh[theta * k3..(theta + 1) * k3],
                 );
             }
-        })
+        });
     });
     group.bench_function("interpolation", |b| b.iter(|| interpolate(&pm, &mesh, &mut u)));
     group.bench_function("construct_p", |b| {
-        b.iter(|| build_interp_matrix(sys.positions(), sys.box_l, k, p))
+        b.iter(|| build_interp_matrix(sys.positions(), sys.box_l, k, p));
     });
     group.finish();
 }

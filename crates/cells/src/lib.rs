@@ -325,13 +325,13 @@ mod tests {
         let mut by_cell = Vec::new();
         for c in 0..cl.num_cells() {
             cl.for_each_pair_in_cell(c, &mut |i, j, _, _| {
-                by_cell.push(normalize((i as u32, j as u32)))
+                by_cell.push(normalize((i as u32, j as u32)));
             });
         }
         let whole: Vec<(u32, u32)> =
             cl.pairs().into_iter().map(|(i, j, _, _)| normalize((i, j))).collect();
-        let s1: HashSet<_> = by_cell.iter().cloned().collect();
-        let s2: HashSet<_> = whole.iter().cloned().collect();
+        let s1: HashSet<_> = by_cell.iter().copied().collect();
+        let s2: HashSet<_> = whole.iter().copied().collect();
         assert_eq!(by_cell.len(), whole.len());
         assert_eq!(s1, s2);
     }

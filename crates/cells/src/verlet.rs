@@ -141,7 +141,7 @@ mod tests {
             ((state >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 0.1
         };
         for _step in 0..5 {
-            for p in pos.iter_mut() {
+            for p in &mut pos {
                 *p = (*p + Vec3::new(nudge(), nudge(), nudge())).wrap_into_box(box_l);
             }
             let mut got = HashSet::new();

@@ -60,7 +60,7 @@ proptest! {
         let mut by_cell = Vec::new();
         for c in 0..cl.num_cells() {
             cl.for_each_pair_in_cell(c, &mut |i, j, _, _| {
-                by_cell.push(if i < j { (i, j) } else { (j, i) })
+                by_cell.push(if i < j { (i, j) } else { (j, i) });
             });
         }
         prop_assert_eq!(whole.len(), by_cell.len());

@@ -136,7 +136,7 @@ mod tests {
         let mut noise = vec![0.0; 3 * n];
         for _ in 0..120 {
             fill_standard_normal(&mut rng, &mut noise);
-            for v in noise.iter_mut() {
+            for v in &mut noise {
                 *v *= sigma;
             }
             sys.apply_displacements(&noise);

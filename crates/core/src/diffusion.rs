@@ -54,7 +54,7 @@ impl DiffusionEstimator {
 
     /// Number of origins accumulated at `lag` snapshots.
     pub fn count(&self, lag: usize) -> usize {
-        self.series.get(lag - 1).map(|s| s.len()).unwrap_or(0)
+        self.series.get(lag - 1).map(std::vec::Vec::len).unwrap_or(0)
     }
 
     /// `(D, standard error)` at `lag` snapshots, or `None` if no samples.

@@ -184,7 +184,7 @@ impl EwaldBd {
         let mut disp = vec![0.0; n3 * lambda];
         chol.mul_multi(&z, &mut disp, lambda);
         let scale = (2.0 * self.cfg.kbt * self.cfg.dt).sqrt();
-        for d in disp.iter_mut() {
+        for d in &mut disp {
             *d *= scale;
         }
         let t3 = Instant::now();

@@ -44,7 +44,7 @@ impl RepulsiveHarmonic {
 
     /// `(rebuilds, reuses)` of the internal neighbor list so far.
     pub fn neighbor_stats(&self) -> (usize, usize) {
-        self.list.as_ref().map(|l| l.stats()).unwrap_or((0, 0))
+        self.list.as_ref().map(hibd_cells::VerletList::stats).unwrap_or((0, 0))
     }
 }
 

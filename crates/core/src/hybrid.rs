@@ -151,7 +151,7 @@ impl HybridModel {
             load[best] += per_col[best];
             cols[best] += 1;
         }
-        let makespan = load.iter().cloned().fold(0.0, f64::max);
+        let makespan = load.iter().copied().fold(0.0, f64::max);
         (cols, makespan)
     }
 

@@ -144,7 +144,7 @@ impl<R: BufRead> XyzReader<R> {
             let mut it = self.line.split_whitespace();
             let _element = it.next().ok_or_else(|| self.fail("empty atom line"))?;
             let mut coord = [0.0f64; 3];
-            for c in coord.iter_mut() {
+            for c in &mut coord {
                 *c = it
                     .next()
                     .ok_or_else(|| self.fail("missing coordinate"))?

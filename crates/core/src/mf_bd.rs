@@ -236,12 +236,12 @@ impl MatrixFreeBd {
 
     /// Resident bytes of the current operator (0 before the first step).
     pub fn operator_memory_bytes(&self) -> usize {
-        self.op.as_ref().map(|o| o.memory_bytes()).unwrap_or(0)
+        self.op.as_ref().map(hibd_pme::PmeOperator::memory_bytes).unwrap_or(0)
     }
 
     /// Resident bytes of the PSE sampler (0 unless `SplitEwald` has run).
     pub fn pse_memory_bytes(&self) -> usize {
-        self.pse.as_ref().map(|s| s.memory_bytes()).unwrap_or(0)
+        self.pse.as_ref().map(hibd_pse::PseSampler::memory_bytes).unwrap_or(0)
     }
 
     /// The PSE sampler, if `SplitEwald` has built one (counter access for
@@ -252,7 +252,7 @@ impl MatrixFreeBd {
 
     /// Per-phase PME timings accumulated so far (resets the counters).
     pub fn take_pme_times(&mut self) -> PmePhaseTimes {
-        self.op.as_mut().map(|o| o.take_times()).unwrap_or_default()
+        self.op.as_mut().map(hibd_pme::PmeOperator::take_times).unwrap_or_default()
     }
 
     fn refresh_operator(&mut self) -> Result<(), BdError> {
@@ -342,7 +342,7 @@ impl MatrixFreeBd {
             }
         };
         let scale = (2.0 * self.cfg.kbt * self.cfg.dt).sqrt();
-        for v in d.iter_mut() {
+        for v in &mut d {
             *v *= scale;
         }
         let t2 = Instant::now();

@@ -1,0 +1,39 @@
+//! Allocation regression for the Algorithm 2 driver: BD steps inside one
+//! operator window must not grow the heap.
+//!
+//! The expensive allocations (PME operator, displacement block, per-step
+//! scratch) all happen at the window refresh; the steps that follow inside
+//! the window reuse them. Force evaluation allocates a transient total-force
+//! vector per step, which frees immediately — the invariant is zero *net*
+//! growth, i.e. nothing persists step to step.
+
+use hibd_alloctrack::{exclusive, measure};
+use hibd_core::mf_bd::{MatrixFreeBd, MatrixFreeConfig};
+use hibd_core::system::ParticleSystem;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+hibd_alloctrack::install!();
+
+const TOL: isize = 16 * 1024;
+
+#[test]
+fn steps_within_a_lambda_window_do_not_grow_the_heap() {
+    let _guard = exclusive();
+    let mut rng = StdRng::seed_from_u64(4);
+    let sys = ParticleSystem::random_suspension(24, 0.1, &mut rng);
+    let cfg = MatrixFreeConfig { lambda_rpy: 8, ..Default::default() };
+    let mut bd = MatrixFreeBd::new(sys, cfg, 11).unwrap();
+
+    // Step 1 refreshes the operator, draws the displacement block, and
+    // grows the per-step scratch; steps 2..8 stay inside the window.
+    bd.step().unwrap();
+    let op_mem = bd.operator_memory_bytes();
+    let (m, ()) = measure(|| {
+        for _ in 0..5 {
+            bd.step().unwrap();
+        }
+    });
+    assert!(m.net_bytes.abs() <= TOL, "5 in-window steps leaked {} net bytes", m.net_bytes);
+    assert_eq!(bd.operator_memory_bytes(), op_mem, "operator scratch grew inside the window");
+}

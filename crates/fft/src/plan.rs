@@ -116,7 +116,7 @@ impl Bluestein {
         for j in 0..n {
             a[j] = data[j] * self.chirp[j];
         }
-        for v in a[n..].iter_mut() {
+        for v in &mut a[n..] {
             *v = Complex64::ZERO;
         }
         self.inner.forward(a, inner_scratch);
@@ -525,7 +525,7 @@ mod tests {
             match factorize(n) {
                 Ok(f) => assert_eq!(f.iter().product::<usize>(), n.max(1), "n={n}"),
                 Err(FftError::RoughLength { prime, .. }) => {
-                    assert!(prime > MAX_RADIX, "n={n} flagged prime {prime}")
+                    assert!(prime > MAX_RADIX, "n={n} flagged prime {prime}");
                 }
                 Err(e) => panic!("n={n}: unexpected error {e}"),
             }

@@ -1,0 +1,36 @@
+//! `hibd-hot`: the `#[hibd::hot]` marker attribute.
+//!
+//! The attribute itself is a no-op pass-through — it exists so that hot-path
+//! functions are *named* in the source, where both humans and the workspace
+//! audit (`cargo run -p xtask -- audit`) can find them. The audit rejects
+//! heap-allocating constructs (`vec!`, `Vec::new`, `collect`, `to_vec`,
+//! `Box::new`, ...) inside any function carrying the marker; see
+//! `crates/xtask` for the lint list and DESIGN.md "Invariants & audit
+//! tooling" for the policy.
+//!
+//! Consumers import the crate under the `hibd` alias so the annotation reads
+//! as a workspace-level contract:
+//!
+//! ```ignore
+//! use hibd_hot as hibd;
+//!
+//! #[hibd::hot]
+//! fn scatter_kernel(...) { ... }
+//! ```
+//!
+//! Deliberately dependency-free (no `syn`/`quote`): the token stream is
+//! returned untouched, so the marker compiles to nothing.
+
+use proc_macro::TokenStream;
+
+/// Marks a function as a steady-state hot path that must not allocate.
+///
+/// Pass-through at compile time; enforced lexically by the `xtask` audit.
+/// The sanctioned idiom for scratch reuse (`Vec::resize` on a long-lived
+/// buffer) is explicitly allowed by the audit; fresh allocations per call
+/// (`vec!`, `collect`, `to_vec`, `Box::new`, `String::new`, `format!`,
+/// `Vec::new`, `Vec::with_capacity`) are rejected.
+#[proc_macro_attribute]
+pub fn hot(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    item
+}

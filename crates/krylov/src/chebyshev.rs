@@ -18,6 +18,7 @@
 //! applications at equal accuracy — which the comparison test demonstrates.
 
 use crate::{KrylovError, KrylovStats};
+use hibd_hot as hibd;
 use hibd_linalg::{tridiag_eig, LinearOperator};
 
 /// Options for the Chebyshev square-root evaluation.
@@ -62,7 +63,7 @@ pub fn estimate_spectrum_bounds(
         })
         .collect();
     let nrm = norm(&v);
-    for x in v.iter_mut() {
+    for x in &mut v {
         *x /= nrm;
     }
 
@@ -145,7 +146,7 @@ pub fn chebyshev_sqrt(
     // high resolution, then truncated where the tail drops below the
     // tolerance (relative to sqrt(lo), the smallest function value).
     let nq = (cfg.max_degree + 1).max(64);
-    let coeffs = chebyshev_coefficients(nq, |x| x.sqrt(), lo, hi);
+    let coeffs = chebyshev_coefficients(nq, f64::sqrt, lo, hi);
     let floor = lo.sqrt();
     let mut degree = cfg.max_degree.min(nq - 1);
     let mut tail: f64 = coeffs[degree..].iter().map(|c| c.abs()).sum();
@@ -162,16 +163,10 @@ pub fn chebyshev_sqrt(
     // y = 2/(hi-lo) (M x) - (hi+lo)/(hi-lo) x maps the spectrum to [-1, 1].
     let scale = 2.0 / (hi - lo);
     let shift = (hi + lo) / (hi - lo);
-    let apply_t = |x: &[f64], out: &mut [f64], op: &mut dyn LinearOperator| {
-        op.apply(x, out);
-        for (o, xv) in out.iter_mut().zip(x) {
-            *o = scale * *o - shift * xv;
-        }
-    };
 
     let mut t_prev = z.to_vec(); // T_0 z
     let mut t_cur = vec![0.0; n]; // T_1 z
-    apply_t(&t_prev, &mut t_cur, op);
+    apply_shifted(op, scale, shift, &t_prev, &mut t_cur);
     let mut g: Vec<f64> = t_prev.iter().map(|v| 0.5 * coeffs[0] * v).collect();
     if degree >= 1 {
         for (gi, ti) in g.iter_mut().zip(&t_cur) {
@@ -180,13 +175,7 @@ pub fn chebyshev_sqrt(
     }
     let mut t_next = vec![0.0; n];
     for k in 2..=degree {
-        apply_t(&t_cur, &mut t_next, op);
-        for (nx, pv) in t_next.iter_mut().zip(&t_prev) {
-            *nx = 2.0 * *nx - pv;
-        }
-        for (gi, ti) in g.iter_mut().zip(&t_next) {
-            *gi += coeffs[k] * ti;
-        }
+        recurrence_step(op, scale, shift, coeffs[k], &t_prev, &t_cur, &mut t_next, &mut g);
         std::mem::swap(&mut t_prev, &mut t_cur);
         std::mem::swap(&mut t_cur, &mut t_next);
     }
@@ -221,10 +210,46 @@ pub fn chebyshev_coefficients(nq: usize, f: impl Fn(f64) -> f64, lo: f64, hi: f6
     c
 }
 
+/// Shifted operator application `out = scale (M x) - shift x`, mapping the
+/// spectrum of `M` onto `[-1, 1]` for the Chebyshev recurrence.
+#[hibd::hot]
+fn apply_shifted(op: &mut dyn LinearOperator, scale: f64, shift: f64, x: &[f64], out: &mut [f64]) {
+    op.apply(x, out);
+    for (o, xv) in out.iter_mut().zip(x) {
+        *o = scale * *o - shift * xv;
+    }
+}
+
+/// One degree of the three-term recurrence `T_k z = 2 y(T_{k-1} z) - T_{k-2} z`
+/// plus the accumulation `g += c_k T_k z`. All work happens in caller-owned
+/// buffers: one polynomial degree costs exactly one operator application.
+#[hibd::hot]
+#[allow(clippy::too_many_arguments)]
+fn recurrence_step(
+    op: &mut dyn LinearOperator,
+    scale: f64,
+    shift: f64,
+    ck: f64,
+    t_prev: &[f64],
+    t_cur: &[f64],
+    t_next: &mut [f64],
+    g: &mut [f64],
+) {
+    apply_shifted(op, scale, shift, t_cur, t_next);
+    for (nx, pv) in t_next.iter_mut().zip(t_prev) {
+        *nx = 2.0 * *nx - pv;
+    }
+    for (gi, ti) in g.iter_mut().zip(t_next.iter()) {
+        *gi += ck * ti;
+    }
+}
+
+#[hibd::hot]
 fn dot(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
+#[hibd::hot]
 fn norm(a: &[f64]) -> f64 {
     dot(a, a).sqrt()
 }
@@ -293,7 +318,7 @@ mod tests {
     #[test]
     fn coefficients_reproduce_sqrt_on_interval() {
         let (lo, hi) = (0.3, 4.0);
-        let c = chebyshev_coefficients(128, |x| x.sqrt(), lo, hi);
+        let c = chebyshev_coefficients(128, f64::sqrt, lo, hi);
         for i in 0..20 {
             let x = lo + (hi - lo) * i as f64 / 19.0;
             let t = (2.0 * x - hi - lo) / (hi - lo);

@@ -34,6 +34,7 @@ pub mod chebyshev;
 pub use cg::{conjugate_gradient, CgConfig};
 pub use chebyshev::{chebyshev_sqrt, estimate_spectrum_bounds, ChebyshevConfig, ChebyshevStats};
 
+use hibd_hot as hibd;
 use hibd_linalg::{sym_sqrt_times_block, thin_qr, DMat, LinearOperator};
 
 /// Options for the Lanczos square-root solvers.
@@ -352,26 +353,31 @@ fn evaluate_sqrt_block(
     Ok(g)
 }
 
+#[hibd::hot]
 fn dot(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
+#[hibd::hot]
 fn norm(a: &[f64]) -> f64 {
     dot(a, a).sqrt()
 }
 
+#[hibd::hot]
 fn rel_diff(a: &[f64], b: &[f64]) -> f64 {
     let num: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
     let den = norm(a).max(1e-300);
     num / den
 }
 
+#[hibd::hot]
 fn sub_assign(a: &mut DMat, b: &DMat) {
     for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
         *x -= y;
     }
 }
 
+#[hibd::hot]
 fn add_assign(a: &mut DMat, b: &DMat) {
     for (x, y) in a.as_mut_slice().iter_mut().zip(b.as_slice()) {
         *x += y;

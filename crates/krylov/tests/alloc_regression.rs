@@ -1,0 +1,74 @@
+//! Allocation regression for the block Lanczos displacement kernel.
+//!
+//! `block_lanczos_sqrt` itself allocates by design (basis panels, projected
+//! blocks, QR factors). The invariant worth machine-checking is one level
+//! down: the *operator applies inside the iteration* — the expensive part
+//! that runs 10-60 times per displacement block — must be allocation-free
+//! once the PME scratch is warm. `AllocCheckedOp` measures every forwarded
+//! `apply_multi` individually.
+
+use hibd_alloctrack::{exclusive, AllocCheckedOp};
+use hibd_krylov::{block_lanczos_sqrt, KrylovConfig};
+use hibd_mathx::{fill_standard_normal, Vec3};
+use hibd_pme::{PmeOperator, PmeParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+hibd_alloctrack::install!();
+
+/// Per-apply slack for transient runtime structures that net out late (e.g.
+/// a rayon worker growing a thread-local deque). A real regression — a
+/// scratch mesh reallocated per apply — is hundreds of kilobytes.
+const PER_APPLY_TOL: isize = 8 * 1024;
+
+fn positions(n: usize, box_l: f64, seed: u64) -> Vec<Vec3> {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64 * box_l
+    };
+    (0..n).map(|_| Vec3::new(next(), next(), next())).collect()
+}
+
+#[test]
+fn pme_applies_inside_block_lanczos_are_allocation_free() {
+    let _guard = exclusive();
+    let n = 30;
+    let s = 4;
+    let params = PmeParams {
+        a: 1.0,
+        eta: 1.0,
+        box_l: 10.0,
+        alpha: 0.8,
+        mesh_dim: 32,
+        spline_order: 6,
+        r_max: 4.5,
+    };
+    let pos = positions(n, params.box_l, 7);
+    let mut op = AllocCheckedOp::new(PmeOperator::new(&pos, params).unwrap());
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut z = vec![0.0; 3 * n * s];
+    fill_standard_normal(&mut rng, &mut z);
+    let cfg = KrylovConfig { tol: 1e-3, max_iter: 60, check_interval: 1 };
+
+    // Warm-up solve: grows the PME batch scratch on the first apply_multi.
+    block_lanczos_sqrt(&mut op, &z, s, &cfg).unwrap();
+    assert!(op.applies() > 0);
+    op.reset();
+
+    // Steady state: every apply inside the second solve must be clean.
+    let (_, stats) = block_lanczos_sqrt(&mut op, &z, s, &cfg).unwrap();
+    assert!(stats.converged);
+    assert!(op.applies() >= 2, "expected several block applies, got {}", op.applies());
+    assert!(
+        op.max_apply_net_bytes() <= PER_APPLY_TOL,
+        "worst operator apply inside Lanczos leaked {} net bytes over {} applies",
+        op.max_apply_net_bytes(),
+        op.applies()
+    );
+    assert!(
+        op.total_net_bytes() <= PER_APPLY_TOL * op.applies() as isize,
+        "operator applies leaked {} net bytes total",
+        op.total_net_bytes()
+    );
+}

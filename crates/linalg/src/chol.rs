@@ -248,7 +248,7 @@ mod tests {
         let mut z = vec![0.0; n];
         let mut d = vec![0.0; n];
         for _ in 0..samples {
-            for zi in z.iter_mut() {
+            for zi in &mut z {
                 *zi = next_gauss();
             }
             f.mul_vec(&z, &mut d);

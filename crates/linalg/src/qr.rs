@@ -57,12 +57,12 @@ pub fn thin_qr(a: &DMat) -> ThinQr {
         if norm <= 1e-14 * scale {
             deficient.push(j);
             r[(j, j)] = 0.0;
-            for v in cols[j].iter_mut() {
+            for v in &mut cols[j] {
                 *v = 0.0;
             }
         } else {
             r[(j, j)] = norm;
-            for v in cols[j].iter_mut() {
+            for v in &mut cols[j] {
                 *v /= norm;
             }
         }

@@ -5,6 +5,7 @@
 //! the Marsaglia polar method, which needs no tables and no transcendental
 //! functions beyond `ln`/`sqrt`.
 
+use hibd_hot as hibd;
 use rand::Rng;
 
 /// Draw a single standard-normal variate.
@@ -12,6 +13,7 @@ use rand::Rng;
 /// Uses the Marsaglia polar method; one of the two generated variates is
 /// discarded, which keeps the API stateless. Use [`fill_standard_normal`]
 /// when filling whole vectors — it uses both.
+#[hibd::hot]
 pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     loop {
         let u: f64 = rng.gen_range(-1.0..1.0);
@@ -25,6 +27,7 @@ pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
 }
 
 /// Fill `out` with i.i.d. standard-normal variates.
+#[hibd::hot]
 pub fn fill_standard_normal<R: Rng + ?Sized>(rng: &mut R, out: &mut [f64]) {
     let mut i = 0;
     while i + 1 < out.len() {

@@ -215,14 +215,14 @@ impl Neg for Vec3 {
 pub fn as_flat(v: &[Vec3]) -> &[f64] {
     // SAFETY: Vec3 is #[repr(C)] with exactly three f64 fields, so a slice of
     // n Vec3 has the same layout as a slice of 3n f64.
-    unsafe { std::slice::from_raw_parts(v.as_ptr() as *const f64, v.len() * 3) }
+    unsafe { std::slice::from_raw_parts(v.as_ptr().cast::<f64>(), v.len() * 3) }
 }
 
 /// Reinterpret a mutable slice of `Vec3` as a flat `&mut [f64]`.
 #[inline]
 pub fn as_flat_mut(v: &mut [Vec3]) -> &mut [f64] {
     // SAFETY: see `as_flat`.
-    unsafe { std::slice::from_raw_parts_mut(v.as_mut_ptr() as *mut f64, v.len() * 3) }
+    unsafe { std::slice::from_raw_parts_mut(v.as_mut_ptr().cast::<f64>(), v.len() * 3) }
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@
 
 use crate::bspline::euler_factors;
 use hibd_fft::Complex64;
+use hibd_hot as hibd;
 use hibd_rpy::RpyEwald;
 use rayon::prelude::*;
 use std::f64::consts::TAU;
@@ -110,6 +111,7 @@ impl Influence {
     /// Apply `D_theta = I(k) C_theta` in place. `spec` holds the three force
     /// component spectra concatenated: `[x | y | z]`, each of length
     /// `K*K*(K/2+1)`.
+    #[hibd::hot]
     pub fn apply(&self, spec: &mut [Complex64]) {
         let s_len = self.k * self.k * self.nc;
         assert_eq!(spec.len(), 3 * s_len, "expected three concatenated spectra");
@@ -123,6 +125,7 @@ impl Influence {
     /// (matching the batched mesh layout in `spread_multi`). One scalar-table
     /// pass per column; the projector is rebuilt from the lattice vector
     /// exactly as in the single-RHS path.
+    #[hibd::hot]
     pub fn apply_multi(&self, spec: &mut [Complex64], width: usize) {
         let s_len = self.k * self.k * self.nc;
         assert_eq!(spec.len(), 3 * width * s_len, "expected 3*width spectra");
@@ -139,6 +142,7 @@ impl Influence {
     /// scalars are treated as zero; compose with
     /// [`clamp_nonnegative`](Self::clamp_nonnegative) so that
     /// `apply_sqrt ∘ apply_sqrt = apply` exactly.
+    #[hibd::hot]
     pub fn apply_sqrt(&self, spec: &mut [Complex64]) {
         let s_len = self.k * self.k * self.nc;
         assert_eq!(spec.len(), 3 * s_len, "expected three concatenated spectra");
@@ -149,6 +153,7 @@ impl Influence {
 
     /// Batched [`apply_sqrt`](Self::apply_sqrt) over `width` column spectra
     /// in the `[theta][col]` layout of [`apply_multi`](Self::apply_multi).
+    #[hibd::hot]
     pub fn apply_sqrt_multi(&self, spec: &mut [Complex64], width: usize) {
         let s_len = self.k * self.k * self.nc;
         assert_eq!(spec.len(), 3 * width * s_len, "expected 3*width spectra");
@@ -173,6 +178,7 @@ impl Influence {
     /// Streaming pass; `sqrt` selects `s(k)^{1/2}` (clamped at zero) over
     /// `s(k)`. The projector is applied once either way — it is idempotent,
     /// so the square root of the tensor only changes the scalar factor.
+    #[hibd::hot]
     fn stream_components(
         &self,
         sx: &mut [Complex64],
@@ -358,7 +364,7 @@ mod tests {
     fn synthetic_spectra(s_len: usize) -> Vec<Complex64> {
         let mut spec = vec![Complex64::ZERO; 3 * s_len];
         let mut x = 0x243F6A8885A308D3u64;
-        for v in spec.iter_mut() {
+        for v in &mut spec {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
             let re = (x >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);

@@ -39,6 +39,7 @@ pub mod pmat;
 pub mod real;
 pub mod spread;
 pub mod tuner;
+pub mod verify;
 
 pub use operator::{PmeOperator, PmeParams, PmePhaseTimes};
 pub use tuner::{measure_ep, tune, tune_with_rmax, TunedConfig};

@@ -8,13 +8,15 @@
 
 use crate::pmat::{fill_row, InterpMatrix};
 use crate::spread::SpreadPlan;
+use hibd_hot as hibd;
 use rayon::prelude::*;
 
 /// Maximum supported spline order for the stack-allocated row buffers.
-pub const MAX_ORDER: usize = 8;
+pub use crate::pmat::MAX_ORDER;
 
 /// Spread all three components, recomputing weights per particle.
 /// `mesh` is `[F_x | F_y | F_z]`, zeroed by this call.
+#[hibd::hot]
 pub fn spread_on_the_fly(plan: &SpreadPlan, pm: &InterpMatrix, f: &[f64], mesh: &mut [f64]) {
     let k = pm.k;
     let p = pm.p;
@@ -26,6 +28,11 @@ pub fn spread_on_the_fly(plan: &SpreadPlan, pm: &InterpMatrix, f: &[f64], mesh: 
     // Reuse the independent-set schedule; only the weight source differs.
     plan.for_each_block_set(
         |rows, mesh_ptr| {
+            // SAFETY: `for_each_block_set` hands concurrently running
+            // closures blocks from one parity class only, and those blocks'
+            // stencil write footprints are disjoint (see the independent-set
+            // proof in spread.rs, machine-checked by the schedule verifier);
+            // the pointer covers the live `3*K^3` mesh passed in below.
             let mesh = unsafe { std::slice::from_raw_parts_mut(mesh_ptr, 3 * k3) };
             let (mx, rest) = mesh.split_at_mut(k3);
             let (my, mz) = rest.split_at_mut(k3);
@@ -50,6 +57,7 @@ pub fn spread_on_the_fly(plan: &SpreadPlan, pm: &InterpMatrix, f: &[f64], mesh: 
 }
 
 /// Interpolate all three components, recomputing weights per particle.
+#[hibd::hot]
 pub fn interpolate_on_the_fly(pm: &InterpMatrix, mesh: &[f64], u: &mut [f64]) {
     let k = pm.k;
     let p = pm.p;

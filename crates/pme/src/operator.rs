@@ -14,6 +14,7 @@ use crate::pmat::{build_interp_matrix, InterpMatrix};
 use crate::real::assemble_real_space;
 use crate::spread::{interpolate, interpolate_multi, SpreadPlan};
 use hibd_fft::{Complex64, Fft3, FftError};
+use hibd_hot as hibd;
 use hibd_linalg::LinearOperator;
 use hibd_mathx::Vec3;
 use hibd_rpy::RpyEwald;
@@ -211,6 +212,7 @@ impl PmeOperator {
     }
 
     /// `u += M_recip f` — the six-step reciprocal pipeline.
+    #[hibd::hot]
     pub fn recip_apply_add(&mut self, f: &[f64], u: &mut [f64]) {
         assert_eq!(f.len(), 3 * self.n);
         assert_eq!(u.len(), 3 * self.n);
@@ -255,6 +257,7 @@ impl PmeOperator {
     /// `u += M_recip f` recomputing the B-spline weights on the fly instead
     /// of reading the precomputed `P` — the Figure 4 baseline. Timing is
     /// accumulated into the same phase counters.
+    #[hibd::hot]
     pub fn recip_apply_add_on_the_fly(&mut self, f: &[f64], u: &mut [f64]) {
         assert_eq!(f.len(), 3 * self.n);
         assert_eq!(u.len(), 3 * self.n);
@@ -295,6 +298,7 @@ impl PmeOperator {
     }
 
     /// `u = (M_real + M_self) f` — the short-range part.
+    #[hibd::hot]
     pub fn real_apply(&mut self, f: &[f64], u: &mut [f64]) {
         let t0 = Instant::now();
         self.real.mul_vec(f, u);
@@ -306,6 +310,7 @@ impl PmeOperator {
 
     /// Multi-RHS real part: `U = (M_real + M_self) F` for row-major
     /// `[3n][s]` blocks (BCSR SpMM, paper ref. \[24\]).
+    #[hibd::hot]
     pub fn real_apply_multi(&mut self, f: &[f64], u: &mut [f64], s: usize) {
         let t0 = Instant::now();
         self.real.mul_multi(f, u, s);
@@ -401,6 +406,7 @@ impl PmeOperator {
     /// scratch, runs `recip_apply_add`, scatters the result back. This is
     /// the pre-batching behavior, kept as the per-column baseline for the
     /// `pme_apply_multi` bench and the batched-agreement tests.
+    #[hibd::hot]
     pub fn recip_apply_add_column(&mut self, x: &[f64], y: &mut [f64], s: usize, col: usize) {
         let n3 = 3 * self.n;
         let mut buf = std::mem::take(&mut self.col_scratch);
@@ -441,6 +447,7 @@ impl PmeOperator {
     /// `interpolate_multi` accumulates straight into `y` — no gather,
     /// scatter, or per-apply allocation anywhere. The column-chunk form
     /// exists so the hybrid executor can split a block across devices.
+    #[hibd::hot]
     pub fn recip_apply_add_cols(
         &mut self,
         x: &[f64],
@@ -479,6 +486,7 @@ impl PmeOperator {
     }
 
     /// `Y += M_recip X` over all `s` columns through the batched pipeline.
+    #[hibd::hot]
     pub fn recip_apply_add_multi(&mut self, x: &[f64], y: &mut [f64], s: usize) {
         self.recip_apply_add_cols(x, y, s, 0, s);
     }
@@ -487,6 +495,7 @@ impl PmeOperator {
     /// multi-RHS SpMM for the real part, then the single-RHS reciprocal
     /// pipeline once per column. Kept public as the baseline the
     /// `pme_apply_multi` bench and agreement tests compare against.
+    #[hibd::hot]
     pub fn apply_multi_columnwise(&mut self, x: &[f64], y: &mut [f64], s: usize) {
         assert_eq!(x.len(), 3 * self.n * s);
         assert_eq!(y.len(), 3 * self.n * s);
@@ -504,6 +513,7 @@ impl LinearOperator for PmeOperator {
     }
 
     /// `u = PME(f) = (M_real + M_self) f + M_recip f`.
+    #[hibd::hot]
     fn apply(&mut self, f: &[f64], u: &mut [f64]) {
         self.real_apply(f, u);
         self.recip_apply_add(f, u);
@@ -515,6 +525,7 @@ impl LinearOperator for PmeOperator {
     /// the "3D FFTs for blocks of vectors" the paper notes no library
     /// provides (Sec. III-B) — one pass over the P nonzeros and one batched
     /// trip through the FFT plans serve all `s` columns.
+    #[hibd::hot]
     fn apply_multi(&mut self, x: &[f64], y: &mut [f64], s: usize) {
         assert_eq!(x.len(), 3 * self.n * s);
         assert_eq!(y.len(), 3 * self.n * s);

@@ -9,9 +9,15 @@
 //! measured in Figure 4.
 
 use crate::bspline::stencil;
+use hibd_hot as hibd;
 use hibd_mathx::Vec3;
 use hibd_sparse::FixedCsr;
 use rayon::prelude::*;
+
+/// Maximum supported spline order, sized for the stack-allocated weight
+/// buffers in [`fill_row`] and the on-the-fly kernels (`p = 8` is already
+/// past the accuracy sweet spot of Table 2).
+pub const MAX_ORDER: usize = 8;
 
 /// The interpolation matrix plus the scaled coordinates it was built from.
 #[derive(Clone, Debug)]
@@ -62,14 +68,21 @@ pub fn build_interp_matrix(positions: &[Vec3], box_l: f64, k: usize, p: usize) -
 }
 
 /// Fill one row: tensor-product weights over the wrapped p^3 stencil.
+/// Weight buffers live on the stack (`p <= MAX_ORDER`): this runs once per
+/// particle inside both the parallel matrix build and the on-the-fly
+/// spread/interpolate kernels, where a heap buffer would be a per-particle
+/// allocation.
+#[hibd::hot]
 pub fn fill_row(u: &Vec3, k: usize, p: usize, cols: &mut [u32], vals: &mut [f64]) {
     debug_assert_eq!(cols.len(), p * p * p);
-    let mut wx = vec![0.0; p];
-    let mut wy = vec![0.0; p];
-    let mut wz = vec![0.0; p];
-    let fx = stencil(p, u.x, &mut wx);
-    let fy = stencil(p, u.y, &mut wy);
-    let fz = stencil(p, u.z, &mut wz);
+    assert!(p <= MAX_ORDER, "spline order > {MAX_ORDER} not supported");
+    let mut wx = [0.0; MAX_ORDER];
+    let mut wy = [0.0; MAX_ORDER];
+    let mut wz = [0.0; MAX_ORDER];
+    let (wx, wy, wz) = (&mut wx[..p], &mut wy[..p], &mut wz[..p]);
+    let fx = stencil(p, u.x, wx);
+    let fy = stencil(p, u.y, wy);
+    let fz = stencil(p, u.z, wz);
     let ki = k as i64;
     let mut t = 0;
     for (tx, wxv) in wx.iter().enumerate() {

@@ -1,0 +1,324 @@
+//! Machine-checked verification of the independent-set spreading schedule.
+//!
+//! [`SpreadPlan`](crate::spread::SpreadPlan) shares one raw mesh pointer
+//! between rayon tasks (the `unsafe impl Sync for MeshPtr`), justified by a
+//! geometric argument: blocks of the same parity class have disjoint write
+//! footprints. This module turns that argument into code that either proves
+//! the claim for a concrete `(K, p, nb, bs)` geometry or reports the exact
+//! pair of blocks (and a witness cell) that breaks it.
+//!
+//! ## Reduction to one dimension
+//!
+//! A particle binned by cell `floor(u)` into block `b` writes the mesh cells
+//! `[b_start - p + 1, b_end]` per dimension (wrapped mod `K`): the B-spline
+//! stencil of a particle at cell `c` covers `[c - p + 1, c]`. A block's 3D
+//! write footprint is therefore the tensor product of three per-dimension
+//! circular intervals, and two footprints intersect iff their intervals
+//! intersect in **every** dimension. Two distinct blocks of one parity class
+//! share the per-dimension interval trivially in the dimensions where their
+//! indices coincide, so a 3D conflict exists iff some pair of *distinct
+//! same-parity indices along a single dimension* has intersecting intervals.
+//! Checking all same-parity index pairs on the 1D ring is thus exact, not an
+//! approximation.
+//!
+//! ## Two independent checkers
+//!
+//! [`verify_geometry`] decides disjointness analytically on circular
+//! intervals; [`verify_geometry_exhaustive`] marks actual mesh cells and
+//! compares the marks. The proptests in `tests/proptest_spread_schedule.rs`
+//! drive both over random geometries and require identical verdicts, so a
+//! bug in the interval arithmetic would have to be mirrored by a bug in the
+//! cell simulation to slip through.
+//!
+//! ## The safety margin
+//!
+//! Disjointness alone holds down to `bs == p - 1`, where the footprints
+//! touch without overlapping. The verifier demands one spare cell between
+//! same-parity footprints (`bs >= p`), so a future off-by-one in the stencil
+//! or binning cannot silently land on the exact boundary: `bs == p - 1` is
+//! rejected as [`ScheduleViolation::NoSafetyMargin`], distinct from the hard
+//! race at `bs <= p - 2` ([`ScheduleViolation::HardOverlap`]).
+
+/// Why a block geometry is rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScheduleViolation {
+    /// An odd number of blocks per dimension: blocks `0` and `nb - 1` get
+    /// the same parity yet are adjacent across the periodic seam, so the
+    /// parity classes are not independent sets on the ring.
+    OddBlockCount {
+        /// Blocks per dimension.
+        nb: usize,
+    },
+    /// Two same-parity blocks write a common cell — a data race under the
+    /// parallel scatter.
+    HardOverlap {
+        /// Smaller block index along the dimension.
+        i: usize,
+        /// Larger block index along the dimension.
+        j: usize,
+        /// A mesh cell written by both blocks.
+        cell: usize,
+    },
+    /// The footprints are disjoint but touch: no spare cell between them.
+    /// Race-free today, but any off-by-one in the stencil would turn it
+    /// into a race, so the verifier rejects it.
+    NoSafetyMargin {
+        /// Smaller block index along the dimension.
+        i: usize,
+        /// Larger block index along the dimension.
+        j: usize,
+        /// The boundary cell where the footprints meet.
+        cell: usize,
+    },
+}
+
+impl std::fmt::Display for ScheduleViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleViolation::OddBlockCount { nb } => {
+                write!(f, "odd block count {nb}: parity classes conflict at the periodic seam")
+            }
+            ScheduleViolation::HardOverlap { i, j, cell } => {
+                write!(f, "blocks {i} and {j} (same parity) both write cell {cell}")
+            }
+            ScheduleViolation::NoSafetyMargin { i, j, cell } => {
+                write!(f, "blocks {i} and {j} (same parity) touch at cell {cell} with no margin")
+            }
+        }
+    }
+}
+
+/// Per-dimension write interval of block `i` as `(lo, len)` on the ring of
+/// `k` cells: cells `lo, lo+1, ..., lo+len-1` (mod `k`). Block `i` owns the
+/// cells `[i*bs, (i+1)*bs - 1]` — the last block absorbs the remainder up to
+/// `k - 1` — and a particle at cell `c` writes `[c - p + 1, c]`.
+fn write_interval(i: usize, k: usize, p: usize, nb: usize, bs: usize) -> (usize, usize) {
+    let start = i * bs;
+    let end = if i + 1 == nb { k - 1 } else { (i + 1) * bs - 1 };
+    let lo = (start + k - (p - 1) % k) % k;
+    (lo, end - start + p)
+}
+
+/// Relation between two circular intervals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Relation {
+    /// Disjoint with at least one spare cell on both sides.
+    Clear,
+    /// Disjoint but adjacent at `cell` (the first cell of the later
+    /// interval).
+    Touching(usize),
+    /// Share at least the witness `cell`.
+    Overlapping(usize),
+}
+
+/// Analytic relation of `(a_lo, a_len)` and `(b_lo, b_len)` on a ring of
+/// `k` cells.
+fn relate(k: usize, (a_lo, a_len): (usize, usize), (b_lo, b_len): (usize, usize)) -> Relation {
+    if a_len >= k {
+        return Relation::Overlapping(b_lo);
+    }
+    if b_len >= k {
+        return Relation::Overlapping(a_lo);
+    }
+    // b starts inside a, or a starts inside b.
+    if (b_lo + k - a_lo) % k < a_len {
+        return Relation::Overlapping(b_lo);
+    }
+    if (a_lo + k - b_lo) % k < b_len {
+        return Relation::Overlapping(a_lo);
+    }
+    if (a_lo + a_len) % k == b_lo {
+        return Relation::Touching(b_lo);
+    }
+    if (b_lo + b_len) % k == a_lo {
+        return Relation::Touching(a_lo);
+    }
+    Relation::Clear
+}
+
+/// Prove (or refute) the independent-set schedule for a concrete geometry:
+/// mesh dimension `k`, spline order `p`, `nb` blocks per dimension of side
+/// `bs` (the last block absorbs the remainder). `nb == 0` denotes the
+/// serial fallback, which is trivially race-free.
+///
+/// This is the analytic checker; [`verify_geometry_exhaustive`] is the
+/// cell-marking ground truth the proptests compare it against.
+pub fn verify_geometry(k: usize, p: usize, nb: usize, bs: usize) -> Result<(), ScheduleViolation> {
+    if nb == 0 {
+        return Ok(());
+    }
+    assert!(
+        p >= 1 && bs >= 1 && nb * bs <= k,
+        "inconsistent geometry (k={k} p={p} nb={nb} bs={bs})"
+    );
+    if nb % 2 == 1 {
+        return Err(ScheduleViolation::OddBlockCount { nb });
+    }
+    for i in 0..nb {
+        for j in i + 1..nb {
+            if i % 2 != j % 2 {
+                continue;
+            }
+            let a = write_interval(i, k, p, nb, bs);
+            let b = write_interval(j, k, p, nb, bs);
+            match relate(k, a, b) {
+                Relation::Clear => {}
+                Relation::Touching(cell) => {
+                    return Err(ScheduleViolation::NoSafetyMargin { i, j, cell })
+                }
+                Relation::Overlapping(cell) => {
+                    return Err(ScheduleViolation::HardOverlap { i, j, cell })
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Ground-truth version of [`verify_geometry`]: simulate every block's write
+/// footprint cell by cell and compare the marks directly. `O(nb^2 k)` per
+/// dimension — test-only speed, bit-for-bit trustworthy.
+pub fn verify_geometry_exhaustive(
+    k: usize,
+    p: usize,
+    nb: usize,
+    bs: usize,
+) -> Result<(), ScheduleViolation> {
+    if nb == 0 {
+        return Ok(());
+    }
+    assert!(
+        p >= 1 && bs >= 1 && nb * bs <= k,
+        "inconsistent geometry (k={k} p={p} nb={nb} bs={bs})"
+    );
+    if nb % 2 == 1 {
+        return Err(ScheduleViolation::OddBlockCount { nb });
+    }
+    let footprint = |i: usize| -> Vec<bool> {
+        let mut cells = vec![false; k];
+        let (lo, len) = write_interval(i, k, p, nb, bs);
+        for t in 0..len.min(k) {
+            cells[(lo + t) % k] = true;
+        }
+        cells
+    };
+    for i in 0..nb {
+        let fi = footprint(i);
+        for j in i + 1..nb {
+            if i % 2 != j % 2 {
+                continue;
+            }
+            let fj = footprint(j);
+            if let Some(cell) = (0..k).find(|&c| fi[c] && fj[c]) {
+                return Err(ScheduleViolation::HardOverlap { i, j, cell });
+            }
+            if let Some(cell) = (0..k).find(|&c| fj[c] && (fi[(c + k - 1) % k] || fi[(c + 1) % k]))
+            {
+                return Err(ScheduleViolation::NoSafetyMargin { i, j, cell });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_geometries_pass() {
+        // bs == p, the geometry SpreadPlan::new always builds.
+        for (k, p) in [(16usize, 4usize), (24, 4), (32, 4), (24, 6), (36, 6), (32, 8), (17, 4)] {
+            let bs = p;
+            let nb = (k / bs) & !1;
+            assert!(nb >= 2, "test geometry (k={k}, p={p}) fell into serial mode");
+            verify_geometry(k, p, nb, bs).unwrap();
+            verify_geometry_exhaustive(k, p, nb, bs).unwrap();
+        }
+    }
+
+    #[test]
+    fn serial_mode_is_trivially_safe() {
+        verify_geometry(8, 6, 0, 6).unwrap();
+        verify_geometry_exhaustive(8, 6, 0, 6).unwrap();
+    }
+
+    #[test]
+    fn touching_footprints_are_rejected_as_margin_violation() {
+        // bs == p - 1: provably race-free but with zero spare cells.
+        let (k, p) = (24usize, 5usize);
+        let bs = p - 1;
+        let nb = 4;
+        let err = verify_geometry(k, p, nb, bs).unwrap_err();
+        assert!(matches!(err, ScheduleViolation::NoSafetyMargin { .. }), "{err:?}");
+        let err = verify_geometry_exhaustive(k, p, nb, bs).unwrap_err();
+        assert!(matches!(err, ScheduleViolation::NoSafetyMargin { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn overlapping_footprints_are_rejected_as_hard_overlap() {
+        // bs <= p - 2: a genuine write race.
+        let (k, p) = (24usize, 6usize);
+        let bs = p - 2;
+        let nb = 6;
+        let err = verify_geometry(k, p, nb, bs).unwrap_err();
+        assert!(matches!(err, ScheduleViolation::HardOverlap { .. }), "{err:?}");
+        let err = verify_geometry_exhaustive(k, p, nb, bs).unwrap_err();
+        assert!(matches!(err, ScheduleViolation::HardOverlap { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn odd_block_counts_are_rejected() {
+        assert_eq!(verify_geometry(20, 4, 5, 4), Err(ScheduleViolation::OddBlockCount { nb: 5 }));
+        assert_eq!(
+            verify_geometry_exhaustive(20, 4, 5, 4),
+            Err(ScheduleViolation::OddBlockCount { nb: 5 })
+        );
+    }
+
+    #[test]
+    fn odd_ring_genuinely_conflicts_at_the_seam() {
+        // Why odd nb must be rejected: on a 5-block ring, blocks 0 and 4
+        // share parity AND are neighbors across the periodic seam, so their
+        // footprints truly intersect — the parity precheck is not merely a
+        // convention.
+        let (k, p, nb, bs) = (20usize, 4usize, 5usize, 4usize);
+        let a = write_interval(0, k, p, nb, bs);
+        let b = write_interval(nb - 1, k, p, nb, bs);
+        assert!(matches!(relate(k, a, b), Relation::Overlapping(_)));
+    }
+
+    #[test]
+    fn two_blocks_per_dimension_have_no_same_parity_pairs() {
+        // nb == 2 puts every 3D block in its own parity class: the schedule
+        // degenerates to fully sequential and is safe for any p.
+        for p in [2usize, 4, 6, 8, 12] {
+            verify_geometry(2 * p, p, 2, p).unwrap();
+            verify_geometry_exhaustive(2 * p, p, 2, p).unwrap();
+        }
+    }
+
+    #[test]
+    fn oversized_last_block_is_handled() {
+        // k not divisible by bs: the last block absorbs the remainder and
+        // its (longer) footprint must still clear the seam.
+        for (k, p) in [(19usize, 4usize), (27, 4), (29, 6), (39, 6)] {
+            let bs = p;
+            let nb = (k / bs) & !1;
+            if nb < 2 {
+                continue;
+            }
+            assert_eq!(verify_geometry(k, p, nb, bs), verify_geometry_exhaustive(k, p, nb, bs));
+        }
+    }
+
+    #[test]
+    fn relate_handles_wrapped_intervals() {
+        // a wraps around the seam: [10, 11, 0, 1] on a ring of 12.
+        assert_eq!(relate(12, (10, 4), (2, 2)), Relation::Touching(2));
+        assert_eq!(relate(12, (10, 4), (1, 2)), Relation::Overlapping(1));
+        assert_eq!(relate(12, (10, 4), (3, 2)), Relation::Clear);
+        // Whole-ring interval overlaps everything.
+        assert_eq!(relate(12, (0, 12), (5, 2)), Relation::Overlapping(5));
+    }
+}

@@ -16,7 +16,7 @@ use std::f64::consts::TAU;
 fn synthetic_spectra(s_len: usize, salt: u64) -> Vec<Complex64> {
     let mut spec = vec![Complex64::ZERO; 3 * s_len];
     let mut x = salt | 1;
-    for v in spec.iter_mut() {
+    for v in &mut spec {
         x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
         let re = (x >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
         x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);

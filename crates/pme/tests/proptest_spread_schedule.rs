@@ -1,0 +1,122 @@
+//! Property tests for the independent-set schedule verifier: the analytic
+//! circular-interval prover must agree with the exhaustive cell-marking
+//! simulation on arbitrary geometries, and every plan `SpreadPlan::new`
+//! actually builds must pass with the one-cell safety margin.
+
+use hibd_mathx::Vec3;
+use hibd_pme::pmat::build_interp_matrix;
+use hibd_pme::spread::SpreadPlan;
+use hibd_pme::verify::{verify_geometry, verify_geometry_exhaustive, ScheduleViolation};
+use proptest::prelude::*;
+
+fn positions(n: usize, box_l: f64, seed: u64) -> Vec<Vec3> {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64 * box_l
+    };
+    (0..n).map(|_| Vec3::new(next(), next(), next())).collect()
+}
+
+/// Collapse a verdict to (variant, offending pair): the two checkers must
+/// agree on what is wrong and where, but may pick different witness cells
+/// inside an overlap region.
+fn kind(r: Result<(), ScheduleViolation>) -> Result<(), (u8, usize, usize)> {
+    r.map_err(|v| match v {
+        ScheduleViolation::OddBlockCount { nb } => (0, nb, nb),
+        ScheduleViolation::HardOverlap { i, j, .. } => (1, i, j),
+        ScheduleViolation::NoSafetyMargin { i, j, .. } => (2, i, j),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The two verifier implementations give identical verdicts on random
+    /// geometries — including odd meshes, odd block counts, and block sides
+    /// straddling the `p - 1` boundary.
+    #[test]
+    fn analytic_verifier_matches_exhaustive(
+        p in prop::sample::select(vec![4usize, 6, 8]),
+        nb in 2usize..=9,
+        extra in 0usize..4,
+        slack in -3i64..=3,
+    ) {
+        let bs = ((p as i64 + slack).max(1)) as usize;
+        let k = nb * bs + extra;
+        prop_assert_eq!(
+            kind(verify_geometry(k, p, nb, bs)),
+            kind(verify_geometry_exhaustive(k, p, nb, bs))
+        );
+    }
+
+    /// Every plan built from real particle data — odd and even mesh sizes,
+    /// all supported spline orders — verifies with the safety margin.
+    #[test]
+    fn built_plans_always_verify(
+        p in prop::sample::select(vec![4usize, 6, 8]),
+        k in 8usize..=48,
+        n in 1usize..120,
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(k >= p);
+        let box_l = 10.0;
+        let pm = build_interp_matrix(&positions(n, box_l, seed), box_l, k, p);
+        let plan = SpreadPlan::new(&pm.scaled, k, p);
+        prop_assert_eq!(plan.verify(p), Ok(()));
+        if !plan.is_serial() {
+            prop_assert_eq!(plan.blocks_per_dim() % 2, 0);
+            prop_assert!(plan.block_side() >= p);
+        }
+    }
+
+    /// `bs == p - 1` is race-free but margin-less: both verifiers must
+    /// reject it as a margin violation, never as a hard overlap.
+    #[test]
+    fn touching_geometry_rejected_with_margin_violation(
+        p in prop::sample::select(vec![4usize, 6, 8]),
+        half_nb in 2usize..=4,
+        extra in 0usize..3,
+    ) {
+        let bs = p - 1;
+        let nb = 2 * half_nb;
+        let k = nb * bs + extra;
+        for verdict in [verify_geometry(k, p, nb, bs), verify_geometry_exhaustive(k, p, nb, bs)] {
+            prop_assert!(
+                matches!(verdict, Err(ScheduleViolation::NoSafetyMargin { .. })),
+                "bs = p - 1 gave {verdict:?}"
+            );
+        }
+    }
+
+    /// `bs <= p - 2` races outright: both verifiers must report a hard
+    /// overlap with a witness cell both blocks write.
+    #[test]
+    fn overlapping_geometry_rejected_with_hard_overlap(
+        p in prop::sample::select(vec![4usize, 6, 8]),
+        half_nb in 2usize..=4,
+        deficit in 2usize..=3,
+    ) {
+        prop_assume!(p > deficit);
+        let bs = p - deficit;
+        let nb = 2 * half_nb;
+        let k = nb * bs;
+        for verdict in [verify_geometry(k, p, nb, bs), verify_geometry_exhaustive(k, p, nb, bs)] {
+            prop_assert!(
+                matches!(verdict, Err(ScheduleViolation::HardOverlap { .. })),
+                "bs = p - {deficit} gave {verdict:?}"
+            );
+        }
+    }
+
+    /// Odd block counts are rejected before any interval math runs.
+    #[test]
+    fn odd_block_counts_rejected(
+        p in prop::sample::select(vec![4usize, 6, 8]),
+        half_nb in 1usize..=4,
+    ) {
+        let nb = 2 * half_nb + 1;
+        let k = nb * p;
+        prop_assert_eq!(verify_geometry(k, p, nb, p), Err(ScheduleViolation::OddBlockCount { nb }));
+    }
+}

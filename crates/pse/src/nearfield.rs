@@ -260,7 +260,7 @@ mod tests {
             }
         }
         let (w, _) = sym_eig(&m);
-        let min = w.iter().cloned().fold(f64::MAX, f64::min);
+        let min = w.iter().copied().fold(f64::MAX, f64::min);
         assert!(min > 0.0, "near field not SPD: min eigenvalue {min}");
     }
 

@@ -27,6 +27,7 @@
 use crate::nearfield::NearFieldOperator;
 use crate::PseParams;
 use hibd_fft::{Complex64, Fft3};
+use hibd_hot as hibd;
 use hibd_krylov::{block_lanczos_sqrt, KrylovConfig, KrylovError, KrylovStats};
 use hibd_mathx::{fill_standard_normal, standard_normal, Vec3};
 use hibd_pme::influence::Influence;
@@ -219,6 +220,7 @@ impl PseSampler {
     /// `[3n][s]`): Hermitian Gaussian spectrum → `I(k)^{1/2}` → one inverse
     /// batch FFT → B-spline interpolation. Public for the ablation harness
     /// and the covariance tests.
+    #[hibd::hot]
     pub fn wave_sample_block(&mut self, rng: &mut StdRng, out: &mut [f64], s: usize) {
         let k = self.params.mesh_dim;
         let nc = k / 2 + 1;
@@ -260,6 +262,7 @@ impl PseSampler {
 ///   conjugate (row-major iteration visits the lexicographically smaller
 ///   partner first);
 /// * self-conjugate points: real `N(0, 1)`.
+#[hibd::hot]
 fn fill_hermitian_gaussian(rng: &mut StdRng, spec: &mut [Complex64], k: usize, nc: usize) {
     debug_assert_eq!(spec.len(), k * k * nc);
     for k0 in 0..k {

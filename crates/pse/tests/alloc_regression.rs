@@ -1,0 +1,79 @@
+//! Allocation regression for the PSE sampler steady state.
+//!
+//! After the first draw has grown the Gaussian/spectrum/mesh scratch,
+//! repeated draws must cause no net heap growth: the wave path is strictly
+//! reuse-only, and the near path's Lanczos transients (basis panels, QR)
+//! must all be returned to the allocator.
+
+use hibd_alloctrack::{exclusive, measure};
+use hibd_krylov::KrylovConfig;
+use hibd_mathx::Vec3;
+use hibd_pme::PmeParams;
+use hibd_pse::{PseSampler, PseSplit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+hibd_alloctrack::install!();
+
+const TOL: isize = 16 * 1024;
+
+fn suspension(n: usize, box_l: f64, seed: u64) -> Vec<Vec3> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pos: Vec<Vec3> = Vec::with_capacity(n);
+    while pos.len() < n {
+        let c = Vec3::new(
+            rng.gen_range(0.0..box_l),
+            rng.gen_range(0.0..box_l),
+            rng.gen_range(0.0..box_l),
+        );
+        if pos.iter().all(|p| (*p - c).min_image(box_l).norm() >= 2.0) {
+            pos.push(c);
+        }
+    }
+    pos
+}
+
+fn sampler(n: usize, box_l: f64, k: usize, seed: u64) -> PseSampler {
+    let pme = PmeParams { box_l, mesh_dim: k, spline_order: 4, ..PmeParams::default() };
+    let params = PseSplit::default().resolve(&pme);
+    PseSampler::new(&suspension(n, box_l, seed), params).unwrap()
+}
+
+#[test]
+fn wave_sampling_is_allocation_free_at_steady_state() {
+    let _guard = exclusive();
+    let n = 20;
+    let s = 4;
+    let mut smp = sampler(n, 12.0, 16, 3);
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut out = vec![0.0; 3 * n * s];
+    smp.wave_sample_block(&mut rng, &mut out, s); // warm-up grows spec/mesh
+    let (m, ()) = measure(|| {
+        for _ in 0..5 {
+            smp.wave_sample_block(&mut rng, &mut out, s);
+        }
+    });
+    assert!(m.net_bytes.abs() <= TOL, "5 warm wave draws leaked {} net bytes", m.net_bytes);
+}
+
+#[test]
+fn full_sampling_has_no_monotone_heap_growth() {
+    // The combined draw allocates transiently inside block Lanczos; the
+    // invariant is that nothing persists from draw to draw.
+    let _guard = exclusive();
+    let n = 20;
+    let s = 4;
+    let mut smp = sampler(n, 12.0, 16, 7);
+    let mut rng = StdRng::seed_from_u64(9);
+    let mut out = vec![0.0; 3 * n * s];
+    let kcfg = KrylovConfig { tol: 1e-3, max_iter: 60, check_interval: 1 };
+    smp.sample_block(&mut rng, &mut out, s, &kcfg).unwrap(); // warm-up
+    let mem = smp.memory_bytes();
+    let (m, ()) = measure(|| {
+        for _ in 0..4 {
+            smp.sample_block(&mut rng, &mut out, s, &kcfg).unwrap();
+        }
+    });
+    assert!(m.net_bytes.abs() <= TOL, "4 warm draws leaked {} net bytes", m.net_bytes);
+    assert_eq!(smp.memory_bytes(), mem, "sampler scratch grew after warm-up");
+}

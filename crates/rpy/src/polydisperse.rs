@@ -110,13 +110,13 @@ mod tests {
         let contact = ai + aj;
         let below = rpy_poly_scalars(contact - eps, ai, aj, ETA);
         let above = rpy_poly_scalars(contact + eps, ai, aj, ETA);
-        assert!((below.0 - above.0).abs() < 1e-6, "{:?} vs {:?}", below, above);
+        assert!((below.0 - above.0).abs() < 1e-6, "{below:?} vs {above:?}");
         assert!((below.1 - above.1).abs() < 1e-6);
         // Engulfment boundary r = |ai - aj|.
         let engulf = (ai - aj).abs();
         let inner = rpy_poly_scalars(engulf - eps, ai, aj, ETA);
         let outer = rpy_poly_scalars(engulf + eps, ai, aj, ETA);
-        assert!((inner.0 - outer.0).abs() < 1e-6, "{:?} vs {:?}", inner, outer);
+        assert!((inner.0 - outer.0).abs() < 1e-6, "{inner:?} vs {outer:?}");
         assert!(outer.1.abs() < 1e-6, "rr part vanishes at engulfment");
     }
 

@@ -9,6 +9,7 @@
 //! Block row `i` acts on particle `i`'s 3-vector; the logical scalar matrix
 //! is `3*nbrows x 3*nbcols`.
 
+use hibd_hot as hibd;
 use rayon::prelude::*;
 
 /// Builder accumulating 3x3 blocks in coordinate form.
@@ -116,6 +117,7 @@ impl Bcsr3 {
     }
 
     /// `y = A x` for `x` of length `3*nbcols`, parallel over block rows.
+    #[hibd::hot]
     pub fn mul_vec(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), 3 * self.nbcols);
         assert_eq!(y.len(), 3 * self.nbrows);
@@ -135,6 +137,7 @@ impl Bcsr3 {
     /// `Y = A X` for `X` row-major `[3*nbcols][s]` — the paper's
     /// multiple-right-hand-side SpMV (ref. \[24\]), used when the same mobility
     /// operator acts on a block of `lambda_RPY` Krylov vectors.
+    #[hibd::hot]
     pub fn mul_multi(&self, x: &[f64], y: &mut [f64], s: usize) {
         assert_eq!(x.len(), 3 * self.nbcols * s);
         assert_eq!(y.len(), 3 * self.nbrows * s);

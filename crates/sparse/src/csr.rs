@@ -1,5 +1,6 @@
 //! General compressed sparse row matrices.
 
+use hibd_hot as hibd;
 use rayon::prelude::*;
 
 /// Coordinate-format accumulator that assembles into [`Csr`].
@@ -93,6 +94,7 @@ impl Csr {
     }
 
     /// `y = A x` (parallel over rows).
+    #[hibd::hot]
     pub fn mul_vec(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols);
         assert_eq!(y.len(), self.nrows);
@@ -107,6 +109,7 @@ impl Csr {
     }
 
     /// `y += A^T x` (serial scatter).
+    #[hibd::hot]
     pub fn tr_mul_vec_add(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.nrows);
         assert_eq!(y.len(), self.ncols);
@@ -120,6 +123,7 @@ impl Csr {
     }
 
     /// `Y = A X` for `X` with `ncolsx` columns, both row-major `[n][ncolsx]`.
+    #[hibd::hot]
     pub fn mul_multi(&self, x: &[f64], y: &mut [f64], ncolsx: usize) {
         assert_eq!(x.len(), self.ncols * ncolsx);
         assert_eq!(y.len(), self.nrows * ncolsx);

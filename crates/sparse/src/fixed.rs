@@ -7,6 +7,7 @@
 //! the memory-traffic model of the paper (Section IV-D uses 4-byte indices:
 //! `12 p^3 n` bytes for values + indices).
 
+use hibd_hot as hibd;
 use rayon::prelude::*;
 
 /// Sparse matrix with exactly `nnz_per_row` nonzeros in every row.
@@ -98,6 +99,7 @@ impl FixedCsr {
 
     /// `y = A x` — the PME *interpolation* step (paper Eq. 9), parallel over
     /// rows (particles).
+    #[hibd::hot]
     pub fn mul_vec(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.ncols);
         assert_eq!(y.len(), self.nrows);
@@ -116,6 +118,14 @@ impl FixedCsr {
     /// `y += A^T x` over a contiguous range of rows — one *spreading* stage
     /// (paper Eq. 8). Serial: the caller is responsible for running only
     /// write-disjoint row sets concurrently (the paper's independent sets).
+    ///
+    /// ## Write-disjointness contract (safe API, unsafe callers)
+    /// This method itself is safe — it takes `&mut y` — but callers that
+    /// materialize several `&mut y` views from a raw pointer (the
+    /// independent-set scatter in `hibd-pme` does) must guarantee the row
+    /// ranges they run concurrently touch disjoint column sets. That
+    /// guarantee is machine-checked by the `SpreadPlan` schedule verifier.
+    #[hibd::hot]
     pub fn tr_mul_vec_add_rows(&self, rows: std::ops::Range<usize>, x: &[f64], y: &mut [f64]) {
         debug_assert!(rows.end <= self.nrows);
         debug_assert_eq!(x.len(), self.nrows);
@@ -132,7 +142,12 @@ impl FixedCsr {
     /// `y += A^T x` over an explicit row list (an independent-set block).
     ///
     /// # Safety contract (checked only by debug assertions)
-    /// Caller must not run two calls concurrently whose rows share columns.
+    /// Caller must not run two calls concurrently whose rows share columns
+    /// — i.e. concurrent row lists must come from one parity class of a
+    /// verified `SpreadPlan` schedule (or be disjoint by construction).
+    /// The method is safe Rust; the contract guards the aliased-`&mut y`
+    /// pattern used by the parallel scatter.
+    #[hibd::hot]
     pub fn tr_mul_vec_add_rowlist(&self, rows: &[u32], x: &[f64], y: &mut [f64]) {
         debug_assert_eq!(x.len(), self.nrows);
         debug_assert_eq!(y.len(), self.ncols);

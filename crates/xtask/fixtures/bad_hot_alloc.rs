@@ -1,0 +1,18 @@
+//! Negative fixture: a `#[hibd::hot]` function that allocates. The audit
+//! must reject every construct below. Not compiled — scanned by the unit
+//! tests in `src/lib.rs`.
+
+use hibd_hot as hibd;
+
+#[hibd::hot]
+fn hot_and_leaky(n: usize) -> f64 {
+    let v = vec![0.0f64; n];
+    let w: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let b = Box::new(3.0f64);
+    let copy = w.to_vec();
+    v.iter().sum::<f64>() + copy.iter().sum::<f64>() + *b
+}
+
+fn cold_is_fine(n: usize) -> Vec<f64> {
+    vec![0.0; n]
+}

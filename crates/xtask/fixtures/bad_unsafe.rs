@@ -1,0 +1,15 @@
+//! Negative fixture: undocumented unsafe. Not compiled — scanned by the
+//! unit tests.
+
+struct RawView(*mut f64, usize);
+
+unsafe impl Sync for RawView {}
+
+fn read_first(v: &RawView) -> f64 {
+    unsafe { *v.0 }
+}
+
+/// Reads without bounds checking.
+pub unsafe fn get_unchecked_at(xs: &[f64], i: usize) -> f64 {
+    unsafe { *xs.get_unchecked(i) }
+}

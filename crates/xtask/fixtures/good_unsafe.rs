@@ -1,0 +1,23 @@
+//! Positive fixture: every unsafe site carries its justification.
+
+struct RawView(*mut f64, usize);
+
+// SAFETY: RawView is only shared between threads whose index sets are
+// provably disjoint; see the schedule verifier.
+unsafe impl Sync for RawView {}
+
+fn read_first(v: &RawView) -> f64 {
+    // SAFETY: construction guarantees the pointer targets a live buffer of
+    // length >= 1.
+    unsafe { *v.0 }
+}
+
+/// Reads without bounds checking.
+///
+/// # Safety
+///
+/// `i` must be in bounds for `xs`.
+pub unsafe fn get_unchecked_at(xs: &[f64], i: usize) -> f64 {
+    // SAFETY: the caller promises `i < xs.len()`.
+    unsafe { *xs.get_unchecked(i) }
+}

@@ -1,0 +1,504 @@
+//! Workspace audit lints (`cargo run -p xtask -- audit`).
+//!
+//! Three machine-checked invariants, all lexical (the vendored dependency
+//! set has no `syn`, so the scanner is a hand-rolled state machine over a
+//! comment/string-blanked copy of each source file):
+//!
+//! 1. **hot-alloc** — a function marked `#[hibd::hot]` must not contain
+//!    heap-allocating constructs (`vec!`, `Vec::new`, `collect`, `to_vec`,
+//!    `Box::new`, ...). `Vec::resize` on long-lived scratch is the
+//!    sanctioned grow-only idiom and is allowed.
+//! 2. **safety-comment** — every `unsafe` block / `unsafe impl` /
+//!    `unsafe trait` must be immediately preceded by a `// SAFETY:` comment
+//!    explaining why the contract holds.
+//! 3. **safety-doc** — every `pub unsafe fn` must carry a `# Safety`
+//!    rustdoc section.
+//!
+//! The scanner first blanks comments and string/char literals (preserving
+//! newlines, so line numbers survive), then pattern-matches on the cleaned
+//! text; the SAFETY-comment lint consults the *original* lines. False
+//! positives are possible in principle (the scanner has no type
+//! information) but have not occurred on this codebase; a justified
+//! exception would be handled by refactoring the allocation out of the hot
+//! function, not by suppressing the lint.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// One audit finding.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    pub file: String,
+    pub line: usize,
+    pub lint: &'static str,
+    pub msg: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.lint, self.msg)
+    }
+}
+
+/// Blanks comments and string/char-literal contents with spaces, keeping
+/// every newline (and therefore every line number) intact. Code tokens pass
+/// through verbatim, so structural scans (brace matching, keyword search)
+/// cannot be fooled by `unsafe` or `vec!` appearing inside a comment or a
+/// string.
+pub fn clean_source(src: &str) -> String {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    // Whether the previously emitted code char can end an identifier; used
+    // to tell a raw-string prefix `r"` from an identifier ending in `r`.
+    let mut prev_ident = false;
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+    while i < n {
+        let c = b[i];
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            while i < n && b[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 0;
+            while i < n {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    out.push_str("  ");
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    out.push_str("  ");
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+            prev_ident = false;
+            continue;
+        }
+        // Raw (byte) strings: r"...", r#"..."#, br#"..."#.
+        if (c == 'r' || c == 'b') && !prev_ident {
+            let mut j = i;
+            if b[j] == 'b' && j + 1 < n && b[j + 1] == 'r' {
+                j += 1;
+            }
+            if b[j] == 'r' {
+                let mut k = j + 1;
+                let mut hashes = 0;
+                while k < n && b[k] == '#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < n && b[k] == '"' {
+                    for _ in i..=k {
+                        out.push(' ');
+                    }
+                    i = k + 1;
+                    while i < n {
+                        if b[i] == '"' {
+                            let mut m = 0;
+                            while m < hashes && i + 1 + m < n && b[i + 1 + m] == '#' {
+                                m += 1;
+                            }
+                            if m == hashes {
+                                for _ in 0..=hashes {
+                                    out.push(' ');
+                                }
+                                i += 1 + hashes;
+                                break;
+                            }
+                        }
+                        out.push(blank(b[i]));
+                        i += 1;
+                    }
+                    prev_ident = false;
+                    continue;
+                }
+            }
+        }
+        if c == '"' {
+            out.push(' ');
+            i += 1;
+            while i < n {
+                if b[i] == '\\' && i + 1 < n {
+                    out.push(' ');
+                    out.push(blank(b[i + 1]));
+                    i += 2;
+                } else if b[i] == '"' {
+                    out.push(' ');
+                    i += 1;
+                    break;
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+            prev_ident = false;
+            continue;
+        }
+        if c == '\'' {
+            if i + 1 < n && b[i + 1] == '\\' {
+                // Escaped char literal: blank through the closing quote.
+                out.push_str("  ");
+                i += 2;
+                while i < n && b[i] != '\'' {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+                if i < n {
+                    out.push(' ');
+                    i += 1;
+                }
+            } else if i + 2 < n && b[i + 2] == '\'' {
+                out.push_str("   ");
+                i += 3;
+            } else {
+                // A lifetime: keep the tick so generics stay structural.
+                out.push('\'');
+                i += 1;
+            }
+            prev_ident = false;
+            continue;
+        }
+        out.push(c);
+        prev_ident = c.is_alphanumeric() || c == '_';
+        i += 1;
+    }
+    out
+}
+
+fn is_ident_byte(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Byte offsets of `word` in `hay` at identifier boundaries.
+fn find_word(hay: &str, word: &str) -> Vec<usize> {
+    let hb = hay.as_bytes();
+    let mut out = Vec::new();
+    let mut start = 0;
+    while let Some(p) = hay[start..].find(word) {
+        let pos = start + p;
+        let end = pos + word.len();
+        let before_ok = pos == 0 || !is_ident_byte(hb[pos - 1]);
+        let after_ok = end >= hb.len() || !is_ident_byte(hb[end]);
+        if before_ok && after_ok {
+            out.push(pos);
+        }
+        start = pos + 1;
+    }
+    out
+}
+
+/// First non-whitespace token at or after `from`: a single punct char, or a
+/// full identifier. Returns the token and its byte offset.
+fn next_token(hay: &str, from: usize) -> Option<(&str, usize)> {
+    let hb = hay.as_bytes();
+    let mut i = from;
+    while i < hb.len() && hb[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    if i >= hb.len() {
+        return None;
+    }
+    if is_ident_byte(hb[i]) {
+        let mut j = i;
+        while j < hb.len() && is_ident_byte(hb[j]) {
+            j += 1;
+        }
+        Some((&hay[i..j], i))
+    } else {
+        Some((&hay[i..=i], i))
+    }
+}
+
+fn line_of(hay: &str, offset: usize) -> usize {
+    hay.as_bytes()[..offset].iter().filter(|&&c| c == b'\n').count() + 1
+}
+
+/// Heap-allocating constructs forbidden inside `#[hibd::hot]` bodies. Each
+/// entry is (pattern, must start at an identifier boundary, description).
+const FORBIDDEN: &[(&str, bool, &str)] = &[
+    ("vec!", true, "allocating macro `vec!`"),
+    ("format!", true, "allocating macro `format!`"),
+    ("Vec::new", true, "fresh `Vec::new` (reuse resize-grown scratch instead)"),
+    ("Vec::with_capacity", true, "fresh `Vec::with_capacity`"),
+    ("Vec::from", true, "fresh `Vec::from`"),
+    ("Box::new", true, "heap `Box::new`"),
+    ("String::new", true, "fresh `String::new`"),
+    ("String::from", true, "fresh `String::from`"),
+    (".to_vec", false, "allocating `.to_vec()`"),
+    (".to_owned", false, "allocating `.to_owned()`"),
+    (".to_string", false, "allocating `.to_string()`"),
+    (".collect", false, "allocating `.collect()`"),
+];
+
+const HOT_MARKER: &str = "#[hibd::hot]";
+
+/// Lint 1: no allocating constructs inside `#[hibd::hot]` function bodies.
+fn lint_hot_alloc(file: &str, cleaned: &str, out: &mut Vec<Violation>) {
+    let mut search = 0;
+    while let Some(p) = cleaned[search..].find(HOT_MARKER) {
+        let attr = search + p;
+        search = attr + HOT_MARKER.len();
+        // The marked item: first `fn` keyword after the attribute (other
+        // attributes/doc lines in between are fine; comments are blanked).
+        let Some(fn_pos) = find_word(&cleaned[search..], "fn").first().map(|q| search + q) else {
+            out.push(Violation {
+                file: file.to_string(),
+                line: line_of(cleaned, attr),
+                lint: "hot-alloc",
+                msg: "#[hibd::hot] not followed by a function".to_string(),
+            });
+            continue;
+        };
+        let Some(open_rel) = cleaned[fn_pos..].find('{') else {
+            continue; // trait method signature without a body
+        };
+        let open = fn_pos + open_rel;
+        let bytes = cleaned.as_bytes();
+        let mut depth = 0usize;
+        let mut close = open;
+        for (idx, &c) in bytes.iter().enumerate().skip(open) {
+            if c == b'{' {
+                depth += 1;
+            } else if c == b'}' {
+                depth -= 1;
+                if depth == 0 {
+                    close = idx;
+                    break;
+                }
+            }
+        }
+        let body = &cleaned[open..close];
+        for &(pat, boundary, desc) in FORBIDDEN {
+            let mut from = 0;
+            while let Some(q) = body[from..].find(pat) {
+                let pos = from + q;
+                from = pos + 1;
+                if boundary && pos > 0 && is_ident_byte(body.as_bytes()[pos - 1]) {
+                    continue;
+                }
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: line_of(cleaned, open + pos),
+                    lint: "hot-alloc",
+                    msg: format!("{desc} inside #[hibd::hot] fn"),
+                });
+            }
+        }
+    }
+}
+
+/// Does any `//` comment line directly above `line` (1-based) mention
+/// `SAFETY`? The comment block must touch the statement: the first
+/// non-comment line above it ends the search.
+fn preceded_by_safety_comment(lines: &[&str], line: usize) -> bool {
+    let mut i = line - 1; // index of the line holding the `unsafe` token
+    while i > 0 {
+        i -= 1;
+        let t = lines[i].trim_start();
+        if t.starts_with("//") {
+            if t.contains("SAFETY") {
+                return true;
+            }
+        } else {
+            return false;
+        }
+    }
+    false
+}
+
+/// Do the doc comments above `line` (1-based, attributes allowed in
+/// between) contain a `# Safety` section?
+fn doc_has_safety_section(lines: &[&str], line: usize) -> bool {
+    let mut i = line - 1;
+    while i > 0 {
+        i -= 1;
+        let t = lines[i].trim_start();
+        if t.starts_with("///") || t.starts_with("//!") {
+            if t.contains("# Safety") {
+                return true;
+            }
+        } else if t.starts_with("#[") || t.starts_with("#![") || t.starts_with("//") {
+            // Attributes and plain comments may sit between docs and item.
+        } else {
+            return false;
+        }
+    }
+    false
+}
+
+/// Lints 2 and 3: `// SAFETY:` before unsafe blocks/impls, `# Safety` docs
+/// on `pub unsafe fn`.
+fn lint_unsafe(file: &str, src: &str, cleaned: &str, out: &mut Vec<Violation>) {
+    let lines: Vec<&str> = src.lines().collect();
+    for pos in find_word(cleaned, "unsafe") {
+        let Some((tok, _)) = next_token(cleaned, pos + "unsafe".len()) else {
+            continue;
+        };
+        let line = line_of(cleaned, pos);
+        match tok {
+            "{" if !preceded_by_safety_comment(&lines, line) => {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line,
+                    lint: "safety-comment",
+                    msg: "unsafe block without a preceding // SAFETY: comment".to_string(),
+                });
+            }
+            "impl" | "trait" if !preceded_by_safety_comment(&lines, line) => {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line,
+                    lint: "safety-comment",
+                    msg: format!("unsafe {tok} without a preceding // SAFETY: comment"),
+                });
+            }
+            "fn" | "extern" => {
+                // `pub [const] unsafe fn` needs a `# Safety` doc section.
+                let head_start = cleaned[..pos].rfind('\n').map_or(0, |q| q + 1);
+                let head = &cleaned[head_start..pos];
+                let is_pub = !find_word(head, "pub").is_empty();
+                if is_pub && !doc_has_safety_section(&lines, line) {
+                    out.push(Violation {
+                        file: file.to_string(),
+                        line,
+                        lint: "safety-doc",
+                        msg: "pub unsafe fn without a `# Safety` doc section".to_string(),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Runs every lint over one source file. `file` is only used for reporting.
+pub fn audit_source(file: &str, src: &str) -> Vec<Violation> {
+    let cleaned = clean_source(src);
+    let mut out = Vec::new();
+    lint_hot_alloc(file, &cleaned, &mut out);
+    lint_unsafe(file, src, &cleaned, &mut out);
+    out
+}
+
+/// Collects every `.rs` file under `root`, skipping build output, VCS
+/// internals, archived results, and the audit's own negative fixtures.
+pub fn collect_rs_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures", "results", "vendor"];
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let path = entry?.path();
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("").to_string();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_str()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Audits the whole workspace rooted at `root`. Returns (files scanned,
+/// violations).
+pub fn audit_workspace(root: &Path) -> std::io::Result<(usize, Vec<Violation>)> {
+    let files = collect_rs_files(root)?;
+    let mut violations = Vec::new();
+    for path in &files {
+        let src = std::fs::read_to_string(path)?;
+        let display = path.strip_prefix(root).unwrap_or(path).display().to_string();
+        violations.extend(audit_source(&display, &src));
+    }
+    Ok((files.len(), violations))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cleaner_blanks_comments_and_strings_keeps_lines() {
+        let src = "let a = \"unsafe { vec![] }\"; // vec! here\nlet b = 1; /* unsafe */\n";
+        let c = clean_source(src);
+        assert_eq!(c.lines().count(), src.lines().count());
+        assert!(!c.contains("vec!"));
+        assert!(!c.contains("unsafe"));
+        assert!(c.contains("let a ="));
+        assert!(c.contains("let b = 1;"));
+    }
+
+    #[test]
+    fn cleaner_handles_lifetimes_char_literals_raw_strings() {
+        let src = "fn f<'a>(x: &'a str) -> char { let c = '{'; let s = r#\"vec!{\"#; c }\n";
+        let c = clean_source(src);
+        assert!(c.contains("<'a>"));
+        assert!(!c.contains("vec!"));
+        // The blanked char literal must not unbalance brace matching.
+        let opens = c.matches('{').count();
+        let closes = c.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn hot_fn_with_vec_macro_is_rejected() {
+        let src = include_str!("../fixtures/bad_hot_alloc.rs");
+        let v = audit_source("bad_hot_alloc.rs", src);
+        assert!(
+            v.iter().any(|x| x.lint == "hot-alloc" && x.msg.contains("vec!")),
+            "expected a hot-alloc violation, got {v:?}"
+        );
+        assert!(v.iter().any(|x| x.msg.contains(".collect")), "collect not flagged: {v:?}");
+        assert!(v.iter().any(|x| x.msg.contains("Box::new")), "Box::new not flagged: {v:?}");
+    }
+
+    #[test]
+    fn clean_hot_fn_passes() {
+        let src = include_str!("../fixtures/good_hot.rs");
+        let v = audit_source("good_hot.rs", src);
+        assert!(v.is_empty(), "unexpected violations: {v:?}");
+    }
+
+    #[test]
+    fn unsafe_without_safety_comment_is_rejected() {
+        let src = include_str!("../fixtures/bad_unsafe.rs");
+        let v = audit_source("bad_unsafe.rs", src);
+        assert!(v.iter().any(|x| x.lint == "safety-comment"), "got {v:?}");
+        assert!(v.iter().any(|x| x.lint == "safety-doc"), "got {v:?}");
+    }
+
+    #[test]
+    fn documented_unsafe_passes() {
+        let src = include_str!("../fixtures/good_unsafe.rs");
+        let v = audit_source("good_unsafe.rs", src);
+        assert!(v.is_empty(), "unexpected violations: {v:?}");
+    }
+
+    #[test]
+    fn vec_in_comment_or_string_not_flagged() {
+        let src = "use hibd_hot as hibd;\n#[hibd::hot]\nfn f(x: &mut [f64]) {\n    // vec! would be wrong here\n    let _s = \"vec![0.0; 3]\";\n    x[0] += 1.0;\n}\n";
+        let v = audit_source("inline.rs", src);
+        assert!(v.is_empty(), "unexpected violations: {v:?}");
+    }
+
+    #[test]
+    fn resize_is_allowed_in_hot_fn() {
+        let src =
+            "#[hibd::hot]\nfn f(buf: &mut Vec<f64>, n: usize) {\n    buf.resize(n, 0.0);\n}\n";
+        assert!(audit_source("inline.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,49 @@
+//! `cargo run -p xtask -- audit`: run the workspace audit lints.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask -> crates -> workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .unwrap()
+        .to_path_buf()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("audit") => {
+            let root = args
+                .iter()
+                .position(|a| a == "--root")
+                .and_then(|i| args.get(i + 1))
+                .map_or_else(workspace_root, PathBuf::from);
+            match xtask::audit_workspace(&root) {
+                Ok((nfiles, violations)) => {
+                    for v in &violations {
+                        eprintln!("{v}");
+                    }
+                    if violations.is_empty() {
+                        println!("audit OK: {nfiles} files, 0 violations");
+                    } else {
+                        eprintln!(
+                            "audit FAILED: {} violations in {nfiles} files",
+                            violations.len()
+                        );
+                        std::process::exit(1);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("audit error: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- audit [--root <workspace-dir>]");
+            std::process::exit(2);
+        }
+    }
+}

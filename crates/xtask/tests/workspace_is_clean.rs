@@ -1,0 +1,19 @@
+//! The audit must pass on the workspace itself — this is the same check CI
+//! runs via `cargo run -p xtask -- audit`, kept in the test suite so a
+//! plain `cargo test --workspace` catches regressions too.
+
+use std::path::PathBuf;
+
+#[test]
+fn workspace_audit_is_clean() {
+    let root =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).parent().unwrap().parent().unwrap().to_path_buf();
+    let (nfiles, violations) = xtask::audit_workspace(&root).expect("walk workspace");
+    assert!(nfiles > 100, "suspiciously few files scanned: {nfiles}");
+    assert!(
+        violations.is_empty(),
+        "workspace audit found {} violations:\n{}",
+        violations.len(),
+        violations.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+    );
+}
