@@ -5,8 +5,7 @@
 //! D/D0 is compared with the Beenakker–Mazur-style theoretical trend
 //! `D/D0 ~ 1 - 1.832 phi + 0.88 phi^2` for hard-sphere suspensions.
 
-use hibd_bench::{flush_stdout, suspension, Opts};
-use hibd_core::diffusion::DiffusionEstimator;
+use hibd_bench::{flush_stdout, run_bd_diffusion, suspension, Opts};
 use hibd_core::forces::RepulsiveHarmonic;
 use hibd_core::mf_bd::{MatrixFreeBd, MatrixFreeConfig};
 
@@ -21,24 +20,16 @@ fn main() {
     for &phi in &phis {
         let sys = suspension(n, phi, opts.seed);
         let cfg = MatrixFreeConfig { e_k: 1e-2, target_ep: 1e-3, ..Default::default() };
-        let dt = cfg.dt;
         let mut bd = MatrixFreeBd::new(sys, cfg, opts.seed).expect("driver");
         bd.add_force(RepulsiveHarmonic::default());
-        bd.run(steps / 10).expect("equilibration");
-        let mut est = DiffusionEstimator::new(dt, 8);
-        est.record(bd.system().unwrapped());
-        for _ in 0..steps {
-            bd.step().expect("step");
-            est.record(bd.system().unwrapped());
-        }
-        let (d, err) = est.diffusion().expect("estimate");
+        let run = run_bd_diffusion(&mut bd, steps);
         let theory = 1.0 - 1.832 * phi + 0.88 * phi * phi;
         println!(
             "{phi:>5.2} {:>12.4} {:>10.4} {:>12.4} {:>10}",
-            d / mu0,
-            err / mu0,
+            run.d / mu0,
+            run.d_err / mu0,
             theory,
-            bd.timings().krylov_iterations
+            run.krylov_iterations
         );
         flush_stdout();
     }

@@ -6,9 +6,12 @@
 //! paper's range up to 500,000 particles (several hours on one core);
 //! quick mode stops at 50,000 with the same scaling visible.
 
-use hibd_bench::{flush_stdout, fmt_bytes, fmt_secs, suspension, Opts};
+use hibd_bench::{
+    flush_stdout, fmt_bytes, fmt_secs, step_seconds, suspension, telemetry_window, Opts,
+};
 use hibd_core::forces::RepulsiveHarmonic;
 use hibd_core::mf_bd::{MatrixFreeBd, MatrixFreeConfig};
+use hibd_telemetry::{Counter, Phase};
 
 fn main() {
     let opts = Opts::parse();
@@ -22,8 +25,8 @@ fn main() {
 
     println!("# Figure 8: matrix-free BD time per step vs n (phi = {phi})");
     println!(
-        "{:>8} {:>6} {:>3} | {:>10} {:>10} {:>10} {:>11} | {:>10} {:>6}",
-        "n", "K", "p", "setup", "krylov", "stepping", "t/step", "op mem", "iters"
+        "{:>8} {:>6} {:>3} | {:>10} {:>10} {:>10} {:>11} | {:>10} {:>6} {:>6}",
+        "n", "K", "p", "setup", "krylov", "stepping", "t/step", "op mem", "iters", "ffts"
     );
     for &n in &sizes {
         let sys = suspension(n, phi, opts.seed);
@@ -34,19 +37,21 @@ fn main() {
         )
         .expect("driver");
         mf.add_force(RepulsiveHarmonic::default());
-        mf.run(lambda).expect("run");
-        let t = *mf.timings();
+        // Each row is one fresh telemetry window; phase totals and workload
+        // counters come from the shared recorder instead of ad-hoc sums.
+        let ((), snap) = telemetry_window(|| mf.run(lambda).expect("run"));
         let p = *mf.pme_params();
         println!(
-            "{n:>8} {:>6} {:>3} | {:>10} {:>10} {:>10} {:>11} | {:>10} {:>6}",
+            "{n:>8} {:>6} {:>3} | {:>10} {:>10} {:>10} {:>11} | {:>10} {:>6} {:>6}",
             p.mesh_dim,
             p.spline_order,
-            fmt_secs(t.setup),
-            fmt_secs(t.displacements),
-            fmt_secs(t.stepping),
-            fmt_secs(t.per_step()),
-            fmt_bytes(mf.operator_memory_bytes()),
-            t.krylov_iterations
+            fmt_secs(snap.phase(Phase::PmeSetup).total_secs()),
+            fmt_secs(snap.phase(Phase::Displacements).total_secs()),
+            fmt_secs(snap.phase(Phase::Stepping).total_secs()),
+            fmt_secs(step_seconds(&snap, lambda)),
+            fmt_bytes(snap.counter(Counter::PmeScratchBytes) as usize),
+            snap.counter(Counter::LanczosIterations),
+            snap.counter(Counter::ForwardFfts) + snap.counter(Counter::InverseFfts)
         );
         flush_stdout();
     }

@@ -9,29 +9,19 @@
 //! Quick mode shrinks the system and the trajectory; expect larger
 //! statistical error bars than the paper's long runs.
 
-use hibd_bench::{flush_stdout, fmt_secs, suspension, Opts};
-use hibd_core::diffusion::DiffusionEstimator;
+use hibd_bench::{flush_stdout, fmt_secs, run_bd_diffusion, suspension, Opts};
 use hibd_core::forces::RepulsiveHarmonic;
 use hibd_core::mf_bd::{MatrixFreeBd, MatrixFreeConfig};
 
 fn measure_d(n: usize, phi: f64, e_k: f64, e_p: f64, steps: usize, seed: u64) -> (f64, f64) {
     let sys = suspension(n, phi, seed);
     let cfg = MatrixFreeConfig { e_k, target_ep: e_p, ..Default::default() };
-    let dt = cfg.dt;
     let mut bd = MatrixFreeBd::new(sys, cfg, seed).expect("driver setup");
     bd.add_force(RepulsiveHarmonic::default());
-    // Short equilibration to relax lattice/RSA artifacts.
-    bd.run(steps / 10).expect("equilibration");
-    let mut est = DiffusionEstimator::new(dt, 8);
-    est.record(bd.system().unwrapped());
-    let t0 = std::time::Instant::now();
-    for _ in 0..steps {
-        bd.step().expect("step");
-        est.record(bd.system().unwrapped());
-    }
-    let elapsed = t0.elapsed().as_secs_f64();
-    let (d, _err) = est.diffusion().expect("diffusion estimate");
-    (d, elapsed / steps as f64)
+    // Equilibration (steps/10) and the measured window live in the shared
+    // telemetry-backed loop.
+    let run = run_bd_diffusion(&mut bd, steps);
+    (run.d, run.seconds_per_step)
 }
 
 fn main() {

@@ -7,8 +7,11 @@
 //! * `--full`  — paper-scale workloads (hours of wall clock);
 //! * `--seed N` — RNG seed.
 
+use hibd_core::diffusion::DiffusionEstimator;
+use hibd_core::mf_bd::MatrixFreeBd;
 use hibd_core::system::ParticleSystem;
 use hibd_pme::perf::Machine;
+use hibd_telemetry::{self as telemetry, Phase, Snapshot};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -64,6 +67,73 @@ pub fn table3_sizes(full: bool) -> Vec<usize> {
         ]
     } else {
         vec![500, 1000, 2000, 5000, 10_000]
+    }
+}
+
+/// One telemetry-recorded measurement window: resets the global recorder,
+/// enables it, runs `f`, and returns its result together with the window's
+/// snapshot. Replaces the per-harness `Instant` bookkeeping — every phase
+/// and counter recorded inside `f` lands in one mergeable [`Snapshot`].
+pub fn telemetry_window<R>(f: impl FnOnce() -> R) -> (R, Snapshot) {
+    telemetry::reset();
+    telemetry::enable();
+    let r = f();
+    let snap = telemetry::snapshot();
+    telemetry::disable();
+    (r, snap)
+}
+
+/// Amortized seconds per BD step from a window covering `steps` steps:
+/// operator setup + displacement sampling + force/propagation phases.
+#[must_use]
+pub fn step_seconds(snap: &Snapshot, steps: usize) -> f64 {
+    let total = snap.phase(Phase::PmeSetup).total_secs()
+        + snap.phase(Phase::Displacements).total_secs()
+        + snap.phase(Phase::Stepping).total_secs();
+    total / steps.max(1) as f64
+}
+
+/// Total mobility columns pushed through the reciprocal PME pipeline during
+/// a window (each column costs exactly three forward mesh transforms).
+#[must_use]
+pub fn columns_applied(snap: &Snapshot) -> f64 {
+    snap.counter(telemetry::Counter::ForwardFfts) as f64 / 3.0
+}
+
+/// Result of a telemetry-windowed diffusion run ([`run_bd_diffusion`]).
+pub struct BdRun {
+    /// Short-time self-diffusion coefficient.
+    pub d: f64,
+    /// Statistical error of `d`.
+    pub d_err: f64,
+    /// Amortized seconds per BD step (telemetry phase totals).
+    pub seconds_per_step: f64,
+    /// Cumulative Krylov iterations of the driver.
+    pub krylov_iterations: usize,
+    /// The measurement window's telemetry snapshot.
+    pub snap: Snapshot,
+}
+
+/// The shared Table II / Figure 3 measurement loop: equilibrate `steps/10`,
+/// then run `steps` recorded steps with diffusion sampling in a fresh
+/// telemetry window.
+pub fn run_bd_diffusion(bd: &mut MatrixFreeBd, steps: usize) -> BdRun {
+    bd.run(steps / 10).expect("equilibration");
+    let mut est = DiffusionEstimator::new(bd.config().dt, 8);
+    let ((), snap) = telemetry_window(|| {
+        est.record(bd.system().unwrapped());
+        for _ in 0..steps {
+            bd.step().expect("step");
+            est.record(bd.system().unwrapped());
+        }
+    });
+    let (d, d_err) = est.diffusion().expect("diffusion estimate");
+    BdRun {
+        d,
+        d_err,
+        seconds_per_step: step_seconds(&snap, steps),
+        krylov_iterations: bd.timings().krylov_iterations,
+        snap,
     }
 }
 

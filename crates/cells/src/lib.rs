@@ -70,6 +70,7 @@ impl CellList {
     pub fn new(positions: &[Vec3], box_l: f64, cutoff: f64) -> CellList {
         assert!(box_l > 0.0, "box length must be positive");
         assert!(cutoff > 0.0, "cutoff must be positive");
+        hibd_telemetry::incr(hibd_telemetry::Counter::NeighborRebuilds, 1);
         let pos: Vec<Vec3> = positions.iter().map(|p| p.wrap_into_box(box_l)).collect();
         let ncell = (box_l / cutoff).floor() as usize;
         if ncell < 3 {

@@ -11,11 +11,14 @@
 //!   a [`config::SimSpec`] and runs it with periodic reporting, trajectory
 //!   output, and checkpointing;
 //! * [`analyze`] — post-processing of trajectories (diffusion coefficient,
-//!   radial distribution function).
+//!   radial distribution function);
+//! * [`profile`] — `--profile` JSON output: telemetry snapshot plus the
+//!   calibrated Section IV-D measured-vs-predicted report.
 
 pub mod analyze;
 pub mod checkpoint;
 pub mod config;
+pub mod profile;
 pub mod runner;
 
 pub use config::SimSpec;

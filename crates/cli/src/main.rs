@@ -1,15 +1,20 @@
 //! `hibd` — the command-line Brownian dynamics runner.
 //!
 //! ```text
-//! hibd run <config>                 run a simulation from a config file
-//! hibd resume <config> <ckpt>      continue from a checkpoint
+//! hibd run <config> [--profile p.json]     run a simulation from a config file
+//! hibd resume <config> <ckpt> [--profile p.json]  continue from a checkpoint
 //! hibd check <config>               parse + validate a config
 //! hibd analyze <traj.xyz> [dt]      diffusion + g(r) from a trajectory
 //! hibd example-config               print an annotated example config
 //! ```
+//!
+//! `--profile PATH` enables telemetry recording for the run and writes a
+//! `hibd-profile-v1` JSON document (phase spans, workload counters, and the
+//! calibrated measured-vs-predicted performance report) to PATH.
 
 use hibd_cli::analyze::{analyze_trajectory, render};
 use hibd_cli::config::SimSpec;
+use hibd_cli::profile;
 use hibd_cli::runner::run_simulation;
 use std::path::Path;
 use std::process::ExitCode;
@@ -48,9 +53,25 @@ checkpoint_interval = 500
 fn usage() -> ExitCode {
     eprintln!(
         "usage: hibd <run CONFIG | resume CONFIG CHECKPOINT | check CONFIG | \
-         analyze TRAJECTORY [FRAME_DT] | example-config>"
+         analyze TRAJECTORY [FRAME_DT] | example-config> [--profile PATH]"
     );
     ExitCode::from(2)
+}
+
+/// Extract `--profile PATH` from the argument list (removing both tokens).
+/// Returns `Err(())` when the flag is present without a path.
+fn take_profile_flag(args: &mut Vec<String>) -> Result<Option<String>, ()> {
+    match args.iter().position(|a| a == "--profile") {
+        Some(i) => {
+            if i + 1 >= args.len() {
+                return Err(());
+            }
+            let path = args.remove(i + 1);
+            args.remove(i);
+            Ok(Some(path))
+        }
+        None => Ok(None),
+    }
 }
 
 fn load_spec(path: &str) -> Result<SimSpec, String> {
@@ -59,7 +80,8 @@ fn load_spec(path: &str) -> Result<SimSpec, String> {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let Ok(profile_path) = take_profile_flag(&mut args) else { return usage() };
     match args.first().map(String::as_str) {
         Some("example-config") => {
             print!("{EXAMPLE}");
@@ -117,6 +139,10 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+            if profile_path.is_some() {
+                hibd_telemetry::reset();
+                hibd_telemetry::enable();
+            }
             match run_simulation(&spec, resume.as_deref(), |m| println!("[hibd] {m}")) {
                 Ok(report) => {
                     println!(
@@ -126,6 +152,17 @@ fn main() -> ExitCode {
                         report.seconds_per_step * 1e3,
                         report.krylov_iterations
                     );
+                    if let Some(path) = &profile_path {
+                        let snap = hibd_telemetry::snapshot();
+                        hibd_telemetry::disable();
+                        if let Err(e) =
+                            profile::write_profile(Path::new(path.as_str()), &report, &snap)
+                        {
+                            eprintln!("error: cannot write profile {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                        println!("[hibd] profile written to {path}");
+                    }
                     ExitCode::SUCCESS
                 }
                 Err(e) => {

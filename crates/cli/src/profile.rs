@@ -1,0 +1,199 @@
+//! `--profile <path.json>` output: the run's telemetry snapshot, the
+//! calibrated Section IV-D performance model, and a measured-vs-predicted
+//! report, serialized as a single self-describing JSON document.
+//!
+//! Schema (`"schema": "hibd-profile-v1"`):
+//!
+//! ```text
+//! {
+//!   "schema":   "hibd-profile-v1",
+//!   "run":      { steps, seconds, seconds_per_step, krylov_iterations },
+//!   "shape":    { n, mesh_dim, spline_order, lambda } | null,
+//!   "phases":   { <phase>: { count, total_s, min_ns, max_ns, mean_ns,
+//!                            hist: [u64; 32] }, ... },
+//!   "counters": { <counter>: u64, ... },
+//!   "report":   { model: {...}, rows: [...] } | null
+//! }
+//! ```
+//!
+//! Only phases with at least one recorded span are emitted. The `report`
+//! object (format of [`telemetry::Report::to_json`]) is present only for
+//! matrix-free runs, where the PME shape is known; its model is calibrated
+//! from this run's own spans, so the three pooled bandwidth phases
+//! (spreading / influence / interpolation) are genuinely falsifiable while
+//! the single-constant FFT and real-space rows fit exactly by construction.
+
+use crate::runner::RunReport;
+use hibd_telemetry::{self as telemetry, CalibrationSample, Counter, PerfModel, Phase, Snapshot};
+use std::path::Path;
+
+/// The schema tag emitted in (and required of) every profile document.
+pub const SCHEMA: &str = "hibd-profile-v1";
+
+/// Total mobility columns pushed through the reciprocal pipeline, derived
+/// from the forward-FFT counter: every column costs exactly three forward
+/// mesh transforms (one per vector component), for single and batched
+/// applies alike.
+#[must_use]
+pub fn columns_applied(snap: &Snapshot) -> f64 {
+    snap.counter(Counter::ForwardFfts) as f64 / 3.0
+}
+
+/// Render the profile document for a finished run.
+#[must_use]
+pub fn render_profile(report: &RunReport, snap: &Snapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"schema\":\"");
+    out.push_str(SCHEMA);
+    out.push_str("\",\"run\":{");
+    out.push_str(&format!(
+        "\"steps\":{},\"seconds\":{:e},\"seconds_per_step\":{:e},\"krylov_iterations\":{}}}",
+        report.steps, report.seconds, report.seconds_per_step, report.krylov_iterations
+    ));
+
+    out.push_str(",\"shape\":");
+    match &report.pme {
+        Some(s) => out.push_str(&format!(
+            "{{\"n\":{},\"mesh_dim\":{},\"spline_order\":{},\"lambda\":{}}}",
+            s.n, s.mesh_dim, s.spline_order, s.lambda
+        )),
+        None => out.push_str("null"),
+    }
+
+    out.push_str(",\"phases\":{");
+    let mut first = true;
+    for ph in Phase::ALL {
+        let st = snap.phase(ph);
+        if st.count == 0 {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "\"{}\":{{\"count\":{},\"total_s\":{:e},\"min_ns\":{},\"max_ns\":{},\"mean_ns\":{:e},\"hist\":[",
+            ph.name(),
+            st.count,
+            st.total_secs(),
+            st.min_ns,
+            st.max_ns,
+            st.mean_ns()
+        ));
+        for (i, b) in st.hist.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&b.to_string());
+        }
+        out.push_str("]}");
+    }
+    out.push('}');
+
+    out.push_str(",\"counters\":{");
+    for (i, c) in Counter::ALL.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", c.name(), snap.counter(*c)));
+    }
+    out.push('}');
+
+    out.push_str(",\"report\":");
+    match &report.pme {
+        Some(s) => {
+            let cols = columns_applied(snap);
+            let sample =
+                CalibrationSample::from_snapshot(s.n, s.mesh_dim, s.spline_order, cols, 1, snap);
+            let model = PerfModel::calibrate(&[sample]);
+            let rep = model.report(s.n, s.mesh_dim, s.spline_order, cols, 1, snap);
+            out.push_str(&rep.to_json());
+        }
+        None => out.push_str("null"),
+    }
+    out.push('}');
+    out
+}
+
+/// Render and write the profile to `path`.
+pub fn write_profile(path: &Path, report: &RunReport, snap: &Snapshot) -> std::io::Result<()> {
+    std::fs::write(path, render_profile(report, snap))
+}
+
+/// Validate a profile document: it must parse as JSON, carry the
+/// [`SCHEMA`] tag, and contain the `run`/`phases`/`counters` sections.
+/// Returns a description of the first problem found.
+pub fn validate_profile(text: &str) -> Result<(), String> {
+    let v = telemetry::json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    match v.get("schema").and_then(telemetry::json::Value::as_str) {
+        Some(s) if s == SCHEMA => {}
+        Some(s) => return Err(format!("schema {s:?}, expected {SCHEMA:?}")),
+        None => return Err("missing \"schema\" tag".into()),
+    }
+    for key in ["run", "phases", "counters"] {
+        if v.get(key).is_none() {
+            return Err(format!("missing {key:?} section"));
+        }
+    }
+    let run = v.get("run").expect("checked above");
+    for key in ["steps", "seconds", "seconds_per_step", "krylov_iterations"] {
+        if run.get(key).and_then(telemetry::json::Value::as_f64).is_none() {
+            return Err(format!("run.{key} missing or not a number"));
+        }
+    }
+    if let Some(rep) = v.get("report") {
+        if rep.get("rows").is_some()
+            && rep.get("rows").and_then(telemetry::json::Value::as_array).is_none()
+        {
+            return Err("report.rows is not an array".into());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::PmeShape;
+
+    fn fake_report(pme: Option<PmeShape>) -> RunReport {
+        RunReport { steps: 3, seconds: 0.6, seconds_per_step: 0.2, krylov_iterations: 9, pme }
+    }
+
+    #[test]
+    fn empty_snapshot_renders_valid_schema() {
+        let text = render_profile(&fake_report(None), &Snapshot::empty());
+        validate_profile(&text).unwrap();
+        let v = telemetry::json::parse(&text).unwrap();
+        assert!(matches!(v.get("shape"), Some(telemetry::json::Value::Null)));
+        assert!(matches!(v.get("report"), Some(telemetry::json::Value::Null)));
+    }
+
+    #[test]
+    fn matrix_free_shape_produces_report_rows() {
+        let mut snap = Snapshot::empty();
+        // Plant one span per model phase and a consistent FFT count.
+        for ph in telemetry::MODEL_PHASES {
+            snap.phases[ph as usize].record(1_000_000);
+        }
+        snap.counters[Counter::ForwardFfts as usize] = 3 * 12;
+        let shape = PmeShape { n: 50, mesh_dim: 16, spline_order: 4, lambda: 4 };
+        let text = render_profile(&fake_report(Some(shape)), &snap);
+        validate_profile(&text).unwrap();
+        let v = telemetry::json::parse(&text).unwrap();
+        let rows = v
+            .get("report")
+            .and_then(|r| r.get("rows"))
+            .and_then(telemetry::json::Value::as_array)
+            .unwrap();
+        assert_eq!(rows.len(), 7);
+        assert!((columns_applied(&snap) - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_wrong_schema_and_garbage() {
+        assert!(validate_profile("not json").is_err());
+        assert!(validate_profile("{\"schema\":\"other\"}").is_err());
+        assert!(validate_profile("{\"schema\":\"hibd-profile-v1\"}").is_err());
+    }
+}

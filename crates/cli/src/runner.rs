@@ -13,6 +13,20 @@ use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
 
+/// The PME shape a matrix-free run executed with (for the performance
+/// model in `--profile` output). `None` for the dense baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct PmeShape {
+    /// Particle count.
+    pub n: usize,
+    /// Mesh cells per side (`K`).
+    pub mesh_dim: usize,
+    /// B-spline order (`p`).
+    pub spline_order: usize,
+    /// Mobility reuse interval (block width of the Krylov solves).
+    pub lambda: usize,
+}
+
 /// Summary of a completed run.
 #[derive(Clone, Copy, Debug)]
 pub struct RunReport {
@@ -20,6 +34,7 @@ pub struct RunReport {
     pub seconds: f64,
     pub seconds_per_step: f64,
     pub krylov_iterations: usize,
+    pub pme: Option<PmeShape>,
 }
 
 /// Either BD driver behind one stepping interface.
@@ -91,6 +106,7 @@ pub fn run_simulation(
     ));
 
     // Driver.
+    let mut pme_shape = None;
     let mut driver = match spec.algorithm {
         Algorithm::MatrixFree => {
             let cfg = MatrixFreeConfig {
@@ -117,6 +133,12 @@ pub fn run_simulation(
                 "matrix-free: K = {}, p = {}, r_max = {:.2}, alpha = {:.4}",
                 p.mesh_dim, p.spline_order, p.r_max, p.alpha
             ));
+            pme_shape = Some(PmeShape {
+                n: bd.system().len(),
+                mesh_dim: p.mesh_dim,
+                spline_order: p.spline_order,
+                lambda: spec.lambda_rpy,
+            });
             add_forces(spec, |f| bd.add_force_boxed(f));
             Driver::MatrixFree(Box::new(bd))
         }
@@ -177,6 +199,7 @@ pub fn run_simulation(
         seconds,
         seconds_per_step: seconds / spec.steps.max(1) as f64,
         krylov_iterations: driver.krylov_iterations(),
+        pme: pme_shape,
     })
 }
 

@@ -1,0 +1,53 @@
+//! End-to-end `--profile` schema check: run a small matrix-free simulation
+//! with telemetry recording enabled, render the profile document, and
+//! validate it the same way `xtask validate-profile` does.
+
+use hibd_cli::config::SimSpec;
+use hibd_cli::profile::{columns_applied, render_profile, validate_profile, SCHEMA};
+use hibd_cli::runner::run_simulation;
+use hibd_telemetry as telemetry;
+use hibd_telemetry::json::Value;
+
+#[test]
+fn profile_of_a_quick_matrix_free_run_validates() {
+    telemetry::reset();
+    telemetry::enable();
+    let spec = SimSpec { particles: 25, steps: 3, report_interval: 0, ..Default::default() };
+    let report = run_simulation(&spec, None, |_| {}).unwrap();
+    let snap = telemetry::snapshot();
+    telemetry::disable();
+
+    let text = render_profile(&report, &snap);
+    validate_profile(&text).unwrap();
+    let v = telemetry::json::parse(&text).unwrap();
+    assert_eq!(v.get("schema").and_then(Value::as_str), Some(SCHEMA));
+
+    // The matrix-free run must surface every Section IV-D model phase.
+    let phases = v.get("phases").expect("phases section");
+    for ph in telemetry::MODEL_PHASES {
+        let entry = phases.get(ph.name()).unwrap_or_else(|| panic!("missing phase {}", ph.name()));
+        assert!(entry.get("count").and_then(Value::as_f64).unwrap() >= 1.0);
+        assert_eq!(
+            entry.get("hist").and_then(Value::as_array).unwrap().len(),
+            telemetry::NUM_BUCKETS
+        );
+    }
+
+    // Shape comes from the tuner; the report covers 6 phases + recip_total.
+    let shape = v.get("shape").expect("shape section");
+    assert_eq!(shape.get("n").and_then(Value::as_f64), Some(25.0));
+    let rows =
+        v.get("report").and_then(|r| r.get("rows")).and_then(Value::as_array).expect("report rows");
+    assert_eq!(rows.len(), 7);
+    for row in rows {
+        assert!(row.get("measured_s").and_then(Value::as_f64).unwrap() >= 0.0);
+        assert!(row.get("predicted_s").and_then(Value::as_f64).unwrap() >= 0.0);
+    }
+
+    // Workload counters recorded: FFTs in multiples of 3 transforms/column,
+    // Lanczos made progress, and the PME scratch gauge is non-zero.
+    assert!(columns_applied(&snap) >= 1.0);
+    assert_eq!(snap.counter(telemetry::Counter::ForwardFfts) % 3, 0);
+    assert!(snap.counter(telemetry::Counter::LanczosIterations) >= 1);
+    assert!(snap.counter(telemetry::Counter::PmeScratchBytes) > 0);
+}

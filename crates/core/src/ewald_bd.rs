@@ -15,9 +15,9 @@ use crate::system::ParticleSystem;
 use hibd_linalg::{CholeskyFactor, DMat};
 use hibd_mathx::fill_standard_normal;
 use hibd_rpy::{dense_ewald_mobility, RpyEwald};
+use hibd_telemetry::{self as telemetry, Phase};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::Instant;
 
 /// Errors from the BD drivers.
 #[derive(Clone, Debug)]
@@ -166,7 +166,7 @@ impl EwaldBd {
         let n3 = 3 * self.system.len();
         let lambda = self.cfg.lambda_rpy;
 
-        let t0 = Instant::now();
+        let sw = telemetry::start(Phase::Assembly);
         let ewald = RpyEwald::new(
             self.system.a,
             self.system.eta,
@@ -175,10 +175,12 @@ impl EwaldBd {
             self.cfg.ewald_tol,
         );
         let m = dense_ewald_mobility(self.system.positions(), &ewald);
-        let t1 = Instant::now();
+        self.timings.assembly += sw.stop();
+        let sw = telemetry::start(Phase::Cholesky);
         let chol =
             CholeskyFactor::new(&m).map_err(|e| BdError::NotPositiveDefinite { pivot: e.pivot })?;
-        let t2 = Instant::now();
+        self.timings.cholesky += sw.stop();
+        let sw = telemetry::start(Phase::Displacements);
         let mut z = vec![0.0; n3 * lambda];
         fill_standard_normal(&mut self.rng, &mut z);
         let mut disp = vec![0.0; n3 * lambda];
@@ -187,11 +189,7 @@ impl EwaldBd {
         for d in &mut disp {
             *d *= scale;
         }
-        let t3 = Instant::now();
-
-        self.timings.assembly += (t1 - t0).as_secs_f64();
-        self.timings.cholesky += (t2 - t1).as_secs_f64();
-        self.timings.displacements += (t3 - t2).as_secs_f64();
+        self.timings.displacements += sw.stop();
         self.cache = Some(Cache { m, disp, used: 0 });
         Ok(())
     }
@@ -203,7 +201,7 @@ impl EwaldBd {
             self.refresh_cache()?;
         }
 
-        let t0 = Instant::now();
+        let sw = telemetry::start(Phase::Stepping);
         let n3 = 3 * self.system.len();
         let f = total_force(&mut self.forces, &self.system);
         let cache = self.cache.as_mut().expect("cache refreshed above");
@@ -216,7 +214,7 @@ impl EwaldBd {
         }
         cache.used += 1;
         self.system.apply_displacements(&d);
-        self.timings.stepping += t0.elapsed().as_secs_f64();
+        self.timings.stepping += sw.stop();
         self.timings.steps += 1;
         Ok(())
     }

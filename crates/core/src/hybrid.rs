@@ -65,6 +65,14 @@ pub struct HybridModel {
     pub link: Interconnect,
     /// Average real-space neighbors per particle (from `r_max` and density).
     pub neighbors_per_particle: f64,
+    /// Telemetry-calibrated CPU phase costs. When set, the CPU side of the
+    /// split (reciprocal per-column cost and real-space block cost) comes
+    /// from constants fitted to *measured* spans instead of the a-priori
+    /// Table I machine description, so the partition fraction is derived
+    /// from calibrated phase costs. Accelerators stay modeled (no hardware
+    /// to measure on this host). Conventions: calibrate with `threads = 1`
+    /// (the constants then absorb the host's actual parallel efficiency).
+    pub calibrated_cpu: Option<hibd_telemetry::PerfModel>,
 }
 
 impl HybridModel {
@@ -80,7 +88,15 @@ impl HybridModel {
             accels: accels.into_iter().map(|m| Device { machine: m, offload: true }).collect(),
             link: Interconnect::default(),
             neighbors_per_particle: neighbors,
+            calibrated_cpu: None,
         }
+    }
+
+    /// Install telemetry-calibrated CPU costs (see
+    /// [`HybridModel::calibrated_cpu`]). Returns `self` for chaining.
+    pub fn with_calibrated_cpu(mut self, model: hibd_telemetry::PerfModel) -> HybridModel {
+        self.calibrated_cpu = Some(model);
+        self
     }
 
     /// Modeled real-space SpMV time on the CPU: streaming the BCSR blocks
@@ -93,13 +109,31 @@ impl HybridModel {
     /// streams **once** regardless of `s` (the paper's ref. \[24\] benefit);
     /// only the vector traffic scales.
     pub fn t_real_block(&self, s: usize) -> f64 {
+        if let Some(cal) = &self.calibrated_cpu {
+            let p = cal.predict(self.n, self.params.mesh_dim, self.params.spline_order, s, 1);
+            if p.real_space > 0.0 {
+                return p.real_space;
+            }
+        }
         let nnz_blocks = self.n as f64 * self.neighbors_per_particle;
         let bytes = nnz_blocks * 76.0 + 2.0 * (3 * self.n * 8 * s) as f64;
         bytes / self.cpu.machine.bandwidth
     }
 
-    /// Modeled reciprocal time on a device.
+    /// Modeled reciprocal time on a device. The CPU uses calibrated phase
+    /// costs when available ([`HybridModel::with_calibrated_cpu`]);
+    /// accelerators always use their machine description plus the offload
+    /// round-trip.
     pub fn t_recip_on(&self, dev: &Device) -> f64 {
+        if !dev.offload {
+            if let Some(cal) = &self.calibrated_cpu {
+                let p = cal.predict(self.n, self.params.mesh_dim, self.params.spline_order, 1, 1);
+                let t = p.recip_total();
+                if t > 0.0 {
+                    return t;
+                }
+            }
+        }
         let m = PerfModel::new(dev.machine, self.params.mesh_dim, self.params.spline_order, self.n);
         let transfer = if dev.offload { self.link.roundtrip(self.n) } else { 0.0 };
         m.t_recip() + transfer
@@ -338,6 +372,36 @@ mod tests {
         for i in 0..3 * n * s {
             assert!((y_ref[i] - y_part[i]).abs() < 1e-13, "i={i}: {} vs {}", y_ref[i], y_part[i]);
         }
+    }
+
+    #[test]
+    fn calibrated_cpu_steers_the_partition() {
+        let m = model(50_000);
+        let s = 16;
+        let (base_cols, _) = m.partition_block(s);
+        // A calibrated CPU far faster than its Table I description pulls
+        // columns off the accelerators and onto the host.
+        let fast = hibd_telemetry::PerfModel {
+            bandwidth: 1e13,
+            fft_rate: 1e14,
+            ifft_rate: 1e14,
+            real_rate: 1e12,
+        };
+        let cal = m.clone().with_calibrated_cpu(fast);
+        assert!(cal.t_recip_on(&cal.cpu) < m.t_recip_on(&m.cpu));
+        let (cal_cols, _) = cal.partition_block(s);
+        assert_eq!(cal_cols.iter().sum::<usize>(), s);
+        assert!(cal_cols[2] > base_cols[2], "{base_cols:?} vs {cal_cols:?}");
+        // Accelerator predictions are untouched by CPU calibration.
+        assert_eq!(cal.t_recip_on(&cal.accels[0]), m.t_recip_on(&m.accels[0]));
+    }
+
+    #[test]
+    fn zeroed_calibration_falls_back_to_machine_model() {
+        let m = model(20_000);
+        let cal = m.clone().with_calibrated_cpu(hibd_telemetry::PerfModel::default());
+        assert_eq!(cal.t_recip_on(&cal.cpu), m.t_recip_on(&m.cpu));
+        assert_eq!(cal.t_real_block(8), m.t_real_block(8));
     }
 
     #[test]

@@ -16,9 +16,9 @@ use hibd_linalg::LinearOperator;
 use hibd_mathx::fill_standard_normal;
 use hibd_pme::{tune, PmeOperator, PmeParams, PmePhaseTimes};
 use hibd_pse::{PseError, PseSampler, PseSplit};
+use hibd_telemetry::{self as telemetry, Phase};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::Instant;
 
 /// How the block of Brownian displacement vectors is computed.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -259,11 +259,12 @@ impl MatrixFreeBd {
         let lambda = self.cfg.lambda_rpy;
         let n3 = 3 * self.system.len();
 
-        let t0 = Instant::now();
+        let sw = telemetry::start(Phase::PmeSetup);
         let mut op = PmeOperator::new(self.system.positions(), self.params)
             .map_err(|e| BdError::Setup(e.to_string()))?;
-        let t1 = Instant::now();
+        self.timings.setup += sw.stop();
 
+        let sw = telemetry::start(Phase::Displacements);
         let mut rng = StdRng::seed_from_u64(window_seed(self.seed, self.steps_done));
         let kcfg =
             KrylovConfig { tol: self.cfg.e_k, max_iter: self.cfg.max_krylov, check_interval: 1 };
@@ -345,10 +346,7 @@ impl MatrixFreeBd {
         for v in &mut d {
             *v *= scale;
         }
-        let t2 = Instant::now();
-
-        self.timings.setup += (t1 - t0).as_secs_f64();
-        self.timings.displacements += (t2 - t1).as_secs_f64();
+        self.timings.displacements += sw.stop();
         self.timings.krylov_iterations += iterations;
         self.op = Some(op);
         self.disp = d;
@@ -362,7 +360,7 @@ impl MatrixFreeBd {
             self.refresh_operator()?;
         }
 
-        let t0 = Instant::now();
+        let sw = telemetry::start(Phase::Stepping);
         let n3 = 3 * self.system.len();
         let lambda = self.cfg.lambda_rpy;
         let f = total_force(&mut self.forces, &self.system);
@@ -377,7 +375,7 @@ impl MatrixFreeBd {
         self.used += 1;
         self.steps_done += 1;
         self.system.apply_displacements(&self.step_scratch);
-        self.timings.stepping += t0.elapsed().as_secs_f64();
+        self.timings.stepping += sw.stop();
         self.timings.steps += 1;
         Ok(())
     }

@@ -66,6 +66,7 @@ impl Fft3 {
         let nc = self.nc();
         assert_eq!(real.len(), n0 * n1 * n2, "real length mismatch");
         assert_eq!(spectrum.len(), n0 * n1 * nc, "spectrum length mismatch");
+        hibd_telemetry::incr(hibd_telemetry::Counter::ForwardFfts, 1);
 
         // Pass 1: r2c along n2, plane-parallel over i0 (and rows within).
         spectrum.par_chunks_mut(n1 * nc).zip(real.par_chunks(n1 * n2)).for_each(
@@ -94,6 +95,7 @@ impl Fft3 {
         let nc = self.nc();
         assert_eq!(real.len(), n0 * n1 * n2, "real length mismatch");
         assert_eq!(spectrum.len(), n0 * n1 * nc, "spectrum length mismatch");
+        hibd_telemetry::incr(hibd_telemetry::Counter::InverseFfts, 1);
 
         self.pass_axis0(spectrum, true);
         self.pass_axis1(spectrum, true);
@@ -124,6 +126,7 @@ impl Fft3 {
         let nc = self.nc();
         assert_eq!(reals.len(), batch * n0 * n1 * n2, "batched real length mismatch");
         assert_eq!(spectra.len(), batch * n0 * n1 * nc, "batched spectrum length mismatch");
+        hibd_telemetry::incr(hibd_telemetry::Counter::ForwardFfts, batch as u64);
 
         // Pass 1: r2c along n2 over all batch * n0 planes at once.
         spectra.par_chunks_mut(n1 * nc).zip(reals.par_chunks(n1 * n2)).for_each_init(
@@ -153,6 +156,7 @@ impl Fft3 {
         let nc = self.nc();
         assert_eq!(reals.len(), batch * n0 * n1 * n2, "batched real length mismatch");
         assert_eq!(spectra.len(), batch * n0 * n1 * nc, "batched spectrum length mismatch");
+        hibd_telemetry::incr(hibd_telemetry::Counter::InverseFfts, batch as u64);
 
         self.pass_axis0_batch(spectra, true);
         self.pass_axis1(spectra, true);

@@ -92,6 +92,16 @@ impl std::fmt::Display for KrylovError {
 impl std::error::Error for KrylovError {}
 
 /// Approximate `g = M^{1/2} z` for an SPD operator using single-vector
+/// Terminal bookkeeping for a square-root solve: publish the iteration and
+/// restart counts to the global telemetry recorder (each call to a Lanczos
+/// solver builds a fresh Krylov space, i.e. one restart), then hand back the
+/// result unchanged.
+fn done(g: Vec<f64>, stats: KrylovStats) -> Result<(Vec<f64>, KrylovStats), KrylovError> {
+    hibd_telemetry::incr(hibd_telemetry::Counter::LanczosRestarts, 1);
+    hibd_telemetry::incr(hibd_telemetry::Counter::LanczosIterations, stats.iterations as u64);
+    Ok((g, stats))
+}
+
 /// Lanczos with full reorthogonalization.
 ///
 /// Returns the approximation and convergence statistics.
@@ -106,7 +116,7 @@ pub fn lanczos_sqrt(
     }
     let beta0 = norm(z);
     if beta0 == 0.0 {
-        return Ok((vec![0.0; n], KrylovStats { iterations: 0, converged: true, rel_change: 0.0 }));
+        return done(vec![0.0; n], KrylovStats { iterations: 0, converged: true, rel_change: 0.0 });
     }
 
     // Krylov basis vectors, alphas (diagonal of T), betas (subdiagonal).
@@ -155,19 +165,19 @@ pub fn lanczos_sqrt(
             if let Some(prev) = &g_prev {
                 rel_change = rel_diff(&g, prev);
                 if rel_change < cfg.tol || breakdown {
-                    return Ok((g, KrylovStats { iterations: j + 1, converged: true, rel_change }));
+                    return done(g, KrylovStats { iterations: j + 1, converged: true, rel_change });
                 }
             } else if breakdown {
-                return Ok((
+                return done(
                     g,
                     KrylovStats { iterations: j + 1, converged: true, rel_change: 0.0 },
-                ));
+                );
             }
             g_prev = Some(g);
         }
     }
     let g = g_prev.expect("at least one evaluation");
-    Ok((g, KrylovStats { iterations: cfg.max_iter, converged: false, rel_change }))
+    done(g, KrylovStats { iterations: cfg.max_iter, converged: false, rel_change })
 }
 
 /// `g_m = beta0 * V_m * sqrt(T_m) * e_1` for the current tridiagonal.
@@ -284,25 +294,25 @@ pub fn block_lanczos_sqrt(
             if let Some(prev) = &g_prev {
                 rel_change = rel_diff(g.as_slice(), prev.as_slice());
                 if rel_change < cfg.tol || breakdown {
-                    return Ok((
+                    return done(
                         g.as_slice().to_vec(),
                         KrylovStats { iterations: j + 1, converged: true, rel_change },
-                    ));
+                    );
                 }
             } else if breakdown {
-                return Ok((
+                return done(
                     g.as_slice().to_vec(),
                     KrylovStats { iterations: j + 1, converged: true, rel_change: 0.0 },
-                ));
+                );
             }
             g_prev = Some(g);
         }
     }
     let g = g_prev.expect("at least one evaluation");
-    Ok((
+    done(
         g.as_slice().to_vec(),
         KrylovStats { iterations: cfg.max_iter, converged: false, rel_change },
-    ))
+    )
 }
 
 /// `G_m = [V_1 .. V_m] * sqrt(T_m) * E_1 * R` for the current block

@@ -7,7 +7,10 @@
 //! cheap to use inside the Krylov iteration.
 //!
 //! Wall-clock time of each reciprocal phase is accumulated into
-//! [`PmePhaseTimes`], which the Figure 5 harness reads.
+//! [`PmePhaseTimes`], which the Figure 5 harness reads. Each phase is timed
+//! with a [`hibd_telemetry`] stopwatch, so the same spans feed the global
+//! recorder (phase histograms, the calibrated Section IV-D model) whenever
+//! telemetry is enabled — the per-instance struct is a thin local view.
 
 use crate::influence::Influence;
 use crate::pmat::{build_interp_matrix, InterpMatrix};
@@ -19,7 +22,7 @@ use hibd_linalg::LinearOperator;
 use hibd_mathx::Vec3;
 use hibd_rpy::RpyEwald;
 use hibd_sparse::Bcsr3;
-use std::time::Instant;
+use hibd_telemetry::{self as telemetry, Counter, Phase};
 
 /// PME discretization parameters (one row of the paper's Table III).
 #[derive(Clone, Copy, Debug)]
@@ -144,7 +147,7 @@ impl PmeOperator {
         let self_coef = ewald.self_coefficient();
         let k3 = k * k * k;
         let s_len = k * k * (k / 2 + 1);
-        Ok(PmeOperator {
+        let op = PmeOperator {
             params,
             ewald,
             n: positions.len(),
@@ -162,7 +165,11 @@ impl PmeOperator {
             batch_mesh: Vec::new(),
             batch_spec: Vec::new(),
             times: PmePhaseTimes::default(),
-        })
+        };
+        if telemetry::enabled() {
+            telemetry::gauge_max(Counter::PmeScratchBytes, op.memory_bytes() as u64);
+        }
+        Ok(op)
     }
 
     /// Number of particles.
@@ -220,38 +227,36 @@ impl PmeOperator {
         let k3 = k * k * k;
         let s_len = k * k * (k / 2 + 1);
 
-        let t0 = Instant::now();
+        let sw = telemetry::start(Phase::Spreading);
         self.plan.spread(&self.pm, f, &mut self.mesh);
-        let t1 = Instant::now();
+        self.times.spreading += sw.stop();
+        let sw = telemetry::start(Phase::ForwardFft);
         for theta in 0..3 {
             self.fft.forward(
                 &self.mesh[theta * k3..(theta + 1) * k3],
                 &mut self.spec[theta * s_len..(theta + 1) * s_len],
             );
         }
-        let t2 = Instant::now();
+        self.times.forward_fft += sw.stop();
+        let sw = telemetry::start(Phase::Influence);
         self.inf.apply(&mut self.spec);
-        let t3 = Instant::now();
+        self.times.influence += sw.stop();
+        let sw = telemetry::start(Phase::InverseFft);
         for theta in 0..3 {
             self.fft.inverse(
                 &mut self.spec[theta * s_len..(theta + 1) * s_len],
                 &mut self.mesh[theta * k3..(theta + 1) * k3],
             );
         }
-        let t4 = Instant::now();
+        self.times.inverse_fft += sw.stop();
+        let sw = telemetry::start(Phase::Interpolation);
         // Interpolate into operator-owned scratch, then accumulate
         // (interpolate overwrites; no per-apply allocation).
         interpolate(&self.pm, &self.mesh, &mut self.interp_scratch);
         for (o, v) in u.iter_mut().zip(&self.interp_scratch) {
             *o += v;
         }
-        let t5 = Instant::now();
-
-        self.times.spreading += (t1 - t0).as_secs_f64();
-        self.times.forward_fft += (t2 - t1).as_secs_f64();
-        self.times.influence += (t3 - t2).as_secs_f64();
-        self.times.inverse_fft += (t4 - t3).as_secs_f64();
-        self.times.interpolation += (t5 - t4).as_secs_f64();
+        self.times.interpolation += sw.stop();
     }
 
     /// `u += M_recip f` recomputing the B-spline weights on the fly instead
@@ -265,59 +270,57 @@ impl PmeOperator {
         let k3 = k * k * k;
         let s_len = k * k * (k / 2 + 1);
 
-        let t0 = Instant::now();
+        let sw = telemetry::start(Phase::Spreading);
         crate::onthefly::spread_on_the_fly(&self.plan, &self.pm, f, &mut self.mesh);
-        let t1 = Instant::now();
+        self.times.spreading += sw.stop();
+        let sw = telemetry::start(Phase::ForwardFft);
         for theta in 0..3 {
             self.fft.forward(
                 &self.mesh[theta * k3..(theta + 1) * k3],
                 &mut self.spec[theta * s_len..(theta + 1) * s_len],
             );
         }
-        let t2 = Instant::now();
+        self.times.forward_fft += sw.stop();
+        let sw = telemetry::start(Phase::Influence);
         self.inf.apply(&mut self.spec);
-        let t3 = Instant::now();
+        self.times.influence += sw.stop();
+        let sw = telemetry::start(Phase::InverseFft);
         for theta in 0..3 {
             self.fft.inverse(
                 &mut self.spec[theta * s_len..(theta + 1) * s_len],
                 &mut self.mesh[theta * k3..(theta + 1) * k3],
             );
         }
-        let t4 = Instant::now();
+        self.times.inverse_fft += sw.stop();
+        let sw = telemetry::start(Phase::Interpolation);
         crate::onthefly::interpolate_on_the_fly(&self.pm, &self.mesh, &mut self.interp_scratch);
         for (o, v) in u.iter_mut().zip(&self.interp_scratch) {
             *o += v;
         }
-        let t5 = Instant::now();
-
-        self.times.spreading += (t1 - t0).as_secs_f64();
-        self.times.forward_fft += (t2 - t1).as_secs_f64();
-        self.times.influence += (t3 - t2).as_secs_f64();
-        self.times.inverse_fft += (t4 - t3).as_secs_f64();
-        self.times.interpolation += (t5 - t4).as_secs_f64();
+        self.times.interpolation += sw.stop();
     }
 
     /// `u = (M_real + M_self) f` — the short-range part.
     #[hibd::hot]
     pub fn real_apply(&mut self, f: &[f64], u: &mut [f64]) {
-        let t0 = Instant::now();
+        let sw = telemetry::start(Phase::RealSpace);
         self.real.mul_vec(f, u);
         for (o, v) in u.iter_mut().zip(f) {
             *o += self.self_coef * v;
         }
-        self.times.real_space += t0.elapsed().as_secs_f64();
+        self.times.real_space += sw.stop();
     }
 
     /// Multi-RHS real part: `U = (M_real + M_self) F` for row-major
     /// `[3n][s]` blocks (BCSR SpMM, paper ref. \[24\]).
     #[hibd::hot]
     pub fn real_apply_multi(&mut self, f: &[f64], u: &mut [f64], s: usize) {
-        let t0 = Instant::now();
+        let sw = telemetry::start(Phase::RealSpace);
         self.real.mul_multi(f, u, s);
         for (o, v) in u.iter_mut().zip(f) {
             *o += self.self_coef * v;
         }
-        self.times.real_space += t0.elapsed().as_secs_f64();
+        self.times.real_space += sw.stop();
     }
 
     /// `u = PME(f)` with the real-space and reciprocal-space parts computed
@@ -350,41 +353,39 @@ impl PmeOperator {
         let mut phases = [0.0f64; 5];
         std::thread::scope(|scope| {
             let handle = scope.spawn(|| {
-                let t0 = Instant::now();
+                let sw = telemetry::start(Phase::RealSpace);
                 real.mul_vec(f, u_real);
                 for (o, v) in u_real.iter_mut().zip(f) {
                     *o += self_coef * v;
                 }
-                t0.elapsed().as_secs_f64()
+                sw.stop()
             });
-            let t0 = Instant::now();
+            let sw = telemetry::start(Phase::Spreading);
             plan.spread(pm, f, mesh);
-            let t1 = Instant::now();
+            let t_spread = sw.stop();
+            let sw = telemetry::start(Phase::ForwardFft);
             for theta in 0..3 {
                 fft.forward(
                     &mesh[theta * k3..(theta + 1) * k3],
                     &mut spec[theta * s_len..(theta + 1) * s_len],
                 );
             }
-            let t2 = Instant::now();
+            let t_fwd = sw.stop();
+            let sw = telemetry::start(Phase::Influence);
             inf.apply(spec);
-            let t3 = Instant::now();
+            let t_inf = sw.stop();
+            let sw = telemetry::start(Phase::InverseFft);
             for theta in 0..3 {
                 fft.inverse(
                     &mut spec[theta * s_len..(theta + 1) * s_len],
                     &mut mesh[theta * k3..(theta + 1) * k3],
                 );
             }
-            let t4 = Instant::now();
+            let t_inv = sw.stop();
+            let sw = telemetry::start(Phase::Interpolation);
             interpolate(pm, mesh, u_recip);
-            let t5 = Instant::now();
-            phases = [
-                (t1 - t0).as_secs_f64(),
-                (t2 - t1).as_secs_f64(),
-                (t3 - t2).as_secs_f64(),
-                (t4 - t3).as_secs_f64(),
-                (t5 - t4).as_secs_f64(),
-            ];
+            let t_interp = sw.stop();
+            phases = [t_spread, t_fwd, t_inf, t_inv, t_interp];
             t_real = handle.join().expect("real-space branch panicked");
         });
         let t_recip: f64 = phases.iter().sum();
@@ -435,6 +436,9 @@ impl PmeOperator {
         if self.batch_spec.len() < 3 * width * s_len {
             self.batch_spec.resize(3 * width * s_len, Complex64::ZERO);
         }
+        if telemetry::enabled() {
+            telemetry::gauge_max(Counter::PmeScratchBytes, self.memory_bytes() as u64);
+        }
     }
 
     /// `Y[:, col0..col0+width] += M_recip X[:, col0..col0+width]` for
@@ -466,23 +470,21 @@ impl PmeOperator {
         let mesh = &mut self.batch_mesh[..3 * width * k3];
         let spec = &mut self.batch_spec[..3 * width * s_len];
 
-        let t0 = Instant::now();
+        let sw = telemetry::start(Phase::Spreading);
         self.plan.spread_multi(&self.pm, x, s, col0, width, mesh);
-        let t1 = Instant::now();
+        self.times.spreading += sw.stop();
+        let sw = telemetry::start(Phase::ForwardFft);
         self.fft.forward_batch(mesh, spec, 3 * width);
-        let t2 = Instant::now();
+        self.times.forward_fft += sw.stop();
+        let sw = telemetry::start(Phase::Influence);
         self.inf.apply_multi(spec, width);
-        let t3 = Instant::now();
+        self.times.influence += sw.stop();
+        let sw = telemetry::start(Phase::InverseFft);
         self.fft.inverse_batch(spec, mesh, 3 * width);
-        let t4 = Instant::now();
+        self.times.inverse_fft += sw.stop();
+        let sw = telemetry::start(Phase::Interpolation);
         interpolate_multi(&self.pm, mesh, s, col0, width, y);
-        let t5 = Instant::now();
-
-        self.times.spreading += (t1 - t0).as_secs_f64();
-        self.times.forward_fft += (t2 - t1).as_secs_f64();
-        self.times.influence += (t3 - t2).as_secs_f64();
-        self.times.inverse_fft += (t4 - t3).as_secs_f64();
-        self.times.interpolation += (t5 - t4).as_secs_f64();
+        self.times.interpolation += sw.stop();
     }
 
     /// `Y += M_recip X` over all `s` columns through the batched pipeline.

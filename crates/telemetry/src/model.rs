@@ -1,0 +1,417 @@
+//! The Section IV-D cost model with constants calibrated from recorded spans.
+//!
+//! The paper models each PME phase as either bandwidth-bound (spreading,
+//! influence scaling, interpolation: a byte count over an effective memory
+//! bandwidth) or throughput-bound (the two FFT sweeps: a flop count over an
+//! effective FFT rate). `hibd_pme::perf` implements that model *a priori*
+//! from quoted machine constants; this module fits the same constants from
+//! telemetry spans instead, so measured-vs-predicted tables test the model's
+//! *structure* (does one bandwidth number explain all three bandwidth-bound
+//! phases?) rather than tautologically reproducing the measurement.
+//!
+//! Workloads per mobility column (`s` columns per block apply):
+//!
+//! - spreading:      `24 K^3 + 36 p^3 n` bytes
+//! - forward FFT:    `3 * 2.5 K^3 log2(K^3)` flops
+//! - influence:      `(8 + 2*48) K^3 / 2` bytes
+//! - inverse FFT:    `3 * 2.5 K^3 log2(K^3)` flops
+//! - interpolation:  `36 p^3 n` bytes
+//! - real space:     `n` particle-columns (the calibrated rate absorbs the
+//!   mean neighbor count and per-pair byte traffic)
+//!
+//! All workloads divide by the thread count; calibrating and predicting with
+//! the same `threads` makes the constants absorb parallel efficiency.
+
+use crate::stats::Snapshot;
+use crate::Phase;
+
+/// The six phases covered by the model, in pipeline order.
+pub const MODEL_PHASES: [Phase; 6] = [
+    Phase::Spreading,
+    Phase::ForwardFft,
+    Phase::Influence,
+    Phase::InverseFft,
+    Phase::Interpolation,
+    Phase::RealSpace,
+];
+
+/// Per-phase workloads for `cols` mobility columns, in each phase's natural
+/// unit (bytes, flops, particle-columns), divided by `threads`.
+fn phase_work(n: usize, k: usize, p: usize, cols: f64, threads: usize) -> [f64; 6] {
+    let k3 = (k * k * k) as f64;
+    let p3n = (p * p * p * n) as f64;
+    let th = threads.max(1) as f64;
+    let fft = 3.0 * 2.5 * k3 * k3.log2();
+    [
+        cols * (24.0 * k3 + 36.0 * p3n) / th,
+        cols * fft / th,
+        cols * ((8.0 + 2.0 * 48.0) * k3 / 2.0) / th,
+        cols * fft / th,
+        cols * (36.0 * p3n) / th,
+        cols * n as f64 / th,
+    ]
+}
+
+/// One calibration observation: a shape, how many mobility columns were
+/// pushed through it, and the measured per-phase seconds.
+#[derive(Clone, Copy, Debug)]
+pub struct CalibrationSample {
+    /// Particle count.
+    pub n: usize,
+    /// PME mesh dimension (cells per side).
+    pub k: usize,
+    /// B-spline interpolation order.
+    pub p: usize,
+    /// Total mobility columns applied while the sample was recorded
+    /// (block applies of width `s` contribute `s` each).
+    pub cols: f64,
+    /// Worker threads active during the sample.
+    pub threads: usize,
+    /// Measured seconds for each of [`MODEL_PHASES`].
+    pub seconds: [f64; 6],
+}
+
+impl CalibrationSample {
+    /// Extract the model-phase totals from a telemetry snapshot.
+    #[must_use]
+    pub fn from_snapshot(
+        n: usize,
+        k: usize,
+        p: usize,
+        cols: f64,
+        threads: usize,
+        snap: &Snapshot,
+    ) -> Self {
+        let mut seconds = [0.0; 6];
+        for (sec, ph) in seconds.iter_mut().zip(MODEL_PHASES) {
+            *sec = snap.phase(ph).total_secs();
+        }
+        CalibrationSample { n, k, p, cols, threads, seconds }
+    }
+}
+
+/// The calibrated Section IV-D performance model.
+///
+/// Four fitted constants cover six phases, so predictions are falsifiable:
+/// deviations in the measured-vs-predicted [`Report`] show where the
+/// single-bandwidth assumption breaks on the host machine.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PerfModel {
+    /// Effective memory bandwidth, bytes/s (spreading, influence, interp).
+    pub bandwidth: f64,
+    /// Effective forward-FFT throughput, flops/s.
+    pub fft_rate: f64,
+    /// Effective inverse-FFT throughput, flops/s.
+    pub ifft_rate: f64,
+    /// Real-space throughput, particle-columns/s.
+    pub real_rate: f64,
+}
+
+/// Predicted seconds per phase for one block apply.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhasePrediction {
+    /// Spreading seconds.
+    pub spreading: f64,
+    /// Forward FFT seconds (3 transforms).
+    pub forward_fft: f64,
+    /// Influence scaling seconds.
+    pub influence: f64,
+    /// Inverse FFT seconds (3 transforms).
+    pub inverse_fft: f64,
+    /// Interpolation seconds.
+    pub interpolation: f64,
+    /// Real-space apply seconds.
+    pub real_space: f64,
+}
+
+impl PhasePrediction {
+    /// Reciprocal-space total (everything except the real-space apply).
+    #[must_use]
+    pub fn recip_total(&self) -> f64 {
+        self.spreading + self.forward_fft + self.influence + self.inverse_fft + self.interpolation
+    }
+
+    /// Whole-apply total.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.recip_total() + self.real_space
+    }
+
+    /// Per-phase values in [`MODEL_PHASES`] order.
+    #[must_use]
+    pub fn as_array(&self) -> [f64; 6] {
+        [
+            self.spreading,
+            self.forward_fft,
+            self.influence,
+            self.inverse_fft,
+            self.interpolation,
+            self.real_space,
+        ]
+    }
+}
+
+fn rate_or_zero(work: f64, secs: f64) -> f64 {
+    if secs > 0.0 && work > 0.0 {
+        work / secs
+    } else {
+        0.0
+    }
+}
+
+fn div_or_zero(work: f64, rate: f64) -> f64 {
+    if rate > 0.0 {
+        work / rate
+    } else {
+        0.0
+    }
+}
+
+impl PerfModel {
+    /// Fit the four machine constants from calibration samples by pooled
+    /// least squares through the origin (equivalently: total workload over
+    /// total measured time per constant).
+    #[must_use]
+    pub fn calibrate(samples: &[CalibrationSample]) -> PerfModel {
+        let (mut bw_work, mut bw_secs) = (0.0, 0.0);
+        let (mut fft_work, mut fft_secs) = (0.0, 0.0);
+        let (mut ifft_work, mut ifft_secs) = (0.0, 0.0);
+        let (mut real_work, mut real_secs) = (0.0, 0.0);
+        for s in samples {
+            let w = phase_work(s.n, s.k, s.p, s.cols, s.threads);
+            bw_work += w[0] + w[2] + w[4];
+            bw_secs += s.seconds[0] + s.seconds[2] + s.seconds[4];
+            fft_work += w[1];
+            fft_secs += s.seconds[1];
+            ifft_work += w[3];
+            ifft_secs += s.seconds[3];
+            real_work += w[5];
+            real_secs += s.seconds[5];
+        }
+        PerfModel {
+            bandwidth: rate_or_zero(bw_work, bw_secs),
+            fft_rate: rate_or_zero(fft_work, fft_secs),
+            ifft_rate: rate_or_zero(ifft_work, ifft_secs),
+            real_rate: rate_or_zero(real_work, real_secs),
+        }
+    }
+
+    /// Predict per-phase seconds for one apply of `s` mobility columns on a
+    /// system of `n` particles, mesh `K^3`, spline order `p`, using
+    /// `threads` workers.
+    #[must_use]
+    pub fn predict(
+        &self,
+        n: usize,
+        k: usize,
+        p: usize,
+        s: usize,
+        threads: usize,
+    ) -> PhasePrediction {
+        let w = phase_work(n, k, p, s as f64, threads);
+        PhasePrediction {
+            spreading: div_or_zero(w[0], self.bandwidth),
+            forward_fft: div_or_zero(w[1], self.fft_rate),
+            influence: div_or_zero(w[2], self.bandwidth),
+            inverse_fft: div_or_zero(w[3], self.ifft_rate),
+            interpolation: div_or_zero(w[4], self.bandwidth),
+            real_space: div_or_zero(w[5], self.real_rate),
+        }
+    }
+
+    /// Build a measured-vs-predicted table for a recorded run: `cols` total
+    /// mobility columns were applied at shape `(n, K, p)` with `threads`
+    /// workers, and `snap` holds the measured spans.
+    #[must_use]
+    pub fn report(
+        &self,
+        n: usize,
+        k: usize,
+        p: usize,
+        cols: f64,
+        threads: usize,
+        snap: &Snapshot,
+    ) -> Report {
+        let w = phase_work(n, k, p, cols, threads);
+        let rates = [
+            self.bandwidth,
+            self.fft_rate,
+            self.bandwidth,
+            self.ifft_rate,
+            self.bandwidth,
+            self.real_rate,
+        ];
+        let mut rows = Vec::with_capacity(MODEL_PHASES.len() + 1);
+        let (mut recip_meas, mut recip_pred) = (0.0, 0.0);
+        for i in 0..MODEL_PHASES.len() {
+            let phase = MODEL_PHASES[i];
+            let measured_s = snap.phase(phase).total_secs();
+            let predicted_s = div_or_zero(w[i], rates[i]);
+            if phase != Phase::RealSpace {
+                recip_meas += measured_s;
+                recip_pred += predicted_s;
+            }
+            rows.push(ReportRow { name: phase.name(), measured_s, predicted_s });
+        }
+        rows.push(ReportRow {
+            name: "recip_total",
+            measured_s: recip_meas,
+            predicted_s: recip_pred,
+        });
+        Report { model: *self, rows }
+    }
+}
+
+/// One row of a measured-vs-predicted table.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReportRow {
+    /// Phase name (or the synthesized `recip_total`).
+    pub name: &'static str,
+    /// Measured seconds from the telemetry snapshot.
+    pub measured_s: f64,
+    /// Model-predicted seconds.
+    pub predicted_s: f64,
+}
+
+/// A measured-vs-predicted table plus the calibrated constants behind it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Report {
+    /// The calibrated model used for the predictions.
+    pub model: PerfModel,
+    /// Rows for every model phase plus `recip_total`.
+    pub rows: Vec<ReportRow>,
+}
+
+impl Report {
+    /// Human-readable aligned table.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "calibrated constants: bandwidth {:.2} GB/s, fft {:.2} GF/s, ifft {:.2} GF/s, real {:.3e} cols*n/s\n",
+            self.model.bandwidth * 1e-9,
+            self.model.fft_rate * 1e-9,
+            self.model.ifft_rate * 1e-9,
+            self.model.real_rate,
+        ));
+        out.push_str(&format!(
+            "{:<14} {:>12} {:>12} {:>8}\n",
+            "phase", "measured", "predicted", "ratio"
+        ));
+        for r in &self.rows {
+            let ratio = if r.predicted_s > 0.0 { r.measured_s / r.predicted_s } else { f64::NAN };
+            out.push_str(&format!(
+                "{:<14} {:>10.4}ms {:>10.4}ms {:>8.3}\n",
+                r.name,
+                r.measured_s * 1e3,
+                r.predicted_s * 1e3,
+                ratio
+            ));
+        }
+        out
+    }
+
+    /// JSON object: `{"model": {...}, "rows": [{...}, ...]}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"model\":{");
+        out.push_str(&format!(
+            "\"bandwidth_bytes_per_s\":{:e},\"fft_flops_per_s\":{:e},\"ifft_flops_per_s\":{:e},\"real_cols_n_per_s\":{:e}}},\"rows\":[",
+            self.model.bandwidth, self.model.fft_rate, self.model.ifft_rate, self.model.real_rate
+        ));
+        for (i, r) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"phase\":\"{}\",\"measured_s\":{:e},\"predicted_s\":{:e}}}",
+                r.name, r.measured_s, r.predicted_s
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_sample(
+        n: usize,
+        k: usize,
+        p: usize,
+        cols: f64,
+        model: &PerfModel,
+    ) -> CalibrationSample {
+        // Seconds generated from the model itself: calibration must recover
+        // the constants exactly (single-parameter linear fits).
+        let w = phase_work(n, k, p, cols, 1);
+        CalibrationSample {
+            n,
+            k,
+            p,
+            cols,
+            threads: 1,
+            seconds: [
+                w[0] / model.bandwidth,
+                w[1] / model.fft_rate,
+                w[2] / model.bandwidth,
+                w[3] / model.ifft_rate,
+                w[4] / model.bandwidth,
+                w[5] / model.real_rate,
+            ],
+        }
+    }
+
+    #[test]
+    fn calibration_recovers_planted_constants() {
+        let truth =
+            PerfModel { bandwidth: 12.5e9, fft_rate: 40.0e9, ifft_rate: 35.0e9, real_rate: 2.0e8 };
+        let samples = [
+            synthetic_sample(500, 32, 4, 64.0, &truth),
+            synthetic_sample(2000, 64, 6, 16.0, &truth),
+        ];
+        let fit = PerfModel::calibrate(&samples);
+        assert!((fit.bandwidth - truth.bandwidth).abs() / truth.bandwidth < 1e-12);
+        assert!((fit.fft_rate - truth.fft_rate).abs() / truth.fft_rate < 1e-12);
+        assert!((fit.ifft_rate - truth.ifft_rate).abs() / truth.ifft_rate < 1e-12);
+        assert!((fit.real_rate - truth.real_rate).abs() / truth.real_rate < 1e-12);
+    }
+
+    #[test]
+    fn prediction_scales_linearly_in_columns_and_inverse_in_threads() {
+        let m = PerfModel { bandwidth: 1e10, fft_rate: 1e10, ifft_rate: 1e10, real_rate: 1e8 };
+        let one = m.predict(1000, 64, 6, 1, 1);
+        let eight = m.predict(1000, 64, 6, 8, 1);
+        let eight_t4 = m.predict(1000, 64, 6, 8, 4);
+        for ((a, b), c) in one.as_array().iter().zip(eight.as_array()).zip(eight_t4.as_array()) {
+            assert!((b - 8.0 * a).abs() <= 1e-12 * b.abs());
+            assert!((c - b / 4.0).abs() <= 1e-12 * b.abs());
+        }
+        assert!(one.total() > one.recip_total());
+    }
+
+    #[test]
+    fn empty_calibration_predicts_zero() {
+        let m = PerfModel::calibrate(&[]);
+        let p = m.predict(100, 32, 4, 1, 1);
+        assert_eq!(p.total(), 0.0);
+    }
+
+    #[test]
+    fn report_rows_cover_all_model_phases() {
+        let m = PerfModel { bandwidth: 1e10, fft_rate: 1e10, ifft_rate: 1e10, real_rate: 1e8 };
+        let snap = crate::Snapshot::empty();
+        let rep = m.report(100, 32, 4, 10.0, 1, &snap);
+        assert_eq!(rep.rows.len(), 7);
+        assert_eq!(rep.rows.last().unwrap().name, "recip_total");
+        let text = rep.to_text();
+        for ph in MODEL_PHASES {
+            assert!(text.contains(ph.name()), "missing {} in report text", ph.name());
+        }
+        let parsed = crate::json::parse(&rep.to_json()).expect("report JSON parses");
+        assert!(parsed.get("model").is_some());
+        assert_eq!(parsed.get("rows").and_then(crate::json::Value::as_array).unwrap().len(), 7);
+    }
+}

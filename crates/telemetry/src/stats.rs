@@ -1,0 +1,167 @@
+//! Pure aggregation types: per-phase statistics and whole-process snapshots.
+//!
+//! All fields are exact integers (u64 nanoseconds / counts), so merging is
+//! associative, commutative, and order-independent across threads — the
+//! property the proptests in `tests/merge_props.rs` pin down. Floating-point
+//! views (`total_secs`, `mean_ns`) are derived on read only.
+
+use crate::{Counter, Phase, NUM_COUNTERS, NUM_PHASES};
+
+/// Number of log2 nanosecond histogram buckets. Bucket `b` holds durations
+/// with bit length `b` (i.e. `2^(b-1) <= d < 2^b`; bucket 0 is `d == 0`),
+/// saturating at the top bucket (~>= 1 s).
+pub const NUM_BUCKETS: usize = 32;
+
+/// Histogram bucket index for a duration in nanoseconds.
+#[inline]
+#[must_use]
+pub fn bucket_of(d_ns: u64) -> usize {
+    ((u64::BITS - d_ns.leading_zeros()) as usize).min(NUM_BUCKETS - 1)
+}
+
+/// Statistics for one phase: count, total, min/max, log2 histogram.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Number of recorded spans.
+    pub count: u64,
+    /// Sum of span durations, nanoseconds.
+    pub total_ns: u64,
+    /// Shortest span, nanoseconds (`u64::MAX` while empty).
+    pub min_ns: u64,
+    /// Longest span, nanoseconds.
+    pub max_ns: u64,
+    /// Log2 duration histogram, see [`bucket_of`].
+    pub hist: [u64; NUM_BUCKETS],
+}
+
+impl Default for PhaseStats {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl PhaseStats {
+    /// Stats with no spans recorded.
+    #[must_use]
+    pub const fn empty() -> Self {
+        PhaseStats { count: 0, total_ns: 0, min_ns: u64::MAX, max_ns: 0, hist: [0; NUM_BUCKETS] }
+    }
+
+    /// Accumulate one span duration (pure mirror of the recorder's atomics).
+    pub fn record(&mut self, d_ns: u64) {
+        self.count += 1;
+        self.total_ns += d_ns;
+        self.min_ns = self.min_ns.min(d_ns);
+        self.max_ns = self.max_ns.max(d_ns);
+        self.hist[bucket_of(d_ns)] += 1;
+    }
+
+    /// Fold another stats block into this one. Exact and associative.
+    pub fn merge(&mut self, other: &PhaseStats) {
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+        for (a, b) in self.hist.iter_mut().zip(&other.hist) {
+            *a += *b;
+        }
+    }
+
+    /// Total time in seconds.
+    #[must_use]
+    pub fn total_secs(&self) -> f64 {
+        self.total_ns as f64 * 1e-9
+    }
+
+    /// Mean span duration in nanoseconds (0 when empty).
+    #[must_use]
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// Aggregated statistics for every phase plus the workload counters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Per-phase stats, indexed by `Phase as usize`.
+    pub phases: [PhaseStats; NUM_PHASES],
+    /// Counter values, indexed by `Counter as usize`.
+    pub counters: [u64; NUM_COUNTERS],
+}
+
+impl Default for Snapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl Snapshot {
+    /// A snapshot with nothing recorded.
+    #[must_use]
+    pub const fn empty() -> Self {
+        Snapshot { phases: [PhaseStats::empty(); NUM_PHASES], counters: [0; NUM_COUNTERS] }
+    }
+
+    /// Stats for one phase.
+    #[must_use]
+    pub fn phase(&self, phase: Phase) -> &PhaseStats {
+        &self.phases[phase as usize]
+    }
+
+    /// Value of one counter.
+    #[must_use]
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter as usize]
+    }
+
+    /// Fold another snapshot into this one (gauges merge by max).
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (a, b) in self.phases.iter_mut().zip(&other.phases) {
+            a.merge(b);
+        }
+        for c in Counter::ALL {
+            let i = c as usize;
+            self.counters[i] = if c.is_gauge() {
+                self.counters[i].max(other.counters[i])
+            } else {
+                self.counters[i] + other.counters[i]
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn record_matches_merge_of_singletons() {
+        let durations = [0u64, 1, 5, 1_000, 123_456_789, u64::MAX / 2];
+        let mut direct = PhaseStats::empty();
+        let mut merged = PhaseStats::empty();
+        for &d in &durations {
+            direct.record(d);
+            let mut single = PhaseStats::empty();
+            single.record(d);
+            merged.merge(&single);
+        }
+        assert_eq!(direct, merged);
+        assert_eq!(direct.count, durations.len() as u64);
+        assert_eq!(direct.min_ns, 0);
+        assert_eq!(direct.max_ns, u64::MAX / 2);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests: histogram/stat merge is associative, commutative, and
+//! order-independent across threads. All state is exact u64 arithmetic, so
+//! every equality below is bit-exact — no tolerances.
+
+use hibd_telemetry::{Counter, Phase, PhaseStats, Snapshot, NUM_PHASES};
+use proptest::prelude::*;
+
+fn stats_from(durations: &[u64]) -> PhaseStats {
+    let mut s = PhaseStats::empty();
+    for &d in durations {
+        s.record(d);
+    }
+    s
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(xs in prop::collection::vec(any::<u64>(), 0..64),
+                            ys in prop::collection::vec(any::<u64>(), 0..64)) {
+        // Avoid count/total overflow: cap durations.
+        let xs: Vec<u64> = xs.iter().map(|d| d % (1 << 40)).collect();
+        let ys: Vec<u64> = ys.iter().map(|d| d % (1 << 40)).collect();
+        let (a, b) = (stats_from(&xs), stats_from(&ys));
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(xs in prop::collection::vec(any::<u64>(), 0..48),
+                            ys in prop::collection::vec(any::<u64>(), 0..48),
+                            zs in prop::collection::vec(any::<u64>(), 0..48)) {
+        let f = |v: &[u64]| stats_from(&v.iter().map(|d| d % (1 << 40)).collect::<Vec<_>>());
+        let (a, b, c) = (f(&xs), f(&ys), f(&zs));
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn any_partition_merges_to_the_sequential_result(
+        durations in prop::collection::vec(0u64..(1 << 40), 1..128),
+        cuts in prop::collection::vec(any::<usize>(), 0..6),
+    ) {
+        let sequential = stats_from(&durations);
+
+        let mut boundaries: Vec<usize> = cuts.iter().map(|i| i % (durations.len() + 1)).collect();
+        boundaries.push(0);
+        boundaries.push(durations.len());
+        boundaries.sort_unstable();
+        boundaries.dedup();
+
+        let mut merged = PhaseStats::empty();
+        for w in boundaries.windows(2) {
+            merged.merge(&stats_from(&durations[w[0]..w[1]]));
+        }
+        prop_assert_eq!(sequential, merged);
+    }
+
+    #[test]
+    fn snapshot_merge_sums_counters_and_maxes_gauges(a in any::<u32>(), b in any::<u32>()) {
+        let mut x = Snapshot::empty();
+        let mut y = Snapshot::empty();
+        x.counters[Counter::LanczosIterations as usize] = u64::from(a);
+        y.counters[Counter::LanczosIterations as usize] = u64::from(b);
+        x.counters[Counter::PmeScratchBytes as usize] = u64::from(a);
+        y.counters[Counter::PmeScratchBytes as usize] = u64::from(b);
+        x.merge(&y);
+        prop_assert_eq!(x.counter(Counter::LanczosIterations), u64::from(a) + u64::from(b));
+        prop_assert_eq!(x.counter(Counter::PmeScratchBytes), u64::from(a).max(u64::from(b)));
+    }
+}
+
+/// Order-independence with the real recorder: threads record interleaved
+/// spans; the global snapshot must equal the deterministic per-thread sum.
+#[test]
+fn threaded_recording_is_order_independent() {
+    const THREADS: usize = 4;
+    const SPANS_PER_THREAD: usize = 200;
+
+    hibd_telemetry::reset();
+    hibd_telemetry::enable();
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            scope.spawn(move || {
+                for i in 0..SPANS_PER_THREAD {
+                    let phase = Phase::ALL[(t + i) % NUM_PHASES];
+                    let sw = hibd_telemetry::start(phase);
+                    std::hint::black_box(i * t);
+                    let _ = sw.stop();
+                    hibd_telemetry::incr(Counter::LanczosIterations, 1);
+                }
+            });
+        }
+    });
+    let snap = hibd_telemetry::snapshot();
+    hibd_telemetry::disable();
+
+    let mut expected = [0u64; NUM_PHASES];
+    for t in 0..THREADS {
+        for i in 0..SPANS_PER_THREAD {
+            expected[(t + i) % NUM_PHASES] += 1;
+        }
+    }
+    for (p, want) in Phase::ALL.iter().zip(expected) {
+        assert_eq!(snap.phase(*p).count, want, "span count for {}", p.name());
+        let hist_total: u64 = snap.phase(*p).hist.iter().sum();
+        assert_eq!(hist_total, want, "histogram mass for {}", p.name());
+    }
+    assert_eq!(snap.counter(Counter::LanczosIterations), (THREADS * SPANS_PER_THREAD) as u64);
+}

@@ -1,0 +1,20 @@
+//! Negative fixture: raw wall-clock reads inside `#[hibd::hot]` bodies.
+//! The sanctioned mechanism is a `hibd_telemetry` stopwatch.
+
+use hibd_hot as hibd;
+use std::time::Instant;
+
+#[hibd::hot]
+fn timed_kernel(x: &mut [f64]) -> f64 {
+    let t0 = Instant::now();
+    for v in x.iter_mut() {
+        *v += 1.0;
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+#[hibd::hot]
+fn wall_clock_kernel(x: &mut [f64]) {
+    let _now = std::time::SystemTime::now();
+    x[0] += 1.0;
+}

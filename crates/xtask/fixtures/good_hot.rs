@@ -25,3 +25,15 @@ fn with_scratch(scratch: &mut Vec<f64>, n: usize) {
     // Grow-only reuse outside a hot fn, and allowed inside one too.
     scratch.resize(n, 0.0);
 }
+
+#[hibd::hot]
+fn telemetry_timed_kernel(x: &mut [f64]) -> f64 {
+    // The sanctioned hot-path timing mechanism: a telemetry stopwatch
+    // (allocation-free, a single relaxed load when recording is off).
+    let sw = hibd_telemetry::start(hibd_telemetry::Phase::RealSpace);
+    for v in x.iter_mut() {
+        *v *= 2.0;
+    }
+    hibd_telemetry::incr(hibd_telemetry::Counter::NeighborRebuilds, 1);
+    sw.stop()
+}

@@ -8,10 +8,17 @@
 //!    heap-allocating constructs (`vec!`, `Vec::new`, `collect`, `to_vec`,
 //!    `Box::new`, ...). `Vec::resize` on long-lived scratch is the
 //!    sanctioned grow-only idiom and is allowed.
-//! 2. **safety-comment** — every `unsafe` block / `unsafe impl` /
+//! 2. **hot-timing** — a `#[hibd::hot]` body must not read wall clocks
+//!    directly (`Instant::now`, `SystemTime::now`, `.elapsed()`). The
+//!    sanctioned mechanism is `hibd_telemetry` (`start`/`span`/`timed`,
+//!    `incr`, `gauge_max`): those calls are allocation-free, compile to a
+//!    single relaxed load when recording is disabled, and feed the global
+//!    phase recorder — so they are whitelisted by construction (the lint
+//!    only matches the raw clock constructs).
+//! 3. **safety-comment** — every `unsafe` block / `unsafe impl` /
 //!    `unsafe trait` must be immediately preceded by a `// SAFETY:` comment
 //!    explaining why the contract holds.
-//! 3. **safety-doc** — every `pub unsafe fn` must carry a `# Safety`
+//! 4. **safety-doc** — every `pub unsafe fn` must carry a `# Safety`
 //!    rustdoc section.
 //!
 //! The scanner first blanks comments and string/char literals (preserving
@@ -241,9 +248,18 @@ const FORBIDDEN: &[(&str, bool, &str)] = &[
     (".collect", false, "allocating `.collect()`"),
 ];
 
+/// Raw wall-clock constructs forbidden inside `#[hibd::hot]` bodies; time
+/// hot code with the `hibd_telemetry` stopwatches instead.
+const FORBIDDEN_TIMING: &[(&str, bool, &str)] = &[
+    ("Instant::now", true, "raw `Instant::now` (use hibd_telemetry::start)"),
+    ("SystemTime::now", true, "raw `SystemTime::now` (use hibd_telemetry::start)"),
+    (".elapsed", false, "raw `.elapsed()` timing (use hibd_telemetry::start)"),
+];
+
 const HOT_MARKER: &str = "#[hibd::hot]";
 
-/// Lint 1: no allocating constructs inside `#[hibd::hot]` function bodies.
+/// Lints 1 and 2: no allocating or raw-clock constructs inside
+/// `#[hibd::hot]` function bodies.
 fn lint_hot_alloc(file: &str, cleaned: &str, out: &mut Vec<Violation>) {
     let mut search = 0;
     while let Some(p) = cleaned[search..].find(HOT_MARKER) {
@@ -279,20 +295,23 @@ fn lint_hot_alloc(file: &str, cleaned: &str, out: &mut Vec<Violation>) {
             }
         }
         let body = &cleaned[open..close];
-        for &(pat, boundary, desc) in FORBIDDEN {
-            let mut from = 0;
-            while let Some(q) = body[from..].find(pat) {
-                let pos = from + q;
-                from = pos + 1;
-                if boundary && pos > 0 && is_ident_byte(body.as_bytes()[pos - 1]) {
-                    continue;
+        let tables = [(FORBIDDEN, "hot-alloc"), (FORBIDDEN_TIMING, "hot-timing")];
+        for (table, lint) in tables {
+            for &(pat, boundary, desc) in table {
+                let mut from = 0;
+                while let Some(q) = body[from..].find(pat) {
+                    let pos = from + q;
+                    from = pos + 1;
+                    if boundary && pos > 0 && is_ident_byte(body.as_bytes()[pos - 1]) {
+                        continue;
+                    }
+                    out.push(Violation {
+                        file: file.to_string(),
+                        line: line_of(cleaned, open + pos),
+                        lint,
+                        msg: format!("{desc} inside #[hibd::hot] fn"),
+                    });
                 }
-                out.push(Violation {
-                    file: file.to_string(),
-                    line: line_of(cleaned, open + pos),
-                    lint: "hot-alloc",
-                    msg: format!("{desc} inside #[hibd::hot] fn"),
-                });
             }
         }
     }
@@ -464,6 +483,28 @@ mod tests {
         );
         assert!(v.iter().any(|x| x.msg.contains(".collect")), "collect not flagged: {v:?}");
         assert!(v.iter().any(|x| x.msg.contains("Box::new")), "Box::new not flagged: {v:?}");
+    }
+
+    #[test]
+    fn hot_fn_with_raw_clock_is_rejected() {
+        let src = include_str!("../fixtures/bad_hot_timing.rs");
+        let v = audit_source("bad_hot_timing.rs", src);
+        assert!(
+            v.iter().any(|x| x.lint == "hot-timing" && x.msg.contains("Instant::now")),
+            "Instant::now not flagged: {v:?}"
+        );
+        assert!(v.iter().any(|x| x.msg.contains(".elapsed")), ".elapsed not flagged: {v:?}");
+        assert!(
+            v.iter().any(|x| x.msg.contains("SystemTime::now")),
+            "SystemTime::now not flagged: {v:?}"
+        );
+    }
+
+    #[test]
+    fn telemetry_stopwatch_in_hot_fn_passes() {
+        let src = "use hibd_hot as hibd;\n#[hibd::hot]\nfn f(x: &mut [f64]) -> f64 {\n    let sw = hibd_telemetry::start(hibd_telemetry::Phase::Spreading);\n    x[0] += 1.0;\n    sw.stop()\n}\n";
+        let v = audit_source("inline.rs", src);
+        assert!(v.is_empty(), "unexpected violations: {v:?}");
     }
 
     #[test]

@@ -1,4 +1,6 @@
 //! `cargo run -p xtask -- audit`: run the workspace audit lints.
+//! `cargo run -p xtask -- validate-profile <path.json>`: check that a
+//! `hibd --profile` output document matches the `hibd-profile-v1` schema.
 
 use std::path::PathBuf;
 
@@ -41,8 +43,31 @@ fn main() {
                 }
             }
         }
+        Some("validate-profile") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: cargo run -p xtask -- validate-profile <path.json>");
+                std::process::exit(2);
+            };
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("validate-profile: cannot read {path}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            match hibd_cli::profile::validate_profile(&text) {
+                Ok(()) => println!("profile OK: {path}"),
+                Err(e) => {
+                    eprintln!("profile INVALID: {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
         _ => {
-            eprintln!("usage: cargo run -p xtask -- audit [--root <workspace-dir>]");
+            eprintln!(
+                "usage: cargo run -p xtask -- <audit [--root <workspace-dir>] | \
+                 validate-profile <path.json>>"
+            );
             std::process::exit(2);
         }
     }

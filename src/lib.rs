@@ -51,6 +51,7 @@ pub use hibd_pme as pme;
 pub use hibd_pse as pse;
 pub use hibd_rpy as rpy;
 pub use hibd_sparse as sparse;
+pub use hibd_telemetry as telemetry;
 
 /// The most commonly used items, re-exported for convenience.
 pub mod prelude {
