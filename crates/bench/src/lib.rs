@@ -58,6 +58,12 @@ pub fn suspension(n: usize, phi: f64, seed: u64) -> ParticleSystem {
     ParticleSystem::random_suspension(n, phi, &mut rng)
 }
 
+/// Build the standard open-boundary test cluster (free-space RPY backends).
+pub fn cluster(n: usize, phi: f64, seed: u64) -> ParticleSystem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    ParticleSystem::random_cluster_with(n, phi, 1.0, 1.0, &mut rng)
+}
+
 /// Paper Table III particle counts (quick subset vs full list).
 pub fn table3_sizes(full: bool) -> Vec<usize> {
     if full {

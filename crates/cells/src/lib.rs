@@ -1,4 +1,4 @@
-//! `hibd-cells`: periodic Verlet cell lists.
+//! `hibd-cells`: periodic and open-boundary Verlet cell lists.
 //!
 //! Short-range pair interactions — the real-space Ewald sum (cutoff `r_max`)
 //! and the repulsive contact force (cutoff `2a`) — are found in linear time
@@ -10,6 +10,15 @@
 //! hold 3 cells per dimension the structure transparently falls back to a
 //! brute-force `O(n^2)` minimum-image scan, which is both correct and fast at
 //! such sizes.
+//!
+//! Two constructions share the same iteration interface:
+//!
+//! * [`CellList::new`] — cubic periodic box, minimum-image displacements;
+//! * [`CellList::new_open`] — open (free-space) boundary: the domain is the
+//!   bounding box of the particle cloud, nothing wraps, and `dr` is the raw
+//!   difference `r_i - r_j`. This is what the treecode near field and the
+//!   contact-force path of open-boundary BD must use — a periodic list would
+//!   silently pair particles across the bounding-box seam.
 
 pub mod verlet;
 
@@ -39,9 +48,13 @@ pub struct CellList {
     /// Particle indices grouped by cell: `order[start[c]..start[c+1]]`.
     start: Vec<usize>,
     order: Vec<u32>,
-    /// Wrapped positions, indexable by original particle id.
+    /// Wrapped (periodic) or raw (open) positions, indexable by original
+    /// particle id.
     pos: Vec<Vec3>,
     brute_force: bool,
+    /// Periodic lists wrap cell neighborhoods and minimum-image `dr`;
+    /// open lists do neither.
+    periodic: bool,
 }
 
 /// The 13 forward neighbor offsets of the half stencil (plus the cell
@@ -74,23 +87,63 @@ impl CellList {
         let pos: Vec<Vec3> = positions.iter().map(|p| p.wrap_into_box(box_l)).collect();
         let ncell = (box_l / cutoff).floor() as usize;
         if ncell < 3 {
-            return CellList {
-                box_l,
-                cutoff,
-                ncell: 1,
-                start: vec![0, pos.len()],
-                order: (0..pos.len() as u32).collect(),
-                pos,
-                brute_force: true,
-            };
+            return Self::brute(pos, box_l, cutoff, true);
         }
+        Self::binned(pos, box_l, cutoff, ncell, true, Vec3::ZERO)
+    }
+
+    /// Build an open-boundary (free-space) cell list: the binning domain is
+    /// the axis-aligned bounding cube of the particle cloud, neighborhoods
+    /// never wrap, and pair displacements are the raw `r_i - r_j`.
+    pub fn new_open(positions: &[Vec3], cutoff: f64) -> CellList {
+        assert!(cutoff > 0.0, "cutoff must be positive");
+        hibd_telemetry::incr(hibd_telemetry::Counter::NeighborRebuilds, 1);
+        let pos: Vec<Vec3> = positions.to_vec();
+        let mut lo = Vec3::splat(f64::INFINITY);
+        let mut hi = Vec3::splat(f64::NEG_INFINITY);
+        for p in &pos {
+            for c in 0..3 {
+                lo[c] = lo[c].min(p[c]);
+                hi[c] = hi[c].max(p[c]);
+            }
+        }
+        let side =
+            if pos.is_empty() { 0.0 } else { (hi.x - lo.x).max(hi.y - lo.y).max(hi.z - lo.z) };
+        let ncell = if side > 0.0 { (side / cutoff).floor() as usize } else { 0 };
+        if ncell < 2 {
+            return Self::brute(pos, side.max(cutoff), cutoff, false);
+        }
+        Self::binned(pos, side, cutoff, ncell, false, lo)
+    }
+
+    fn brute(pos: Vec<Vec3>, box_l: f64, cutoff: f64, periodic: bool) -> CellList {
+        CellList {
+            box_l,
+            cutoff,
+            ncell: 1,
+            start: vec![0, pos.len()],
+            order: (0..pos.len() as u32).collect(),
+            pos,
+            brute_force: true,
+            periodic,
+        }
+    }
+
+    fn binned(
+        pos: Vec<Vec3>,
+        box_l: f64,
+        cutoff: f64,
+        ncell: usize,
+        periodic: bool,
+        origin: Vec3,
+    ) -> CellList {
         let ncell3 = ncell * ncell * ncell;
         let cell_of = |p: Vec3| -> usize {
             let f = |v: f64| -> usize {
-                let c = (v / box_l * ncell as f64) as usize;
+                let c = ((v / box_l * ncell as f64).max(0.0)) as usize;
                 c.min(ncell - 1)
             };
-            (f(p.x) * ncell + f(p.y)) * ncell + f(p.z)
+            (f(p.x - origin.x) * ncell + f(p.y - origin.y)) * ncell + f(p.z - origin.z)
         };
         // Counting sort into cells.
         let mut count = vec![0usize; ncell3 + 1];
@@ -108,7 +161,7 @@ impl CellList {
             order[cursor[c]] = i as u32;
             cursor[c] += 1;
         }
-        CellList { box_l, cutoff, ncell, start, order, pos, brute_force: false }
+        CellList { box_l, cutoff, ncell, start, order, pos, brute_force: false, periodic }
     }
 
     /// Number of particles.
@@ -141,10 +194,16 @@ impl CellList {
         self.brute_force
     }
 
+    /// Whether this list wraps (periodic construction) or not (open).
+    pub fn is_periodic(&self) -> bool {
+        self.periodic
+    }
+
     /// Visit every unordered pair `(i, j)` with `|r_i - r_j| <= cutoff`
-    /// exactly once. `dr` is the minimum-image displacement `r_i - r_j` and
-    /// `r2 = |dr|^2`. Pairs at exactly zero distance are skipped (the RPY
-    /// tensor is singular there and coincident points are a setup error).
+    /// exactly once. `dr` is the displacement `r_i - r_j` (minimum-image for
+    /// periodic lists, raw for open lists) and `r2 = |dr|^2`. Pairs at
+    /// exactly zero distance are skipped (the RPY tensor is singular there
+    /// and coincident points are a setup error).
     pub fn for_each_pair(&self, mut f: impl FnMut(usize, usize, Vec3, f64)) {
         for c in 0..self.num_cells() {
             self.for_each_pair_in_cell(c, &mut f);
@@ -159,11 +218,7 @@ impl CellList {
             debug_assert_eq!(c, 0);
             for a in 0..self.pos.len() {
                 for b in a + 1..self.pos.len() {
-                    let dr = (self.pos[a] - self.pos[b]).min_image(self.box_l);
-                    let r2 = dr.norm2();
-                    if r2 <= rc2 && r2 > 0.0 {
-                        f(a, b, dr, r2);
-                    }
+                    self.emit(a, b, rc2, &mut *f);
                 }
             }
             return;
@@ -179,11 +234,19 @@ impl CellList {
                 self.emit(a as usize, b as usize, rc2, &mut *f);
             }
         }
-        // Forward neighbors (with periodic wrap).
+        // Forward neighbors: wrapped for periodic lists, clipped to the
+        // domain for open lists.
         for (dx, dy, dz) in FORWARD_OFFSETS {
-            let nx = wrap(cx as i32 + dx, n);
-            let ny = wrap(cy as i32 + dy, n);
-            let nz = wrap(cz as i32 + dz, n);
+            let (nx, ny, nz) = if self.periodic {
+                (wrap(cx as i32 + dx, n), wrap(cy as i32 + dy, n), wrap(cz as i32 + dz, n))
+            } else {
+                let (ix, iy, iz) = (cx as i32 + dx, cy as i32 + dy, cz as i32 + dz);
+                let lim = n as i32;
+                if ix < 0 || iy < 0 || iz < 0 || ix >= lim || iy >= lim || iz >= lim {
+                    continue;
+                }
+                (ix as usize, iy as usize, iz as usize)
+            };
             let nb = (nx * n + ny) * n + nz;
             let other = self.cell_slice(nb);
             for &a in own {
@@ -213,7 +276,8 @@ impl CellList {
 
     #[inline]
     fn emit(&self, a: usize, b: usize, rc2: f64, f: &mut impl FnMut(usize, usize, Vec3, f64)) {
-        let dr = (self.pos[a] - self.pos[b]).min_image(self.box_l);
+        let raw = self.pos[a] - self.pos[b];
+        let dr = if self.periodic { raw.min_image(self.box_l) } else { raw };
         let r2 = dr.norm2();
         if r2 <= rc2 && r2 > 0.0 {
             f(a, b, dr, r2);
@@ -352,6 +416,88 @@ mod tests {
         let p = Vec3::new(2.0, 2.0, 2.0);
         let cl = CellList::new(&[p, p], 10.0, 1.0);
         assert!(cl.pairs().is_empty());
+    }
+
+    fn brute_force_pairs_open(pos: &[Vec3], rc: f64) -> HashSet<(u32, u32)> {
+        let rc2 = rc * rc;
+        let mut set = HashSet::new();
+        for i in 0..pos.len() {
+            for j in i + 1..pos.len() {
+                let d2 = (pos[i] - pos[j]).norm2();
+                if d2 <= rc2 && d2 > 0.0 {
+                    set.insert((i as u32, j as u32));
+                }
+            }
+        }
+        set
+    }
+
+    #[test]
+    fn open_matches_brute_force_various_sizes() {
+        for (n, spread, rc) in [
+            (50usize, 10.0, 2.0),
+            (200, 12.0, 2.5),
+            (100, 30.0, 3.0),
+            (64, 8.0, 1.1),
+            (20, 2.0, 3.0),
+        ] {
+            let pos = lcg_positions(n, spread, (n as u64) * 17 + 3);
+            let cl = CellList::new_open(&pos, rc);
+            assert!(!cl.is_periodic());
+            let got: HashSet<(u32, u32)> =
+                cl.pairs().into_iter().map(|(i, j, _, _)| normalize((i, j))).collect();
+            assert_eq!(got.len(), cl.pairs().len(), "no duplicate pairs (n={n})");
+            assert_eq!(got, brute_force_pairs_open(&pos, rc), "n={n} spread={spread} rc={rc}");
+        }
+    }
+
+    #[test]
+    fn open_list_never_pairs_across_the_seam() {
+        // Two particles at opposite corners of the bounding box: a periodic
+        // list over the same extent would wrap them together.
+        let pos = vec![Vec3::new(0.0, 0.0, 0.0), Vec3::new(9.9, 0.0, 0.0)];
+        let cl = CellList::new_open(&pos, 1.0);
+        assert!(cl.pairs().is_empty());
+        let cl = CellList::new(&pos, 10.0, 1.0);
+        assert_eq!(cl.pairs().len(), 1, "sanity: the periodic list does wrap");
+    }
+
+    #[test]
+    fn open_pair_geometry_is_raw() {
+        let pos = vec![Vec3::new(-3.0, 7.0, 1.0), Vec3::new(-2.4, 7.0, 1.0)];
+        let cl = CellList::new_open(&pos, 1.0);
+        let pairs = cl.pairs();
+        assert_eq!(pairs.len(), 1);
+        let (i, j, dr, r2) = pairs[0];
+        let want = pos[i as usize] - pos[j as usize];
+        assert!((dr - want).norm() < 1e-12);
+        assert!((r2 - 0.36).abs() < 1e-12);
+    }
+
+    #[test]
+    fn open_empty_and_coincident() {
+        let cl = CellList::new_open(&[], 1.0);
+        assert!(cl.is_empty());
+        assert!(cl.pairs().is_empty());
+        let p = Vec3::new(2.0, 2.0, 2.0);
+        let cl = CellList::new_open(&[p, p], 1.0);
+        assert!(cl.pairs().is_empty());
+    }
+
+    #[test]
+    fn open_cell_decomposition_covers_all_pairs() {
+        let pos = lcg_positions(150, 15.0, 42);
+        let cl = CellList::new_open(&pos, 2.0);
+        assert!(!cl.is_brute_force(), "15/2 cells per dim must bin");
+        let mut by_cell = Vec::new();
+        for c in 0..cl.num_cells() {
+            cl.for_each_pair_in_cell(c, &mut |i, j, _, _| {
+                by_cell.push(normalize((i as u32, j as u32)));
+            });
+        }
+        let s1: HashSet<_> = by_cell.iter().copied().collect();
+        assert_eq!(by_cell.len(), s1.len());
+        assert_eq!(s1, brute_force_pairs_open(&pos, 2.0));
     }
 
     #[test]

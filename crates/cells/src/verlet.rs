@@ -4,8 +4,11 @@
 //! build pairs out to `cutoff + skin` once, then reuse the list while no
 //! particle has moved more than `skin / 2` — at BD step sizes a list
 //! survives many steps. The stored candidate pairs are re-filtered against
-//! the true cutoff with *current* minimum-image distances on every use, so
-//! reuse never changes results, only the cost of finding candidates.
+//! the true cutoff with *current* distances on every use, so reuse never
+//! changes results, only the cost of finding candidates. Both constructions
+//! of [`CellList`] are supported: [`VerletList::new`] wraps (periodic box,
+//! minimum-image displacements) and [`VerletList::new_open`] does not (open
+//! boundary, raw displacements).
 
 use crate::CellList;
 use hibd_mathx::Vec3;
@@ -18,14 +21,16 @@ pub struct VerletList {
     skin: f64,
     /// Candidate pairs within `cutoff + skin` at build time.
     pairs: Vec<(u32, u32)>,
-    /// Positions at build time (wrapped), for displacement tracking.
+    /// Positions at build time (wrapped for periodic lists, raw for open),
+    /// for displacement tracking.
     reference: Vec<Vec3>,
+    periodic: bool,
     rebuilds: usize,
     reuses: usize,
 }
 
 impl VerletList {
-    /// Build for the given configuration.
+    /// Build for the given configuration in a cubic periodic box.
     pub fn new(positions: &[Vec3], box_l: f64, cutoff: f64, skin: f64) -> VerletList {
         assert!(skin >= 0.0, "skin must be nonnegative");
         let mut list = VerletList {
@@ -34,6 +39,24 @@ impl VerletList {
             skin,
             pairs: Vec::new(),
             reference: Vec::new(),
+            periodic: true,
+            rebuilds: 0,
+            reuses: 0,
+        };
+        list.rebuild(positions);
+        list
+    }
+
+    /// Build for an open (free-space) boundary: no wrap, raw displacements.
+    pub fn new_open(positions: &[Vec3], cutoff: f64, skin: f64) -> VerletList {
+        assert!(skin >= 0.0, "skin must be nonnegative");
+        let mut list = VerletList {
+            box_l: 0.0,
+            cutoff,
+            skin,
+            pairs: Vec::new(),
+            reference: Vec::new(),
+            periodic: false,
             rebuilds: 0,
             reuses: 0,
         };
@@ -42,10 +65,18 @@ impl VerletList {
     }
 
     fn rebuild(&mut self, positions: &[Vec3]) {
-        let cl = CellList::new(positions, self.box_l, self.cutoff + self.skin);
+        let cl = if self.periodic {
+            CellList::new(positions, self.box_l, self.cutoff + self.skin)
+        } else {
+            CellList::new_open(positions, self.cutoff + self.skin)
+        };
         self.pairs.clear();
         cl.for_each_pair(|i, j, _, _| self.pairs.push((i as u32, j as u32)));
-        self.reference = positions.iter().map(|p| p.wrap_into_box(self.box_l)).collect();
+        self.reference = if self.periodic {
+            positions.iter().map(|p| p.wrap_into_box(self.box_l)).collect()
+        } else {
+            positions.to_vec()
+        };
         self.rebuilds += 1;
     }
 
@@ -56,9 +87,16 @@ impl VerletList {
             return false;
         }
         let limit2 = (self.skin / 2.0) * (self.skin / 2.0);
-        positions.iter().zip(&self.reference).all(|(p, r)| {
-            (p.wrap_into_box(self.box_l) - *r).min_image(self.box_l).norm2() <= limit2
-        })
+        positions.iter().zip(&self.reference).all(|(p, r)| self.displacement(*p, *r) <= limit2)
+    }
+
+    #[inline]
+    fn displacement(&self, p: Vec3, r: Vec3) -> f64 {
+        if self.periodic {
+            (p.wrap_into_box(self.box_l) - r).min_image(self.box_l).norm2()
+        } else {
+            (p - r).norm2()
+        }
     }
 
     /// Ensure validity (rebuilding if needed), then visit every pair within
@@ -76,7 +114,8 @@ impl VerletList {
         let rc2 = self.cutoff * self.cutoff;
         for &(i, j) in &self.pairs {
             let (i, j) = (i as usize, j as usize);
-            let dr = (positions[i] - positions[j]).min_image(self.box_l);
+            let raw = positions[i] - positions[j];
+            let dr = if self.periodic { raw.min_image(self.box_l) } else { raw };
             let r2 = dr.norm2();
             if r2 <= rc2 && r2 > 0.0 {
                 f(i, j, dr, r2);
@@ -180,6 +219,64 @@ mod tests {
         assert!(!vl.is_valid(&pos));
         vl.for_each_pair(&pos, |_, _, _, _| {});
         assert_eq!(vl.stats(), (2, 0));
+    }
+
+    fn open_pair_set(pos: &[Vec3], rc: f64) -> HashSet<(u32, u32)> {
+        let rc2 = rc * rc;
+        let mut s = HashSet::new();
+        for i in 0..pos.len() {
+            for j in i + 1..pos.len() {
+                let d2 = (pos[i] - pos[j]).norm2();
+                if d2 <= rc2 && d2 > 0.0 {
+                    s.insert((i as u32, j as u32));
+                }
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn open_list_matches_brute_force_and_reuses() {
+        let rc = 2.0;
+        // Positions spread over ~[0,12)^3 but *not* wrapped: the open list
+        // must use raw displacements.
+        let mut pos = lcg_positions(120, 12.0, 11);
+        let mut vl = VerletList::new_open(&pos, rc, 0.8);
+        let mut state = 13u64;
+        let mut nudge = move || {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            ((state >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 0.1
+        };
+        for _step in 0..5 {
+            for p in &mut pos {
+                *p += Vec3::new(nudge(), nudge(), nudge());
+            }
+            let mut got = HashSet::new();
+            vl.for_each_pair(&pos, |i, j, dr, _| {
+                let want = pos[i] - pos[j];
+                assert!((dr - want).norm() < 1e-12, "open dr must be raw");
+                got.insert(if i < j { (i as u32, j as u32) } else { (j as u32, i as u32) });
+            });
+            assert_eq!(got, open_pair_set(&pos, rc), "reused open list must stay exact");
+        }
+        let (rebuilds, reuses) = vl.stats();
+        assert_eq!(rebuilds, 1, "small motion must not trigger rebuilds");
+        assert_eq!(reuses, 5);
+    }
+
+    #[test]
+    fn open_list_large_motion_rebuilds() {
+        let rc = 2.0;
+        let mut pos = lcg_positions(60, 10.0, 21);
+        let mut vl = VerletList::new_open(&pos, rc, 0.4);
+        pos[0] += Vec3::new(0.5, 0.0, 0.0);
+        assert!(!vl.is_valid(&pos));
+        let mut got = HashSet::new();
+        vl.for_each_pair(&pos, |i, j, _, _| {
+            got.insert(if i < j { (i as u32, j as u32) } else { (j as u32, i as u32) });
+        });
+        assert_eq!(got, open_pair_set(&pos, rc));
+        assert_eq!(vl.stats().0, 2);
     }
 
     #[test]

@@ -1,5 +1,6 @@
-//! Property: the cell list finds exactly the brute-force pair set, for any
-//! particle configuration, box size, and cutoff.
+//! Property: the cell list (periodic and open constructions) finds exactly
+//! the brute-force pair set, for any particle configuration, box size, and
+//! cutoff.
 
 use hibd_cells::CellList;
 use hibd_mathx::Vec3;
@@ -41,6 +42,36 @@ proptest! {
         for i in 0..wrapped.len() {
             for j in i + 1..wrapped.len() {
                 let d2 = (wrapped[i] - wrapped[j]).min_image(box_l).norm2();
+                if d2 <= rc * rc && d2 > 0.0 {
+                    want.insert((i, j));
+                }
+            }
+        }
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn open_pair_set_matches_brute_force((raw, _box_l, rc) in config()) {
+        // Open construction: no wrap, raw displacements, domain = bounding
+        // box of the cloud (positions may be negative).
+        let pos: Vec<Vec3> = raw.iter().map(|&(x, y, z)| Vec3::new(x, y, z)).collect();
+        let cl = hibd_cells::CellList::new_open(&pos, rc);
+
+        let mut got = HashSet::new();
+        let mut visits = 0usize;
+        cl.for_each_pair(|i, j, dr, r2| {
+            visits += 1;
+            let want = pos[i] - pos[j];
+            assert!((dr - want).norm() < 1e-12, "open dr must be the raw difference");
+            assert!((dr.norm2() - r2).abs() < 1e-12);
+            got.insert(if i < j { (i, j) } else { (j, i) });
+        });
+        prop_assert_eq!(visits, got.len(), "each pair visited exactly once");
+
+        let mut want = HashSet::new();
+        for i in 0..pos.len() {
+            for j in i + 1..pos.len() {
+                let d2 = (pos[i] - pos[j]).norm2();
                 if d2 <= rc * rc && d2 > 0.0 {
                     want.insert((i, j));
                 }

@@ -5,22 +5,25 @@
 //! little-endian binary layout:
 //!
 //! ```text
-//! magic   "HIBDCKPT"            8 bytes
-//! version u32                   (currently 1)
-//! step    u64                   completed steps
-//! n       u64                   particle count
-//! box_l   f64, a f64, eta f64
+//! magic    "HIBDCKPT"            8 bytes
+//! version  u32                   (currently 2)
+//! step     u64                   completed steps
+//! n        u64                   particle count
+//! box_l    f64, a f64, eta f64
+//! boundary u8                    (version >= 2: 0 periodic, 1 open)
 //! wrapped   n * 3 * f64
 //! unwrapped n * 3 * f64
-//! crc     u64                   FNV-1a over everything above
+//! crc      u64                   FNV-1a over everything above
 //! ```
+//!
+//! Version 1 files predate open boundaries and decode as periodic.
 
-use hibd_core::system::ParticleSystem;
+use hibd_core::system::{Boundary, ParticleSystem};
 use hibd_mathx::Vec3;
 use std::fmt;
 
 const MAGIC: &[u8; 8] = b"HIBDCKPT";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 /// A decoded checkpoint.
 #[derive(Clone, Debug, PartialEq)]
@@ -30,6 +33,8 @@ pub struct Checkpoint {
     pub box_l: f64,
     pub a: f64,
     pub eta: f64,
+    /// Boundary condition (`box_l` is meaningless when open).
+    pub boundary: Boundary,
     pub wrapped: Vec<Vec3>,
     pub unwrapped: Vec<Vec3>,
 }
@@ -41,6 +46,7 @@ pub enum CheckpointError {
     UnsupportedVersion(u32),
     Truncated,
     CorruptChecksum,
+    BadBoundary(u8),
 }
 
 impl fmt::Display for CheckpointError {
@@ -50,6 +56,7 @@ impl fmt::Display for CheckpointError {
             CheckpointError::UnsupportedVersion(v) => write!(f, "unsupported version {v}"),
             CheckpointError::Truncated => write!(f, "truncated checkpoint"),
             CheckpointError::CorruptChecksum => write!(f, "checksum mismatch (corrupt file)"),
+            CheckpointError::BadBoundary(b) => write!(f, "unknown boundary tag {b}"),
         }
     }
 }
@@ -64,6 +71,7 @@ impl Checkpoint {
             box_l: system.box_l,
             a: system.a,
             eta: system.eta,
+            boundary: system.boundary(),
             wrapped: system.positions().to_vec(),
             unwrapped: system.unwrapped().to_vec(),
         }
@@ -71,7 +79,12 @@ impl Checkpoint {
 
     /// Rebuild the particle system (positions and continuous trajectories).
     pub fn restore(&self) -> ParticleSystem {
-        let mut sys = ParticleSystem::new(self.wrapped.clone(), self.box_l, self.a, self.eta);
+        let mut sys = match self.boundary {
+            Boundary::Periodic => {
+                ParticleSystem::new(self.wrapped.clone(), self.box_l, self.a, self.eta)
+            }
+            Boundary::Open => ParticleSystem::new_open(self.wrapped.clone(), self.a, self.eta),
+        };
         sys.set_unwrapped(self.unwrapped.clone());
         sys
     }
@@ -87,6 +100,10 @@ impl Checkpoint {
         for v in [self.box_l, self.a, self.eta] {
             out.extend_from_slice(&v.to_le_bytes());
         }
+        out.push(match self.boundary {
+            Boundary::Periodic => 0,
+            Boundary::Open => 1,
+        });
         for p in self.wrapped.iter().chain(&self.unwrapped) {
             for c in [p.x, p.y, p.z] {
                 out.extend_from_slice(&c.to_le_bytes());
@@ -105,7 +122,7 @@ impl Checkpoint {
             return Err(CheckpointError::BadMagic);
         }
         let version = r.u32()?;
-        if version != VERSION {
+        if !(1..=VERSION).contains(&version) {
             return Err(CheckpointError::UnsupportedVersion(version));
         }
         let step = r.u64()?;
@@ -113,6 +130,16 @@ impl Checkpoint {
         let box_l = r.f64()?;
         let a = r.f64()?;
         let eta = r.f64()?;
+        // Version 1 predates open boundaries: everything was periodic.
+        let boundary = if version >= 2 {
+            match r.take(1)?[0] {
+                0 => Boundary::Periodic,
+                1 => Boundary::Open,
+                b => return Err(CheckpointError::BadBoundary(b)),
+            }
+        } else {
+            Boundary::Periodic
+        };
         let read_points = |r: &mut Reader| -> Result<Vec<Vec3>, CheckpointError> {
             let mut out = Vec::with_capacity(n);
             for _ in 0..n {
@@ -130,7 +157,7 @@ impl Checkpoint {
         if fnv1a(&bytes[..body_end]) != stored_crc {
             return Err(CheckpointError::CorruptChecksum);
         }
-        Ok(Checkpoint { step, box_l, a, eta, wrapped, unwrapped })
+        Ok(Checkpoint { step, box_l, a, eta, boundary, wrapped, unwrapped })
     }
 
     /// Write to a file.
@@ -208,6 +235,56 @@ mod tests {
         assert_eq!(restored.positions(), sys.positions());
         assert_eq!(restored.unwrapped(), sys.unwrapped());
         assert_eq!(restored.box_l, sys.box_l);
+    }
+
+    fn sample_open_system() -> ParticleSystem {
+        let mut rng = StdRng::seed_from_u64(8);
+        ParticleSystem::random_cluster_with(25, 0.1, 1.0, 1.0, &mut rng)
+    }
+
+    #[test]
+    fn open_roundtrip_preserves_boundary_and_raw_positions() {
+        let sys = sample_open_system();
+        let ck = Checkpoint::capture(&sys, 55);
+        assert_eq!(ck.boundary, Boundary::Open);
+        let decoded = Checkpoint::decode(&ck.encode()).unwrap();
+        assert_eq!(decoded, ck);
+        let restored = decoded.restore();
+        assert_eq!(restored.boundary(), Boundary::Open);
+        // Open restore must not wrap anything (new_open takes verbatim).
+        assert_eq!(restored.positions(), sys.positions());
+        assert_eq!(restored.unwrapped(), sys.unwrapped());
+    }
+
+    #[test]
+    fn version_1_files_decode_as_periodic() {
+        // Build a v1 byte stream by hand from a v2 one: drop the boundary
+        // byte, rewrite the version, recompute the checksum.
+        let ck = Checkpoint::capture(&sample_system(), 31);
+        let v2 = ck.encode();
+        let boundary_at = 8 + 4 + 8 + 8 + 24;
+        let mut v1: Vec<u8> = Vec::new();
+        v1.extend_from_slice(&v2[..boundary_at]);
+        v1.extend_from_slice(&v2[boundary_at + 1..v2.len() - 8]);
+        v1[8..12].copy_from_slice(&1u32.to_le_bytes());
+        let crc = fnv1a(&v1);
+        v1.extend_from_slice(&crc.to_le_bytes());
+        let decoded = Checkpoint::decode(&v1).unwrap();
+        assert_eq!(decoded.boundary, Boundary::Periodic);
+        assert_eq!(decoded.wrapped, ck.wrapped);
+        assert_eq!(decoded.step, ck.step);
+    }
+
+    #[test]
+    fn rejects_unknown_boundary_tags() {
+        let ck = Checkpoint::capture(&sample_system(), 3);
+        let mut bytes = ck.encode();
+        let boundary_at = 8 + 4 + 8 + 8 + 24;
+        bytes[boundary_at] = 7;
+        let body_end = bytes.len() - 8;
+        let crc = fnv1a(&bytes[..body_end]);
+        bytes[body_end..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(Checkpoint::decode(&bytes), Err(CheckpointError::BadBoundary(7)));
     }
 
     #[test]

@@ -32,6 +32,7 @@
 //! checkpoint_interval = 500
 //! ```
 
+use hibd_core::system::Boundary;
 use hibd_mathx::Vec3;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -69,6 +70,12 @@ pub struct SimSpec {
     pub radius: f64,
     pub viscosity: f64,
     pub seed: u64,
+    /// Boundary condition: periodic box (PME mobility) or open/free-space
+    /// cluster (treecode mobility).
+    pub boundary: Boundary,
+    /// Treecode MAC parameter for open-boundary runs; `None` lets the
+    /// measured tuner derive it from `e_p`.
+    pub theta: Option<f64>,
     pub algorithm: Algorithm,
     pub displacement: Displacement,
     pub dt: f64,
@@ -95,6 +102,8 @@ impl Default for SimSpec {
             radius: 1.0,
             viscosity: 1.0,
             seed: 2014,
+            boundary: Boundary::Periodic,
+            theta: None,
             algorithm: Algorithm::MatrixFree,
             displacement: Displacement::BlockKrylov,
             dt: 0.01,
@@ -165,6 +174,19 @@ impl SimSpec {
                 "radius" => spec.radius = parse_num(*line, key, value)?,
                 "viscosity" => spec.viscosity = parse_num(*line, key, value)?,
                 "seed" => spec.seed = parse_num(*line, key, value)?,
+                "boundary" => {
+                    spec.boundary = match value.to_ascii_lowercase().as_str() {
+                        "periodic" | "pbc" => Boundary::Periodic,
+                        "open" | "free" | "free-space" => Boundary::Open,
+                        other => {
+                            return Err(err(
+                                *line,
+                                format!("unknown boundary `{other}` (periodic | open)"),
+                            ))
+                        }
+                    }
+                }
+                "theta" => spec.theta = Some(parse_num(*line, key, value)?),
                 "algorithm" => {
                     spec.algorithm = match value.to_ascii_lowercase().as_str() {
                         "matrix-free" | "matrixfree" | "pme" => Algorithm::MatrixFree,
@@ -253,6 +275,26 @@ impl SimSpec {
         if !(self.e_p > 0.0 && self.e_p < 0.5) {
             return Err(format!("e_p {} outside (0, 0.5)", self.e_p));
         }
+        if let Some(theta) = self.theta {
+            if !(theta > 0.0 && theta < 1.0) {
+                return Err(format!("theta {theta} outside (0, 1)"));
+            }
+            if self.boundary != Boundary::Open {
+                return Err("theta tunes the open-boundary treecode; set boundary = open".into());
+            }
+        }
+        if self.boundary == Boundary::Open {
+            if self.algorithm == Algorithm::Dense {
+                return Err("the dense Ewald baseline is periodic-only; open boundaries need \
+                     algorithm = matrix-free"
+                    .into());
+            }
+            if self.displacement == Displacement::SplitEwald {
+                return Err("split-ewald sampling is wave-space (periodic-only); open \
+                     boundaries need an M*v displacement mode"
+                    .into());
+            }
+        }
         if self.algorithm == Algorithm::Dense && self.displacement != Displacement::BlockKrylov {
             return Err("displacement selects the matrix-free solver; it has no effect with \
                  algorithm = dense"
@@ -286,6 +328,14 @@ impl SimSpec {
         writeln!(out, "radius = {}", self.radius).unwrap();
         writeln!(out, "viscosity = {}", self.viscosity).unwrap();
         writeln!(out, "seed = {}", self.seed).unwrap();
+        let boundary = match self.boundary {
+            Boundary::Periodic => "periodic",
+            Boundary::Open => "open",
+        };
+        writeln!(out, "boundary = {boundary}").unwrap();
+        if let Some(theta) = self.theta {
+            writeln!(out, "theta = {theta}").unwrap();
+        }
         let alg = match self.algorithm {
             Algorithm::MatrixFree => "matrix-free",
             Algorithm::Dense => "dense",
@@ -434,6 +484,43 @@ mod tests {
             .unwrap_err()
             .message
             .contains("no effect"));
+    }
+
+    #[test]
+    fn boundary_and_theta_parse_and_validate() {
+        let s = SimSpec::parse("boundary = open\ntheta = 0.5\n").unwrap();
+        assert_eq!(s.boundary, Boundary::Open);
+        assert_eq!(s.theta, Some(0.5));
+        let s = SimSpec::parse("boundary = periodic\n").unwrap();
+        assert_eq!(s.boundary, Boundary::Periodic);
+        assert!(s.theta.is_none());
+        assert!(SimSpec::parse("boundary = torus\n")
+            .unwrap_err()
+            .message
+            .contains("unknown boundary"));
+        // theta without open boundary, theta out of range.
+        assert!(SimSpec::parse("theta = 0.5\n").unwrap_err().message.contains("boundary = open"));
+        assert!(SimSpec::parse("boundary = open\ntheta = 1.5\n")
+            .unwrap_err()
+            .message
+            .contains("outside (0, 1)"));
+        // Open boundaries exclude the periodic-only machinery.
+        assert!(SimSpec::parse("boundary = open\nalgorithm = dense\n")
+            .unwrap_err()
+            .message
+            .contains("periodic-only"));
+        assert!(SimSpec::parse("boundary = open\ndisplacement = split-ewald\n")
+            .unwrap_err()
+            .message
+            .contains("periodic-only"));
+    }
+
+    #[test]
+    fn config_text_roundtrips_boundary_and_theta() {
+        let spec = SimSpec { boundary: Boundary::Open, theta: Some(0.45), ..SimSpec::default() };
+        let back = SimSpec::parse(&spec.to_config_text()).unwrap();
+        assert_eq!(back.boundary, Boundary::Open);
+        assert_eq!(back.theta, Some(0.45));
     }
 
     #[test]

@@ -26,6 +26,8 @@ volume_fraction = 0.2
 radius          = 1.0
 viscosity       = 1.0
 seed            = 2014
+boundary        = periodic   # or: open (free-space RPY via the treecode)
+#theta          = 0.4        # open only: treecode MAC (omit to tune from e_p)
 
 # integrator (Algorithm 2 of Liu & Chow, IPDPS 2014)
 algorithm    = matrix-free    # or: dense

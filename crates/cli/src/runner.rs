@@ -6,7 +6,8 @@ use hibd_core::ewald_bd::{BdError, EwaldBd, EwaldBdConfig};
 use hibd_core::forces::{ConstantForce, LennardJones, RepulsiveHarmonic};
 use hibd_core::io::{Coordinates, XyzWriter};
 use hibd_core::mf_bd::{DisplacementMode, MatrixFreeBd, MatrixFreeConfig};
-use hibd_core::system::ParticleSystem;
+use hibd_core::system::{Boundary, ParticleSystem};
+use hibd_treecode::TreeParams;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fs::File;
@@ -88,22 +89,37 @@ pub fn run_simulation(
         }
         None => {
             let mut rng = StdRng::seed_from_u64(spec.seed);
-            let sys = ParticleSystem::random_suspension_with(
-                spec.particles,
-                spec.volume_fraction,
-                spec.radius,
-                spec.viscosity,
-                &mut rng,
-            );
+            let sys = match spec.boundary {
+                Boundary::Periodic => ParticleSystem::random_suspension_with(
+                    spec.particles,
+                    spec.volume_fraction,
+                    spec.radius,
+                    spec.viscosity,
+                    &mut rng,
+                ),
+                Boundary::Open => ParticleSystem::random_cluster_with(
+                    spec.particles,
+                    spec.volume_fraction,
+                    spec.radius,
+                    spec.viscosity,
+                    &mut rng,
+                ),
+            };
             (sys, 0)
         }
     };
-    log(&format!(
-        "system: n = {}, L = {:.3}, phi = {:.3}",
-        system.len(),
-        system.box_l,
-        system.volume_fraction()
-    ));
+    match system.boundary() {
+        Boundary::Periodic => log(&format!(
+            "system: n = {}, L = {:.3}, phi = {:.3}",
+            system.len(),
+            system.box_l,
+            system.volume_fraction()
+        )),
+        Boundary::Open => log(&format!("system: n = {}, open boundary", system.len())),
+    }
+    if system.boundary() == Boundary::Open && spec.algorithm == Algorithm::Dense {
+        return Err("the dense Ewald baseline is periodic-only; this configuration is open".into());
+    }
 
     // Driver.
     let mut pme_shape = None;
@@ -121,6 +137,7 @@ pub fn run_simulation(
                     Displacement::Chebyshev => DisplacementMode::Chebyshev,
                     Displacement::SplitEwald => DisplacementMode::SplitEwald,
                 },
+                tree: spec.theta.map(|theta| TreeParams { theta, ..TreeParams::default() }),
                 ..Default::default()
             };
             let mut bd = MatrixFreeBd::new(system, cfg, spec.seed)?;
@@ -128,17 +145,24 @@ pub fn run_simulation(
             // counter, so a checkpoint resumed at a window boundary replays
             // the uninterrupted run bit for bit.
             bd.set_completed_steps(start_step as u64);
-            let p = bd.pme_params();
-            log(&format!(
-                "matrix-free: K = {}, p = {}, r_max = {:.2}, alpha = {:.4}",
-                p.mesh_dim, p.spline_order, p.r_max, p.alpha
-            ));
-            pme_shape = Some(PmeShape {
-                n: bd.system().len(),
-                mesh_dim: p.mesh_dim,
-                spline_order: p.spline_order,
-                lambda: spec.lambda_rpy,
-            });
+            if let Some(p) = bd.pme_params() {
+                log(&format!(
+                    "matrix-free: K = {}, p = {}, r_max = {:.2}, alpha = {:.4}",
+                    p.mesh_dim, p.spline_order, p.r_max, p.alpha
+                ));
+                pme_shape = Some(PmeShape {
+                    n: bd.system().len(),
+                    mesh_dim: p.mesh_dim,
+                    spline_order: p.spline_order,
+                    lambda: spec.lambda_rpy,
+                });
+            }
+            if let Some(t) = bd.tree_params() {
+                log(&format!(
+                    "matrix-free treecode: theta = {:.2}, q = {}, leaf = {}",
+                    t.theta, t.cheb_order, t.leaf_capacity
+                ));
+            }
             add_forces(spec, |f| bd.add_force_boxed(f));
             Driver::MatrixFree(Box::new(bd))
         }
@@ -245,6 +269,41 @@ mod tests {
         let report = run_simulation(&spec, None, quiet()).unwrap();
         assert_eq!(report.steps, 2);
         assert_eq!(report.krylov_iterations, 0);
+    }
+
+    #[test]
+    fn runs_an_open_boundary_simulation_and_resumes() {
+        let dir = std::env::temp_dir().join("hibd_runner_open_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("open.hibd");
+        let spec = SimSpec {
+            particles: 15,
+            steps: 4,
+            boundary: hibd_core::system::Boundary::Open,
+            theta: Some(0.6),
+            lambda_rpy: 4,
+            checkpoint: Some(ckpt.to_string_lossy().into_owned()),
+            checkpoint_interval: 2,
+            report_interval: 0,
+            ..Default::default()
+        };
+        let mut lines = Vec::new();
+        let report = run_simulation(&spec, None, |m| lines.push(m.to_string())).unwrap();
+        assert_eq!(report.steps, 4);
+        assert!(report.krylov_iterations > 0);
+        assert!(report.pme.is_none(), "open runs have no PME shape");
+        assert!(lines.iter().any(|l| l.contains("open boundary")));
+        assert!(lines.iter().any(|l| l.contains("treecode: theta = 0.60")));
+
+        // Resume keeps the open boundary through the checkpoint.
+        let spec2 = SimSpec { steps: 2, ..spec.clone() };
+        let mut lines2 = Vec::new();
+        run_simulation(&spec2, Some(&ckpt), |m| lines2.push(m.to_string())).unwrap();
+        assert!(lines2.iter().any(|l| l.contains("resumed") && l.contains("step 4")));
+        assert!(lines2.iter().any(|l| l.contains("open boundary")));
+        let ck = Checkpoint::load(&ckpt).unwrap();
+        assert_eq!(ck.step, 6);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

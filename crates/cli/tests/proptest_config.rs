@@ -1,6 +1,7 @@
 //! Property: any valid SimSpec survives a serialize -> parse roundtrip.
 
 use hibd_cli::config::{Algorithm, Displacement, SimSpec};
+use hibd_core::system::Boundary;
 use hibd_mathx::Vec3;
 use proptest::prelude::*;
 
@@ -15,6 +16,7 @@ fn spec_strategy() -> impl Strategy<Value = SimSpec> {
             prop::option::of("[a-z]{1,8}\\.xyz"),
             1usize..100,
         ),
+        (prop::bool::ANY, prop::option::of(0.05f64..0.95)),
     )
         .prop_map(
             |(
@@ -22,6 +24,7 @@ fn spec_strategy() -> impl Strategy<Value = SimSpec> {
                 (solver, dt, kbt, lambda_rpy),
                 (e_k, e_p, steps, repulsion),
                 (gravity, lj_epsilon, trajectory, interval),
+                (open, theta),
             )| {
                 // solver 0 = dense, 1..=4 = matrix-free displacement modes.
                 SimSpec {
@@ -55,6 +58,10 @@ fn spec_strategy() -> impl Strategy<Value = SimSpec> {
                     report_interval: interval,
                     checkpoint: None,
                     checkpoint_interval: 0,
+                    boundary: if open { Boundary::Open } else { Boundary::Periodic },
+                    // theta only tunes the open-boundary treecode; validate()
+                    // rejects it for periodic specs.
+                    theta: if open { theta } else { None },
                 }
             },
         )
@@ -84,5 +91,10 @@ proptest! {
         }
         prop_assert_eq!(&parsed.trajectory, &spec.trajectory);
         prop_assert_eq!(parsed.seed, spec.seed);
+        prop_assert_eq!(parsed.boundary, spec.boundary);
+        prop_assert_eq!(parsed.theta.is_some(), spec.theta.is_some());
+        if let (Some(a), Some(b)) = (parsed.theta, spec.theta) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
     }
 }

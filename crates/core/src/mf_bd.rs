@@ -1,14 +1,21 @@
 //! Algorithm 2: the matrix-free BD algorithm.
 //!
-//! Every `lambda_RPY` steps: build a fresh [`PmeOperator`] for the current
+//! Every `lambda_RPY` steps: build a fresh mobility operator for the current
 //! configuration and draw the whole block of `lambda_RPY` Brownian
-//! displacement vectors with block Lanczos (`D = Krylov(PME, Z)`). In
+//! displacement vectors with block Lanczos (`D = Krylov(M, Z)`). In
 //! between, each step evaluates the deterministic forces and propagates
-//! `r += PME(f) dt + d_j` — never materializing the mobility matrix.
+//! `r += M(f) dt + d_j` — never materializing the mobility matrix.
+//!
+//! The operator backend follows the system's [`Boundary`]: periodic boxes
+//! use the [`PmeOperator`] (Ewald split + particle-mesh reciprocal sum),
+//! open systems use the hierarchical free-space [`TreeOperator`] from
+//! `hibd-treecode`. Every `M v`-only displacement mode (block/single
+//! Lanczos, Chebyshev) works with either backend; `SplitEwald` is
+//! wave-space sampling and therefore periodic-only.
 
 use crate::ewald_bd::BdError;
 use crate::forces::{total_force, Force};
-use crate::system::ParticleSystem;
+use crate::system::{Boundary, ParticleSystem};
 use hibd_krylov::{
     block_lanczos_sqrt, chebyshev_sqrt, lanczos_sqrt, ChebyshevConfig, KrylovConfig,
 };
@@ -17,6 +24,7 @@ use hibd_mathx::fill_standard_normal;
 use hibd_pme::{tune, PmeOperator, PmeParams, PmePhaseTimes};
 use hibd_pse::{PseError, PseSampler, PseSplit};
 use hibd_telemetry::{self as telemetry, Phase};
+use hibd_treecode::{TreeOperator, TreeParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -62,6 +70,11 @@ pub struct MatrixFreeConfig {
     pub displacement_mode: DisplacementMode,
     /// PSE split knobs, used only by [`DisplacementMode::SplitEwald`].
     pub pse: PseSplit,
+    /// Explicit treecode parameters for open-boundary systems; `None` lets
+    /// the measured tuner choose `(theta, cheb_order)` from `target_ep`
+    /// (validated against the dense free-space RPY matrix). The particle
+    /// radius and viscosity are always taken from the system.
+    pub tree: Option<TreeParams>,
 }
 
 impl Default for MatrixFreeConfig {
@@ -76,6 +89,40 @@ impl Default for MatrixFreeConfig {
             max_krylov: 100,
             displacement_mode: DisplacementMode::BlockKrylov,
             pse: PseSplit::default(),
+            tree: None,
+        }
+    }
+}
+
+/// The boundary-selected mobility backend (periodic PME vs free-space
+/// treecode), dispatched once per apply.
+enum MobilityOp {
+    // Boxed: both operators carry hundreds of bytes of inline scratch
+    // headers, and the enum is rebuilt once per refresh — the indirection
+    // costs nothing on the apply path.
+    Pme(Box<PmeOperator>),
+    Tree(Box<TreeOperator>),
+}
+
+impl LinearOperator for MobilityOp {
+    fn dim(&self) -> usize {
+        match self {
+            MobilityOp::Pme(op) => op.dim(),
+            MobilityOp::Tree(op) => op.dim(),
+        }
+    }
+
+    fn apply(&mut self, x: &[f64], y: &mut [f64]) {
+        match self {
+            MobilityOp::Pme(op) => op.apply(x, y),
+            MobilityOp::Tree(op) => op.apply(x, y),
+        }
+    }
+
+    fn apply_multi(&mut self, x: &[f64], y: &mut [f64], s: usize) {
+        match self {
+            MobilityOp::Pme(op) => op.apply_multi(x, y, s),
+            MobilityOp::Tree(op) => op.apply_multi(x, y, s),
         }
     }
 }
@@ -113,7 +160,10 @@ impl MfTimings {
 pub struct MatrixFreeBd {
     system: ParticleSystem,
     cfg: MatrixFreeConfig,
-    params: PmeParams,
+    /// PME parameters (periodic systems only).
+    params: Option<PmeParams>,
+    /// Resolved treecode parameters (open systems only).
+    tree_params: Option<TreeParams>,
     forces: Vec<Box<dyn Force>>,
     /// Base RNG seed; each operator window re-derives its own stream from
     /// `(seed, steps_done)` so a run resumed at a window boundary consumes
@@ -122,7 +172,7 @@ pub struct MatrixFreeBd {
     /// Completed BD steps (drives the window-seeded RNG; restorable via
     /// [`set_completed_steps`](Self::set_completed_steps)).
     steps_done: u64,
-    op: Option<PmeOperator>,
+    op: Option<MobilityOp>,
     /// PSE sampler, built lazily on the first `SplitEwald` refresh.
     pse: Option<PseSampler>,
     /// `3n x lambda` row-major block of pre-drawn displacements.
@@ -154,30 +204,65 @@ fn map_pse(e: PseError) -> BdError {
 }
 
 impl MatrixFreeBd {
-    /// Build the driver; PME parameters come from `cfg.pme` or the tuner.
+    /// Build the driver. For periodic systems the PME parameters come from
+    /// `cfg.pme` or the PME tuner; for open systems the treecode parameters
+    /// come from `cfg.tree` or the measured treecode tuner.
     pub fn new(
         system: ParticleSystem,
         cfg: MatrixFreeConfig,
         seed: u64,
     ) -> Result<MatrixFreeBd, BdError> {
         assert!(cfg.lambda_rpy >= 1);
-        let params = match cfg.pme {
-            Some(p) => p,
-            None => {
-                tune(system.len(), system.volume_fraction(), system.a, system.eta, cfg.target_ep)
-                    .params
+        let (params, tree_params) = match system.boundary() {
+            Boundary::Periodic => {
+                let params = match cfg.pme {
+                    Some(p) => p,
+                    None => {
+                        tune(
+                            system.len(),
+                            system.volume_fraction(),
+                            system.a,
+                            system.eta,
+                            cfg.target_ep,
+                        )
+                        .params
+                    }
+                };
+                if (params.box_l - system.box_l).abs() > 1e-9 * system.box_l {
+                    return Err(BdError::Setup(format!(
+                        "PME box {} does not match system box {}",
+                        params.box_l, system.box_l
+                    )));
+                }
+                (Some(params), None)
+            }
+            Boundary::Open => {
+                if cfg.displacement_mode == DisplacementMode::SplitEwald {
+                    return Err(BdError::Setup(
+                        "SplitEwald sampling is wave-space (periodic-only); \
+                         open systems need an M*v displacement mode"
+                            .into(),
+                    ));
+                }
+                if cfg.pme.is_some() {
+                    return Err(BdError::Setup(
+                        "explicit PME parameters are meaningless for an open system".into(),
+                    ));
+                }
+                let tp = match cfg.tree {
+                    Some(t) => TreeParams { a: system.a, eta: system.eta, ..t },
+                    None => {
+                        hibd_treecode::tune(system.positions(), cfg.target_ep, system.a, system.eta)
+                    }
+                };
+                (None, Some(tp))
             }
         };
-        if (params.box_l - system.box_l).abs() > 1e-9 * system.box_l {
-            return Err(BdError::Setup(format!(
-                "PME box {} does not match system box {}",
-                params.box_l, system.box_l
-            )));
-        }
         Ok(MatrixFreeBd {
             system,
             cfg,
             params,
+            tree_params,
             forces: Vec::new(),
             seed,
             steps_done: 0,
@@ -225,9 +310,23 @@ impl MatrixFreeBd {
         &self.cfg
     }
 
-    /// PME parameters in effect.
-    pub fn pme_params(&self) -> &PmeParams {
-        &self.params
+    /// PME parameters in effect (`None` for open-boundary systems).
+    pub fn pme_params(&self) -> Option<&PmeParams> {
+        self.params.as_ref()
+    }
+
+    /// Treecode parameters in effect (`None` for periodic systems).
+    pub fn tree_params(&self) -> Option<&TreeParams> {
+        self.tree_params.as_ref()
+    }
+
+    /// The treecode operator, when the current window runs on one
+    /// (open-boundary systems after the first step).
+    pub fn tree_operator(&self) -> Option<&TreeOperator> {
+        match &self.op {
+            Some(MobilityOp::Tree(op)) => Some(op),
+            _ => None,
+        }
     }
 
     pub fn timings(&self) -> &MfTimings {
@@ -236,7 +335,11 @@ impl MatrixFreeBd {
 
     /// Resident bytes of the current operator (0 before the first step).
     pub fn operator_memory_bytes(&self) -> usize {
-        self.op.as_ref().map(hibd_pme::PmeOperator::memory_bytes).unwrap_or(0)
+        match &self.op {
+            Some(MobilityOp::Pme(op)) => op.memory_bytes(),
+            Some(MobilityOp::Tree(op)) => op.memory_bytes(),
+            None => 0,
+        }
     }
 
     /// Resident bytes of the PSE sampler (0 unless `SplitEwald` has run).
@@ -250,19 +353,36 @@ impl MatrixFreeBd {
         self.pse.as_ref()
     }
 
-    /// Per-phase PME timings accumulated so far (resets the counters).
+    /// Per-phase PME timings accumulated so far (resets the counters;
+    /// zero on the treecode backend).
     pub fn take_pme_times(&mut self) -> PmePhaseTimes {
-        self.op.as_mut().map(hibd_pme::PmeOperator::take_times).unwrap_or_default()
+        match &mut self.op {
+            Some(MobilityOp::Pme(op)) => op.take_times(),
+            _ => PmePhaseTimes::default(),
+        }
     }
 
     fn refresh_operator(&mut self) -> Result<(), BdError> {
         let lambda = self.cfg.lambda_rpy;
         let n3 = 3 * self.system.len();
 
-        let sw = telemetry::start(Phase::PmeSetup);
-        let mut op = PmeOperator::new(self.system.positions(), self.params)
-            .map_err(|e| BdError::Setup(e.to_string()))?;
-        self.timings.setup += sw.stop();
+        let mut op = match self.system.boundary() {
+            Boundary::Periodic => {
+                let sw = telemetry::start(Phase::PmeSetup);
+                let params = self.params.expect("periodic driver resolved PME params");
+                let op = PmeOperator::new(self.system.positions(), params)
+                    .map_err(|e| BdError::Setup(e.to_string()))?;
+                self.timings.setup += sw.stop();
+                MobilityOp::Pme(Box::new(op))
+            }
+            Boundary::Open => {
+                // `TreeOperator::new` times itself under `Phase::TreeBuild`.
+                let params = self.tree_params.expect("open driver resolved tree params");
+                let op = TreeOperator::new(self.system.positions(), params);
+                self.timings.setup += op.timings().build;
+                MobilityOp::Tree(Box::new(op))
+            }
+        };
 
         let sw = telemetry::start(Phase::Displacements);
         let mut rng = StdRng::seed_from_u64(window_seed(self.seed, self.steps_done));
@@ -300,7 +420,9 @@ impl MatrixFreeBd {
                 match &mut self.pse {
                     Some(s) => s.rebuild(self.system.positions()).map_err(map_pse)?,
                     None => {
-                        let pse_params = self.cfg.pse.resolve(&self.params);
+                        let pme =
+                            self.params.as_ref().expect("SplitEwald is gated to periodic systems");
+                        let pse_params = self.cfg.pse.resolve(pme);
                         self.pse = Some(
                             PseSampler::new(self.system.positions(), pse_params)
                                 .map_err(map_pse)?,
@@ -568,6 +690,97 @@ mod tests {
                 for c in 0..3 {
                     assert_eq!(a[c], b[c], "mode {mode:?}: resumed trajectory diverged");
                 }
+            }
+        }
+    }
+
+    fn small_cluster(n: usize, phi: f64, seed: u64) -> ParticleSystem {
+        let mut rng = StdRng::seed_from_u64(seed);
+        ParticleSystem::random_cluster_with(n, phi, 1.0, 1.0, &mut rng)
+    }
+
+    #[test]
+    fn open_boundary_steps_on_the_tree_operator() {
+        let sys = small_cluster(25, 0.1, 13);
+        let cfg = MatrixFreeConfig { lambda_rpy: 4, ..Default::default() };
+        let mut bd = MatrixFreeBd::new(sys, cfg, 42).unwrap();
+        bd.add_force(RepulsiveHarmonic::default());
+        bd.run(5).unwrap();
+        assert_eq!(bd.timings().steps, 5);
+        assert!(bd.timings().krylov_iterations > 0);
+        assert!(bd.pme_params().is_none());
+        let tp = *bd.tree_params().expect("open driver resolved tree params");
+        assert!((tp.a - 1.0).abs() < 1e-15 && (tp.eta - 1.0).abs() < 1e-15);
+        let op = bd.tree_operator().expect("tree operator built");
+        assert!(op.interactions_per_apply() > 0);
+        assert!(bd.operator_memory_bytes() > 0);
+        for p in bd.system().positions() {
+            for c in 0..3 {
+                assert!(p[c].is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn open_boundary_supports_every_matvec_displacement_mode() {
+        for mode in [
+            DisplacementMode::BlockKrylov,
+            DisplacementMode::SingleKrylov,
+            DisplacementMode::Chebyshev,
+        ] {
+            let sys = small_cluster(12, 0.1, 19);
+            let cfg =
+                MatrixFreeConfig { lambda_rpy: 3, displacement_mode: mode, ..Default::default() };
+            let mut bd = MatrixFreeBd::new(sys, cfg, 7).unwrap();
+            bd.run(3).unwrap();
+            assert_eq!(bd.timings().steps, 3, "mode {mode:?}");
+        }
+    }
+
+    #[test]
+    fn open_boundary_rejects_split_ewald_and_pme_params() {
+        let cfg = MatrixFreeConfig {
+            displacement_mode: DisplacementMode::SplitEwald,
+            ..Default::default()
+        };
+        assert!(matches!(
+            MatrixFreeBd::new(small_cluster(8, 0.1, 2), cfg, 1),
+            Err(BdError::Setup(_))
+        ));
+        let cfg = MatrixFreeConfig { pme: Some(PmeParams::default()), ..Default::default() };
+        assert!(matches!(
+            MatrixFreeBd::new(small_cluster(8, 0.1, 2), cfg, 1),
+            Err(BdError::Setup(_))
+        ));
+    }
+
+    #[test]
+    fn open_resume_at_window_boundary_matches_uninterrupted_run() {
+        // Pin the tree parameters: the tuner would re-measure on the tail's
+        // (different) configuration and could in principle pick another
+        // schedule entry.
+        let cfg = MatrixFreeConfig {
+            lambda_rpy: 3,
+            tree: Some(TreeParams::default()),
+            ..Default::default()
+        };
+        let sys = small_cluster(10, 0.1, 23);
+
+        let mut full = MatrixFreeBd::new(sys.clone(), cfg, 91).unwrap();
+        full.add_force(RepulsiveHarmonic::default());
+        full.run(6).unwrap();
+
+        let mut head = MatrixFreeBd::new(sys, cfg, 91).unwrap();
+        head.add_force(RepulsiveHarmonic::default());
+        head.run(3).unwrap();
+        let mut tail = MatrixFreeBd::new(head.system().clone(), cfg, 91).unwrap();
+        tail.add_force(RepulsiveHarmonic::default());
+        tail.set_completed_steps(3);
+        tail.run(3).unwrap();
+
+        for (a, b) in full.system().positions().iter().zip(tail.system().positions()) {
+            for c in 0..3 {
+                assert_eq!(a[c], b[c], "open resumed trajectory diverged");
             }
         }
     }

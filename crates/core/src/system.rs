@@ -4,31 +4,57 @@
 //! operators consume) and unwrapped (continuous trajectories, what the
 //! mean-squared-displacement estimator needs). The builders produce the
 //! monodisperse suspensions used throughout the paper's evaluation.
+//!
+//! A system carries a [`Boundary`]: periodic (the cubic box of the paper,
+//! served by the Ewald-family mobility backends) or open (a finite cluster
+//! in unbounded solvent, served by the free-space treecode backend). Open
+//! systems never wrap: wrapped and unwrapped positions coincide and all pair
+//! displacements are raw differences.
 
 use hibd_mathx::Vec3;
 use rand::Rng;
 
-/// A monodisperse particle suspension in a cubic periodic box.
+/// Boundary condition of the solvent domain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Boundary {
+    /// Cubic periodic box of side `box_l`; minimum-image displacements.
+    #[default]
+    Periodic,
+    /// Unbounded solvent (free space); raw displacements, nothing wraps.
+    Open,
+}
+
+/// A monodisperse particle suspension in a cubic periodic box or in open
+/// (unbounded) solvent.
 #[derive(Clone, Debug)]
 pub struct ParticleSystem {
-    /// Box side `L`.
+    /// Box side `L` (zero for open boundaries, which have no box).
     pub box_l: f64,
     /// Particle radius `a`.
     pub a: f64,
     /// Fluid viscosity `eta`.
     pub eta: f64,
+    boundary: Boundary,
     pos: Vec<Vec3>,
     unwrapped: Vec<Vec3>,
 }
 
 impl ParticleSystem {
     /// Wrap the given positions into the box and take them as the initial
-    /// configuration.
+    /// configuration of a periodic system.
     pub fn new(positions: Vec<Vec3>, box_l: f64, a: f64, eta: f64) -> ParticleSystem {
         assert!(box_l > 0.0 && a > 0.0 && eta > 0.0);
         let pos: Vec<Vec3> = positions.iter().map(|p| p.wrap_into_box(box_l)).collect();
         let unwrapped = pos.clone();
-        ParticleSystem { box_l, a, eta, pos, unwrapped }
+        ParticleSystem { box_l, a, eta, boundary: Boundary::Periodic, pos, unwrapped }
+    }
+
+    /// Take the given positions verbatim as an open-boundary (free-space)
+    /// system. `box_l` is zero: there is no box and nothing ever wraps.
+    pub fn new_open(positions: Vec<Vec3>, a: f64, eta: f64) -> ParticleSystem {
+        assert!(a > 0.0 && eta > 0.0);
+        let unwrapped = positions.clone();
+        ParticleSystem { box_l: 0.0, a, eta, boundary: Boundary::Open, pos: positions, unwrapped }
     }
 
     /// Random non-overlapping suspension of `n` unit spheres (`a = eta = 1`)
@@ -59,6 +85,31 @@ impl ParticleSystem {
         ParticleSystem::new(pos, box_l, a, eta)
     }
 
+    /// Random non-overlapping open-boundary cluster of `n` spheres: the same
+    /// insertion machinery as [`random_suspension_with`](Self::random_suspension_with)
+    /// sized for local density `phi`, but with [`Boundary::Open`] — the
+    /// "cube of solvent" is just the insertion region, not a periodic box.
+    pub fn random_cluster_with<R: Rng + ?Sized>(
+        n: usize,
+        phi: f64,
+        a: f64,
+        eta: f64,
+        rng: &mut R,
+    ) -> ParticleSystem {
+        let side = (4.0 * std::f64::consts::PI * a.powi(3) * n as f64 / (3.0 * phi)).cbrt();
+        let pos = if phi <= 0.25 {
+            rsa_insert(n, side, a, rng).unwrap_or_else(|| lattice_jitter(n, side, a, rng))
+        } else {
+            lattice_jitter(n, side, a, rng)
+        };
+        ParticleSystem::new_open(pos, a, eta)
+    }
+
+    /// The boundary condition.
+    pub fn boundary(&self) -> Boundary {
+        self.boundary
+    }
+
     pub fn len(&self) -> usize {
         self.pos.len()
     }
@@ -67,7 +118,8 @@ impl ParticleSystem {
         self.pos.is_empty()
     }
 
-    /// Wrapped positions (inside `[0, L)^3`).
+    /// Operator-facing positions: wrapped into `[0, L)^3` for periodic
+    /// systems, raw for open systems (where they equal the unwrapped ones).
     pub fn positions(&self) -> &[Vec3] {
         &self.pos
     }
@@ -84,38 +136,71 @@ impl ParticleSystem {
         self.unwrapped = unwrapped;
     }
 
-    /// Achieved volume fraction `n (4/3) pi a^3 / L^3`.
+    /// Achieved volume fraction `n (4/3) pi a^3 / L^3` (meaningless — and
+    /// infinite — for open boundaries, which have no box volume).
     pub fn volume_fraction(&self) -> f64 {
         self.len() as f64 * 4.0 / 3.0 * std::f64::consts::PI * self.a.powi(3) / self.box_l.powi(3)
     }
 
     /// Apply a flat displacement vector `d` (length `3n`): unwrapped
-    /// coordinates accumulate it verbatim, wrapped coordinates re-enter the
-    /// box.
+    /// coordinates accumulate it verbatim; wrapped coordinates re-enter the
+    /// box (periodic) or accumulate it too (open).
     pub fn apply_displacements(&mut self, d: &[f64]) {
         assert_eq!(d.len(), 3 * self.len());
         for (i, (p, u)) in self.pos.iter_mut().zip(self.unwrapped.iter_mut()).enumerate() {
             let dv = Vec3::new(d[3 * i], d[3 * i + 1], d[3 * i + 2]);
             *u += dv;
-            *p = (*p + dv).wrap_into_box(self.box_l);
+            *p = match self.boundary {
+                Boundary::Periodic => (*p + dv).wrap_into_box(self.box_l),
+                Boundary::Open => *p + dv,
+            };
         }
     }
 
-    /// Smallest pair separation (minimum image); `None` for n < 2.
+    /// The displacement `r_i - r_j` under this system's boundary: minimum
+    /// image for periodic, raw for open.
+    pub fn pair_dr(&self, i: usize, j: usize) -> Vec3 {
+        let raw = self.pos[i] - self.pos[j];
+        match self.boundary {
+            Boundary::Periodic => raw.min_image(self.box_l),
+            Boundary::Open => raw,
+        }
+    }
+
+    /// Smallest pair separation (minimum image for periodic systems, raw for
+    /// open ones); `None` for n < 2.
     pub fn min_separation(&self) -> Option<f64> {
         if self.len() < 2 {
             return None;
         }
-        let cl = hibd_cells::CellList::new(&self.pos, self.box_l, self.box_l / 2.001);
         let mut min = f64::INFINITY;
-        cl.for_each_pair(|_, _, _, r2| {
-            min = min.min(r2.sqrt());
-        });
-        // All pairs beyond L/2 from each other: fall back to brute scan.
-        if min.is_infinite() {
-            for i in 0..self.len() {
-                for j in i + 1..self.len() {
-                    min = min.min((self.pos[i] - self.pos[j]).min_image(self.box_l).norm());
+        match self.boundary {
+            Boundary::Periodic => {
+                let cl = hibd_cells::CellList::new(&self.pos, self.box_l, self.box_l / 2.001);
+                cl.for_each_pair(|_, _, _, r2| {
+                    min = min.min(r2.sqrt());
+                });
+                // All pairs beyond L/2 from each other: fall back to brute scan.
+                if min.is_infinite() {
+                    for i in 0..self.len() {
+                        for j in i + 1..self.len() {
+                            min = min.min((self.pos[i] - self.pos[j]).min_image(self.box_l).norm());
+                        }
+                    }
+                }
+            }
+            Boundary::Open => {
+                let cl = hibd_cells::CellList::new_open(&self.pos, 4.0 * self.a);
+                cl.for_each_pair(|_, _, _, r2| {
+                    min = min.min(r2.sqrt());
+                });
+                // Cloud sparser than the cell cutoff: brute scan.
+                if min.is_infinite() {
+                    for i in 0..self.len() {
+                        for j in i + 1..self.len() {
+                            min = min.min((self.pos[i] - self.pos[j]).norm());
+                        }
+                    }
                 }
             }
         }
@@ -258,6 +343,47 @@ mod tests {
         for (x, y) in a.positions().iter().zip(b.positions()) {
             assert_eq!(x, y);
         }
+    }
+
+    #[test]
+    fn open_system_never_wraps() {
+        let pos = vec![Vec3::new(9.9, 5.0, 5.0), Vec3::new(1.0, 1.0, 1.0)];
+        let mut sys = ParticleSystem::new_open(pos, 1.0, 1.0);
+        assert_eq!(sys.boundary(), Boundary::Open);
+        assert_eq!(sys.box_l, 0.0);
+        let d = vec![0.3, 0.0, 0.0, -2.0, 0.0, 0.0];
+        sys.apply_displacements(&d);
+        assert!((sys.positions()[0].x - 10.2).abs() < 1e-12);
+        assert!((sys.positions()[1].x - -1.0).abs() < 1e-12);
+        // Wrapped and unwrapped coincide for open systems.
+        assert_eq!(sys.positions(), sys.unwrapped());
+    }
+
+    #[test]
+    fn open_pair_dr_is_raw() {
+        let sys = ParticleSystem::new_open(
+            vec![Vec3::new(0.0, 0.0, 0.0), Vec3::new(9.0, 0.0, 0.0)],
+            1.0,
+            1.0,
+        );
+        assert!((sys.pair_dr(0, 1).x - -9.0).abs() < 1e-12);
+        assert!((sys.min_separation().unwrap() - 9.0).abs() < 1e-12);
+        let per = ParticleSystem::new(
+            vec![Vec3::new(0.0, 0.0, 0.0), Vec3::new(9.0, 0.0, 0.0)],
+            10.0,
+            1.0,
+            1.0,
+        );
+        assert!((per.pair_dr(0, 1).x - 1.0).abs() < 1e-12, "periodic min-images");
+    }
+
+    #[test]
+    fn random_cluster_is_open_and_overlap_free() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let sys = ParticleSystem::random_cluster_with(200, 0.15, 1.0, 1.0, &mut rng);
+        assert_eq!(sys.boundary(), Boundary::Open);
+        assert_eq!(sys.len(), 200);
+        assert!(sys.min_separation().unwrap() >= 2.0);
     }
 
     #[test]

@@ -28,4 +28,4 @@ pub use dense::{dense_ewald_mobility, dense_rpy_free};
 pub use ewald::RpyEwald;
 pub use polydisperse::{dense_rpy_free_poly, rpy_poly_pair_tensor};
 pub use stokeslet::OseenEwald;
-pub use tensor::{rpy_pair_tensor, rpy_self_mobility};
+pub use tensor::{rpy_pair_scalars, rpy_pair_tensor, rpy_self_mobility};

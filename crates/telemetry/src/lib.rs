@@ -64,10 +64,18 @@ pub enum Phase {
     Assembly = 9,
     /// Dense Cholesky factorization.
     Cholesky = 10,
+    /// Treecode octree construction (Morton sort, traversal lists, proxies).
+    TreeBuild = 11,
+    /// Treecode upward pass (P2M anterpolation + M2M transfers).
+    Upward = 12,
+    /// Treecode far field (source-proxy to target-particle kernel sums).
+    FarField = 13,
+    /// Treecode near field (direct two-branch RPY over leaf pairs).
+    NearField = 14,
 }
 
 /// Number of phases in the registry.
-pub const NUM_PHASES: usize = 11;
+pub const NUM_PHASES: usize = 15;
 
 impl Phase {
     /// Every phase, in `repr` order.
@@ -83,6 +91,10 @@ impl Phase {
         Phase::Stepping,
         Phase::Assembly,
         Phase::Cholesky,
+        Phase::TreeBuild,
+        Phase::Upward,
+        Phase::FarField,
+        Phase::NearField,
     ];
 
     /// Stable snake_case name (used in JSON profiles).
@@ -100,6 +112,10 @@ impl Phase {
             Phase::Stepping => "stepping",
             Phase::Assembly => "assembly",
             Phase::Cholesky => "cholesky",
+            Phase::TreeBuild => "tree_build",
+            Phase::Upward => "upward",
+            Phase::FarField => "far_field",
+            Phase::NearField => "near_field",
         }
     }
 }
@@ -120,10 +136,14 @@ pub enum Counter {
     NeighborRebuilds = 4,
     /// Peak PME operator scratch footprint in bytes (a gauge: merged by max).
     PmeScratchBytes = 5,
+    /// Treecode traversal interactions evaluated per apply: direct
+    /// particle-particle near-field pairs plus proxy-to-particle far-field
+    /// kernel evaluations.
+    TreeInteractions = 6,
 }
 
 /// Number of counters in the registry.
-pub const NUM_COUNTERS: usize = 6;
+pub const NUM_COUNTERS: usize = 7;
 
 impl Counter {
     /// Every counter, in `repr` order.
@@ -134,6 +154,7 @@ impl Counter {
         Counter::LanczosRestarts,
         Counter::NeighborRebuilds,
         Counter::PmeScratchBytes,
+        Counter::TreeInteractions,
     ];
 
     /// Stable snake_case name (used in JSON profiles).
@@ -146,6 +167,7 @@ impl Counter {
             Counter::LanczosRestarts => "lanczos_restarts",
             Counter::NeighborRebuilds => "neighbor_rebuilds",
             Counter::PmeScratchBytes => "pme_scratch_bytes",
+            Counter::TreeInteractions => "tree_interactions",
         }
     }
 

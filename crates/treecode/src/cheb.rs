@@ -1,0 +1,194 @@
+//! Chebyshev anterpolation: the kernel-independent far-field machinery.
+//!
+//! Each tree node carries a `q^3` tensor grid of proxy sources at Chebyshev
+//! points of its cube. A point source at `x` inside the cube is *anterpolated*
+//! onto the grid with the Chebyshev interpolation weights
+//!
+//! `S_m(x̂) = 1/q + (2/q) sum_{k=1}^{q-1} T_k(t_m) T_k(x̂)`
+//!
+//! (`t_m` the 1-D Chebyshev nodes, `x̂` the coordinate normalized to
+//! `[-1, 1]`, weights taken as the product over the three dimensions). Since
+//! `sum_m S_m(x̂) = 1` exactly, the proxies conserve the total source
+//! strength; smoothness of the far-branch RPY kernel then bounds the
+//! approximation error by the Chebyshev interpolation error of the kernel on
+//! the source cube. Vector (3-component) source strengths are carried
+//! per proxy because RPY is a tensor kernel.
+//!
+//! M2M (child proxies -> parent proxies) reuses the same weights: a child
+//! proxy is just a point source at a known position inside the parent cube,
+//! so the eight child->parent transfer matrices are universal (geometry is
+//! self-similar) and are precomputed once per operator.
+
+/// 1-D Chebyshev nodes `t_m = cos((2m+1)π/(2q))` on `[-1, 1]`.
+pub fn nodes(q: usize) -> Vec<f64> {
+    assert!(q >= 2, "need at least two Chebyshev nodes");
+    (0..q)
+        .map(|m| (std::f64::consts::PI * (2.0 * m as f64 + 1.0) / (2.0 * q as f64)).cos())
+        .collect()
+}
+
+/// Evaluate the `q` anterpolation weights `S_m(x̂)` at normalized coordinate
+/// `x̂` into `out` (allocation-free; `out.len() == q`).
+#[inline]
+pub fn weights_into(t: &[f64], xh: f64, out: &mut [f64]) {
+    let q = t.len();
+    debug_assert_eq!(out.len(), q);
+    let x = xh.clamp(-1.0, 1.0);
+    for (m, o) in out.iter_mut().enumerate() {
+        // Accumulate 1/q + (2/q) Σ_k T_k(t_m) T_k(x) by the Chebyshev
+        // three-term recurrence in both arguments.
+        let (mut tk_m_prev, mut tk_m) = (1.0, t[m]);
+        let (mut tk_x_prev, mut tk_x) = (1.0, x);
+        let mut s = 1.0 / q as f64;
+        for _k in 1..q {
+            s += 2.0 / q as f64 * tk_m * tk_x;
+            let next_m = 2.0 * t[m] * tk_m - tk_m_prev;
+            tk_m_prev = tk_m;
+            tk_m = next_m;
+            let next_x = 2.0 * x * tk_x - tk_x_prev;
+            tk_x_prev = tk_x;
+            tk_x = next_x;
+        }
+        *o = s;
+    }
+}
+
+/// The two 1-D child->parent transfer matrices (`[child_bit][m * q + p]`):
+/// entry `(m, p)` is `S_m` evaluated at child node `p`'s position in parent
+/// coordinates, `x̂ = ±1/2 + t_p / 2`.
+pub fn m2m_1d(t: &[f64]) -> [Vec<f64>; 2] {
+    let q = t.len();
+    let mut lo = vec![0.0; q * q];
+    let mut hi = vec![0.0; q * q];
+    let mut row = vec![0.0; q];
+    for p in 0..q {
+        for (half, out) in [(-0.5, &mut lo), (0.5, &mut hi)] {
+            weights_into(t, half + 0.5 * t[p], &mut row);
+            for m in 0..q {
+                out[m * q + p] = row[m];
+            }
+        }
+    }
+    [lo, hi]
+}
+
+/// Assemble the eight dense `q^3 x q^3` octant transfer matrices from the
+/// 1-D factors: `T_o[m][p] = s_x[m_x][p_x] s_y[m_y][p_y] s_z[m_z][p_z]`
+/// with the octant bit convention of [`crate::morton::octant_of`]
+/// (bit 2 = x). Row-major `[m * q^3 + p]`, grid index `m = (m_x q + m_y) q
+/// + m_z`.
+pub fn m2m_octants(t: &[f64]) -> Vec<Vec<f64>> {
+    let q = t.len();
+    let q3 = q * q * q;
+    let oned = m2m_1d(t);
+    let mut out = Vec::with_capacity(8);
+    for o in 0..8usize {
+        let sx = &oned[(o >> 2) & 1];
+        let sy = &oned[(o >> 1) & 1];
+        let sz = &oned[o & 1];
+        let mut m2m = vec![0.0; q3 * q3];
+        for mx in 0..q {
+            for my in 0..q {
+                for mz in 0..q {
+                    let m = (mx * q + my) * q + mz;
+                    for px in 0..q {
+                        for py in 0..q {
+                            for pz in 0..q {
+                                let p = (px * q + py) * q + pz;
+                                m2m[m * q3 + p] =
+                                    sx[mx * q + px] * sy[my * q + py] * sz[mz * q + pz];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out.push(m2m);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_are_in_range_and_decreasing() {
+        for q in [2, 3, 4, 5, 8] {
+            let t = nodes(q);
+            assert_eq!(t.len(), q);
+            assert!(t.iter().all(|v| v.abs() < 1.0));
+            assert!(t.windows(2).all(|w| w[0] > w[1]));
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let t = nodes(5);
+        let mut w = vec![0.0; 5];
+        for xh in [-1.0, -0.33, 0.0, 0.5, 0.99] {
+            weights_into(&t, xh, &mut w);
+            let s: f64 = w.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12, "xh={xh} sum={s}");
+        }
+    }
+
+    #[test]
+    fn weights_interpolate_at_nodes() {
+        // At x̂ = t_j the weight vector is the Kronecker delta.
+        let t = nodes(4);
+        let mut w = vec![0.0; 4];
+        for j in 0..4 {
+            weights_into(&t, t[j], &mut w);
+            for (m, &wm) in w.iter().enumerate() {
+                let want = if m == j { 1.0 } else { 0.0 };
+                assert!((wm - want).abs() < 1e-10, "j={j} m={m} w={wm}");
+            }
+        }
+    }
+
+    #[test]
+    fn anterpolation_reproduces_low_degree_moments() {
+        // Σ_m S_m(x̂) f(t_m) equals f(x̂) exactly for polynomials of degree
+        // < q; check monomials.
+        let q = 4;
+        let t = nodes(q);
+        let mut w = vec![0.0; q];
+        for xh in [-0.8, -0.1, 0.4, 0.77] {
+            weights_into(&t, xh, &mut w);
+            for deg in 0..q {
+                let got: f64 = (0..q).map(|m| w[m] * t[m].powi(deg as i32)).sum();
+                assert!((got - xh.powi(deg as i32)).abs() < 1e-12, "deg={deg} xh={xh}");
+            }
+        }
+    }
+
+    #[test]
+    fn m2m_rows_sum_to_one_per_child_node() {
+        // Each child proxy is a unit source: its parent weights must sum
+        // to 1 (columns of the 1-D factors sum to 1).
+        let t = nodes(4);
+        let [lo, hi] = m2m_1d(&t);
+        for p in 0..4 {
+            for mat in [&lo, &hi] {
+                let s: f64 = (0..4).map(|m| mat[m * 4 + p]).sum();
+                assert!((s - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn octant_matrices_factorize() {
+        let t = nodes(3);
+        let q3 = 27;
+        let mats = m2m_octants(&t);
+        assert_eq!(mats.len(), 8);
+        // Unit source at child proxy p: column p must sum to 1.
+        for mat in &mats {
+            for p in 0..q3 {
+                let s: f64 = (0..q3).map(|m| mat[m * q3 + p]).sum();
+                assert!((s - 1.0).abs() < 1e-10);
+            }
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! `hibd-treecode`: hierarchical `O(n log n)` free-space RPY mobility.
+//!
+//! The periodic backends of the workspace (dense Ewald, PME, PSE) all
+//! presuppose a cubic box; the workload class that motivates the paper's
+//! biomolecular examples — finite clusters, polymers and proteins in an
+//! unbounded solvent — needs the *free-space* RPY tensor instead. Its far
+//! field is smooth, so a kernel-independent treecode in the RPYFMM lineage
+//! applies: a linearized octree over the cloud (Morton order, leaf capacity
+//! `s`), Chebyshev anterpolation proxies per cell carrying 3-vector source
+//! strengths, a multipole acceptance criterion `theta`, and exact direct
+//! evaluation (two-branch RPY with Yamakawa overlap regularization) for
+//! everything the traversal cannot separate.
+//!
+//! [`TreeOperator`] implements the same [`hibd_linalg::LinearOperator`]
+//! trait as the PME and dense operators, so block Lanczos, the BD drivers,
+//! telemetry, and the audit/alloc tooling consume it unchanged. Accuracy is
+//! governed by [`TreeParams`] (`theta`, `cheb_order`) and the [`tune`]
+//! schedule, which is validated by measurement against the dense free-space
+//! RPY matrix — not by an asymptotic error bound.
+//!
+//! Module map: [`morton`] (Z-order codes), [`tree`] (linearized octree),
+//! [`cheb`] (anterpolation weights and the universal M2M transfer
+//! matrices), [`operator`] (the matrix-free apply), [`tuner`] (accuracy
+//! schedule).
+
+pub mod cheb;
+pub mod morton;
+pub mod operator;
+pub mod tree;
+pub mod tuner;
+
+pub use operator::{TreeOperator, TreeParams, TreeTimings, MAX_CHEB_ORDER};
+pub use tree::Octree;
+pub use tuner::{measured_rel_error, tune, SCHEDULE};

@@ -1,0 +1,118 @@
+//! Accuracy tuner: pick `(theta, cheb_order)` for a target matvec error.
+//!
+//! The Chebyshev far field converges geometrically in the order `q` with a
+//! rate set by the MAC parameter `theta` (smaller `theta` pushes source
+//! cubes further away relative to their size). Rather than trusting an
+//! asymptotic error model, the tuner *measures*: it walks an escalating
+//! schedule of `(theta, q)` pairs and returns the first whose worst-case
+//! relative error against the dense free-space RPY matrix — on the given
+//! cloud or a subsample of it — meets the target. This is the validation
+//! required to claim a tolerance, and tests pin the schedule to it.
+
+use crate::operator::{TreeOperator, TreeParams};
+use hibd_linalg::LinearOperator;
+use hibd_mathx::Vec3;
+use hibd_rpy::dense_rpy_free;
+
+/// The escalation schedule: `(guaranteed_tol, theta, cheb_order)`, loosest
+/// first. Tolerances are conservative relative to measured errors on random
+/// clouds (see `tests/accuracy.rs`).
+pub const SCHEDULE: [(f64, f64, usize); 4] =
+    [(1e-2, 0.7, 3), (1e-3, 0.4, 3), (1e-4, 0.4, 4), (1e-5, 0.4, 5)];
+
+/// Measure the worst relative error `max_t ||(M_tree - M_dense) x_t|| /
+/// ||M_dense x_t||` over `trials` deterministic pseudo-random unit vectors.
+pub fn measured_rel_error(positions: &[Vec3], params: TreeParams, trials: usize) -> f64 {
+    assert!(!positions.is_empty() && trials > 0);
+    let n = positions.len();
+    let dense = dense_rpy_free(positions, params.a, params.eta);
+    let mut tree = TreeOperator::new(positions, params);
+    let mut x = vec![0.0; 3 * n];
+    let mut yt = vec![0.0; 3 * n];
+    let mut yd = vec![0.0; 3 * n];
+    let mut state = 0x243f_6a88_85a3_08d3u64;
+    let mut worst = 0.0f64;
+    for _ in 0..trials {
+        for v in &mut x {
+            // SplitMix64 into [-1, 1).
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            *v = (z >> 11) as f64 / (1u64 << 52) as f64 - 1.0;
+        }
+        tree.apply(&x, &mut yt);
+        dense.mul_vec(&x, &mut yd);
+        let (mut err2, mut ref2) = (0.0, 0.0);
+        for (t, d) in yt.iter().zip(&yd) {
+            err2 += (t - d) * (t - d);
+            ref2 += d * d;
+        }
+        worst = worst.max((err2 / ref2.max(f64::MIN_POSITIVE)).sqrt());
+    }
+    worst
+}
+
+/// Choose parameters for `rel_tol` by measuring the schedule against the
+/// dense matrix on (a subsample of) `positions`. Falls back to the
+/// strictest entry when even it misses the target.
+pub fn tune(positions: &[Vec3], rel_tol: f64, a: f64, eta: f64) -> TreeParams {
+    assert!(rel_tol > 0.0);
+    // Cap the dense reference at ~250 particles; the error is a local
+    // property of the MAC geometry, not of the cloud size.
+    let sample: Vec<Vec3> = if positions.len() > 250 {
+        let stride = positions.len().div_ceil(250);
+        positions.iter().copied().step_by(stride).collect()
+    } else {
+        positions.to_vec()
+    };
+    let mut chosen = None;
+    for &(tol, theta, q) in &SCHEDULE {
+        if tol > rel_tol {
+            continue;
+        }
+        let params = TreeParams { theta, cheb_order: q, a, eta, ..TreeParams::default() };
+        if sample.len() < 2 || measured_rel_error(&sample, params, 3) <= rel_tol {
+            chosen = Some(params);
+            break;
+        }
+    }
+    chosen.unwrap_or_else(|| {
+        let (_, theta, q) = SCHEDULE[SCHEDULE.len() - 1];
+        TreeParams { theta, cheb_order: q, a, eta, ..TreeParams::default() }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cloud(n: usize, spread: f64, seed: u64) -> Vec<Vec3> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 * spread
+        };
+        (0..n).map(|_| Vec3::new(next(), next(), next())).collect()
+    }
+
+    #[test]
+    fn tune_returns_schedule_entries_in_tolerance_order() {
+        let pos = cloud(120, 20.0, 4);
+        let loose = tune(&pos, 1e-2, 1.0, 1.0);
+        let tight = tune(&pos, 1e-4, 1.0, 1.0);
+        assert!(loose.theta >= tight.theta);
+        assert!(loose.cheb_order <= tight.cheb_order);
+    }
+
+    #[test]
+    fn tuned_params_meet_their_target() {
+        let pos = cloud(100, 15.0, 8);
+        for tol in [1e-2, 1e-3] {
+            let params = tune(&pos, tol, 1.0, 1.0);
+            let err = measured_rel_error(&pos, params, 2);
+            assert!(err <= tol, "tol {tol}: measured {err}");
+        }
+    }
+}

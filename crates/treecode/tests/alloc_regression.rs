@@ -1,0 +1,89 @@
+//! Allocation regression for the treecode steady state.
+//!
+//! Construction builds the octree, traversal lists and anterpolation tables;
+//! after one warm-up apply (which lets rayon finish lazy pool setup),
+//! repeated applies must cause no net heap growth and `memory_bytes` must
+//! not move — the apply path is strictly reuse-only operator-owned scratch.
+
+use hibd_alloctrack::{exclusive, measure};
+use hibd_linalg::LinearOperator;
+use hibd_mathx::Vec3;
+use hibd_treecode::{TreeOperator, TreeParams};
+
+hibd_alloctrack::install!();
+
+const TOL: isize = 16 * 1024;
+
+fn cloud(n: usize, spread: f64, seed: u64) -> Vec<Vec3> {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64 * spread
+    };
+    (0..n).map(|_| Vec3::new(next(), next(), next())).collect()
+}
+
+#[test]
+fn apply_is_allocation_free_at_steady_state() {
+    let _guard = exclusive();
+    let n = 400;
+    let pos = cloud(n, 30.0, 3);
+    let params = TreeParams { leaf_capacity: 16, ..TreeParams::default() };
+    let mut op = TreeOperator::new(&pos, params);
+    let x = vec![0.5; 3 * n];
+    let mut y = vec![0.0; 3 * n];
+    op.apply(&x, &mut y); // warm-up (rayon pool, lazy growth)
+    let mem = op.memory_bytes();
+    let (m, ()) = measure(|| {
+        for _ in 0..5 {
+            op.apply(&x, &mut y);
+        }
+    });
+    assert!(m.net_bytes.abs() <= TOL, "5 warm applies leaked {} net bytes", m.net_bytes);
+    assert_eq!(op.memory_bytes(), mem, "operator scratch grew after warm-up");
+}
+
+#[test]
+fn apply_multi_is_allocation_free_at_steady_state() {
+    let _guard = exclusive();
+    let n = 200;
+    let s = 4;
+    let pos = cloud(n, 20.0, 9);
+    let params = TreeParams { leaf_capacity: 16, ..TreeParams::default() };
+    let mut op = TreeOperator::new(&pos, params);
+    let x = vec![0.25; 3 * n * s];
+    let mut y = vec![0.0; 3 * n * s];
+    op.apply_multi(&x, &mut y, s); // warm-up grows the column scratch
+    let mem = op.memory_bytes();
+    let (m, ()) = measure(|| {
+        for _ in 0..3 {
+            op.apply_multi(&x, &mut y, s);
+        }
+    });
+    assert!(m.net_bytes.abs() <= TOL, "3 warm block applies leaked {} net bytes", m.net_bytes);
+    assert_eq!(op.memory_bytes(), mem, "block scratch grew after warm-up");
+}
+
+#[test]
+fn memory_bytes_accounts_for_the_dominant_storage() {
+    // Self-audit: the report must cover at least the storage we can bound
+    // from first principles (positions + order + per-particle weights +
+    // the Morton scratch), and construction must not under-report scratch
+    // that the first apply then grows.
+    let _guard = exclusive();
+    let n = 300;
+    let pos = cloud(n, 25.0, 11);
+    let params = TreeParams::default();
+    let q = params.cheb_order;
+    let mut op = TreeOperator::new(&pos, params);
+    let floor = n * std::mem::size_of::<Vec3>()      // Morton positions
+        + n * std::mem::size_of::<u32>()             // order
+        + n * 3 * q * std::mem::size_of::<f64>()     // anterpolation weights
+        + 2 * 3 * n * std::mem::size_of::<f64>(); // xr + yr
+    assert!(op.memory_bytes() >= floor, "{} < floor {}", op.memory_bytes(), floor);
+    let before = op.memory_bytes();
+    let x = vec![1.0; 3 * n];
+    let mut y = vec![0.0; 3 * n];
+    op.apply(&x, &mut y);
+    assert_eq!(op.memory_bytes(), before, "single-vector apply grew scratch");
+}

@@ -26,12 +26,10 @@ fn main() {
     let dt = config.dt;
     let mut sim = MatrixFreeBd::new(system, config, 7).expect("setup");
     sim.add_force(RepulsiveHarmonic::default());
+    let pme = sim.pme_params().expect("periodic run has PME params");
     println!(
         "PME: K = {}, p = {}, r_max = {:.2}, alpha = {:.3}",
-        sim.pme_params().mesh_dim,
-        sim.pme_params().spline_order,
-        sim.pme_params().r_max,
-        sim.pme_params().alpha
+        pme.mesh_dim, pme.spline_order, pme.r_max, pme.alpha
     );
 
     // Equilibrate, then measure the mean-squared displacement.

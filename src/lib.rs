@@ -34,11 +34,12 @@
 //! | [`fft`] | 3D real-to-complex FFT (mixed radix, from scratch) |
 //! | [`sparse`] | CSR / fixed-nnz CSR / 3x3-block BCSR sparse kernels |
 //! | [`linalg`] | dense matrix, Cholesky, QR, symmetric eigensolvers |
-//! | [`cells`] | periodic Verlet cell lists |
+//! | [`cells`] | periodic and open-boundary Verlet cell lists |
 //! | [`rpy`] | RPY tensor and its Beenakker Ewald summation |
 //! | [`pme`] | particle-mesh Ewald operator for the RPY tensor |
 //! | [`krylov`] | (block) Lanczos computation of `M^{1/2} z` |
 //! | [`pse`] | positively-split Ewald Brownian displacement sampler |
+//! | [`treecode`] | hierarchical free-space RPY operator (open boundaries) |
 //! | [`core`] | BD drivers, forces, diffusion analysis, hybrid execution |
 
 pub use hibd_cells as cells;
@@ -52,6 +53,7 @@ pub use hibd_pse as pse;
 pub use hibd_rpy as rpy;
 pub use hibd_sparse as sparse;
 pub use hibd_telemetry as telemetry;
+pub use hibd_treecode as treecode;
 
 /// The most commonly used items, re-exported for convenience.
 pub mod prelude {
