@@ -1,0 +1,46 @@
+//! Criterion bench: scalar vs SIMD for the 1D mixed-radix combine kernels.
+//!
+//! Sizes are chosen so one leaf radix dominates the combine work: 256 = 4^4,
+//! 162 = 2 * 3^4 (radix-2 top stage over radix-3), 243 = 3^5, 625 = 5^4.
+//! The "scalar" group forces the pre-SIMD fallback via the process-global
+//! `hibd_simd` override; Criterion runs groups sequentially, so the toggle
+//! cannot race.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hibd_fft::{Complex64, FftPlan};
+
+fn signal(n: usize) -> Vec<Complex64> {
+    (0..n).map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.61).cos())).collect()
+}
+
+fn bench_fft_leaf_radix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_leaf_radix");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for (label, n) in
+        [("radix4_256", 256usize), ("radix2_162", 162), ("radix3_243", 243), ("radix5_625", 625)]
+    {
+        let plan = FftPlan::new(n).unwrap();
+        let x = signal(n);
+        let mut data = x.clone();
+        let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
+        group.bench_with_input(BenchmarkId::new("scalar", label), &n, |b, _| {
+            let _g = hibd_simd::ScalarGuard::new();
+            b.iter(|| {
+                data.copy_from_slice(&x);
+                plan.forward(&mut data, &mut scratch);
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("simd", label), &n, |b, _| {
+            b.iter(|| {
+                data.copy_from_slice(&x);
+                plan.forward(&mut data, &mut scratch);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft_leaf_radix);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Criterion bench: scalar vs SIMD for the batched RPY near-field kernels —
+//! the free-space pair accumulator the treecode leaf pass runs, and the
+//! 4-lane Beenakker real-space tensor batch the PME real-space assembly
+//! runs.
+//!
+//! The "scalar" group forces the pre-SIMD fallback via the process-global
+//! `hibd_simd` override; Criterion runs groups sequentially, so the toggle
+//! cannot race.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hibd_mathx::Vec3;
+use hibd_rpy::{real_tensors_with_overlap4, rpy_pairs_accumulate, RpyEwald, PAIR_TILE};
+
+fn bench_nearfield_pairs(c: &mut Criterion) {
+    let a = 1.0;
+    let ntiles = 64;
+    let n = ntiles * PAIR_TILE;
+    let mut state = 0x243f6a8885a308d3_u64;
+    let mut next = move || {
+        state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        (state >> 11) as f64 / (1u64 << 53) as f64 * 6.0 - 3.0
+    };
+    let sx: Vec<f64> = (0..n).map(|_| next()).collect();
+    let sy: Vec<f64> = (0..n).map(|_| next()).collect();
+    let sz: Vec<f64> = (0..n).map(|_| next()).collect();
+    let vx: Vec<f64> = (0..n).map(|_| next()).collect();
+    let vy: Vec<f64> = (0..n).map(|_| next()).collect();
+    let vz: Vec<f64> = (0..n).map(|_| next()).collect();
+    let ew = RpyEwald::new(1.0, 1.0, 12.0, 0.8, 1e-8);
+    let rv: Vec<[Vec3; 4]> = (0..256)
+        .map(|_| {
+            [
+                Vec3::new(next().abs() + 0.3, next(), next()),
+                Vec3::new(next(), next().abs() + 0.3, next()),
+                Vec3::new(next(), next(), next().abs() + 0.3),
+                Vec3::new(next().abs() + 0.3, next(), next()),
+            ]
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("nearfield_pairs");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for simd in [false, true] {
+        let mode = if simd { "simd" } else { "scalar" };
+        let guard = (!simd).then(hibd_simd::ScalarGuard::new);
+        group.bench_with_input(BenchmarkId::new(mode, format!("pairs_{n}")), &n, |b, _| {
+            b.iter(|| {
+                let mut out = [0.0f64; 3];
+                for t in 0..ntiles {
+                    let lo = t * PAIR_TILE;
+                    let hi = lo + PAIR_TILE;
+                    rpy_pairs_accumulate(
+                        a,
+                        0.1,
+                        -0.2,
+                        0.3,
+                        &sx[lo..hi],
+                        &sy[lo..hi],
+                        &sz[lo..hi],
+                        &vx[lo..hi],
+                        &vy[lo..hi],
+                        &vz[lo..hi],
+                        &mut out,
+                    );
+                }
+                out
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new(mode, format!("ewald4_{}", 4 * rv.len())),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    let mut out = [[0.0f64; 9]; 4];
+                    for quad in &rv {
+                        real_tensors_with_overlap4(&ew, quad, &mut out);
+                        acc += out[0][0];
+                    }
+                    acc
+                });
+            },
+        );
+        drop(guard);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nearfield_pairs);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion bench: scalar vs SIMD for the B-spline spread/interpolate
+//! kernels, single-RHS and the batched multi-RHS (`[dim][s]`) variants.
+//!
+//! The "scalar" group forces the pre-SIMD fallback via the process-global
+//! `hibd_simd` override; Criterion runs groups sequentially, so the toggle
+//! cannot race.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hibd_mathx::Vec3;
+use hibd_pme::pmat::build_interp_matrix;
+use hibd_pme::spread::{interpolate, interpolate_multi, SpreadPlan};
+
+fn positions(n: usize, box_l: f64, seed: u64) -> Vec<Vec3> {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64 * box_l
+    };
+    (0..n).map(|_| Vec3::new(next(), next(), next())).collect()
+}
+
+fn vector(len: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+        .collect()
+}
+
+fn bench_spread_interp(c: &mut Criterion) {
+    let (n, k, p, box_l, s) = (400usize, 32usize, 6usize, 12.0f64, 8usize);
+    let pos = positions(n, box_l, 7);
+    let pm = build_interp_matrix(&pos, box_l, k, p);
+    let plan = SpreadPlan::new(&pm.scaled, k, p);
+    let k3 = k * k * k;
+    let f = vector(3 * n, 11);
+    let fs = vector(3 * n * s, 13);
+    let mut mesh = vec![0.0; 3 * k3];
+    let mut mesh_s = vec![0.0; 3 * s * k3];
+    let mut u = vec![0.0; 3 * n];
+    let mut us = vec![0.0; 3 * n * s];
+
+    let mut group = c.benchmark_group("spread_interp_multi");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_secs(1));
+    for simd in [false, true] {
+        let mode = if simd { "simd" } else { "scalar" };
+        let guard = (!simd).then(hibd_simd::ScalarGuard::new);
+        group.bench_with_input(BenchmarkId::new(mode, "spread_interp_1"), &p, |b, _| {
+            b.iter(|| {
+                plan.spread(&pm, &f, &mut mesh);
+                interpolate(&pm, &mesh, &mut u);
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new(mode, format!("spread_interp_s{s}")),
+            &p,
+            |b, _| {
+                b.iter(|| {
+                    plan.spread_multi(&pm, &fs, s, 0, s, &mut mesh_s);
+                    interpolate_multi(&pm, &mesh_s, s, 0, s, &mut us);
+                });
+            },
+        );
+        drop(guard);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spread_interp);
+criterion_main!(benches);

@@ -1,0 +1,193 @@
+//! Scalar-vs-SIMD kernel timings for the vectorized kernel layer
+//! (fft_leaf_radix / spread_interp_multi / nearfield_pairs), in a plain
+//! timing harness that emits machine-readable JSON.
+//!
+//! Criterion covers the same three groups interactively (`cargo bench`);
+//! this binary is the archival path: it runs each case under the forced
+//! scalar override and under auto-detection, takes the best of repeated
+//! timed blocks, and writes `results/BENCH_pr6.json` (when `results/`
+//! exists in the working directory) plus the same document on stdout.
+
+use hibd_fft::{Complex64, FftPlan};
+use hibd_mathx::Vec3;
+use hibd_pme::pmat::build_interp_matrix;
+use hibd_pme::spread::{interpolate, interpolate_multi, SpreadPlan};
+use hibd_rpy::{real_tensors_with_overlap4, rpy_pairs_accumulate, RpyEwald, PAIR_TILE};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Best (minimum) seconds per call of `f` over `reps` timed blocks of
+/// `iters` calls. The minimum is the robust estimator on a shared host:
+/// scheduler preemption and cache pollution only ever add time, so the
+/// fastest block is the closest to the kernel's intrinsic cost.
+fn time_best(reps: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t0.elapsed().as_secs_f64() / iters as f64
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+struct Case {
+    group: &'static str,
+    name: String,
+    scalar_s: f64,
+    simd_s: f64,
+}
+
+fn run_case(
+    cases: &mut Vec<Case>,
+    group: &'static str,
+    name: impl Into<String>,
+    reps: usize,
+    iters: usize,
+    mut f: impl FnMut(),
+) {
+    // Warm up once so lazily grown scratch and branch predictors settle
+    // before either measured pass.
+    f();
+    let scalar_s = {
+        let _g = hibd_simd::ScalarGuard::new();
+        time_best(reps, iters, &mut f)
+    };
+    let simd_s = time_best(reps, iters, &mut f);
+    cases.push(Case { group, name: name.into(), scalar_s, simd_s });
+}
+
+fn lcg(seed: u64) -> impl FnMut() -> f64 {
+    let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+    move || {
+        state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    }
+}
+
+fn fft_cases(cases: &mut Vec<Case>) {
+    for (label, n) in
+        [("radix4_256", 256usize), ("radix2_162", 162), ("radix3_243", 243), ("radix5_625", 625)]
+    {
+        let plan = FftPlan::new(n).unwrap();
+        let mut next = lcg(n as u64);
+        let x: Vec<Complex64> = (0..n).map(|_| Complex64::new(next(), next())).collect();
+        let mut data = x.clone();
+        let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
+        run_case(cases, "fft_leaf_radix", label, 15, 2000, || {
+            data.copy_from_slice(&x);
+            plan.forward(&mut data, &mut scratch);
+        });
+    }
+}
+
+fn spread_cases(cases: &mut Vec<Case>) {
+    let (n, k, p, box_l, s) = (400usize, 32usize, 6usize, 12.0f64, 8usize);
+    let mut next = lcg(7);
+    let pos: Vec<Vec3> = (0..n)
+        .map(|_| Vec3::new((next() + 0.5) * box_l, (next() + 0.5) * box_l, (next() + 0.5) * box_l))
+        .collect();
+    let pm = build_interp_matrix(&pos, box_l, k, p);
+    let plan = SpreadPlan::new(&pm.scaled, k, p);
+    let k3 = k * k * k;
+    let f: Vec<f64> = (0..3 * n).map(|_| next()).collect();
+    let fs: Vec<f64> = (0..3 * n * s).map(|_| next()).collect();
+    let mut mesh = vec![0.0; 3 * k3];
+    let mut mesh_s = vec![0.0; 3 * s * k3];
+    let mut u = vec![0.0; 3 * n];
+    let mut us = vec![0.0; 3 * n * s];
+    run_case(cases, "spread_interp_multi", format!("single_n{n}_k{k}_p{p}"), 15, 40, || {
+        plan.spread(&pm, &f, &mut mesh);
+        interpolate(&pm, &mesh, &mut u);
+    });
+    run_case(cases, "spread_interp_multi", format!("multi_s{s}_n{n}_k{k}_p{p}"), 15, 8, || {
+        plan.spread_multi(&pm, &fs, s, 0, s, &mut mesh_s);
+        interpolate_multi(&pm, &mesh_s, s, 0, s, &mut us);
+    });
+}
+
+fn nearfield_cases(cases: &mut Vec<Case>) {
+    let a = 1.0;
+    let ntiles = 64;
+    let n = ntiles * PAIR_TILE;
+    let mut next = lcg(0x9e37);
+    let scale6 = |v: f64| v * 6.0;
+    let sx: Vec<f64> = (0..n).map(|_| scale6(next())).collect();
+    let sy: Vec<f64> = (0..n).map(|_| scale6(next())).collect();
+    let sz: Vec<f64> = (0..n).map(|_| scale6(next())).collect();
+    let vx: Vec<f64> = (0..n).map(|_| next()).collect();
+    let vy: Vec<f64> = (0..n).map(|_| next()).collect();
+    let vz: Vec<f64> = (0..n).map(|_| next()).collect();
+    let mut sink = [0.0f64; 3];
+    run_case(cases, "nearfield_pairs", format!("pairs_{n}"), 15, 400, || {
+        for t in 0..ntiles {
+            let lo = t * PAIR_TILE;
+            let hi = lo + PAIR_TILE;
+            rpy_pairs_accumulate(
+                a,
+                0.1,
+                -0.2,
+                0.3,
+                &sx[lo..hi],
+                &sy[lo..hi],
+                &sz[lo..hi],
+                &vx[lo..hi],
+                &vy[lo..hi],
+                &vz[lo..hi],
+                &mut sink,
+            );
+        }
+    });
+    let ew = RpyEwald::new(1.0, 1.0, 12.0, 0.8, 1e-8);
+    let rv: Vec<[Vec3; 4]> = (0..256)
+        .map(|_| {
+            [
+                Vec3::new(scale6(next()).abs() + 0.3, scale6(next()), scale6(next())),
+                Vec3::new(scale6(next()), scale6(next()).abs() + 0.3, scale6(next())),
+                Vec3::new(scale6(next()), scale6(next()), scale6(next()).abs() + 0.3),
+                Vec3::new(scale6(next()).abs() + 0.3, scale6(next()), scale6(next())),
+            ]
+        })
+        .collect();
+    let mut out = [[0.0f64; 9]; 4];
+    run_case(cases, "nearfield_pairs", format!("ewald4_{}", 4 * rv.len()), 15, 200, || {
+        for quad in &rv {
+            real_tensors_with_overlap4(&ew, quad, &mut out);
+        }
+    });
+}
+
+fn main() {
+    let mut cases = Vec::new();
+    fft_cases(&mut cases);
+    spread_cases(&mut cases);
+    nearfield_cases(&mut cases);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"hibd-bench-pr6-v1\",");
+    let _ = writeln!(json, "  \"simd_level\": \"{:?}\",", hibd_simd::level());
+    let _ = writeln!(json, "  \"threads\": {},", rayon::current_num_threads());
+    json.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        let sep = if i + 1 == cases.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"group\": \"{}\", \"name\": \"{}\", \"scalar_ns\": {:.1}, \
+             \"simd_ns\": {:.1}, \"speedup\": {:.3}}}{sep}",
+            c.group,
+            c.name,
+            c.scalar_s * 1e9,
+            c.simd_s * 1e9,
+            c.scalar_s / c.simd_s,
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    print!("{json}");
+    if std::path::Path::new("results").is_dir() {
+        std::fs::write("results/BENCH_pr6.json", &json).expect("write results/BENCH_pr6.json");
+        eprintln!("wrote results/BENCH_pr6.json");
+    }
+}

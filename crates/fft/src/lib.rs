@@ -31,8 +31,9 @@ pub mod dft;
 pub mod fft3;
 pub mod plan;
 pub mod real;
+mod simd;
 
 pub use complex::Complex64;
 pub use fft3::Fft3;
-pub use plan::{FftError, FftPlan};
+pub use plan::{next_smooth_even, FftError, FftPlan};
 pub use real::RealFftPlan;

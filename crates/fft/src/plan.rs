@@ -50,7 +50,7 @@ impl std::error::Error for FftError {}
 
 /// Transform direction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum Direction {
+pub(crate) enum Direction {
     Forward,
     Inverse,
 }
@@ -66,6 +66,11 @@ pub struct FftPlan {
     /// Forward twiddles per level: `tw[l][q*m + k] = e^{-2 pi i qk / sizes[l]}`
     /// for `q in 0..factors[l]`, `k in 0..m`, `m = sizes[l] / factors[l]`.
     twiddles: Vec<Vec<Complex64>>,
+    /// Split (structure-of-arrays) copies of `twiddles`: `tw_re[l][q*m + k]`
+    /// and `tw_im[l][q*m + k]`. The AVX2 combine kernels load twiddle lanes
+    /// with unit stride from these instead of deinterleaving the AoS table.
+    tw_re: Vec<Vec<f64>>,
+    tw_im: Vec<Vec<f64>>,
     /// Bluestein fallback state for rough lengths.
     bluestein: Option<Box<Bluestein>>,
 }
@@ -84,8 +89,11 @@ struct Bluestein {
 
 impl Bluestein {
     fn new(n: usize) -> Bluestein {
-        let m = (2 * n - 1).next_power_of_two();
-        let inner = FftPlan::new(m).expect("powers of two are always smooth");
+        // Any inner length `m >= 2n - 1` works for the circular convolution;
+        // the next *smooth even* length is almost always much closer than the
+        // next power of two (n = 17 gets m = 36 instead of 64).
+        let m = next_smooth_even(2 * n - 1);
+        let inner = FftPlan::new_mixed_radix(m).expect("next_smooth_even returns smooth lengths");
         // Angle pi j^2 / n is periodic in j with period 2n.
         let chirp: Vec<Complex64> = (0..n)
             .map(|j| {
@@ -129,6 +137,21 @@ impl Bluestein {
             data[k] = a[k].scale(inv_m) * self.chirp[k];
         }
     }
+}
+
+/// Smallest even length `>= n` whose prime factors are all `<= MAX_RADIX`
+/// (i.e. accepted by [`FftPlan::new_mixed_radix`]). Used by the Bluestein
+/// fallback to size its chirp convolution, and re-exported for mesh tuners
+/// that want FFT-friendly dimensions.
+pub fn next_smooth_even(n: usize) -> usize {
+    let mut m = n.max(2);
+    if m % 2 == 1 {
+        m += 1;
+    }
+    while factorize(m).is_err() {
+        m += 2;
+    }
+    m
 }
 
 /// Factor `n` into radices (4s first, then 2, 3, 5, then other primes).
@@ -175,6 +198,8 @@ impl FftPlan {
                 factors: Vec::new(),
                 sizes: Vec::new(),
                 twiddles: Vec::new(),
+                tw_re: Vec::new(),
+                tw_im: Vec::new(),
                 bluestein: Some(Box::new(Bluestein::new(n))),
             }),
             other => other,
@@ -191,6 +216,8 @@ impl FftPlan {
         let factors = factorize(n)?;
         let mut sizes = Vec::with_capacity(factors.len());
         let mut twiddles = Vec::with_capacity(factors.len());
+        let mut tw_re = Vec::with_capacity(factors.len());
+        let mut tw_im = Vec::with_capacity(factors.len());
         let mut cur = n;
         for &r in &factors {
             sizes.push(cur);
@@ -201,10 +228,12 @@ impl FftPlan {
                     tw.push(Complex64::cis(-TAU * ((q * k) % cur) as f64 / cur as f64));
                 }
             }
+            tw_re.push(tw.iter().map(|w| w.re).collect());
+            tw_im.push(tw.iter().map(|w| w.im).collect());
             twiddles.push(tw);
             cur = m;
         }
-        Ok(FftPlan { n, factors, sizes, twiddles, bluestein: None })
+        Ok(FftPlan { n, factors, sizes, twiddles, tw_re, tw_im, bluestein: None })
     }
 
     /// Whether this plan uses the Bluestein fallback.
@@ -306,23 +335,25 @@ impl FftPlan {
             );
         }
 
-        // Combine: X[k + m*s] = Σ_q w^{qk} ω_r^{qs} Y_q[k].
-        let tw = &self.twiddles[level];
-        let mut t = [Complex64::ZERO; MAX_RADIX];
-        let mut out = [Complex64::ZERO; MAX_RADIX];
-        for k in 0..m {
-            for q in 0..r {
-                let mut w = tw[q * m + k];
-                if dir == Direction::Inverse {
-                    w = w.conj();
-                }
-                t[q] = dst[q * m + k] * w;
-            }
-            butterfly_into(&t[..r], &mut out[..r], dir);
-            for s in 0..r {
-                dst[s * m + k] = out[s];
-            }
-        }
+        // Combine: X[k + m*s] = Σ_q w^{qk} ω_r^{qs} Y_q[k]. Dispatches to the
+        // AVX2 SoA kernels for radix 2/3/4/5; the scalar fallback reproduces
+        // the classic loop bitwise.
+        crate::simd::combine(
+            &mut dst[..nl],
+            &self.twiddles[level],
+            &self.tw_re[level],
+            &self.tw_im[level],
+            r,
+            m,
+            dir,
+        );
+    }
+
+    /// Inner convolution length of the Bluestein fallback, if this plan uses
+    /// it (pinned by tests: the chirp-z inner transform must be the next
+    /// smooth even length, not the next power of two).
+    pub fn bluestein_inner_len(&self) -> Option<usize> {
+        self.bluestein.as_ref().map(|b| b.m)
     }
 }
 
@@ -335,7 +366,7 @@ fn butterfly(t: &mut [Complex64], out: &mut [Complex64], dir: Direction) {
 
 /// `out[s] = Σ_q t[q] e^{∓2 pi i qs/r}` for `r = t.len()` (hand-written for
 /// r = 1..5, direct O(r^2) otherwise).
-fn butterfly_into(t: &[Complex64], out: &mut [Complex64], dir: Direction) {
+pub(crate) fn butterfly_into(t: &[Complex64], out: &mut [Complex64], dir: Direction) {
     let inv = dir == Direction::Inverse;
     match t.len() {
         1 => out[0] = t[0],

@@ -1,0 +1,299 @@
+//! Vectorized combine kernels for the mixed-radix recursion.
+//!
+//! Each Cooley–Tukey level multiplies the `r` sub-transform outputs by
+//! twiddle factors and applies an `r`-point butterfly for every `k` in
+//! `0..m`. The butterflies for neighbouring `k` are independent, so the AVX2
+//! kernels here process four of them per iteration in structure-of-arrays
+//! form: the interleaved `Complex64` data is deinterleaved into split re/im
+//! registers, twiddles come from the plan's split `tw_re`/`tw_im` tables with
+//! unit stride, and every complex multiply-add maps onto FMA instructions.
+//!
+//! Dispatch policy (see `hibd-simd`): the AVX2 path is taken only for the
+//! hand-unrolled radices 2/3/4/5 with `m >= 4` and when runtime detection
+//! reports AVX2+FMA. The scalar fallback [`combine_scalar`] reproduces the
+//! pre-SIMD combine loop operation-for-operation, so forcing
+//! `HIBD_SIMD=off` yields bitwise identical transforms to the historical
+//! scalar implementation.
+
+use crate::complex::Complex64;
+use crate::plan::{butterfly_into, Direction, MAX_RADIX};
+use hibd_hot as hibd;
+
+// Butterfly constants; must match the scalar kernels in `plan.rs`.
+const HALF_SQRT3: f64 = 0.866_025_403_784_438_6;
+const C1: f64 = 0.309_016_994_374_947_45;
+const S1: f64 = 0.951_056_516_295_153_5;
+const C2: f64 = -0.809_016_994_374_947_5;
+const S2: f64 = 0.587_785_252_292_473_1;
+
+/// Combine stage entry point: `dst` holds the `r` contiguous sub-transform
+/// outputs of length `m` each; twiddle tables are the plan's per-level AoS
+/// (`tw`) and SoA (`tw_re`/`tw_im`) views of the same factors.
+#[hibd::hot]
+pub(crate) fn combine(
+    dst: &mut [Complex64],
+    tw: &[Complex64],
+    tw_re: &[f64],
+    tw_im: &[f64],
+    r: usize,
+    m: usize,
+    dir: Direction,
+) {
+    debug_assert_eq!(dst.len(), r * m);
+    debug_assert_eq!(tw.len(), r * m);
+    #[cfg(target_arch = "x86_64")]
+    if matches!(r, 2..=5) && m >= 4 && hibd_simd::avx2() {
+        // SAFETY: `hibd_simd::avx2()` returns true only after runtime
+        // detection of the avx2 and fma target features on this CPU.
+        unsafe { combine_avx2(dst, tw, tw_re, tw_im, r, m, dir) };
+        return;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (tw_re, tw_im);
+    combine_scalar(dst, tw, r, m, dir, 0, m);
+}
+
+/// The classic scalar combine loop over `k in k0..k1`, preserved bitwise
+/// from the pre-SIMD implementation (twiddle multiply, then the shared
+/// butterfly kernel). Also used for the `m % 4` tail of the AVX2 path.
+#[hibd::hot]
+fn combine_scalar(
+    dst: &mut [Complex64],
+    tw: &[Complex64],
+    r: usize,
+    m: usize,
+    dir: Direction,
+    k0: usize,
+    k1: usize,
+) {
+    let mut t = [Complex64::ZERO; MAX_RADIX];
+    let mut out = [Complex64::ZERO; MAX_RADIX];
+    for k in k0..k1 {
+        for q in 0..r {
+            let mut w = tw[q * m + k];
+            if dir == Direction::Inverse {
+                w = w.conj();
+            }
+            t[q] = dst[q * m + k] * w;
+        }
+        butterfly_into(&t[..r], &mut out[..r], dir);
+        for s in 0..r {
+            dst[s * m + k] = out[s];
+        }
+    }
+}
+
+/// Deinterleave four consecutive `Complex64` starting at `$idx` into
+/// `(re, im)` 4-lane registers.
+#[cfg(target_arch = "x86_64")]
+macro_rules! ld4 {
+    ($dst:expr, $idx:expr) => {{
+        // SAFETY: caller guarantees `$idx + 3 < $dst.len()`; `Complex64` is
+        // `#[repr(C)] { re, im }`, so four consecutive elements are eight
+        // contiguous f64 lanes readable through the cast pointer.
+        let p = unsafe { $dst.as_ptr().add($idx).cast::<f64>() };
+        // SAFETY: in-bounds unaligned reads of lanes 0..4 and 4..8.
+        let ab = unsafe { _mm256_loadu_pd(p) };
+        // SAFETY: as above.
+        let cd = unsafe { _mm256_loadu_pd(p.add(4)) };
+        let lo = _mm256_permute2f128_pd::<0x20>(ab, cd);
+        let hi = _mm256_permute2f128_pd::<0x31>(ab, cd);
+        (_mm256_unpacklo_pd(lo, hi), _mm256_unpackhi_pd(lo, hi))
+    }};
+}
+
+/// Interleave `(re, im)` 4-lane registers back into four consecutive
+/// `Complex64` at `$idx`.
+#[cfg(target_arch = "x86_64")]
+macro_rules! st4 {
+    ($dst:expr, $idx:expr, $re:expr, $im:expr) => {{
+        let lo = _mm256_unpacklo_pd($re, $im);
+        let hi = _mm256_unpackhi_pd($re, $im);
+        let ab = _mm256_permute2f128_pd::<0x20>(lo, hi);
+        let cd = _mm256_permute2f128_pd::<0x31>(lo, hi);
+        // SAFETY: same bounds and layout argument as `ld4!`, mutably.
+        let p = unsafe { $dst.as_mut_ptr().add($idx).cast::<f64>() };
+        // SAFETY: in-bounds unaligned writes of lanes 0..4 and 4..8.
+        unsafe { _mm256_storeu_pd(p, ab) };
+        // SAFETY: as above.
+        unsafe { _mm256_storeu_pd(p.add(4), cd) };
+    }};
+}
+
+/// Load four twiddles from the SoA tables, conjugating via `$conj`
+/// (a sign mask of `-0.0` per lane for inverse transforms, else zeros).
+#[cfg(target_arch = "x86_64")]
+macro_rules! ldtw {
+    ($tre:expr, $tim:expr, $idx:expr, $conj:expr) => {{
+        // SAFETY: caller guarantees `$idx + 3` is within the `r*m`-long
+        // twiddle tables.
+        let wr = unsafe { _mm256_loadu_pd($tre.as_ptr().add($idx)) };
+        // SAFETY: as above; `tw_im` has the same length as `tw_re`.
+        let wi = unsafe { _mm256_loadu_pd($tim.as_ptr().add($idx)) };
+        (wr, _mm256_xor_pd(wi, $conj))
+    }};
+}
+
+/// Lanewise complex multiply `(zr + i zi) * (wr + i wi)` via FMA.
+#[cfg(target_arch = "x86_64")]
+macro_rules! cmul {
+    ($zr:expr, $zi:expr, $wr:expr, $wi:expr) => {
+        (
+            _mm256_fmsub_pd($zr, $wr, _mm256_mul_pd($zi, $wi)),
+            _mm256_fmadd_pd($zr, $wi, _mm256_mul_pd($zi, $wr)),
+        )
+    };
+}
+
+/// Load four butterfly inputs `t_q = dst[q*m + k .. +4] * tw[q*m + k .. +4]`.
+#[cfg(target_arch = "x86_64")]
+macro_rules! ldt {
+    ($dst:expr, $tre:expr, $tim:expr, $idx:expr, $conj:expr) => {{
+        let (zr, zi) = ld4!($dst, $idx);
+        let (wr, wi) = ldtw!($tre, $tim, $idx, $conj);
+        cmul!(zr, zi, wr, wi)
+    }};
+}
+
+/// AVX2+FMA combine for radix 2/3/4/5: four butterflies per iteration in
+/// split re/im registers; the `m % 4` tail runs through the scalar loop.
+///
+/// # Safety
+/// The caller must ensure the CPU supports the `avx2` and `fma` target
+/// features (runtime-detected via `hibd_simd::avx2()`).
+#[cfg(target_arch = "x86_64")]
+#[hibd::hot]
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn combine_avx2(
+    dst: &mut [Complex64],
+    tw: &[Complex64],
+    tw_re: &[f64],
+    tw_im: &[f64],
+    r: usize,
+    m: usize,
+    dir: Direction,
+) {
+    use core::arch::x86_64::*;
+
+    debug_assert!(dst.len() == r * m && tw_re.len() == r * m && tw_im.len() == r * m);
+    debug_assert!(m >= 4 && (2..=5).contains(&r));
+    let inv = dir == Direction::Inverse;
+    // `sgn` matches the scalar butterflies: -1 forward, +1 inverse, applied
+    // wherever the scalar kernel multiplies by ±i.
+    let sgn = if inv { 1.0 } else { -1.0 };
+    let conj = if inv { _mm256_set1_pd(-0.0) } else { _mm256_setzero_pd() };
+    let m4 = m & !3;
+
+    match r {
+        2 => {
+            let mut k = 0;
+            while k < m4 {
+                let (ar, ai) = ld4!(dst, k);
+                let (br, bi) = ldt!(dst, tw_re, tw_im, m + k, conj);
+                st4!(dst, k, _mm256_add_pd(ar, br), _mm256_add_pd(ai, bi));
+                st4!(dst, m + k, _mm256_sub_pd(ar, br), _mm256_sub_pd(ai, bi));
+                k += 4;
+            }
+        }
+        3 => {
+            let half = _mm256_set1_pd(0.5);
+            let hp = _mm256_set1_pd(sgn * HALF_SQRT3);
+            let hm = _mm256_set1_pd(-sgn * HALF_SQRT3);
+            let mut k = 0;
+            while k < m4 {
+                let (t0r, t0i) = ld4!(dst, k);
+                let (t1r, t1i) = ldt!(dst, tw_re, tw_im, m + k, conj);
+                let (t2r, t2i) = ldt!(dst, tw_re, tw_im, 2 * m + k, conj);
+                let sr = _mm256_add_pd(t1r, t2r);
+                let si = _mm256_add_pd(t1i, t2i);
+                let dr = _mm256_sub_pd(t1r, t2r);
+                let di = _mm256_sub_pd(t1i, t2i);
+                // m1 = t0 - s/2; m2 = ∓i * sqrt(3)/2 * d.
+                let m1r = _mm256_fnmadd_pd(half, sr, t0r);
+                let m1i = _mm256_fnmadd_pd(half, si, t0i);
+                let m2r = _mm256_mul_pd(hm, di);
+                let m2i = _mm256_mul_pd(hp, dr);
+                st4!(dst, k, _mm256_add_pd(t0r, sr), _mm256_add_pd(t0i, si));
+                st4!(dst, m + k, _mm256_add_pd(m1r, m2r), _mm256_add_pd(m1i, m2i));
+                st4!(dst, 2 * m + k, _mm256_sub_pd(m1r, m2r), _mm256_sub_pd(m1i, m2i));
+                k += 4;
+            }
+        }
+        4 => {
+            let psg = _mm256_set1_pd(sgn);
+            let nsg = _mm256_set1_pd(-sgn);
+            let mut k = 0;
+            while k < m4 {
+                let (t0r, t0i) = ld4!(dst, k);
+                let (t1r, t1i) = ldt!(dst, tw_re, tw_im, m + k, conj);
+                let (t2r, t2i) = ldt!(dst, tw_re, tw_im, 2 * m + k, conj);
+                let (t3r, t3i) = ldt!(dst, tw_re, tw_im, 3 * m + k, conj);
+                let ar = _mm256_add_pd(t0r, t2r);
+                let ai = _mm256_add_pd(t0i, t2i);
+                let br = _mm256_sub_pd(t0r, t2r);
+                let bi = _mm256_sub_pd(t0i, t2i);
+                let cr = _mm256_add_pd(t1r, t3r);
+                let ci = _mm256_add_pd(t1i, t3i);
+                let er = _mm256_sub_pd(t1r, t3r);
+                let ei = _mm256_sub_pd(t1i, t3i);
+                // id = ∓i * (t1 - t3).
+                let idr = _mm256_mul_pd(nsg, ei);
+                let idi = _mm256_mul_pd(psg, er);
+                st4!(dst, k, _mm256_add_pd(ar, cr), _mm256_add_pd(ai, ci));
+                st4!(dst, m + k, _mm256_add_pd(br, idr), _mm256_add_pd(bi, idi));
+                st4!(dst, 2 * m + k, _mm256_sub_pd(ar, cr), _mm256_sub_pd(ai, ci));
+                st4!(dst, 3 * m + k, _mm256_sub_pd(br, idr), _mm256_sub_pd(bi, idi));
+                k += 4;
+            }
+        }
+        5 => {
+            let vc1 = _mm256_set1_pd(C1);
+            let vs1 = _mm256_set1_pd(S1);
+            let vc2 = _mm256_set1_pd(C2);
+            let vs2 = _mm256_set1_pd(S2);
+            let psg = _mm256_set1_pd(sgn);
+            let nsg = _mm256_set1_pd(-sgn);
+            let mut k = 0;
+            while k < m4 {
+                let (t0r, t0i) = ld4!(dst, k);
+                let (t1r, t1i) = ldt!(dst, tw_re, tw_im, m + k, conj);
+                let (t2r, t2i) = ldt!(dst, tw_re, tw_im, 2 * m + k, conj);
+                let (t3r, t3i) = ldt!(dst, tw_re, tw_im, 3 * m + k, conj);
+                let (t4r, t4i) = ldt!(dst, tw_re, tw_im, 4 * m + k, conj);
+                let ar = _mm256_add_pd(t1r, t4r);
+                let ai = _mm256_add_pd(t1i, t4i);
+                let br = _mm256_sub_pd(t1r, t4r);
+                let bi = _mm256_sub_pd(t1i, t4i);
+                let cr = _mm256_add_pd(t2r, t3r);
+                let ci = _mm256_add_pd(t2i, t3i);
+                let dr = _mm256_sub_pd(t2r, t3r);
+                let di = _mm256_sub_pd(t2i, t3i);
+                // re1 = t0 + C1 a + C2 c ; re2 = t0 + C2 a + C1 c.
+                let re1r = _mm256_fmadd_pd(vc2, cr, _mm256_fmadd_pd(vc1, ar, t0r));
+                let re1i = _mm256_fmadd_pd(vc2, ci, _mm256_fmadd_pd(vc1, ai, t0i));
+                let re2r = _mm256_fmadd_pd(vc1, cr, _mm256_fmadd_pd(vc2, ar, t0r));
+                let re2i = _mm256_fmadd_pd(vc1, ci, _mm256_fmadd_pd(vc2, ai, t0i));
+                // im1 = ±i (S1 b + S2 d) ; im2 = ±i (S2 b - S1 d).
+                let z1r = _mm256_fmadd_pd(vs2, dr, _mm256_mul_pd(vs1, br));
+                let z1i = _mm256_fmadd_pd(vs2, di, _mm256_mul_pd(vs1, bi));
+                let z2r = _mm256_fnmadd_pd(vs1, dr, _mm256_mul_pd(vs2, br));
+                let z2i = _mm256_fnmadd_pd(vs1, di, _mm256_mul_pd(vs2, bi));
+                let im1r = _mm256_mul_pd(nsg, z1i);
+                let im1i = _mm256_mul_pd(psg, z1r);
+                let im2r = _mm256_mul_pd(nsg, z2i);
+                let im2i = _mm256_mul_pd(psg, z2r);
+                let or0 = _mm256_add_pd(t0r, _mm256_add_pd(ar, cr));
+                let oi0 = _mm256_add_pd(t0i, _mm256_add_pd(ai, ci));
+                st4!(dst, k, or0, oi0);
+                st4!(dst, m + k, _mm256_add_pd(re1r, im1r), _mm256_add_pd(re1i, im1i));
+                st4!(dst, 2 * m + k, _mm256_add_pd(re2r, im2r), _mm256_add_pd(re2i, im2i));
+                st4!(dst, 3 * m + k, _mm256_sub_pd(re2r, im2r), _mm256_sub_pd(re2i, im2i));
+                st4!(dst, 4 * m + k, _mm256_sub_pd(re1r, im1r), _mm256_sub_pd(re1i, im1i));
+                k += 4;
+            }
+        }
+        _ => unreachable!("combine_avx2 dispatch covers radix 2..=5 only"),
+    }
+
+    combine_scalar(dst, tw, r, m, dir, m4, m);
+}

@@ -1,0 +1,133 @@
+//! Scalar-vs-SIMD equivalence for the FFT combine kernels.
+//!
+//! The AVX2 combine stages fuse multiplies into FMAs, so they are not bitwise
+//! identical to the scalar fallback; the contract is <= 1e-13 relative error
+//! against the scalar path (which *is* the bitwise-unchanged pre-SIMD loop).
+//! The `hibd_simd` override is process-global, so every test that toggles it
+//! serializes on `SIMD_LOCK`. On hosts without AVX2+FMA both runs take the
+//! scalar path and the comparison is trivially exact.
+
+use hibd_fft::{next_smooth_even, Complex64, Fft3, FftPlan};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+static SIMD_LOCK: Mutex<()> = Mutex::new(());
+
+/// Sizes whose plans emit every vectorized combine radix — first factor 4
+/// (16, 32, ...), 2 (18, 50), 3 (27, 45), 5 (125) with sub-size `m >= 4` —
+/// plus rough lengths whose Bluestein fallback runs the same kernels on its
+/// smooth inner transform (17, 23, 97, 257).
+const SIZES: &[usize] =
+    &[16, 18, 24, 27, 32, 45, 48, 50, 60, 64, 80, 100, 125, 128, 200, 400, 17, 23, 97, 257];
+
+fn max_mag(xs: &[Complex64]) -> f64 {
+    xs.iter().map(|v| v.abs()).fold(0.0, f64::max)
+}
+
+/// Runs `f` once under the forced-scalar override and once with
+/// auto-detection, holding the process-global lock across both.
+fn scalar_then_auto<R>(f: impl Fn() -> R) -> (R, R) {
+    let _l = SIMD_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let scalar = {
+        let _g = hibd_simd::ScalarGuard::new();
+        f()
+    };
+    (scalar, f())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn forward_matches_scalar(
+        (n, raw) in prop::sample::select(SIZES.to_vec())
+            .prop_flat_map(|n| (Just(n), prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), n)))
+    ) {
+        let plan = FftPlan::new(n).unwrap();
+        let x: Vec<Complex64> = raw.iter().map(|&(r, i)| Complex64::new(r, i)).collect();
+        let (scalar, auto) = scalar_then_auto(|| {
+            let mut y = x.clone();
+            let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
+            plan.forward(&mut y, &mut scratch);
+            y
+        });
+        let tol = 1e-13 * max_mag(&scalar).max(1.0);
+        for (a, b) in auto.iter().zip(&scalar) {
+            prop_assert!((*a - *b).abs() <= tol, "n={n}: {} vs {}", a.re, b.re);
+        }
+    }
+
+    #[test]
+    fn inverse_matches_scalar(
+        (n, raw) in prop::sample::select(SIZES.to_vec())
+            .prop_flat_map(|n| (Just(n), prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), n)))
+    ) {
+        let plan = FftPlan::new(n).unwrap();
+        let x: Vec<Complex64> = raw.iter().map(|&(r, i)| Complex64::new(r, i)).collect();
+        let (scalar, auto) = scalar_then_auto(|| {
+            let mut y = x.clone();
+            let mut scratch = vec![Complex64::ZERO; plan.scratch_len()];
+            plan.inverse(&mut y, &mut scratch);
+            y
+        });
+        let tol = 1e-13 * max_mag(&scalar).max(1.0);
+        for (a, b) in auto.iter().zip(&scalar) {
+            prop_assert!((*a - *b).abs() <= tol, "n={n}");
+        }
+    }
+}
+
+#[test]
+fn fft3_single_and_batch_match_scalar_path() {
+    // Dims chosen so every 1D plan has a vector-eligible combine stage
+    // (16 = 4*4, 18 = 2*9, 20 = 4*5).
+    let dims = [16, 18, 20];
+    let fft = Fft3::new(dims).unwrap();
+    let nreal = dims[0] * dims[1] * dims[2];
+    let batch = 3;
+    let mut state = 0x1234_5678_u64;
+    let reals: Vec<f64> = (0..batch * nreal)
+        .map(|_| {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+        .collect();
+
+    let (scalar, auto) = scalar_then_auto(|| {
+        let mut spec1 = vec![Complex64::ZERO; fft.spectrum_len()];
+        fft.forward(&reals[..nreal], &mut spec1);
+        let mut specb = vec![Complex64::ZERO; batch * fft.spectrum_len()];
+        fft.forward_batch(&reals, &mut specb, batch);
+        let mut back = vec![0.0; batch * nreal];
+        fft.inverse_batch(&mut specb.clone(), &mut back, batch);
+        (spec1, specb, back)
+    });
+
+    let tol = 1e-13 * max_mag(&scalar.1).max(1.0);
+    for (a, b) in auto.0.iter().zip(&scalar.0) {
+        assert!((*a - *b).abs() <= tol, "single-mesh spectrum diverged");
+    }
+    for (a, b) in auto.1.iter().zip(&scalar.1) {
+        assert!((*a - *b).abs() <= tol, "batch spectrum diverged");
+    }
+    let rtol = 1e-13 * scalar.2.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1.0);
+    for (a, b) in auto.2.iter().zip(&scalar.2) {
+        assert!((a - b).abs() <= rtol, "batch roundtrip diverged");
+    }
+}
+
+#[test]
+fn bluestein_inner_length_is_next_smooth_even() {
+    // The chirp-z convolution accepts any inner length >= 2n - 1; the plan
+    // must pick the next *smooth even* length, not the next power of two.
+    assert_eq!(FftPlan::new(17).unwrap().bluestein_inner_len(), Some(36)); // not 64
+    assert_eq!(FftPlan::new(97).unwrap().bluestein_inner_len(), Some(196)); // not 256
+    assert_eq!(FftPlan::new(257).unwrap().bluestein_inner_len(), Some(520)); // not 1024
+    for &n in &[17usize, 19, 23, 97, 101, 257] {
+        let m = FftPlan::new(n).unwrap().bluestein_inner_len().unwrap();
+        assert_eq!(m, next_smooth_even(2 * n - 1), "n={n}");
+        assert!(m >= 2 * n - 1 && m.is_multiple_of(2), "n={n} inner {m}");
+    }
+    // Smooth sizes never take the fallback.
+    assert_eq!(FftPlan::new(400).unwrap().bluestein_inner_len(), None);
+}

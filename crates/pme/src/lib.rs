@@ -37,6 +37,7 @@ pub mod operator;
 pub mod perf;
 pub mod pmat;
 pub mod real;
+pub(crate) mod simd;
 pub mod spread;
 pub mod tuner;
 pub mod verify;

@@ -43,13 +43,7 @@ pub fn spread_on_the_fly(plan: &SpreadPlan, pm: &InterpMatrix, f: &[f64], mesh: 
                 let r = r as usize;
                 fill_row(&pm.scaled[r], k, p, &mut cols[..p3], &mut vals[..p3]);
                 let (fx, fy, fz) = (f[3 * r], f[3 * r + 1], f[3 * r + 2]);
-                for t in 0..p3 {
-                    let c = cols[t] as usize;
-                    let w = vals[t];
-                    mx[c] += w * fx;
-                    my[c] += w * fy;
-                    mz[c] += w * fz;
-                }
+                crate::simd::spread_row(p, &cols[..p3], &vals[..p3], fx, fy, fz, mx, my, mz);
             }
         },
         mesh,
@@ -71,14 +65,7 @@ pub fn interpolate_on_the_fly(pm: &InterpMatrix, mesh: &[f64], u: &mut [f64]) {
         let mut cols = [0u32; MAX_ORDER * MAX_ORDER * MAX_ORDER];
         let mut vals = [0.0f64; MAX_ORDER * MAX_ORDER * MAX_ORDER];
         fill_row(&pm.scaled[r], k, p, &mut cols[..p3], &mut vals[..p3]);
-        let (mut ax, mut ay, mut az) = (0.0, 0.0, 0.0);
-        for t in 0..p3 {
-            let c = cols[t] as usize;
-            let w = vals[t];
-            ax += w * mx[c];
-            ay += w * my[c];
-            az += w * mz[c];
-        }
+        let [ax, ay, az] = crate::simd::interp_row(p, &cols[..p3], &vals[..p3], mx, my, mz);
         ur[0] = ax;
         ur[1] = ay;
         ur[2] = az;

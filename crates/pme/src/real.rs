@@ -11,7 +11,7 @@
 
 use hibd_cells::CellList;
 use hibd_mathx::Vec3;
-use hibd_rpy::RpyEwald;
+use hibd_rpy::{real_tensors_with_overlap4, RpyEwald};
 use hibd_sparse::{Bcsr3, Bcsr3Builder};
 
 /// Transpose a row-major 3x3 block.
@@ -32,11 +32,30 @@ pub fn assemble_real_space(positions: &[Vec3], ewald: &RpyEwald, r_max: f64) -> 
     let n = positions.len();
     let cl = CellList::new(positions, ewald.box_l, r_max);
     let mut builder = Bcsr3Builder::new(n, n);
+    // Buffer pairs and evaluate the Beenakker kernel four lanes at a time
+    // (bitwise identical to the per-pair kernel); flush preserves pair
+    // order, so the builder sees the exact historical push sequence.
+    let mut pend: [(usize, usize, Vec3); 4] = [(0, 0, Vec3::ZERO); 4];
+    let mut npend = 0;
+    let mut tensors = [[0.0; 9]; 4];
     cl.for_each_pair(|i, j, dr, _r2| {
+        pend[npend] = (i, j, dr);
+        npend += 1;
+        if npend == 4 {
+            let rv = [pend[0].2, pend[1].2, pend[2].2, pend[3].2];
+            real_tensors_with_overlap4(ewald, &rv, &mut tensors);
+            for (&(i, j, _), t) in pend.iter().zip(&tensors) {
+                builder.push(i, j, *t);
+                builder.push(j, i, transpose3(t));
+            }
+            npend = 0;
+        }
+    });
+    for &(i, j, dr) in &pend[..npend] {
         let t = ewald.real_tensor_with_overlap(dr);
         builder.push(i, j, t);
         builder.push(j, i, transpose3(&t));
-    });
+    }
     builder.build()
 }
 

@@ -1,0 +1,571 @@
+//! Vectorized per-row spread/interpolate kernels (SoA lane processing).
+//!
+//! A `P` row holds `p^3` nonzeros ordered `(tx, ty, tz)` with `tz` fastest
+//! ([`crate::pmat::fill_row`]), so each of the `p^2` groups of `p` entries
+//! addresses **consecutive z cells** of the mesh — except for at most one
+//! periodic wrap, and the wrap occurs at the same in-group offset for every
+//! group of the row (the z stencil `(fz + tz) mod K` is shared). The AVX2
+//! kernels exploit this: each group is split into at most two contiguous
+//! runs, and every run is processed as unit-stride f64 lanes — a
+//! broadcast·FMA scatter for spreading, a vector dot with one horizontal
+//! reduction per output for interpolation. The multi-RHS variants reuse one
+//! weight vector load across all `3*w` column lanes of the tile.
+//!
+//! Dispatch policy (see `hibd-simd`): the AVX2 path is taken for `p >= 4`
+//! (shorter stencils never fill a 4-lane vector) when runtime detection
+//! reports AVX2+FMA. The `*_scalar` twins preserve the pre-SIMD loops
+//! operation-for-operation, so `HIBD_SIMD=off` reproduces the historical
+//! scalar results bitwise.
+
+use hibd_hot as hibd;
+
+/// In-group offset of the periodic z wrap: the smallest `t in 1..p` with
+/// `cols[t] != cols[t-1] + 1`, or 0 if the first group is one contiguous
+/// run. Because every group of a row shares the same z stencil, the break
+/// found in group 0 applies to all `p^2` groups.
+#[inline]
+pub(crate) fn zrun_break(p: usize, cols: &[u32]) -> usize {
+    for t in 1..p {
+        if cols[t] != cols[t - 1] + 1 {
+            return t;
+        }
+    }
+    0
+}
+
+/// Scatter one particle row into the three component meshes:
+/// `m_theta[c] += w * f_theta` over the row's `p^3` nonzeros.
+#[allow(clippy::too_many_arguments)]
+#[hibd::hot]
+pub(crate) fn spread_row(
+    p: usize,
+    cols: &[u32],
+    vals: &[f64],
+    fx: f64,
+    fy: f64,
+    fz: f64,
+    mx: &mut [f64],
+    my: &mut [f64],
+    mz: &mut [f64],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if p >= 4 && hibd_simd::avx2() {
+        // SAFETY: `hibd_simd::avx2()` returns true only after runtime
+        // detection of the avx2 and fma target features on this CPU.
+        unsafe { spread_row_avx2(p, zrun_break(p, cols), cols, vals, fx, fy, fz, mx, my, mz) };
+        return;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+    spread_row_scalar(cols, vals, fx, fy, fz, mx, my, mz);
+}
+
+/// Gather one particle row from the three component meshes:
+/// returns `[Σ w m_x[c], Σ w m_y[c], Σ w m_z[c]]`.
+#[hibd::hot]
+pub(crate) fn interp_row(
+    p: usize,
+    cols: &[u32],
+    vals: &[f64],
+    mx: &[f64],
+    my: &[f64],
+    mz: &[f64],
+) -> [f64; 3] {
+    #[cfg(target_arch = "x86_64")]
+    if p >= 4 && hibd_simd::avx2() {
+        // SAFETY: `hibd_simd::avx2()` returns true only after runtime
+        // detection of the avx2 and fma target features on this CPU.
+        return unsafe { interp_row_avx2(p, zrun_break(p, cols), cols, vals, mx, my, mz) };
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+    interp_row_scalar(cols, vals, mx, my, mz)
+}
+
+/// Scatter one particle row into `3*width` component meshes at once
+/// (`[theta][col]` layout): `mesh[(theta*width + j0 + 0)*k3 .. ]` column `j`
+/// of component `theta` gets `w * fvals[theta*w + j]` at each stencil cell.
+/// `fvals` is the staged `3*w` force tile of this row.
+#[allow(clippy::too_many_arguments)]
+#[hibd::hot]
+pub(crate) fn spread_row_multi(
+    p: usize,
+    cols: &[u32],
+    vals: &[f64],
+    fvals: &[f64],
+    w: usize,
+    width: usize,
+    j0: usize,
+    k3: usize,
+    mesh: &mut [f64],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if p >= 4 && hibd_simd::avx2() {
+        // SAFETY: `hibd_simd::avx2()` returns true only after runtime
+        // detection of the avx2 and fma target features on this CPU.
+        unsafe {
+            spread_row_multi_avx2(
+                p,
+                zrun_break(p, cols),
+                cols,
+                vals,
+                fvals,
+                w,
+                width,
+                j0,
+                k3,
+                mesh,
+            );
+        }
+        return;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+    spread_row_multi_scalar(cols, vals, fvals, w, width, j0, k3, mesh);
+}
+
+/// Gather one particle row from `3*width` component meshes at once into the
+/// `3*w` accumulator tile `acc`, which must be zeroed on entry (the caller
+/// adds the tile into the multi-RHS output).
+#[allow(clippy::too_many_arguments)]
+#[hibd::hot]
+pub(crate) fn interp_row_multi(
+    p: usize,
+    cols: &[u32],
+    vals: &[f64],
+    acc: &mut [f64],
+    w: usize,
+    width: usize,
+    j0: usize,
+    k3: usize,
+    mesh: &[f64],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if p >= 4 && hibd_simd::avx2() {
+        // SAFETY: `hibd_simd::avx2()` returns true only after runtime
+        // detection of the avx2 and fma target features on this CPU.
+        unsafe {
+            interp_row_multi_avx2(p, zrun_break(p, cols), cols, vals, acc, w, width, j0, k3, mesh);
+        }
+        return;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+    interp_row_multi_scalar(cols, vals, acc, w, width, j0, k3, mesh);
+}
+
+/// Pre-SIMD single-RHS scatter loop, preserved bitwise.
+#[allow(clippy::too_many_arguments)]
+#[hibd::hot]
+fn spread_row_scalar(
+    cols: &[u32],
+    vals: &[f64],
+    fx: f64,
+    fy: f64,
+    fz: f64,
+    mx: &mut [f64],
+    my: &mut [f64],
+    mz: &mut [f64],
+) {
+    for (c, w) in cols.iter().zip(vals) {
+        let c = *c as usize;
+        mx[c] += w * fx;
+        my[c] += w * fy;
+        mz[c] += w * fz;
+    }
+}
+
+/// Pre-SIMD single-RHS gather loop, preserved bitwise.
+#[hibd::hot]
+fn interp_row_scalar(cols: &[u32], vals: &[f64], mx: &[f64], my: &[f64], mz: &[f64]) -> [f64; 3] {
+    let (mut ax, mut ay, mut az) = (0.0, 0.0, 0.0);
+    for (c, w) in cols.iter().zip(vals) {
+        let c = *c as usize;
+        ax += w * mx[c];
+        ay += w * my[c];
+        az += w * mz[c];
+    }
+    [ax, ay, az]
+}
+
+/// Pre-SIMD multi-RHS scatter loop, preserved bitwise.
+#[allow(clippy::too_many_arguments)]
+#[hibd::hot]
+fn spread_row_multi_scalar(
+    cols: &[u32],
+    vals: &[f64],
+    fvals: &[f64],
+    w: usize,
+    width: usize,
+    j0: usize,
+    k3: usize,
+    mesh: &mut [f64],
+) {
+    for (c, wgt) in cols.iter().zip(vals) {
+        let c = *c as usize;
+        for theta in 0..3 {
+            let base = (theta * width + j0) * k3 + c;
+            for j in 0..w {
+                mesh[base + j * k3] += wgt * fvals[theta * w + j];
+            }
+        }
+    }
+}
+
+/// Pre-SIMD multi-RHS gather loop, preserved bitwise (`acc` is pre-zeroed
+/// by the caller, matching the historical tile loop).
+#[allow(clippy::too_many_arguments)]
+#[hibd::hot]
+fn interp_row_multi_scalar(
+    cols: &[u32],
+    vals: &[f64],
+    acc: &mut [f64],
+    w: usize,
+    width: usize,
+    j0: usize,
+    k3: usize,
+    mesh: &[f64],
+) {
+    for (c, wgt) in cols.iter().zip(vals) {
+        let c = *c as usize;
+        for theta in 0..3 {
+            let base = (theta * width + j0) * k3 + c;
+            for j in 0..w {
+                acc[theta * w + j] += wgt * mesh[base + j * k3];
+            }
+        }
+    }
+}
+
+/// Iterate the (at most two) contiguous z runs of every stencil group:
+/// `$body(t, len)` with `t` the first nonzero index of the run and `len`
+/// its length. `$zb` is the shared in-group wrap offset from [`zrun_break`].
+#[cfg(target_arch = "x86_64")]
+macro_rules! for_each_run {
+    ($p:expr, $zb:expr, $cols:expr, |$t:ident, $len:ident| $body:block) => {{
+        let l1 = if $zb == 0 { $p } else { $zb };
+        for g in 0..$p * $p {
+            let t0 = g * $p;
+            {
+                let ($t, $len) = (t0, l1);
+                debug_assert_eq!($cols[$t + $len - 1] as usize, $cols[$t] as usize + $len - 1);
+                $body
+            }
+            if $zb != 0 {
+                let ($t, $len) = (t0 + $zb, $p - $zb);
+                debug_assert_eq!($cols[$t + $len - 1] as usize, $cols[$t] as usize + $len - 1);
+                $body
+            }
+        }
+    }};
+}
+
+/// Horizontal sum of a 4-lane f64 register.
+#[cfg(target_arch = "x86_64")]
+macro_rules! hsum {
+    ($v:expr) => {{
+        let hi = _mm256_extractf128_pd::<1>($v);
+        let lo = _mm256_castpd256_pd128($v);
+        let s = _mm_add_pd(lo, hi);
+        _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)))
+    }};
+}
+
+/// AVX2+FMA single-RHS scatter: per contiguous z run,
+/// `m_theta[c0..c0+len] += vals_run * f_theta` with broadcast FMA.
+///
+/// # Safety
+/// The caller must ensure the CPU supports the `avx2` and `fma` target
+/// features (runtime-detected via `hibd_simd::avx2()`).
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+#[hibd::hot]
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn spread_row_avx2(
+    p: usize,
+    zb: usize,
+    cols: &[u32],
+    vals: &[f64],
+    fx: f64,
+    fy: f64,
+    fz: f64,
+    mx: &mut [f64],
+    my: &mut [f64],
+    mz: &mut [f64],
+) {
+    use core::arch::x86_64::*;
+
+    debug_assert_eq!(cols.len(), p * p * p);
+    let vfx = _mm256_set1_pd(fx);
+    let vfy = _mm256_set1_pd(fy);
+    let vfz = _mm256_set1_pd(fz);
+    let hfx = _mm256_castpd256_pd128(vfx);
+    let hfy = _mm256_castpd256_pd128(vfy);
+    let hfz = _mm256_castpd256_pd128(vfz);
+    for_each_run!(p, zb, cols, |t, len| {
+        let c0 = cols[t] as usize;
+        debug_assert!(c0 + len <= mx.len());
+        let mut i = 0;
+        while i + 4 <= len {
+            // SAFETY: `vals` has `p^3 = cols.len()` entries and
+            // `t + i + 3 < t + len <= p^3`; the mesh accesses cover
+            // `c0 + i .. c0 + i + 4 <= c0 + len <= K^3` because the run is
+            // a contiguous column span (debug-asserted above, guaranteed by
+            // the `fill_row` stencil order) and every column index is a
+            // valid mesh cell.
+            unsafe {
+                let wv = _mm256_loadu_pd(vals.as_ptr().add(t + i));
+                let px = mx.as_mut_ptr().add(c0 + i);
+                let py = my.as_mut_ptr().add(c0 + i);
+                let pz = mz.as_mut_ptr().add(c0 + i);
+                _mm256_storeu_pd(px, _mm256_fmadd_pd(wv, vfx, _mm256_loadu_pd(px)));
+                _mm256_storeu_pd(py, _mm256_fmadd_pd(wv, vfy, _mm256_loadu_pd(py)));
+                _mm256_storeu_pd(pz, _mm256_fmadd_pd(wv, vfz, _mm256_loadu_pd(pz)));
+            }
+            i += 4;
+        }
+        if i + 2 <= len {
+            // 2-lane tail: the common `p = 6` run is 4 + 2, and the split
+            // runs of wrapped rows are 2 or 3 long, so this step is what
+            // keeps shorter stencils vectorized at all.
+            // SAFETY: same bounds argument as the 4-lane loop with a
+            // 2-element footprint: `t + i + 1 < t + len <= p^3` and
+            // `c0 + i + 2 <= c0 + len <= K^3`.
+            unsafe {
+                let wv = _mm_loadu_pd(vals.as_ptr().add(t + i));
+                let px = mx.as_mut_ptr().add(c0 + i);
+                let py = my.as_mut_ptr().add(c0 + i);
+                let pz = mz.as_mut_ptr().add(c0 + i);
+                _mm_storeu_pd(px, _mm_fmadd_pd(wv, hfx, _mm_loadu_pd(px)));
+                _mm_storeu_pd(py, _mm_fmadd_pd(wv, hfy, _mm_loadu_pd(py)));
+                _mm_storeu_pd(pz, _mm_fmadd_pd(wv, hfz, _mm_loadu_pd(pz)));
+            }
+            i += 2;
+        }
+        while i < len {
+            let w = vals[t + i];
+            let c = c0 + i;
+            mx[c] = w.mul_add(fx, mx[c]);
+            my[c] = w.mul_add(fy, my[c]);
+            mz[c] = w.mul_add(fz, mz[c]);
+            i += 1;
+        }
+    });
+}
+
+/// AVX2+FMA single-RHS gather: per contiguous z run, a vector dot of the
+/// run weights against each component mesh; one horizontal reduction per
+/// component at the end.
+///
+/// # Safety
+/// The caller must ensure the CPU supports the `avx2` and `fma` target
+/// features (runtime-detected via `hibd_simd::avx2()`).
+#[cfg(target_arch = "x86_64")]
+#[hibd::hot]
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn interp_row_avx2(
+    p: usize,
+    zb: usize,
+    cols: &[u32],
+    vals: &[f64],
+    mx: &[f64],
+    my: &[f64],
+    mz: &[f64],
+) -> [f64; 3] {
+    use core::arch::x86_64::*;
+
+    debug_assert_eq!(cols.len(), p * p * p);
+    let mut vax = _mm256_setzero_pd();
+    let mut vay = _mm256_setzero_pd();
+    let mut vaz = _mm256_setzero_pd();
+    let mut hax = _mm_setzero_pd();
+    let mut hay = _mm_setzero_pd();
+    let mut haz = _mm_setzero_pd();
+    let (mut sax, mut say, mut saz) = (0.0, 0.0, 0.0);
+    for_each_run!(p, zb, cols, |t, len| {
+        let c0 = cols[t] as usize;
+        debug_assert!(c0 + len <= mx.len());
+        let mut i = 0;
+        while i + 4 <= len {
+            // SAFETY: same bounds argument as `spread_row_avx2`: the weight
+            // lanes stay within the `p^3`-long row and the mesh lanes within
+            // the contiguous run `c0 .. c0 + len <= K^3`.
+            unsafe {
+                let wv = _mm256_loadu_pd(vals.as_ptr().add(t + i));
+                vax = _mm256_fmadd_pd(wv, _mm256_loadu_pd(mx.as_ptr().add(c0 + i)), vax);
+                vay = _mm256_fmadd_pd(wv, _mm256_loadu_pd(my.as_ptr().add(c0 + i)), vay);
+                vaz = _mm256_fmadd_pd(wv, _mm256_loadu_pd(mz.as_ptr().add(c0 + i)), vaz);
+            }
+            i += 4;
+        }
+        if i + 2 <= len {
+            // 2-lane tail into separate 128-bit accumulators (see
+            // `spread_row_avx2` — this is what vectorizes `p = 6` rows).
+            // SAFETY: same bounds argument with a 2-element footprint.
+            unsafe {
+                let wv = _mm_loadu_pd(vals.as_ptr().add(t + i));
+                hax = _mm_fmadd_pd(wv, _mm_loadu_pd(mx.as_ptr().add(c0 + i)), hax);
+                hay = _mm_fmadd_pd(wv, _mm_loadu_pd(my.as_ptr().add(c0 + i)), hay);
+                haz = _mm_fmadd_pd(wv, _mm_loadu_pd(mz.as_ptr().add(c0 + i)), haz);
+            }
+            i += 2;
+        }
+        while i < len {
+            let w = vals[t + i];
+            let c = c0 + i;
+            sax = w.mul_add(mx[c], sax);
+            say = w.mul_add(my[c], say);
+            saz = w.mul_add(mz[c], saz);
+            i += 1;
+        }
+    });
+    let hsum2 = |h: __m128d| _mm_cvtsd_f64(_mm_add_sd(h, _mm_unpackhi_pd(h, h)));
+    [sax + hsum2(hax) + hsum!(vax), say + hsum2(hay) + hsum!(vay), saz + hsum2(haz) + hsum!(vaz)]
+}
+
+/// AVX2+FMA multi-RHS scatter: the run weight vector is loaded once per
+/// 4-lane chunk and reused across all `3*w` column meshes of the tile.
+///
+/// # Safety
+/// The caller must ensure the CPU supports the `avx2` and `fma` target
+/// features (runtime-detected via `hibd_simd::avx2()`).
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+#[hibd::hot]
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn spread_row_multi_avx2(
+    p: usize,
+    zb: usize,
+    cols: &[u32],
+    vals: &[f64],
+    fvals: &[f64],
+    w: usize,
+    width: usize,
+    j0: usize,
+    k3: usize,
+    mesh: &mut [f64],
+) {
+    use core::arch::x86_64::*;
+
+    debug_assert_eq!(cols.len(), p * p * p);
+    debug_assert!(3 * w <= fvals.len());
+    for_each_run!(p, zb, cols, |t, len| {
+        let c0 = cols[t] as usize;
+        debug_assert!(c0 + len <= k3);
+        let mut i = 0;
+        while i + 4 <= len {
+            // SAFETY: weight lanes stay within the `p^3`-long row; every
+            // mesh access lands in `[(theta*width + j0 + j)*k3, ... + k3)`
+            // at offsets `c0 + i .. c0 + i + 4 <= c0 + len <= k3` (the run
+            // is a contiguous span of valid cells, debug-asserted above),
+            // and `theta*width + j0 + j < 3*width` by the caller's tile
+            // bounds, so the lane stays inside `mesh`.
+            unsafe {
+                let wv = _mm256_loadu_pd(vals.as_ptr().add(t + i));
+                for theta in 0..3 {
+                    let base0 = (theta * width + j0) * k3 + c0 + i;
+                    for j in 0..w {
+                        let fv = _mm256_set1_pd(fvals[theta * w + j]);
+                        let pm = mesh.as_mut_ptr().add(base0 + j * k3);
+                        _mm256_storeu_pd(pm, _mm256_fmadd_pd(wv, fv, _mm256_loadu_pd(pm)));
+                    }
+                }
+            }
+            i += 4;
+        }
+        if i + 2 <= len {
+            // 2-lane tail (see `spread_row_avx2`): keeps `p = 6` rows and
+            // the short split runs of wrapped rows vectorized.
+            // SAFETY: same bounds argument with a 2-element footprint.
+            unsafe {
+                let wv = _mm_loadu_pd(vals.as_ptr().add(t + i));
+                for theta in 0..3 {
+                    let base0 = (theta * width + j0) * k3 + c0 + i;
+                    for j in 0..w {
+                        let fv = _mm_set1_pd(fvals[theta * w + j]);
+                        let pm = mesh.as_mut_ptr().add(base0 + j * k3);
+                        _mm_storeu_pd(pm, _mm_fmadd_pd(wv, fv, _mm_loadu_pd(pm)));
+                    }
+                }
+            }
+            i += 2;
+        }
+        while i < len {
+            let wgt = vals[t + i];
+            let c = c0 + i;
+            for theta in 0..3 {
+                let base = (theta * width + j0) * k3 + c;
+                for j in 0..w {
+                    mesh[base + j * k3] = wgt.mul_add(fvals[theta * w + j], mesh[base + j * k3]);
+                }
+            }
+            i += 1;
+        }
+    });
+}
+
+/// AVX2+FMA multi-RHS gather: one vector dot per `(theta, j)` output lane
+/// over the row's contiguous z runs, horizontal reduction per lane.
+///
+/// # Safety
+/// The caller must ensure the CPU supports the `avx2` and `fma` target
+/// features (runtime-detected via `hibd_simd::avx2()`).
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+#[hibd::hot]
+#[target_feature(enable = "avx2", enable = "fma")]
+pub(crate) unsafe fn interp_row_multi_avx2(
+    p: usize,
+    zb: usize,
+    cols: &[u32],
+    vals: &[f64],
+    acc: &mut [f64],
+    w: usize,
+    width: usize,
+    j0: usize,
+    k3: usize,
+    mesh: &[f64],
+) {
+    use core::arch::x86_64::*;
+
+    debug_assert_eq!(cols.len(), p * p * p);
+    for theta in 0..3 {
+        for j in 0..w {
+            let moff = (theta * width + j0 + j) * k3;
+            let mut va = _mm256_setzero_pd();
+            let mut ha = _mm_setzero_pd();
+            let mut sa = 0.0;
+            for_each_run!(p, zb, cols, |t, len| {
+                let c0 = cols[t] as usize;
+                debug_assert!(moff + c0 + len <= mesh.len());
+                let mut i = 0;
+                while i + 4 <= len {
+                    // SAFETY: same bounds argument as `spread_row_multi_avx2`
+                    // (contiguous run within one `k3`-long column mesh).
+                    unsafe {
+                        let wv = _mm256_loadu_pd(vals.as_ptr().add(t + i));
+                        let mv = _mm256_loadu_pd(mesh.as_ptr().add(moff + c0 + i));
+                        va = _mm256_fmadd_pd(wv, mv, va);
+                    }
+                    i += 4;
+                }
+                if i + 2 <= len {
+                    // 2-lane tail (see `interp_row_avx2`).
+                    // SAFETY: same bounds argument, 2-element footprint.
+                    unsafe {
+                        let wv = _mm_loadu_pd(vals.as_ptr().add(t + i));
+                        let mv = _mm_loadu_pd(mesh.as_ptr().add(moff + c0 + i));
+                        ha = _mm_fmadd_pd(wv, mv, ha);
+                    }
+                    i += 2;
+                }
+                while i < len {
+                    sa = vals[t + i].mul_add(mesh[moff + c0 + i], sa);
+                    i += 1;
+                }
+            });
+            sa += _mm_cvtsd_f64(_mm_add_sd(ha, _mm_unpackhi_pd(ha, ha)));
+            acc[theta * w + j] = sa + hsum!(va);
+        }
+    }
+}

@@ -247,12 +247,7 @@ fn scatter_rows(rows: &[u32], pm: &InterpMatrix, f: &[f64], mesh: &mut [f64], k3
         let r = r as usize;
         let (cols, vals) = pm.mat.row(r);
         let (fx, fy, fz) = (f[3 * r], f[3 * r + 1], f[3 * r + 2]);
-        for (c, w) in cols.iter().zip(vals) {
-            let c = *c as usize;
-            mx[c] += w * fx;
-            my[c] += w * fy;
-            mz[c] += w * fz;
-        }
+        crate::simd::spread_row(pm.p, cols, vals, fx, fy, fz, mx, my, mz);
     }
 }
 
@@ -285,15 +280,17 @@ fn scatter_rows_multi(
                 let row = &f[(3 * r + theta) * s + col0 + j0..];
                 fvals[theta * w..(theta + 1) * w].copy_from_slice(&row[..w]);
             }
-            for (c, wgt) in cols.iter().zip(vals) {
-                let c = *c as usize;
-                for theta in 0..3 {
-                    let base = (theta * width + j0) * k3 + c;
-                    for j in 0..w {
-                        mesh[base + j * k3] += wgt * fvals[theta * w + j];
-                    }
-                }
-            }
+            crate::simd::spread_row_multi(
+                pm.p,
+                cols,
+                vals,
+                &fvals[..3 * w],
+                w,
+                width,
+                j0,
+                k3,
+                mesh,
+            );
         }
         j0 += w;
     }
@@ -309,17 +306,9 @@ pub fn interpolate(pm: &InterpMatrix, mesh: &[f64], u: &mut [f64]) {
     assert_eq!(u.len(), 3 * pm.mat.nrows());
     let (mx, rest) = mesh.split_at(k3);
     let (my, mz) = rest.split_at(k3);
-    let nnz = pm.mat.nnz_per_row();
     u.par_chunks_mut(3).enumerate().for_each(|(r, ur)| {
-        let _ = nnz;
         let (cols, vals) = pm.mat.row(r);
-        let (mut ax, mut ay, mut az) = (0.0, 0.0, 0.0);
-        for (c, w) in cols.iter().zip(vals) {
-            let c = *c as usize;
-            ax += w * mx[c];
-            ay += w * my[c];
-            az += w * mz[c];
-        }
+        let [ax, ay, az] = crate::simd::interp_row(pm.p, cols, vals, mx, my, mz);
         ur[0] = ax;
         ur[1] = ay;
         ur[2] = az;
@@ -358,15 +347,17 @@ pub fn interpolate_multi(
         while j0 < width {
             let w = (width - j0).min(COL_TILE);
             acc[..3 * w].fill(0.0);
-            for (c, wgt) in cols.iter().zip(vals) {
-                let c = *c as usize;
-                for theta in 0..3 {
-                    let base = (theta * width + j0) * k3 + c;
-                    for j in 0..w {
-                        acc[theta * w + j] += wgt * mesh[base + j * k3];
-                    }
-                }
-            }
+            crate::simd::interp_row_multi(
+                pm.p,
+                cols,
+                vals,
+                &mut acc[..3 * w],
+                w,
+                width,
+                j0,
+                k3,
+                mesh,
+            );
             for theta in 0..3 {
                 for j in 0..w {
                     ur[theta * s + col0 + j0 + j] += acc[theta * w + j];

@@ -1,0 +1,107 @@
+//! Scalar-vs-SIMD equivalence for the B-spline spread/interpolate kernels.
+//!
+//! The AVX2 row kernels process the p^3 stencil as contiguous z-runs with
+//! FMA, so they are not bitwise identical to the scalar fallback; the
+//! contract is <= 1e-13 relative error (the scalar twin *is* the
+//! bitwise-unchanged pre-SIMD loop). The `hibd_simd` override is
+//! process-global, so every toggle serializes on `SIMD_LOCK`. Orders cover
+//! the dispatch gate (p = 3 stays scalar, p >= 4 vectorizes) and the
+//! multi-RHS widths cover partial 4-lane tails and column tiling.
+
+use hibd_mathx::Vec3;
+use hibd_pme::pmat::build_interp_matrix;
+use hibd_pme::spread::{interpolate, interpolate_multi, SpreadPlan};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+static SIMD_LOCK: Mutex<()> = Mutex::new(());
+
+fn scalar_then_auto<R>(f: impl Fn() -> R) -> (R, R) {
+    let _l = SIMD_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let scalar = {
+        let _g = hibd_simd::ScalarGuard::new();
+        f()
+    };
+    (scalar, f())
+}
+
+fn assert_close(a: &[f64], b: &[f64], what: &str) {
+    let scale = b.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!((x - y).abs() <= 1e-13 * scale, "{what}[{i}]: {x} vs {y} (scale {scale})");
+    }
+}
+
+fn positions(n: usize, box_l: f64, seed: u64) -> Vec<Vec3> {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64 * box_l
+    };
+    (0..n).map(|_| Vec3::new(next(), next(), next())).collect()
+}
+
+fn vector(len: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn spread_and_interpolate_match_scalar(
+        p in prop::sample::select(vec![3usize, 4, 5, 6, 8]),
+        seed in 1u64..1000,
+    ) {
+        let (n, k, box_l) = (18, 12, 9.0);
+        let pos = positions(n, box_l, seed);
+        let pm = build_interp_matrix(&pos, box_l, k, p);
+        let plan = SpreadPlan::new(&pm.scaled, k, p);
+        let f = vector(3 * n, seed ^ 0xabcd);
+        let k3 = k * k * k;
+        let (scalar, auto) = scalar_then_auto(|| {
+            let mut mesh = vec![0.0; 3 * k3];
+            plan.spread(&pm, &f, &mut mesh);
+            let mut u = vec![0.0; 3 * n];
+            interpolate(&pm, &mesh, &mut u);
+            (mesh, u)
+        });
+        assert_close(&auto.0, &scalar.0, "mesh");
+        assert_close(&auto.1, &scalar.1, "u");
+    }
+
+    #[test]
+    fn multi_rhs_spread_and_interpolate_match_scalar(
+        s in prop::sample::select(vec![1usize, 2, 3, 7, 8]),
+        p in prop::sample::select(vec![4usize, 6]),
+        seed in 1u64..1000,
+    ) {
+        let (n, k, box_l) = (14, 10, 8.0);
+        let pos = positions(n, box_l, seed);
+        let pm = build_interp_matrix(&pos, box_l, k, p);
+        let plan = SpreadPlan::new(&pm.scaled, k, p);
+        let f = vector(3 * n * s, seed ^ 0x5a5a);
+        let k3 = k * k * k;
+        // Full-width chunk plus (when s allows) an offset partial chunk, so
+        // both the j0 = 0 and j0 > 0 mesh indexing paths are exercised.
+        let chunks: Vec<(usize, usize)> =
+            if s >= 3 { vec![(0, s), (1, s - 1)] } else { vec![(0, s)] };
+        for (col0, width) in chunks {
+            let (scalar, auto) = scalar_then_auto(|| {
+                let mut mesh = vec![0.0; 3 * width * k3];
+                plan.spread_multi(&pm, &f, s, col0, width, &mut mesh);
+                let mut u = vec![0.0; 3 * n * s];
+                interpolate_multi(&pm, &mesh, s, col0, width, &mut u);
+                (mesh, u)
+            });
+            assert_close(&auto.0, &scalar.0, "multi mesh");
+            assert_close(&auto.1, &scalar.1, "multi u");
+        }
+    }
+}

@@ -1,0 +1,400 @@
+//! Batched near-field pair kernels (4 target–source pairs per iteration).
+//!
+//! Two consumers share these kernels:
+//!
+//! * the treecode near field evaluates the free-space two-branch RPY tensor
+//!   for every unseparated pair ([`rpy_pairs_accumulate`]): one target
+//!   against a staged SoA tile of sources, four pairs per AVX2 iteration,
+//!   with the Yamakawa overlap branch and the coincident `r = 0` limit
+//!   handled by lane blends (a coincident lane contributes exactly
+//!   `mu0 x_j`, so the self pair `j = k` needs no special casing);
+//! * the Ewald real-space assembly evaluates Beenakker's `M^(1)` scalars
+//!   for four pair displacements at once ([`real_tensors_with_overlap4`]):
+//!   `erfc`/`exp` stay lane-scalar (they are iterative), while the
+//!   polynomial prefactors run as 4-lane vectors that replicate the scalar
+//!   expression tree operation-for-operation — the batched tensors are
+//!   **bitwise identical** to [`RpyEwald::real_tensor_with_overlap`].
+//!
+//! Dispatch policy (see `hibd-simd`): AVX2+FMA kernels behind runtime
+//! detection, `*_scalar` twins that reproduce the historical per-pair loops
+//! everywhere else.
+
+use crate::ewald::RpyEwald;
+use crate::tensor::{iso_plus_outer, rpy_pair_scalars};
+use hibd_hot as hibd;
+use hibd_mathx::Vec3;
+
+/// Recommended SoA staging tile for callers of [`rpy_pairs_accumulate`]
+/// (stack buffers of this many lanes; loop over tiles beyond it).
+pub const PAIR_TILE: usize = 32;
+
+/// Accumulate the free-space RPY action of a tile of sources on one target:
+/// `out[theta] += Σ_t fi(r_t) v_t[theta] + frr(r_t) (r̂_t · v_t) r̂_t[theta]`
+/// in units of `mu0` (the caller applies `mu0`), where `r_t` is the
+/// target−source displacement. Coincident lanes (`r = 0`) use the
+/// regularized limit `fi = 1, frr = 0`, i.e. they contribute `v_t` — which
+/// is exactly the RPY self term, so a target may appear in its own tile.
+#[allow(clippy::too_many_arguments)]
+#[hibd::hot]
+pub fn rpy_pairs_accumulate(
+    a: f64,
+    px: f64,
+    py: f64,
+    pz: f64,
+    sx: &[f64],
+    sy: &[f64],
+    sz: &[f64],
+    vx: &[f64],
+    vy: &[f64],
+    vz: &[f64],
+    out: &mut [f64; 3],
+) {
+    debug_assert!(
+        sx.len() == sy.len()
+            && sx.len() == sz.len()
+            && sx.len() == vx.len()
+            && sx.len() == vy.len()
+            && sx.len() == vz.len()
+    );
+    #[cfg(target_arch = "x86_64")]
+    if sx.len() >= 4 && hibd_simd::avx2() {
+        // SAFETY: `hibd_simd::avx2()` returns true only after runtime
+        // detection of the avx2 and fma target features on this CPU.
+        unsafe { pairs_accumulate_avx2(a, px, py, pz, sx, sy, sz, vx, vy, vz, out) };
+        return;
+    }
+    pairs_accumulate_scalar(a, px, py, pz, sx, sy, sz, vx, vy, vz, out);
+}
+
+/// Scalar pair loop, reproducing the historical treecode near-field
+/// arithmetic per pair (two-branch scalars, normalized `r̂`, coincident
+/// limit).
+#[allow(clippy::too_many_arguments)]
+#[hibd::hot]
+fn pairs_accumulate_scalar(
+    a: f64,
+    px: f64,
+    py: f64,
+    pz: f64,
+    sx: &[f64],
+    sy: &[f64],
+    sz: &[f64],
+    vx: &[f64],
+    vy: &[f64],
+    vz: &[f64],
+    out: &mut [f64; 3],
+) {
+    for t in 0..sx.len() {
+        let dx = px - sx[t];
+        let dy = py - sy[t];
+        let dz = pz - sz[t];
+        let r2 = dx * dx + dy * dy + dz * dz;
+        if r2 == 0.0 {
+            out[0] += vx[t];
+            out[1] += vy[t];
+            out[2] += vz[t];
+            continue;
+        }
+        let r = r2.sqrt();
+        let (fi, frr) = rpy_pair_scalars(r, a);
+        let rhx = dx / r;
+        let rhy = dy / r;
+        let rhz = dz / r;
+        let dot = rhx * vx[t] + rhy * vy[t] + rhz * vz[t];
+        out[0] += fi * vx[t] + (frr * dot) * rhx;
+        out[1] += fi * vy[t] + (frr * dot) * rhy;
+        out[2] += fi * vz[t] + (frr * dot) * rhz;
+    }
+}
+
+/// AVX2+FMA pair kernel: four pairs per iteration. Both RPY branches are
+/// evaluated and blended on `r < 2a`; coincident lanes are then overridden
+/// to `fi = 1, frr = 0` (the division guard substitutes `r^2 = 1` in dead
+/// lanes so no NaN contaminates the blend). `frr` is folded as `frr / r^2`
+/// so the raw displacement replaces the normalized `r̂`.
+///
+/// # Safety
+/// The caller must ensure the CPU supports the `avx2` and `fma` target
+/// features (runtime-detected via `hibd_simd::avx2()`).
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+#[hibd::hot]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn pairs_accumulate_avx2(
+    a: f64,
+    px: f64,
+    py: f64,
+    pz: f64,
+    sx: &[f64],
+    sy: &[f64],
+    sz: &[f64],
+    vx: &[f64],
+    vy: &[f64],
+    vz: &[f64],
+    out: &mut [f64; 3],
+) {
+    use core::arch::x86_64::*;
+
+    let len = sx.len();
+    let n4 = len & !3;
+    let vpx = _mm256_set1_pd(px);
+    let vpy = _mm256_set1_pd(py);
+    let vpz = _mm256_set1_pd(pz);
+    let va = _mm256_set1_pd(a);
+    let four_a2 = _mm256_set1_pd(4.0 * a * a);
+    let one = _mm256_set1_pd(1.0);
+    let zero = _mm256_setzero_pd();
+    let c075 = _mm256_set1_pd(0.75);
+    let c05 = _mm256_set1_pd(0.5);
+    let c15 = _mm256_set1_pd(1.5);
+    // Yamakawa overlap branch: fi = 1 - 9r/(32a), frr = 3r/(32a).
+    let c9_32a = _mm256_set1_pd(9.0 / (32.0 * a));
+    let c3_32a = _mm256_set1_pd(3.0 / (32.0 * a));
+    let mut ox = _mm256_setzero_pd();
+    let mut oy = _mm256_setzero_pd();
+    let mut oz = _mm256_setzero_pd();
+    let mut t = 0;
+    while t < n4 {
+        // SAFETY: `t + 3 < n4 <= len` and all six slices share `len`
+        // (debug-asserted by the dispatcher).
+        let (dx, dy, dz, wx, wy, wz) = unsafe {
+            (
+                _mm256_sub_pd(vpx, _mm256_loadu_pd(sx.as_ptr().add(t))),
+                _mm256_sub_pd(vpy, _mm256_loadu_pd(sy.as_ptr().add(t))),
+                _mm256_sub_pd(vpz, _mm256_loadu_pd(sz.as_ptr().add(t))),
+                _mm256_loadu_pd(vx.as_ptr().add(t)),
+                _mm256_loadu_pd(vy.as_ptr().add(t)),
+                _mm256_loadu_pd(vz.as_ptr().add(t)),
+            )
+        };
+        let r2 = _mm256_fmadd_pd(dz, dz, _mm256_fmadd_pd(dy, dy, _mm256_mul_pd(dx, dx)));
+        let zero_mask = _mm256_cmp_pd::<_CMP_EQ_OQ>(r2, zero);
+        let near_mask = _mm256_cmp_pd::<_CMP_LT_OQ>(r2, four_a2);
+        // Guard dead lanes before the divisions.
+        let safe_r2 = _mm256_blendv_pd(r2, one, zero_mask);
+        let r = _mm256_sqrt_pd(safe_r2);
+        let ir = _mm256_div_pd(one, r);
+        let ar = _mm256_mul_pd(va, ir);
+        let ar3 = _mm256_mul_pd(_mm256_mul_pd(ar, ar), ar);
+        // Far branch: fi = 0.75 ar + 0.5 ar^3, frr = 0.75 ar - 1.5 ar^3.
+        let fi_far = _mm256_fmadd_pd(c05, ar3, _mm256_mul_pd(c075, ar));
+        let frr_far = _mm256_fnmadd_pd(c15, ar3, _mm256_mul_pd(c075, ar));
+        let fi_near = _mm256_fnmadd_pd(c9_32a, r, one);
+        let frr_near = _mm256_mul_pd(c3_32a, r);
+        let fi = _mm256_blendv_pd(fi_far, fi_near, near_mask);
+        let frr = _mm256_blendv_pd(frr_far, frr_near, near_mask);
+        // Coincident limit: mu0 I, i.e. fi = 1, frr = 0.
+        let fi = _mm256_blendv_pd(fi, one, zero_mask);
+        let frr = _mm256_blendv_pd(frr, zero, zero_mask);
+        let g = _mm256_div_pd(frr, safe_r2);
+        let dot = _mm256_fmadd_pd(dz, wz, _mm256_fmadd_pd(dy, wy, _mm256_mul_pd(dx, wx)));
+        let gd = _mm256_mul_pd(g, dot);
+        ox = _mm256_fmadd_pd(gd, dx, _mm256_fmadd_pd(fi, wx, ox));
+        oy = _mm256_fmadd_pd(gd, dy, _mm256_fmadd_pd(fi, wy, oy));
+        oz = _mm256_fmadd_pd(gd, dz, _mm256_fmadd_pd(fi, wz, oz));
+        t += 4;
+    }
+    let hi = _mm256_extractf128_pd::<1>(ox);
+    let s = _mm_add_pd(_mm256_castpd256_pd128(ox), hi);
+    out[0] += _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)));
+    let hi = _mm256_extractf128_pd::<1>(oy);
+    let s = _mm_add_pd(_mm256_castpd256_pd128(oy), hi);
+    out[1] += _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)));
+    let hi = _mm256_extractf128_pd::<1>(oz);
+    let s = _mm_add_pd(_mm256_castpd256_pd128(oz), hi);
+    out[2] += _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)));
+    pairs_accumulate_scalar(
+        a,
+        px,
+        py,
+        pz,
+        &sx[n4..],
+        &sy[n4..],
+        &sz[n4..],
+        &vx[n4..],
+        &vy[n4..],
+        &vz[n4..],
+        out,
+    );
+}
+
+/// Evaluate four Ewald real-space pair tensors (overlap correction
+/// included) at once: `out[t] = mu0 (fi I + frr r̂r̂ᵀ)` for displacement
+/// `rv[t]`, bitwise identical to four calls of
+/// [`RpyEwald::real_tensor_with_overlap`].
+#[hibd::hot]
+pub fn real_tensors_with_overlap4(ew: &RpyEwald, rv: &[Vec3; 4], out: &mut [[f64; 9]; 4]) {
+    #[cfg(target_arch = "x86_64")]
+    if hibd_simd::avx2() {
+        use std::f64::consts::PI;
+        let mut r = [0.0; 4];
+        let mut e = [0.0; 4];
+        let mut erfc_x = [0.0; 4];
+        // `erfc` and `exp` are iterative: keep them lane-scalar, exactly as
+        // the scalar kernel computes them.
+        for t in 0..4 {
+            r[t] = rv[t].norm();
+            let x = ew.xi * r[t];
+            e[t] = (-x * x).exp() / PI.sqrt();
+            erfc_x[t] = hibd_mathx::erfc(x);
+        }
+        let mut fi = [0.0; 4];
+        let mut frr = [0.0; 4];
+        // SAFETY: `hibd_simd::avx2()` returns true only after runtime
+        // detection of the avx2 and fma target features on this CPU.
+        unsafe { real_scalars4_avx2(ew.a, ew.xi, &r, &e, &erfc_x, &mut fi, &mut frr) };
+        let mu0 = ew.mu0();
+        for t in 0..4 {
+            let (di, drr) = ew.overlap_scalars(r[t]);
+            out[t] = iso_plus_outer(mu0 * (fi[t] + di), mu0 * (frr[t] + drr), rv[t] / r[t]);
+        }
+        return;
+    }
+    real_scalars4_scalar(ew, rv, out);
+}
+
+/// Scalar fallback: four independent calls of the canonical per-pair
+/// kernel.
+#[hibd::hot]
+fn real_scalars4_scalar(ew: &RpyEwald, rv: &[Vec3; 4], out: &mut [[f64; 9]; 4]) {
+    for t in 0..4 {
+        out[t] = ew.real_tensor_with_overlap(rv[t]);
+    }
+}
+
+/// Beenakker real-space scalars for four distances at once, given the
+/// staged lane-scalar `e = exp(-(xi r)^2)/sqrt(pi)` and `erfc(xi r)`. The
+/// vector expression tree mirrors [`RpyEwald::real_scalars`]
+/// operation-for-operation (mul/add/sub/div only, no re-association, no
+/// FMA contraction), so the lanes are bitwise identical to the scalar
+/// kernel. The Beenakker coefficients are pinned by the xi-independence
+/// tests in `ewald.rs`; change them only there.
+///
+/// # Safety
+/// The caller must ensure the CPU supports the `avx2` and `fma` target
+/// features (runtime-detected via `hibd_simd::avx2()`).
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+#[hibd::hot]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn real_scalars4_avx2(
+    a: f64,
+    xi: f64,
+    r: &[f64; 4],
+    e: &[f64; 4],
+    erfc_x: &[f64; 4],
+    fi: &mut [f64; 4],
+    frr: &mut [f64; 4],
+) {
+    use core::arch::x86_64::*;
+
+    let a3 = a * a * a;
+    let xi3 = xi * xi * xi;
+    let xi5 = xi3 * xi * xi;
+    let xi7 = xi5 * xi * xi;
+    // SAFETY: all arrays are exactly four lanes.
+    let (rv, ev, erfcv) = unsafe {
+        (_mm256_loadu_pd(r.as_ptr()), _mm256_loadu_pd(e.as_ptr()), _mm256_loadu_pd(erfc_x.as_ptr()))
+    };
+    let r2 = _mm256_mul_pd(rv, rv);
+    let r2r = _mm256_mul_pd(r2, rv);
+    // fi = (0.75 a / r + 0.5 a^3 / r^3) erfc
+    //    + (4 xi^7 a^3 r^4 + 3 xi^3 a r^2 - 20 xi^5 a^3 r^2 - 4.5 xi a
+    //       + 14 xi^3 a^3 + xi a^3 / r^2) e
+    let t_erfc = _mm256_add_pd(
+        _mm256_div_pd(_mm256_set1_pd(0.75 * a), rv),
+        _mm256_div_pd(_mm256_set1_pd(0.5 * a3), r2r),
+    );
+    // `c * r2 * r2` must round like the scalar's left-to-right chain, so no
+    // pre-squared r^4: multiply by r2 twice.
+    let mut poly = _mm256_add_pd(
+        _mm256_mul_pd(_mm256_mul_pd(_mm256_set1_pd(4.0 * xi7 * a3), r2), r2),
+        _mm256_mul_pd(_mm256_set1_pd(3.0 * xi3 * a), r2),
+    );
+    poly = _mm256_sub_pd(poly, _mm256_mul_pd(_mm256_set1_pd(20.0 * xi5 * a3), r2));
+    poly = _mm256_sub_pd(poly, _mm256_set1_pd(4.5 * xi * a));
+    poly = _mm256_add_pd(poly, _mm256_set1_pd(14.0 * xi3 * a3));
+    poly = _mm256_add_pd(poly, _mm256_div_pd(_mm256_set1_pd(xi * a3), r2));
+    let fiv = _mm256_add_pd(_mm256_mul_pd(t_erfc, erfcv), _mm256_mul_pd(poly, ev));
+    // frr = (0.75 a / r - 1.5 a^3 / r^3) erfc
+    //     + (-4 xi^7 a^3 r^4 - 3 xi^3 a r^2 + 16 xi^5 a^3 r^2 + 1.5 xi a
+    //        - 2 xi^3 a^3 - 3 xi a^3 / r^2) e
+    let t_erfc = _mm256_sub_pd(
+        _mm256_div_pd(_mm256_set1_pd(0.75 * a), rv),
+        _mm256_div_pd(_mm256_set1_pd(1.5 * a3), r2r),
+    );
+    let mut poly = _mm256_sub_pd(
+        _mm256_mul_pd(_mm256_mul_pd(_mm256_set1_pd(-4.0 * xi7 * a3), r2), r2),
+        _mm256_mul_pd(_mm256_set1_pd(3.0 * xi3 * a), r2),
+    );
+    poly = _mm256_add_pd(poly, _mm256_mul_pd(_mm256_set1_pd(16.0 * xi5 * a3), r2));
+    poly = _mm256_add_pd(poly, _mm256_set1_pd(1.5 * xi * a));
+    poly = _mm256_sub_pd(poly, _mm256_set1_pd(2.0 * xi3 * a3));
+    poly = _mm256_sub_pd(poly, _mm256_div_pd(_mm256_set1_pd(3.0 * xi * a3), r2));
+    let frrv = _mm256_add_pd(_mm256_mul_pd(t_erfc, erfcv), _mm256_mul_pd(poly, ev));
+    // SAFETY: four-lane output arrays.
+    unsafe {
+        _mm256_storeu_pd(fi.as_mut_ptr(), fiv);
+        _mm256_storeu_pd(frr.as_mut_ptr(), frrv);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_accumulate_matches_per_pair_tensor() {
+        // One target against seven sources spanning far, overlap, and
+        // coincident lanes; compare against the reference tensor applied
+        // per pair.
+        let a = 1.0;
+        let p = (0.3, -0.2, 0.5);
+        let sx = [3.0, 0.3, 1.1, -2.0, 0.4, 5.0, 0.3];
+        let sy = [0.0, -0.2, 0.4, 1.0, -0.2, -4.0, -0.2];
+        let sz = [1.0, 0.5, -0.3, 0.7, 0.6, 2.0, 0.5];
+        let vx = [1.0, -0.5, 0.25, 2.0, -1.0, 0.5, 0.75];
+        let vy = [0.5, 1.5, -2.0, 0.1, 0.3, -0.25, 1.0];
+        let vz = [-1.0, 0.25, 1.0, -0.4, 0.8, 1.5, -0.6];
+        let mut got = [0.0; 3];
+        rpy_pairs_accumulate(a, p.0, p.1, p.2, &sx, &sy, &sz, &vx, &vy, &vz, &mut got);
+        let mut want = [0.0; 3];
+        for t in 0..sx.len() {
+            let dr = Vec3::new(p.0 - sx[t], p.1 - sy[t], p.2 - sz[t]);
+            let m = if dr.norm2() == 0.0 {
+                [1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0]
+            } else {
+                let r = dr.norm();
+                let (fi, frr) = rpy_pair_scalars(r, a);
+                iso_plus_outer(fi, frr, dr / r)
+            };
+            let v = [vx[t], vy[t], vz[t]];
+            for i in 0..3 {
+                for j in 0..3 {
+                    want[i] += m[3 * i + j] * v[j];
+                }
+            }
+        }
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() <= 1e-13 * w.abs().max(1.0), "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn batched_ewald_tensors_match_scalar_kernel_bitwise() {
+        let ew = RpyEwald::kernel_only(1.0, 1.0, 10.0, 0.8);
+        // Lanes straddle the overlap boundary r = 2a.
+        let rv = [
+            Vec3::new(1.0, 0.5, -0.3),
+            Vec3::new(2.0, 0.0, 0.0),
+            Vec3::new(1.4, -1.4, 0.2),
+            Vec3::new(3.0, 2.0, -1.0),
+        ];
+        let mut got = [[0.0; 9]; 4];
+        real_tensors_with_overlap4(&ew, &rv, &mut got);
+        for t in 0..4 {
+            let want = ew.real_tensor_with_overlap(rv[t]);
+            assert_eq!(got[t], want, "lane {t}");
+        }
+    }
+}

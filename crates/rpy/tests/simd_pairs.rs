@@ -1,0 +1,110 @@
+//! Scalar-vs-SIMD equivalence for the batched near-field pair kernels.
+//!
+//! Source radii are drawn to straddle every branch of the RPY pair kernel:
+//! coincident (r = 0), overlapping Yamakawa (0 < r < 2a), the exact r = 2a
+//! boundary, and the far branch (r > 2a). The free-space pair kernel uses
+//! FMA and blends both branches, so the contract is <= 1e-13 relative error;
+//! the batched Beenakker Ewald kernel mirrors the scalar expression tree
+//! with unfused ops and must stay *bitwise* identical. The `hibd_simd`
+//! override is process-global — toggles serialize on `SIMD_LOCK`.
+
+use hibd_mathx::Vec3;
+use hibd_rpy::{real_tensors_with_overlap4, rpy_pairs_accumulate, RpyEwald, PAIR_TILE};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+static SIMD_LOCK: Mutex<()> = Mutex::new(());
+
+fn scalar_then_auto<R>(f: impl Fn() -> R) -> (R, R) {
+    let _l = SIMD_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let scalar = {
+        let _g = hibd_simd::ScalarGuard::new();
+        f()
+    };
+    (scalar, f())
+}
+
+/// A unit-ish direction from three raw components (rejecting the zero draw).
+fn dir(x: f64, y: f64, z: f64) -> Vec3 {
+    let v = Vec3::new(x, y, z);
+    let n = v.norm();
+    if n < 1e-3 {
+        Vec3::new(1.0, 0.0, 0.0)
+    } else {
+        v / n
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pairs_accumulate_matches_scalar_across_overlap_boundary(
+        a in 0.5f64..1.5,
+        raw in prop::collection::vec(
+            ((-1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0), 0.0f64..2.2,
+             (-1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0)),
+            1..(2 * PAIR_TILE),
+        ),
+    ) {
+        let target = Vec3::new(0.3, -0.2, 0.1);
+        let mut sx = Vec::new();
+        let mut sy = Vec::new();
+        let mut sz = Vec::new();
+        let (mut vx, mut vy, mut vz) = (Vec::new(), Vec::new(), Vec::new());
+        for (i, &((dx, dy, dz), rfrac, (fx, fy, fz))) in raw.iter().enumerate() {
+            // Pin some lanes to the branch edges: every 5th source is
+            // coincident, every 7th sits exactly on r = 2a.
+            let r = if i % 5 == 0 {
+                0.0
+            } else if i % 7 == 0 {
+                2.0 * a
+            } else {
+                rfrac * a
+            };
+            let s = target + dir(dx, dy, dz) * r;
+            sx.push(s.x);
+            sy.push(s.y);
+            sz.push(s.z);
+            vx.push(fx);
+            vy.push(fy);
+            vz.push(fz);
+        }
+        let (scalar, auto) = scalar_then_auto(|| {
+            let mut out = [0.0f64; 3];
+            rpy_pairs_accumulate(
+                a, target.x, target.y, target.z, &sx, &sy, &sz, &vx, &vy, &vz, &mut out,
+            );
+            out
+        });
+        let scale = scalar.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        for t in 0..3 {
+            prop_assert!(
+                (auto[t] - scalar[t]).abs() <= 1e-13 * scale,
+                "component {t}: {} vs {}", auto[t], scalar[t]
+            );
+        }
+    }
+
+    #[test]
+    fn batched_ewald_tensors_stay_bitwise_scalar(
+        xi in 0.4f64..1.2,
+        lanes in prop::collection::vec(
+            ((-1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0), 0.3f64..5.9), 4),
+    ) {
+        let ew = RpyEwald::new(1.0, 1.0, 12.0, xi, 1e-8);
+        let mut rv = [Vec3::ZERO; 4];
+        for (t, &((dx, dy, dz), r)) in lanes.iter().enumerate() {
+            // Pin lane 1 to the overlap boundary so the r = 2a path is hit.
+            rv[t] = dir(dx, dy, dz) * if t == 1 { 2.0 } else { r };
+        }
+        let (scalar, auto) = scalar_then_auto(|| {
+            let mut out = [[0.0f64; 9]; 4];
+            real_tensors_with_overlap4(&ew, &rv, &mut out);
+            out
+        });
+        for t in 0..4 {
+            prop_assert_eq!(auto[t], scalar[t], "lane {} not bitwise", t);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Runtime SIMD dispatch for hibd hot kernels.
+//!
+//! The workspace's vectorized kernels (FFT combine stages, B-spline
+//! spread/interpolate rows, RPY near-field pair batches) are compiled with
+//! `#[target_feature(enable = "avx2,fma")]` and selected at runtime. This
+//! crate is the single source of truth for that decision:
+//!
+//! * `level()` reports [`Level::Avx2`] only when the CPU supports **both**
+//!   AVX2 and FMA (the kernels assume fused multiply-add), the crate was
+//!   built with the default `simd` feature, and the `HIBD_SIMD` environment
+//!   variable does not disable it.
+//! * `HIBD_SIMD=off` (also `0` or `scalar`) forces the scalar fallback at
+//!   process start — this is the switch CI uses to keep the scalar paths
+//!   green on vector-capable runners.
+//! * Building with `--no-default-features` removes the vector paths at
+//!   compile time; `level()` is then a constant [`Level::Scalar`].
+//!
+//! Dispatch sites follow one convention, enforced by `cargo run -p xtask --
+//! audit`: every `#[target_feature]` kernel is an `unsafe fn` whose name ends
+//! in `_avx2`, has a `*_scalar` sibling in the same file, and is only called
+//! under `level() == Level::Avx2` with a `// SAFETY:` comment citing the
+//! detection.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Instruction-set level selected for this process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Portable scalar kernels only.
+    Scalar,
+    /// AVX2 + FMA kernels (x86-64, runtime-detected).
+    Avx2,
+}
+
+/// Test/bench override so one process can exercise both kernel paths.
+/// 0 = auto (detected), 1 = force scalar.
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+fn detected() -> Level {
+    static DETECTED: OnceLock<Level> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        if !cfg!(feature = "simd") {
+            return Level::Scalar;
+        }
+        // NOTE: this one-time init allocates when the variable is set (the
+        // `OsString` copy); alloc-regression tests must touch `level()`
+        // before their measurement window.
+        if let Some(v) = std::env::var_os("HIBD_SIMD") {
+            if v == "off" || v == "0" || v == "scalar" {
+                return Level::Scalar;
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+            {
+                return Level::Avx2;
+            }
+        }
+        Level::Scalar
+    })
+}
+
+/// The instruction-set level kernels should dispatch on. Cheap (one relaxed
+/// atomic load plus a cached lookup); fine to query per row or per batch.
+#[inline]
+pub fn level() -> Level {
+    if OVERRIDE.load(Ordering::Relaxed) == 1 {
+        return Level::Scalar;
+    }
+    detected()
+}
+
+/// `true` when the AVX2+FMA kernel path is selected.
+#[inline]
+pub fn avx2() -> bool {
+    level() == Level::Avx2
+}
+
+/// Force the scalar fallback for this process (`on = true`) or restore
+/// auto-detection (`on = false`).
+///
+/// Intended for equivalence tests and scalar-vs-SIMD benchmarks that must
+/// run both paths in one process. Tests that toggle this must serialize
+/// (take a shared mutex) — the override is process-global.
+pub fn force_scalar(on: bool) {
+    OVERRIDE.store(u8::from(on), Ordering::Relaxed);
+}
+
+/// RAII guard that forces the scalar path while alive. Restores
+/// auto-detection on drop. Same serialization caveat as [`force_scalar`].
+pub struct ScalarGuard(());
+
+impl ScalarGuard {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        force_scalar(true);
+        ScalarGuard(())
+    }
+}
+
+impl Drop for ScalarGuard {
+    fn drop(&mut self) {
+        force_scalar(false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_forces_scalar() {
+        // Whatever the hardware, the override must win while set and release
+        // cleanly after.
+        {
+            let _g = ScalarGuard::new();
+            assert_eq!(level(), Level::Scalar);
+            assert!(!avx2());
+        }
+        assert_eq!(level(), detected());
+    }
+
+    #[test]
+    fn detection_is_stable() {
+        assert_eq!(detected(), detected());
+    }
+}

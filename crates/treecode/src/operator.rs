@@ -30,7 +30,7 @@ use crate::cheb;
 use crate::tree::{Node, Octree, NO_CHILD};
 use hibd_linalg::LinearOperator;
 use hibd_mathx::Vec3;
-use hibd_rpy::{rpy_pair_scalars, rpy_self_mobility};
+use hibd_rpy::{rpy_pairs_accumulate, rpy_self_mobility, PAIR_TILE};
 use hibd_telemetry::{Counter, Phase};
 
 use hibd_hot as hibd;
@@ -589,47 +589,58 @@ fn far_leaf(op: &TreeOperator, ord: usize, node: &Node, y: &mut [f64]) {
 }
 
 /// Near field for one target leaf: direct two-branch RPY against every
-/// source leaf in the near list; the leaf's own id marks the self block
-/// (which also adds the `mu0 I` diagonal).
+/// source leaf in the near list via the batched pair kernel
+/// ([`hibd_rpy::rpy_pairs_accumulate`], four pairs per AVX2 iteration).
+/// Sources are staged once per SoA tile and reused by every target of the
+/// leaf. The self block needs no special casing: the kernel's coincident
+/// (`r = 0`) lanes contribute exactly the `mu0 I` diagonal.
 #[hibd::hot]
 fn near_leaf(op: &TreeOperator, ord: usize, node: &Node, y: &mut [f64]) {
     let mu0 = rpy_self_mobility(op.params.a, op.params.eta);
     let a = op.params.a;
-    let own = op.tree.leaves[ord] as usize;
     let srcs = &op.near_src[op.near_off[ord] as usize..op.near_off[ord + 1] as usize];
+    let mut sx = [0.0f64; PAIR_TILE];
+    let mut sy = [0.0f64; PAIR_TILE];
+    let mut sz = [0.0f64; PAIR_TILE];
+    let mut vx = [0.0f64; PAIR_TILE];
+    let mut vy = [0.0f64; PAIR_TILE];
+    let mut vz = [0.0f64; PAIR_TILE];
     for &s in srcs {
         let sn = &op.tree.nodes[s as usize];
-        let self_block = s as usize == own;
-        for k in node.start as usize..node.end as usize {
-            let p = op.tree.pos[k];
-            let mut acc = Vec3::ZERO;
-            for j in sn.start as usize..sn.end as usize {
-                if self_block && j == k {
-                    continue;
-                }
-                let xj = Vec3::new(op.xr[3 * j], op.xr[3 * j + 1], op.xr[3 * j + 2]);
-                let dr = p - op.tree.pos[j];
-                let r2 = dr.norm2();
-                if r2 == 0.0 {
-                    // Coincident distinct particles: the regularized r -> 0
-                    // limit is mu0 I.
-                    acc += mu0 * xj;
-                    continue;
-                }
-                let r = r2.sqrt();
-                let (fi, frr) = rpy_pair_scalars(r, a);
-                let rh = dr / r;
-                let dot = rh.dot(xj);
-                acc += mu0 * (fi * xj + (frr * dot) * rh);
+        let mut j0 = sn.start as usize;
+        while j0 < sn.end as usize {
+            let l = (sn.end as usize - j0).min(PAIR_TILE);
+            for (t, j) in (j0..j0 + l).enumerate() {
+                let pj = op.tree.pos[j];
+                sx[t] = pj.x;
+                sy[t] = pj.y;
+                sz[t] = pj.z;
+                vx[t] = op.xr[3 * j];
+                vy[t] = op.xr[3 * j + 1];
+                vz[t] = op.xr[3 * j + 2];
             }
-            if self_block {
-                let xk = Vec3::new(op.xr[3 * k], op.xr[3 * k + 1], op.xr[3 * k + 2]);
-                acc += mu0 * xk;
+            for k in node.start as usize..node.end as usize {
+                let p = op.tree.pos[k];
+                let mut acc = [0.0f64; 3];
+                rpy_pairs_accumulate(
+                    a,
+                    p.x,
+                    p.y,
+                    p.z,
+                    &sx[..l],
+                    &sy[..l],
+                    &sz[..l],
+                    &vx[..l],
+                    &vy[..l],
+                    &vz[..l],
+                    &mut acc,
+                );
+                let o = 3 * (k - node.start as usize);
+                y[o] += mu0 * acc[0];
+                y[o + 1] += mu0 * acc[1];
+                y[o + 2] += mu0 * acc[2];
             }
-            let o = 3 * (k - node.start as usize);
-            y[o] += acc.x;
-            y[o + 1] += acc.y;
-            y[o + 2] += acc.z;
+            j0 += l;
         }
     }
 }
@@ -670,7 +681,7 @@ impl LinearOperator for TreeOperator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hibd_rpy::dense_rpy_free;
+    use hibd_rpy::{dense_rpy_free, rpy_pair_scalars};
 
     fn cloud(n: usize, spread: f64, seed: u64) -> Vec<Vec3> {
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);

@@ -1,0 +1,28 @@
+//! Negative fixture for the simd-dispatch lint: a safe `#[target_feature]`
+//! fn, a kernel without the `_avx2` naming convention, and a kernel whose
+//! scalar fallback is missing from the file.
+
+fn sum_scalar(x: &[f64]) -> f64 {
+    x.iter().sum()
+}
+
+// Violation: #[target_feature] fn must be `unsafe`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn sum_avx2(x: &[f64]) -> f64 {
+    sum_scalar(x)
+}
+
+// Violation: name must end `_avx2`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn sum_fast(x: &[f64]) -> f64 {
+    sum_scalar(x)
+}
+
+// Violation: no `dot_scalar` fallback exists in this file.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+unsafe fn dot_avx2(x: &[f64], y: &[f64]) -> f64 {
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}

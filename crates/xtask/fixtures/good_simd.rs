@@ -1,0 +1,42 @@
+//! Positive fixture: a well-formed SIMD kernel pair — the `#[target_feature]`
+//! kernel is `unsafe`, named `*_avx2`, and its `*_scalar` fallback lives in
+//! the same file.
+
+fn axpy_scalar(y: &mut [f64], a: f64, x: &[f64]) {
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// Four-lane AVX2/FMA variant of [`axpy_scalar`].
+///
+/// # Safety
+///
+/// The caller must have verified (e.g. via `hibd_simd::avx2()`) that the
+/// host CPU supports AVX2 and FMA.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn axpy_avx2(y: &mut [f64], a: f64, x: &[f64]) {
+    use core::arch::x86_64::{_mm256_fmadd_pd, _mm256_loadu_pd, _mm256_set1_pd, _mm256_storeu_pd};
+    let n4 = y.len().min(x.len()) & !3;
+    let va = _mm256_set1_pd(a);
+    let mut i = 0;
+    while i < n4 {
+        // SAFETY: `i + 3 < n4 <= min(y.len(), x.len())`, so the unaligned
+        // 4-lane load and store stay inside both slices.
+        unsafe {
+            let vy = _mm256_loadu_pd(y.as_ptr().add(i));
+            let vx = _mm256_loadu_pd(x.as_ptr().add(i));
+            _mm256_storeu_pd(y.as_mut_ptr().add(i), _mm256_fmadd_pd(va, vx, vy));
+        }
+        i += 4;
+    }
+    for j in n4..y.len().min(x.len()) {
+        y[j] = a.mul_add(x[j], y[j]);
+    }
+}
+
+fn caller(y: &mut [f64], x: &[f64]) {
+    // SAFETY: gated on runtime AVX2+FMA detection.
+    if hibd_simd::avx2() { unsafe { axpy_avx2(y, 2.0, x) } } else { axpy_scalar(y, 2.0, x) }
+}

@@ -1,6 +1,6 @@
 //! Workspace audit lints (`cargo run -p xtask -- audit`).
 //!
-//! Three machine-checked invariants, all lexical (the vendored dependency
+//! Five machine-checked invariants, all lexical (the vendored dependency
 //! set has no `syn`, so the scanner is a hand-rolled state machine over a
 //! comment/string-blanked copy of each source file):
 //!
@@ -20,6 +20,13 @@
 //!    explaining why the contract holds.
 //! 4. **safety-doc** — every `pub unsafe fn` must carry a `# Safety`
 //!    rustdoc section.
+//! 5. **simd-dispatch** — every `#[target_feature(...)]` kernel must be an
+//!    `unsafe fn` (so each call site goes through an `unsafe` block that the
+//!    safety-comment lint covers), must be named `<stem>_avx2` after the
+//!    instruction set it requires, and must have a scalar fallback
+//!    `fn <stem>_scalar` in the same file — the dispatch layer
+//!    (`hibd_simd::avx2()`) always has a semantically equivalent path on
+//!    non-AVX2 hosts and under `HIBD_SIMD=off`.
 //!
 //! The scanner first blanks comments and string/char literals (preserving
 //! newlines, so line numbers survive), then pattern-matches on the cleaned
@@ -401,12 +408,86 @@ fn lint_unsafe(file: &str, src: &str, cleaned: &str, out: &mut Vec<Violation>) {
     }
 }
 
+/// Is there a `fn` item named exactly `name` anywhere in the cleaned file?
+fn has_fn_named(cleaned: &str, name: &str) -> bool {
+    find_word(cleaned, name).into_iter().any(|pos| {
+        let head = cleaned[..pos].trim_end();
+        head.ends_with("fn") && (head.len() < 3 || !is_ident_byte(head.as_bytes()[head.len() - 3]))
+    })
+}
+
+/// Lint 5: SIMD dispatch hygiene. A `#[target_feature(...)]` kernel is only
+/// sound to call when the host supports the requested instruction set, so
+/// it must be `unsafe fn` (forcing every call through an `unsafe` block the
+/// safety-comment lint covers), its name must end `_avx2` to advertise the
+/// requirement, and a `_scalar` sibling with the same stem must live in the
+/// same file so dispatch always has a portable fallback.
+fn lint_target_feature(file: &str, cleaned: &str, out: &mut Vec<Violation>) {
+    for pos in find_word(cleaned, "target_feature") {
+        // Only the attribute form `#[target_feature(...)]`; a bare mention
+        // (e.g. `cfg(target_feature = ...)`) is not a kernel definition.
+        if !cleaned[..pos].trim_end().ends_with('[') {
+            continue;
+        }
+        let line = line_of(cleaned, pos);
+        let after = pos + "target_feature".len();
+        let Some(fn_rel) = find_word(&cleaned[after..], "fn").first().copied() else {
+            out.push(Violation {
+                file: file.to_string(),
+                line,
+                lint: "simd-dispatch",
+                msg: "#[target_feature] not followed by a function".to_string(),
+            });
+            continue;
+        };
+        let fn_pos = after + fn_rel;
+        if find_word(&cleaned[after..fn_pos], "unsafe").is_empty() {
+            out.push(Violation {
+                file: file.to_string(),
+                line,
+                lint: "simd-dispatch",
+                msg: "#[target_feature] fn must be `unsafe` (call sites carry the \
+                      // SAFETY: cpu-feature contract)"
+                    .to_string(),
+            });
+        }
+        let Some((name, _)) = next_token(cleaned, fn_pos + "fn".len()) else {
+            continue;
+        };
+        if let Some(stem) = name.strip_suffix("_avx2") {
+            let fallback = format!("{stem}_scalar");
+            if !has_fn_named(cleaned, &fallback) {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line,
+                    lint: "simd-dispatch",
+                    msg: format!(
+                        "#[target_feature] fn `{name}` has no scalar fallback \
+                         `fn {fallback}` in this file"
+                    ),
+                });
+            }
+        } else {
+            out.push(Violation {
+                file: file.to_string(),
+                line,
+                lint: "simd-dispatch",
+                msg: format!(
+                    "#[target_feature] fn `{name}` must be named `*_avx2` after the \
+                     instruction set it requires"
+                ),
+            });
+        }
+    }
+}
+
 /// Runs every lint over one source file. `file` is only used for reporting.
 pub fn audit_source(file: &str, src: &str) -> Vec<Violation> {
     let cleaned = clean_source(src);
     let mut out = Vec::new();
     lint_hot_alloc(file, &cleaned, &mut out);
     lint_unsafe(file, src, &cleaned, &mut out);
+    lint_target_feature(file, &cleaned, &mut out);
     out
 }
 
@@ -532,6 +613,45 @@ mod tests {
     #[test]
     fn vec_in_comment_or_string_not_flagged() {
         let src = "use hibd_hot as hibd;\n#[hibd::hot]\nfn f(x: &mut [f64]) {\n    // vec! would be wrong here\n    let _s = \"vec![0.0; 3]\";\n    x[0] += 1.0;\n}\n";
+        let v = audit_source("inline.rs", src);
+        assert!(v.is_empty(), "unexpected violations: {v:?}");
+    }
+
+    #[test]
+    fn simd_kernel_pair_passes() {
+        let src = include_str!("../fixtures/good_simd.rs");
+        let v = audit_source("good_simd.rs", src);
+        assert!(v.is_empty(), "unexpected violations: {v:?}");
+    }
+
+    #[test]
+    fn simd_dispatch_violations_are_rejected() {
+        let src = include_str!("../fixtures/bad_simd.rs");
+        let v = audit_source("bad_simd.rs", src);
+        assert!(
+            v.iter().any(|x| x.lint == "simd-dispatch" && x.msg.contains("must be `unsafe`")),
+            "safe target_feature fn not flagged: {v:?}"
+        );
+        assert!(
+            v.iter().any(|x| x.lint == "simd-dispatch"
+                && x.msg.contains("`sum_fast`")
+                && x.msg.contains("*_avx2")),
+            "mis-named kernel not flagged: {v:?}"
+        );
+        assert!(
+            v.iter().any(|x| x.lint == "simd-dispatch"
+                && x.msg.contains("`dot_avx2`")
+                && x.msg.contains("fn dot_scalar")),
+            "missing scalar fallback not flagged: {v:?}"
+        );
+        assert_eq!(v.len(), 3, "exactly the three seeded violations expected: {v:?}");
+    }
+
+    #[test]
+    fn cfg_target_feature_mention_is_not_a_kernel() {
+        // Only the attribute form defines a kernel; a cfg predicate or a
+        // string mention must not trip the lint.
+        let src = "#[cfg(all(target_arch = \"x86_64\", target_feature = \"avx2\"))]\nfn f() {}\n";
         let v = audit_source("inline.rs", src);
         assert!(v.is_empty(), "unexpected violations: {v:?}");
     }
