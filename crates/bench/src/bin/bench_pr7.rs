@@ -1,0 +1,128 @@
+//! Ensemble-vs-sequential throughput for the resident engine: stepping `R`
+//! same-shape replicas in lockstep through one `EnsembleRunner` (shared
+//! plans, lane-batched drift FFTs) against `R` standalone `MatrixFreeBd`
+//! steppers advanced back to back.
+//!
+//! Each case times the *steady-state* lockstep step — every replica advances
+//! one BD step — with the Krylov mobility window already warm and `lambda`
+//! chosen large enough that no window refresh lands inside the timed region.
+//! That isolates the engine's structural advantage: the ensemble fuses the
+//! replicas' drift transforms into `3R`-mesh FFT batches, which the
+//! lane-batched quad path (`hibd-fft`, groups of four meshes per transform)
+//! accelerates, while a standalone step only ever has three meshes in
+//! flight and cannot fill a lane group. Replicas stay bitwise identical to
+//! standalone runs, so this is pure throughput, not a different algorithm.
+//!
+//! Criterion covers the same comparison interactively (`cargo bench --bench
+//! ensemble_step`); this binary is the archival path and writes
+//! `results/BENCH_pr7.json` (when `results/` exists) plus the same document
+//! on stdout.
+//!
+//! Usage: `bench_pr7 [--quick|--full] [--seed N]`.
+
+use hibd_core::mf_bd::{MatrixFreeBd, MatrixFreeConfig};
+use hibd_core::system::ParticleSystem;
+use hibd_engine::EnsembleRunner;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Best (minimum) seconds of `f` over `reps` runs — the robust estimator
+/// on a shared host, since interference only ever adds time.
+fn time_best(reps: usize, mut f: impl FnMut()) -> f64 {
+    (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+struct Case {
+    replicas: usize,
+    sequential_s: f64,
+    ensemble_s: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let seed: u64 = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2014);
+
+    let (n, phi, reps, timed_steps) = if full { (300, 0.2, 5, 8) } else { (150, 0.15, 3, 6) };
+    // One warm-up step pays the Krylov window; keep every timed step (reps
+    // rounds of timed_steps) inside the same window so no refresh is timed.
+    let lambda = 2 + reps * timed_steps;
+    let cfg = MatrixFreeConfig { lambda_rpy: lambda, ..Default::default() };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let base = ParticleSystem::random_suspension(n, phi, &mut rng);
+
+    let mut cases = Vec::new();
+    for replicas in [1usize, 2, 4, 8] {
+        let mut solo: Vec<MatrixFreeBd> = (0..replicas as u64)
+            .map(|r| MatrixFreeBd::new(base.clone(), cfg, seed + r).unwrap())
+            .collect();
+        for bd in &mut solo {
+            bd.step().unwrap();
+        }
+        let sequential_s = time_best(reps, || {
+            for _ in 0..timed_steps {
+                for bd in &mut solo {
+                    bd.step().unwrap();
+                }
+            }
+        }) / timed_steps as f64;
+
+        let jobs: Vec<_> = (0..replicas as u64).map(|r| (base.clone(), seed + r)).collect();
+        let mut runner = EnsembleRunner::new(cfg, jobs).unwrap();
+        runner.step().unwrap();
+        let ensemble_s = time_best(reps, || {
+            for _ in 0..timed_steps {
+                runner.step().unwrap();
+            }
+        }) / timed_steps as f64;
+
+        eprintln!(
+            "R = {replicas}: sequential {:.1} ms, ensemble {:.1} ms per lockstep step ({:.3}x)",
+            sequential_s * 1e3,
+            ensemble_s * 1e3,
+            sequential_s / ensemble_s
+        );
+        cases.push(Case { replicas, sequential_s, ensemble_s });
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"hibd-bench-pr7-v1\",");
+    let _ = writeln!(json, "  \"n\": {n},");
+    let _ = writeln!(json, "  \"lambda\": {lambda},");
+    let _ = writeln!(json, "  \"timed_steps\": {timed_steps},");
+    let _ = writeln!(json, "  \"threads\": {},", rayon::current_num_threads());
+    json.push_str("  \"cases\": [\n");
+    for (i, c) in cases.iter().enumerate() {
+        let sep = if i + 1 == cases.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"replicas\": {}, \"sequential_ms\": {:.2}, \"ensemble_ms\": {:.2}, \
+             \"speedup\": {:.3}}}{sep}",
+            c.replicas,
+            c.sequential_s * 1e3,
+            c.ensemble_s * 1e3,
+            c.sequential_s / c.ensemble_s,
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    print!("{json}");
+    if std::path::Path::new("results").is_dir() {
+        std::fs::write("results/BENCH_pr7.json", &json).expect("write results/BENCH_pr7.json");
+        eprintln!("wrote results/BENCH_pr7.json");
+    }
+}

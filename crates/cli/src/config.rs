@@ -70,6 +70,9 @@ pub struct SimSpec {
     pub radius: f64,
     pub viscosity: f64,
     pub seed: u64,
+    /// Number of replicas stepped in lockstep by `hibd ensemble`. Replica
+    /// `r` uses seed `seed + r`; `hibd run` requires `replicas = 1`.
+    pub replicas: usize,
     /// Boundary condition: periodic box (PME mobility) or open/free-space
     /// cluster (treecode mobility).
     pub boundary: Boundary,
@@ -102,6 +105,7 @@ impl Default for SimSpec {
             radius: 1.0,
             viscosity: 1.0,
             seed: 2014,
+            replicas: 1,
             boundary: Boundary::Periodic,
             theta: None,
             algorithm: Algorithm::MatrixFree,
@@ -174,6 +178,7 @@ impl SimSpec {
                 "radius" => spec.radius = parse_num(*line, key, value)?,
                 "viscosity" => spec.viscosity = parse_num(*line, key, value)?,
                 "seed" => spec.seed = parse_num(*line, key, value)?,
+                "replicas" => spec.replicas = parse_num(*line, key, value)?,
                 "boundary" => {
                     spec.boundary = match value.to_ascii_lowercase().as_str() {
                         "periodic" | "pbc" => Boundary::Periodic,
@@ -254,6 +259,14 @@ impl SimSpec {
         if self.particles == 0 {
             return Err("particles must be positive".into());
         }
+        if self.replicas == 0 {
+            return Err("replicas must be at least 1".into());
+        }
+        if self.replicas > 1 && self.algorithm != Algorithm::MatrixFree {
+            return Err("ensemble stepping shares matrix-free operator plans; replicas > 1 \
+                 needs algorithm = matrix-free"
+                .into());
+        }
         if !(0.0..0.52).contains(&self.volume_fraction) || self.volume_fraction <= 0.0 {
             return Err(format!(
                 "volume_fraction {} outside supported (0, 0.52)",
@@ -328,6 +341,7 @@ impl SimSpec {
         writeln!(out, "radius = {}", self.radius).unwrap();
         writeln!(out, "viscosity = {}", self.viscosity).unwrap();
         writeln!(out, "seed = {}", self.seed).unwrap();
+        writeln!(out, "replicas = {}", self.replicas).unwrap();
         let boundary = match self.boundary {
             Boundary::Periodic => "periodic",
             Boundary::Open => "open",
@@ -528,6 +542,20 @@ mod tests {
         let spec = SimSpec { displacement: Displacement::SplitEwald, ..SimSpec::default() };
         let back = SimSpec::parse(&spec.to_config_text()).unwrap();
         assert_eq!(back.displacement, Displacement::SplitEwald);
+    }
+
+    #[test]
+    fn replicas_parse_validate_and_roundtrip() {
+        assert_eq!(SimSpec::parse("particles = 8\n").unwrap().replicas, 1);
+        let s = SimSpec::parse("replicas = 4\n").unwrap();
+        assert_eq!(s.replicas, 4);
+        assert!(SimSpec::parse("replicas = 0\n").unwrap_err().message.contains("at least 1"));
+        assert!(SimSpec::parse("replicas = 3\nalgorithm = dense\n")
+            .unwrap_err()
+            .message
+            .contains("matrix-free"));
+        let spec = SimSpec { replicas: 6, ..SimSpec::default() };
+        assert_eq!(SimSpec::parse(&spec.to_config_text()).unwrap().replicas, 6);
     }
 
     #[test]

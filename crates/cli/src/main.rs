@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! hibd run <config> [--profile p.json]     run a simulation from a config file
+//! hibd ensemble <config> [--profile p.json]  lockstep multi-replica run
 //! hibd resume <config> <ckpt> [--profile p.json]  continue from a checkpoint
 //! hibd check <config>               parse + validate a config
 //! hibd analyze <traj.xyz> [dt]      diffusion + g(r) from a trajectory
@@ -15,7 +16,7 @@
 use hibd_cli::analyze::{analyze_trajectory, render};
 use hibd_cli::config::SimSpec;
 use hibd_cli::profile;
-use hibd_cli::runner::run_simulation;
+use hibd_cli::runner::{run_ensemble, run_simulation};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -26,6 +27,7 @@ volume_fraction = 0.2
 radius          = 1.0
 viscosity       = 1.0
 seed            = 2014
+#replicas       = 8          # hibd ensemble: lockstep replicas, seeds seed+r
 boundary        = periodic   # or: open (free-space RPY via the treecode)
 #theta          = 0.4        # open only: treecode MAC (omit to tune from e_p)
 
@@ -54,8 +56,8 @@ checkpoint_interval = 500
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: hibd <run CONFIG | resume CONFIG CHECKPOINT | check CONFIG | \
-         analyze TRAJECTORY [FRAME_DT] | example-config> [--profile PATH]"
+        "usage: hibd <run CONFIG | ensemble CONFIG | resume CONFIG CHECKPOINT | \
+         check CONFIG | analyze TRAJECTORY [FRAME_DT] | example-config> [--profile PATH]"
     );
     ExitCode::from(2)
 }
@@ -115,6 +117,49 @@ fn main() -> ExitCode {
             match analyze_trajectory(file, frame_dt) {
                 Ok(a) => {
                     print!("{}", render(&a, frame_dt));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("ensemble") => {
+            let Some(path) = args.get(1) else { return usage() };
+            let spec = match load_spec(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if profile_path.is_some() {
+                hibd_telemetry::reset();
+                hibd_telemetry::enable();
+            }
+            match run_ensemble(&spec, |m| println!("[hibd] {m}")) {
+                Ok(er) => {
+                    println!(
+                        "[hibd] done: {} replicas x {} steps in {:.2} s \
+                         ({:.2} ms/replica-step, {} Krylov iterations)",
+                        er.replicas,
+                        er.report.steps,
+                        er.report.seconds,
+                        er.report.seconds_per_step * 1e3,
+                        er.report.krylov_iterations
+                    );
+                    if let Some(path) = &profile_path {
+                        let snap = hibd_telemetry::snapshot();
+                        hibd_telemetry::disable();
+                        if let Err(e) =
+                            profile::write_ensemble_profile(Path::new(path.as_str()), &er, &snap)
+                        {
+                            eprintln!("error: cannot write profile {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                        println!("[hibd] profile written to {path}");
+                    }
                     ExitCode::SUCCESS
                 }
                 Err(e) => {

@@ -12,9 +12,15 @@
 //!   "phases":   { <phase>: { count, total_s, min_ns, max_ns, mean_ns,
 //!                            hist: [u64; 32] }, ... },
 //!   "counters": { <counter>: u64, ... },
+//!   "jobs":     { <label>: { phases: {...}, counters: {...} }, ... },
 //!   "report":   { model: {...}, rows: [...] } | null
 //! }
 //! ```
+//!
+//! The `jobs` section appears only for `hibd ensemble` runs: one entry per
+//! replica (`r0`, `r1`, ...) plus a `shared` entry for work not
+//! attributable to a single replica (the batched FFT passes and the
+//! plan-cache hit/miss counters).
 //!
 //! Only phases with at least one recorded span are emitted. The `report`
 //! object (format of [`telemetry::Report::to_json`]) is present only for
@@ -23,8 +29,10 @@
 //! (spreading / influence / interpolation) are genuinely falsifiable while
 //! the single-constant FFT and real-space rows fit exactly by construction.
 
-use crate::runner::RunReport;
-use hibd_telemetry::{self as telemetry, CalibrationSample, Counter, PerfModel, Phase, Snapshot};
+use crate::runner::{EnsembleReport, RunReport};
+use hibd_telemetry::{
+    self as telemetry, CalibrationSample, Counter, LabeledSnapshot, PerfModel, Phase, Snapshot,
+};
 use std::path::Path;
 
 /// The schema tag emitted in (and required of) every profile document.
@@ -39,28 +47,9 @@ pub fn columns_applied(snap: &Snapshot) -> f64 {
     snap.counter(Counter::ForwardFfts) as f64 / 3.0
 }
 
-/// Render the profile document for a finished run.
-#[must_use]
-pub fn render_profile(report: &RunReport, snap: &Snapshot) -> String {
-    let mut out = String::with_capacity(4096);
-    out.push_str("{\"schema\":\"");
-    out.push_str(SCHEMA);
-    out.push_str("\",\"run\":{");
-    out.push_str(&format!(
-        "\"steps\":{},\"seconds\":{:e},\"seconds_per_step\":{:e},\"krylov_iterations\":{}}}",
-        report.steps, report.seconds, report.seconds_per_step, report.krylov_iterations
-    ));
-
-    out.push_str(",\"shape\":");
-    match &report.pme {
-        Some(s) => out.push_str(&format!(
-            "{{\"n\":{},\"mesh_dim\":{},\"spline_order\":{},\"lambda\":{}}}",
-            s.n, s.mesh_dim, s.spline_order, s.lambda
-        )),
-        None => out.push_str("null"),
-    }
-
-    out.push_str(",\"phases\":{");
+/// Render a snapshot's non-empty phase statistics as a JSON object body.
+fn phases_json(snap: &Snapshot) -> String {
+    let mut out = String::from("{");
     let mut first = true;
     for ph in Phase::ALL {
         let st = snap.phase(ph);
@@ -89,8 +78,12 @@ pub fn render_profile(report: &RunReport, snap: &Snapshot) -> String {
         out.push_str("]}");
     }
     out.push('}');
+    out
+}
 
-    out.push_str(",\"counters\":{");
+/// Render a snapshot's counters as a JSON object.
+fn counters_json(snap: &Snapshot) -> String {
+    let mut out = String::from("{");
     for (i, c) in Counter::ALL.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -98,6 +91,68 @@ pub fn render_profile(report: &RunReport, snap: &Snapshot) -> String {
         out.push_str(&format!("\"{}\":{}", c.name(), snap.counter(*c)));
     }
     out.push('}');
+    out
+}
+
+/// Render the profile document for a finished run.
+#[must_use]
+pub fn render_profile(report: &RunReport, snap: &Snapshot) -> String {
+    render_with_jobs(report, snap, None)
+}
+
+/// Render the profile document for a finished ensemble run: the standard
+/// [`SCHEMA`] document over the merged (process-global) snapshot, plus a
+/// `"jobs"` section holding the per-replica labeled snapshots (`r0..`,
+/// `shared`) so phase time can be attributed per replica.
+#[must_use]
+pub fn render_ensemble_profile(er: &EnsembleReport, snap: &Snapshot) -> String {
+    render_with_jobs(&er.report, snap, Some(&er.jobs))
+}
+
+fn render_with_jobs(
+    report: &RunReport,
+    snap: &Snapshot,
+    jobs: Option<&[LabeledSnapshot]>,
+) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"schema\":\"");
+    out.push_str(SCHEMA);
+    out.push_str("\",\"run\":{");
+    out.push_str(&format!(
+        "\"steps\":{},\"seconds\":{:e},\"seconds_per_step\":{:e},\"krylov_iterations\":{}}}",
+        report.steps, report.seconds, report.seconds_per_step, report.krylov_iterations
+    ));
+
+    out.push_str(",\"shape\":");
+    match &report.pme {
+        Some(s) => out.push_str(&format!(
+            "{{\"n\":{},\"mesh_dim\":{},\"spline_order\":{},\"lambda\":{}}}",
+            s.n, s.mesh_dim, s.spline_order, s.lambda
+        )),
+        None => out.push_str("null"),
+    }
+
+    out.push_str(",\"phases\":");
+    out.push_str(&phases_json(snap));
+
+    out.push_str(",\"counters\":");
+    out.push_str(&counters_json(snap));
+
+    if let Some(jobs) = jobs {
+        out.push_str(",\"jobs\":{");
+        for (i, j) in jobs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"phases\":{},\"counters\":{}}}",
+                j.label,
+                phases_json(&j.snapshot),
+                counters_json(&j.snapshot)
+            ));
+        }
+        out.push('}');
+    }
 
     out.push_str(",\"report\":");
     match &report.pme {
@@ -120,6 +175,15 @@ pub fn write_profile(path: &Path, report: &RunReport, snap: &Snapshot) -> std::i
     std::fs::write(path, render_profile(report, snap))
 }
 
+/// Render and write an ensemble profile (with the `"jobs"` section).
+pub fn write_ensemble_profile(
+    path: &Path,
+    er: &EnsembleReport,
+    snap: &Snapshot,
+) -> std::io::Result<()> {
+    std::fs::write(path, render_ensemble_profile(er, snap))
+}
+
 /// Validate a profile document: it must parse as JSON, carry the
 /// [`SCHEMA`] tag, and contain the `run`/`phases`/`counters` sections.
 /// Returns a description of the first problem found.
@@ -139,6 +203,18 @@ pub fn validate_profile(text: &str) -> Result<(), String> {
     for key in ["steps", "seconds", "seconds_per_step", "krylov_iterations"] {
         if run.get(key).and_then(telemetry::json::Value::as_f64).is_none() {
             return Err(format!("run.{key} missing or not a number"));
+        }
+    }
+    if let Some(jobs) = v.get("jobs") {
+        let telemetry::json::Value::Obj(map) = jobs else {
+            return Err("jobs is not an object".into());
+        };
+        for (label, job) in map {
+            for key in ["phases", "counters"] {
+                if job.get(key).is_none() {
+                    return Err(format!("jobs.{label} missing {key:?}"));
+                }
+            }
         }
     }
     if let Some(rep) = v.get("report") {
@@ -188,6 +264,45 @@ mod tests {
             .unwrap();
         assert_eq!(rows.len(), 7);
         assert!((columns_applied(&snap) - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ensemble_profile_carries_a_jobs_section() {
+        let mut job = Snapshot::empty();
+        job.phases[Phase::Stepping as usize].record(2_000_000);
+        job.counters[Counter::LanczosIterations as usize] = 5;
+        let er = EnsembleReport {
+            replicas: 2,
+            report: fake_report(None),
+            jobs: vec![
+                LabeledSnapshot { label: "r0".into(), snapshot: job.clone() },
+                LabeledSnapshot { label: "r1".into(), snapshot: job },
+                LabeledSnapshot { label: "shared".into(), snapshot: Snapshot::empty() },
+            ],
+        };
+        let text = render_ensemble_profile(&er, &Snapshot::empty());
+        validate_profile(&text).unwrap();
+        let v = telemetry::json::parse(&text).unwrap();
+        let jobs = v.get("jobs").unwrap();
+        let r0 = jobs.get("r0").unwrap();
+        assert!(r0.get("phases").and_then(|p| p.get("stepping")).is_some());
+        assert!(
+            (r0.get("counters")
+                .and_then(|c| c.get("lanczos_iterations"))
+                .and_then(telemetry::json::Value::as_f64)
+                .unwrap()
+                - 5.0)
+                .abs()
+                < 1e-12
+        );
+        assert!(jobs.get("shared").is_some());
+        // A malformed jobs section is rejected.
+        assert!(validate_profile(
+            "{\"schema\":\"hibd-profile-v1\",\"run\":{\"steps\":1,\"seconds\":1,\
+             \"seconds_per_step\":1,\"krylov_iterations\":0},\"phases\":{},\
+             \"counters\":{},\"jobs\":[]}"
+        )
+        .is_err());
     }
 
     #[test]

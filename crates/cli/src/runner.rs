@@ -1,4 +1,12 @@
 //! Assemble and run a simulation from a [`SimSpec`].
+//!
+//! Both entry points drive the same engine: [`run_simulation`] is the
+//! `R = 1` case of the [`EnsembleRunner`] (the dense baseline keeps its
+//! own legacy branch), and [`run_ensemble`] steps `replicas` independent
+//! copies in lockstep with shared operator plans. Replica `r` of an
+//! ensemble is defined as **the standalone run with seed `seed + r`** —
+//! same initial-configuration RNG, same BD stream — so its trajectory
+//! file is byte-identical to a `replicas = 1` run of that seed.
 
 use crate::checkpoint::Checkpoint;
 use crate::config::{Algorithm, Displacement, SimSpec};
@@ -7,6 +15,8 @@ use hibd_core::forces::{ConstantForce, LennardJones, RepulsiveHarmonic};
 use hibd_core::io::{Coordinates, XyzWriter};
 use hibd_core::mf_bd::{DisplacementMode, MatrixFreeBd, MatrixFreeConfig};
 use hibd_core::system::{Boundary, ParticleSystem};
+use hibd_engine::EnsembleRunner;
+use hibd_telemetry::LabeledSnapshot;
 use hibd_treecode::TreeParams;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -38,9 +48,21 @@ pub struct RunReport {
     pub pme: Option<PmeShape>,
 }
 
-/// Either BD driver behind one stepping interface.
+/// Summary of a completed ensemble run: the aggregate report (lockstep
+/// steps, wall time, Krylov totals) plus per-job labeled snapshots for the
+/// `--profile` jobs section.
+#[derive(Clone, Debug)]
+pub struct EnsembleReport {
+    pub replicas: usize,
+    pub report: RunReport,
+    pub jobs: Vec<LabeledSnapshot>,
+}
+
+/// Either BD driver behind one stepping interface. Matrix-free runs go
+/// through a one-replica [`EnsembleRunner`] so `hibd run` and
+/// `hibd ensemble` share every line of operator construction.
 enum Driver {
-    MatrixFree(Box<MatrixFreeBd>),
+    MatrixFree(Box<EnsembleRunner>),
     Dense(Box<EwaldBd>),
 }
 
@@ -54,16 +76,93 @@ impl Driver {
 
     fn system(&self) -> &ParticleSystem {
         match self {
-            Driver::MatrixFree(d) => d.system(),
+            Driver::MatrixFree(d) => d.replica(0).system(),
             Driver::Dense(d) => d.system(),
         }
     }
 
     fn krylov_iterations(&self) -> usize {
         match self {
-            Driver::MatrixFree(d) => d.timings().krylov_iterations,
+            Driver::MatrixFree(d) => d.replica(0).timings().krylov_iterations,
             Driver::Dense(_) => 0,
         }
+    }
+}
+
+/// The [`MatrixFreeConfig`] a spec resolves to (shared by both drivers).
+fn matrix_free_config(spec: &SimSpec) -> MatrixFreeConfig {
+    MatrixFreeConfig {
+        dt: spec.dt,
+        kbt: spec.kbt,
+        lambda_rpy: spec.lambda_rpy,
+        e_k: spec.e_k,
+        target_ep: spec.e_p,
+        displacement_mode: match spec.displacement {
+            Displacement::BlockKrylov => DisplacementMode::BlockKrylov,
+            Displacement::SingleKrylov => DisplacementMode::SingleKrylov,
+            Displacement::Chebyshev => DisplacementMode::Chebyshev,
+            Displacement::SplitEwald => DisplacementMode::SplitEwald,
+        },
+        tree: spec.theta.map(|theta| TreeParams { theta, ..TreeParams::default() }),
+        ..Default::default()
+    }
+}
+
+/// Generate replica `r`'s initial configuration (seed `spec.seed + r`).
+fn initial_system(spec: &SimSpec, seed: u64) -> ParticleSystem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    match spec.boundary {
+        Boundary::Periodic => ParticleSystem::random_suspension_with(
+            spec.particles,
+            spec.volume_fraction,
+            spec.radius,
+            spec.viscosity,
+            &mut rng,
+        ),
+        Boundary::Open => ParticleSystem::random_cluster_with(
+            spec.particles,
+            spec.volume_fraction,
+            spec.radius,
+            spec.viscosity,
+            &mut rng,
+        ),
+    }
+}
+
+/// Log the resolved operator shape of a freshly built driver and return
+/// the PME shape for the profile's performance model (None for open runs).
+fn log_shape(bd: &MatrixFreeBd, lambda: usize, log: &mut impl FnMut(&str)) -> Option<PmeShape> {
+    let mut shape = None;
+    if let Some(p) = bd.pme_params() {
+        log(&format!(
+            "matrix-free: K = {}, p = {}, r_max = {:.2}, alpha = {:.4}",
+            p.mesh_dim, p.spline_order, p.r_max, p.alpha
+        ));
+        shape = Some(PmeShape {
+            n: bd.system().len(),
+            mesh_dim: p.mesh_dim,
+            spline_order: p.spline_order,
+            lambda,
+        });
+    }
+    if let Some(t) = bd.tree_params() {
+        log(&format!(
+            "matrix-free treecode: theta = {:.2}, q = {}, leaf = {}",
+            t.theta, t.cheb_order, t.leaf_capacity
+        ));
+    }
+    shape
+}
+
+/// Per-replica output path: plain at `R = 1`, otherwise `.r{N}` spliced
+/// before the extension (`out.xyz` -> `out.r2.xyz`).
+fn replica_path(base: &str, r: usize, replicas: usize) -> String {
+    if replicas == 1 {
+        return base.to_string();
+    }
+    match base.rsplit_once('.') {
+        Some((stem, ext)) => format!("{stem}.r{r}.{ext}"),
+        None => format!("{base}.r{r}"),
     }
 }
 
@@ -75,6 +174,14 @@ pub fn run_simulation(
     resume_from: Option<&Path>,
     mut log: impl FnMut(&str),
 ) -> Result<RunReport, Box<dyn std::error::Error>> {
+    if spec.replicas > 1 {
+        return Err(format!(
+            "this config sets replicas = {}; single-trajectory `hibd run` needs replicas = 1 \
+             (use `hibd ensemble` for lockstep multi-replica runs)",
+            spec.replicas
+        )
+        .into());
+    }
     // Initial configuration: fresh suspension or checkpoint.
     let (system, start_step) = match resume_from {
         Some(path) => {
@@ -87,26 +194,7 @@ pub fn run_simulation(
             ));
             (ck.restore(), ck.step as usize)
         }
-        None => {
-            let mut rng = StdRng::seed_from_u64(spec.seed);
-            let sys = match spec.boundary {
-                Boundary::Periodic => ParticleSystem::random_suspension_with(
-                    spec.particles,
-                    spec.volume_fraction,
-                    spec.radius,
-                    spec.viscosity,
-                    &mut rng,
-                ),
-                Boundary::Open => ParticleSystem::random_cluster_with(
-                    spec.particles,
-                    spec.volume_fraction,
-                    spec.radius,
-                    spec.viscosity,
-                    &mut rng,
-                ),
-            };
-            (sys, 0)
-        }
+        None => (initial_system(spec, spec.seed), 0),
     };
     match system.boundary() {
         Boundary::Periodic => log(&format!(
@@ -125,46 +213,16 @@ pub fn run_simulation(
     let mut pme_shape = None;
     let mut driver = match spec.algorithm {
         Algorithm::MatrixFree => {
-            let cfg = MatrixFreeConfig {
-                dt: spec.dt,
-                kbt: spec.kbt,
-                lambda_rpy: spec.lambda_rpy,
-                e_k: spec.e_k,
-                target_ep: spec.e_p,
-                displacement_mode: match spec.displacement {
-                    Displacement::BlockKrylov => DisplacementMode::BlockKrylov,
-                    Displacement::SingleKrylov => DisplacementMode::SingleKrylov,
-                    Displacement::Chebyshev => DisplacementMode::Chebyshev,
-                    Displacement::SplitEwald => DisplacementMode::SplitEwald,
-                },
-                tree: spec.theta.map(|theta| TreeParams { theta, ..TreeParams::default() }),
-                ..Default::default()
-            };
-            let mut bd = MatrixFreeBd::new(system, cfg, spec.seed)?;
+            let cfg = matrix_free_config(spec);
+            let mut runner = EnsembleRunner::new(cfg, vec![(system, spec.seed)])?;
+            let bd = runner.replica_mut(0);
             // The per-window RNG stream is derived from the completed-step
             // counter, so a checkpoint resumed at a window boundary replays
             // the uninterrupted run bit for bit.
             bd.set_completed_steps(start_step as u64);
-            if let Some(p) = bd.pme_params() {
-                log(&format!(
-                    "matrix-free: K = {}, p = {}, r_max = {:.2}, alpha = {:.4}",
-                    p.mesh_dim, p.spline_order, p.r_max, p.alpha
-                ));
-                pme_shape = Some(PmeShape {
-                    n: bd.system().len(),
-                    mesh_dim: p.mesh_dim,
-                    spline_order: p.spline_order,
-                    lambda: spec.lambda_rpy,
-                });
-            }
-            if let Some(t) = bd.tree_params() {
-                log(&format!(
-                    "matrix-free treecode: theta = {:.2}, q = {}, leaf = {}",
-                    t.theta, t.cheb_order, t.leaf_capacity
-                ));
-            }
+            pme_shape = log_shape(bd, spec.lambda_rpy, &mut log);
             add_forces(spec, |f| bd.add_force_boxed(f));
-            Driver::MatrixFree(Box::new(bd))
+            Driver::MatrixFree(Box::new(runner))
         }
         Algorithm::Dense => {
             let cfg = EwaldBdConfig {
@@ -227,6 +285,105 @@ pub fn run_simulation(
     })
 }
 
+/// Run `spec.replicas` independent replicas in lockstep on one shared
+/// plan cache. Replica `r` is the standalone run with seed `spec.seed + r`
+/// (trajectory/checkpoint files get a `.r{N}` suffix when `replicas > 1`).
+/// Resume is single-trajectory only: restart replica `r` with
+/// `hibd resume` on its own checkpoint and `seed = seed + r`.
+pub fn run_ensemble(
+    spec: &SimSpec,
+    mut log: impl FnMut(&str),
+) -> Result<EnsembleReport, Box<dyn std::error::Error>> {
+    if spec.algorithm != Algorithm::MatrixFree {
+        return Err("ensemble stepping shares matrix-free operator plans; \
+             set algorithm = matrix-free"
+            .into());
+    }
+    let replicas = spec.replicas;
+    let jobs: Vec<(ParticleSystem, u64)> = (0..replicas as u64)
+        .map(|r| (initial_system(spec, spec.seed + r), spec.seed + r))
+        .collect();
+    match jobs[0].0.boundary() {
+        Boundary::Periodic => log(&format!(
+            "system: n = {}, L = {:.3}, phi = {:.3}, {replicas} replicas",
+            jobs[0].0.len(),
+            jobs[0].0.box_l,
+            jobs[0].0.volume_fraction()
+        )),
+        Boundary::Open => {
+            log(&format!("system: n = {}, open boundary, {replicas} replicas", jobs[0].0.len()));
+        }
+    }
+
+    let cfg = matrix_free_config(spec);
+    let mut runner = EnsembleRunner::new(cfg, jobs)?;
+    let pme_shape = log_shape(runner.replica(0), spec.lambda_rpy, &mut log);
+    log(&format!(
+        "plan cache: {} resident shape(s), {} hit(s), {} miss(es)",
+        runner.cache().len(),
+        runner.cache().hits(),
+        runner.cache().misses()
+    ));
+    for r in 0..replicas {
+        add_forces(spec, |f| runner.replica_mut(r).add_force_boxed(f));
+    }
+
+    // Per-replica trajectory sinks and checkpoint paths.
+    let mut trajs = Vec::with_capacity(replicas);
+    for r in 0..replicas {
+        trajs.push(match &spec.trajectory {
+            Some(base) => {
+                let path = replica_path(base, r, replicas);
+                let file = BufWriter::new(File::create(path)?);
+                Some(XyzWriter::new(file, Coordinates::Wrapped))
+            }
+            None => None,
+        });
+    }
+
+    let t0 = std::time::Instant::now();
+    for step in 1..=spec.steps {
+        runner.step()?;
+        for (r, traj) in trajs.iter_mut().enumerate() {
+            if let Some(w) = traj.as_mut() {
+                if step % spec.trajectory_interval == 0 {
+                    w.write_frame(runner.replica(r).system(), &format!("step={step}"))?;
+                }
+            }
+            if let Some(base) = &spec.checkpoint {
+                if step % spec.checkpoint_interval == 0 || step == spec.steps {
+                    let path = replica_path(base, r, replicas);
+                    Checkpoint::capture(runner.replica(r).system(), step as u64)
+                        .save(Path::new(&path))?;
+                }
+            }
+        }
+        if spec.report_interval > 0 && step % spec.report_interval == 0 {
+            let per = t0.elapsed().as_secs_f64() / (step * replicas) as f64;
+            log(&format!("step {step}: {:.2} ms/replica-step", per * 1e3));
+        }
+    }
+    for w in trajs.into_iter().flatten() {
+        let mut inner = w.into_inner()?;
+        inner.flush()?;
+    }
+
+    let seconds = t0.elapsed().as_secs_f64();
+    let krylov_iterations =
+        (0..replicas).map(|r| runner.replica(r).timings().krylov_iterations).sum();
+    Ok(EnsembleReport {
+        replicas,
+        report: RunReport {
+            steps: spec.steps,
+            seconds,
+            seconds_per_step: seconds / (spec.steps * replicas).max(1) as f64,
+            krylov_iterations,
+            pme: pme_shape,
+        },
+        jobs: runner.job_snapshots(),
+    })
+}
+
 fn add_forces(spec: &SimSpec, mut add: impl FnMut(Box<dyn hibd_core::forces::Force>)) {
     if spec.repulsion {
         add(Box::new(RepulsiveHarmonic::default()));
@@ -255,6 +412,50 @@ mod tests {
         assert_eq!(report.steps, 3);
         assert!(report.seconds_per_step > 0.0);
         assert!(report.krylov_iterations > 0);
+    }
+
+    #[test]
+    fn run_rejects_multi_replica_configs() {
+        let spec = SimSpec { replicas: 2, ..Default::default() };
+        let e = run_simulation(&spec, None, quiet()).unwrap_err();
+        assert!(e.to_string().contains("hibd ensemble"), "{e}");
+    }
+
+    #[test]
+    fn ensemble_rejects_the_dense_baseline() {
+        let spec = SimSpec { algorithm: Algorithm::Dense, ..Default::default() };
+        let e = run_ensemble(&spec, quiet()).unwrap_err();
+        assert!(e.to_string().contains("matrix-free"), "{e}");
+    }
+
+    #[test]
+    fn replica_paths_splice_before_the_extension() {
+        assert_eq!(replica_path("out.xyz", 2, 4), "out.r2.xyz");
+        assert_eq!(replica_path("state", 0, 2), "state.r0");
+        assert_eq!(replica_path("a/b.tar.gz", 1, 2), "a/b.tar.r1.gz");
+        assert_eq!(replica_path("out.xyz", 0, 1), "out.xyz");
+    }
+
+    #[test]
+    fn runs_a_small_ensemble_with_per_job_snapshots() {
+        let spec = SimSpec {
+            particles: 12,
+            steps: 3,
+            lambda_rpy: 2,
+            replicas: 3,
+            report_interval: 0,
+            ..Default::default()
+        };
+        let mut lines = Vec::new();
+        let er = run_ensemble(&spec, |m| lines.push(m.to_string())).unwrap();
+        assert_eq!(er.replicas, 3);
+        assert_eq!(er.report.steps, 3);
+        assert!(er.report.krylov_iterations > 0);
+        assert!(er.report.pme.is_some());
+        let labels: Vec<&str> = er.jobs.iter().map(|j| j.label.as_str()).collect();
+        assert_eq!(labels, ["r0", "r1", "r2", "shared"]);
+        assert!(lines.iter().any(|l| l.contains("3 replicas")));
+        assert!(lines.iter().any(|l| l.contains("plan cache: 1 resident")));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! Krylov and the split-Ewald displacement samplers.
 
 use hibd_cli::config::{Displacement, SimSpec};
-use hibd_cli::runner::run_simulation;
+use hibd_cli::runner::{run_ensemble, run_simulation};
 use std::path::Path;
 
 fn quiet() -> impl FnMut(&str) {
@@ -44,6 +44,50 @@ fn identical_runs_write_identical_trajectories() {
         let other = SimSpec { seed: 778, ..spec };
         let c = run_to_file(&other, &dir, &format!("{tag}_c.xyz"));
         assert_ne!(a, c, "{tag}: seed had no effect");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The CLI-level ensemble contract: replica `r` of an `R`-replica ensemble
+/// writes byte-identical trajectory and checkpoint files to a standalone
+/// `replicas = 1` run with seed `seed + r`, even though the ensemble
+/// batches the drift FFTs of all replicas through shared plans.
+#[test]
+fn ensemble_replicas_match_sequential_runs_bitwise() {
+    const R: usize = 3;
+    let dir = std::env::temp_dir().join("hibd_ensemble_bitwise_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let spec = SimSpec {
+        particles: 12,
+        steps: 4,
+        lambda_rpy: 2,
+        seed: 900,
+        replicas: R,
+        trajectory: Some(dir.join("ens.xyz").to_string_lossy().into_owned()),
+        trajectory_interval: 1,
+        checkpoint: Some(dir.join("ens.hibd").to_string_lossy().into_owned()),
+        checkpoint_interval: 2,
+        report_interval: 0,
+        ..Default::default()
+    };
+    run_ensemble(&spec, quiet()).unwrap();
+
+    for r in 0..R {
+        let solo = SimSpec {
+            replicas: 1,
+            seed: 900 + r as u64,
+            trajectory: Some(dir.join(format!("solo{r}.xyz")).to_string_lossy().into_owned()),
+            checkpoint: Some(dir.join(format!("solo{r}.hibd")).to_string_lossy().into_owned()),
+            ..spec.clone()
+        };
+        run_simulation(&solo, None, quiet()).unwrap();
+        let ens_traj = std::fs::read(dir.join(format!("ens.r{r}.xyz"))).unwrap();
+        let solo_traj = std::fs::read(dir.join(format!("solo{r}.xyz"))).unwrap();
+        assert!(!ens_traj.is_empty());
+        assert_eq!(ens_traj, solo_traj, "replica {r} trajectory diverged from seed {}", 900 + r);
+        let ens_ck = std::fs::read(dir.join(format!("ens.r{r}.hibd"))).unwrap();
+        let solo_ck = std::fs::read(dir.join(format!("solo{r}.hibd"))).unwrap();
+        assert_eq!(ens_ck, solo_ck, "replica {r} checkpoint diverged");
     }
     std::fs::remove_dir_all(&dir).ok();
 }

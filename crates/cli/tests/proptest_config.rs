@@ -16,7 +16,7 @@ fn spec_strategy() -> impl Strategy<Value = SimSpec> {
             prop::option::of("[a-z]{1,8}\\.xyz"),
             1usize..100,
         ),
-        (prop::bool::ANY, prop::option::of(0.05f64..0.95)),
+        (prop::bool::ANY, prop::option::of(0.05f64..0.95), 1usize..9),
     )
         .prop_map(
             |(
@@ -24,7 +24,7 @@ fn spec_strategy() -> impl Strategy<Value = SimSpec> {
                 (solver, dt, kbt, lambda_rpy),
                 (e_k, e_p, steps, repulsion),
                 (gravity, lj_epsilon, trajectory, interval),
-                (open, theta),
+                (open, theta, replicas),
             )| {
                 // solver 0 = dense, 1..=4 = matrix-free displacement modes.
                 SimSpec {
@@ -62,6 +62,7 @@ fn spec_strategy() -> impl Strategy<Value = SimSpec> {
                     // theta only tunes the open-boundary treecode; validate()
                     // rejects it for periodic specs.
                     theta: if open { theta } else { None },
+                    replicas,
                 }
             },
         )
@@ -91,6 +92,7 @@ proptest! {
         }
         prop_assert_eq!(&parsed.trajectory, &spec.trajectory);
         prop_assert_eq!(parsed.seed, spec.seed);
+        prop_assert_eq!(parsed.replicas, spec.replicas);
         prop_assert_eq!(parsed.boundary, spec.boundary);
         prop_assert_eq!(parsed.theta.is_some(), spec.theta.is_some());
         if let (Some(a), Some(b)) = (parsed.theta, spec.theta) {

@@ -33,5 +33,7 @@ pub use analysis::RdfAccumulator;
 pub use diffusion::DiffusionEstimator;
 pub use ewald_bd::{EwaldBd, EwaldBdConfig};
 pub use forces::{ConstantForce, Force, HarmonicBond, LennardJones, RepulsiveHarmonic};
-pub use mf_bd::{DisplacementMode, MatrixFreeBd, MatrixFreeConfig};
+pub use mf_bd::{
+    resolve_shape, DisplacementMode, MatrixFreeBd, MatrixFreeConfig, MobilityPlans, ResolvedShape,
+};
 pub use system::ParticleSystem;

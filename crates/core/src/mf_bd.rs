@@ -21,12 +21,13 @@ use hibd_krylov::{
 };
 use hibd_linalg::LinearOperator;
 use hibd_mathx::fill_standard_normal;
-use hibd_pme::{tune, PmeOperator, PmeParams, PmePhaseTimes};
+use hibd_pme::{tune, PmeOperator, PmeParams, PmePhaseTimes, PmePlans};
 use hibd_pse::{PseError, PseSampler, PseSplit};
 use hibd_telemetry::{self as telemetry, Phase};
-use hibd_treecode::{TreeOperator, TreeParams};
+use hibd_treecode::{TreeOperator, TreeParams, TreePlans};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 /// How the block of Brownian displacement vectors is computed.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -90,6 +91,96 @@ impl Default for MatrixFreeConfig {
             displacement_mode: DisplacementMode::BlockKrylov,
             pse: PseSplit::default(),
             tree: None,
+        }
+    }
+}
+
+/// The immutable, position-independent setup artifacts of the resolved
+/// mobility backend, shareable across drivers via `Arc` (the engine's plan
+/// cache hands the same allocation to every replica of a shape).
+#[derive(Clone)]
+pub enum MobilityPlans {
+    /// Periodic backend: FFT plan, influence table, Ewald coefficients.
+    Pme(Arc<PmePlans>),
+    /// Open backend: Chebyshev nodes and M2M transfer matrices.
+    Tree(Arc<TreePlans>),
+}
+
+impl MobilityPlans {
+    /// Resident bytes of the shared setup artifacts (count once per cache
+    /// entry, not per driver).
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        match self {
+            MobilityPlans::Pme(p) => p.memory_bytes(),
+            MobilityPlans::Tree(p) => p.memory_bytes(),
+        }
+    }
+}
+
+/// The backend parameters a `(system, config)` pair resolves to — exactly
+/// one of the two is `Some`. This is the canonical shape identity the
+/// engine's plan cache keys on.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ResolvedShape {
+    /// PME parameters (periodic systems).
+    pub pme: Option<PmeParams>,
+    /// Treecode parameters (open systems), with `a`/`eta` from the system.
+    pub tree: Option<TreeParams>,
+}
+
+/// Resolve the mobility-backend parameters for `system` under `cfg`:
+/// explicit config values win, otherwise the PME or treecode tuner chooses.
+/// Pure with respect to the driver — [`MatrixFreeBd::new`] and
+/// [`MatrixFreeBd::with_plans`] both start here, so a plan built for a
+/// shape is guaranteed to match any driver resolving the same shape.
+pub fn resolve_shape(
+    system: &ParticleSystem,
+    cfg: &MatrixFreeConfig,
+) -> Result<ResolvedShape, BdError> {
+    match system.boundary() {
+        Boundary::Periodic => {
+            let params = match cfg.pme {
+                Some(p) => p,
+                None => {
+                    tune(
+                        system.len(),
+                        system.volume_fraction(),
+                        system.a,
+                        system.eta,
+                        cfg.target_ep,
+                    )
+                    .params
+                }
+            };
+            if (params.box_l - system.box_l).abs() > 1e-9 * system.box_l {
+                return Err(BdError::Setup(format!(
+                    "PME box {} does not match system box {}",
+                    params.box_l, system.box_l
+                )));
+            }
+            Ok(ResolvedShape { pme: Some(params), tree: None })
+        }
+        Boundary::Open => {
+            if cfg.displacement_mode == DisplacementMode::SplitEwald {
+                return Err(BdError::Setup(
+                    "SplitEwald sampling is wave-space (periodic-only); \
+                     open systems need an M*v displacement mode"
+                        .into(),
+                ));
+            }
+            if cfg.pme.is_some() {
+                return Err(BdError::Setup(
+                    "explicit PME parameters are meaningless for an open system".into(),
+                ));
+            }
+            let tp = match cfg.tree {
+                Some(t) => TreeParams { a: system.a, eta: system.eta, ..t },
+                None => {
+                    hibd_treecode::tune(system.positions(), cfg.target_ep, system.a, system.eta)
+                }
+            };
+            Ok(ResolvedShape { pme: None, tree: Some(tp) })
         }
     }
 }
@@ -160,10 +251,9 @@ impl MfTimings {
 pub struct MatrixFreeBd {
     system: ParticleSystem,
     cfg: MatrixFreeConfig,
-    /// PME parameters (periodic systems only).
-    params: Option<PmeParams>,
-    /// Resolved treecode parameters (open systems only).
-    tree_params: Option<TreeParams>,
+    /// Immutable setup artifacts for the resolved backend; every operator
+    /// refresh reuses them (possibly shared with other drivers).
+    plans: MobilityPlans,
     forces: Vec<Box<dyn Force>>,
     /// Base RNG seed; each operator window re-derives its own stream from
     /// `(seed, steps_done)` so a run resumed at a window boundary consumes
@@ -213,56 +303,62 @@ impl MatrixFreeBd {
         seed: u64,
     ) -> Result<MatrixFreeBd, BdError> {
         assert!(cfg.lambda_rpy >= 1);
-        let (params, tree_params) = match system.boundary() {
-            Boundary::Periodic => {
-                let params = match cfg.pme {
-                    Some(p) => p,
-                    None => {
-                        tune(
-                            system.len(),
-                            system.volume_fraction(),
-                            system.a,
-                            system.eta,
-                            cfg.target_ep,
-                        )
-                        .params
-                    }
-                };
-                if (params.box_l - system.box_l).abs() > 1e-9 * system.box_l {
-                    return Err(BdError::Setup(format!(
-                        "PME box {} does not match system box {}",
-                        params.box_l, system.box_l
-                    )));
-                }
-                (Some(params), None)
+        let shape = resolve_shape(&system, &cfg)?;
+        let (plans, setup) = match (shape.pme, shape.tree) {
+            (Some(params), None) => {
+                let sw = telemetry::start(Phase::PmeSetup);
+                let plans = PmePlans::new(params).map_err(|e| BdError::Setup(e.to_string()))?;
+                let t = sw.stop();
+                (MobilityPlans::Pme(Arc::new(plans)), t)
             }
-            Boundary::Open => {
-                if cfg.displacement_mode == DisplacementMode::SplitEwald {
-                    return Err(BdError::Setup(
-                        "SplitEwald sampling is wave-space (periodic-only); \
-                         open systems need an M*v displacement mode"
-                            .into(),
-                    ));
-                }
-                if cfg.pme.is_some() {
-                    return Err(BdError::Setup(
-                        "explicit PME parameters are meaningless for an open system".into(),
-                    ));
-                }
-                let tp = match cfg.tree {
-                    Some(t) => TreeParams { a: system.a, eta: system.eta, ..t },
-                    None => {
-                        hibd_treecode::tune(system.positions(), cfg.target_ep, system.a, system.eta)
-                    }
-                };
-                (None, Some(tp))
+            (None, Some(tp)) => {
+                let sw = telemetry::start(Phase::TreeBuild);
+                let plans = TreePlans::new(tp);
+                let t = sw.stop();
+                (MobilityPlans::Tree(Arc::new(plans)), t)
             }
+            _ => unreachable!("resolve_shape yields exactly one backend"),
         };
-        Ok(MatrixFreeBd {
+        let mut bd = Self::assemble(system, cfg, seed, plans);
+        bd.timings.setup += setup;
+        Ok(bd)
+    }
+
+    /// Build the driver around already-constructed (typically cache-shared)
+    /// setup plans. The plans must describe exactly the shape this
+    /// `(system, cfg)` pair resolves to — validated here so a stale cache
+    /// entry cannot silently run the wrong mesh or tree schedule.
+    pub fn with_plans(
+        system: ParticleSystem,
+        cfg: MatrixFreeConfig,
+        seed: u64,
+        plans: MobilityPlans,
+    ) -> Result<MatrixFreeBd, BdError> {
+        assert!(cfg.lambda_rpy >= 1);
+        let shape = resolve_shape(&system, &cfg)?;
+        let matches = match (&plans, &shape.pme, &shape.tree) {
+            (MobilityPlans::Pme(p), Some(params), None) => p.params() == params,
+            (MobilityPlans::Tree(p), None, Some(tp)) => p.params() == tp,
+            _ => false,
+        };
+        if !matches {
+            return Err(BdError::Setup(
+                "shared plans do not match the shape this system and config resolve to".into(),
+            ));
+        }
+        Ok(Self::assemble(system, cfg, seed, plans))
+    }
+
+    fn assemble(
+        system: ParticleSystem,
+        cfg: MatrixFreeConfig,
+        seed: u64,
+        plans: MobilityPlans,
+    ) -> MatrixFreeBd {
+        MatrixFreeBd {
             system,
             cfg,
-            params,
-            tree_params,
+            plans,
             forces: Vec::new(),
             seed,
             steps_done: 0,
@@ -273,7 +369,7 @@ impl MatrixFreeBd {
             drift_scratch: Vec::new(),
             step_scratch: Vec::new(),
             timings: MfTimings::default(),
-        })
+        }
     }
 
     /// Restore the completed-step counter when resuming from a checkpoint.
@@ -312,18 +408,56 @@ impl MatrixFreeBd {
 
     /// PME parameters in effect (`None` for open-boundary systems).
     pub fn pme_params(&self) -> Option<&PmeParams> {
-        self.params.as_ref()
+        match &self.plans {
+            MobilityPlans::Pme(p) => Some(p.params()),
+            MobilityPlans::Tree(_) => None,
+        }
     }
 
     /// Treecode parameters in effect (`None` for periodic systems).
     pub fn tree_params(&self) -> Option<&TreeParams> {
-        self.tree_params.as_ref()
+        match &self.plans {
+            MobilityPlans::Tree(p) => Some(p.params()),
+            MobilityPlans::Pme(_) => None,
+        }
+    }
+
+    /// The shared setup plans this driver refreshes its operators from.
+    pub fn plans(&self) -> &MobilityPlans {
+        &self.plans
+    }
+
+    /// The PME operator, when the current window runs on one (periodic
+    /// systems after the first step).
+    pub fn pme_operator(&self) -> Option<&PmeOperator> {
+        match &self.op {
+            Some(MobilityOp::Pme(op)) => Some(op),
+            _ => None,
+        }
     }
 
     /// The treecode operator, when the current window runs on one
     /// (open-boundary systems after the first step).
     pub fn tree_operator(&self) -> Option<&TreeOperator> {
         match &self.op {
+            Some(MobilityOp::Tree(op)) => Some(op),
+            _ => None,
+        }
+    }
+
+    /// Mutable PME operator of the current window (`None` before the first
+    /// [`ensure_window`](Self::ensure_window) or on the tree backend). The
+    /// ensemble engine drives the spread/FFT/interpolate stages directly.
+    pub fn pme_operator_mut(&mut self) -> Option<&mut PmeOperator> {
+        match &mut self.op {
+            Some(MobilityOp::Pme(op)) => Some(op),
+            _ => None,
+        }
+    }
+
+    /// Mutable treecode operator of the current window.
+    pub fn tree_operator_mut(&mut self) -> Option<&mut TreeOperator> {
+        match &mut self.op {
             Some(MobilityOp::Tree(op)) => Some(op),
             _ => None,
         }
@@ -366,19 +500,17 @@ impl MatrixFreeBd {
         let lambda = self.cfg.lambda_rpy;
         let n3 = 3 * self.system.len();
 
-        let mut op = match self.system.boundary() {
-            Boundary::Periodic => {
+        let mut op = match &self.plans {
+            MobilityPlans::Pme(plans) => {
                 let sw = telemetry::start(Phase::PmeSetup);
-                let params = self.params.expect("periodic driver resolved PME params");
-                let op = PmeOperator::new(self.system.positions(), params)
-                    .map_err(|e| BdError::Setup(e.to_string()))?;
+                let op = PmeOperator::with_plans(self.system.positions(), Arc::clone(plans));
                 self.timings.setup += sw.stop();
                 MobilityOp::Pme(Box::new(op))
             }
-            Boundary::Open => {
-                // `TreeOperator::new` times itself under `Phase::TreeBuild`.
-                let params = self.tree_params.expect("open driver resolved tree params");
-                let op = TreeOperator::new(self.system.positions(), params);
+            MobilityPlans::Tree(plans) => {
+                // `TreeOperator::with_plans` times itself under
+                // `Phase::TreeBuild`.
+                let op = TreeOperator::with_plans(self.system.positions(), Arc::clone(plans));
                 self.timings.setup += op.timings().build;
                 MobilityOp::Tree(Box::new(op))
             }
@@ -420,9 +552,10 @@ impl MatrixFreeBd {
                 match &mut self.pse {
                     Some(s) => s.rebuild(self.system.positions()).map_err(map_pse)?,
                     None => {
-                        let pme =
-                            self.params.as_ref().expect("SplitEwald is gated to periodic systems");
-                        let pse_params = self.cfg.pse.resolve(pme);
+                        let MobilityPlans::Pme(plans) = &self.plans else {
+                            unreachable!("SplitEwald is gated to periodic systems")
+                        };
+                        let pse_params = self.cfg.pse.resolve(plans.params());
                         self.pse = Some(
                             PseSampler::new(self.system.positions(), pse_params)
                                 .map_err(map_pse)?,
@@ -476,29 +609,64 @@ impl MatrixFreeBd {
         Ok(())
     }
 
-    /// Advance one BD step.
-    pub fn step(&mut self) -> Result<(), BdError> {
+    /// Make the current displacement window valid: rebuild the operator and
+    /// redraw the Brownian block when the window is exhausted (or none has
+    /// been built yet). After this returns `Ok`, the operator accessors are
+    /// `Some` and [`advance_with_drift`](Self::advance_with_drift) may
+    /// consume one displacement.
+    pub fn ensure_window(&mut self) -> Result<(), BdError> {
         if self.used >= self.cfg.lambda_rpy || self.op.is_none() {
             self.refresh_operator()?;
         }
+        Ok(())
+    }
 
+    /// Evaluate the total deterministic force on the current configuration.
+    pub fn total_forces(&mut self) -> Vec<f64> {
+        total_force(&mut self.forces, &self.system)
+    }
+
+    /// Propagate one step from an externally computed hydrodynamic drift
+    /// `M f` (length `3n`): `r += drift dt + d_j`, consuming displacement
+    /// `j` of the current window. Callers must have run
+    /// [`ensure_window`](Self::ensure_window) this step; the ensemble
+    /// engine computes the drift itself (batching the FFTs across
+    /// replicas), while [`step`](Self::step) uses the operator directly.
+    pub fn advance_with_drift(&mut self, drift: &[f64]) {
         let sw = telemetry::start(Phase::Stepping);
         let n3 = 3 * self.system.len();
+        assert_eq!(drift.len(), n3);
         let lambda = self.cfg.lambda_rpy;
-        let f = total_force(&mut self.forces, &self.system);
-        let op = self.op.as_mut().expect("operator refreshed above");
-        self.drift_scratch.resize(n3, 0.0);
-        self.step_scratch.resize(n3, 0.0);
-        op.apply(&f, &mut self.drift_scratch);
         let j = self.used;
-        for i in 0..n3 {
-            self.step_scratch[i] = self.drift_scratch[i] * self.cfg.dt + self.disp[i * lambda + j];
+        assert!(j < lambda, "displacement window exhausted; call ensure_window first");
+        self.step_scratch.resize(n3, 0.0);
+        for (i, (s, &d)) in self.step_scratch.iter_mut().zip(drift).enumerate() {
+            *s = d * self.cfg.dt + self.disp[i * lambda + j];
         }
         self.used += 1;
         self.steps_done += 1;
         self.system.apply_displacements(&self.step_scratch);
         self.timings.stepping += sw.stop();
         self.timings.steps += 1;
+    }
+
+    /// Advance one BD step.
+    pub fn step(&mut self) -> Result<(), BdError> {
+        self.ensure_window()?;
+
+        let sw = telemetry::start(Phase::Stepping);
+        let n3 = 3 * self.system.len();
+        let f = total_force(&mut self.forces, &self.system);
+        let op = self.op.as_mut().expect("operator refreshed by ensure_window");
+        self.drift_scratch.resize(n3, 0.0);
+        op.apply(&f, &mut self.drift_scratch);
+        self.timings.stepping += sw.stop();
+
+        // Same buffer round-trips through `advance_with_drift` (which needs
+        // `&mut self`), so the steady state stays allocation-free.
+        let drift = std::mem::take(&mut self.drift_scratch);
+        self.advance_with_drift(&drift);
+        self.drift_scratch = drift;
         Ok(())
     }
 

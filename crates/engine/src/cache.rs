@@ -1,0 +1,214 @@
+//! The shared plan cache: one set of setup artifacts per distinct shape.
+//!
+//! A "shape" is everything the position-independent setup work depends on:
+//! the tuned PME parameters for a periodic box, or the treecode schedule
+//! for an open cloud. Two jobs resolving to the same shape get the *same*
+//! `Arc`, so the `O(K^3)` influence table and the FFT twiddle plans exist
+//! once no matter how many replicas run.
+
+use hibd_core::ewald_bd::BdError;
+use hibd_core::mf_bd::{resolve_shape, MatrixFreeConfig, MobilityPlans};
+use hibd_core::ParticleSystem;
+use hibd_pme::{PmeParams, PmePlans};
+use hibd_telemetry::{self as telemetry, Counter, Phase};
+use hibd_treecode::{TreeParams, TreePlans};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Canonical, hashable identity of a mobility-backend shape. Floating-point
+/// parameters are keyed by their exact bit patterns: the cache must only
+/// ever share plans between *identical* parameter sets, so semantic
+/// closeness (or `NaN` quirks) is irrelevant — equal bits, equal shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ShapeKey {
+    /// Periodic box: the full tuned PME parameter set.
+    Periodic {
+        a: u64,
+        eta: u64,
+        box_l: u64,
+        alpha: u64,
+        mesh_dim: usize,
+        spline_order: usize,
+        r_max: u64,
+    },
+    /// Open cloud: the treecode accuracy schedule.
+    Open { theta: u64, leaf_capacity: usize, cheb_order: usize, a: u64, eta: u64 },
+}
+
+impl ShapeKey {
+    /// Key for a periodic shape.
+    #[must_use]
+    pub fn periodic(p: &PmeParams) -> ShapeKey {
+        ShapeKey::Periodic {
+            a: p.a.to_bits(),
+            eta: p.eta.to_bits(),
+            box_l: p.box_l.to_bits(),
+            alpha: p.alpha.to_bits(),
+            mesh_dim: p.mesh_dim,
+            spline_order: p.spline_order,
+            r_max: p.r_max.to_bits(),
+        }
+    }
+
+    /// Key for an open (free-space) shape.
+    #[must_use]
+    pub fn open(p: &TreeParams) -> ShapeKey {
+        ShapeKey::Open {
+            theta: p.theta.to_bits(),
+            leaf_capacity: p.leaf_capacity,
+            cheb_order: p.cheb_order,
+            a: p.a.to_bits(),
+            eta: p.eta.to_bits(),
+        }
+    }
+}
+
+/// Deduplicating store of setup plans, keyed by [`ShapeKey`]. Lookups
+/// count as hits (an existing `Arc` was reused) or misses (fresh plans were
+/// built) both locally and on the global telemetry counters.
+#[derive(Default)]
+pub struct PlanCache {
+    pme: HashMap<ShapeKey, Arc<PmePlans>>,
+    tree: HashMap<ShapeKey, Arc<TreePlans>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// Shared PME plans for `params`, building them on first sight.
+    pub fn pme(&mut self, params: PmeParams) -> Result<Arc<PmePlans>, BdError> {
+        let key = ShapeKey::periodic(&params);
+        if let Some(p) = self.pme.get(&key).map(Arc::clone) {
+            self.hit();
+            return Ok(p);
+        }
+        self.miss();
+        let _sw = telemetry::span(Phase::PmeSetup);
+        let p = Arc::new(PmePlans::new(params).map_err(|e| BdError::Setup(e.to_string()))?);
+        self.pme.insert(key, Arc::clone(&p));
+        Ok(p)
+    }
+
+    /// Shared treecode plans for `params`, building them on first sight.
+    pub fn tree(&mut self, params: TreeParams) -> Arc<TreePlans> {
+        let key = ShapeKey::open(&params);
+        if let Some(p) = self.tree.get(&key).map(Arc::clone) {
+            self.hit();
+            return p;
+        }
+        self.miss();
+        let _sw = telemetry::span(Phase::TreeBuild);
+        let p = Arc::new(TreePlans::new(params));
+        self.tree.insert(key, Arc::clone(&p));
+        p
+    }
+
+    /// Resolve the shape of `(system, cfg)` and return shared plans for it
+    /// — the one-stop entry the ensemble runner uses per job.
+    pub fn plans_for(
+        &mut self,
+        system: &ParticleSystem,
+        cfg: &MatrixFreeConfig,
+    ) -> Result<MobilityPlans, BdError> {
+        let shape = resolve_shape(system, cfg)?;
+        match (shape.pme, shape.tree) {
+            (Some(p), None) => Ok(MobilityPlans::Pme(self.pme(p)?)),
+            (None, Some(t)) => Ok(MobilityPlans::Tree(self.tree(t))),
+            _ => unreachable!("resolve_shape yields exactly one backend"),
+        }
+    }
+
+    fn hit(&mut self) {
+        self.hits += 1;
+        telemetry::incr(Counter::PlanCacheHits, 1);
+    }
+
+    fn miss(&mut self) {
+        self.misses += 1;
+        telemetry::incr(Counter::PlanCacheMisses, 1);
+    }
+
+    /// Lookups that reused an existing entry.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that built fresh plans.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Distinct shapes currently cached.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pme.len() + self.tree.len()
+    }
+
+    /// Whether the cache holds no plans.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pme.is_empty() && self.tree.is_empty()
+    }
+
+    /// Resident bytes of all cached plans (each shape counted once).
+    #[must_use]
+    pub fn plans_memory_bytes(&self) -> usize {
+        self.pme.values().map(|p| p.memory_bytes()).sum::<usize>()
+            + self.tree.values().map(|p| p.memory_bytes()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_params_hit_distinct_params_miss() {
+        let mut cache = PlanCache::new();
+        let p1 = PmeParams { mesh_dim: 8, ..PmeParams::default() };
+        let p2 = PmeParams { mesh_dim: 12, ..PmeParams::default() };
+
+        let a = cache.pme(p1).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let b = cache.pme(p1).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert!(Arc::ptr_eq(&a, &b), "same shape must share one allocation");
+
+        let c = cache.pme(p2).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.plans_memory_bytes() > 0);
+    }
+
+    #[test]
+    fn tree_entries_are_keyed_independently_of_pme() {
+        let mut cache = PlanCache::new();
+        let t = TreeParams::default();
+        let a = cache.tree(t);
+        let b = cache.tree(t);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        let stricter = cache.tree(TreeParams { theta: 0.2, ..t });
+        assert!(!Arc::ptr_eq(&a, &stricter));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn float_keys_compare_by_bits() {
+        let base = PmeParams::default();
+        let nudged = PmeParams { alpha: base.alpha + 1e-16, ..base };
+        if base.alpha.to_bits() != nudged.alpha.to_bits() {
+            assert_ne!(ShapeKey::periodic(&base), ShapeKey::periodic(&nudged));
+        }
+        assert_eq!(ShapeKey::periodic(&base), ShapeKey::periodic(&{ base }));
+    }
+}

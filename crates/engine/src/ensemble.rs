@@ -1,0 +1,297 @@
+//! Lockstep multi-replica stepping with cross-replica FFT batching.
+//!
+//! Each replica is a full [`MatrixFreeBd`] driver — own positions, own
+//! RNG stream, own operator scratch — but replicas resolving to the same
+//! shape share one [`PmePlans`]/[`TreePlans`] allocation from the runner's
+//! [`PlanCache`], and the per-step drift `M f` of every same-shape periodic
+//! group goes through **one** batched forward/inverse FFT pair instead of
+//! `G` separate 3-transform trips.
+//!
+//! Bitwise contract: a replica stepped here produces exactly the trajectory
+//! a standalone `MatrixFreeBd` with the same system, config, and seed
+//! would. The window refresh (operator build + Brownian block) is the
+//! standalone code path verbatim; the drift pipeline reuses the operator's
+//! own spread/influence/interpolate kernels; and the batch FFTs are bitwise
+//! identical per mesh to the single-mesh transforms.
+//!
+//! [`PmePlans`]: hibd_pme::PmePlans
+//! [`TreePlans`]: hibd_treecode::TreePlans
+
+use crate::cache::PlanCache;
+use hibd_core::ewald_bd::BdError;
+use hibd_core::mf_bd::{MatrixFreeConfig, MobilityPlans};
+use hibd_core::{MatrixFreeBd, ParticleSystem};
+use hibd_linalg::LinearOperator;
+use hibd_pme::PmePhaseTimes;
+use hibd_telemetry::{self as telemetry, Counter, LabeledSnapshot, Phase, Snapshot};
+use std::sync::Arc;
+
+/// Record `secs` as one span in a local (per-job) snapshot. Zero-length
+/// deltas are skipped so idle phases keep a zero count.
+fn record_phase(snap: &mut Snapshot, phase: Phase, secs: f64) {
+    if secs > 0.0 {
+        snap.phases[phase as usize].record((secs * 1e9) as u64);
+    }
+}
+
+/// Fold one step's worth of PME operator phase times into a job snapshot.
+fn record_pme_times(snap: &mut Snapshot, t: &PmePhaseTimes) {
+    record_phase(snap, Phase::Spreading, t.spreading);
+    record_phase(snap, Phase::ForwardFft, t.forward_fft);
+    record_phase(snap, Phase::Influence, t.influence);
+    record_phase(snap, Phase::InverseFft, t.inverse_fft);
+    record_phase(snap, Phase::Interpolation, t.interpolation);
+    record_phase(snap, Phase::RealSpace, t.real_space);
+}
+
+/// Steps `R` replicas in lockstep, sharing setup plans and batching the
+/// drift FFTs of same-shape periodic replicas.
+pub struct EnsembleRunner {
+    replicas: Vec<MatrixFreeBd>,
+    cache: PlanCache,
+    /// Same-shape periodic replica groups (indices into `replicas`), fixed
+    /// at construction: plans are per-driver immutable.
+    groups: Vec<Vec<usize>>,
+    /// Open-boundary replicas, stepped through their own tree operator.
+    solo: Vec<usize>,
+    /// Per-replica drift `M f` buffers.
+    drift: Vec<Vec<f64>>,
+    /// Per-job phase statistics ("r0", "r1", ...).
+    per_job: Vec<Snapshot>,
+    /// Work not attributable to one job: the batched FFT passes.
+    shared: Snapshot,
+}
+
+impl EnsembleRunner {
+    /// Build one replica per `(system, seed)` job, all under `cfg`, sharing
+    /// setup plans through an internal [`PlanCache`].
+    pub fn new(
+        cfg: MatrixFreeConfig,
+        jobs: Vec<(ParticleSystem, u64)>,
+    ) -> Result<EnsembleRunner, BdError> {
+        let mut cache = PlanCache::new();
+        let mut replicas = Vec::with_capacity(jobs.len());
+        for (system, seed) in jobs {
+            let plans = cache.plans_for(&system, &cfg)?;
+            replicas.push(MatrixFreeBd::with_plans(system, cfg, seed, plans)?);
+        }
+
+        // Group periodic replicas by shared-plan identity. `Arc::ptr_eq` is
+        // the grouping key: equal pointers guarantee the same FFT plan, so
+        // one batched transform serves the whole group.
+        let mut groups: Vec<(Arc<hibd_pme::PmePlans>, Vec<usize>)> = Vec::new();
+        let mut solo = Vec::new();
+        for (r, bd) in replicas.iter().enumerate() {
+            match bd.plans() {
+                MobilityPlans::Pme(p) => match groups.iter_mut().find(|(g, _)| Arc::ptr_eq(g, p)) {
+                    Some((_, members)) => members.push(r),
+                    None => groups.push((Arc::clone(p), vec![r])),
+                },
+                MobilityPlans::Tree(_) => solo.push(r),
+            }
+        }
+
+        let n_jobs = replicas.len();
+        Ok(EnsembleRunner {
+            replicas,
+            cache,
+            groups: groups.into_iter().map(|(_, members)| members).collect(),
+            solo,
+            drift: vec![Vec::new(); n_jobs],
+            per_job: vec![Snapshot::empty(); n_jobs],
+            shared: Snapshot::empty(),
+        })
+    }
+
+    /// Number of replicas.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Whether the runner holds no replicas.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// Replica `r` (read access: positions, timings, parameters).
+    #[must_use]
+    pub fn replica(&self, r: usize) -> &MatrixFreeBd {
+        &self.replicas[r]
+    }
+
+    /// Replica `r`, mutable — for attaching forces before stepping.
+    pub fn replica_mut(&mut self, r: usize) -> &mut MatrixFreeBd {
+        &mut self.replicas[r]
+    }
+
+    /// The internal plan cache (hit/miss counters, resident plan bytes).
+    #[must_use]
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Advance every replica by one BD step.
+    pub fn step(&mut self) -> Result<(), BdError> {
+        let n_jobs = self.replicas.len();
+
+        // Window refresh per replica (operator rebuild + Brownian block),
+        // attributing the standalone-path timings to the owning job.
+        for r in 0..n_jobs {
+            let before = *self.replicas[r].timings();
+            self.replicas[r].ensure_window()?;
+            let after = *self.replicas[r].timings();
+            let setup_phase = match self.replicas[r].plans() {
+                MobilityPlans::Pme(_) => Phase::PmeSetup,
+                MobilityPlans::Tree(_) => Phase::TreeBuild,
+            };
+            let snap = &mut self.per_job[r];
+            record_phase(snap, setup_phase, after.setup - before.setup);
+            record_phase(snap, Phase::Displacements, after.displacements - before.displacements);
+            snap.counters[Counter::LanczosIterations as usize] +=
+                (after.krylov_iterations - before.krylov_iterations) as u64;
+        }
+
+        // Deterministic forces on the current configurations.
+        let forces: Vec<Vec<f64>> =
+            self.replicas.iter_mut().map(MatrixFreeBd::total_forces).collect();
+        for (r, bd) in self.replicas.iter().enumerate() {
+            self.drift[r].clear();
+            self.drift[r].resize(3 * bd.system().len(), 0.0);
+        }
+
+        // Drift `M f` for each same-shape periodic group: per-replica
+        // real-space + spread, one shared batched FFT round trip,
+        // per-replica influence + interpolation. The batch buffers are
+        // *borrowed* from the group's first operator — its Krylov batch
+        // scratch already holds `3 lambda` meshes, so lockstepping adds no
+        // large allocation of its own.
+        for group in &self.groups {
+            let g = group.len();
+            let host = group[0];
+            let plans = match self.replicas[host].plans() {
+                MobilityPlans::Pme(p) => Arc::clone(p),
+                MobilityPlans::Tree(_) => unreachable!("groups hold periodic replicas"),
+            };
+            let k = plans.params().mesh_dim;
+            let k3 = k * k * k;
+            let s_len = k * k * (k / 2 + 1);
+            let (need_mesh, need_spec) = (3 * g * k3, 3 * g * s_len);
+            let (mut bmesh, mut bspec) = self.replicas[host]
+                .pme_operator_mut()
+                .expect("periodic replica runs on PME")
+                .take_batch_scratch(g);
+
+            for (gi, &r) in group.iter().enumerate() {
+                let op = self.replicas[r].pme_operator_mut().expect("periodic replica runs on PME");
+                op.real_apply(&forces[r], &mut self.drift[r]);
+                op.spread_forces(&forces[r], &mut bmesh[gi * 3 * k3..(gi + 1) * 3 * k3]);
+            }
+
+            let sw = telemetry::start(Phase::ForwardFft);
+            plans.fft().forward_batch(&bmesh[..need_mesh], &mut bspec[..need_spec], 3 * g);
+            record_phase(&mut self.shared, Phase::ForwardFft, sw.stop());
+
+            for (gi, &r) in group.iter().enumerate() {
+                let sw = telemetry::start(Phase::Influence);
+                plans.influence().apply(&mut bspec[gi * 3 * s_len..(gi + 1) * 3 * s_len]);
+                record_phase(&mut self.per_job[r], Phase::Influence, sw.stop());
+            }
+
+            let sw = telemetry::start(Phase::InverseFft);
+            plans.fft().inverse_batch(&mut bspec[..need_spec], &mut bmesh[..need_mesh], 3 * g);
+            record_phase(&mut self.shared, Phase::InverseFft, sw.stop());
+
+            for (gi, &r) in group.iter().enumerate() {
+                let op = self.replicas[r].pme_operator_mut().expect("periodic replica runs on PME");
+                op.interpolate_add(&bmesh[gi * 3 * k3..(gi + 1) * 3 * k3], &mut self.drift[r]);
+            }
+
+            self.replicas[host]
+                .pme_operator_mut()
+                .expect("periodic replica runs on PME")
+                .restore_batch_scratch(bmesh, bspec);
+        }
+
+        // Open-boundary replicas: the treecode apply is already an `O(n
+        // log n)` single pass with nothing to batch across replicas.
+        for &r in &self.solo {
+            let sw = telemetry::start(Phase::Stepping);
+            let op = self.replicas[r].tree_operator_mut().expect("open replica runs on the tree");
+            op.apply(&forces[r], &mut self.drift[r]);
+            record_phase(&mut self.per_job[r], Phase::Stepping, sw.stop());
+        }
+
+        // Propagate every replica and attribute the remaining phase time.
+        for r in 0..n_jobs {
+            let before = self.replicas[r].timings().stepping;
+            let drift = std::mem::take(&mut self.drift[r]);
+            self.replicas[r].advance_with_drift(&drift);
+            self.drift[r] = drift;
+            let delta = self.replicas[r].timings().stepping - before;
+            record_phase(&mut self.per_job[r], Phase::Stepping, delta);
+            let times = self.replicas[r].pme_operator_mut().map(hibd_pme::PmeOperator::take_times);
+            if let Some(times) = times {
+                record_pme_times(&mut self.per_job[r], &times);
+            }
+        }
+        Ok(())
+    }
+
+    /// Advance every replica by `m` steps.
+    pub fn run(&mut self, m: usize) -> Result<(), BdError> {
+        for _ in 0..m {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Per-job phase statistics labeled `r0..r{R-1}` plus a `shared` entry
+    /// for the batched FFT passes and the plan-cache counters. Merging
+    /// these across runners goes through
+    /// [`hibd_telemetry::merge_labeled`].
+    #[must_use]
+    pub fn job_snapshots(&self) -> Vec<LabeledSnapshot> {
+        let mut out: Vec<LabeledSnapshot> = self
+            .per_job
+            .iter()
+            .enumerate()
+            .map(|(r, s)| LabeledSnapshot { label: format!("r{r}"), snapshot: s.clone() })
+            .collect();
+        let mut shared = self.shared.clone();
+        shared.counters[Counter::PlanCacheHits as usize] = self.cache.hits();
+        shared.counters[Counter::PlanCacheMisses as usize] = self.cache.misses();
+        out.push(LabeledSnapshot { label: "shared".into(), snapshot: shared });
+        out
+    }
+
+    /// Resident bytes of the whole ensemble: every replica's per-job
+    /// operator state (which includes the borrowed batch scratch), each
+    /// distinct shared plan set **once**, and the drift buffers. With `R`
+    /// replicas of one shape this is strictly less than `R` standalone
+    /// operators, which count their plans `R` times.
+    #[must_use]
+    pub fn memory_bytes(&self) -> usize {
+        let mut total =
+            self.drift.iter().map(|d| d.capacity() * std::mem::size_of::<f64>()).sum::<usize>();
+        let mut seen: Vec<*const u8> = Vec::new();
+        for bd in &self.replicas {
+            if let Some(op) = bd.pme_operator() {
+                total += op.state_memory_bytes();
+            }
+            if let Some(op) = bd.tree_operator() {
+                total += op.state_memory_bytes();
+            }
+            let (ptr, bytes) = match bd.plans() {
+                MobilityPlans::Pme(p) => (Arc::as_ptr(p).cast::<u8>(), p.memory_bytes()),
+                MobilityPlans::Tree(p) => (Arc::as_ptr(p).cast::<u8>(), p.memory_bytes()),
+            };
+            if !seen.contains(&ptr) {
+                seen.push(ptr);
+                total += bytes;
+            }
+        }
+        total
+    }
+}

@@ -1,0 +1,30 @@
+//! `hibd-engine`: a resident batch-simulation engine.
+//!
+//! Screening studies run many replicas of the *same shape* — one suspension
+//! geometry, many noise seeds. Building a standalone [`MatrixFreeBd`] per
+//! replica repeats the position-independent setup work (FFT twiddle plans,
+//! the `O(K^3)` influence table, Chebyshev transfer matrices) `R` times and
+//! steps each trajectory alone. This crate keeps that work resident:
+//!
+//! * [`PlanCache`] — deduplicates the immutable setup artifacts
+//!   ([`hibd_pme::PmePlans`] / [`hibd_treecode::TreePlans`]) behind a
+//!   canonical [`ShapeKey`], handing every replica of a shape the same
+//!   `Arc`. Hit/miss counts feed the telemetry counters.
+//! * [`EnsembleRunner`] — steps `R` replicas in lockstep, batching the
+//!   per-step `M f` drift FFTs of same-shape periodic replicas through one
+//!   [`hibd_fft::Fft3::forward_batch`]/`inverse_batch` pair.
+//!
+//! The correctness contract is **bitwise**: every replica's trajectory is
+//! identical, bit for bit, to a standalone single-trajectory run with the
+//! same seed. This holds because the batch FFT entry points are bitwise
+//! identical per mesh to the single-mesh transforms (pinned by
+//! `crates/fft/tests/batch_bitwise.rs`) and every other stage runs on the
+//! replica's own operator exactly as `MatrixFreeBd::step` would.
+//!
+//! [`MatrixFreeBd`]: hibd_core::MatrixFreeBd
+
+pub mod cache;
+pub mod ensemble;
+
+pub use cache::{PlanCache, ShapeKey};
+pub use ensemble::EnsembleRunner;

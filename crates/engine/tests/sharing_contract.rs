@@ -1,0 +1,115 @@
+//! The plan-sharing correctness contract: an operator built on
+//! cache-shared plans applies **bitwise identically** to a freshly built
+//! standalone operator on the same positions — for both backends. Nothing
+//! position-dependent lives in the shared plans, so sharing must be
+//! invisible to the arithmetic.
+
+use hibd_engine::PlanCache;
+use hibd_linalg::LinearOperator;
+use hibd_mathx::Vec3;
+use hibd_pme::{PmeOperator, PmeParams};
+use hibd_treecode::{TreeOperator, TreeParams};
+use proptest::prelude::*;
+
+fn lcg_unit(state: &mut u64) -> f64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    (*state >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn positions(n: usize, scale: f64, seed: u64) -> Vec<Vec3> {
+    let mut s = seed;
+    (0..n)
+        .map(|_| {
+            Vec3::new(lcg_unit(&mut s) * scale, lcg_unit(&mut s) * scale, lcg_unit(&mut s) * scale)
+        })
+        .collect()
+}
+
+fn force_vector(n: usize, seed: u64) -> Vec<f64> {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (0..3 * n).map(|_| lcg_unit(&mut s) - 0.5).collect()
+}
+
+fn small_pme_params() -> PmeParams {
+    PmeParams { mesh_dim: 12, ..PmeParams::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn cached_pme_operator_matches_standalone_bitwise(
+        n in 5usize..30,
+        seed in any::<u64>(),
+    ) {
+        let params = small_pme_params();
+        let pos = positions(n, params.box_l, seed);
+        let f = force_vector(n, seed);
+
+        let mut standalone = PmeOperator::new(&pos, params).unwrap();
+        let mut cache = PlanCache::new();
+        let mut shared_a = PmeOperator::with_plans(&pos, cache.pme(params).unwrap());
+        let mut shared_b = PmeOperator::with_plans(&pos, cache.pme(params).unwrap());
+        prop_assert_eq!(cache.hits(), 1);
+        prop_assert_eq!(cache.misses(), 1);
+
+        let mut u_ref = vec![0.0; 3 * n];
+        let mut u_a = vec![0.0; 3 * n];
+        let mut u_b = vec![0.0; 3 * n];
+        standalone.apply(&f, &mut u_ref);
+        shared_a.apply(&f, &mut u_a);
+        shared_b.apply(&f, &mut u_b);
+        for i in 0..3 * n {
+            prop_assert_eq!(u_ref[i].to_bits(), u_a[i].to_bits(), "shared apply diverged at {}", i);
+            prop_assert_eq!(u_ref[i].to_bits(), u_b[i].to_bits(), "second sharer diverged at {}", i);
+        }
+    }
+
+    #[test]
+    fn cached_tree_operator_matches_standalone_bitwise(
+        n in 5usize..30,
+        seed in any::<u64>(),
+    ) {
+        let params = TreeParams::default();
+        let pos = positions(n, 8.0, seed);
+        let f = force_vector(n, seed);
+
+        let mut standalone = TreeOperator::new(&pos, params);
+        let mut cache = PlanCache::new();
+        let mut shared = TreeOperator::with_plans(&pos, cache.tree(params));
+        prop_assert_eq!(cache.misses(), 1);
+
+        let mut u_ref = vec![0.0; 3 * n];
+        let mut u_shared = vec![0.0; 3 * n];
+        standalone.apply(&f, &mut u_ref);
+        shared.apply(&f, &mut u_shared);
+        for i in 0..3 * n {
+            prop_assert_eq!(
+                u_ref[i].to_bits(),
+                u_shared[i].to_bits(),
+                "shared tree apply diverged at {}",
+                i
+            );
+        }
+    }
+}
+
+#[test]
+fn shared_operators_report_less_memory_than_standalone_sum() {
+    let params = small_pme_params();
+    let pos_a = positions(20, params.box_l, 1);
+    let pos_b = positions(20, params.box_l, 2);
+
+    let standalone_sum = PmeOperator::new(&pos_a, params).unwrap().memory_bytes()
+        + PmeOperator::new(&pos_b, params).unwrap().memory_bytes();
+
+    let mut cache = PlanCache::new();
+    let a = PmeOperator::with_plans(&pos_a, cache.pme(params).unwrap());
+    let b = PmeOperator::with_plans(&pos_b, cache.pme(params).unwrap());
+    let shared_total = a.state_memory_bytes() + b.state_memory_bytes() + cache.plans_memory_bytes();
+
+    assert!(
+        shared_total < standalone_sum,
+        "shared {shared_total} bytes should undercut standalone {standalone_sum}"
+    );
+}

@@ -11,7 +11,8 @@
 //! `(i1)`-slabs of a gathered transpose.
 
 use crate::complex::Complex64;
-use crate::plan::{FftError, FftPlan};
+use crate::lanes::{self, C4, LANES};
+use crate::plan::{Direction, FftError, FftPlan};
 use crate::real::RealFftPlan;
 use rayon::prelude::*;
 
@@ -115,12 +116,13 @@ impl Fft3 {
     }
 
     /// Forward r2c transforms of `batch` concatenated meshes through this
-    /// one plan (shared twiddles). Semantically identical to `batch` calls of
+    /// one plan (shared twiddles). *Bitwise* identical to `batch` calls of
     /// [`Fft3::forward`] on consecutive `real_len()` / `spectrum_len()`
-    /// chunks, but the rayon parallelism spans the whole batch and the
-    /// per-line scratch is reused per worker instead of reallocated per
-    /// plane — the "3D FFTs for blocks of vectors" the paper notes no
-    /// library provides (Sec. III-B).
+    /// chunks, but groups of four meshes move through every 1D line
+    /// transform together in lane-bundled form (see `lanes.rs`) — the
+    /// "3D FFTs for blocks of vectors" the paper notes no library provides
+    /// (Sec. III-B). The `batch % 4` remainder (or the whole batch when a
+    /// dimension needs the Bluestein fallback) runs the per-mesh pipeline.
     pub fn forward_batch(&self, reals: &[f64], spectra: &mut [Complex64], batch: usize) {
         let [n0, n1, n2] = self.dims;
         let nc = self.nc();
@@ -128,7 +130,28 @@ impl Fft3 {
         assert_eq!(spectra.len(), batch * n0 * n1 * nc, "batched spectrum length mismatch");
         hibd_telemetry::incr(hibd_telemetry::Counter::ForwardFfts, batch as u64);
 
-        // Pass 1: r2c along n2 over all batch * n0 planes at once.
+        let (rl, sl) = (n0 * n1 * n2, n0 * n1 * nc);
+        let quads = if self.lanes_supported() { batch / LANES } else { 0 };
+        if quads > 0 {
+            spectra[..quads * LANES * sl]
+                .par_chunks_mut(LANES * sl)
+                .zip(reals[..quads * LANES * rl].par_chunks(LANES * rl))
+                .for_each_init(
+                    || self.quad_scratch(),
+                    |(line, slab, fft), (spec4, real4)| {
+                        self.forward_quad(real4, spec4, line, slab, fft);
+                    },
+                );
+        }
+        let reals = &reals[quads * LANES * rl..];
+        let spectra = &mut spectra[quads * LANES * sl..];
+        if reals.is_empty() {
+            return;
+        }
+
+        // Remainder: r2c along n2 over all tail planes at once, then the
+        // strided axis passes (their plane chunking spans the tail meshes
+        // transparently).
         spectra.par_chunks_mut(n1 * nc).zip(reals.par_chunks(n1 * n2)).for_each_init(
             || vec![Complex64::ZERO; self.rplan.scratch_len()],
             |scratch, (spec_plane, real_plane)| {
@@ -141,22 +164,40 @@ impl Fft3 {
                 }
             },
         );
-
-        // Pass 2: the axis-1 plane chunking spans the batch transparently.
         self.pass_axis1(spectra, false);
-        // Pass 3: axis-0 lines, one gathered mesh per rayon task.
         self.pass_axis0_batch(spectra, false);
     }
 
     /// Inverse c2r transforms of `batch` concatenated half spectra (same
     /// unnormalized convention as [`Fft3::inverse`]:
     /// `inverse_batch(forward_batch(x)) = n0*n1*n2 * x`). Destroys `spectra`.
+    /// Bitwise identical to per-mesh [`Fft3::inverse`] calls, with groups of
+    /// four meshes lane-bundled exactly like [`Fft3::forward_batch`].
     pub fn inverse_batch(&self, spectra: &mut [Complex64], reals: &mut [f64], batch: usize) {
         let [n0, n1, n2] = self.dims;
         let nc = self.nc();
         assert_eq!(reals.len(), batch * n0 * n1 * n2, "batched real length mismatch");
         assert_eq!(spectra.len(), batch * n0 * n1 * nc, "batched spectrum length mismatch");
         hibd_telemetry::incr(hibd_telemetry::Counter::InverseFfts, batch as u64);
+
+        let (rl, sl) = (n0 * n1 * n2, n0 * n1 * nc);
+        let quads = if self.lanes_supported() { batch / LANES } else { 0 };
+        if quads > 0 {
+            reals[..quads * LANES * rl]
+                .par_chunks_mut(LANES * rl)
+                .zip(spectra[..quads * LANES * sl].par_chunks_mut(LANES * sl))
+                .for_each_init(
+                    || self.quad_scratch(),
+                    |(line, slab, fft), (real4, spec4)| {
+                        self.inverse_quad(spec4, real4, line, slab, fft);
+                    },
+                );
+        }
+        let reals = &mut reals[quads * LANES * rl..];
+        let spectra = &mut spectra[quads * LANES * sl..];
+        if reals.is_empty() {
+            return;
+        }
 
         self.pass_axis0_batch(spectra, true);
         self.pass_axis1(spectra, true);
@@ -173,6 +214,181 @@ impl Fft3 {
                 }
             },
         );
+    }
+
+    /// Whether the lane-batched quad path is available: every 1D plan must
+    /// be mixed-radix (the Bluestein fallback has no lane mirror).
+    fn lanes_supported(&self) -> bool {
+        !self.rplan.half_plan().is_bluestein()
+            && !self.plan1.is_bluestein()
+            && !self.plan0.is_bluestein()
+    }
+
+    /// Per-worker buffers for one lane group: a line bundle (reused by the
+    /// r2c/c2r pass and the axis-1 pass), the axis-0 transpose slab, and the
+    /// 1D-plan scratch sized for the largest of the three plans.
+    #[allow(clippy::type_complexity)]
+    fn quad_scratch(&self) -> (Vec<C4>, Vec<C4>, Vec<C4>) {
+        let [n0, n1, _] = self.dims;
+        let nc = self.nc();
+        let fft =
+            self.rplan.scratch_len().max(self.plan1.scratch_len()).max(self.plan0.scratch_len());
+        (vec![C4::ZERO; n1.max(nc)], vec![C4::ZERO; n0 * nc], vec![C4::ZERO; fft])
+    }
+
+    /// Forward transform of one lane group: `reals` / `spectra` hold four
+    /// concatenated meshes. Every pass mirrors the per-mesh pass structure
+    /// with the four meshes bundled per line.
+    fn forward_quad(
+        &self,
+        reals: &[f64],
+        spectra: &mut [Complex64],
+        line: &mut [C4],
+        slab: &mut [C4],
+        fft: &mut [C4],
+    ) {
+        let [n0, n1, n2] = self.dims;
+        let nc = self.nc();
+        let (rl, sl) = (n0 * n1 * n2, n0 * n1 * nc);
+        let (r0, rest) = reals.split_at(rl);
+        let (r1, rest) = rest.split_at(rl);
+        let (r2, r3) = rest.split_at(rl);
+
+        // Pass 1: r2c along n2, four mesh rows per call.
+        for row in 0..n0 * n1 {
+            let (a, b) = (row * n2, (row + 1) * n2);
+            lanes::real4_forward(
+                &self.rplan,
+                [&r0[a..b], &r1[a..b], &r2[a..b], &r3[a..b]],
+                &mut line[..nc],
+                fft,
+            );
+            for k2 in 0..nc {
+                for l in 0..LANES {
+                    spectra[l * sl + row * nc + k2] =
+                        Complex64::new(line[k2].re[l], line[k2].im[l]);
+                }
+            }
+        }
+
+        self.quad_axis1(spectra, line, fft, Direction::Forward);
+        self.quad_axis0(spectra, slab, fft, Direction::Forward);
+    }
+
+    /// Inverse transform of one lane group (reverse pass order). Destroys
+    /// `spectra`.
+    fn inverse_quad(
+        &self,
+        spectra: &mut [Complex64],
+        reals: &mut [f64],
+        line: &mut [C4],
+        slab: &mut [C4],
+        fft: &mut [C4],
+    ) {
+        let [n0, n1, n2] = self.dims;
+        let nc = self.nc();
+        let (rl, sl) = (n0 * n1 * n2, n0 * n1 * nc);
+
+        self.quad_axis0(spectra, slab, fft, Direction::Inverse);
+        self.quad_axis1(spectra, line, fft, Direction::Inverse);
+
+        let (r0, rest) = reals.split_at_mut(rl);
+        let (r1, rest) = rest.split_at_mut(rl);
+        let (r2, r3) = rest.split_at_mut(rl);
+        for row in 0..n0 * n1 {
+            for k2 in 0..nc {
+                for l in 0..LANES {
+                    let v = spectra[l * sl + row * nc + k2];
+                    line[k2].re[l] = v.re;
+                    line[k2].im[l] = v.im;
+                }
+            }
+            let (a, b) = (row * n2, (row + 1) * n2);
+            lanes::real4_inverse(
+                &self.rplan,
+                &line[..nc],
+                [&mut r0[a..b], &mut r1[a..b], &mut r2[a..b], &mut r3[a..b]],
+                fft,
+            );
+        }
+    }
+
+    /// Axis-1 pass of one lane group: gather each stride-`nc` line of the
+    /// four meshes into a `C4` line, transform, scatter back.
+    fn quad_axis1(
+        &self,
+        spectra: &mut [Complex64],
+        line: &mut [C4],
+        fft: &mut [C4],
+        dir: Direction,
+    ) {
+        let [n0, n1, _] = self.dims;
+        let nc = self.nc();
+        if n1 == 1 {
+            return;
+        }
+        let sl = n0 * n1 * nc;
+        for i0 in 0..n0 {
+            for k2 in 0..nc {
+                for i1 in 0..n1 {
+                    let idx = (i0 * n1 + i1) * nc + k2;
+                    for l in 0..LANES {
+                        let v = spectra[l * sl + idx];
+                        line[i1].re[l] = v.re;
+                        line[i1].im[l] = v.im;
+                    }
+                }
+                lanes::process4(&self.plan1, &mut line[..n1], fft, dir);
+                for i1 in 0..n1 {
+                    let idx = (i0 * n1 + i1) * nc + k2;
+                    for l in 0..LANES {
+                        spectra[l * sl + idx] = Complex64::new(line[i1].re[l], line[i1].im[l]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Axis-0 pass of one lane group: same `i1`-slab transpose walk as the
+    /// per-mesh pass, with `C4` slab entries.
+    fn quad_axis0(
+        &self,
+        spectra: &mut [Complex64],
+        slab: &mut [C4],
+        fft: &mut [C4],
+        dir: Direction,
+    ) {
+        let [n0, n1, _] = self.dims;
+        let nc = self.nc();
+        if n0 == 1 {
+            return;
+        }
+        let sl = n0 * n1 * nc;
+        let plane_stride = n1 * nc;
+        for i1 in 0..n1 {
+            for i0 in 0..n0 {
+                let base = i0 * plane_stride + i1 * nc;
+                for k2 in 0..nc {
+                    for l in 0..LANES {
+                        let v = spectra[l * sl + base + k2];
+                        slab[k2 * n0 + i0].re[l] = v.re;
+                        slab[k2 * n0 + i0].im[l] = v.im;
+                    }
+                }
+            }
+            for line in slab.chunks_mut(n0) {
+                lanes::process4(&self.plan0, line, fft, dir);
+            }
+            for i0 in 0..n0 {
+                let base = i0 * plane_stride + i1 * nc;
+                for k2 in 0..nc {
+                    for l in 0..LANES {
+                        spectra[l * sl + base + k2] =
+                            Complex64::new(slab[k2 * n0 + i0].re[l], slab[k2 * n0 + i0].im[l]);
+                    }
+                }
+            }
+        }
     }
 
     /// Complex transform along axis 1. Lines have stride `nc` inside each
@@ -384,6 +600,72 @@ mod tests {
                     b / total
                 );
             }
+        }
+    }
+
+    /// Forward + inverse batch must be *bitwise* equal to per-mesh
+    /// transforms: the ensemble engine's replicas are compared bitwise
+    /// against standalone runs, and the lane-batched quad path must not
+    /// perturb a single ulp.
+    fn assert_batch_bitwise(dims: [usize; 3], batch: usize) {
+        let [n0, n1, n2] = dims;
+        let fft = Fft3::new(dims).unwrap();
+        let rl = n0 * n1 * n2;
+        let sl = fft.spectrum_len();
+        let x = random_real(batch * rl, (n0 * 997 + n1 * 131 + n2 * 13 + batch) as u64);
+        let mut spec_batch = vec![Complex64::ZERO; batch * sl];
+        fft.forward_batch(&x, &mut spec_batch, batch);
+        let mut real_batch = vec![0.0; batch * rl];
+        let mut spec_copy = spec_batch.clone();
+        fft.inverse_batch(&mut spec_copy, &mut real_batch, batch);
+        for b in 0..batch {
+            let mut spec_one = vec![Complex64::ZERO; sl];
+            fft.forward(&x[b * rl..(b + 1) * rl], &mut spec_one);
+            for i in 0..sl {
+                let (got, want) = (spec_batch[b * sl + i], spec_one[i]);
+                assert_eq!(
+                    (got.re.to_bits(), got.im.to_bits()),
+                    (want.re.to_bits(), want.im.to_bits()),
+                    "dims {dims:?} batch {batch} mesh {b} idx {i} (fwd)"
+                );
+            }
+            let mut real_one = vec![0.0; rl];
+            fft.inverse(&mut spec_one, &mut real_one);
+            for i in 0..rl {
+                assert_eq!(
+                    real_batch[b * rl + i].to_bits(),
+                    real_one[i].to_bits(),
+                    "dims {dims:?} batch {batch} mesh {b} idx {i} (inv)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_transforms_are_bitwise_identical_to_single() {
+        // Lane groups plus tails, generic radices (7, 11, 13) on every axis,
+        // n0 == 1 / n1 == 1 early-outs, and a radix-11 real axis.
+        for (dims, batch) in [
+            ([22usize, 6, 8], 4usize),
+            ([7, 5, 4], 5),
+            ([11, 4, 6], 7),
+            ([6, 11, 8], 4),
+            ([4, 6, 22], 5),
+            ([13, 3, 4], 4),
+            ([5, 1, 10], 4),
+            ([1, 5, 8], 4),
+            ([8, 8, 8], 6),
+        ] {
+            assert_batch_bitwise(dims, batch);
+        }
+    }
+
+    #[test]
+    fn batch_with_bluestein_axis_skips_lane_path() {
+        // 17 is rough: the affected 1D plan falls back to Bluestein, the
+        // quad path is gated off, and the batch must still match per-mesh.
+        for (dims, batch) in [([17usize, 4, 6], 4usize), ([4, 17, 6], 5), ([4, 6, 34], 4)] {
+            assert_batch_bitwise(dims, batch);
         }
     }
 

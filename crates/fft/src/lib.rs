@@ -29,6 +29,7 @@
 pub mod complex;
 pub mod dft;
 pub mod fft3;
+mod lanes;
 pub mod plan;
 pub mod real;
 mod simd;

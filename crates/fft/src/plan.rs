@@ -71,6 +71,13 @@ pub struct FftPlan {
     /// with unit stride from these instead of deinterleaving the AoS table.
     tw_re: Vec<Vec<f64>>,
     tw_im: Vec<Vec<f64>>,
+    /// Generic-butterfly twiddles per level, `[forward, inverse]`: entry `j`
+    /// is `e^{∓2 pi i j / r}` for the level's radix `r`. Populated only for
+    /// radices above 5 (the hand-written butterflies embed their constants);
+    /// the tables keep the `O(r^2)` leaf DFT free of per-apply trigonometry
+    /// while staying bitwise identical to it — each entry is `cis` of
+    /// exactly the angle the inline expression used to compute.
+    gen_tw: Vec<[Vec<Complex64>; 2]>,
     /// Bluestein fallback state for rough lengths.
     bluestein: Option<Box<Bluestein>>,
 }
@@ -200,6 +207,7 @@ impl FftPlan {
                 twiddles: Vec::new(),
                 tw_re: Vec::new(),
                 tw_im: Vec::new(),
+                gen_tw: Vec::new(),
                 bluestein: Some(Box::new(Bluestein::new(n))),
             }),
             other => other,
@@ -218,6 +226,7 @@ impl FftPlan {
         let mut twiddles = Vec::with_capacity(factors.len());
         let mut tw_re = Vec::with_capacity(factors.len());
         let mut tw_im = Vec::with_capacity(factors.len());
+        let mut gen_tw = Vec::with_capacity(factors.len());
         let mut cur = n;
         for &r in &factors {
             sizes.push(cur);
@@ -231,9 +240,16 @@ impl FftPlan {
             tw_re.push(tw.iter().map(|w| w.re).collect());
             tw_im.push(tw.iter().map(|w| w.im).collect());
             twiddles.push(tw);
+            if r > 5 {
+                let fwd = (0..r).map(|j| Complex64::cis(-TAU * j as f64 / r as f64)).collect();
+                let inv = (0..r).map(|j| Complex64::cis(TAU * j as f64 / r as f64)).collect();
+                gen_tw.push([fwd, inv]);
+            } else {
+                gen_tw.push([Vec::new(), Vec::new()]);
+            }
             cur = m;
         }
-        Ok(FftPlan { n, factors, sizes, twiddles, tw_re, tw_im, bluestein: None })
+        Ok(FftPlan { n, factors, sizes, twiddles, tw_re, tw_im, gen_tw, bluestein: None })
     }
 
     /// Whether this plan uses the Bluestein fallback.
@@ -320,7 +336,7 @@ impl FftPlan {
             for (q, tq) in t[..r].iter_mut().enumerate() {
                 *tq = src[q * stride];
             }
-            butterfly(&mut t[..r], &mut dst[..r], dir);
+            butterfly(&mut t[..r], &mut dst[..r], dir, self.gen_table(level, dir));
             return;
         }
 
@@ -343,10 +359,32 @@ impl FftPlan {
             &self.twiddles[level],
             &self.tw_re[level],
             &self.tw_im[level],
+            self.gen_table(level, dir),
             r,
             m,
             dir,
         );
+    }
+
+    /// Radix used at each recursion level (empty for Bluestein plans).
+    pub(crate) fn level_factors(&self) -> &[usize] {
+        &self.factors
+    }
+
+    /// Sub-transform length at each recursion level.
+    pub(crate) fn level_sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// AoS twiddle table for one recursion level.
+    pub(crate) fn level_twiddles(&self, level: usize) -> &[Complex64] {
+        &self.twiddles[level]
+    }
+
+    /// Generic-butterfly table for one level and direction (empty for the
+    /// hand-written radices 1..=5, which embed their constants).
+    pub(crate) fn gen_table(&self, level: usize, dir: Direction) -> &[Complex64] {
+        &self.gen_tw[level][(dir == Direction::Inverse) as usize]
     }
 
     /// Inner convolution length of the Bluestein fallback, if this plan uses
@@ -358,15 +396,21 @@ impl FftPlan {
 }
 
 /// In-place small DFT used at recursion leaves.
-fn butterfly(t: &mut [Complex64], out: &mut [Complex64], dir: Direction) {
+fn butterfly(t: &mut [Complex64], out: &mut [Complex64], dir: Direction, gen: &[Complex64]) {
     let mut tmp = [Complex64::ZERO; MAX_RADIX];
     tmp[..t.len()].copy_from_slice(t);
-    butterfly_into(&tmp[..t.len()], out, dir);
+    butterfly_into(&tmp[..t.len()], out, dir, gen);
 }
 
 /// `out[s] = Σ_q t[q] e^{∓2 pi i qs/r}` for `r = t.len()` (hand-written for
-/// r = 1..5, direct O(r^2) otherwise).
-pub(crate) fn butterfly_into(t: &[Complex64], out: &mut [Complex64], dir: Direction) {
+/// r = 1..5; radices above 5 read the plan's precomputed `gen` table, whose
+/// entries are bitwise the `cis` values the direct loop used to evaluate).
+pub(crate) fn butterfly_into(
+    t: &[Complex64],
+    out: &mut [Complex64],
+    dir: Direction,
+    gen: &[Complex64],
+) {
     let inv = dir == Direction::Inverse;
     match t.len() {
         1 => out[0] = t[0],
@@ -419,12 +463,13 @@ pub(crate) fn butterfly_into(t: &[Complex64], out: &mut [Complex64], dir: Direct
             out[4] = re1 - im1;
         }
         r => {
-            // Direct O(r^2) DFT for other small primes (r <= MAX_RADIX).
-            let sign = if inv { TAU } else { -TAU };
+            // Direct O(r^2) DFT for other small primes (r <= MAX_RADIX),
+            // table-driven: `gen[j] = cis(sign * j / r)`.
+            debug_assert_eq!(gen.len(), r, "generic butterfly needs its twiddle table");
             for (s, o) in out.iter_mut().enumerate() {
                 let mut acc = Complex64::ZERO;
                 for (q, &v) in t.iter().enumerate() {
-                    acc += v * Complex64::cis(sign * ((q * s) % r) as f64 / r as f64);
+                    acc += v * gen[(q * s) % r];
                 }
                 *o = acc;
             }

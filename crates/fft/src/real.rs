@@ -25,6 +25,19 @@ pub struct RealFftPlan {
 }
 
 impl RealFftPlan {
+    /// The inner half-length complex plan (lane-batched r2c mirrors the
+    /// even/odd packing around it).
+    pub(crate) fn half_plan(&self) -> &FftPlan {
+        &self.half
+    }
+
+    /// Unpack twiddles `e^{-2 pi i k / n}`, `k in 0..=n/2`.
+    pub(crate) fn unpack_twiddles(&self) -> &[Complex64] {
+        &self.tw
+    }
+}
+
+impl RealFftPlan {
     pub fn new(n: usize) -> Result<RealFftPlan, FftError> {
         if n == 0 {
             return Err(FftError::ZeroLength);

@@ -30,11 +30,13 @@ const S2: f64 = 0.587_785_252_292_473_1;
 /// outputs of length `m` each; twiddle tables are the plan's per-level AoS
 /// (`tw`) and SoA (`tw_re`/`tw_im`) views of the same factors.
 #[hibd::hot]
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn combine(
     dst: &mut [Complex64],
     tw: &[Complex64],
     tw_re: &[f64],
     tw_im: &[f64],
+    gen: &[Complex64],
     r: usize,
     m: usize,
     dir: Direction,
@@ -45,21 +47,23 @@ pub(crate) fn combine(
     if matches!(r, 2..=5) && m >= 4 && hibd_simd::avx2() {
         // SAFETY: `hibd_simd::avx2()` returns true only after runtime
         // detection of the avx2 and fma target features on this CPU.
-        unsafe { combine_avx2(dst, tw, tw_re, tw_im, r, m, dir) };
+        unsafe { combine_avx2(dst, tw, tw_re, tw_im, gen, r, m, dir) };
         return;
     }
     #[cfg(not(target_arch = "x86_64"))]
     let _ = (tw_re, tw_im);
-    combine_scalar(dst, tw, r, m, dir, 0, m);
+    combine_scalar(dst, tw, gen, r, m, dir, 0, m);
 }
 
 /// The classic scalar combine loop over `k in k0..k1`, preserved bitwise
 /// from the pre-SIMD implementation (twiddle multiply, then the shared
 /// butterfly kernel). Also used for the `m % 4` tail of the AVX2 path.
 #[hibd::hot]
+#[allow(clippy::too_many_arguments)]
 fn combine_scalar(
     dst: &mut [Complex64],
     tw: &[Complex64],
+    gen: &[Complex64],
     r: usize,
     m: usize,
     dir: Direction,
@@ -76,7 +80,7 @@ fn combine_scalar(
             }
             t[q] = dst[q * m + k] * w;
         }
-        butterfly_into(&t[..r], &mut out[..r], dir);
+        butterfly_into(&t[..r], &mut out[..r], dir, gen);
         for s in 0..r {
             dst[s * m + k] = out[s];
         }
@@ -163,12 +167,14 @@ macro_rules! ldt {
 /// features (runtime-detected via `hibd_simd::avx2()`).
 #[cfg(target_arch = "x86_64")]
 #[hibd::hot]
+#[allow(clippy::too_many_arguments)]
 #[target_feature(enable = "avx2", enable = "fma")]
 pub(crate) unsafe fn combine_avx2(
     dst: &mut [Complex64],
     tw: &[Complex64],
     tw_re: &[f64],
     tw_im: &[f64],
+    gen: &[Complex64],
     r: usize,
     m: usize,
     dir: Direction,
@@ -295,5 +301,5 @@ pub(crate) unsafe fn combine_avx2(
         _ => unreachable!("combine_avx2 dispatch covers radix 2..=5 only"),
     }
 
-    combine_scalar(dst, tw, r, m, dir, m4, m);
+    combine_scalar(dst, tw, gen, r, m, dir, m4, m);
 }

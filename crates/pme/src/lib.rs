@@ -42,5 +42,5 @@ pub mod spread;
 pub mod tuner;
 pub mod verify;
 
-pub use operator::{PmeOperator, PmeParams, PmePhaseTimes};
+pub use operator::{PmeOperator, PmeParams, PmePhaseTimes, PmePlans};
 pub use tuner::{measure_ep, tune, tune_with_rmax, TunedConfig};

@@ -1,10 +1,19 @@
 //! The assembled PME mobility operator (paper Algorithm 2, line 4).
 //!
-//! `PmeOperator::new` performs the per-time-step setup: interpolation matrix
-//! `P`, spreading plan (independent sets), influence function, real-space
-//! BCSR matrix, FFT plans, and mesh buffers. `apply` then evaluates
-//! `u = M f` with no further setup — the property that makes the operator
-//! cheap to use inside the Krylov iteration.
+//! The operator is split along the setup/state axis:
+//!
+//! * [`PmePlans`] holds the **position-independent** setup artifacts — the
+//!   Ewald kernel, FFT plans, influence table, and self-mobility
+//!   coefficient. They depend only on [`PmeParams`], live behind an `Arc`,
+//!   and are shared across lambda-windows of one trajectory and across
+//!   replicas of an ensemble (`hibd-engine`'s `PlanCache` deduplicates them
+//!   by shape key).
+//! * `PmeOperator` adds the **position-dependent** per-configuration
+//!   artifacts (interpolation matrix `P`, spreading schedule, real-space
+//!   BCSR matrix) plus the mutable per-job scratch (`PmeState`: meshes,
+//!   spectra, batch buffers, phase times). `apply` then evaluates `u = M f`
+//!   with no further setup — the property that makes the operator cheap to
+//!   use inside the Krylov iteration.
 //!
 //! Wall-clock time of each reciprocal phase is accumulated into
 //! [`PmePhaseTimes`], which the Figure 5 harness reads. Each phase is timed
@@ -23,9 +32,10 @@ use hibd_mathx::Vec3;
 use hibd_rpy::RpyEwald;
 use hibd_sparse::Bcsr3;
 use hibd_telemetry::{self as telemetry, Counter, Phase};
+use std::sync::Arc;
 
 /// PME discretization parameters (one row of the paper's Table III).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct PmeParams {
     /// Particle radius.
     pub a: f64,
@@ -81,6 +91,88 @@ impl PmePhaseTimes {
     }
 }
 
+/// Position-independent PME setup artifacts, shareable across operators.
+///
+/// Everything in here is a pure function of [`PmeParams`]: the Beenakker
+/// Ewald kernel, the `K^3` FFT plans, the influence-function scalar table
+/// (the dominant setup cost, `O(K^3)` `erfc` evaluations), and the
+/// self-mobility coefficient. A standalone driver builds one `PmePlans` and
+/// reuses it across every lambda-window rebuild; the ensemble engine shares
+/// one across all replicas of the same shape.
+pub struct PmePlans {
+    params: PmeParams,
+    ewald: RpyEwald,
+    fft: Fft3,
+    inf: Influence,
+    self_coef: f64,
+}
+
+impl PmePlans {
+    /// Build the shareable setup for a parameter set. The only failure mode
+    /// is an FFT-unfriendly mesh dimension.
+    pub fn new(params: PmeParams) -> Result<PmePlans, FftError> {
+        let k = params.mesh_dim;
+        let ewald = RpyEwald::kernel_only(params.a, params.eta, params.box_l, params.alpha);
+        let fft = Fft3::new([k, k, k])?;
+        let inf = Influence::new(&ewald, k, params.spline_order);
+        let self_coef = ewald.self_coefficient();
+        Ok(PmePlans { params, ewald, fft, inf, self_coef })
+    }
+
+    pub fn params(&self) -> &PmeParams {
+        &self.params
+    }
+
+    /// The Ewald kernel the influence table was built from.
+    pub fn ewald(&self) -> &RpyEwald {
+        &self.ewald
+    }
+
+    /// The shared `K^3` FFT plans (all methods take `&self`).
+    pub fn fft(&self) -> &Fft3 {
+        &self.fft
+    }
+
+    /// The influence-function table.
+    pub fn influence(&self) -> &Influence {
+        &self.inf
+    }
+
+    /// Self-mobility coefficient added on the real-space branch.
+    pub fn self_coefficient(&self) -> f64 {
+        self.self_coef
+    }
+
+    /// Resident bytes of the shared artifacts (the influence table; the FFT
+    /// twiddle storage is a few lines per axis and is not accounted).
+    pub fn memory_bytes(&self) -> usize {
+        self.inf.memory_bytes()
+    }
+}
+
+/// Mutable per-job state: meshes, spectra, per-column and batch scratch,
+/// and the accumulated phase times. Owned by exactly one `PmeOperator`;
+/// never shared.
+struct PmeState {
+    /// `[F_x | F_y | F_z]` real meshes, each `K^3`.
+    mesh: Vec<f64>,
+    /// `[C_x | C_y | C_z]` half spectra, each `K^2 (K/2+1)`.
+    spec: Vec<Complex64>,
+    /// Single-RHS interpolation / reciprocal-output scratch (`3n`).
+    interp_scratch: Vec<f64>,
+    /// Real-branch output scratch for `apply_overlapped` (`3n`).
+    real_scratch: Vec<f64>,
+    /// Column gather/scatter scratch for the per-column baseline (`6n`).
+    col_scratch: Vec<f64>,
+    /// Batched meshes for `recip_apply_add_cols`: `3*width` meshes of `K^3`
+    /// in `[theta][col]` layout. Grown on demand, never shrunk, so repeated
+    /// block applies at the same width are allocation-free.
+    batch_mesh: Vec<f64>,
+    /// Batched half spectra, `3*width` of `K^2 (K/2+1)` each.
+    batch_spec: Vec<Complex64>,
+    times: PmePhaseTimes,
+}
+
 /// The matrix-free periodic RPY mobility operator.
 ///
 /// ```
@@ -104,72 +196,53 @@ impl PmePhaseTimes {
 /// assert!(u[3].abs() > 0.0, "other particles are dragged along");
 /// ```
 pub struct PmeOperator {
-    params: PmeParams,
-    ewald: RpyEwald,
+    plans: Arc<PmePlans>,
     n: usize,
-    fft: Fft3,
     pm: InterpMatrix,
     plan: SpreadPlan,
-    inf: Influence,
     real: Bcsr3,
-    self_coef: f64,
-    /// `[F_x | F_y | F_z]` real meshes, each `K^3`.
-    mesh: Vec<f64>,
-    /// `[C_x | C_y | C_z]` half spectra, each `K^2 (K/2+1)`.
-    spec: Vec<Complex64>,
-    /// Single-RHS interpolation / reciprocal-output scratch (`3n`).
-    interp_scratch: Vec<f64>,
-    /// Real-branch output scratch for `apply_overlapped` (`3n`).
-    real_scratch: Vec<f64>,
-    /// Column gather/scatter scratch for the per-column baseline (`6n`).
-    col_scratch: Vec<f64>,
-    /// Batched meshes for `recip_apply_add_cols`: `3*width` meshes of `K^3`
-    /// in `[theta][col]` layout. Grown on demand, never shrunk, so repeated
-    /// block applies at the same width are allocation-free.
-    batch_mesh: Vec<f64>,
-    /// Batched half spectra, `3*width` of `K^2 (K/2+1)` each.
-    batch_spec: Vec<Complex64>,
-    times: PmePhaseTimes,
+    state: PmeState,
 }
 
 impl PmeOperator {
     /// Build the operator for a particle configuration (Algorithm 2 line 4:
-    /// "Construct PME operator using r_k").
+    /// "Construct PME operator using r_k"), including its own plans.
     pub fn new(positions: &[Vec3], params: PmeParams) -> Result<PmeOperator, FftError> {
-        let k = params.mesh_dim;
-        let p = params.spline_order;
-        let ewald = RpyEwald::kernel_only(params.a, params.eta, params.box_l, params.alpha);
-        let fft = Fft3::new([k, k, k])?;
-        let pm = build_interp_matrix(positions, params.box_l, k, p);
+        Ok(Self::with_plans(positions, Arc::new(PmePlans::new(params)?)))
+    }
+
+    /// Build the position-dependent part of the operator on top of shared
+    /// plans — the per-window / per-replica construction path. Infallible:
+    /// the FFT plans already exist.
+    pub fn with_plans(positions: &[Vec3], plans: Arc<PmePlans>) -> PmeOperator {
+        let k = plans.params.mesh_dim;
+        let p = plans.params.spline_order;
+        let pm = build_interp_matrix(positions, plans.params.box_l, k, p);
         let plan = SpreadPlan::new(&pm.scaled, k, p);
-        let inf = Influence::new(&ewald, k, p);
-        let real = assemble_real_space(positions, &ewald, params.r_max);
-        let self_coef = ewald.self_coefficient();
+        let real = assemble_real_space(positions, &plans.ewald, plans.params.r_max);
         let k3 = k * k * k;
         let s_len = k * k * (k / 2 + 1);
         let op = PmeOperator {
-            params,
-            ewald,
+            plans,
             n: positions.len(),
-            fft,
             pm,
             plan,
-            inf,
             real,
-            self_coef,
-            mesh: vec![0.0; 3 * k3],
-            spec: vec![Complex64::ZERO; 3 * s_len],
-            interp_scratch: vec![0.0; 3 * positions.len()],
-            real_scratch: vec![0.0; 3 * positions.len()],
-            col_scratch: vec![0.0; 6 * positions.len()],
-            batch_mesh: Vec::new(),
-            batch_spec: Vec::new(),
-            times: PmePhaseTimes::default(),
+            state: PmeState {
+                mesh: vec![0.0; 3 * k3],
+                spec: vec![Complex64::ZERO; 3 * s_len],
+                interp_scratch: vec![0.0; 3 * positions.len()],
+                real_scratch: vec![0.0; 3 * positions.len()],
+                col_scratch: vec![0.0; 6 * positions.len()],
+                batch_mesh: Vec::new(),
+                batch_spec: Vec::new(),
+                times: PmePhaseTimes::default(),
+            },
         };
         if telemetry::enabled() {
             telemetry::gauge_max(Counter::PmeScratchBytes, op.memory_bytes() as u64);
         }
-        Ok(op)
+        op
     }
 
     /// Number of particles.
@@ -178,12 +251,17 @@ impl PmeOperator {
     }
 
     pub fn params(&self) -> &PmeParams {
-        &self.params
+        &self.plans.params
+    }
+
+    /// The shared setup artifacts backing this operator.
+    pub fn plans(&self) -> &Arc<PmePlans> {
+        &self.plans
     }
 
     /// The Ewald kernel in use.
     pub fn ewald(&self) -> &RpyEwald {
-        &self.ewald
+        &self.plans.ewald
     }
 
     /// The interpolation matrix (for the Figure 4 comparison and tests).
@@ -203,18 +281,29 @@ impl PmeOperator {
 
     /// Reset and return accumulated phase timings.
     pub fn take_times(&mut self) -> PmePhaseTimes {
-        std::mem::take(&mut self.times)
+        std::mem::take(&mut self.state.times)
     }
 
     /// Estimated resident bytes of the operator (paper Eq. 11 plus the
     /// real-space matrix): meshes + spectra (including the grown batch
-    /// scratch) + particle scratch + P + influence + BCSR.
+    /// scratch) + particle scratch + P + influence + BCSR. Counts the
+    /// shared plans in full — this is the standalone footprint; an ensemble
+    /// sums [`PmeOperator::state_memory_bytes`] and counts each distinct
+    /// [`PmePlans`] once.
     pub fn memory_bytes(&self) -> usize {
-        (self.mesh.len() + self.batch_mesh.len()) * 8
-            + (self.spec.len() + self.batch_spec.len()) * 16
-            + (self.interp_scratch.len() + self.real_scratch.len() + self.col_scratch.len()) * 8
+        self.state_memory_bytes() + self.plans.memory_bytes()
+    }
+
+    /// Resident bytes of the per-job part only (everything except the
+    /// shared [`PmePlans`]).
+    pub fn state_memory_bytes(&self) -> usize {
+        (self.state.mesh.len() + self.state.batch_mesh.len()) * 8
+            + (self.state.spec.len() + self.state.batch_spec.len()) * 16
+            + (self.state.interp_scratch.len()
+                + self.state.real_scratch.len()
+                + self.state.col_scratch.len())
+                * 8
             + self.pm.mat.memory_bytes()
-            + self.inf.memory_bytes()
             + self.real.memory_bytes()
     }
 
@@ -223,40 +312,93 @@ impl PmeOperator {
     pub fn recip_apply_add(&mut self, f: &[f64], u: &mut [f64]) {
         assert_eq!(f.len(), 3 * self.n);
         assert_eq!(u.len(), 3 * self.n);
-        let k = self.params.mesh_dim;
+        let k = self.plans.params.mesh_dim;
         let k3 = k * k * k;
         let s_len = k * k * (k / 2 + 1);
+        let st = &mut self.state;
 
         let sw = telemetry::start(Phase::Spreading);
-        self.plan.spread(&self.pm, f, &mut self.mesh);
-        self.times.spreading += sw.stop();
+        self.plan.spread(&self.pm, f, &mut st.mesh);
+        st.times.spreading += sw.stop();
         let sw = telemetry::start(Phase::ForwardFft);
         for theta in 0..3 {
-            self.fft.forward(
-                &self.mesh[theta * k3..(theta + 1) * k3],
-                &mut self.spec[theta * s_len..(theta + 1) * s_len],
+            self.plans.fft.forward(
+                &st.mesh[theta * k3..(theta + 1) * k3],
+                &mut st.spec[theta * s_len..(theta + 1) * s_len],
             );
         }
-        self.times.forward_fft += sw.stop();
+        st.times.forward_fft += sw.stop();
         let sw = telemetry::start(Phase::Influence);
-        self.inf.apply(&mut self.spec);
-        self.times.influence += sw.stop();
+        self.plans.inf.apply(&mut st.spec);
+        st.times.influence += sw.stop();
         let sw = telemetry::start(Phase::InverseFft);
         for theta in 0..3 {
-            self.fft.inverse(
-                &mut self.spec[theta * s_len..(theta + 1) * s_len],
-                &mut self.mesh[theta * k3..(theta + 1) * k3],
+            self.plans.fft.inverse(
+                &mut st.spec[theta * s_len..(theta + 1) * s_len],
+                &mut st.mesh[theta * k3..(theta + 1) * k3],
             );
         }
-        self.times.inverse_fft += sw.stop();
+        st.times.inverse_fft += sw.stop();
         let sw = telemetry::start(Phase::Interpolation);
         // Interpolate into operator-owned scratch, then accumulate
         // (interpolate overwrites; no per-apply allocation).
-        interpolate(&self.pm, &self.mesh, &mut self.interp_scratch);
-        for (o, v) in u.iter_mut().zip(&self.interp_scratch) {
+        interpolate(&self.pm, &st.mesh, &mut st.interp_scratch);
+        for (o, v) in u.iter_mut().zip(&st.interp_scratch) {
             *o += v;
         }
-        self.times.interpolation += sw.stop();
+        st.times.interpolation += sw.stop();
+    }
+
+    /// Spread `f` through this operator's `P` into a caller-provided
+    /// `[F_x | F_y | F_z]` mesh triple (`3 K^3`). Exactly the spreading
+    /// stage of [`PmeOperator::recip_apply_add`], exposed so the ensemble
+    /// engine can run many replicas' meshes through one batched FFT — the
+    /// bitwise contract with the standalone path follows from calling the
+    /// identical kernel.
+    #[hibd::hot]
+    pub fn spread_forces(&mut self, f: &[f64], mesh: &mut [f64]) {
+        assert_eq!(f.len(), 3 * self.n);
+        let k = self.plans.params.mesh_dim;
+        assert_eq!(mesh.len(), 3 * k * k * k);
+        let sw = telemetry::start(Phase::Spreading);
+        self.plan.spread(&self.pm, f, mesh);
+        self.state.times.spreading += sw.stop();
+    }
+
+    /// `u += P^T mesh` from a caller-provided mesh triple — the
+    /// interpolation stage of [`PmeOperator::recip_apply_add`], exposed for
+    /// the ensemble engine (same kernel, same accumulate-into-`u` tail).
+    #[hibd::hot]
+    pub fn interpolate_add(&mut self, mesh: &[f64], u: &mut [f64]) {
+        assert_eq!(u.len(), 3 * self.n);
+        let k = self.plans.params.mesh_dim;
+        assert_eq!(mesh.len(), 3 * k * k * k);
+        let sw = telemetry::start(Phase::Interpolation);
+        interpolate(&self.pm, mesh, &mut self.state.interp_scratch);
+        for (o, v) in u.iter_mut().zip(&self.state.interp_scratch) {
+            *o += v;
+        }
+        self.state.times.interpolation += sw.stop();
+    }
+
+    /// Hand out this operator's batch mesh/spectrum scratch, grown to
+    /// `width` mesh triples, for an external batched pipeline (the
+    /// ensemble engine funnels a whole replica group through one member's
+    /// scratch instead of allocating its own). Returns `(mesh, spec)`
+    /// sized at least `3 * width * K^3` reals / `3 * width * K^2 (K/2+1)`
+    /// complexes; no allocation at steady state. The scratch must come
+    /// back via [`restore_batch_scratch`](Self::restore_batch_scratch)
+    /// before the next multi-RHS apply on this operator.
+    pub fn take_batch_scratch(&mut self, width: usize) -> (Vec<f64>, Vec<Complex64>) {
+        self.ensure_batch_scratch(width);
+        (std::mem::take(&mut self.state.batch_mesh), std::mem::take(&mut self.state.batch_spec))
+    }
+
+    /// Return scratch taken with
+    /// [`take_batch_scratch`](Self::take_batch_scratch).
+    pub fn restore_batch_scratch(&mut self, mesh: Vec<f64>, spec: Vec<Complex64>) {
+        self.state.batch_mesh = mesh;
+        self.state.batch_spec = spec;
     }
 
     /// `u += M_recip f` recomputing the B-spline weights on the fly instead
@@ -266,38 +408,39 @@ impl PmeOperator {
     pub fn recip_apply_add_on_the_fly(&mut self, f: &[f64], u: &mut [f64]) {
         assert_eq!(f.len(), 3 * self.n);
         assert_eq!(u.len(), 3 * self.n);
-        let k = self.params.mesh_dim;
+        let k = self.plans.params.mesh_dim;
         let k3 = k * k * k;
         let s_len = k * k * (k / 2 + 1);
+        let st = &mut self.state;
 
         let sw = telemetry::start(Phase::Spreading);
-        crate::onthefly::spread_on_the_fly(&self.plan, &self.pm, f, &mut self.mesh);
-        self.times.spreading += sw.stop();
+        crate::onthefly::spread_on_the_fly(&self.plan, &self.pm, f, &mut st.mesh);
+        st.times.spreading += sw.stop();
         let sw = telemetry::start(Phase::ForwardFft);
         for theta in 0..3 {
-            self.fft.forward(
-                &self.mesh[theta * k3..(theta + 1) * k3],
-                &mut self.spec[theta * s_len..(theta + 1) * s_len],
+            self.plans.fft.forward(
+                &st.mesh[theta * k3..(theta + 1) * k3],
+                &mut st.spec[theta * s_len..(theta + 1) * s_len],
             );
         }
-        self.times.forward_fft += sw.stop();
+        st.times.forward_fft += sw.stop();
         let sw = telemetry::start(Phase::Influence);
-        self.inf.apply(&mut self.spec);
-        self.times.influence += sw.stop();
+        self.plans.inf.apply(&mut st.spec);
+        st.times.influence += sw.stop();
         let sw = telemetry::start(Phase::InverseFft);
         for theta in 0..3 {
-            self.fft.inverse(
-                &mut self.spec[theta * s_len..(theta + 1) * s_len],
-                &mut self.mesh[theta * k3..(theta + 1) * k3],
+            self.plans.fft.inverse(
+                &mut st.spec[theta * s_len..(theta + 1) * s_len],
+                &mut st.mesh[theta * k3..(theta + 1) * k3],
             );
         }
-        self.times.inverse_fft += sw.stop();
+        st.times.inverse_fft += sw.stop();
         let sw = telemetry::start(Phase::Interpolation);
-        crate::onthefly::interpolate_on_the_fly(&self.pm, &self.mesh, &mut self.interp_scratch);
-        for (o, v) in u.iter_mut().zip(&self.interp_scratch) {
+        crate::onthefly::interpolate_on_the_fly(&self.pm, &st.mesh, &mut st.interp_scratch);
+        for (o, v) in u.iter_mut().zip(&st.interp_scratch) {
             *o += v;
         }
-        self.times.interpolation += sw.stop();
+        st.times.interpolation += sw.stop();
     }
 
     /// `u = (M_real + M_self) f` — the short-range part.
@@ -306,9 +449,9 @@ impl PmeOperator {
         let sw = telemetry::start(Phase::RealSpace);
         self.real.mul_vec(f, u);
         for (o, v) in u.iter_mut().zip(f) {
-            *o += self.self_coef * v;
+            *o += self.plans.self_coef * v;
         }
-        self.times.real_space += sw.stop();
+        self.state.times.real_space += sw.stop();
     }
 
     /// Multi-RHS real part: `U = (M_real + M_self) F` for row-major
@@ -318,9 +461,9 @@ impl PmeOperator {
         let sw = telemetry::start(Phase::RealSpace);
         self.real.mul_multi(f, u, s);
         for (o, v) in u.iter_mut().zip(f) {
-            *o += self.self_coef * v;
+            *o += self.plans.self_coef * v;
         }
-        self.times.real_space += sw.stop();
+        self.state.times.real_space += sw.stop();
     }
 
     /// `u = PME(f)` with the real-space and reciprocal-space parts computed
@@ -334,16 +477,16 @@ impl PmeOperator {
         // Split borrows: the real branch only reads `real`/`self_coef`;
         // the reciprocal branch mutates the meshes and spectra.
         let real = &self.real;
-        let self_coef = self.self_coef;
+        let self_coef = self.plans.self_coef;
         let plan = &self.plan;
         let pm = &self.pm;
-        let fft = &self.fft;
-        let inf = &self.inf;
-        let mesh = &mut self.mesh;
-        let spec = &mut self.spec;
-        let u_real = &mut self.real_scratch;
-        let u_recip = &mut self.interp_scratch;
-        let k = self.params.mesh_dim;
+        let fft = &self.plans.fft;
+        let inf = &self.plans.inf;
+        let mesh = &mut self.state.mesh;
+        let spec = &mut self.state.spec;
+        let u_real = &mut self.state.real_scratch;
+        let u_recip = &mut self.state.interp_scratch;
+        let k = self.plans.params.mesh_dim;
         let k3 = k * k * k;
         let s_len = k * k * (k / 2 + 1);
 
@@ -389,16 +532,17 @@ impl PmeOperator {
             t_real = handle.join().expect("real-space branch panicked");
         });
         let t_recip: f64 = phases.iter().sum();
-        for ((o, a), b) in u.iter_mut().zip(self.real_scratch.iter()).zip(&self.interp_scratch) {
+        let st = &mut self.state;
+        for ((o, a), b) in u.iter_mut().zip(st.real_scratch.iter()).zip(&st.interp_scratch) {
             *o = a + b;
         }
-        self.times.real_space += t_real;
-        self.times.spreading += phases[0];
-        self.times.forward_fft += phases[1];
-        self.times.influence += phases[2];
-        self.times.inverse_fft += phases[3];
-        self.times.interpolation += phases[4];
-        self.times.applications += 1;
+        st.times.real_space += t_real;
+        st.times.spreading += phases[0];
+        st.times.forward_fft += phases[1];
+        st.times.influence += phases[2];
+        st.times.inverse_fft += phases[3];
+        st.times.interpolation += phases[4];
+        st.times.applications += 1;
         (t_real, t_recip)
     }
 
@@ -410,7 +554,7 @@ impl PmeOperator {
     #[hibd::hot]
     pub fn recip_apply_add_column(&mut self, x: &[f64], y: &mut [f64], s: usize, col: usize) {
         let n3 = 3 * self.n;
-        let mut buf = std::mem::take(&mut self.col_scratch);
+        let mut buf = std::mem::take(&mut self.state.col_scratch);
         buf.resize(2 * n3, 0.0);
         let (fc, uc) = buf.split_at_mut(n3);
         for (i, fv) in fc.iter_mut().enumerate() {
@@ -421,20 +565,20 @@ impl PmeOperator {
         for (i, uv) in uc.iter().enumerate() {
             y[i * s + col] += uv;
         }
-        self.col_scratch = buf;
+        self.state.col_scratch = buf;
     }
 
     /// Grow the batch scratch to hold `3*width` meshes and spectra. `resize`
     /// keeps existing capacity, so steady-state block applies never allocate.
     fn ensure_batch_scratch(&mut self, width: usize) {
-        let k = self.params.mesh_dim;
+        let k = self.plans.params.mesh_dim;
         let k3 = k * k * k;
         let s_len = k * k * (k / 2 + 1);
-        if self.batch_mesh.len() < 3 * width * k3 {
-            self.batch_mesh.resize(3 * width * k3, 0.0);
+        if self.state.batch_mesh.len() < 3 * width * k3 {
+            self.state.batch_mesh.resize(3 * width * k3, 0.0);
         }
-        if self.batch_spec.len() < 3 * width * s_len {
-            self.batch_spec.resize(3 * width * s_len, Complex64::ZERO);
+        if self.state.batch_spec.len() < 3 * width * s_len {
+            self.state.batch_spec.resize(3 * width * s_len, Complex64::ZERO);
         }
         if telemetry::enabled() {
             telemetry::gauge_max(Counter::PmeScratchBytes, self.memory_bytes() as u64);
@@ -463,28 +607,29 @@ impl PmeOperator {
         assert_eq!(x.len(), 3 * self.n * s);
         assert_eq!(y.len(), 3 * self.n * s);
         assert!(col0 + width <= s && width > 0, "column chunk out of range");
-        let k = self.params.mesh_dim;
+        let k = self.plans.params.mesh_dim;
         let k3 = k * k * k;
         let s_len = k * k * (k / 2 + 1);
         self.ensure_batch_scratch(width);
-        let mesh = &mut self.batch_mesh[..3 * width * k3];
-        let spec = &mut self.batch_spec[..3 * width * s_len];
+        let st = &mut self.state;
+        let mesh = &mut st.batch_mesh[..3 * width * k3];
+        let spec = &mut st.batch_spec[..3 * width * s_len];
 
         let sw = telemetry::start(Phase::Spreading);
         self.plan.spread_multi(&self.pm, x, s, col0, width, mesh);
-        self.times.spreading += sw.stop();
+        st.times.spreading += sw.stop();
         let sw = telemetry::start(Phase::ForwardFft);
-        self.fft.forward_batch(mesh, spec, 3 * width);
-        self.times.forward_fft += sw.stop();
+        self.plans.fft.forward_batch(mesh, spec, 3 * width);
+        st.times.forward_fft += sw.stop();
         let sw = telemetry::start(Phase::Influence);
-        self.inf.apply_multi(spec, width);
-        self.times.influence += sw.stop();
+        self.plans.inf.apply_multi(spec, width);
+        st.times.influence += sw.stop();
         let sw = telemetry::start(Phase::InverseFft);
-        self.fft.inverse_batch(spec, mesh, 3 * width);
-        self.times.inverse_fft += sw.stop();
+        self.plans.fft.inverse_batch(spec, mesh, 3 * width);
+        st.times.inverse_fft += sw.stop();
         let sw = telemetry::start(Phase::Interpolation);
         interpolate_multi(&self.pm, mesh, s, col0, width, y);
-        self.times.interpolation += sw.stop();
+        st.times.interpolation += sw.stop();
     }
 
     /// `Y += M_recip X` over all `s` columns through the batched pipeline.
@@ -505,7 +650,7 @@ impl PmeOperator {
         for col in 0..s {
             self.recip_apply_add_column(x, y, s, col);
         }
-        self.times.applications += s;
+        self.state.times.applications += s;
     }
 }
 
@@ -519,7 +664,7 @@ impl LinearOperator for PmeOperator {
     fn apply(&mut self, f: &[f64], u: &mut [f64]) {
         self.real_apply(f, u);
         self.recip_apply_add(f, u);
-        self.times.applications += 1;
+        self.state.times.applications += 1;
     }
 
     /// Block application: multi-RHS SpMM for the real part, batched
@@ -533,7 +678,7 @@ impl LinearOperator for PmeOperator {
         assert_eq!(y.len(), 3 * self.n * s);
         self.real_apply_multi(x, y, s);
         self.recip_apply_add_multi(x, y, s);
-        self.times.applications += s;
+        self.state.times.applications += s;
     }
 }
 

@@ -32,7 +32,7 @@ mod stats;
 
 pub use model::{CalibrationSample, PerfModel, PhasePrediction, Report, ReportRow, MODEL_PHASES};
 pub use recorder::{disable, enable, enabled, gauge_max, incr, reset, snapshot, trace, SpanRecord};
-pub use stats::{bucket_of, PhaseStats, Snapshot, NUM_BUCKETS};
+pub use stats::{bucket_of, merge_labeled, LabeledSnapshot, PhaseStats, Snapshot, NUM_BUCKETS};
 
 /// Phases of the simulation pipeline, a static registry.
 ///
@@ -140,10 +140,14 @@ pub enum Counter {
     /// particle-particle near-field pairs plus proxy-to-particle far-field
     /// kernel evaluations.
     TreeInteractions = 6,
+    /// Engine plan-cache lookups that reused an existing `Arc<...Plans>`.
+    PlanCacheHits = 7,
+    /// Engine plan-cache lookups that had to build fresh plans.
+    PlanCacheMisses = 8,
 }
 
 /// Number of counters in the registry.
-pub const NUM_COUNTERS: usize = 7;
+pub const NUM_COUNTERS: usize = 9;
 
 impl Counter {
     /// Every counter, in `repr` order.
@@ -155,6 +159,8 @@ impl Counter {
         Counter::NeighborRebuilds,
         Counter::PmeScratchBytes,
         Counter::TreeInteractions,
+        Counter::PlanCacheHits,
+        Counter::PlanCacheMisses,
     ];
 
     /// Stable snake_case name (used in JSON profiles).
@@ -168,6 +174,8 @@ impl Counter {
             Counter::NeighborRebuilds => "neighbor_rebuilds",
             Counter::PmeScratchBytes => "pme_scratch_bytes",
             Counter::TreeInteractions => "tree_interactions",
+            Counter::PlanCacheHits => "plan_cache_hits",
+            Counter::PlanCacheMisses => "plan_cache_misses",
         }
     }
 

@@ -134,6 +134,40 @@ impl Snapshot {
     }
 }
 
+/// A [`Snapshot`] tagged with a job / replica label, the unit the ensemble
+/// profile aggregates ("r0", "r1", ..., "shared").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LabeledSnapshot {
+    /// Job label; snapshots with equal labels merge into one.
+    pub label: String,
+    /// The per-job statistics.
+    pub snapshot: Snapshot,
+}
+
+impl LabeledSnapshot {
+    /// An empty snapshot under `label`.
+    #[must_use]
+    pub fn empty(label: impl Into<String>) -> LabeledSnapshot {
+        LabeledSnapshot { label: label.into(), snapshot: Snapshot::empty() }
+    }
+}
+
+/// Fold `other` into `into`, merging label-wise: snapshots whose label is
+/// already present merge via [`Snapshot::merge`] (exact, associative);
+/// unseen labels are appended in order of first appearance. Because the
+/// per-label fold is [`Snapshot::merge`] and the label set is a union,
+/// grouping does not matter — the associativity proptests in
+/// `tests/merge_props.rs` pin this down.
+pub fn merge_labeled(into: &mut Vec<LabeledSnapshot>, other: &[LabeledSnapshot]) {
+    for ls in other {
+        if let Some(existing) = into.iter_mut().find(|e| e.label == ls.label) {
+            existing.snapshot.merge(&ls.snapshot);
+        } else {
+            into.push(ls.clone());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -2,7 +2,9 @@
 //! order-independent across threads. All state is exact u64 arithmetic, so
 //! every equality below is bit-exact — no tolerances.
 
-use hibd_telemetry::{Counter, Phase, PhaseStats, Snapshot, NUM_PHASES};
+use hibd_telemetry::{
+    merge_labeled, Counter, LabeledSnapshot, Phase, PhaseStats, Snapshot, NUM_PHASES,
+};
 use proptest::prelude::*;
 
 fn stats_from(durations: &[u64]) -> PhaseStats {
@@ -11,6 +13,21 @@ fn stats_from(durations: &[u64]) -> PhaseStats {
         s.record(d);
     }
     s
+}
+
+/// A labeled snapshot from a tiny alphabet of labels (so collisions are
+/// common) with a few recorded spans and one counter.
+fn labeled_from(label_idx: u8, durations: &[u64], count: u64) -> LabeledSnapshot {
+    let mut ls = LabeledSnapshot::empty(format!("r{}", label_idx % 4));
+    ls.snapshot.phases[Phase::Stepping as usize] = stats_from(durations);
+    ls.snapshot.counters[Counter::LanczosIterations as usize] = count;
+    ls
+}
+
+/// Canonical form: sort by label (merge order only affects label order).
+fn canon(mut v: Vec<LabeledSnapshot>) -> Vec<LabeledSnapshot> {
+    v.sort_by(|a, b| a.label.cmp(&b.label));
+    v
 }
 
 proptest! {
@@ -62,6 +79,60 @@ proptest! {
             merged.merge(&stats_from(&durations[w[0]..w[1]]));
         }
         prop_assert_eq!(sequential, merged);
+    }
+
+    #[test]
+    fn labeled_merge_is_associative(
+        groups in prop::collection::vec(
+            (any::<u8>(), prop::collection::vec(0u64..(1 << 40), 0..8), any::<u32>()),
+            0..12,
+        ),
+        cut in any::<usize>(),
+    ) {
+        let all: Vec<LabeledSnapshot> =
+            groups.iter().map(|(l, d, c)| labeled_from(*l, d, u64::from(*c))).collect();
+        // Left fold one at a time...
+        let mut one_by_one: Vec<LabeledSnapshot> = Vec::new();
+        for ls in &all {
+            merge_labeled(&mut one_by_one, std::slice::from_ref(ls));
+        }
+        // ...must equal merging two arbitrary halves that were themselves
+        // label-merged.
+        let k = if all.is_empty() { 0 } else { cut % (all.len() + 1) };
+        let mut left: Vec<LabeledSnapshot> = Vec::new();
+        merge_labeled(&mut left, &all[..k]);
+        let mut right: Vec<LabeledSnapshot> = Vec::new();
+        merge_labeled(&mut right, &all[k..]);
+        let mut grouped = left;
+        merge_labeled(&mut grouped, &right);
+        prop_assert_eq!(canon(one_by_one), canon(grouped));
+    }
+
+    #[test]
+    fn labeled_merge_keeps_labels_disjoint(
+        groups in prop::collection::vec(
+            (any::<u8>(), prop::collection::vec(0u64..(1 << 40), 0..8), any::<u32>()),
+            0..12,
+        ),
+    ) {
+        let all: Vec<LabeledSnapshot> =
+            groups.iter().map(|(l, d, c)| labeled_from(*l, d, u64::from(*c))).collect();
+        let mut merged: Vec<LabeledSnapshot> = Vec::new();
+        merge_labeled(&mut merged, &all);
+        // One entry per distinct label, and per-label totals are the exact
+        // sums of that label's inputs.
+        let mut labels: Vec<&str> = merged.iter().map(|m| m.label.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        prop_assert_eq!(labels.len(), merged.len());
+        for m in &merged {
+            let want: u64 = all
+                .iter()
+                .filter(|ls| ls.label == m.label)
+                .map(|ls| ls.snapshot.phase(Phase::Stepping).count)
+                .sum();
+            prop_assert_eq!(m.snapshot.phase(Phase::Stepping).count, want);
+        }
     }
 
     #[test]

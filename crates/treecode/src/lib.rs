@@ -29,6 +29,6 @@ pub mod operator;
 pub mod tree;
 pub mod tuner;
 
-pub use operator::{TreeOperator, TreeParams, TreeTimings, MAX_CHEB_ORDER};
+pub use operator::{TreeOperator, TreeParams, TreePlans, TreeTimings, MAX_CHEB_ORDER};
 pub use tree::Octree;
 pub use tuner::{measured_rel_error, tune, SCHEDULE};

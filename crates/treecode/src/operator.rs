@@ -32,6 +32,7 @@ use hibd_linalg::LinearOperator;
 use hibd_mathx::Vec3;
 use hibd_rpy::{rpy_pairs_accumulate, rpy_self_mobility, PAIR_TILE};
 use hibd_telemetry::{Counter, Phase};
+use std::sync::Arc;
 
 use hibd_hot as hibd;
 
@@ -79,16 +80,55 @@ pub struct TreeTimings {
     pub near_field: f64,
 }
 
-/// The matrix-free hierarchical RPY operator (see module docs).
-pub struct TreeOperator {
+/// Position-independent treecode setup artifacts, shareable across
+/// operators: the validated parameters, the 1-D Chebyshev node set, and the
+/// eight universal child→parent (M2M) transfer matrices. All of it is a
+/// pure function of [`TreeParams`] (only `cheb_order` matters numerically),
+/// so one `Arc<TreePlans>` serves every rebuild of one trajectory and every
+/// replica of an ensemble.
+pub struct TreePlans {
     params: TreeParams,
-    tree: Octree,
-    n: usize,
-    q3: usize,
     /// 1-D Chebyshev nodes (length `q`).
     cheb_t: Vec<f64>,
     /// Eight `q^3 x q^3` octant M2M matrices.
     m2m: Vec<Vec<f64>>,
+}
+
+impl TreePlans {
+    /// Validate the parameters and build the shared Chebyshev tables.
+    pub fn new(params: TreeParams) -> TreePlans {
+        assert!(params.theta > 0.0 && params.theta < 1.0, "theta must be in (0, 1)");
+        assert!(params.leaf_capacity >= 1, "leaf capacity must be positive");
+        assert!(
+            (2..=MAX_CHEB_ORDER).contains(&params.cheb_order),
+            "cheb_order must be in 2..={MAX_CHEB_ORDER}"
+        );
+        assert!(params.a > 0.0 && params.eta > 0.0);
+        let cheb_t = cheb::nodes(params.cheb_order);
+        let m2m = cheb::m2m_octants(&cheb_t);
+        TreePlans { params, cheb_t, m2m }
+    }
+
+    /// The validated parameters.
+    pub fn params(&self) -> &TreeParams {
+        &self.params
+    }
+
+    /// Resident bytes of the shared tables.
+    pub fn memory_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.cheb_t.capacity() * size_of::<f64>()
+            + self.m2m.iter().map(|m| m.capacity() * size_of::<f64>()).sum::<usize>()
+            + self.m2m.capacity() * size_of::<Vec<f64>>()
+    }
+}
+
+/// The matrix-free hierarchical RPY operator (see module docs).
+pub struct TreeOperator {
+    plans: Arc<TreePlans>,
+    tree: Octree,
+    n: usize,
+    q3: usize,
     /// Per-particle anterpolation weights `[particle][dim][q]` (Morton
     /// order), toward the particle's leaf grid.
     pw: Vec<f64>,
@@ -116,23 +156,23 @@ pub struct TreeOperator {
 
 impl TreeOperator {
     /// Build the octree, traversal lists, and anterpolation tables for a
-    /// fixed particle cloud.
+    /// fixed particle cloud, including its own Chebyshev tables.
     pub fn new(positions: &[Vec3], params: TreeParams) -> TreeOperator {
-        assert!(params.theta > 0.0 && params.theta < 1.0, "theta must be in (0, 1)");
-        assert!(params.leaf_capacity >= 1, "leaf capacity must be positive");
-        assert!(
-            (2..=MAX_CHEB_ORDER).contains(&params.cheb_order),
-            "cheb_order must be in 2..={MAX_CHEB_ORDER}"
-        );
-        assert!(params.a > 0.0 && params.eta > 0.0);
+        Self::with_plans(positions, Arc::new(TreePlans::new(params)))
+    }
+
+    /// Build the position-dependent part of the operator (octree, traversal
+    /// lists, anterpolation weights, scratch) on top of shared Chebyshev
+    /// tables — the per-window / per-replica construction path.
+    pub fn with_plans(positions: &[Vec3], plans: Arc<TreePlans>) -> TreeOperator {
+        let params = plans.params;
         let sw = hibd_telemetry::start(Phase::TreeBuild);
 
         let n = positions.len();
         let q = params.cheb_order;
         let q3 = q * q * q;
         let tree = Octree::build(positions, params.leaf_capacity);
-        let cheb_t = cheb::nodes(q);
-        let m2m = cheb::m2m_octants(&cheb_t);
+        let cheb_t = &plans.cheb_t;
 
         // Per-particle anterpolation weights toward the owning leaf's grid.
         let mut pw = vec![0.0; n * 3 * q];
@@ -142,14 +182,14 @@ impl TreeOperator {
             for k in node.start..node.end {
                 let p = tree.pos[k as usize];
                 let base = k as usize * 3 * q;
-                cheb::weights_into(&cheb_t, (p.x - node.center.x) / h, &mut pw[base..base + q]);
+                cheb::weights_into(cheb_t, (p.x - node.center.x) / h, &mut pw[base..base + q]);
                 cheb::weights_into(
-                    &cheb_t,
+                    cheb_t,
                     (p.y - node.center.y) / h,
                     &mut pw[base + q..base + 2 * q],
                 );
                 cheb::weights_into(
-                    &cheb_t,
+                    cheb_t,
                     (p.z - node.center.z) / h,
                     &mut pw[base + 2 * q..base + 3 * q],
                 );
@@ -208,12 +248,10 @@ impl TreeOperator {
         }
 
         let mut op = TreeOperator {
-            params,
+            plans,
             tree,
             n,
             q3,
-            cheb_t,
-            m2m,
             pw,
             weights: Vec::new(),
             far_off,
@@ -236,7 +274,12 @@ impl TreeOperator {
 
     /// The parameters the operator was built with.
     pub fn params(&self) -> &TreeParams {
-        &self.params
+        &self.plans.params
+    }
+
+    /// The shared setup artifacts backing this operator.
+    pub fn plans(&self) -> &Arc<TreePlans> {
+        &self.plans
     }
 
     /// Number of tree nodes.
@@ -260,16 +303,22 @@ impl TreeOperator {
         self.timings
     }
 
-    /// Total bytes of operator-owned storage (tree, tables, lists, scratch).
+    /// Total bytes of operator-owned storage (tree, tables, lists, scratch),
+    /// counting the shared plans in full — the standalone footprint. An
+    /// ensemble sums [`TreeOperator::state_memory_bytes`] and counts each
+    /// distinct [`TreePlans`] once.
     pub fn memory_bytes(&self) -> usize {
+        self.state_memory_bytes() + self.plans.memory_bytes()
+    }
+
+    /// Resident bytes of the per-job part only (everything except the
+    /// shared [`TreePlans`]).
+    pub fn state_memory_bytes(&self) -> usize {
         use std::mem::size_of;
-        let vecs = self.tree.order.capacity() * size_of::<u32>()
+        self.tree.order.capacity() * size_of::<u32>()
             + self.tree.pos.capacity() * size_of::<Vec3>()
             + self.tree.nodes.capacity() * size_of::<Node>()
             + self.tree.leaves.capacity() * size_of::<u32>()
-            + self.cheb_t.capacity() * size_of::<f64>()
-            + self.m2m.iter().map(|m| m.capacity() * size_of::<f64>()).sum::<usize>()
-            + self.m2m.capacity() * size_of::<Vec<f64>>()
             + self.pw.capacity() * size_of::<f64>()
             + self.weights.capacity() * size_of::<f64>()
             + self.far_off.capacity() * size_of::<u32>()
@@ -279,8 +328,7 @@ impl TreeOperator {
             + self.xr.capacity() * size_of::<f64>()
             + self.yr.capacity() * size_of::<f64>()
             + self.xcol.capacity() * size_of::<f64>()
-            + self.ycol.capacity() * size_of::<f64>();
-        vecs
+            + self.ycol.capacity() * size_of::<f64>()
     }
 
     /// One full tree apply into the Morton scratch, then scatter to `y`.
@@ -317,7 +365,7 @@ impl TreeOperator {
     /// reverse preorder (children precede parents in that order).
     fn upward(&mut self) {
         self.weights.iter_mut().for_each(|v| *v = 0.0);
-        let q = self.params.cheb_order;
+        let q = self.plans.params.cheb_order;
         let q3 = self.q3;
         let stride = q3 * 3;
         for &l in &self.tree.leaves {
@@ -337,7 +385,12 @@ impl TreeOperator {
                 let (head, tail) = self.weights.split_at_mut(ci * stride);
                 let parent = &mut head[ni * stride..(ni + 1) * stride];
                 let child = &tail[..stride];
-                m2m_accumulate(&self.m2m[self.tree.nodes[ci].octant as usize], child, q3, parent);
+                m2m_accumulate(
+                    &self.plans.m2m[self.tree.nodes[ci].octant as usize],
+                    child,
+                    q3,
+                    parent,
+                );
             }
         }
     }
@@ -521,10 +574,10 @@ fn par_leaf_pass(op: &TreeOperator, far: bool, lo: usize, hi: usize, yr: &mut [f
 /// displacement replaces the normalized `r_hat` (no per-proxy division).
 #[hibd::hot]
 fn far_leaf(op: &TreeOperator, ord: usize, node: &Node, y: &mut [f64]) {
-    let q = op.params.cheb_order;
+    let q = op.plans.params.cheb_order;
     let q3 = op.q3;
-    let mu0 = rpy_self_mobility(op.params.a, op.params.eta);
-    let a = op.params.a;
+    let mu0 = rpy_self_mobility(op.plans.params.a, op.plans.params.eta);
+    let a = op.plans.params.a;
     let srcs = &op.far_src[op.far_off[ord] as usize..op.far_off[ord + 1] as usize];
     let mut px = [0.0f64; MAX_CHEB_ORDER];
     let mut py = [0.0f64; MAX_CHEB_ORDER];
@@ -534,9 +587,9 @@ fn far_leaf(op: &TreeOperator, ord: usize, node: &Node, y: &mut [f64]) {
     for &s in srcs {
         let sn = &op.tree.nodes[s as usize];
         for m in 0..q {
-            px[m] = sn.center.x + sn.half * op.cheb_t[m];
-            py[m] = sn.center.y + sn.half * op.cheb_t[m];
-            pz[m] = sn.center.z + sn.half * op.cheb_t[m];
+            px[m] = sn.center.x + sn.half * op.plans.cheb_t[m];
+            py[m] = sn.center.y + sn.half * op.plans.cheb_t[m];
+            pz[m] = sn.center.z + sn.half * op.plans.cheb_t[m];
         }
         let w = &op.weights[s as usize * q3 * 3..(s as usize + 1) * q3 * 3];
         let (wx, wyz) = w.split_at(q3);
@@ -596,8 +649,8 @@ fn far_leaf(op: &TreeOperator, ord: usize, node: &Node, y: &mut [f64]) {
 /// (`r = 0`) lanes contribute exactly the `mu0 I` diagonal.
 #[hibd::hot]
 fn near_leaf(op: &TreeOperator, ord: usize, node: &Node, y: &mut [f64]) {
-    let mu0 = rpy_self_mobility(op.params.a, op.params.eta);
-    let a = op.params.a;
+    let mu0 = rpy_self_mobility(op.plans.params.a, op.plans.params.eta);
+    let a = op.plans.params.a;
     let srcs = &op.near_src[op.near_off[ord] as usize..op.near_off[ord + 1] as usize];
     let mut sx = [0.0f64; PAIR_TILE];
     let mut sy = [0.0f64; PAIR_TILE];

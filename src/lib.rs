@@ -41,9 +41,11 @@
 //! | [`pse`] | positively-split Ewald Brownian displacement sampler |
 //! | [`treecode`] | hierarchical free-space RPY operator (open boundaries) |
 //! | [`core`] | BD drivers, forces, diffusion analysis, hybrid execution |
+//! | [`engine`] | resident plan cache + lockstep multi-replica ensembles |
 
 pub use hibd_cells as cells;
 pub use hibd_core as core;
+pub use hibd_engine as engine;
 pub use hibd_fft as fft;
 pub use hibd_krylov as krylov;
 pub use hibd_linalg as linalg;
