@@ -7,9 +7,15 @@ use hibd_cli::profile::{columns_applied, render_profile, validate_profile, SCHEM
 use hibd_cli::runner::run_simulation;
 use hibd_telemetry as telemetry;
 use hibd_telemetry::json::Value;
+use std::sync::Mutex;
+
+/// The telemetry recorder is process-global; tests in this binary that
+/// touch it serialize here.
+static TELEMETRY_LOCK: Mutex<()> = Mutex::new(());
 
 #[test]
 fn profile_of_a_quick_matrix_free_run_validates() {
+    let _l = TELEMETRY_LOCK.lock().unwrap();
     telemetry::reset();
     telemetry::enable();
     let spec = SimSpec { particles: 25, steps: 3, report_interval: 0, ..Default::default() };

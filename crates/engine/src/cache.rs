@@ -12,14 +12,17 @@ use hibd_core::ParticleSystem;
 use hibd_pme::{PmeParams, PmePlans};
 use hibd_telemetry::{self as telemetry, Counter, Phase};
 use hibd_treecode::{TreeParams, TreePlans};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
-/// Canonical, hashable identity of a mobility-backend shape. Floating-point
-/// parameters are keyed by their exact bit patterns: the cache must only
-/// ever share plans between *identical* parameter sets, so semantic
-/// closeness (or `NaN` quirks) is irrelevant — equal bits, equal shape.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+/// Canonical, totally ordered identity of a mobility-backend shape.
+/// Floating-point parameters are keyed by their exact bit patterns: the
+/// cache must only ever share plans between *identical* parameter sets, so
+/// semantic closeness (or `NaN` quirks) is irrelevant — equal bits, equal
+/// shape. The bit patterns also give the key a total order, which the
+/// `BTreeMap` store turns into deterministic iteration (memory accounting,
+/// `shapes()`) regardless of insertion history.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum ShapeKey {
     /// Periodic box: the full tuned PME parameter set.
     Periodic {
@@ -65,11 +68,14 @@ impl ShapeKey {
 
 /// Deduplicating store of setup plans, keyed by [`ShapeKey`]. Lookups
 /// count as hits (an existing `Arc` was reused) or misses (fresh plans were
-/// built) both locally and on the global telemetry counters.
+/// built) both locally and on the global telemetry counters. The maps are
+/// `BTreeMap`s, not `HashMap`s: the engine sits inside the bitwise
+/// determinism contract, and key-ordered iteration keeps every traversal
+/// (accounting, shape listings) independent of the per-process hasher seed.
 #[derive(Default)]
 pub struct PlanCache {
-    pme: HashMap<ShapeKey, Arc<PmePlans>>,
-    tree: HashMap<ShapeKey, Arc<TreePlans>>,
+    pme: BTreeMap<ShapeKey, Arc<PmePlans>>,
+    tree: BTreeMap<ShapeKey, Arc<TreePlans>>,
     hits: u64,
     misses: u64,
 }
@@ -164,6 +170,13 @@ impl PlanCache {
         self.pme.values().map(|p| p.memory_bytes()).sum::<usize>()
             + self.tree.values().map(|p| p.memory_bytes()).sum::<usize>()
     }
+
+    /// Every cached shape, in `ShapeKey` order (periodic shapes first) —
+    /// the same sequence on every run with the same contents.
+    #[must_use]
+    pub fn shapes(&self) -> Vec<ShapeKey> {
+        self.pme.keys().chain(self.tree.keys()).copied().collect()
+    }
 }
 
 #[cfg(test)]
@@ -200,6 +213,28 @@ mod tests {
         let stricter = cache.tree(TreeParams { theta: 0.2, ..t });
         assert!(!Arc::ptr_eq(&a, &stricter));
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn shapes_iterate_in_key_order_regardless_of_insertion_order() {
+        let p1 = PmeParams { mesh_dim: 8, ..PmeParams::default() };
+        let p2 = PmeParams { mesh_dim: 12, ..PmeParams::default() };
+        let t = TreeParams::default();
+
+        let mut fwd = PlanCache::new();
+        fwd.pme(p1).unwrap();
+        fwd.pme(p2).unwrap();
+        fwd.tree(t);
+        let mut rev = PlanCache::new();
+        rev.tree(t);
+        rev.pme(p2).unwrap();
+        rev.pme(p1).unwrap();
+
+        let shapes = fwd.shapes();
+        assert_eq!(shapes, rev.shapes(), "iteration order must not depend on insertion");
+        let mut sorted = shapes.clone();
+        sorted.sort_unstable();
+        assert_eq!(shapes, sorted, "shapes() is key-ordered");
     }
 
     #[test]

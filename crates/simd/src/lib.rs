@@ -110,9 +110,14 @@ impl Drop for ScalarGuard {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    /// The override is process-global; tests that flip it serialize here.
+    static LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn override_forces_scalar() {
+        let _l = LOCK.lock().unwrap();
         // Whatever the hardware, the override must win while set and release
         // cleanly after.
         {

@@ -156,6 +156,9 @@ fn threaded_recording_is_order_independent() {
     const THREADS: usize = 4;
     const SPANS_PER_THREAD: usize = 200;
 
+    // The recorder is process-global: hold the cross-test mutex while this
+    // test resets/enables it.
+    let _guard = hibd_alloctrack::exclusive();
     hibd_telemetry::reset();
     hibd_telemetry::enable();
     std::thread::scope(|scope| {

@@ -1,0 +1,13 @@
+//! Negative fixture for the suppression grammar: an `audit:allow` with no
+//! justification is itself a violation and does NOT silence the finding
+//! underneath it; an unknown lint name is flagged too.
+
+fn spawn_helper() {
+    // audit:allow(env-mutation)
+    std::env::set_var("CHILD_MARKER", "1");
+}
+
+fn other() {
+    // audit:allow(hot-allocs): typo'd lint name
+    let _ = 1 + 1;
+}

@@ -1,0 +1,14 @@
+//! Negative fixture for env-mutation: tests (or library code) writing the
+//! process environment. `set_var`/`remove_var` race concurrent `getenv`
+//! calls and leak configuration into every later test in the binary.
+
+#[test]
+fn forces_scalar_via_env() {
+    std::env::set_var("HIBD_SIMD", "off");
+    assert!(compute() > 0.0);
+    std::env::remove_var("HIBD_SIMD");
+}
+
+fn compute() -> f64 {
+    1.0
+}

@@ -1,0 +1,18 @@
+//! Negative fixture: `mul_add` in scalar expression trees. Both sites must
+//! be flagged by fma-discipline — fused rounding would silently break the
+//! bitwise replica-vs-standalone and lane-vs-per-mesh contracts.
+
+/// A "helpfully optimized" scalar butterfly: the FMA changes the bits.
+fn combine2_scalar(re: &mut [f64], im: &mut [f64], wr: f64, wi: f64) {
+    let tr = re[1].mul_add(wr, -(im[1] * wi));
+    re[1] = re[0] - tr;
+    re[0] += tr;
+    im[0] += wi;
+    im[1] = im[0];
+    let _ = tr;
+}
+
+/// Free function outside any kernel pair.
+pub fn horner(c: &[f64], x: f64) -> f64 {
+    c.iter().rev().fold(0.0, |acc, &ci| acc.mul_add(x, ci))
+}

@@ -1,0 +1,26 @@
+//! Negative fixture for global-state-serialization (audited under a
+//! `tests/` path): one test flips the process-global SIMD override and
+//! another reads the process-global telemetry recorder, neither holding a
+//! serialization lock. Run in parallel by libtest, these race.
+
+#[test]
+fn equivalence_without_lock() {
+    let _g = hibd_simd::ScalarGuard::new();
+    let scalar = compute();
+    drop(_g);
+    assert_eq!(scalar, compute());
+}
+
+#[test]
+fn snapshot_without_lock() {
+    hibd_telemetry::reset();
+    hibd_telemetry::enable();
+    compute();
+    let snap = hibd_telemetry::snapshot();
+    hibd_telemetry::disable();
+    assert!(snap.phase_count() > 0);
+}
+
+fn compute() -> f64 {
+    1.0
+}

@@ -1,0 +1,22 @@
+//! Negative fixture for nondeterministic-iteration (audited under a
+//! deterministic-crate `src/` path): `HashMap` keying plus a `HashSet`
+//! membership structure. Iterating either visits entries in per-process
+//! random order — exactly the drift the bitwise contracts forbid.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Registry {
+    plans: HashMap<u64, usize>,
+    seen: HashSet<u64>,
+}
+
+impl Registry {
+    pub fn total(&self) -> usize {
+        // The trap: a "harmless" statistics fold in hash order.
+        self.plans.values().sum()
+    }
+
+    pub fn known(&self, k: u64) -> bool {
+        self.seen.contains(&k)
+    }
+}

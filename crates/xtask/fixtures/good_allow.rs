@@ -1,0 +1,13 @@
+//! Positive fixture for the suppression grammar: every finding here is
+//! covered by a justified `audit:allow`, so the full audit reports nothing.
+
+fn spawn_helper() {
+    // audit:allow(env-mutation): single-threaded setup helper runs before any thread is spawned
+    std::env::set_var("CHILD_MARKER", "1");
+    std::env::remove_var("CHILD_MARKER"); // audit:allow(env-mutation): immediately undone on the same single thread
+}
+
+fn blend(a: f64, b: f64, t: f64) -> f64 {
+    // audit:allow(fma-discipline): result feeds a plot label, not a bitwise-compared trajectory
+    t.mul_add(b - a, a)
+}

@@ -1,0 +1,17 @@
+//! Positive fixture for env-mutation: reading the environment is fine
+//! (dispatch reads `HIBD_SIMD` once at process start). Mentions of the
+//! forbidden names in comments or strings must not trip the lint either:
+//! set_var, remove_var.
+
+fn simd_disabled() -> bool {
+    // set_var would be the wrong way to force this; spawn with the
+    // variable set instead.
+    let doc = "never call set_var or remove_var from library code";
+    let _ = doc;
+    matches!(std::env::var("HIBD_SIMD").as_deref(), Ok("off" | "0" | "scalar"))
+}
+
+#[test]
+fn reads_are_fine() {
+    let _ = simd_disabled();
+}

@@ -1,0 +1,47 @@
+//! Positive fixture for fma-discipline: `mul_add` confined to a `*_avx2`
+//! kernel body (the scalar remainder loop of a vector kernel is part of the
+//! audited kernel, with its own equivalence tests); the `*_scalar` twin
+//! keeps the plain mul/add tree.
+
+fn dot_scalar(x: &[f64], y: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (a, b) in x.iter().zip(y) {
+        acc += a * b;
+    }
+    acc
+}
+
+/// # Safety
+///
+/// The caller must have verified (e.g. via `hibd_simd::avx2()`) that the
+/// host CPU supports AVX2 and FMA.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2", enable = "fma")]
+pub unsafe fn dot_avx2(x: &[f64], y: &[f64]) -> f64 {
+    use core::arch::x86_64::{_mm256_fmadd_pd, _mm256_loadu_pd, _mm256_setzero_pd};
+    let n = x.len().min(y.len());
+    let n4 = n & !3;
+    let mut va = _mm256_setzero_pd();
+    let mut i = 0;
+    while i < n4 {
+        // SAFETY: `i + 3 < n4 <= min(x.len(), y.len())`.
+        unsafe {
+            va = _mm256_fmadd_pd(
+                _mm256_loadu_pd(x.as_ptr().add(i)),
+                _mm256_loadu_pd(y.as_ptr().add(i)),
+                va,
+            );
+        }
+        i += 4;
+    }
+    let mut acc = 0.0;
+    for j in n4..n {
+        acc = x[j].mul_add(y[j], acc);
+    }
+    acc
+}
+
+fn caller(x: &[f64], y: &[f64]) -> f64 {
+    // SAFETY: gated on runtime AVX2+FMA detection.
+    if hibd_simd::avx2() { unsafe { dot_avx2(x, y) } } else { dot_scalar(x, y) }
+}

@@ -1,0 +1,47 @@
+//! Positive fixture for global-state-serialization: both conventions in
+//! use — a shared `Mutex` serializing a ScalarGuard toggle (directly and
+//! through a locking helper), and `hibd_alloctrack::exclusive()` guarding a
+//! telemetry window.
+
+use std::sync::Mutex;
+
+static SIMD_LOCK: Mutex<()> = Mutex::new(());
+
+fn scalar_then_auto<R>(f: impl Fn() -> R) -> (R, R) {
+    let _l = SIMD_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let scalar = {
+        let _g = hibd_simd::ScalarGuard::new();
+        f()
+    };
+    (scalar, f())
+}
+
+#[test]
+fn equivalence_via_locking_helper() {
+    let (a, b) = scalar_then_auto(compute);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn direct_toggle_under_the_lock() {
+    let _l = SIMD_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    hibd_simd::force_scalar(true);
+    let scalar = compute();
+    hibd_simd::force_scalar(false);
+    assert_eq!(scalar, compute());
+}
+
+#[test]
+fn telemetry_window_under_exclusive() {
+    let _guard = hibd_alloctrack::exclusive();
+    hibd_telemetry::reset();
+    hibd_telemetry::enable();
+    compute();
+    let snap = hibd_telemetry::snapshot();
+    hibd_telemetry::disable();
+    assert!(snap.phase_count() > 0);
+}
+
+fn compute() -> f64 {
+    1.0
+}

@@ -1,0 +1,20 @@
+//! Positive fixture for nondeterministic-iteration: ordered containers in a
+//! deterministic-crate `src/` path. `BTreeMap`/`BTreeSet` iterate in key
+//! order, so statistics folds and eviction sweeps are reproducible.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub struct Registry {
+    plans: BTreeMap<u64, usize>,
+    seen: BTreeSet<u64>,
+}
+
+impl Registry {
+    pub fn total(&self) -> usize {
+        self.plans.values().sum()
+    }
+
+    pub fn known(&self, k: u64) -> bool {
+        self.seen.contains(&k)
+    }
+}

@@ -1,494 +1,53 @@
 //! Workspace audit lints (`cargo run -p xtask -- audit`).
 //!
-//! Five machine-checked invariants, all lexical (the vendored dependency
+//! Nine machine-checked invariants, all lexical (the vendored dependency
 //! set has no `syn`, so the scanner is a hand-rolled state machine over a
-//! comment/string-blanked copy of each source file):
+//! comment/string-blanked copy of each source file — see
+//! [`lints::source`]). The lints live in [`lints`], one module each, behind
+//! a registry ([`lints::LINTS`]):
 //!
-//! 1. **hot-alloc** — a function marked `#[hibd::hot]` must not contain
-//!    heap-allocating constructs (`vec!`, `Vec::new`, `collect`, `to_vec`,
-//!    `Box::new`, ...). `Vec::resize` on long-lived scratch is the
-//!    sanctioned grow-only idiom and is allowed.
-//! 2. **hot-timing** — a `#[hibd::hot]` body must not read wall clocks
-//!    directly (`Instant::now`, `SystemTime::now`, `.elapsed()`). The
-//!    sanctioned mechanism is `hibd_telemetry` (`start`/`span`/`timed`,
-//!    `incr`, `gauge_max`): those calls are allocation-free, compile to a
-//!    single relaxed load when recording is disabled, and feed the global
-//!    phase recorder — so they are whitelisted by construction (the lint
-//!    only matches the raw clock constructs).
-//! 3. **safety-comment** — every `unsafe` block / `unsafe impl` /
-//!    `unsafe trait` must be immediately preceded by a `// SAFETY:` comment
-//!    explaining why the contract holds.
-//! 4. **safety-doc** — every `pub unsafe fn` must carry a `# Safety`
-//!    rustdoc section.
-//! 5. **simd-dispatch** — every `#[target_feature(...)]` kernel must be an
-//!    `unsafe fn` (so each call site goes through an `unsafe` block that the
-//!    safety-comment lint covers), must be named `<stem>_avx2` after the
-//!    instruction set it requires, and must have a scalar fallback
-//!    `fn <stem>_scalar` in the same file — the dispatch layer
-//!    (`hibd_simd::avx2()`) always has a semantically equivalent path on
-//!    non-AVX2 hosts and under `HIBD_SIMD=off`.
+//! 1. **hot-alloc** — no heap-allocating constructs in `#[hibd::hot]`
+//!    bodies (`Vec::resize` on long-lived scratch is the sanctioned idiom).
+//! 2. **hot-timing** — no raw wall clocks in `#[hibd::hot]` bodies; time
+//!    with the `hibd_telemetry` stopwatches.
+//! 3. **safety-comment** — `// SAFETY:` before every unsafe
+//!    block/impl/trait.
+//! 4. **safety-doc** — a `# Safety` rustdoc section on every
+//!    `pub unsafe fn`.
+//! 5. **simd-dispatch** — `#[target_feature]` kernels are `unsafe fn`,
+//!    named `*_avx2`, with a `*_scalar` twin in the same file.
+//! 6. **fma-discipline** — `mul_add` only inside `*_avx2` kernels; the
+//!    scalar expression trees that back every bitwise contract stay
+//!    FMA-free.
+//! 7. **nondeterministic-iteration** — no `HashMap`/`HashSet` in non-test
+//!    code of the deterministic crates (fft/pme/rpy/treecode/engine/core).
+//! 8. **global-state-serialization** — tests that toggle
+//!    `hibd_simd::ScalarGuard`/`force_scalar` or the global telemetry
+//!    recorder hold a serialization lock while they do.
+//! 9. **env-mutation** — no `std::env::set_var`/`remove_var` outside the
+//!    `hibd-simd` dispatch crate.
 //!
-//! The scanner first blanks comments and string/char literals (preserving
-//! newlines, so line numbers survive), then pattern-matches on the cleaned
-//! text; the SAFETY-comment lint consults the *original* lines. False
-//! positives are possible in principle (the scanner has no type
-//! information) but have not occurred on this codebase; a justified
-//! exception would be handled by refactoring the allocation out of the hot
-//! function, not by suppressing the lint.
+//! A finding can be suppressed only by a justified
+//! `// audit:allow(<lint>): <reason>` comment on the flagged line or the
+//! line above; a missing reason or an unknown lint name is itself a
+//! violation. Positive/negative fixtures per lint live in
+//! `crates/xtask/fixtures/`; the fixture tests run under plain
+//! `cargo test`, and `tests/workspace_is_clean.rs` runs the full audit so
+//! `cargo test --workspace` is a superset of the CI gate.
 
-use std::fmt;
+pub mod lints;
+
+pub use lints::source::clean_source;
+pub use lints::{Lint, Violation, LINTS};
+
+use lints::source::SourceFile;
 use std::path::{Path, PathBuf};
 
-/// One audit finding.
-#[derive(Clone, Debug)]
-pub struct Violation {
-    pub file: String,
-    pub line: usize,
-    pub lint: &'static str,
-    pub msg: String,
-}
-
-impl fmt::Display for Violation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.lint, self.msg)
-    }
-}
-
-/// Blanks comments and string/char-literal contents with spaces, keeping
-/// every newline (and therefore every line number) intact. Code tokens pass
-/// through verbatim, so structural scans (brace matching, keyword search)
-/// cannot be fooled by `unsafe` or `vec!` appearing inside a comment or a
-/// string.
-pub fn clean_source(src: &str) -> String {
-    let b: Vec<char> = src.chars().collect();
-    let n = b.len();
-    let mut out = String::with_capacity(src.len());
-    let mut i = 0;
-    // Whether the previously emitted code char can end an identifier; used
-    // to tell a raw-string prefix `r"` from an identifier ending in `r`.
-    let mut prev_ident = false;
-    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
-    while i < n {
-        let c = b[i];
-        if c == '/' && i + 1 < n && b[i + 1] == '/' {
-            while i < n && b[i] != '\n' {
-                out.push(' ');
-                i += 1;
-            }
-            continue;
-        }
-        if c == '/' && i + 1 < n && b[i + 1] == '*' {
-            let mut depth = 0;
-            while i < n {
-                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
-                    depth += 1;
-                    out.push_str("  ");
-                    i += 2;
-                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
-                    depth -= 1;
-                    out.push_str("  ");
-                    i += 2;
-                    if depth == 0 {
-                        break;
-                    }
-                } else {
-                    out.push(blank(b[i]));
-                    i += 1;
-                }
-            }
-            prev_ident = false;
-            continue;
-        }
-        // Raw (byte) strings: r"...", r#"..."#, br#"..."#.
-        if (c == 'r' || c == 'b') && !prev_ident {
-            let mut j = i;
-            if b[j] == 'b' && j + 1 < n && b[j + 1] == 'r' {
-                j += 1;
-            }
-            if b[j] == 'r' {
-                let mut k = j + 1;
-                let mut hashes = 0;
-                while k < n && b[k] == '#' {
-                    hashes += 1;
-                    k += 1;
-                }
-                if k < n && b[k] == '"' {
-                    for _ in i..=k {
-                        out.push(' ');
-                    }
-                    i = k + 1;
-                    while i < n {
-                        if b[i] == '"' {
-                            let mut m = 0;
-                            while m < hashes && i + 1 + m < n && b[i + 1 + m] == '#' {
-                                m += 1;
-                            }
-                            if m == hashes {
-                                for _ in 0..=hashes {
-                                    out.push(' ');
-                                }
-                                i += 1 + hashes;
-                                break;
-                            }
-                        }
-                        out.push(blank(b[i]));
-                        i += 1;
-                    }
-                    prev_ident = false;
-                    continue;
-                }
-            }
-        }
-        if c == '"' {
-            out.push(' ');
-            i += 1;
-            while i < n {
-                if b[i] == '\\' && i + 1 < n {
-                    out.push(' ');
-                    out.push(blank(b[i + 1]));
-                    i += 2;
-                } else if b[i] == '"' {
-                    out.push(' ');
-                    i += 1;
-                    break;
-                } else {
-                    out.push(blank(b[i]));
-                    i += 1;
-                }
-            }
-            prev_ident = false;
-            continue;
-        }
-        if c == '\'' {
-            if i + 1 < n && b[i + 1] == '\\' {
-                // Escaped char literal: blank through the closing quote.
-                out.push_str("  ");
-                i += 2;
-                while i < n && b[i] != '\'' {
-                    out.push(blank(b[i]));
-                    i += 1;
-                }
-                if i < n {
-                    out.push(' ');
-                    i += 1;
-                }
-            } else if i + 2 < n && b[i + 2] == '\'' {
-                out.push_str("   ");
-                i += 3;
-            } else {
-                // A lifetime: keep the tick so generics stay structural.
-                out.push('\'');
-                i += 1;
-            }
-            prev_ident = false;
-            continue;
-        }
-        out.push(c);
-        prev_ident = c.is_alphanumeric() || c == '_';
-        i += 1;
-    }
-    out
-}
-
-fn is_ident_byte(c: u8) -> bool {
-    c.is_ascii_alphanumeric() || c == b'_'
-}
-
-/// Byte offsets of `word` in `hay` at identifier boundaries.
-fn find_word(hay: &str, word: &str) -> Vec<usize> {
-    let hb = hay.as_bytes();
-    let mut out = Vec::new();
-    let mut start = 0;
-    while let Some(p) = hay[start..].find(word) {
-        let pos = start + p;
-        let end = pos + word.len();
-        let before_ok = pos == 0 || !is_ident_byte(hb[pos - 1]);
-        let after_ok = end >= hb.len() || !is_ident_byte(hb[end]);
-        if before_ok && after_ok {
-            out.push(pos);
-        }
-        start = pos + 1;
-    }
-    out
-}
-
-/// First non-whitespace token at or after `from`: a single punct char, or a
-/// full identifier. Returns the token and its byte offset.
-fn next_token(hay: &str, from: usize) -> Option<(&str, usize)> {
-    let hb = hay.as_bytes();
-    let mut i = from;
-    while i < hb.len() && hb[i].is_ascii_whitespace() {
-        i += 1;
-    }
-    if i >= hb.len() {
-        return None;
-    }
-    if is_ident_byte(hb[i]) {
-        let mut j = i;
-        while j < hb.len() && is_ident_byte(hb[j]) {
-            j += 1;
-        }
-        Some((&hay[i..j], i))
-    } else {
-        Some((&hay[i..=i], i))
-    }
-}
-
-fn line_of(hay: &str, offset: usize) -> usize {
-    hay.as_bytes()[..offset].iter().filter(|&&c| c == b'\n').count() + 1
-}
-
-/// Heap-allocating constructs forbidden inside `#[hibd::hot]` bodies. Each
-/// entry is (pattern, must start at an identifier boundary, description).
-const FORBIDDEN: &[(&str, bool, &str)] = &[
-    ("vec!", true, "allocating macro `vec!`"),
-    ("format!", true, "allocating macro `format!`"),
-    ("Vec::new", true, "fresh `Vec::new` (reuse resize-grown scratch instead)"),
-    ("Vec::with_capacity", true, "fresh `Vec::with_capacity`"),
-    ("Vec::from", true, "fresh `Vec::from`"),
-    ("Box::new", true, "heap `Box::new`"),
-    ("String::new", true, "fresh `String::new`"),
-    ("String::from", true, "fresh `String::from`"),
-    (".to_vec", false, "allocating `.to_vec()`"),
-    (".to_owned", false, "allocating `.to_owned()`"),
-    (".to_string", false, "allocating `.to_string()`"),
-    (".collect", false, "allocating `.collect()`"),
-];
-
-/// Raw wall-clock constructs forbidden inside `#[hibd::hot]` bodies; time
-/// hot code with the `hibd_telemetry` stopwatches instead.
-const FORBIDDEN_TIMING: &[(&str, bool, &str)] = &[
-    ("Instant::now", true, "raw `Instant::now` (use hibd_telemetry::start)"),
-    ("SystemTime::now", true, "raw `SystemTime::now` (use hibd_telemetry::start)"),
-    (".elapsed", false, "raw `.elapsed()` timing (use hibd_telemetry::start)"),
-];
-
-const HOT_MARKER: &str = "#[hibd::hot]";
-
-/// Lints 1 and 2: no allocating or raw-clock constructs inside
-/// `#[hibd::hot]` function bodies.
-fn lint_hot_alloc(file: &str, cleaned: &str, out: &mut Vec<Violation>) {
-    let mut search = 0;
-    while let Some(p) = cleaned[search..].find(HOT_MARKER) {
-        let attr = search + p;
-        search = attr + HOT_MARKER.len();
-        // The marked item: first `fn` keyword after the attribute (other
-        // attributes/doc lines in between are fine; comments are blanked).
-        let Some(fn_pos) = find_word(&cleaned[search..], "fn").first().map(|q| search + q) else {
-            out.push(Violation {
-                file: file.to_string(),
-                line: line_of(cleaned, attr),
-                lint: "hot-alloc",
-                msg: "#[hibd::hot] not followed by a function".to_string(),
-            });
-            continue;
-        };
-        let Some(open_rel) = cleaned[fn_pos..].find('{') else {
-            continue; // trait method signature without a body
-        };
-        let open = fn_pos + open_rel;
-        let bytes = cleaned.as_bytes();
-        let mut depth = 0usize;
-        let mut close = open;
-        for (idx, &c) in bytes.iter().enumerate().skip(open) {
-            if c == b'{' {
-                depth += 1;
-            } else if c == b'}' {
-                depth -= 1;
-                if depth == 0 {
-                    close = idx;
-                    break;
-                }
-            }
-        }
-        let body = &cleaned[open..close];
-        let tables = [(FORBIDDEN, "hot-alloc"), (FORBIDDEN_TIMING, "hot-timing")];
-        for (table, lint) in tables {
-            for &(pat, boundary, desc) in table {
-                let mut from = 0;
-                while let Some(q) = body[from..].find(pat) {
-                    let pos = from + q;
-                    from = pos + 1;
-                    if boundary && pos > 0 && is_ident_byte(body.as_bytes()[pos - 1]) {
-                        continue;
-                    }
-                    out.push(Violation {
-                        file: file.to_string(),
-                        line: line_of(cleaned, open + pos),
-                        lint,
-                        msg: format!("{desc} inside #[hibd::hot] fn"),
-                    });
-                }
-            }
-        }
-    }
-}
-
-/// Does any `//` comment line directly above `line` (1-based) mention
-/// `SAFETY`? The comment block must touch the statement: the first
-/// non-comment line above it ends the search.
-fn preceded_by_safety_comment(lines: &[&str], line: usize) -> bool {
-    let mut i = line - 1; // index of the line holding the `unsafe` token
-    while i > 0 {
-        i -= 1;
-        let t = lines[i].trim_start();
-        if t.starts_with("//") {
-            if t.contains("SAFETY") {
-                return true;
-            }
-        } else {
-            return false;
-        }
-    }
-    false
-}
-
-/// Do the doc comments above `line` (1-based, attributes allowed in
-/// between) contain a `# Safety` section?
-fn doc_has_safety_section(lines: &[&str], line: usize) -> bool {
-    let mut i = line - 1;
-    while i > 0 {
-        i -= 1;
-        let t = lines[i].trim_start();
-        if t.starts_with("///") || t.starts_with("//!") {
-            if t.contains("# Safety") {
-                return true;
-            }
-        } else if t.starts_with("#[") || t.starts_with("#![") || t.starts_with("//") {
-            // Attributes and plain comments may sit between docs and item.
-        } else {
-            return false;
-        }
-    }
-    false
-}
-
-/// Lints 2 and 3: `// SAFETY:` before unsafe blocks/impls, `# Safety` docs
-/// on `pub unsafe fn`.
-fn lint_unsafe(file: &str, src: &str, cleaned: &str, out: &mut Vec<Violation>) {
-    let lines: Vec<&str> = src.lines().collect();
-    for pos in find_word(cleaned, "unsafe") {
-        let Some((tok, _)) = next_token(cleaned, pos + "unsafe".len()) else {
-            continue;
-        };
-        let line = line_of(cleaned, pos);
-        match tok {
-            "{" if !preceded_by_safety_comment(&lines, line) => {
-                out.push(Violation {
-                    file: file.to_string(),
-                    line,
-                    lint: "safety-comment",
-                    msg: "unsafe block without a preceding // SAFETY: comment".to_string(),
-                });
-            }
-            "impl" | "trait" if !preceded_by_safety_comment(&lines, line) => {
-                out.push(Violation {
-                    file: file.to_string(),
-                    line,
-                    lint: "safety-comment",
-                    msg: format!("unsafe {tok} without a preceding // SAFETY: comment"),
-                });
-            }
-            "fn" | "extern" => {
-                // `pub [const] unsafe fn` needs a `# Safety` doc section.
-                let head_start = cleaned[..pos].rfind('\n').map_or(0, |q| q + 1);
-                let head = &cleaned[head_start..pos];
-                let is_pub = !find_word(head, "pub").is_empty();
-                if is_pub && !doc_has_safety_section(&lines, line) {
-                    out.push(Violation {
-                        file: file.to_string(),
-                        line,
-                        lint: "safety-doc",
-                        msg: "pub unsafe fn without a `# Safety` doc section".to_string(),
-                    });
-                }
-            }
-            _ => {}
-        }
-    }
-}
-
-/// Is there a `fn` item named exactly `name` anywhere in the cleaned file?
-fn has_fn_named(cleaned: &str, name: &str) -> bool {
-    find_word(cleaned, name).into_iter().any(|pos| {
-        let head = cleaned[..pos].trim_end();
-        head.ends_with("fn") && (head.len() < 3 || !is_ident_byte(head.as_bytes()[head.len() - 3]))
-    })
-}
-
-/// Lint 5: SIMD dispatch hygiene. A `#[target_feature(...)]` kernel is only
-/// sound to call when the host supports the requested instruction set, so
-/// it must be `unsafe fn` (forcing every call through an `unsafe` block the
-/// safety-comment lint covers), its name must end `_avx2` to advertise the
-/// requirement, and a `_scalar` sibling with the same stem must live in the
-/// same file so dispatch always has a portable fallback.
-fn lint_target_feature(file: &str, cleaned: &str, out: &mut Vec<Violation>) {
-    for pos in find_word(cleaned, "target_feature") {
-        // Only the attribute form `#[target_feature(...)]`; a bare mention
-        // (e.g. `cfg(target_feature = ...)`) is not a kernel definition.
-        if !cleaned[..pos].trim_end().ends_with('[') {
-            continue;
-        }
-        let line = line_of(cleaned, pos);
-        let after = pos + "target_feature".len();
-        let Some(fn_rel) = find_word(&cleaned[after..], "fn").first().copied() else {
-            out.push(Violation {
-                file: file.to_string(),
-                line,
-                lint: "simd-dispatch",
-                msg: "#[target_feature] not followed by a function".to_string(),
-            });
-            continue;
-        };
-        let fn_pos = after + fn_rel;
-        if find_word(&cleaned[after..fn_pos], "unsafe").is_empty() {
-            out.push(Violation {
-                file: file.to_string(),
-                line,
-                lint: "simd-dispatch",
-                msg: "#[target_feature] fn must be `unsafe` (call sites carry the \
-                      // SAFETY: cpu-feature contract)"
-                    .to_string(),
-            });
-        }
-        let Some((name, _)) = next_token(cleaned, fn_pos + "fn".len()) else {
-            continue;
-        };
-        if let Some(stem) = name.strip_suffix("_avx2") {
-            let fallback = format!("{stem}_scalar");
-            if !has_fn_named(cleaned, &fallback) {
-                out.push(Violation {
-                    file: file.to_string(),
-                    line,
-                    lint: "simd-dispatch",
-                    msg: format!(
-                        "#[target_feature] fn `{name}` has no scalar fallback \
-                         `fn {fallback}` in this file"
-                    ),
-                });
-            }
-        } else {
-            out.push(Violation {
-                file: file.to_string(),
-                line,
-                lint: "simd-dispatch",
-                msg: format!(
-                    "#[target_feature] fn `{name}` must be named `*_avx2` after the \
-                     instruction set it requires"
-                ),
-            });
-        }
-    }
-}
-
-/// Runs every lint over one source file. `file` is only used for reporting.
+/// Runs every lint over one source file. `file` is used for reporting and
+/// for the path-scoped lints (pass workspace-relative, `/`-separated
+/// paths).
 pub fn audit_source(file: &str, src: &str) -> Vec<Violation> {
-    let cleaned = clean_source(src);
-    let mut out = Vec::new();
-    lint_hot_alloc(file, &cleaned, &mut out);
-    lint_unsafe(file, src, &cleaned, &mut out);
-    lint_target_feature(file, &cleaned, &mut out);
-    out
+    lints::run_all(&SourceFile::parse(file, src))
 }
 
 /// Collects every `.rs` file under `root`, skipping build output, VCS
@@ -521,10 +80,64 @@ pub fn audit_workspace(root: &Path) -> std::io::Result<(usize, Vec<Violation>)> 
     let mut violations = Vec::new();
     for path in &files {
         let src = std::fs::read_to_string(path)?;
-        let display = path.strip_prefix(root).unwrap_or(path).display().to_string();
+        let display = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
         violations.extend(audit_source(&display, &src));
     }
     Ok((files.len(), violations))
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the audit result as a `hibd-audit-v1` JSON document — the
+/// machine-readable finding feed CI uploads and turns into annotations.
+#[must_use]
+pub fn render_json(nfiles: usize, violations: &[Violation]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"hibd-audit-v1\",\n");
+    out.push_str(&format!("  \"files\": {nfiles},\n"));
+    out.push_str(&format!("  \"lints\": [{}],\n", {
+        let names: Vec<String> = LINTS.iter().map(|l| format!("\"{}\"", l.name)).collect();
+        names.join(", ")
+    }));
+    out.push_str("  \"violations\": [");
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"lint\": \"{}\", \"msg\": \"{}\"}}",
+            json_escape(&v.file),
+            v.line,
+            json_escape(v.lint),
+            json_escape(&v.msg)
+        ));
+    }
+    if violations.is_empty() {
+        out.push_str("]\n}\n");
+    } else {
+        out.push_str("\n  ]\n}\n");
+    }
+    out
 }
 
 #[cfg(test)]
@@ -644,7 +257,8 @@ mod tests {
                 && x.msg.contains("fn dot_scalar")),
             "missing scalar fallback not flagged: {v:?}"
         );
-        assert_eq!(v.len(), 3, "exactly the three seeded violations expected: {v:?}");
+        let dispatch = v.iter().filter(|x| x.lint == "simd-dispatch").count();
+        assert_eq!(dispatch, 3, "exactly the three seeded violations expected: {v:?}");
     }
 
     #[test]
@@ -661,5 +275,41 @@ mod tests {
         let src =
             "#[hibd::hot]\nfn f(buf: &mut Vec<f64>, n: usize) {\n    buf.resize(n, 0.0);\n}\n";
         assert!(audit_source("inline.rs", src).is_empty());
+    }
+
+    #[test]
+    fn suppressed_fixture_is_clean_and_unjustified_fixture_is_not() {
+        let good = include_str!("../fixtures/good_allow.rs");
+        let v = audit_source("good_allow.rs", good);
+        assert!(v.is_empty(), "justified allows must suppress: {v:?}");
+
+        let bad = include_str!("../fixtures/bad_allow.rs");
+        let v = audit_source("bad_allow.rs", bad);
+        assert!(v.iter().any(|x| x.lint == "audit-allow"), "missing-reason allow: {v:?}");
+        assert!(
+            v.iter().any(|x| x.lint == "env-mutation"),
+            "unjustified allow must not suppress: {v:?}"
+        );
+    }
+
+    #[test]
+    fn json_rendering_is_wellformed_and_escaped() {
+        let v = vec![Violation {
+            file: "a\\b.rs".to_string(),
+            line: 3,
+            lint: "hot-alloc",
+            msg: "say \"no\"\nplease".to_string(),
+        }];
+        let doc = render_json(7, &v);
+        assert!(doc.contains("\"schema\": \"hibd-audit-v1\""));
+        assert!(doc.contains("\"files\": 7"));
+        assert!(doc.contains("a\\\\b.rs"));
+        assert!(doc.contains("say \\\"no\\\"\\nplease"));
+        let empty = render_json(2, &[]);
+        assert!(empty.contains("\"violations\": []"));
+        // Every registered lint is advertised in the schema.
+        for lint in LINTS {
+            assert!(empty.contains(lint.name), "missing {} in doc", lint.name);
+        }
     }
 }

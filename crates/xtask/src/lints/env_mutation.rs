@@ -1,0 +1,75 @@
+//! **env-mutation**: `std::env::set_var`/`remove_var` are forbidden.
+//!
+//! The process environment is global, unsynchronized state — mutating it
+//! from a test or a library races every concurrent `getenv` (UB on glibc,
+//! and `set_var` is `unsafe` on recent toolchains for exactly that reason)
+//! and leaks configuration across tests in the same binary. The `HIBD_SIMD`
+//! kill switch is read once at process start by `hibd-simd`; code that
+//! needs to exercise both kernel paths in one process uses
+//! `hibd_simd::ScalarGuard` (an atomic override, not an env write). The
+//! `hibd-simd` crate itself is the only sanctioned home for env-based
+//! dispatch plumbing.
+
+use super::source::{find_word, line_of, SourceFile};
+use super::Violation;
+
+/// The one file allowed to own env-based dispatch plumbing.
+const SANCTIONED: &str = "crates/simd/src/lib.rs";
+
+pub fn run(sf: &SourceFile, out: &mut Vec<Violation>) {
+    if sf.path == SANCTIONED {
+        return;
+    }
+    for word in ["set_var", "remove_var"] {
+        for pos in find_word(&sf.cleaned, word) {
+            out.push(Violation {
+                file: sf.path.clone(),
+                line: line_of(&sf.cleaned, pos),
+                lint: "env-mutation",
+                msg: format!(
+                    "`{word}` mutates process-global env (racy; leaks across tests); \
+                     use hibd_simd::ScalarGuard or set the variable at spawn time"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::source::SourceFile;
+
+    fn audit(path: &str, src: &str) -> Vec<super::Violation> {
+        let mut out = Vec::new();
+        super::run(&SourceFile::parse(path, src), &mut out);
+        out
+    }
+
+    #[test]
+    fn set_var_is_rejected_anywhere() {
+        let src = include_str!("../../fixtures/bad_env.rs");
+        let v = audit("crates/cli/src/main.rs", src);
+        assert!(v.iter().any(|x| x.lint == "env-mutation" && x.msg.contains("set_var")));
+        assert!(v.iter().any(|x| x.msg.contains("remove_var")), "remove_var not flagged: {v:?}");
+    }
+
+    #[test]
+    fn env_reads_pass() {
+        let src = include_str!("../../fixtures/good_env.rs");
+        let v = audit("crates/cli/src/main.rs", src);
+        assert!(v.is_empty(), "unexpected violations: {v:?}");
+    }
+
+    #[test]
+    fn the_simd_dispatch_crate_is_sanctioned() {
+        let src = "fn f() { std::env::set_var(\"HIBD_SIMD\", \"off\"); }\n";
+        assert!(audit("crates/simd/src/lib.rs", src).is_empty());
+        assert_eq!(audit("crates/simd/src/other.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn mentions_in_comments_and_strings_pass() {
+        let src = "// set_var would be wrong\nfn f() { let _ = \"set_var\"; }\n";
+        assert!(audit("x.rs", src).is_empty());
+    }
+}

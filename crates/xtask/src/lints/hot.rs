@@ -1,0 +1,114 @@
+//! **hot-alloc** and **hot-timing**: a function marked `#[hibd::hot]` must
+//! not contain heap-allocating constructs or raw wall-clock reads.
+//!
+//! `Vec::resize` on long-lived scratch is the sanctioned grow-only idiom
+//! and is allowed. The sanctioned timing mechanism is `hibd_telemetry`
+//! (`start`/`span`/`timed`, `incr`, `gauge_max`): those calls are
+//! allocation-free, compile to a single relaxed load when recording is
+//! disabled, and feed the global phase recorder — so they are whitelisted
+//! by construction (the lint only matches the raw clock constructs).
+
+use super::source::{find_word, is_ident_byte, line_of, SourceFile};
+use super::Violation;
+
+/// Heap-allocating constructs forbidden inside `#[hibd::hot]` bodies. Each
+/// entry is (pattern, must start at an identifier boundary, description).
+const FORBIDDEN_ALLOC: &[(&str, bool, &str)] = &[
+    ("vec!", true, "allocating macro `vec!`"),
+    ("format!", true, "allocating macro `format!`"),
+    ("Vec::new", true, "fresh `Vec::new` (reuse resize-grown scratch instead)"),
+    ("Vec::with_capacity", true, "fresh `Vec::with_capacity`"),
+    ("Vec::from", true, "fresh `Vec::from`"),
+    ("Box::new", true, "heap `Box::new`"),
+    ("String::new", true, "fresh `String::new`"),
+    ("String::from", true, "fresh `String::from`"),
+    (".to_vec", false, "allocating `.to_vec()`"),
+    (".to_owned", false, "allocating `.to_owned()`"),
+    (".to_string", false, "allocating `.to_string()`"),
+    (".collect", false, "allocating `.collect()`"),
+];
+
+/// Raw wall-clock constructs forbidden inside `#[hibd::hot]` bodies; time
+/// hot code with the `hibd_telemetry` stopwatches instead.
+const FORBIDDEN_TIMING: &[(&str, bool, &str)] = &[
+    ("Instant::now", true, "raw `Instant::now` (use hibd_telemetry::start)"),
+    ("SystemTime::now", true, "raw `SystemTime::now` (use hibd_telemetry::start)"),
+    (".elapsed", false, "raw `.elapsed()` timing (use hibd_telemetry::start)"),
+];
+
+const HOT_MARKER: &str = "#[hibd::hot]";
+
+/// Calls `f(body_start, body_text)` for each `#[hibd::hot]` function body.
+/// A marker not followed by any function is reported under `lint`.
+fn for_each_hot_body(
+    sf: &SourceFile,
+    lint: &'static str,
+    out: &mut Vec<Violation>,
+    mut f: impl FnMut(usize, &str, &mut Vec<Violation>),
+) {
+    let cleaned = &sf.cleaned;
+    let mut search = 0;
+    while let Some(p) = cleaned[search..].find(HOT_MARKER) {
+        let attr = search + p;
+        search = attr + HOT_MARKER.len();
+        // The marked item: first `fn` keyword after the attribute (other
+        // attributes/doc lines in between are fine; comments are blanked).
+        let Some(fn_pos) = find_word(&cleaned[search..], "fn").first().map(|q| search + q) else {
+            out.push(Violation {
+                file: sf.path.clone(),
+                line: line_of(cleaned, attr),
+                lint,
+                msg: "#[hibd::hot] not followed by a function".to_string(),
+            });
+            continue;
+        };
+        let Some(span) = sf.fns().iter().find(|s| s.fn_pos == fn_pos) else { continue };
+        let Some(body) = span.body.clone() else {
+            continue; // trait method signature without a body
+        };
+        f(body.start, &cleaned[body], out);
+    }
+}
+
+fn scan_body(
+    sf: &SourceFile,
+    body_start: usize,
+    body: &str,
+    table: &[(&str, bool, &str)],
+    lint: &'static str,
+    out: &mut Vec<Violation>,
+) {
+    for &(pat, boundary, desc) in table {
+        let mut from = 0;
+        while let Some(q) = body[from..].find(pat) {
+            let pos = from + q;
+            from = pos + 1;
+            if boundary && pos > 0 && is_ident_byte(body.as_bytes()[pos - 1]) {
+                continue;
+            }
+            out.push(Violation {
+                file: sf.path.clone(),
+                line: line_of(&sf.cleaned, body_start + pos),
+                lint,
+                msg: format!("{desc} inside #[hibd::hot] fn"),
+            });
+        }
+    }
+}
+
+/// The hot-alloc pass (also owns the dangling-marker diagnostic).
+pub fn run_alloc(sf: &SourceFile, out: &mut Vec<Violation>) {
+    for_each_hot_body(sf, "hot-alloc", out, |start, body, out| {
+        scan_body(sf, start, body, FORBIDDEN_ALLOC, "hot-alloc", out);
+    });
+}
+
+/// The hot-timing pass.
+pub fn run_timing(sf: &SourceFile, out: &mut Vec<Violation>) {
+    // The dangling-marker case is reported by run_alloc; swallow it here so
+    // it isn't double-counted.
+    let mut scratch = Vec::new();
+    for_each_hot_body(sf, "hot-timing", &mut scratch, |start, body, _| {
+        scan_body(sf, start, body, FORBIDDEN_TIMING, "hot-timing", out);
+    });
+}

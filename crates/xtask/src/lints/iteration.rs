@@ -1,0 +1,99 @@
+//! **nondeterministic-iteration**: no `HashMap`/`HashSet` in non-test code
+//! of the deterministic crates.
+//!
+//! `std::collections::HashMap` randomizes its hasher per process, so any
+//! iteration over it (values, keys, drain, rayon bridges) visits entries in
+//! a run-dependent order. In the crates that carry a bitwise-reproducibility
+//! contract that is a trap with a delay: the map works fine until someone
+//! iterates it to sum statistics, evict plans, or batch work — and then
+//! run-to-run drift appears far from the map itself. The deterministic
+//! crates therefore use `BTreeMap`/`BTreeSet` (deterministic order, and the
+//! shape keys already have total orders) or sort before iterating; a
+//! genuinely iteration-free map can be kept with an
+//! `audit:allow(nondeterministic-iteration)` stating that invariant.
+
+use super::source::{find_word, line_of, SourceFile};
+use super::Violation;
+
+/// Crates whose outputs are compared bitwise (ensemble replicas, lane
+/// batches, checkpoint resume). Only their `src/` trees are scoped — tests
+/// and benches may hash freely.
+const DETERMINISTIC_CRATES: &[&str] = &["fft", "pme", "rpy", "treecode", "engine", "core"];
+
+fn in_scope(path: &str) -> bool {
+    let Some(rest) = path.strip_prefix("crates/") else { return false };
+    let Some((krate, tail)) = rest.split_once('/') else { return false };
+    DETERMINISTIC_CRATES.contains(&krate) && tail.starts_with("src/")
+}
+
+pub fn run(sf: &SourceFile, out: &mut Vec<Violation>) {
+    if !in_scope(&sf.path) {
+        return;
+    }
+    for ty in ["HashMap", "HashSet"] {
+        for pos in find_word(&sf.cleaned, ty) {
+            if sf.in_cfg_test(pos) {
+                continue;
+            }
+            out.push(Violation {
+                file: sf.path.clone(),
+                line: line_of(&sf.cleaned, pos),
+                lint: "nondeterministic-iteration",
+                msg: format!(
+                    "`{ty}` in a deterministic crate: iteration order is \
+                     per-process random; use BTree{} or sort before iterating",
+                    &ty[4..]
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::source::SourceFile;
+
+    fn audit(path: &str, src: &str) -> Vec<super::Violation> {
+        let mut out = Vec::new();
+        super::run(&SourceFile::parse(path, src), &mut out);
+        out
+    }
+
+    #[test]
+    fn hashmap_in_deterministic_crate_src_is_rejected() {
+        let src = include_str!("../../fixtures/bad_iteration.rs");
+        let v = audit("crates/engine/src/cache.rs", src);
+        assert!(
+            v.iter().any(|x| x.lint == "nondeterministic-iteration" && x.msg.contains("HashMap")),
+            "HashMap not flagged: {v:?}"
+        );
+        assert!(v.iter().any(|x| x.msg.contains("HashSet")), "HashSet not flagged: {v:?}");
+    }
+
+    #[test]
+    fn btreemap_in_deterministic_crate_passes() {
+        let src = include_str!("../../fixtures/good_iteration.rs");
+        let v = audit("crates/engine/src/cache.rs", src);
+        assert!(v.is_empty(), "unexpected violations: {v:?}");
+    }
+
+    #[test]
+    fn hashmap_outside_the_deterministic_crates_is_fine() {
+        let src = include_str!("../../fixtures/bad_iteration.rs");
+        assert!(audit("crates/cli/src/config.rs", src).is_empty());
+        assert!(audit("crates/bench/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hashmap_in_cfg_test_module_is_fine() {
+        let src = "pub fn prod() {}\n#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    #[test]\n    fn t() { let _m: HashMap<u32, u32> = HashMap::new(); }\n}\n";
+        assert!(audit("crates/fft/src/plan.rs", src).is_empty());
+    }
+
+    #[test]
+    fn integration_tests_of_deterministic_crates_are_fine() {
+        let src =
+            "use std::collections::HashMap;\nfn f() -> HashMap<u32, u32> { HashMap::new() }\n";
+        assert!(audit("crates/pme/tests/helpers.rs", src).is_empty());
+    }
+}

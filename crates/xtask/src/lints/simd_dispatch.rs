@@ -1,0 +1,71 @@
+//! **simd-dispatch**: SIMD dispatch hygiene. A `#[target_feature(...)]`
+//! kernel is only sound to call when the host supports the requested
+//! instruction set, so it must be `unsafe fn` (forcing every call through
+//! an `unsafe` block the safety-comment lint covers), its name must end
+//! `_avx2` to advertise the requirement, and a `_scalar` sibling with the
+//! same stem must live in the same file so dispatch always has a portable
+//! fallback.
+
+use super::source::{find_word, line_of, next_token, SourceFile};
+use super::unsafety::has_fn_named;
+use super::Violation;
+
+pub fn run(sf: &SourceFile, out: &mut Vec<Violation>) {
+    let cleaned = &sf.cleaned;
+    for pos in find_word(cleaned, "target_feature") {
+        // Only the attribute form `#[target_feature(...)]`; a bare mention
+        // (e.g. `cfg(target_feature = ...)`) is not a kernel definition.
+        if !cleaned[..pos].trim_end().ends_with('[') {
+            continue;
+        }
+        let line = line_of(cleaned, pos);
+        let after = pos + "target_feature".len();
+        let Some(fn_rel) = find_word(&cleaned[after..], "fn").first().copied() else {
+            out.push(Violation {
+                file: sf.path.clone(),
+                line,
+                lint: "simd-dispatch",
+                msg: "#[target_feature] not followed by a function".to_string(),
+            });
+            continue;
+        };
+        let fn_pos = after + fn_rel;
+        if find_word(&cleaned[after..fn_pos], "unsafe").is_empty() {
+            out.push(Violation {
+                file: sf.path.clone(),
+                line,
+                lint: "simd-dispatch",
+                msg: "#[target_feature] fn must be `unsafe` (call sites carry the \
+                      // SAFETY: cpu-feature contract)"
+                    .to_string(),
+            });
+        }
+        let Some((name, _)) = next_token(cleaned, fn_pos + "fn".len()) else {
+            continue;
+        };
+        if let Some(stem) = name.strip_suffix("_avx2") {
+            let fallback = format!("{stem}_scalar");
+            if !has_fn_named(cleaned, &fallback) {
+                out.push(Violation {
+                    file: sf.path.clone(),
+                    line,
+                    lint: "simd-dispatch",
+                    msg: format!(
+                        "#[target_feature] fn `{name}` has no scalar fallback \
+                         `fn {fallback}` in this file"
+                    ),
+                });
+            }
+        } else {
+            out.push(Violation {
+                file: sf.path.clone(),
+                line,
+                lint: "simd-dispatch",
+                msg: format!(
+                    "#[target_feature] fn `{name}` must be named `*_avx2` after the \
+                     instruction set it requires"
+                ),
+            });
+        }
+    }
+}

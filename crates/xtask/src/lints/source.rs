@@ -1,0 +1,432 @@
+//! The shared lexical layer every lint builds on: comment/literal blanking,
+//! word-boundary search, and function-body extraction.
+//!
+//! The vendored dependency set has no `syn`, so the scanner is a hand-rolled
+//! state machine over a comment/string-blanked copy of each source file. It
+//! has no type information; the lints compensate by matching on constructs
+//! that are unambiguous at the token level (attribute forms, `::`-qualified
+//! paths, identifier-boundary words) and by supporting justified
+//! `// audit:allow(<lint>): <reason>` suppressions for the residue.
+
+use std::ops::Range;
+
+/// Blanks comments and string/char-literal contents with spaces, keeping
+/// every newline (and therefore every line number) intact — and, by
+/// construction, every char position: the cleaned text has exactly as many
+/// chars as the input. Code tokens pass through verbatim, so structural
+/// scans (brace matching, keyword search) cannot be fooled by `unsafe` or
+/// `vec!` appearing inside a comment or a string.
+pub fn clean_source(src: &str) -> String {
+    clean_source_impl(src).0
+}
+
+/// Plain `//` line comments found while cleaning, as `(1-based line, raw
+/// text including the `//`)`. Doc comments (`///`, `//!`) are prose, not
+/// suppressions, and are excluded — as is anything inside a string literal,
+/// so an `audit:allow` quoted in a test fixture string never parses.
+pub fn line_comments(src: &str) -> Vec<(usize, String)> {
+    clean_source_impl(src).1
+}
+
+fn clean_source_impl(src: &str) -> (String, Vec<(usize, String)>) {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut out = String::with_capacity(src.len());
+    let mut comments = Vec::new();
+    let mut i = 0;
+    // Whether the previously emitted code char can end an identifier; used
+    // to tell a raw-string prefix `r"` from an identifier ending in `r`.
+    let mut prev_ident = false;
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+    while i < n {
+        let c = b[i];
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i;
+            while i < n && b[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            let text: String = b[start..i].iter().collect();
+            if !text.starts_with("///") && !text.starts_with("//!") {
+                comments.push((start, text));
+            }
+            continue;
+        }
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 0;
+            while i < n {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    out.push_str("  ");
+                    i += 2;
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    out.push_str("  ");
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+            prev_ident = false;
+            continue;
+        }
+        // Raw (byte) strings: r"...", r#"..."#, br#"..."#.
+        if (c == 'r' || c == 'b') && !prev_ident {
+            let mut j = i;
+            if b[j] == 'b' && j + 1 < n && b[j + 1] == 'r' {
+                j += 1;
+            }
+            if b[j] == 'r' {
+                let mut k = j + 1;
+                let mut hashes = 0;
+                while k < n && b[k] == '#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < n && b[k] == '"' {
+                    for _ in i..=k {
+                        out.push(' ');
+                    }
+                    i = k + 1;
+                    while i < n {
+                        if b[i] == '"' {
+                            let mut m = 0;
+                            while m < hashes && i + 1 + m < n && b[i + 1 + m] == '#' {
+                                m += 1;
+                            }
+                            if m == hashes {
+                                for _ in 0..=hashes {
+                                    out.push(' ');
+                                }
+                                i += 1 + hashes;
+                                break;
+                            }
+                        }
+                        out.push(blank(b[i]));
+                        i += 1;
+                    }
+                    prev_ident = false;
+                    continue;
+                }
+            }
+        }
+        if c == '"' {
+            out.push(' ');
+            i += 1;
+            while i < n {
+                if b[i] == '\\' && i + 1 < n {
+                    out.push(' ');
+                    out.push(blank(b[i + 1]));
+                    i += 2;
+                } else if b[i] == '"' {
+                    out.push(' ');
+                    i += 1;
+                    break;
+                } else {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+            }
+            prev_ident = false;
+            continue;
+        }
+        if c == '\'' {
+            if i + 1 < n && b[i + 1] == '\\' {
+                // Escaped char literal: blank the `'\`, then the escaped
+                // char itself (so `'\''` and `'\\'` terminate correctly),
+                // then everything through the closing quote.
+                out.push_str("  ");
+                i += 2;
+                if i < n {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+                while i < n && b[i] != '\'' {
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+                if i < n {
+                    out.push(' ');
+                    i += 1;
+                }
+            } else if i + 2 < n && b[i + 2] == '\'' {
+                out.push_str("   ");
+                i += 3;
+            } else {
+                // A lifetime: keep the tick so generics stay structural.
+                out.push('\'');
+                i += 1;
+            }
+            prev_ident = false;
+            continue;
+        }
+        out.push(c);
+        prev_ident = c.is_alphanumeric() || c == '_';
+        i += 1;
+    }
+    // Comment starts were recorded as char indices; resolve them to line
+    // numbers in one ascending pass.
+    let mut line = 1;
+    let mut at = 0;
+    let comments = comments
+        .into_iter()
+        .map(|(idx, text)| {
+            line += b[at..idx].iter().filter(|&&c| c == '\n').count();
+            at = idx;
+            (line, text)
+        })
+        .collect();
+    (out, comments)
+}
+
+pub fn is_ident_byte(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Byte offsets of `word` in `hay` at identifier boundaries.
+pub fn find_word(hay: &str, word: &str) -> Vec<usize> {
+    let hb = hay.as_bytes();
+    let mut out = Vec::new();
+    let mut start = 0;
+    while let Some(p) = hay[start..].find(word) {
+        let pos = start + p;
+        let end = pos + word.len();
+        let before_ok = pos == 0 || !is_ident_byte(hb[pos - 1]);
+        let after_ok = end >= hb.len() || !is_ident_byte(hb[end]);
+        if before_ok && after_ok {
+            out.push(pos);
+        }
+        start = pos + 1;
+    }
+    out
+}
+
+/// First non-whitespace token at or after `from`: a single punct char, or a
+/// full identifier. Returns the token and its byte offset.
+pub fn next_token(hay: &str, from: usize) -> Option<(&str, usize)> {
+    let hb = hay.as_bytes();
+    let mut i = from;
+    while i < hb.len() && hb[i].is_ascii_whitespace() {
+        i += 1;
+    }
+    if i >= hb.len() {
+        return None;
+    }
+    if is_ident_byte(hb[i]) {
+        let mut j = i;
+        while j < hb.len() && is_ident_byte(hb[j]) {
+            j += 1;
+        }
+        Some((&hay[i..j], i))
+    } else {
+        Some((&hay[i..=i], i))
+    }
+}
+
+/// 1-based line number of byte `offset` in `hay`.
+pub fn line_of(hay: &str, offset: usize) -> usize {
+    hay.as_bytes()[..offset].iter().filter(|&&c| c == b'\n').count() + 1
+}
+
+/// Byte range `open..=close` of the brace-balanced block starting at the
+/// `{` at `open` (range end is exclusive of nothing: it includes the closing
+/// brace). Returns `open..len` when the block is unterminated.
+fn brace_block(cleaned: &str, open: usize) -> Range<usize> {
+    let bytes = cleaned.as_bytes();
+    debug_assert_eq!(bytes[open], b'{');
+    let mut depth = 0usize;
+    for (idx, &c) in bytes.iter().enumerate().skip(open) {
+        if c == b'{' {
+            depth += 1;
+        } else if c == b'}' {
+            depth -= 1;
+            if depth == 0 {
+                return open..idx + 1;
+            }
+        }
+    }
+    open..cleaned.len()
+}
+
+/// One `fn` item (or nested fn) found in the cleaned text.
+#[derive(Clone, Debug)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// Byte offset of the `fn` keyword in the cleaned text.
+    pub fn_pos: usize,
+    /// Byte range of the `{ ... }` body (braces included); `None` for
+    /// bodyless signatures (trait declarations, extern decls).
+    pub body: Option<Range<usize>>,
+}
+
+/// A parsed source file: original text, blanked copy, extracted function
+/// spans, and `#[cfg(test)] mod` ranges. Built once per file; every lint
+/// reads from it.
+pub struct SourceFile {
+    /// Workspace-relative, `/`-separated path (used for reporting and for
+    /// path-scoped lints).
+    pub path: String,
+    /// Original text (the SAFETY-comment lint consults real comments).
+    pub src: String,
+    /// Comment/literal-blanked copy, same length and line structure.
+    pub cleaned: String,
+    fns: Vec<FnSpan>,
+    cfg_test: Vec<Range<usize>>,
+}
+
+impl SourceFile {
+    pub fn parse(path: &str, src: &str) -> SourceFile {
+        let cleaned = clean_source(src);
+        let fns = extract_fns(&cleaned);
+        let cfg_test = cfg_test_ranges(&cleaned);
+        SourceFile { path: path.to_string(), src: src.to_string(), cleaned, fns, cfg_test }
+    }
+
+    /// Every function found in the file, in source order.
+    pub fn fns(&self) -> &[FnSpan] {
+        &self.fns
+    }
+
+    /// The innermost function whose body contains `offset`.
+    pub fn enclosing_fn(&self, offset: usize) -> Option<&FnSpan> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.as_ref().is_some_and(|b| b.contains(&offset)))
+            .max_by_key(|f| f.body.as_ref().unwrap().start)
+    }
+
+    /// Whether `offset` sits inside a `#[cfg(test)] mod` body.
+    pub fn in_cfg_test(&self, offset: usize) -> bool {
+        self.cfg_test.iter().any(|r| r.contains(&offset))
+    }
+
+    /// Whether the file lives in a test tree (`tests/` integration dir).
+    pub fn in_test_dir(&self) -> bool {
+        self.path.split('/').any(|seg| seg == "tests")
+    }
+
+    /// Test code = integration-test file or `#[cfg(test)]` module body.
+    pub fn is_test_code(&self, offset: usize) -> bool {
+        self.in_test_dir() || self.in_cfg_test(offset)
+    }
+}
+
+/// Extracts every `fn` item (including nested fns) from the cleaned text.
+/// `fn`-pointer types (`fn(` with no name) are skipped. The body is the
+/// first top-level `{ ... }` after the signature; a `;` first means a
+/// bodyless declaration. `(`/`[` nesting is tracked so array types like
+/// `[u8; 3]` in the signature don't end the scan early.
+fn extract_fns(cleaned: &str) -> Vec<FnSpan> {
+    let bytes = cleaned.as_bytes();
+    let mut out = Vec::new();
+    for pos in find_word(cleaned, "fn") {
+        let Some((name, name_pos)) = next_token(cleaned, pos + 2) else { continue };
+        if !name.as_bytes().first().is_some_and(|&c| c.is_ascii_alphabetic() || c == b'_') {
+            continue; // `fn(` pointer type, `fn()` trait sugar
+        }
+        let mut i = name_pos + name.len();
+        let mut depth = 0i32;
+        let mut body = None;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth -= 1,
+                b'{' if depth == 0 => {
+                    body = Some(brace_block(cleaned, i));
+                    break;
+                }
+                b';' if depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        out.push(FnSpan { name: name.to_string(), fn_pos: pos, body });
+    }
+    out
+}
+
+/// Byte ranges of `#[cfg(test)] mod <name> { ... }` bodies.
+fn cfg_test_ranges(cleaned: &str) -> Vec<Range<usize>> {
+    let mut out = Vec::new();
+    for pos in find_word(cleaned, "cfg") {
+        if !cleaned[..pos].trim_end().ends_with("#[") {
+            continue;
+        }
+        let after = &cleaned[pos + 3..];
+        if !after.starts_with("(test)]") {
+            continue;
+        }
+        let rest = pos + 3 + "(test)]".len();
+        let Some((tok, tok_pos)) = next_token(cleaned, rest) else { continue };
+        if tok != "mod" {
+            continue;
+        }
+        if let Some(open_rel) = cleaned[tok_pos..].find('{') {
+            out.push(brace_block(cleaned, tok_pos + open_rel));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_extraction_finds_names_and_bodies() {
+        let src = "fn outer(x: [u8; 3]) -> usize {\n    fn inner() {}\n    x.len()\n}\ntrait T { fn decl(&self); }\n";
+        let sf = SourceFile::parse("x.rs", src);
+        let names: Vec<&str> = sf.fns().iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["outer", "inner", "decl"]);
+        assert!(sf.fns()[0].body.is_some());
+        assert!(sf.fns()[1].body.is_some());
+        assert!(sf.fns()[2].body.is_none(), "trait decl has no body");
+        // The inner fn is innermost at its own body, outer elsewhere.
+        let inner_body = sf.fns()[1].body.clone().unwrap();
+        assert_eq!(sf.enclosing_fn(inner_body.start + 1).unwrap().name, "inner");
+        let tail = src.find("x.len()").unwrap();
+        assert_eq!(sf.enclosing_fn(tail).unwrap().name, "outer");
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let sf = SourceFile::parse("x.rs", "type F = fn(usize) -> usize;\n");
+        assert!(sf.fns().is_empty());
+    }
+
+    #[test]
+    fn cfg_test_module_ranges_cover_their_tests() {
+        let src = "pub fn prod() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { super::prod(); }\n}\n";
+        let sf = SourceFile::parse("x.rs", src);
+        let t_pos = src.find("super::prod").unwrap();
+        assert!(sf.in_cfg_test(t_pos));
+        assert!(!sf.in_cfg_test(src.find("pub fn prod").unwrap()));
+        assert!(sf.is_test_code(t_pos));
+    }
+
+    #[test]
+    fn test_dir_paths_are_test_code_everywhere() {
+        let sf = SourceFile::parse("crates/fft/tests/simd_equivalence.rs", "fn helper() {}\n");
+        assert!(sf.in_test_dir());
+        assert!(sf.is_test_code(0));
+        let bench = SourceFile::parse("crates/bench/benches/fft_leaf_radix.rs", "fn main() {}\n");
+        assert!(!bench.in_test_dir());
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_terminates() {
+        let src = "let q = '\\''; let b = '\\\\'; let u = '\\u{1F600}'; fn f() { }\n";
+        let c = clean_source(src);
+        assert_eq!(c.chars().count(), src.chars().count());
+        // The braces of the unicode escape are blanked; only f's body braces
+        // survive.
+        assert_eq!(c.matches('{').count(), 1);
+        assert_eq!(c.matches('}').count(), 1);
+        assert!(c.contains("fn f"));
+    }
+}

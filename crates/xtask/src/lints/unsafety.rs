@@ -1,0 +1,112 @@
+//! **safety-comment** and **safety-doc**: every `unsafe` block / `unsafe
+//! impl` / `unsafe trait` must be immediately preceded by a `// SAFETY:`
+//! comment, and every `pub unsafe fn` must carry a `# Safety` rustdoc
+//! section. These two lints are the only ones that consult the *original*
+//! source lines (comments are blanked in the cleaned copy).
+
+use super::source::{find_word, is_ident_byte, line_of, next_token, SourceFile};
+use super::Violation;
+
+/// Does any `//` comment line directly above `line` (1-based) mention
+/// `SAFETY`? The comment block must touch the statement: the first
+/// non-comment line above it ends the search.
+fn preceded_by_safety_comment(lines: &[&str], line: usize) -> bool {
+    let mut i = line - 1; // index of the line holding the `unsafe` token
+    while i > 0 {
+        i -= 1;
+        let t = lines[i].trim_start();
+        if t.starts_with("//") {
+            if t.contains("SAFETY") {
+                return true;
+            }
+        } else {
+            return false;
+        }
+    }
+    false
+}
+
+/// Do the doc comments above `line` (1-based, attributes allowed in
+/// between) contain a `# Safety` section?
+fn doc_has_safety_section(lines: &[&str], line: usize) -> bool {
+    let mut i = line - 1;
+    while i > 0 {
+        i -= 1;
+        let t = lines[i].trim_start();
+        if t.starts_with("///") || t.starts_with("//!") {
+            if t.contains("# Safety") {
+                return true;
+            }
+        } else if t.starts_with("#[") || t.starts_with("#![") || t.starts_with("//") {
+            // Attributes and plain comments may sit between docs and item.
+        } else {
+            return false;
+        }
+    }
+    false
+}
+
+/// The safety-comment pass: `// SAFETY:` before unsafe blocks/impls/traits.
+pub fn run_comment(sf: &SourceFile, out: &mut Vec<Violation>) {
+    let lines: Vec<&str> = sf.src.lines().collect();
+    for pos in find_word(&sf.cleaned, "unsafe") {
+        let Some((tok, _)) = next_token(&sf.cleaned, pos + "unsafe".len()) else {
+            continue;
+        };
+        let line = line_of(&sf.cleaned, pos);
+        match tok {
+            "{" if !preceded_by_safety_comment(&lines, line) => {
+                out.push(Violation {
+                    file: sf.path.clone(),
+                    line,
+                    lint: "safety-comment",
+                    msg: "unsafe block without a preceding // SAFETY: comment".to_string(),
+                });
+            }
+            "impl" | "trait" if !preceded_by_safety_comment(&lines, line) => {
+                out.push(Violation {
+                    file: sf.path.clone(),
+                    line,
+                    lint: "safety-comment",
+                    msg: format!("unsafe {tok} without a preceding // SAFETY: comment"),
+                });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The safety-doc pass: `# Safety` docs on `pub unsafe fn`.
+pub fn run_doc(sf: &SourceFile, out: &mut Vec<Violation>) {
+    let lines: Vec<&str> = sf.src.lines().collect();
+    for pos in find_word(&sf.cleaned, "unsafe") {
+        let Some((tok, _)) = next_token(&sf.cleaned, pos + "unsafe".len()) else {
+            continue;
+        };
+        if tok != "fn" && tok != "extern" {
+            continue;
+        }
+        // `pub [const] unsafe fn` needs a `# Safety` doc section.
+        let line = line_of(&sf.cleaned, pos);
+        let head_start = sf.cleaned[..pos].rfind('\n').map_or(0, |q| q + 1);
+        let head = &sf.cleaned[head_start..pos];
+        let is_pub = !find_word(head, "pub").is_empty();
+        if is_pub && !doc_has_safety_section(&lines, line) {
+            out.push(Violation {
+                file: sf.path.clone(),
+                line,
+                lint: "safety-doc",
+                msg: "pub unsafe fn without a `# Safety` doc section".to_string(),
+            });
+        }
+    }
+}
+
+// Shared with simd_dispatch: is there a `fn` item named exactly `name`
+// anywhere in the cleaned file?
+pub(super) fn has_fn_named(cleaned: &str, name: &str) -> bool {
+    find_word(cleaned, name).into_iter().any(|pos| {
+        let head = cleaned[..pos].trim_end();
+        head.ends_with("fn") && (head.len() < 3 || !is_ident_byte(head.as_bytes()[head.len() - 3]))
+    })
+}

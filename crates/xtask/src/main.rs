@@ -1,4 +1,9 @@
-//! `cargo run -p xtask -- audit`: run the workspace audit lints.
+//! `cargo run -p xtask -- audit [--root <dir>] [--json <path>] [--github]`:
+//! run the nine workspace audit lints. `--json` writes a `hibd-audit-v1`
+//! findings document (written on success too, with an empty violation
+//! list); `--github` prints GitHub Actions workflow commands so findings
+//! render as inline PR annotations.
+//!
 //! `cargo run -p xtask -- validate-profile <path.json>`: check that a
 //! `hibd --profile` output document matches the `hibd-profile-v1` schema.
 
@@ -13,19 +18,41 @@ fn workspace_root() -> PathBuf {
         .to_path_buf()
 }
 
+/// Escapes a GitHub Actions workflow-command property value.
+fn gha_escape(s: &str) -> String {
+    s.replace('%', "%25").replace('\r', "%0D").replace('\n', "%0A")
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag_value =
+        |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned();
     match args.first().map(String::as_str) {
         Some("audit") => {
-            let root = args
-                .iter()
-                .position(|a| a == "--root")
-                .and_then(|i| args.get(i + 1))
-                .map_or_else(workspace_root, PathBuf::from);
+            let root = flag_value("--root").map_or_else(workspace_root, PathBuf::from);
+            let json_path = flag_value("--json");
+            let github = args.iter().any(|a| a == "--github");
             match xtask::audit_workspace(&root) {
                 Ok((nfiles, violations)) => {
                     for v in &violations {
                         eprintln!("{v}");
+                        if github {
+                            println!(
+                                "::error file={},line={},title=audit {}::{}",
+                                v.file,
+                                v.line,
+                                v.lint,
+                                gha_escape(&v.msg)
+                            );
+                        }
+                    }
+                    if let Some(path) = json_path {
+                        let doc = xtask::render_json(nfiles, &violations);
+                        if let Err(e) = std::fs::write(&path, doc) {
+                            eprintln!("audit: cannot write {path}: {e}");
+                            std::process::exit(2);
+                        }
+                        eprintln!("audit findings written to {path}");
                     }
                     if violations.is_empty() {
                         println!("audit OK: {nfiles} files, 0 violations");
@@ -65,8 +92,8 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: cargo run -p xtask -- <audit [--root <workspace-dir>] | \
-                 validate-profile <path.json>>"
+                "usage: cargo run -p xtask -- <audit [--root <workspace-dir>] \
+                 [--json <out.json>] [--github] | validate-profile <path.json>>"
             );
             std::process::exit(2);
         }

@@ -1,0 +1,107 @@
+//! Property and fixture tests for the lexical layer (`clean_source`):
+//! the blanked copy must preserve char count and line structure exactly —
+//! every lint's line numbers and brace matching depend on it — and literal
+//! contents must actually be blanked.
+
+use proptest::prelude::*;
+use xtask::clean_source;
+
+/// Source-ish text: identifiers, punctuation, quotes, slashes, newlines,
+/// and some multibyte chars so the char-count invariant is exercised off
+/// the ASCII fast path.
+fn sourceish() -> impl Strategy<Value = String> {
+    let fragments: Vec<&'static str> = vec![
+        "ident", "x1", "_y", "r", "br", "fn f", "let ", "\"", "'", "//", "/*", "*/", "r#\"", "\"#",
+        "#", "\\", "\n", "{ }", "; ", "é∂",
+    ];
+    proptest::collection::vec(proptest::sample::select(fragments), 0..40)
+        .prop_map(|parts| parts.concat())
+}
+
+proptest! {
+    #[test]
+    fn char_count_is_preserved(src in sourceish()) {
+        let c = clean_source(&src);
+        prop_assert_eq!(c.chars().count(), src.chars().count());
+    }
+
+    #[test]
+    fn newlines_survive_at_their_char_positions(src in sourceish()) {
+        let c = clean_source(&src);
+        for (a, b) in src.chars().zip(c.chars()) {
+            prop_assert_eq!(a == '\n', b == '\n');
+        }
+    }
+
+    #[test]
+    fn line_count_is_preserved(src in sourceish()) {
+        let c = clean_source(&src);
+        prop_assert_eq!(c.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn cleaning_is_idempotent(src in sourceish()) {
+        let c = clean_source(&src);
+        prop_assert_eq!(clean_source(&c), c);
+    }
+}
+
+#[test]
+fn string_and_comment_contents_are_blanked() {
+    let src = "let v = \"vec![0; 9]\"; // vec![1]\nlet w = 1; /* unsafe */\n";
+    let c = clean_source(src);
+    assert!(!c.contains("vec!"), "literal/comment contents must be blanked: {c:?}");
+    assert!(!c.contains("unsafe"));
+    assert!(c.contains("let v ="), "code outside literals passes through");
+    assert!(c.contains("let w = 1;"));
+}
+
+#[test]
+fn raw_strings_with_hashes_end_at_matching_fence() {
+    let src = "let a = r#\"one \" two\"#; let b = r##\"x \"# y\"##; let tail = 7;\n";
+    let c = clean_source(src);
+    assert_eq!(c.chars().count(), src.chars().count());
+    assert!(!c.contains("one"), "raw string body blanked");
+    assert!(!c.contains("two"));
+    assert!(c.contains("let tail = 7;"), "scan resumes after the matching fence: {c:?}");
+}
+
+#[test]
+fn byte_strings_and_raw_byte_strings_are_blanked() {
+    let src = "let a = b\"unsafe\"; let b = br#\"vec![]\"#; let k = 3;\n";
+    let c = clean_source(src);
+    assert!(!c.contains("unsafe"));
+    assert!(!c.contains("vec!"));
+    assert!(c.contains("let k = 3;"), "{c:?}");
+}
+
+#[test]
+fn char_literals_blank_but_lifetimes_survive() {
+    let src = "fn f<'a>(x: &'a str) -> char { let q = '{'; let e = '\\''; 'x' }\n";
+    let c = clean_source(src);
+    assert_eq!(c.chars().count(), src.chars().count());
+    // The literal `{` is blanked, so braces still balance 1:1 for f's body.
+    assert_eq!(c.matches('{').count(), 1, "{c:?}");
+    assert_eq!(c.matches('}').count(), 1);
+    // Lifetime ticks are kept so generic signatures stay structural.
+    assert!(c.contains("<'a>"));
+    assert!(c.contains("&'a str"));
+}
+
+#[test]
+fn nested_block_comments_close_at_depth_zero() {
+    let src = "/* outer /* inner */ still comment */ fn live() {}\n";
+    let c = clean_source(src);
+    assert!(!c.contains("outer"));
+    assert!(!c.contains("still"));
+    assert!(c.contains("fn live()"), "code after the nested comment survives: {c:?}");
+}
+
+#[test]
+fn identifier_ending_in_r_is_not_a_raw_string_prefix() {
+    let src = "let var = other\"x\"; let r = 1;\n";
+    // `other\"` — the `r` at the end of `other` must not start a raw string.
+    let c = clean_source(src);
+    assert!(c.contains("let var = other"), "{c:?}");
+    assert!(c.contains("let r = 1;"));
+}
