@@ -62,6 +62,15 @@ pub enum Displacement {
     SplitEwald,
 }
 
+/// Far-field strategy of the open-boundary hierarchical operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FarFieldEval {
+    /// Node-to-particle treecode (`O(n log n)` far field).
+    Tree,
+    /// Kernel-independent FMM with the M2L/L2L/L2P downward pass (`O(n)`).
+    Fmm,
+}
+
 /// A fully parsed simulation specification.
 #[derive(Clone, Debug)]
 pub struct SimSpec {
@@ -79,6 +88,9 @@ pub struct SimSpec {
     /// Treecode MAC parameter for open-boundary runs; `None` lets the
     /// measured tuner derive it from `e_p`.
     pub theta: Option<f64>,
+    /// Far-field strategy for open-boundary runs; `None` means the default
+    /// node-to-particle treecode.
+    pub eval: Option<FarFieldEval>,
     pub algorithm: Algorithm,
     pub displacement: Displacement,
     pub dt: f64,
@@ -108,6 +120,7 @@ impl Default for SimSpec {
             replicas: 1,
             boundary: Boundary::Periodic,
             theta: None,
+            eval: None,
             algorithm: Algorithm::MatrixFree,
             displacement: Displacement::BlockKrylov,
             dt: 0.01,
@@ -192,6 +205,15 @@ impl SimSpec {
                     }
                 }
                 "theta" => spec.theta = Some(parse_num(*line, key, value)?),
+                "eval" => {
+                    spec.eval = Some(match value.to_ascii_lowercase().as_str() {
+                        "tree" | "treecode" => FarFieldEval::Tree,
+                        "fmm" => FarFieldEval::Fmm,
+                        other => {
+                            return Err(err(*line, format!("unknown eval `{other}` (tree | fmm)")))
+                        }
+                    });
+                }
                 "algorithm" => {
                     spec.algorithm = match value.to_ascii_lowercase().as_str() {
                         "matrix-free" | "matrixfree" | "pme" => Algorithm::MatrixFree,
@@ -296,6 +318,11 @@ impl SimSpec {
                 return Err("theta tunes the open-boundary treecode; set boundary = open".into());
             }
         }
+        if self.eval.is_some() && self.boundary != Boundary::Open {
+            return Err(
+                "eval selects the open-boundary far-field strategy; set boundary = open".into()
+            );
+        }
         if self.boundary == Boundary::Open {
             if self.algorithm == Algorithm::Dense {
                 return Err("the dense Ewald baseline is periodic-only; open boundaries need \
@@ -349,6 +376,13 @@ impl SimSpec {
         writeln!(out, "boundary = {boundary}").unwrap();
         if let Some(theta) = self.theta {
             writeln!(out, "theta = {theta}").unwrap();
+        }
+        if let Some(eval) = self.eval {
+            let eval = match eval {
+                FarFieldEval::Tree => "tree",
+                FarFieldEval::Fmm => "fmm",
+            };
+            writeln!(out, "eval = {eval}").unwrap();
         }
         let alg = match self.algorithm {
             Algorithm::MatrixFree => "matrix-free",
@@ -534,6 +568,29 @@ mod tests {
         let spec = SimSpec { boundary: Boundary::Open, theta: Some(0.45), ..SimSpec::default() };
         let back = SimSpec::parse(&spec.to_config_text()).unwrap();
         assert_eq!(back.boundary, Boundary::Open);
+        assert_eq!(back.theta, Some(0.45));
+    }
+
+    #[test]
+    fn eval_parses_validates_and_roundtrips() {
+        let s = SimSpec::parse("boundary = open\neval = fmm\n").unwrap();
+        assert_eq!(s.eval, Some(FarFieldEval::Fmm));
+        let s = SimSpec::parse("boundary = open\neval = tree\n").unwrap();
+        assert_eq!(s.eval, Some(FarFieldEval::Tree));
+        assert!(SimSpec::parse("boundary = open\n").unwrap().eval.is_none());
+        assert!(SimSpec::parse("eval = fmm\n").unwrap_err().message.contains("boundary = open"));
+        assert!(SimSpec::parse("boundary = open\neval = bogus\n")
+            .unwrap_err()
+            .message
+            .contains("unknown eval"));
+        let spec = SimSpec {
+            boundary: Boundary::Open,
+            theta: Some(0.45),
+            eval: Some(FarFieldEval::Fmm),
+            ..SimSpec::default()
+        };
+        let back = SimSpec::parse(&spec.to_config_text()).unwrap();
+        assert_eq!(back.eval, Some(FarFieldEval::Fmm));
         assert_eq!(back.theta, Some(0.45));
     }
 

@@ -9,7 +9,7 @@
 //! file is byte-identical to a `replicas = 1` run of that seed.
 
 use crate::checkpoint::Checkpoint;
-use crate::config::{Algorithm, Displacement, SimSpec};
+use crate::config::{Algorithm, Displacement, FarFieldEval, SimSpec};
 use hibd_core::ewald_bd::{BdError, EwaldBd, EwaldBdConfig};
 use hibd_core::forces::{ConstantForce, LennardJones, RepulsiveHarmonic};
 use hibd_core::io::{Coordinates, XyzWriter};
@@ -17,7 +17,7 @@ use hibd_core::mf_bd::{DisplacementMode, MatrixFreeBd, MatrixFreeConfig};
 use hibd_core::system::{Boundary, ParticleSystem};
 use hibd_engine::EnsembleRunner;
 use hibd_telemetry::LabeledSnapshot;
-use hibd_treecode::TreeParams;
+use hibd_treecode::{TreeEval, TreeParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fs::File;
@@ -91,6 +91,10 @@ impl Driver {
 
 /// The [`MatrixFreeConfig`] a spec resolves to (shared by both drivers).
 fn matrix_free_config(spec: &SimSpec) -> MatrixFreeConfig {
+    let eval = match spec.eval {
+        Some(FarFieldEval::Fmm) => TreeEval::Fmm,
+        Some(FarFieldEval::Tree) | None => TreeEval::Tree,
+    };
     MatrixFreeConfig {
         dt: spec.dt,
         kbt: spec.kbt,
@@ -103,7 +107,8 @@ fn matrix_free_config(spec: &SimSpec) -> MatrixFreeConfig {
             Displacement::Chebyshev => DisplacementMode::Chebyshev,
             Displacement::SplitEwald => DisplacementMode::SplitEwald,
         },
-        tree: spec.theta.map(|theta| TreeParams { theta, ..TreeParams::default() }),
+        tree: spec.theta.map(|theta| TreeParams { theta, eval, ..TreeParams::default() }),
+        tree_eval: eval,
         ..Default::default()
     }
 }
@@ -146,8 +151,12 @@ fn log_shape(bd: &MatrixFreeBd, lambda: usize, log: &mut impl FnMut(&str)) -> Op
         });
     }
     if let Some(t) = bd.tree_params() {
+        let eval = match t.eval {
+            TreeEval::Tree => "treecode",
+            TreeEval::Fmm => "fmm",
+        };
         log(&format!(
-            "matrix-free treecode: theta = {:.2}, q = {}, leaf = {}",
+            "matrix-free {eval}: theta = {:.2}, q = {}, leaf = {}",
             t.theta, t.cheb_order, t.leaf_capacity
         ));
     }
@@ -505,6 +514,25 @@ mod tests {
         let ck = Checkpoint::load(&ckpt).unwrap();
         assert_eq!(ck.step, 6);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn runs_an_open_boundary_fmm_simulation() {
+        let spec = SimSpec {
+            particles: 15,
+            steps: 2,
+            boundary: hibd_core::system::Boundary::Open,
+            theta: Some(0.6),
+            eval: Some(FarFieldEval::Fmm),
+            lambda_rpy: 4,
+            report_interval: 0,
+            ..Default::default()
+        };
+        let mut lines = Vec::new();
+        let report = run_simulation(&spec, None, |m| lines.push(m.to_string())).unwrap();
+        assert_eq!(report.steps, 2);
+        assert!(report.krylov_iterations > 0);
+        assert!(lines.iter().any(|l| l.contains("fmm: theta = 0.60")));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Property: any valid SimSpec survives a serialize -> parse roundtrip.
 
-use hibd_cli::config::{Algorithm, Displacement, SimSpec};
+use hibd_cli::config::{Algorithm, Displacement, FarFieldEval, SimSpec};
 use hibd_core::system::Boundary;
 use hibd_mathx::Vec3;
 use proptest::prelude::*;
@@ -16,7 +16,7 @@ fn spec_strategy() -> impl Strategy<Value = SimSpec> {
             prop::option::of("[a-z]{1,8}\\.xyz"),
             1usize..100,
         ),
-        (prop::bool::ANY, prop::option::of(0.05f64..0.95), 1usize..9),
+        (prop::bool::ANY, prop::option::of(0.05f64..0.95), 1usize..9, 0u8..3),
     )
         .prop_map(
             |(
@@ -24,7 +24,7 @@ fn spec_strategy() -> impl Strategy<Value = SimSpec> {
                 (solver, dt, kbt, lambda_rpy),
                 (e_k, e_p, steps, repulsion),
                 (gravity, lj_epsilon, trajectory, interval),
-                (open, theta, replicas),
+                (open, theta, replicas, eval),
             )| {
                 // solver 0 = dense, 1..=4 = matrix-free displacement modes.
                 SimSpec {
@@ -59,9 +59,14 @@ fn spec_strategy() -> impl Strategy<Value = SimSpec> {
                     checkpoint: None,
                     checkpoint_interval: 0,
                     boundary: if open { Boundary::Open } else { Boundary::Periodic },
-                    // theta only tunes the open-boundary treecode; validate()
-                    // rejects it for periodic specs.
+                    // theta/eval only tune the open-boundary operator;
+                    // validate() rejects them for periodic specs.
                     theta: if open { theta } else { None },
+                    eval: match (open, eval) {
+                        (true, 1) => Some(FarFieldEval::Tree),
+                        (true, 2) => Some(FarFieldEval::Fmm),
+                        _ => None,
+                    },
                     replicas,
                 }
             },
@@ -98,5 +103,6 @@ proptest! {
         if let (Some(a), Some(b)) = (parsed.theta, spec.theta) {
             prop_assert!((a - b).abs() < 1e-12);
         }
+        prop_assert_eq!(parsed.eval, spec.eval);
     }
 }

@@ -24,7 +24,7 @@ use hibd_mathx::fill_standard_normal;
 use hibd_pme::{tune, PmeOperator, PmeParams, PmePhaseTimes, PmePlans};
 use hibd_pse::{PseError, PseSampler, PseSplit};
 use hibd_telemetry::{self as telemetry, Phase};
-use hibd_treecode::{TreeOperator, TreeParams, TreePlans};
+use hibd_treecode::{TreeEval, TreeOperator, TreeParams, TreePlans};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -76,6 +76,11 @@ pub struct MatrixFreeConfig {
     /// (validated against the dense free-space RPY matrix). The particle
     /// radius and viscosity are always taken from the system.
     pub tree: Option<TreeParams>,
+    /// Far-field strategy for open-boundary systems (node-to-particle
+    /// treecode vs M2L/L2L/L2P FMM). Consulted only when `tree` is `None`
+    /// (the tuner measures the chosen strategy); explicit [`TreeParams`]
+    /// carry their own `eval`.
+    pub tree_eval: TreeEval,
 }
 
 impl Default for MatrixFreeConfig {
@@ -91,6 +96,7 @@ impl Default for MatrixFreeConfig {
             displacement_mode: DisplacementMode::BlockKrylov,
             pse: PseSplit::default(),
             tree: None,
+            tree_eval: TreeEval::Tree,
         }
     }
 }
@@ -176,9 +182,13 @@ pub fn resolve_shape(
             }
             let tp = match cfg.tree {
                 Some(t) => TreeParams { a: system.a, eta: system.eta, ..t },
-                None => {
-                    hibd_treecode::tune(system.positions(), cfg.target_ep, system.a, system.eta)
-                }
+                None => hibd_treecode::tune(
+                    system.positions(),
+                    cfg.target_ep,
+                    system.a,
+                    system.eta,
+                    cfg.tree_eval,
+                ),
             };
             Ok(ResolvedShape { pme: None, tree: Some(tp) })
         }

@@ -11,7 +11,7 @@ use hibd_core::mf_bd::{resolve_shape, MatrixFreeConfig, MobilityPlans};
 use hibd_core::ParticleSystem;
 use hibd_pme::{PmeParams, PmePlans};
 use hibd_telemetry::{self as telemetry, Counter, Phase};
-use hibd_treecode::{TreeParams, TreePlans};
+use hibd_treecode::{TreeEval, TreeParams, TreePlans};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -34,8 +34,10 @@ pub enum ShapeKey {
         spline_order: usize,
         r_max: u64,
     },
-    /// Open cloud: the treecode accuracy schedule.
-    Open { theta: u64, leaf_capacity: usize, cheb_order: usize, a: u64, eta: u64 },
+    /// Open cloud: the treecode accuracy schedule plus the far-field
+    /// strategy — [`TreePlans`] for the FMM carry the L2L tables the
+    /// treecode's don't, so the two must never share an entry.
+    Open { theta: u64, leaf_capacity: usize, cheb_order: usize, a: u64, eta: u64, eval: TreeEval },
 }
 
 impl ShapeKey {
@@ -62,6 +64,7 @@ impl ShapeKey {
             cheb_order: p.cheb_order,
             a: p.a.to_bits(),
             eta: p.eta.to_bits(),
+            eval: p.eval,
         }
     }
 }
@@ -213,6 +216,22 @@ mod tests {
         let stricter = cache.tree(TreeParams { theta: 0.2, ..t });
         assert!(!Arc::ptr_eq(&a, &stricter));
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn fmm_and_treecode_shapes_never_share_plans() {
+        let mut cache = PlanCache::new();
+        let t = TreeParams::default();
+        let f = TreeParams { eval: TreeEval::Fmm, ..t };
+        let pt = cache.tree(t);
+        let pf = cache.tree(f);
+        assert!(!Arc::ptr_eq(&pt, &pf), "eval is part of the shape identity");
+        assert_eq!(cache.len(), 2);
+        // The FMM plans carry the L2L tables on top of M2M.
+        assert!(pf.memory_bytes() > pt.memory_bytes());
+        // Same eval still hits.
+        let pf2 = cache.tree(f);
+        assert!(Arc::ptr_eq(&pf, &pf2));
     }
 
     #[test]

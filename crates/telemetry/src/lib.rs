@@ -72,10 +72,15 @@ pub enum Phase {
     FarField = 13,
     /// Treecode near field (direct two-branch RPY over leaf pairs).
     NearField = 14,
+    /// FMM multipole-to-local translations (per-target-node GEMVs against
+    /// the precomputed interaction-list tables).
+    M2l = 15,
+    /// FMM downward pass (L2L child shifts plus L2P leaf interpolation).
+    Downward = 16,
 }
 
 /// Number of phases in the registry.
-pub const NUM_PHASES: usize = 15;
+pub const NUM_PHASES: usize = 17;
 
 impl Phase {
     /// Every phase, in `repr` order.
@@ -95,6 +100,8 @@ impl Phase {
         Phase::Upward,
         Phase::FarField,
         Phase::NearField,
+        Phase::M2l,
+        Phase::Downward,
     ];
 
     /// Stable snake_case name (used in JSON profiles).
@@ -116,6 +123,8 @@ impl Phase {
             Phase::Upward => "upward",
             Phase::FarField => "far_field",
             Phase::NearField => "near_field",
+            Phase::M2l => "m2l",
+            Phase::Downward => "downward",
         }
     }
 }
@@ -144,10 +153,13 @@ pub enum Counter {
     PlanCacheHits = 7,
     /// Engine plan-cache lookups that had to build fresh plans.
     PlanCacheMisses = 8,
+    /// FMM multipole-to-local translations applied (one per accepted
+    /// target-node/source-node pair per apply).
+    M2lTranslations = 9,
 }
 
 /// Number of counters in the registry.
-pub const NUM_COUNTERS: usize = 9;
+pub const NUM_COUNTERS: usize = 10;
 
 impl Counter {
     /// Every counter, in `repr` order.
@@ -161,6 +173,7 @@ impl Counter {
         Counter::TreeInteractions,
         Counter::PlanCacheHits,
         Counter::PlanCacheMisses,
+        Counter::M2lTranslations,
     ];
 
     /// Stable snake_case name (used in JSON profiles).
@@ -176,6 +189,7 @@ impl Counter {
             Counter::TreeInteractions => "tree_interactions",
             Counter::PlanCacheHits => "plan_cache_hits",
             Counter::PlanCacheMisses => "plan_cache_misses",
+            Counter::M2lTranslations => "m2l_translations",
         }
     }
 

@@ -18,17 +18,23 @@
 //! schedule, which is validated by measurement against the dense free-space
 //! RPY matrix — not by an asymptotic error bound.
 //!
+//! Two far-field evaluation strategies share that machinery
+//! ([`TreeEval`]): the node-to-particle treecode (`O(n log n)`) and a true
+//! kernel-independent FMM with an M2L/L2L/L2P downward pass (`O(n)`, see
+//! [`fmm`]).
+//!
 //! Module map: [`morton`] (Z-order codes), [`tree`] (linearized octree),
 //! [`cheb`] (anterpolation weights and the universal M2M transfer
-//! matrices), [`operator`] (the matrix-free apply), [`tuner`] (accuracy
-//! schedule).
+//! matrices), [`fmm`] (M2L interaction lists and translation tables),
+//! [`operator`] (the matrix-free apply), [`tuner`] (accuracy schedule).
 
 pub mod cheb;
+pub mod fmm;
 pub mod morton;
 pub mod operator;
 pub mod tree;
 pub mod tuner;
 
-pub use operator::{TreeOperator, TreeParams, TreePlans, TreeTimings, MAX_CHEB_ORDER};
+pub use operator::{TreeEval, TreeOperator, TreeParams, TreePlans, TreeTimings, MAX_CHEB_ORDER};
 pub use tree::Octree;
 pub use tuner::{measured_rel_error, tune, SCHEDULE};

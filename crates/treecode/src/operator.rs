@@ -25,8 +25,17 @@
 //! lists happen once at construction ([`hibd_telemetry::Phase::TreeBuild`]);
 //! `apply` is allocation-free at steady state (operator-owned scratch only)
 //! and parallelizes over leaves, whose Morton ranges partition the output.
+//!
+//! With [`TreeEval::Fmm`] the far field runs as a true kernel-independent
+//! FMM instead: the MAC-accepted pairs stay at the *node* level and are
+//! translated multipole-to-local ([`hibd_telemetry::Phase::M2l`]), locals
+//! are pushed down by the transposed octant matrices and interpolated once
+//! per particle ([`hibd_telemetry::Phase::Downward`]) — `O(n)` far-field
+//! work, level-independent per particle. See the [`crate::fmm`] module docs
+//! for the table construction and the determinism argument.
 
 use crate::cheb;
+use crate::fmm;
 use crate::tree::{Node, Octree, NO_CHILD};
 use hibd_linalg::LinearOperator;
 use hibd_mathx::Vec3;
@@ -63,20 +72,45 @@ pub struct TreeParams {
     pub a: f64,
     /// Fluid viscosity.
     pub eta: f64,
+    /// Far-field evaluation strategy.
+    pub eval: TreeEval,
 }
 
 impl Default for TreeParams {
     fn default() -> Self {
-        TreeParams { theta: 0.4, leaf_capacity: 32, cheb_order: 3, a: 1.0, eta: 1.0 }
+        TreeParams {
+            theta: 0.4,
+            leaf_capacity: 32,
+            cheb_order: 3,
+            a: 1.0,
+            eta: 1.0,
+            eval: TreeEval::Tree,
+        }
     }
 }
 
-/// Cumulative phase timings of one operator instance, in seconds.
+/// Far-field evaluation strategy of the hierarchical operator.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TreeEval {
+    /// Node-to-particle treecode: each target particle sums every accepted
+    /// source node's proxies directly — `O(n log n)`, no downward pass.
+    #[default]
+    Tree,
+    /// Kernel-independent FMM: M2L translations between proxy grids, L2L
+    /// child shifts, one L2P interpolation per particle — `O(n)` far field.
+    Fmm,
+}
+
+/// Cumulative phase timings of one operator instance, in seconds. The
+/// `far_field` slot is used by the treecode path; `m2l`/`downward` by the
+/// FMM path — the other mode's slots stay zero.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct TreeTimings {
     pub build: f64,
     pub upward: f64,
     pub far_field: f64,
+    pub m2l: f64,
+    pub downward: f64,
     pub near_field: f64,
 }
 
@@ -92,6 +126,9 @@ pub struct TreePlans {
     cheb_t: Vec<f64>,
     /// Eight `q^3 x q^3` octant M2M matrices.
     m2m: Vec<Vec<f64>>,
+    /// The eight transposed octant matrices (parent→child L2L transfers);
+    /// built only for [`TreeEval::Fmm`] parameters, empty otherwise.
+    l2l: Vec<Vec<f64>>,
 }
 
 impl TreePlans {
@@ -106,7 +143,25 @@ impl TreePlans {
         assert!(params.a > 0.0 && params.eta > 0.0);
         let cheb_t = cheb::nodes(params.cheb_order);
         let m2m = cheb::m2m_octants(&cheb_t);
-        TreePlans { params, cheb_t, m2m }
+        // L2L is interpolation from the parent grid onto a child grid — the
+        // transpose of the child→parent anterpolation, octant by octant.
+        let l2l = if params.eval == TreeEval::Fmm {
+            let q3 = cheb_t.len().pow(3);
+            m2m.iter()
+                .map(|m| {
+                    let mut t = vec![0.0; q3 * q3];
+                    for r in 0..q3 {
+                        for c in 0..q3 {
+                            t[c * q3 + r] = m[r * q3 + c];
+                        }
+                    }
+                    t
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        TreePlans { params, cheb_t, m2m, l2l }
     }
 
     /// The validated parameters.
@@ -120,6 +175,8 @@ impl TreePlans {
         self.cheb_t.capacity() * size_of::<f64>()
             + self.m2m.iter().map(|m| m.capacity() * size_of::<f64>()).sum::<usize>()
             + self.m2m.capacity() * size_of::<Vec<f64>>()
+            + self.l2l.iter().map(|m| m.capacity() * size_of::<f64>()).sum::<usize>()
+            + self.l2l.capacity() * size_of::<Vec<f64>>()
     }
 }
 
@@ -142,8 +199,13 @@ pub struct TreeOperator {
     /// leaf's own id marks the self block).
     near_off: Vec<u32>,
     near_src: Vec<u32>,
+    /// FMM far-field state ([`TreeEval::Fmm`] only): node-level interaction
+    /// lists with deduplicated M2L tables, plus the local-expansion scratch
+    /// (grown once at build, never shrunk — applies stay allocation-free).
+    fmm: Option<FmmState>,
     /// Interactions per apply (near particle pairs + far particle-proxy
-    /// evaluations), for `Counter::TreeInteractions`.
+    /// evaluations; for FMM, `q^6` per M2L translation + `q^3` per particle
+    /// L2P), for `Counter::TreeInteractions`.
     interactions: u64,
     /// Morton-ordered input/output scratch (length `3n`).
     xr: Vec<f64>,
@@ -152,6 +214,13 @@ pub struct TreeOperator {
     xcol: Vec<f64>,
     ycol: Vec<f64>,
     timings: TreeTimings,
+}
+
+/// Per-operator FMM far-field state (see [`TreeOperator::fmm`]).
+struct FmmState {
+    data: fmm::FmmData,
+    /// Local expansions, planar per node: `[node][comp][q^3]`.
+    locals: Vec<f64>,
 }
 
 impl TreeOperator {
@@ -211,37 +280,59 @@ impl TreeOperator {
             );
         }
 
-        // Flatten far targets down to leaves, then CSR-ify both lists.
         let nleaves = tree.leaves.len();
         let mut leaf_index = vec![u32::MAX; tree.nodes.len()];
         for (li, &l) in tree.leaves.iter().enumerate() {
             leaf_index[l as usize] = li as u32;
         }
-        let mut far_by_leaf: Vec<Vec<u32>> = vec![Vec::new(); nleaves];
-        let mut stack: Vec<u32> = Vec::new();
-        for &(t, s) in &far_pairs {
-            stack.push(t);
-            while let Some(ni) = stack.pop() {
-                let node = &tree.nodes[ni as usize];
-                if node.leaf {
-                    far_by_leaf[leaf_index[ni as usize] as usize].push(s);
-                } else {
-                    stack.extend(node.children.iter().copied().filter(|&c| c != NO_CHILD));
-                }
-            }
-        }
         let mut near_by_leaf: Vec<Vec<u32>> = vec![Vec::new(); nleaves];
         for &(t, s) in &near_pairs {
             near_by_leaf[leaf_index[t as usize] as usize].push(s);
         }
-        let (far_off, far_src) = csr(&far_by_leaf);
         let (near_off, near_src) = csr(&near_by_leaf);
 
-        // Workload per apply.
-        let mut interactions: u64 = 0;
+        // Far-field structure: flatten accepted pairs to per-leaf lists
+        // (treecode), or keep them at the node level and build the M2L
+        // tables (FMM). `far_evals` is the far workload per apply.
+        let (far_off, far_src, fmm, far_evals) = match params.eval {
+            TreeEval::Tree => {
+                let mut far_by_leaf: Vec<Vec<u32>> = vec![Vec::new(); nleaves];
+                let mut stack: Vec<u32> = Vec::new();
+                for &(t, s) in &far_pairs {
+                    stack.push(t);
+                    while let Some(ni) = stack.pop() {
+                        let node = &tree.nodes[ni as usize];
+                        if node.leaf {
+                            far_by_leaf[leaf_index[ni as usize] as usize].push(s);
+                        } else {
+                            stack.extend(node.children.iter().copied().filter(|&c| c != NO_CHILD));
+                        }
+                    }
+                }
+                let mut far_evals: u64 = 0;
+                for (li, &l) in tree.leaves.iter().enumerate() {
+                    let tlen = tree.nodes[l as usize].len() as u64;
+                    far_evals += tlen * (far_by_leaf[li].len() as u64) * (q3 as u64);
+                }
+                let (far_off, far_src) = csr(&far_by_leaf);
+                (far_off, far_src, None, far_evals)
+            }
+            TreeEval::Fmm => {
+                let data = fmm::FmmData::build(&tree, &far_pairs, cheb_t, params.a);
+                // `q^6` kernel-table entries per M2L translation plus one
+                // `q^3` interpolation per particle (L2P): per-particle far
+                // work is level-independent.
+                let far_evals = (data.num_pairs() as u64) * (q3 as u64) * (q3 as u64)
+                    + (n as u64) * (q3 as u64);
+                let locals = vec![0.0; tree.nodes.len() * q3 * 3];
+                (vec![0u32; nleaves + 1], Vec::new(), Some(FmmState { data, locals }), far_evals)
+            }
+        };
+
+        // Workload per apply: far field plus direct near pairs.
+        let mut interactions: u64 = far_evals;
         for (li, &l) in tree.leaves.iter().enumerate() {
             let tlen = tree.nodes[l as usize].len() as u64;
-            interactions += tlen * (far_by_leaf[li].len() as u64) * (q3 as u64);
             for &s in &near_by_leaf[li] {
                 interactions += tlen * tree.nodes[s as usize].len() as u64;
             }
@@ -258,6 +349,7 @@ impl TreeOperator {
             far_src,
             near_off,
             near_src,
+            fmm,
             interactions,
             xr: Vec::new(),
             yr: Vec::new(),
@@ -290,6 +382,17 @@ impl TreeOperator {
     /// Number of leaves.
     pub fn num_leaves(&self) -> usize {
         self.tree.leaves.len()
+    }
+
+    /// Deepest tree level (`0` for a single-leaf or empty tree).
+    pub fn max_depth(&self) -> u32 {
+        self.tree.max_depth()
+    }
+
+    /// `(M2L translations per apply, distinct deduplicated tables)` when
+    /// the operator was built with [`TreeEval::Fmm`], `None` otherwise.
+    pub fn fmm_stats(&self) -> Option<(usize, usize)> {
+        self.fmm.as_ref().map(|st| (st.data.num_pairs(), st.data.num_entries()))
     }
 
     /// Near + far interaction evaluations per apply (the value added to
@@ -329,6 +432,10 @@ impl TreeOperator {
             + self.yr.capacity() * size_of::<f64>()
             + self.xcol.capacity() * size_of::<f64>()
             + self.ycol.capacity() * size_of::<f64>()
+            + match &self.fmm {
+                Some(st) => st.data.memory_bytes() + st.locals.capacity() * size_of::<f64>(),
+                None => 0,
+            }
     }
 
     /// One full tree apply into the Morton scratch, then scatter to `y`.
@@ -346,14 +453,35 @@ impl TreeOperator {
         // swaps in an empty vec).
         let mut yr = std::mem::take(&mut self.yr);
         let nleaves = self.tree.leaves.len();
-
-        let sw = hibd_telemetry::start(Phase::FarField);
         yr.iter_mut().for_each(|v| *v = 0.0);
-        par_leaf_pass(self, true, 0, nleaves, &mut yr);
-        self.timings.far_field += sw.stop();
+
+        if self.fmm.is_some() {
+            // FMM far field: M2L into the locals (node-parallel, disjoint
+            // slices), serial L2L push-down, then one L2P pass per leaf.
+            // The state is taken out so the M2L pass can borrow `self`
+            // shared, and restored before L2P reads the locals through it.
+            let mut st = self.fmm.take().expect("checked above");
+            let m2l_pairs = st.data.num_pairs() as u64;
+
+            let sw = hibd_telemetry::start(Phase::M2l);
+            st.locals.iter_mut().for_each(|v| *v = 0.0);
+            par_m2l(self, &st.data, 0, self.tree.nodes.len(), &mut st.locals);
+            self.timings.m2l += sw.stop();
+
+            let sw = hibd_telemetry::start(Phase::Downward);
+            self.l2l(&mut st.locals);
+            self.fmm = Some(st);
+            par_leaf_pass(self, LeafPass::L2p, 0, nleaves, &mut yr);
+            self.timings.downward += sw.stop();
+            hibd_telemetry::incr(Counter::M2lTranslations, m2l_pairs);
+        } else {
+            let sw = hibd_telemetry::start(Phase::FarField);
+            par_leaf_pass(self, LeafPass::Far, 0, nleaves, &mut yr);
+            self.timings.far_field += sw.stop();
+        }
 
         let sw = hibd_telemetry::start(Phase::NearField);
-        par_leaf_pass(self, false, 0, nleaves, &mut yr);
+        par_leaf_pass(self, LeafPass::Near, 0, nleaves, &mut yr);
         self.timings.near_field += sw.stop();
 
         scatter(&self.tree.order, &yr, y);
@@ -390,6 +518,39 @@ impl TreeOperator {
                     child,
                     q3,
                     parent,
+                );
+            }
+        }
+    }
+
+    /// L2L: push each node's local expansion onto its children's grids
+    /// through the transposed octant matrices, in preorder (parents are
+    /// final before any child reads them). A serial sweep — `O(nodes q^6)`
+    /// is negligible next to M2L, and serial order keeps the downward pass
+    /// trivially deterministic.
+    fn l2l(&self, locals: &mut [f64]) {
+        let q3 = self.q3;
+        let stride = q3 * 3;
+        for ni in 0..self.tree.nodes.len() {
+            if self.tree.nodes[ni].leaf {
+                continue;
+            }
+            for c in self.tree.nodes[ni].children {
+                if c == NO_CHILD {
+                    continue;
+                }
+                let ci = c as usize;
+                let (head, tail) = locals.split_at_mut(ci * stride);
+                let parent = &head[ni * stride..(ni + 1) * stride];
+                let child = &mut tail[..stride];
+                // The transposed-GEMV shape is identical to M2M, so the
+                // same kernel serves with the L2L table and the roles of
+                // parent/child swapped.
+                m2m_accumulate(
+                    &self.plans.l2l[self.tree.nodes[ci].octant as usize],
+                    parent,
+                    q3,
+                    child,
                 );
             }
         }
@@ -523,6 +684,21 @@ fn dual_traverse(
     }
 }
 
+/// Test-only handle on the traversal: the `fmm` unit tests build realistic
+/// MAC-accepted pair lists without constructing a full operator.
+#[cfg(test)]
+pub(crate) fn dual_traverse_for_tests(
+    tree: &Octree,
+    theta: f64,
+    two_a: f64,
+    far: &mut Vec<(u32, u32)>,
+    near: &mut Vec<(u32, u32)>,
+) {
+    if !tree.nodes.is_empty() {
+        dual_traverse(tree, 0, 0, theta, two_a, far, near);
+    }
+}
+
 /// Flatten per-leaf lists into CSR (offsets, indices).
 fn csr(by_leaf: &[Vec<u32>]) -> (Vec<u32>, Vec<u32>) {
     let mut off = Vec::with_capacity(by_leaf.len() + 1);
@@ -536,22 +712,33 @@ fn csr(by_leaf: &[Vec<u32>]) -> (Vec<u32>, Vec<u32>) {
     (off, idx)
 }
 
+/// Which per-leaf kernel a [`par_leaf_pass`] sweep runs.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum LeafPass {
+    /// Treecode far field: particles against accepted source proxy grids.
+    Far,
+    /// Direct near field (both modes).
+    Near,
+    /// FMM L2P: interpolate each leaf's local expansion at its particles.
+    L2p,
+}
+
 /// Recursive leaf-parallel evaluation over the leaf-ordinal range
 /// `lo..hi`: the leaves' Morton ranges partition `0..n`, so the output is
 /// split at leaf boundaries and the two halves recurse under `rayon::join`
 /// — every leaf writes a disjoint `yr` slice. `yr` covers exactly the
 /// particles of leaves `lo..hi`.
-fn par_leaf_pass(op: &TreeOperator, far: bool, lo: usize, hi: usize, yr: &mut [f64]) {
+fn par_leaf_pass(op: &TreeOperator, pass: LeafPass, lo: usize, hi: usize, yr: &mut [f64]) {
     if lo >= hi {
         return;
     }
     if hi - lo == 1 {
         let node = &op.tree.nodes[op.tree.leaves[lo] as usize];
         debug_assert_eq!(yr.len(), 3 * node.len());
-        if far {
-            far_leaf(op, lo, node, yr);
-        } else {
-            near_leaf(op, lo, node, yr);
+        match pass {
+            LeafPass::Far => far_leaf(op, lo, node, yr),
+            LeafPass::Near => near_leaf(op, lo, node, yr),
+            LeafPass::L2p => l2p_leaf(op, lo, node, yr),
         }
         return;
     }
@@ -560,9 +747,82 @@ fn par_leaf_pass(op: &TreeOperator, far: bool, lo: usize, hi: usize, yr: &mut [f
     let boundary = op.tree.nodes[op.tree.leaves[mid] as usize].start as usize;
     let (left, right) = yr.split_at_mut(3 * (boundary - first));
     rayon::join(
-        || par_leaf_pass(op, far, lo, mid, left),
-        || par_leaf_pass(op, far, mid, hi, right),
+        || par_leaf_pass(op, pass, lo, mid, left),
+        || par_leaf_pass(op, pass, mid, hi, right),
     );
+}
+
+/// Recursive node-parallel M2L over the preorder node range `lo..hi`:
+/// `locals` covers exactly nodes `lo..hi` (stride `3 q^3` each) and splits
+/// at node boundaries under `rayon::join`; each target node accumulates its
+/// interaction list sequentially, so the result is bitwise independent of
+/// the rayon schedule (same structure as [`par_leaf_pass`]).
+fn par_m2l(op: &TreeOperator, data: &fmm::FmmData, lo: usize, hi: usize, locals: &mut [f64]) {
+    if lo >= hi {
+        return;
+    }
+    if hi - lo == 1 {
+        m2l_node(op, data, lo, locals);
+        return;
+    }
+    let mid = lo + (hi - lo) / 2;
+    let (left, right) = locals.split_at_mut((mid - lo) * 3 * op.q3);
+    rayon::join(|| par_m2l(op, data, lo, mid, left), || par_m2l(op, data, mid, hi, right));
+}
+
+/// M2L for one target node: translate every listed source node's proxy
+/// weights into the target's local expansion, in list order.
+#[hibd::hot]
+fn m2l_node(op: &TreeOperator, data: &fmm::FmmData, ni: usize, out: &mut [f64]) {
+    let q = op.plans.params.cheb_order;
+    let q3 = op.q3;
+    let lo = data.m2l_off[ni] as usize;
+    let hi = data.m2l_off[ni + 1] as usize;
+    for k in lo..hi {
+        let s = data.m2l_src[k] as usize;
+        let entry = &data.entries[data.pair_entry[k] as usize];
+        let w = &op.weights[s * 3 * q3..(s + 1) * 3 * q3];
+        fmm::m2l_apply(entry, q, w, out);
+    }
+}
+
+/// L2P for one leaf: interpolate the leaf's local expansion at each of its
+/// particles with the same per-particle `pw` weights P2M anterpolates with
+/// (interpolation is the transpose of anterpolation), scaled by `mu0` like
+/// every far-field contribution.
+#[hibd::hot]
+fn l2p_leaf(op: &TreeOperator, ord: usize, node: &Node, y: &mut [f64]) {
+    let q = op.plans.params.cheb_order;
+    let q3 = op.q3;
+    let mu0 = rpy_self_mobility(op.plans.params.a, op.plans.params.eta);
+    let Some(st) = &op.fmm else { return };
+    let li = op.tree.leaves[ord] as usize;
+    let loc = &st.locals[li * 3 * q3..(li + 1) * 3 * q3];
+    let (lx, rest) = loc.split_at(q3);
+    let (ly, lz) = rest.split_at(q3);
+    for k in node.start as usize..node.end as usize {
+        let base = k * 3 * q;
+        let (wx, rest) = op.pw[base..base + 3 * q].split_at(q);
+        let (wy, wz) = rest.split_at(q);
+        let (mut ox, mut oy, mut oz) = (0.0f64, 0.0f64, 0.0f64);
+        let mut m = 0;
+        for &ax in wx {
+            for &ay in wy {
+                let axy = ax * ay;
+                for &az in wz {
+                    let s = axy * az;
+                    ox += s * lx[m];
+                    oy += s * ly[m];
+                    oz += s * lz[m];
+                    m += 1;
+                }
+            }
+        }
+        let o = 3 * (k - node.start as usize);
+        y[o] += mu0 * ox;
+        y[o + 1] += mu0 * oy;
+        y[o + 2] += mu0 * oz;
+    }
 }
 
 /// Far field for one target leaf: particles against accepted source-node
@@ -911,5 +1171,94 @@ mod tests {
     fn rejects_bad_theta() {
         let _ =
             TreeOperator::new(&[Vec3::ZERO], TreeParams { theta: 1.5, ..TreeParams::default() });
+    }
+
+    #[test]
+    fn fmm_apply_matches_dense_on_a_small_cloud() {
+        let pos = cloud(120, 16.0, 19);
+        let dense = dense_rpy_free(&pos, 1.0, 1.0);
+        let params = TreeParams { leaf_capacity: 4, eval: TreeEval::Fmm, ..TreeParams::default() };
+        let mut op = TreeOperator::new(&pos, params);
+        let x = test_vec(360, 3);
+        let mut yf = vec![0.0; 360];
+        let mut yd = vec![0.0; 360];
+        op.apply(&x, &mut yf);
+        dense.mul_vec(&x, &mut yd);
+        let err = rel_err(&yf, &yd);
+        assert!(err <= 1e-3, "rel err {err}");
+        let (pairs, entries) = op.fmm_stats().expect("FMM mode carries stats");
+        assert!(pairs > 0, "traversal must accept far pairs at this size");
+        assert!(entries <= pairs, "dedup cannot grow the table set");
+        assert!(op.memory_bytes() > op.state_memory_bytes());
+        assert!(op.timings().m2l >= 0.0 && op.timings().downward >= 0.0);
+        assert_eq!(op.timings().far_field, 0.0, "FMM mode never runs far_leaf");
+    }
+
+    #[test]
+    fn fmm_and_treecode_agree_on_the_same_cloud() {
+        // Same MAC, same upward pass: the two far-field evaluations differ
+        // only by the target-side interpolation, which the two-sided MAC
+        // bounds at the same order as the source-side one.
+        let pos = cloud(200, 20.0, 29);
+        let base = TreeParams { leaf_capacity: 8, ..TreeParams::default() };
+        let mut tree_op = TreeOperator::new(&pos, base);
+        let mut fmm_op = TreeOperator::new(&pos, TreeParams { eval: TreeEval::Fmm, ..base });
+        let x = test_vec(600, 13);
+        let mut yt = vec![0.0; 600];
+        let mut yf = vec![0.0; 600];
+        tree_op.apply(&x, &mut yt);
+        fmm_op.apply(&x, &mut yf);
+        assert!(rel_err(&yf, &yt) <= 2e-3, "rel err {}", rel_err(&yf, &yt));
+    }
+
+    #[test]
+    fn fmm_empty_and_single_particle_degenerate_cases() {
+        let params = TreeParams { eval: TreeEval::Fmm, ..TreeParams::default() };
+        let mut empty = TreeOperator::new(&[], params);
+        empty.apply(&[], &mut []);
+        let pos = vec![Vec3::new(1.0, -2.0, 0.5)];
+        let mut op = TreeOperator::new(&pos, params);
+        let mu0 = rpy_self_mobility(1.0, 1.0);
+        let x = [1.0, 2.0, -3.0];
+        let mut y = [0.0; 3];
+        op.apply(&x, &mut y);
+        for (g, w) in y.iter().zip(&x) {
+            assert!((g - mu0 * w).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn fmm_apply_multi_matches_column_by_column_apply() {
+        let pos = cloud(40, 9.0, 37);
+        let params = TreeParams { leaf_capacity: 4, eval: TreeEval::Fmm, ..TreeParams::default() };
+        let mut op = TreeOperator::new(&pos, params);
+        let dim = op.dim();
+        let s = 3;
+        let xm = test_vec(dim * s, 11);
+        let mut ym = vec![0.0; dim * s];
+        op.apply_multi(&xm, &mut ym, s);
+        let mut x = vec![0.0; dim];
+        let mut y = vec![0.0; dim];
+        for col in 0..s {
+            for i in 0..dim {
+                x[i] = xm[i * s + col];
+            }
+            op.apply(&x, &mut y);
+            for i in 0..dim {
+                assert!((ym[i * s + col] - y[i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn fmm_interactions_count_m2l_and_l2p_work() {
+        let pos = cloud(500, 24.0, 43);
+        let params = TreeParams { leaf_capacity: 8, eval: TreeEval::Fmm, ..TreeParams::default() };
+        let op = TreeOperator::new(&pos, params);
+        let (pairs, _) = op.fmm_stats().unwrap();
+        let q3 = 27u64; // default cheb_order = 3
+        let far = pairs as u64 * q3 * q3 + 500 * q3;
+        assert!(op.interactions_per_apply() >= far, "near work must only add");
+        assert!(op.max_depth() >= 2);
     }
 }

@@ -26,6 +26,13 @@ pub struct Node {
     pub children: [u32; 8],
     /// Octant of this node within its parent (`0` for the root).
     pub octant: u8,
+    /// Depth of the node (root = `0`).
+    pub level: u8,
+    /// Integer lattice coordinates of the node's cell at its level
+    /// (`cell[c] in 0..2^level`, x/y/z order). Two nodes' *relative*
+    /// geometry is an exact function of their levels and cell coordinates,
+    /// which is what the FMM M2L table deduplicates on.
+    pub cell: [u32; 3],
     /// True when the node has no children (its range is evaluated directly).
     pub leaf: bool,
 }
@@ -107,10 +114,17 @@ impl Octree {
             end: n as u32,
             children: [NO_CHILD; 8],
             octant: 0,
+            level: 0,
+            cell: [0; 3],
             leaf: true,
         });
         tree.split(0, 0, &codes, leaf_capacity);
         tree
+    }
+
+    /// Deepest level of any node (`0` for a single-leaf or empty tree).
+    pub fn max_depth(&self) -> u32 {
+        self.nodes.iter().map(|n| u32::from(n.level)).max().unwrap_or(0)
     }
 
     /// Recursively split node `ni` (at depth `depth`) while it exceeds the
@@ -124,6 +138,7 @@ impl Octree {
         }
         self.nodes[ni].leaf = false;
         let (center, half) = (self.nodes[ni].center, self.nodes[ni].half);
+        let (level, cell) = (self.nodes[ni].level, self.nodes[ni].cell);
         let mut cursor = start;
         for oct in 0..8u64 {
             // Contiguity by Morton sort: the octant group at this depth is
@@ -148,6 +163,12 @@ impl Octree {
                 end: (cursor + len) as u32,
                 children: [NO_CHILD; 8],
                 octant: oct as u8,
+                level: level + 1,
+                cell: [
+                    2 * cell[0] + ((oct >> 2) & 1) as u32,
+                    2 * cell[1] + ((oct >> 1) & 1) as u32,
+                    2 * cell[2] + (oct & 1) as u32,
+                ],
                 leaf: true,
             });
             self.nodes[ni].children[oct as usize] = ci as u32;
@@ -233,6 +254,35 @@ mod tests {
             for &c in &node.children {
                 if c != NO_CHILD {
                     assert!((c as usize) > i, "preorder: child after parent");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cells_and_levels_match_the_geometry() {
+        // The integer lattice identity must reproduce each node's center:
+        // center = root_lo + (cell + 1/2) * side / 2^level, per dimension.
+        let pos = cloud(350, 9.0, 13);
+        let tree = Octree::build(&pos, 8);
+        let root = &tree.nodes[0];
+        let side = 2.0 * root.half;
+        let lo = root.center - Vec3::splat(root.half);
+        for node in &tree.nodes {
+            let w = side / f64::from(1u32 << node.level);
+            for c in 0..3 {
+                assert!(node.cell[c] < (1u32 << node.level));
+                let want = lo[c] + (f64::from(node.cell[c]) + 0.5) * w;
+                assert!((node.center[c] - want).abs() < 1e-9 * (1.0 + side), "{node:?}");
+            }
+        }
+        assert!(tree.max_depth() >= 2);
+        for node in &tree.nodes {
+            if !node.leaf {
+                for &c in &node.children {
+                    if c != NO_CHILD {
+                        assert_eq!(tree.nodes[c as usize].level, node.level + 1);
+                    }
                 }
             }
         }

@@ -9,14 +9,17 @@
 //! cloud or a subsample of it — meets the target. This is the validation
 //! required to claim a tolerance, and tests pin the schedule to it.
 
-use crate::operator::{TreeOperator, TreeParams};
+use crate::operator::{TreeEval, TreeOperator, TreeParams};
 use hibd_linalg::LinearOperator;
 use hibd_mathx::Vec3;
 use hibd_rpy::dense_rpy_free;
 
 /// The escalation schedule: `(guaranteed_tol, theta, cheb_order)`, loosest
 /// first. Tolerances are conservative relative to measured errors on random
-/// clouds (see `tests/accuracy.rs`).
+/// clouds for *both* evaluation strategies — the FMM's extra target-side
+/// interpolation converges at the same geometric rate under the two-sided
+/// MAC, and `tests/accuracy.rs` pins each tier against `dense_rpy_free`
+/// for treecode and FMM alike.
 pub const SCHEDULE: [(f64, f64, usize); 4] =
     [(1e-2, 0.7, 3), (1e-3, 0.4, 3), (1e-4, 0.4, 4), (1e-5, 0.4, 5)];
 
@@ -55,9 +58,11 @@ pub fn measured_rel_error(positions: &[Vec3], params: TreeParams, trials: usize)
 }
 
 /// Choose parameters for `rel_tol` by measuring the schedule against the
-/// dense matrix on (a subsample of) `positions`. Falls back to the
-/// strictest entry when even it misses the target.
-pub fn tune(positions: &[Vec3], rel_tol: f64, a: f64, eta: f64) -> TreeParams {
+/// dense matrix on (a subsample of) `positions`, for the requested far-field
+/// strategy (the measurement runs with that strategy, so an FMM tier is
+/// validated as an FMM). Falls back to the strictest entry when even it
+/// misses the target.
+pub fn tune(positions: &[Vec3], rel_tol: f64, a: f64, eta: f64, eval: TreeEval) -> TreeParams {
     assert!(rel_tol > 0.0);
     // Cap the dense reference at ~250 particles; the error is a local
     // property of the MAC geometry, not of the cloud size.
@@ -72,7 +77,7 @@ pub fn tune(positions: &[Vec3], rel_tol: f64, a: f64, eta: f64) -> TreeParams {
         if tol > rel_tol {
             continue;
         }
-        let params = TreeParams { theta, cheb_order: q, a, eta, ..TreeParams::default() };
+        let params = TreeParams { theta, cheb_order: q, a, eta, eval, ..TreeParams::default() };
         if sample.len() < 2 || measured_rel_error(&sample, params, 3) <= rel_tol {
             chosen = Some(params);
             break;
@@ -80,7 +85,7 @@ pub fn tune(positions: &[Vec3], rel_tol: f64, a: f64, eta: f64) -> TreeParams {
     }
     chosen.unwrap_or_else(|| {
         let (_, theta, q) = SCHEDULE[SCHEDULE.len() - 1];
-        TreeParams { theta, cheb_order: q, a, eta, ..TreeParams::default() }
+        TreeParams { theta, cheb_order: q, a, eta, eval, ..TreeParams::default() }
     })
 }
 
@@ -100,8 +105,8 @@ mod tests {
     #[test]
     fn tune_returns_schedule_entries_in_tolerance_order() {
         let pos = cloud(120, 20.0, 4);
-        let loose = tune(&pos, 1e-2, 1.0, 1.0);
-        let tight = tune(&pos, 1e-4, 1.0, 1.0);
+        let loose = tune(&pos, 1e-2, 1.0, 1.0, TreeEval::Tree);
+        let tight = tune(&pos, 1e-4, 1.0, 1.0, TreeEval::Tree);
         assert!(loose.theta >= tight.theta);
         assert!(loose.cheb_order <= tight.cheb_order);
     }
@@ -109,10 +114,13 @@ mod tests {
     #[test]
     fn tuned_params_meet_their_target() {
         let pos = cloud(100, 15.0, 8);
-        for tol in [1e-2, 1e-3] {
-            let params = tune(&pos, tol, 1.0, 1.0);
-            let err = measured_rel_error(&pos, params, 2);
-            assert!(err <= tol, "tol {tol}: measured {err}");
+        for eval in [TreeEval::Tree, TreeEval::Fmm] {
+            for tol in [1e-2, 1e-3] {
+                let params = tune(&pos, tol, 1.0, 1.0, eval);
+                assert_eq!(params.eval, eval);
+                let err = measured_rel_error(&pos, params, 2);
+                assert!(err <= tol, "{eval:?} tol {tol}: measured {err}");
+            }
         }
     }
 }

@@ -8,7 +8,7 @@
 use hibd_alloctrack::{exclusive, measure};
 use hibd_linalg::LinearOperator;
 use hibd_mathx::Vec3;
-use hibd_treecode::{TreeOperator, TreeParams};
+use hibd_treecode::{TreeEval, TreeOperator, TreeParams};
 
 hibd_alloctrack::install!();
 
@@ -62,6 +62,71 @@ fn apply_multi_is_allocation_free_at_steady_state() {
     });
     assert!(m.net_bytes.abs() <= TOL, "3 warm block applies leaked {} net bytes", m.net_bytes);
     assert_eq!(op.memory_bytes(), mem, "block scratch grew after warm-up");
+}
+
+#[test]
+fn fmm_apply_is_allocation_free_at_steady_state() {
+    // The downward pass adds M2L tables, an interaction-list index and the
+    // local-expansion buffer — all built at construction or grown by the
+    // warm-up; repeated applies must stay heap-silent like the treecode's.
+    let _guard = exclusive();
+    let n = 400;
+    let pos = cloud(n, 30.0, 5);
+    let params = TreeParams { leaf_capacity: 16, eval: TreeEval::Fmm, ..TreeParams::default() };
+    let mut op = TreeOperator::new(&pos, params);
+    let x = vec![0.5; 3 * n];
+    let mut y = vec![0.0; 3 * n];
+    op.apply(&x, &mut y); // warm-up (rayon pool, lazy growth)
+    let mem = op.memory_bytes();
+    let (m, ()) = measure(|| {
+        for _ in 0..5 {
+            op.apply(&x, &mut y);
+        }
+    });
+    assert!(m.net_bytes.abs() <= TOL, "5 warm FMM applies leaked {} net bytes", m.net_bytes);
+    assert_eq!(op.memory_bytes(), mem, "FMM operator scratch grew after warm-up");
+}
+
+#[test]
+fn fmm_memory_bytes_covers_the_translation_tables() {
+    // Self-audit against the allocator: building the FMM operator instead
+    // of the treecode one must raise `memory_bytes` by at least the M2L +
+    // L2L storage the allocator saw it request — the report may not hide
+    // the new tables. `state_memory_bytes` carries the per-tree part (M2L
+    // entries + locals); the L2L octant tables live in the shared plans.
+    let _guard = exclusive();
+    let n = 500;
+    let pos = cloud(n, 28.0, 13);
+    let tree_params = TreeParams { leaf_capacity: 8, ..TreeParams::default() };
+    let fmm_params = TreeParams { eval: TreeEval::Fmm, ..tree_params };
+
+    let tree_op = TreeOperator::new(&pos, tree_params);
+    let (built, mut fmm_op) = measure(|| TreeOperator::new(&pos, fmm_params));
+    assert!(
+        built.net_bytes > 0,
+        "FMM construction should allocate tables (net {})",
+        built.net_bytes
+    );
+
+    let (pairs, entries) = fmm_op.fmm_stats().expect("FMM operator reports stats");
+    assert!(entries > 0 && pairs >= entries);
+    let q3 = fmm_params.cheb_order.pow(3);
+    // Every deduplicated entry stores at least its two q^3 x q^3 blocks.
+    let table_floor = entries * 2 * q3 * q3 * std::mem::size_of::<f64>();
+    let extra = fmm_op.state_memory_bytes() as isize - tree_op.state_memory_bytes() as isize;
+    assert!(extra >= table_floor as isize, "state grew {extra}, table floor {table_floor}");
+    assert!(fmm_op.memory_bytes() > tree_op.memory_bytes(), "plans + state must outweigh");
+    // And the allocator agrees the tables are real, not just reported.
+    assert!(built.net_bytes >= table_floor as isize, "allocator saw {}", built.net_bytes);
+
+    // The first apply may grow the local-expansion scratch it owns, but the
+    // report must track it: memory_bytes after a warm apply is stable.
+    let x = vec![1.0; 3 * n];
+    let mut y = vec![0.0; 3 * n];
+    fmm_op.apply(&x, &mut y);
+    let warmed = fmm_op.memory_bytes();
+    fmm_op.apply(&x, &mut y);
+    assert_eq!(fmm_op.memory_bytes(), warmed, "FMM apply grew scratch after warm-up");
 }
 
 #[test]

@@ -1,0 +1,104 @@
+//! Bitwise determinism of the FMM downward pass under rayon.
+//!
+//! The M2L fan-in recurses over node *ordinal ranges* and splits the local
+//! expansion buffer at node boundaries (`split_at_mut`), accumulating each
+//! target's interaction list sequentially in traversal order; L2L is a
+//! serial preorder sweep and L2P reuses the leaf-ordinal pattern. The
+//! result must therefore be bitwise identical across thread counts — open
+//! checkpoint resume replays windows and compares trajectories bitwise, so
+//! "close to" is not good enough. Every comparison here is `to_bits`.
+
+use hibd_linalg::LinearOperator;
+use hibd_mathx::Vec3;
+use hibd_treecode::{TreeEval, TreeOperator, TreeParams};
+
+fn cloud(n: usize, spread: f64, seed: u64) -> (Vec<Vec3>, Vec<f64>) {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let pos =
+        (0..n).map(|_| Vec3::new(next() * spread, next() * spread, next() * spread)).collect();
+    let x = (0..3 * n).map(|_| 2.0 * next() - 1.0).collect();
+    (pos, x)
+}
+
+fn apply_in_pool(pos: &[Vec3], x: &[f64], threads: usize) -> Vec<f64> {
+    let params = TreeParams { eval: TreeEval::Fmm, ..TreeParams::default() };
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(threads).build().unwrap();
+    pool.install(|| {
+        let mut op = TreeOperator::new(pos, params);
+        let mut y = vec![0.0; x.len()];
+        op.apply(x, &mut y);
+        y
+    })
+}
+
+fn assert_bitwise_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len());
+    for (i, (va, vb)) in a.iter().zip(b).enumerate() {
+        assert!(va.to_bits() == vb.to_bits(), "{what}: component {i} differs: {va:e} vs {vb:e}");
+    }
+}
+
+#[test]
+fn fmm_apply_is_bitwise_identical_serial_vs_rayon() {
+    let (pos, x) = cloud(600, 24.0, 9001);
+    let serial = apply_in_pool(&pos, &x, 1);
+    for threads in [2, 4, 7] {
+        let parallel = apply_in_pool(&pos, &x, threads);
+        assert_bitwise_eq(&serial, &parallel, &format!("1 vs {threads} threads"));
+    }
+}
+
+#[test]
+fn fmm_apply_is_bitwise_reproducible_across_repeats_and_rebuilds() {
+    let (pos, x) = cloud(400, 20.0, 31);
+    let params = TreeParams { eval: TreeEval::Fmm, ..TreeParams::default() };
+
+    // Same operator, repeated applies: steady-state scratch reuse must not
+    // perturb a single bit.
+    let mut op = TreeOperator::new(&pos, params);
+    let mut y1 = vec![0.0; 3 * pos.len()];
+    let mut y2 = vec![0.0; 3 * pos.len()];
+    op.apply(&x, &mut y1);
+    op.apply(&x, &mut y2);
+    assert_bitwise_eq(&y1, &y2, "repeat apply on one operator");
+
+    // A freshly built operator over the same cloud: setup is a pure
+    // function of (positions, params).
+    let mut fresh = TreeOperator::new(&pos, params);
+    let mut y3 = vec![0.0; 3 * pos.len()];
+    fresh.apply(&x, &mut y3);
+    assert_bitwise_eq(&y1, &y3, "fresh rebuild");
+}
+
+#[test]
+fn fmm_apply_multi_columns_are_bitwise_identical_to_single_applies() {
+    // The downward pass runs once per column; batching must not change the
+    // expression trees. Column `j` of `apply_multi` == standalone `apply`.
+    let (pos, x) = cloud(150, 14.0, 77);
+    let n3 = 3 * pos.len();
+    let s = 3;
+    let params = TreeParams { eval: TreeEval::Fmm, ..TreeParams::default() };
+    let mut op = TreeOperator::new(&pos, params);
+
+    // Multi-RHS layout is row-major [dim][s].
+    let mut xs = vec![0.0; n3 * s];
+    for j in 0..s {
+        for d in 0..n3 {
+            xs[d * s + j] = x[d] * (1.0 + j as f64);
+        }
+    }
+    let mut ys = vec![0.0; n3 * s];
+    op.apply_multi(&xs, &mut ys, s);
+
+    for j in 0..s {
+        let xj: Vec<f64> = (0..n3).map(|d| xs[d * s + j]).collect();
+        let mut yj = vec![0.0; n3];
+        op.apply(&xj, &mut yj);
+        let col: Vec<f64> = (0..n3).map(|d| ys[d * s + j]).collect();
+        assert_bitwise_eq(&yj, &col, &format!("multi column {j}"));
+    }
+}
