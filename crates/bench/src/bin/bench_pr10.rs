@@ -1,0 +1,161 @@
+//! Service-vs-sequential throughput for the `hibd serve` daemon: a
+//! mixed-shape spool drained by the resident worker (shared plans, jobs of
+//! the same shape grouped into one lockstep `EnsembleRunner` batch)
+//! against the same jobs run back to back through the standalone
+//! `hibd run` path (`run_simulation`, one fresh operator per job).
+//!
+//! Both sides do identical physics and identical output work (streamed
+//! trajectory frames plus periodic checkpoints at the same intervals), so
+//! the difference is structural: the daemon pays plan construction once
+//! per *shape* instead of once per *job* and fuses same-shape drift FFTs
+//! into wider batches, while the sequential baseline rebuilds tuned plans
+//! from scratch for every job. The daemon's polling/status machinery is
+//! deliberately inside the timed region — this is service throughput, not
+//! kernel throughput.
+//!
+//! Writes `results/BENCH_pr10.json` (when `results/` exists) plus the same
+//! document on stdout. Usage: `bench_pr10 [--quick|--full] [--seed N]`.
+
+use hibd_bench::Opts;
+use hibd_cli::config::SimSpec;
+use hibd_cli::runner::run_simulation;
+use hibd_serve::{serve, shutdown, ServeSpec};
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+struct JobDef {
+    name: String,
+    spec: SimSpec,
+}
+
+/// The mixed-shape workload: `count` seeds per particle count, so the
+/// daemon can batch same-shape jobs while the shapes still force plan
+/// diversity.
+fn jobs(full: bool, seed: u64) -> (Vec<JobDef>, usize) {
+    let shapes: &[(usize, usize)] =
+        if full { &[(150, 3), (250, 2), (350, 1)] } else { &[(60, 3), (100, 2)] };
+    let steps = if full { 40 } else { 24 };
+    let mut out = Vec::new();
+    let mut k = 0u64;
+    for &(n, count) in shapes {
+        for _ in 0..count {
+            out.push(JobDef {
+                name: format!("job{k}_n{n}"),
+                spec: SimSpec {
+                    particles: n,
+                    seed: seed + k,
+                    steps,
+                    lambda_rpy: 4,
+                    trajectory_interval: 4,
+                    checkpoint_interval: 16,
+                    report_interval: 0,
+                    ..SimSpec::default()
+                },
+            });
+            k += 1;
+        }
+    }
+    (out, shapes.len())
+}
+
+/// The jobs back to back through the standalone runner, each with its own
+/// trajectory and checkpoint files (the same output work the daemon does).
+fn run_sequential(jobs: &[JobDef], root: &Path) -> f64 {
+    std::fs::remove_dir_all(root).ok();
+    std::fs::create_dir_all(root).unwrap();
+    let t0 = Instant::now();
+    for j in jobs {
+        let spec = SimSpec {
+            trajectory: Some(root.join(format!("{}.xyz", j.name)).to_string_lossy().into_owned()),
+            checkpoint: Some(root.join(format!("{}.hibd", j.name)).to_string_lossy().into_owned()),
+            ..j.spec.clone()
+        };
+        run_simulation(&spec, None, |_| {}).unwrap();
+    }
+    t0.elapsed().as_secs_f64()
+}
+
+/// The same jobs spooled into a fresh daemon that drains and exits.
+fn run_service(jobs: &[JobDef], root: &Path) -> f64 {
+    std::fs::remove_dir_all(root).ok();
+    let spool = root.join("spool");
+    std::fs::create_dir_all(&spool).unwrap();
+    for j in jobs {
+        std::fs::write(spool.join(format!("{}.conf", j.name)), j.spec.to_config_text()).unwrap();
+    }
+    shutdown::reset();
+    let spec = ServeSpec {
+        spool: spool.to_string_lossy().into_owned(),
+        output: root.join("out").to_string_lossy().into_owned(),
+        workers: 1,
+        queue: 16,
+        poll_ms: 2,
+        status: None,
+        status_ms: 200,
+        throttle_ms: 0,
+        plan_cache: 0,
+        exit_when_idle: true,
+    };
+    let t0 = Instant::now();
+    let report = serve(&spec, |_| {}).unwrap();
+    let seconds = t0.elapsed().as_secs_f64();
+    assert_eq!(report.done, jobs.len(), "every spooled job must finish: {report:?}");
+    seconds
+}
+
+fn main() {
+    let opts = Opts::parse();
+    let (jobs, shapes) = jobs(opts.full, opts.seed);
+    let steps = jobs[0].spec.steps;
+    let total_steps: usize = jobs.iter().map(|j| j.spec.steps).sum();
+    let reps = if opts.full { 3 } else { 2 };
+    let root = std::env::temp_dir().join("hibd_bench_pr10");
+
+    // Best-of-reps: interference on a shared host only ever adds time.
+    let mut sequential_s = f64::INFINITY;
+    let mut service_s = f64::INFINITY;
+    for _ in 0..reps {
+        sequential_s = sequential_s.min(run_sequential(&jobs, &root.join("seq")));
+        service_s = service_s.min(run_service(&jobs, &root.join("serve")));
+    }
+    std::fs::remove_dir_all(&root).ok();
+
+    eprintln!(
+        "{} jobs ({shapes} shapes) x {steps} steps: sequential {sequential_s:.2} s, \
+         service {service_s:.2} s ({:.3}x)",
+        jobs.len(),
+        sequential_s / service_s
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"schema\": \"hibd-bench-pr10-v1\",");
+    let _ = writeln!(json, "  \"jobs\": {},", jobs.len());
+    let _ = writeln!(json, "  \"shapes\": {shapes},");
+    let _ = writeln!(json, "  \"steps_per_job\": {steps},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"sequential_s\": {sequential_s:.3},");
+    let _ = writeln!(json, "  \"service_s\": {service_s:.3},");
+    let _ =
+        writeln!(json, "  \"sequential_steps_per_s\": {:.2},", total_steps as f64 / sequential_s);
+    let _ = writeln!(json, "  \"service_steps_per_s\": {:.2},", total_steps as f64 / service_s);
+    let _ = writeln!(
+        json,
+        "  \"sequential_jobs_per_hour\": {:.1},",
+        jobs.len() as f64 * 3600.0 / sequential_s
+    );
+    let _ = writeln!(
+        json,
+        "  \"service_jobs_per_hour\": {:.1},",
+        jobs.len() as f64 * 3600.0 / service_s
+    );
+    let _ = writeln!(json, "  \"speedup\": {:.3}", sequential_s / service_s);
+    json.push_str("}\n");
+
+    print!("{json}");
+    if Path::new("results").is_dir() {
+        std::fs::write("results/BENCH_pr10.json", &json).expect("write results/BENCH_pr10.json");
+        eprintln!("wrote results/BENCH_pr10.json");
+    }
+}

@@ -4,9 +4,9 @@
 //! standalone simulation programs; this crate provides the equivalent
 //! front end for the hibd library:
 //!
-//! * [`config`] — a small `key = value` configuration format describing the
-//!   system, integrator, forces, and outputs;
-//! * [`checkpoint`] — binary snapshot/restart of the full simulation state;
+//! * [`config`] / [`checkpoint`] — re-exported from `hibd-core` (they are
+//!   shared with the `hibd-serve` daemon): the `key = value` configuration
+//!   format and the binary snapshot/restart of the simulation state;
 //! * [`runner`] — assembles the matrix-free (or dense baseline) driver from
 //!   a [`config::SimSpec`] and runs it with periodic reporting, trajectory
 //!   output, and checkpointing;
@@ -16,10 +16,10 @@
 //!   calibrated Section IV-D measured-vs-predicted report.
 
 pub mod analyze;
-pub mod checkpoint;
-pub mod config;
 pub mod profile;
 pub mod runner;
+
+pub use hibd_core::{checkpoint, config};
 
 pub use config::SimSpec;
 pub use runner::run_simulation;

@@ -4,6 +4,8 @@
 //! hibd run <config> [--profile p.json]     run a simulation from a config file
 //! hibd ensemble <config> [--profile p.json]  lockstep multi-replica run
 //! hibd resume <config> <ckpt> [--profile p.json]  continue from a checkpoint
+//! hibd serve <config>               spool-directory batch daemon
+//! hibd serve example-config         print an annotated daemon config
 //! hibd check <config>               parse + validate a config
 //! hibd analyze <traj.xyz> [dt]      diffusion + g(r) from a trajectory
 //! hibd example-config               print an annotated example config
@@ -12,6 +14,10 @@
 //! `--profile PATH` enables telemetry recording for the run and writes a
 //! `hibd-profile-v1` JSON document (phase spans, workload counters, and the
 //! calibrated measured-vs-predicted performance report) to PATH.
+//!
+//! `run`, `ensemble`, and `serve` install a SIGINT/SIGTERM handler: Ctrl-C
+//! finishes the in-flight step, writes a final checkpoint (for `serve`,
+//! drains every live job to a committed window boundary), and exits 0.
 
 use hibd_cli::analyze::{analyze_trajectory, render};
 use hibd_cli::config::SimSpec;
@@ -57,7 +63,8 @@ checkpoint_interval = 500
 fn usage() -> ExitCode {
     eprintln!(
         "usage: hibd <run CONFIG | ensemble CONFIG | resume CONFIG CHECKPOINT | \
-         check CONFIG | analyze TRAJECTORY [FRAME_DT] | example-config> [--profile PATH]"
+         serve CONFIG | check CONFIG | analyze TRAJECTORY [FRAME_DT] | \
+         example-config> [--profile PATH]"
     );
     ExitCode::from(2)
 }
@@ -125,6 +132,41 @@ fn main() -> ExitCode {
                 }
             }
         }
+        Some("serve") => {
+            let Some(path) = args.get(1) else { return usage() };
+            if path == "example-config" {
+                print!("{}", hibd_serve::ServeSpec::example());
+                return ExitCode::SUCCESS;
+            }
+            let spec = match std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read {path}: {e}"))
+                .and_then(|text| hibd_serve::ServeSpec::parse(&text).map_err(|e| e.to_string()))
+            {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            hibd_serve::shutdown::install();
+            match hibd_serve::serve(&spec, |m| println!("[hibd-serve] {m}")) {
+                Ok(r) => {
+                    println!(
+                        "[hibd-serve] exit: {} done, {} failed, {} cancelled, {} parked{}",
+                        r.done,
+                        r.failed,
+                        r.cancelled,
+                        r.parked,
+                        if r.interrupted { " (interrupted)" } else { "" }
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         Some("ensemble") => {
             let Some(path) = args.get(1) else { return usage() };
             let spec = match load_spec(path) {
@@ -134,6 +176,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+            hibd_serve::shutdown::install();
             if profile_path.is_some() {
                 hibd_telemetry::reset();
                 hibd_telemetry::enable();
@@ -141,8 +184,9 @@ fn main() -> ExitCode {
             match run_ensemble(&spec, |m| println!("[hibd] {m}")) {
                 Ok(er) => {
                     println!(
-                        "[hibd] done: {} replicas x {} steps in {:.2} s \
+                        "[hibd] {}: {} replicas x {} steps in {:.2} s \
                          ({:.2} ms/replica-step, {} Krylov iterations)",
+                        if er.report.interrupted { "interrupted" } else { "done" },
                         er.replicas,
                         er.report.steps,
                         er.report.seconds,
@@ -186,6 +230,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+            hibd_serve::shutdown::install();
             if profile_path.is_some() {
                 hibd_telemetry::reset();
                 hibd_telemetry::enable();
@@ -193,7 +238,8 @@ fn main() -> ExitCode {
             match run_simulation(&spec, resume.as_deref(), |m| println!("[hibd] {m}")) {
                 Ok(report) => {
                     println!(
-                        "[hibd] done: {} steps in {:.2} s ({:.2} ms/step, {} Krylov iterations)",
+                        "[hibd] {}: {} steps in {:.2} s ({:.2} ms/step, {} Krylov iterations)",
+                        if report.interrupted { "interrupted" } else { "done" },
                         report.steps,
                         report.seconds,
                         report.seconds_per_step * 1e3,

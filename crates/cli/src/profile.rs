@@ -31,7 +31,7 @@
 
 use crate::runner::{EnsembleReport, RunReport};
 use hibd_telemetry::{
-    self as telemetry, CalibrationSample, Counter, LabeledSnapshot, PerfModel, Phase, Snapshot,
+    self as telemetry, CalibrationSample, Counter, LabeledSnapshot, PerfModel, Snapshot,
 };
 use std::path::Path;
 
@@ -45,53 +45,6 @@ pub const SCHEMA: &str = "hibd-profile-v1";
 #[must_use]
 pub fn columns_applied(snap: &Snapshot) -> f64 {
     snap.counter(Counter::ForwardFfts) as f64 / 3.0
-}
-
-/// Render a snapshot's non-empty phase statistics as a JSON object body.
-fn phases_json(snap: &Snapshot) -> String {
-    let mut out = String::from("{");
-    let mut first = true;
-    for ph in Phase::ALL {
-        let st = snap.phase(ph);
-        if st.count == 0 {
-            continue;
-        }
-        if !first {
-            out.push(',');
-        }
-        first = false;
-        out.push_str(&format!(
-            "\"{}\":{{\"count\":{},\"total_s\":{:e},\"min_ns\":{},\"max_ns\":{},\"mean_ns\":{:e},\"hist\":[",
-            ph.name(),
-            st.count,
-            st.total_secs(),
-            st.min_ns,
-            st.max_ns,
-            st.mean_ns()
-        ));
-        for (i, b) in st.hist.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&b.to_string());
-        }
-        out.push_str("]}");
-    }
-    out.push('}');
-    out
-}
-
-/// Render a snapshot's counters as a JSON object.
-fn counters_json(snap: &Snapshot) -> String {
-    let mut out = String::from("{");
-    for (i, c) in Counter::ALL.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        out.push_str(&format!("\"{}\":{}", c.name(), snap.counter(*c)));
-    }
-    out.push('}');
-    out
 }
 
 /// Render the profile document for a finished run.
@@ -133,10 +86,10 @@ fn render_with_jobs(
     }
 
     out.push_str(",\"phases\":");
-    out.push_str(&phases_json(snap));
+    out.push_str(&snap.phases_to_json());
 
     out.push_str(",\"counters\":");
-    out.push_str(&counters_json(snap));
+    out.push_str(&snap.counters_to_json());
 
     if let Some(jobs) = jobs {
         out.push_str(",\"jobs\":{");
@@ -147,8 +100,8 @@ fn render_with_jobs(
             out.push_str(&format!(
                 "\"{}\":{{\"phases\":{},\"counters\":{}}}",
                 j.label,
-                phases_json(&j.snapshot),
-                counters_json(&j.snapshot)
+                j.snapshot.phases_to_json(),
+                j.snapshot.counters_to_json()
             ));
         }
         out.push('}');
@@ -231,9 +184,17 @@ pub fn validate_profile(text: &str) -> Result<(), String> {
 mod tests {
     use super::*;
     use crate::runner::PmeShape;
+    use hibd_telemetry::Phase;
 
     fn fake_report(pme: Option<PmeShape>) -> RunReport {
-        RunReport { steps: 3, seconds: 0.6, seconds_per_step: 0.2, krylov_iterations: 9, pme }
+        RunReport {
+            steps: 3,
+            seconds: 0.6,
+            seconds_per_step: 0.2,
+            krylov_iterations: 9,
+            pme,
+            interrupted: false,
+        }
     }
 
     #[test]

@@ -9,17 +9,14 @@
 //! file is byte-identical to a `replicas = 1` run of that seed.
 
 use crate::checkpoint::Checkpoint;
-use crate::config::{Algorithm, Displacement, FarFieldEval, SimSpec};
+use crate::config::{Algorithm, SimSpec};
 use hibd_core::ewald_bd::{BdError, EwaldBd, EwaldBdConfig};
-use hibd_core::forces::{ConstantForce, LennardJones, RepulsiveHarmonic};
 use hibd_core::io::{Coordinates, XyzWriter};
-use hibd_core::mf_bd::{DisplacementMode, MatrixFreeBd, MatrixFreeConfig};
+use hibd_core::mf_bd::MatrixFreeBd;
 use hibd_core::system::{Boundary, ParticleSystem};
 use hibd_engine::EnsembleRunner;
 use hibd_telemetry::LabeledSnapshot;
-use hibd_treecode::{TreeEval, TreeParams};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use hibd_treecode::TreeEval;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
@@ -41,11 +38,15 @@ pub struct PmeShape {
 /// Summary of a completed run.
 #[derive(Clone, Copy, Debug)]
 pub struct RunReport {
+    /// Steps actually executed (short of the budget when interrupted).
     pub steps: usize,
     pub seconds: f64,
     pub seconds_per_step: f64,
     pub krylov_iterations: usize,
     pub pme: Option<PmeShape>,
+    /// A SIGINT/SIGTERM arrived: the run finished its in-flight step,
+    /// wrote a final checkpoint, and stopped early.
+    pub interrupted: bool,
 }
 
 /// Summary of a completed ensemble run: the aggregate report (lockstep
@@ -86,51 +87,6 @@ impl Driver {
             Driver::MatrixFree(d) => d.replica(0).timings().krylov_iterations,
             Driver::Dense(_) => 0,
         }
-    }
-}
-
-/// The [`MatrixFreeConfig`] a spec resolves to (shared by both drivers).
-fn matrix_free_config(spec: &SimSpec) -> MatrixFreeConfig {
-    let eval = match spec.eval {
-        Some(FarFieldEval::Fmm) => TreeEval::Fmm,
-        Some(FarFieldEval::Tree) | None => TreeEval::Tree,
-    };
-    MatrixFreeConfig {
-        dt: spec.dt,
-        kbt: spec.kbt,
-        lambda_rpy: spec.lambda_rpy,
-        e_k: spec.e_k,
-        target_ep: spec.e_p,
-        displacement_mode: match spec.displacement {
-            Displacement::BlockKrylov => DisplacementMode::BlockKrylov,
-            Displacement::SingleKrylov => DisplacementMode::SingleKrylov,
-            Displacement::Chebyshev => DisplacementMode::Chebyshev,
-            Displacement::SplitEwald => DisplacementMode::SplitEwald,
-        },
-        tree: spec.theta.map(|theta| TreeParams { theta, eval, ..TreeParams::default() }),
-        tree_eval: eval,
-        ..Default::default()
-    }
-}
-
-/// Generate replica `r`'s initial configuration (seed `spec.seed + r`).
-fn initial_system(spec: &SimSpec, seed: u64) -> ParticleSystem {
-    let mut rng = StdRng::seed_from_u64(seed);
-    match spec.boundary {
-        Boundary::Periodic => ParticleSystem::random_suspension_with(
-            spec.particles,
-            spec.volume_fraction,
-            spec.radius,
-            spec.viscosity,
-            &mut rng,
-        ),
-        Boundary::Open => ParticleSystem::random_cluster_with(
-            spec.particles,
-            spec.volume_fraction,
-            spec.radius,
-            spec.viscosity,
-            &mut rng,
-        ),
     }
 }
 
@@ -203,7 +159,7 @@ pub fn run_simulation(
             ));
             (ck.restore(), ck.step as usize)
         }
-        None => (initial_system(spec, spec.seed), 0),
+        None => (spec.build_system(spec.seed), 0),
     };
     match system.boundary() {
         Boundary::Periodic => log(&format!(
@@ -222,7 +178,7 @@ pub fn run_simulation(
     let mut pme_shape = None;
     let mut driver = match spec.algorithm {
         Algorithm::MatrixFree => {
-            let cfg = matrix_free_config(spec);
+            let cfg = spec.matrix_free_config();
             let mut runner = EnsembleRunner::new(cfg, vec![(system, spec.seed)])?;
             let bd = runner.replica_mut(0);
             // The per-window RNG stream is derived from the completed-step
@@ -257,8 +213,11 @@ pub fn run_simulation(
     };
 
     let t0 = std::time::Instant::now();
+    let mut completed = 0;
+    let mut interrupted = false;
     for local in 1..=spec.steps {
         driver.step()?;
+        completed = local;
         let global = start_step + local;
         if let Some(w) = traj.as_mut() {
             if local % spec.trajectory_interval == 0 {
@@ -278,6 +237,20 @@ pub fn run_simulation(
                 Checkpoint::capture(driver.system(), global as u64).save(Path::new(path))?;
             }
         }
+        // Graceful Ctrl-C: the in-flight step finished and its outputs are
+        // written; commit a final checkpoint and stop instead of dying
+        // mid-step with only the last periodic commit on disk.
+        if hibd_serve::shutdown::requested() && local < spec.steps {
+            interrupted = true;
+            match &spec.checkpoint {
+                Some(path) => {
+                    Checkpoint::capture(driver.system(), global as u64).save(Path::new(path))?;
+                    log(&format!("interrupted: checkpoint written at step {global}"));
+                }
+                None => log(&format!("interrupted at step {global} (no checkpoint configured)")),
+            }
+            break;
+        }
     }
     if let Some(w) = traj {
         let mut inner = w.into_inner()?;
@@ -286,11 +259,12 @@ pub fn run_simulation(
 
     let seconds = t0.elapsed().as_secs_f64();
     Ok(RunReport {
-        steps: spec.steps,
+        steps: completed,
         seconds,
-        seconds_per_step: seconds / spec.steps.max(1) as f64,
+        seconds_per_step: seconds / completed.max(1) as f64,
         krylov_iterations: driver.krylov_iterations(),
         pme: pme_shape,
+        interrupted,
     })
 }
 
@@ -309,9 +283,8 @@ pub fn run_ensemble(
             .into());
     }
     let replicas = spec.replicas;
-    let jobs: Vec<(ParticleSystem, u64)> = (0..replicas as u64)
-        .map(|r| (initial_system(spec, spec.seed + r), spec.seed + r))
-        .collect();
+    let jobs: Vec<(ParticleSystem, u64)> =
+        (0..replicas as u64).map(|r| (spec.build_system(spec.seed + r), spec.seed + r)).collect();
     match jobs[0].0.boundary() {
         Boundary::Periodic => log(&format!(
             "system: n = {}, L = {:.3}, phi = {:.3}, {replicas} replicas",
@@ -324,7 +297,7 @@ pub fn run_ensemble(
         }
     }
 
-    let cfg = matrix_free_config(spec);
+    let cfg = spec.matrix_free_config();
     let mut runner = EnsembleRunner::new(cfg, jobs)?;
     let pme_shape = log_shape(runner.replica(0), spec.lambda_rpy, &mut log);
     log(&format!(
@@ -351,8 +324,11 @@ pub fn run_ensemble(
     }
 
     let t0 = std::time::Instant::now();
+    let mut completed = 0;
+    let mut interrupted = false;
     for step in 1..=spec.steps {
         runner.step()?;
+        completed = step;
         for (r, traj) in trajs.iter_mut().enumerate() {
             if let Some(w) = traj.as_mut() {
                 if step % spec.trajectory_interval == 0 {
@@ -371,6 +347,22 @@ pub fn run_ensemble(
             let per = t0.elapsed().as_secs_f64() / (step * replicas) as f64;
             log(&format!("step {step}: {:.2} ms/replica-step", per * 1e3));
         }
+        // Graceful Ctrl-C: checkpoint every replica at the completed
+        // lockstep step, then stop.
+        if hibd_serve::shutdown::requested() && step < spec.steps {
+            interrupted = true;
+            if let Some(base) = &spec.checkpoint {
+                for r in 0..replicas {
+                    let path = replica_path(base, r, replicas);
+                    Checkpoint::capture(runner.replica(r).system(), step as u64)
+                        .save(Path::new(&path))?;
+                }
+                log(&format!("interrupted: {replicas} checkpoint(s) written at step {step}"));
+            } else {
+                log(&format!("interrupted at step {step} (no checkpoint configured)"));
+            }
+            break;
+        }
     }
     for w in trajs.into_iter().flatten() {
         let mut inner = w.into_inner()?;
@@ -383,32 +375,27 @@ pub fn run_ensemble(
     Ok(EnsembleReport {
         replicas,
         report: RunReport {
-            steps: spec.steps,
+            steps: completed,
             seconds,
-            seconds_per_step: seconds / (spec.steps * replicas).max(1) as f64,
+            seconds_per_step: seconds / (completed * replicas).max(1) as f64,
             krylov_iterations,
             pme: pme_shape,
+            interrupted,
         },
         jobs: runner.job_snapshots(),
     })
 }
 
 fn add_forces(spec: &SimSpec, mut add: impl FnMut(Box<dyn hibd_core::forces::Force>)) {
-    if spec.repulsion {
-        add(Box::new(RepulsiveHarmonic::default()));
-    }
-    if let Some(g) = spec.gravity {
-        add(Box::new(ConstantForce(g)));
-    }
-    if spec.lj_epsilon > 0.0 {
-        add(Box::new(LennardJones::wca(spec.lj_epsilon, 2.0 * spec.radius)));
+    for f in spec.forces() {
+        add(f);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::SimSpec;
+    use crate::config::{FarFieldEval, SimSpec};
 
     fn quiet() -> impl FnMut(&str) {
         |_msg: &str| {}

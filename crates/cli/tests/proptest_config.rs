@@ -16,7 +16,13 @@ fn spec_strategy() -> impl Strategy<Value = SimSpec> {
             prop::option::of("[a-z]{1,8}\\.xyz"),
             1usize..100,
         ),
-        (prop::bool::ANY, prop::option::of(0.05f64..0.95), 1usize..9, 0u8..3),
+        (
+            prop::bool::ANY,
+            prop::option::of(0.05f64..0.95),
+            1usize..9,
+            0u8..3,
+            prop::option::of(0.5f64..7200.0),
+        ),
     )
         .prop_map(
             |(
@@ -24,7 +30,7 @@ fn spec_strategy() -> impl Strategy<Value = SimSpec> {
                 (solver, dt, kbt, lambda_rpy),
                 (e_k, e_p, steps, repulsion),
                 (gravity, lj_epsilon, trajectory, interval),
-                (open, theta, replicas, eval),
+                (open, theta, replicas, eval, deadline),
             )| {
                 // solver 0 = dense, 1..=4 = matrix-free displacement modes.
                 SimSpec {
@@ -68,6 +74,7 @@ fn spec_strategy() -> impl Strategy<Value = SimSpec> {
                         _ => None,
                     },
                     replicas,
+                    deadline_seconds: deadline,
                 }
             },
         )

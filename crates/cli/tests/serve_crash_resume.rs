@@ -1,0 +1,115 @@
+//! Crash-resume for the `hibd serve` daemon, end to end through the real
+//! binary: spool a job, SIGKILL the daemon mid-run (no graceful drain —
+//! whatever was committed last is all that survives), restart it, and
+//! assert the finished trajectory is byte-identical to an uninterrupted
+//! standalone `hibd run` of the same config.
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn hibd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hibd"))
+}
+
+fn temp_root() -> PathBuf {
+    let dir = std::env::temp_dir().join("hibd_serve_crash_resume");
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The job: long enough to reliably straddle the kill, small enough that
+/// the uninterrupted reference run stays cheap.
+fn job_config(trajectory: Option<&Path>) -> String {
+    let mut text = String::from(
+        "particles = 14\nvolume_fraction = 0.1\nseed = 7\nsteps = 400\nlambda_rpy = 2\n\
+         trajectory_interval = 2\nreport_interval = 0\n",
+    );
+    if let Some(path) = trajectory {
+        text.push_str(&format!("trajectory = {}\n", path.display()));
+    }
+    text
+}
+
+fn serve_config(root: &Path, exit_when_idle: bool) -> PathBuf {
+    let path = root.join(if exit_when_idle { "serve_idle.conf" } else { "serve.conf" });
+    std::fs::write(
+        &path,
+        format!(
+            "spool = {}\noutput = {}\nworkers = 1\npoll_ms = 5\nstatus_ms = 20\n\
+             exit_when_idle = {}\n",
+            root.join("spool").display(),
+            root.join("out").display(),
+            if exit_when_idle { "on" } else { "off" }
+        ),
+    )
+    .unwrap();
+    path
+}
+
+/// Poll `status.json` until the job's step enters `[lo, hi]`.
+fn wait_for_step(status: &Path, lo: f64, hi: f64, child: &mut Child) {
+    let t0 = Instant::now();
+    loop {
+        assert!(t0.elapsed() < Duration::from_secs(120), "timed out waiting for step {lo}..{hi}");
+        if let Some(status) = child.try_wait().unwrap() {
+            panic!("daemon exited early: {status}");
+        }
+        if let Ok(doc) = std::fs::read_to_string(status) {
+            if let Some(step) = doc
+                .split("\"long\": {")
+                .nth(1)
+                .and_then(|j| j.split("\"step\": ").nth(1))
+                .and_then(|s| s.split(',').next())
+                .and_then(|s| s.trim().parse::<f64>().ok())
+            {
+                if (lo..=hi).contains(&step) {
+                    return;
+                }
+                assert!(step <= hi, "polled too slowly: job already at step {step}");
+            }
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn killed_daemon_resumes_every_job_bitwise() {
+    let root = temp_root();
+    std::fs::create_dir_all(root.join("spool")).unwrap();
+    std::fs::write(root.join("spool").join("long.conf"), job_config(None)).unwrap();
+
+    // Uninterrupted reference trajectory via standalone `hibd run`.
+    let ref_traj = root.join("ref.xyz");
+    let run_conf = root.join("run.conf");
+    std::fs::write(&run_conf, job_config(Some(&ref_traj))).unwrap();
+    let out = hibd().arg("run").arg(&run_conf).output().unwrap();
+    assert!(out.status.success(), "reference run failed: {}", String::from_utf8_lossy(&out.stderr));
+    let reference = std::fs::read(&ref_traj).unwrap();
+
+    // Start the daemon, let the job get properly mid-run, and SIGKILL it:
+    // no drain, no final commit — a hard crash.
+    let mut child = hibd()
+        .arg("serve")
+        .arg(serve_config(&root, false))
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    wait_for_step(&root.join("out").join("status.json"), 40.0, 260.0, &mut child);
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    // Restart: the daemon resumes from the last committed checkpoint,
+    // truncates the trajectory to the committed byte count, and finishes.
+    let out = hibd().arg("serve").arg(serve_config(&root, true)).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "restart failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("resumed at step"), "expected a resume, not a restart:\n{stdout}");
+    assert!(stdout.contains("1 done"), "{stdout}");
+
+    let got = std::fs::read(root.join("out").join("long").join("trajectory.xyz")).unwrap();
+    assert_eq!(got, reference, "crash-resumed trajectory diverged from the uninterrupted run");
+    std::fs::remove_dir_all(&root).ok();
+}

@@ -18,7 +18,7 @@
 //!
 //! Version 1 files predate open boundaries and decode as periodic.
 
-use hibd_core::system::{Boundary, ParticleSystem};
+use crate::system::{Boundary, ParticleSystem};
 use hibd_mathx::Vec3;
 use std::fmt;
 

@@ -32,8 +32,13 @@
 //! checkpoint_interval = 500
 //! ```
 
-use hibd_core::system::Boundary;
+use crate::forces::{ConstantForce, Force, LennardJones, RepulsiveHarmonic};
+use crate::mf_bd::{DisplacementMode, MatrixFreeConfig};
+use crate::system::{Boundary, ParticleSystem};
 use hibd_mathx::Vec3;
+use hibd_treecode::{TreeEval, TreeParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -107,6 +112,10 @@ pub struct SimSpec {
     pub report_interval: usize,
     pub checkpoint: Option<String>,
     pub checkpoint_interval: usize,
+    /// Wall-clock budget enforced by `hibd serve`: a job still running
+    /// after this many seconds is checkpointed and failed as expired.
+    /// `None` (the default) means no deadline; `hibd run` ignores it.
+    pub deadline_seconds: Option<f64>,
 }
 
 impl Default for SimSpec {
@@ -137,6 +146,7 @@ impl Default for SimSpec {
             report_interval: 100,
             checkpoint: None,
             checkpoint_interval: 0,
+            deadline_seconds: None,
         }
     }
 }
@@ -269,6 +279,7 @@ impl SimSpec {
                 "report_interval" => spec.report_interval = parse_num(*line, key, value)?,
                 "checkpoint" => spec.checkpoint = Some(value.clone()),
                 "checkpoint_interval" => spec.checkpoint_interval = parse_num(*line, key, value)?,
+                "deadline_seconds" => spec.deadline_seconds = Some(parse_num(*line, key, value)?),
                 other => return Err(err(*line, format!("unknown key `{other}`"))),
             }
         }
@@ -354,7 +365,78 @@ impl SimSpec {
         if self.checkpoint.is_some() && self.checkpoint_interval == 0 {
             return Err("checkpoint_interval must be positive when checkpoint is set".into());
         }
+        if let Some(d) = self.deadline_seconds {
+            if !d.is_finite() || d <= 0.0 {
+                return Err(format!("deadline_seconds {d} must be positive"));
+            }
+        }
         Ok(())
+    }
+
+    /// The [`MatrixFreeConfig`] this spec resolves to (shared by `hibd
+    /// run`, `hibd ensemble`, and `hibd serve`).
+    #[must_use]
+    pub fn matrix_free_config(&self) -> MatrixFreeConfig {
+        let eval = match self.eval {
+            Some(FarFieldEval::Fmm) => TreeEval::Fmm,
+            Some(FarFieldEval::Tree) | None => TreeEval::Tree,
+        };
+        MatrixFreeConfig {
+            dt: self.dt,
+            kbt: self.kbt,
+            lambda_rpy: self.lambda_rpy,
+            e_k: self.e_k,
+            target_ep: self.e_p,
+            displacement_mode: match self.displacement {
+                Displacement::BlockKrylov => DisplacementMode::BlockKrylov,
+                Displacement::SingleKrylov => DisplacementMode::SingleKrylov,
+                Displacement::Chebyshev => DisplacementMode::Chebyshev,
+                Displacement::SplitEwald => DisplacementMode::SplitEwald,
+            },
+            tree: self.theta.map(|theta| TreeParams { theta, eval, ..TreeParams::default() }),
+            tree_eval: eval,
+            ..Default::default()
+        }
+    }
+
+    /// Generate the initial configuration for `seed` (replica `r` of an
+    /// ensemble passes `spec.seed + r`).
+    #[must_use]
+    pub fn build_system(&self, seed: u64) -> ParticleSystem {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match self.boundary {
+            Boundary::Periodic => ParticleSystem::random_suspension_with(
+                self.particles,
+                self.volume_fraction,
+                self.radius,
+                self.viscosity,
+                &mut rng,
+            ),
+            Boundary::Open => ParticleSystem::random_cluster_with(
+                self.particles,
+                self.volume_fraction,
+                self.radius,
+                self.viscosity,
+                &mut rng,
+            ),
+        }
+    }
+
+    /// The deterministic forces this spec turns on, ready to attach to a
+    /// driver in a fixed order (repulsion, gravity, LJ).
+    #[must_use]
+    pub fn forces(&self) -> Vec<Box<dyn Force>> {
+        let mut out: Vec<Box<dyn Force>> = Vec::new();
+        if self.repulsion {
+            out.push(Box::new(RepulsiveHarmonic::default()));
+        }
+        if let Some(g) = self.gravity {
+            out.push(Box::new(ConstantForce(g)));
+        }
+        if self.lj_epsilon > 0.0 {
+            out.push(Box::new(LennardJones::wca(self.lj_epsilon, 2.0 * self.radius)));
+        }
+        out
     }
 }
 
@@ -409,12 +491,15 @@ impl SimSpec {
         writeln!(out, "lj_epsilon = {}", self.lj_epsilon).unwrap();
         if let Some(t) = &self.trajectory {
             writeln!(out, "trajectory = {t}").unwrap();
-            writeln!(out, "trajectory_interval = {}", self.trajectory_interval).unwrap();
         }
+        writeln!(out, "trajectory_interval = {}", self.trajectory_interval).unwrap();
         writeln!(out, "report_interval = {}", self.report_interval).unwrap();
         if let Some(c) = &self.checkpoint {
             writeln!(out, "checkpoint = {c}").unwrap();
-            writeln!(out, "checkpoint_interval = {}", self.checkpoint_interval).unwrap();
+        }
+        writeln!(out, "checkpoint_interval = {}", self.checkpoint_interval).unwrap();
+        if let Some(d) = self.deadline_seconds {
+            writeln!(out, "deadline_seconds = {d}").unwrap();
         }
         out
     }
@@ -628,5 +713,34 @@ mod tests {
     fn comments_and_blank_lines_ignored() {
         let s = SimSpec::parse("\n# full line comment\n  \nparticles = 7 # trailing\n").unwrap();
         assert_eq!(s.particles, 7);
+    }
+
+    #[test]
+    fn deadline_parses_validates_and_roundtrips() {
+        assert!(SimSpec::parse("particles = 8\n").unwrap().deadline_seconds.is_none());
+        let s = SimSpec::parse("deadline_seconds = 2.5\n").unwrap();
+        assert_eq!(s.deadline_seconds, Some(2.5));
+        assert!(SimSpec::parse("deadline_seconds = 0\n").unwrap_err().message.contains("positive"));
+        assert!(SimSpec::parse("deadline_seconds = -3\n").is_err());
+        let spec = SimSpec { deadline_seconds: Some(30.0), ..SimSpec::default() };
+        assert_eq!(SimSpec::parse(&spec.to_config_text()).unwrap().deadline_seconds, Some(30.0));
+    }
+
+    #[test]
+    fn spec_builders_match_the_boundary() {
+        let spec = SimSpec { particles: 9, ..SimSpec::default() };
+        let sys = spec.build_system(3);
+        assert_eq!((sys.len(), sys.boundary()), (9, Boundary::Periodic));
+        let open = SimSpec { particles: 9, boundary: Boundary::Open, ..SimSpec::default() };
+        assert_eq!(open.build_system(3).boundary(), Boundary::Open);
+        // build_system is a pure function of (spec, seed).
+        let again = spec.build_system(3);
+        assert_eq!(sys.positions(), again.positions());
+
+        let cfg = spec.matrix_free_config();
+        assert_eq!(cfg.lambda_rpy, spec.lambda_rpy);
+        assert_eq!(spec.forces().len(), 1, "default spec turns on repulsion only");
+        let heavy = SimSpec { gravity: Some(Vec3::new(0.0, 0.0, -1.0)), ..spec };
+        assert_eq!(heavy.forces().len(), 2);
     }
 }

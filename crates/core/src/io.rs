@@ -36,6 +36,14 @@ impl<W: Write> XyzWriter<W> {
         self
     }
 
+    /// Resume appending to a trajectory that already holds `frames` frames,
+    /// keeping the extended-XYZ `frame=` counter monotone across restarts
+    /// (`hibd serve` truncates to the committed byte count and continues).
+    pub fn with_frame_offset(mut self, frames: usize) -> Self {
+        self.frames = frames;
+        self
+    }
+
     /// Append one frame.
     pub fn write_frame(&mut self, system: &ParticleSystem, comment: &str) -> io::Result<()> {
         let pts = match self.coords {
@@ -56,6 +64,11 @@ impl<W: Write> XyzWriter<W> {
     /// Frames written so far.
     pub fn frames(&self) -> usize {
         self.frames
+    }
+
+    /// The underlying sink (flush points, byte accounting).
+    pub fn sink_mut(&mut self) -> &mut W {
+        &mut self.sink
     }
 
     /// Flush and return the underlying sink.

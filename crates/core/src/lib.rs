@@ -15,12 +15,18 @@
 //!   the example applications;
 //! * [`diffusion`] — the translational diffusion-coefficient estimator of
 //!   paper Eq. 12, with block-averaged error bars;
+//! * [`config`] — the `key = value` simulation spec shared by every front
+//!   end (`hibd run` configs double as `hibd serve` spool job files);
+//! * [`checkpoint`] — versioned binary snapshot/restart of the full
+//!   simulation state;
 //! * [`hybrid`] — the CPU + accelerator execution scheme of Section IV-E:
 //!   model-driven static partitioning, `alpha` load balancing, and an
 //!   overlapped real/reciprocal executor. On this host the accelerators are
 //!   *modeled* devices parameterized by Table I (see DESIGN.md).
 
 pub mod analysis;
+pub mod checkpoint;
+pub mod config;
 pub mod diffusion;
 pub mod ewald_bd;
 pub mod forces;
@@ -30,6 +36,8 @@ pub mod mf_bd;
 pub mod system;
 
 pub use analysis::RdfAccumulator;
+pub use checkpoint::Checkpoint;
+pub use config::SimSpec;
 pub use diffusion::DiffusionEstimator;
 pub use ewald_bd::{EwaldBd, EwaldBdConfig};
 pub use forces::{ConstantForce, Force, HarmonicBond, LennardJones, RepulsiveHarmonic};

@@ -79,28 +79,44 @@ impl ShapeKey {
 pub struct PlanCache {
     pme: BTreeMap<ShapeKey, Arc<PmePlans>>,
     tree: BTreeMap<ShapeKey, Arc<TreePlans>>,
+    /// Keys from least- to most-recently used; `None` capacity = unbounded.
+    /// A `Vec` scan is fine: capacities are tens of shapes, not thousands.
+    recency: Vec<ShapeKey>,
+    capacity: Option<usize>,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl PlanCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     #[must_use]
     pub fn new() -> PlanCache {
         PlanCache::default()
+    }
+
+    /// An empty cache holding at most `capacity` shapes; the least-recently
+    /// used entry is evicted on overflow (`capacity` 0 is treated as 1 —
+    /// the entry just built must survive long enough to be returned). Jobs
+    /// already holding an evicted `Arc` keep it alive; eviction only means
+    /// the *next* job with that shape rebuilds its plans.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> PlanCache {
+        PlanCache { capacity: Some(capacity.max(1)), ..PlanCache::default() }
     }
 
     /// Shared PME plans for `params`, building them on first sight.
     pub fn pme(&mut self, params: PmeParams) -> Result<Arc<PmePlans>, BdError> {
         let key = ShapeKey::periodic(&params);
         if let Some(p) = self.pme.get(&key).map(Arc::clone) {
-            self.hit();
+            self.hit(key);
             return Ok(p);
         }
         self.miss();
         let _sw = telemetry::span(Phase::PmeSetup);
         let p = Arc::new(PmePlans::new(params).map_err(|e| BdError::Setup(e.to_string()))?);
         self.pme.insert(key, Arc::clone(&p));
+        self.inserted(key);
         Ok(p)
     }
 
@@ -108,13 +124,14 @@ impl PlanCache {
     pub fn tree(&mut self, params: TreeParams) -> Arc<TreePlans> {
         let key = ShapeKey::open(&params);
         if let Some(p) = self.tree.get(&key).map(Arc::clone) {
-            self.hit();
+            self.hit(key);
             return p;
         }
         self.miss();
         let _sw = telemetry::span(Phase::TreeBuild);
         let p = Arc::new(TreePlans::new(params));
         self.tree.insert(key, Arc::clone(&p));
+        self.inserted(key);
         p
     }
 
@@ -133,14 +150,36 @@ impl PlanCache {
         }
     }
 
-    fn hit(&mut self) {
+    fn hit(&mut self, key: ShapeKey) {
         self.hits += 1;
+        self.touch(key);
         telemetry::incr(Counter::PlanCacheHits, 1);
     }
 
     fn miss(&mut self) {
         self.misses += 1;
         telemetry::incr(Counter::PlanCacheMisses, 1);
+    }
+
+    /// Move `key` to the most-recently-used end of the recency list.
+    fn touch(&mut self, key: ShapeKey) {
+        if let Some(i) = self.recency.iter().position(|k| *k == key) {
+            self.recency.remove(i);
+        }
+        self.recency.push(key);
+    }
+
+    /// Record a fresh insertion and evict the LRU entry if over capacity.
+    fn inserted(&mut self, key: ShapeKey) {
+        self.touch(key);
+        let Some(cap) = self.capacity else { return };
+        while self.len() > cap && !self.recency.is_empty() {
+            let victim = self.recency.remove(0);
+            self.pme.remove(&victim);
+            self.tree.remove(&victim);
+            self.evictions += 1;
+            telemetry::incr(Counter::PlanCacheEvictions, 1);
+        }
     }
 
     /// Lookups that reused an existing entry.
@@ -153,6 +192,18 @@ impl PlanCache {
     #[must_use]
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Entries evicted to stay within capacity.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// The configured capacity, `None` when unbounded.
+    #[must_use]
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
     }
 
     /// Distinct shapes currently cached.
@@ -254,6 +305,60 @@ mod tests {
         let mut sorted = shapes.clone();
         sorted.sort_unstable();
         assert_eq!(shapes, sorted, "shapes() is key-ordered");
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_shape() {
+        let mut cache = PlanCache::with_capacity(2);
+        let p1 = PmeParams { mesh_dim: 8, ..PmeParams::default() };
+        let p2 = PmeParams { mesh_dim: 12, ..PmeParams::default() };
+        let p3 = PmeParams { mesh_dim: 16, ..PmeParams::default() };
+
+        cache.pme(p1).unwrap();
+        cache.pme(p2).unwrap();
+        assert_eq!((cache.len(), cache.evictions()), (2, 0));
+
+        // Touch p1 so p2 becomes the LRU entry, then overflow with p3.
+        cache.pme(p1).unwrap();
+        cache.pme(p3).unwrap();
+        assert_eq!((cache.len(), cache.evictions()), (2, 1));
+        let shapes = cache.shapes();
+        assert!(shapes.contains(&ShapeKey::periodic(&p1)), "recently used p1 survives");
+        assert!(!shapes.contains(&ShapeKey::periodic(&p2)), "LRU p2 evicted");
+        assert!(shapes.contains(&ShapeKey::periodic(&p3)));
+
+        // An evicted shape rebuilds (a miss), it does not error.
+        let before = cache.misses();
+        cache.pme(p2).unwrap();
+        assert_eq!(cache.misses(), before + 1);
+        assert_eq!(cache.evictions(), 2, "p2 reinsertion evicted the new LRU");
+    }
+
+    #[test]
+    fn lru_spans_pme_and_tree_maps() {
+        let mut cache = PlanCache::with_capacity(1);
+        cache.tree(TreeParams::default());
+        cache.pme(PmeParams { mesh_dim: 8, ..PmeParams::default() }).unwrap();
+        assert_eq!((cache.len(), cache.evictions()), (1, 1));
+        assert!(matches!(cache.shapes()[0], ShapeKey::Periodic { .. }));
+    }
+
+    #[test]
+    fn zero_capacity_still_serves_each_lookup() {
+        let mut cache = PlanCache::with_capacity(0);
+        let a = cache.tree(TreeParams::default());
+        assert!(a.memory_bytes() > 0);
+        assert_eq!(cache.len(), 1, "capacity 0 clamps to 1");
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let mut cache = PlanCache::new();
+        assert_eq!(cache.capacity(), None);
+        for dim in [8usize, 12, 16, 18, 20] {
+            cache.pme(PmeParams { mesh_dim: dim, ..PmeParams::default() }).unwrap();
+        }
+        assert_eq!((cache.len(), cache.evictions()), (5, 0));
     }
 
     #[test]

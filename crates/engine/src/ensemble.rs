@@ -7,6 +7,14 @@
 //! group goes through **one** batched forward/inverse FFT pair instead of
 //! `G` separate 3-transform trips.
 //!
+//! Membership is dynamic: [`EnsembleRunner::admit`] adds a job between
+//! steps (it joins its shape group at the next step boundary) and
+//! [`EnsembleRunner::retire`] removes one without stalling the rest —
+//! retired slots are reused by later admissions. This is safe under the
+//! bitwise contract because the batched FFTs are bitwise identical per
+//! mesh: regrouping only repacks which meshes ride in one batch, never
+//! what any single mesh computes.
+//!
 //! Bitwise contract: a replica stepped here produces exactly the trajectory
 //! a standalone `MatrixFreeBd` with the same system, config, and seed
 //! would. The window refresh (operator build + Brownian block) is the
@@ -44,19 +52,96 @@ fn record_pme_times(snap: &mut Snapshot, t: &PmePhaseTimes) {
     record_phase(snap, Phase::RealSpace, t.real_space);
 }
 
-/// Steps `R` replicas in lockstep, sharing setup plans and batching the
-/// drift FFTs of same-shape periodic replicas.
+/// Why a job failed during an isolated step.
+#[derive(Debug)]
+pub enum JobFault {
+    /// The driver returned a structured error.
+    Error(BdError),
+    /// The job panicked; the payload message, when one was attached.
+    Panic(String),
+}
+
+impl std::fmt::Display for JobFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobFault::Error(e) => write!(f, "{e}"),
+            JobFault::Panic(msg) => write!(f, "panic: {msg}"),
+        }
+    }
+}
+
+/// One job's failure from [`EnsembleRunner::step_isolated`]. The slot is
+/// dead for the rest of that step; the caller decides whether to
+/// [`retire`](EnsembleRunner::retire) it (a failed job's operator scratch
+/// is suspect — always retire before stepping again).
+#[derive(Debug)]
+pub struct JobFailure {
+    /// Slot index of the failed job.
+    pub slot: usize,
+    /// What went wrong.
+    pub fault: JobFault,
+}
+
+/// Best-effort extraction of a panic payload message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Run one per-job segment. With `isolate` set, panics are caught and
+/// converted into faults (the segment only touches that job's own driver
+/// state, which the caller then retires — hence the `AssertUnwindSafe`);
+/// without it, errors and panics propagate exactly as before.
+fn run_guarded<T>(isolate: bool, f: impl FnOnce() -> Result<T, BdError>) -> Result<T, JobFault> {
+    if isolate {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+            Ok(Ok(v)) => Ok(v),
+            Ok(Err(e)) => Err(JobFault::Error(e)),
+            Err(p) => Err(JobFault::Panic(panic_message(p.as_ref()))),
+        }
+    } else {
+        f().map_err(JobFault::Error)
+    }
+}
+
+/// Record a per-job fault, or propagate it when isolation is off.
+fn note_fault(
+    isolate: bool,
+    slot: usize,
+    fault: JobFault,
+    dead: &mut [bool],
+    failures: &mut Vec<JobFailure>,
+) -> Result<(), BdError> {
+    if !isolate {
+        if let JobFault::Error(e) = fault {
+            return Err(e);
+        }
+    }
+    dead[slot] = true;
+    failures.push(JobFailure { slot, fault });
+    Ok(())
+}
+
+/// Steps live replicas in lockstep, sharing setup plans and batching the
+/// drift FFTs of same-shape periodic replicas. Slots are stable handles:
+/// a job keeps its slot index for life, and retired slots are recycled.
 pub struct EnsembleRunner {
-    replicas: Vec<MatrixFreeBd>,
+    slots: Vec<Option<MatrixFreeBd>>,
     cache: PlanCache,
-    /// Same-shape periodic replica groups (indices into `replicas`), fixed
-    /// at construction: plans are per-driver immutable.
+    /// Same-shape periodic groups (slot indices), rebuilt on every
+    /// admit/retire. Plans are per-driver immutable, so membership only
+    /// changes at those step boundaries.
     groups: Vec<Vec<usize>>,
-    /// Open-boundary replicas, stepped through their own tree operator.
+    /// Open-boundary slots, stepped through their own tree operator.
     solo: Vec<usize>,
-    /// Per-replica drift `M f` buffers.
+    /// Per-slot drift `M f` buffers.
     drift: Vec<Vec<f64>>,
-    /// Per-job phase statistics ("r0", "r1", ...).
+    /// Per-slot phase statistics ("r0", "r1", ...).
     per_job: Vec<Snapshot>,
     /// Work not attributable to one job: the batched FFT passes.
     shared: Snapshot,
@@ -64,24 +149,84 @@ pub struct EnsembleRunner {
 
 impl EnsembleRunner {
     /// Build one replica per `(system, seed)` job, all under `cfg`, sharing
-    /// setup plans through an internal [`PlanCache`].
+    /// setup plans through an internal unbounded [`PlanCache`].
     pub fn new(
         cfg: MatrixFreeConfig,
         jobs: Vec<(ParticleSystem, u64)>,
     ) -> Result<EnsembleRunner, BdError> {
-        let mut cache = PlanCache::new();
-        let mut replicas = Vec::with_capacity(jobs.len());
+        let mut runner = EnsembleRunner::with_cache(PlanCache::new());
         for (system, seed) in jobs {
-            let plans = cache.plans_for(&system, &cfg)?;
-            replicas.push(MatrixFreeBd::with_plans(system, cfg, seed, plans)?);
+            runner.admit(system, cfg, seed)?;
         }
+        Ok(runner)
+    }
 
-        // Group periodic replicas by shared-plan identity. `Arc::ptr_eq` is
-        // the grouping key: equal pointers guarantee the same FFT plan, so
-        // one batched transform serves the whole group.
+    /// An empty runner that shares plans through `cache` (use
+    /// [`PlanCache::with_capacity`] to bound a long-running service).
+    #[must_use]
+    pub fn with_cache(cache: PlanCache) -> EnsembleRunner {
+        EnsembleRunner {
+            slots: Vec::new(),
+            cache,
+            groups: Vec::new(),
+            solo: Vec::new(),
+            drift: Vec::new(),
+            per_job: Vec::new(),
+            shared: Snapshot::empty(),
+        }
+    }
+
+    /// Admit a new job, returning its slot index. The job joins its shape
+    /// group at the next step boundary; a retired slot is reused when one
+    /// is free. Admission is the only point that builds plans, so a
+    /// same-shape admit is a cache hit and shares the existing `Arc`.
+    pub fn admit(
+        &mut self,
+        system: ParticleSystem,
+        cfg: MatrixFreeConfig,
+        seed: u64,
+    ) -> Result<usize, BdError> {
+        let plans = self.cache.plans_for(&system, &cfg)?;
+        let bd = MatrixFreeBd::with_plans(system, cfg, seed, plans)?;
+        let slot = match self.slots.iter().position(Option::is_none) {
+            Some(free) => {
+                self.slots[free] = Some(bd);
+                free
+            }
+            None => {
+                self.slots.push(Some(bd));
+                self.drift.push(Vec::new());
+                self.per_job.push(Snapshot::empty());
+                self.slots.len() - 1
+            }
+        };
+        self.drift[slot].clear();
+        self.per_job[slot] = Snapshot::empty();
+        self.regroup();
+        Ok(slot)
+    }
+
+    /// Remove the job in `slot` (finished, failed, or cancelled) and hand
+    /// its driver back; the rest of its group keeps stepping. Read the
+    /// slot's [`job_snapshot`](EnsembleRunner::job_snapshot) *before*
+    /// retiring — retirement resets it for the next occupant.
+    pub fn retire(&mut self, slot: usize) -> Option<MatrixFreeBd> {
+        let bd = self.slots.get_mut(slot)?.take()?;
+        self.drift[slot] = Vec::new();
+        self.per_job[slot] = Snapshot::empty();
+        self.regroup();
+        Some(bd)
+    }
+
+    /// Rebuild the periodic groups and the solo list from the live slots.
+    /// `Arc::ptr_eq` is the grouping key: equal pointers guarantee the
+    /// same FFT plan, so one batched transform serves the whole group.
+    /// Slot-index iteration keeps the grouping deterministic.
+    fn regroup(&mut self) {
         let mut groups: Vec<(Arc<hibd_pme::PmePlans>, Vec<usize>)> = Vec::new();
         let mut solo = Vec::new();
-        for (r, bd) in replicas.iter().enumerate() {
+        for (r, bd) in self.slots.iter().enumerate() {
+            let Some(bd) = bd else { continue };
             match bd.plans() {
                 MobilityPlans::Pme(p) => match groups.iter_mut().find(|(g, _)| Arc::ptr_eq(g, p)) {
                     Some((_, members)) => members.push(r),
@@ -90,87 +235,160 @@ impl EnsembleRunner {
                 MobilityPlans::Tree(_) => solo.push(r),
             }
         }
-
-        let n_jobs = replicas.len();
-        Ok(EnsembleRunner {
-            replicas,
-            cache,
-            groups: groups.into_iter().map(|(_, members)| members).collect(),
-            solo,
-            drift: vec![Vec::new(); n_jobs],
-            per_job: vec![Snapshot::empty(); n_jobs],
-            shared: Snapshot::empty(),
-        })
+        self.groups = groups.into_iter().map(|(_, members)| members).collect();
+        self.solo = solo;
     }
 
-    /// Number of replicas.
+    /// Number of live replicas.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.replicas.len()
+        self.slots.iter().filter(|s| s.is_some()).count()
     }
 
-    /// Whether the runner holds no replicas.
+    /// Whether the runner holds no live replicas.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.replicas.is_empty()
+        self.len() == 0
+    }
+
+    /// Slot indices of the live replicas, in slot order.
+    #[must_use]
+    pub fn live_slots(&self) -> Vec<usize> {
+        (0..self.slots.len()).filter(|&r| self.slots[r].is_some()).collect()
+    }
+
+    /// The replica in `slot`, when one is live there.
+    #[must_use]
+    pub fn slot(&self, slot: usize) -> Option<&MatrixFreeBd> {
+        self.slots.get(slot).and_then(Option::as_ref)
+    }
+
+    /// The replica in `slot`, mutable, when one is live there.
+    pub fn slot_mut(&mut self, slot: usize) -> Option<&mut MatrixFreeBd> {
+        self.slots.get_mut(slot).and_then(Option::as_mut)
     }
 
     /// Replica `r` (read access: positions, timings, parameters).
+    ///
+    /// # Panics
+    /// Panics when slot `r` is empty; use [`slot`](EnsembleRunner::slot)
+    /// where retirement is in play.
     #[must_use]
     pub fn replica(&self, r: usize) -> &MatrixFreeBd {
-        &self.replicas[r]
+        self.slots[r].as_ref().expect("live replica")
     }
 
     /// Replica `r`, mutable — for attaching forces before stepping.
+    ///
+    /// # Panics
+    /// Panics when slot `r` is empty.
     pub fn replica_mut(&mut self, r: usize) -> &mut MatrixFreeBd {
-        &mut self.replicas[r]
+        self.slots[r].as_mut().expect("live replica")
     }
 
-    /// The internal plan cache (hit/miss counters, resident plan bytes).
+    /// The internal plan cache (hit/miss/eviction counters, plan bytes).
     #[must_use]
     pub fn cache(&self) -> &PlanCache {
         &self.cache
     }
 
-    /// Advance every replica by one BD step.
+    /// Sizes of the current same-shape periodic groups, in group order.
+    #[must_use]
+    pub fn group_sizes(&self) -> Vec<usize> {
+        self.groups.iter().map(Vec::len).collect()
+    }
+
+    /// Number of open-boundary (ungrouped) replicas.
+    #[must_use]
+    pub fn solo_count(&self) -> usize {
+        self.solo.len()
+    }
+
+    /// Advance every replica by one BD step. The first job error aborts
+    /// the step (and a job panic propagates) — the pre-service contract.
     pub fn step(&mut self) -> Result<(), BdError> {
-        let n_jobs = self.replicas.len();
+        self.step_impl(false).map(|_| ())
+    }
+
+    /// Advance every replica by one BD step with per-job fault isolation:
+    /// a job that errors or panics is skipped for the rest of the step and
+    /// reported, while the rest of its group (and the daemon) keep going.
+    /// Failed slots must be [`retire`](EnsembleRunner::retire)d before the
+    /// next step — their driver state is suspect.
+    pub fn step_isolated(&mut self) -> Vec<JobFailure> {
+        self.step_impl(true).expect("isolated step never propagates job faults")
+    }
+
+    fn step_impl(&mut self, isolate: bool) -> Result<Vec<JobFailure>, BdError> {
+        let n_slots = self.slots.len();
+        let mut failures = Vec::new();
+        let mut dead = vec![false; n_slots];
 
         // Window refresh per replica (operator rebuild + Brownian block),
         // attributing the standalone-path timings to the owning job.
-        for r in 0..n_jobs {
-            let before = *self.replicas[r].timings();
-            self.replicas[r].ensure_window()?;
-            let after = *self.replicas[r].timings();
-            let setup_phase = match self.replicas[r].plans() {
+        for r in 0..n_slots {
+            let Some(bd) = self.slots[r].as_mut() else {
+                dead[r] = true;
+                continue;
+            };
+            let before = *bd.timings();
+            let setup_phase = match bd.plans() {
                 MobilityPlans::Pme(_) => Phase::PmeSetup,
                 MobilityPlans::Tree(_) => Phase::TreeBuild,
             };
-            let snap = &mut self.per_job[r];
-            record_phase(snap, setup_phase, after.setup - before.setup);
-            record_phase(snap, Phase::Displacements, after.displacements - before.displacements);
-            snap.counters[Counter::LanczosIterations as usize] +=
-                (after.krylov_iterations - before.krylov_iterations) as u64;
+            match run_guarded(isolate, || bd.ensure_window()) {
+                Ok(()) => {
+                    let after = *self.slots[r].as_ref().expect("live").timings();
+                    let snap = &mut self.per_job[r];
+                    record_phase(snap, setup_phase, after.setup - before.setup);
+                    record_phase(
+                        snap,
+                        Phase::Displacements,
+                        after.displacements - before.displacements,
+                    );
+                    snap.counters[Counter::LanczosIterations as usize] +=
+                        (after.krylov_iterations - before.krylov_iterations) as u64;
+                }
+                Err(fault) => note_fault(isolate, r, fault, &mut dead, &mut failures)?,
+            }
         }
 
         // Deterministic forces on the current configurations.
-        let forces: Vec<Vec<f64>> =
-            self.replicas.iter_mut().map(MatrixFreeBd::total_forces).collect();
-        for (r, bd) in self.replicas.iter().enumerate() {
+        let mut forces: Vec<Vec<f64>> = vec![Vec::new(); n_slots];
+        for r in 0..n_slots {
+            if dead[r] {
+                continue;
+            }
+            let bd = self.slots[r].as_mut().expect("live");
+            match run_guarded(isolate, || Ok(bd.total_forces())) {
+                Ok(f) => forces[r] = f,
+                Err(fault) => note_fault(isolate, r, fault, &mut dead, &mut failures)?,
+            }
+        }
+        for (r, is_dead) in dead.iter().enumerate() {
+            if *is_dead {
+                self.drift[r].clear();
+                continue;
+            }
+            let n = self.slots[r].as_ref().expect("live").system().len();
             self.drift[r].clear();
-            self.drift[r].resize(3 * bd.system().len(), 0.0);
+            self.drift[r].resize(3 * n, 0.0);
         }
 
         // Drift `M f` for each same-shape periodic group: per-replica
         // real-space + spread, one shared batched FFT round trip,
         // per-replica influence + interpolation. The batch buffers are
-        // *borrowed* from the group's first operator — its Krylov batch
-        // scratch already holds `3 lambda` meshes, so lockstepping adds no
-        // large allocation of its own.
+        // *borrowed* from the group's first live operator — its Krylov
+        // batch scratch already holds `3 lambda` meshes, so lockstepping
+        // adds no large allocation of its own. A member that faults
+        // mid-group leaves its mesh chunk untouched downstream; the batch
+        // FFT is bitwise per mesh, so one member's garbage never reaches
+        // another's lanes.
         for group in &self.groups {
-            let g = group.len();
-            let host = group[0];
-            let plans = match self.replicas[host].plans() {
+            let live: Vec<usize> = group.iter().copied().filter(|&r| !dead[r]).collect();
+            let Some(&host) = live.first() else { continue };
+            let g = live.len();
+            let plans = match self.slots[host].as_ref().expect("live").plans() {
                 MobilityPlans::Pme(p) => Arc::clone(p),
                 MobilityPlans::Tree(_) => unreachable!("groups hold periodic replicas"),
             };
@@ -178,22 +396,37 @@ impl EnsembleRunner {
             let k3 = k * k * k;
             let s_len = k * k * (k / 2 + 1);
             let (need_mesh, need_spec) = (3 * g * k3, 3 * g * s_len);
-            let (mut bmesh, mut bspec) = self.replicas[host]
+            let (mut bmesh, mut bspec) = self.slots[host]
+                .as_mut()
+                .expect("live")
                 .pme_operator_mut()
                 .expect("periodic replica runs on PME")
                 .take_batch_scratch(g);
 
-            for (gi, &r) in group.iter().enumerate() {
-                let op = self.replicas[r].pme_operator_mut().expect("periodic replica runs on PME");
-                op.real_apply(&forces[r], &mut self.drift[r]);
-                op.spread_forces(&forces[r], &mut bmesh[gi * 3 * k3..(gi + 1) * 3 * k3]);
+            for (gi, &r) in live.iter().enumerate() {
+                let chunk = &mut bmesh[gi * 3 * k3..(gi + 1) * 3 * k3];
+                let bd = self.slots[r].as_mut().expect("live");
+                let f = &forces[r];
+                let drift = &mut self.drift[r];
+                let res = run_guarded(isolate, || {
+                    let op = bd.pme_operator_mut().expect("periodic replica runs on PME");
+                    op.real_apply(f, drift);
+                    op.spread_forces(f, chunk);
+                    Ok(())
+                });
+                if let Err(fault) = res {
+                    note_fault(isolate, r, fault, &mut dead, &mut failures)?;
+                }
             }
 
             let sw = telemetry::start(Phase::ForwardFft);
             plans.fft().forward_batch(&bmesh[..need_mesh], &mut bspec[..need_spec], 3 * g);
             record_phase(&mut self.shared, Phase::ForwardFft, sw.stop());
 
-            for (gi, &r) in group.iter().enumerate() {
+            for (gi, &r) in live.iter().enumerate() {
+                if dead[r] {
+                    continue;
+                }
                 let sw = telemetry::start(Phase::Influence);
                 plans.influence().apply(&mut bspec[gi * 3 * s_len..(gi + 1) * 3 * s_len]);
                 record_phase(&mut self.per_job[r], Phase::Influence, sw.stop());
@@ -203,12 +436,27 @@ impl EnsembleRunner {
             plans.fft().inverse_batch(&mut bspec[..need_spec], &mut bmesh[..need_mesh], 3 * g);
             record_phase(&mut self.shared, Phase::InverseFft, sw.stop());
 
-            for (gi, &r) in group.iter().enumerate() {
-                let op = self.replicas[r].pme_operator_mut().expect("periodic replica runs on PME");
-                op.interpolate_add(&bmesh[gi * 3 * k3..(gi + 1) * 3 * k3], &mut self.drift[r]);
+            for (gi, &r) in live.iter().enumerate() {
+                if dead[r] {
+                    continue;
+                }
+                let chunk = &bmesh[gi * 3 * k3..(gi + 1) * 3 * k3];
+                let bd = self.slots[r].as_mut().expect("live");
+                let drift = &mut self.drift[r];
+                let res = run_guarded(isolate, || {
+                    bd.pme_operator_mut()
+                        .expect("periodic replica runs on PME")
+                        .interpolate_add(chunk, drift);
+                    Ok(())
+                });
+                if let Err(fault) = res {
+                    note_fault(isolate, r, fault, &mut dead, &mut failures)?;
+                }
             }
 
-            self.replicas[host]
+            self.slots[host]
+                .as_mut()
+                .expect("live")
                 .pme_operator_mut()
                 .expect("periodic replica runs on PME")
                 .restore_batch_scratch(bmesh, bspec);
@@ -217,26 +465,55 @@ impl EnsembleRunner {
         // Open-boundary replicas: the treecode apply is already an `O(n
         // log n)` single pass with nothing to batch across replicas.
         for &r in &self.solo {
+            if dead[r] {
+                continue;
+            }
             let sw = telemetry::start(Phase::Stepping);
-            let op = self.replicas[r].tree_operator_mut().expect("open replica runs on the tree");
-            op.apply(&forces[r], &mut self.drift[r]);
+            let bd = self.slots[r].as_mut().expect("live");
+            let f = &forces[r];
+            let drift = &mut self.drift[r];
+            let res = run_guarded(isolate, || {
+                let op = bd.tree_operator_mut().expect("open replica runs on the tree");
+                op.apply(f, drift);
+                Ok(())
+            });
             record_phase(&mut self.per_job[r], Phase::Stepping, sw.stop());
+            if let Err(fault) = res {
+                note_fault(isolate, r, fault, &mut dead, &mut failures)?;
+            }
         }
 
         // Propagate every replica and attribute the remaining phase time.
-        for r in 0..n_jobs {
-            let before = self.replicas[r].timings().stepping;
+        for r in 0..n_slots {
+            if dead[r] {
+                continue;
+            }
+            let bd = self.slots[r].as_mut().expect("live");
+            let before = bd.timings().stepping;
             let drift = std::mem::take(&mut self.drift[r]);
-            self.replicas[r].advance_with_drift(&drift);
+            let res = run_guarded(isolate, || {
+                bd.advance_with_drift(&drift);
+                Ok(())
+            });
             self.drift[r] = drift;
-            let delta = self.replicas[r].timings().stepping - before;
-            record_phase(&mut self.per_job[r], Phase::Stepping, delta);
-            let times = self.replicas[r].pme_operator_mut().map(hibd_pme::PmeOperator::take_times);
-            if let Some(times) = times {
-                record_pme_times(&mut self.per_job[r], &times);
+            match res {
+                Ok(()) => {
+                    let bd = self.slots[r].as_ref().expect("live");
+                    let delta = bd.timings().stepping - before;
+                    record_phase(&mut self.per_job[r], Phase::Stepping, delta);
+                    let times = self.slots[r]
+                        .as_mut()
+                        .expect("live")
+                        .pme_operator_mut()
+                        .map(hibd_pme::PmeOperator::take_times);
+                    if let Some(times) = times {
+                        record_pme_times(&mut self.per_job[r], &times);
+                    }
+                }
+                Err(fault) => note_fault(isolate, r, fault, &mut dead, &mut failures)?,
             }
         }
-        Ok(())
+        Ok(failures)
     }
 
     /// Advance every replica by `m` steps.
@@ -247,26 +524,37 @@ impl EnsembleRunner {
         Ok(())
     }
 
-    /// Per-job phase statistics labeled `r0..r{R-1}` plus a `shared` entry
-    /// for the batched FFT passes and the plan-cache counters. Merging
-    /// these across runners goes through
+    /// One live slot's accumulated phase statistics.
+    #[must_use]
+    pub fn job_snapshot(&self, slot: usize) -> Snapshot {
+        self.per_job[slot].clone()
+    }
+
+    /// Per-job phase statistics labeled `r{slot}` for every live slot plus
+    /// a `shared` entry for the batched FFT passes and the plan-cache
+    /// counters. Merging these across runners goes through
     /// [`hibd_telemetry::merge_labeled`].
     #[must_use]
     pub fn job_snapshots(&self) -> Vec<LabeledSnapshot> {
         let mut out: Vec<LabeledSnapshot> = self
-            .per_job
+            .slots
             .iter()
             .enumerate()
-            .map(|(r, s)| LabeledSnapshot { label: format!("r{r}"), snapshot: s.clone() })
+            .filter(|(_, s)| s.is_some())
+            .map(|(r, _)| LabeledSnapshot {
+                label: format!("r{r}"),
+                snapshot: self.per_job[r].clone(),
+            })
             .collect();
         let mut shared = self.shared.clone();
         shared.counters[Counter::PlanCacheHits as usize] = self.cache.hits();
         shared.counters[Counter::PlanCacheMisses as usize] = self.cache.misses();
+        shared.counters[Counter::PlanCacheEvictions as usize] = self.cache.evictions();
         out.push(LabeledSnapshot { label: "shared".into(), snapshot: shared });
         out
     }
 
-    /// Resident bytes of the whole ensemble: every replica's per-job
+    /// Resident bytes of the whole ensemble: every live replica's per-job
     /// operator state (which includes the borrowed batch scratch), each
     /// distinct shared plan set **once**, and the drift buffers. With `R`
     /// replicas of one shape this is strictly less than `R` standalone
@@ -276,7 +564,7 @@ impl EnsembleRunner {
         let mut total =
             self.drift.iter().map(|d| d.capacity() * std::mem::size_of::<f64>()).sum::<usize>();
         let mut seen: Vec<*const u8> = Vec::new();
-        for bd in &self.replicas {
+        for bd in self.slots.iter().flatten() {
             if let Some(op) = bd.pme_operator() {
                 total += op.state_memory_bytes();
             }

@@ -12,7 +12,10 @@
 //!   `Arc`. Hit/miss counts feed the telemetry counters.
 //! * [`EnsembleRunner`] — steps `R` replicas in lockstep, batching the
 //!   per-step `M f` drift FFTs of same-shape periodic replicas through one
-//!   [`hibd_fft::Fft3::forward_batch`]/`inverse_batch` pair.
+//!   [`hibd_fft::Fft3::forward_batch`]/`inverse_batch` pair. Membership is
+//!   dynamic (`admit`/`retire` at step boundaries) and `step_isolated`
+//!   confines one job's error or panic to that job — the substrate the
+//!   `hibd-serve` daemon schedules onto.
 //!
 //! The correctness contract is **bitwise**: every replica's trajectory is
 //! identical, bit for bit, to a standalone single-trajectory run with the
@@ -27,4 +30,4 @@ pub mod cache;
 pub mod ensemble;
 
 pub use cache::{PlanCache, ShapeKey};
-pub use ensemble::EnsembleRunner;
+pub use ensemble::{EnsembleRunner, JobFailure, JobFault};

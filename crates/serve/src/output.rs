@@ -1,0 +1,104 @@
+//! Crash-safe file primitives: atomic rename-on-write and a byte-counting
+//! trajectory sink.
+//!
+//! Every file the daemon treats as a commit point (checkpoints, `meta.json`,
+//! `status.json`) is written to a `.tmp` sibling and renamed into place —
+//! rename is atomic on POSIX filesystems, so a killed daemon always finds
+//! either the old or the new version, never a torn one. The trajectory
+//! stream itself is append-only; crash safety comes from `meta.json`
+//! recording the committed byte count and resume truncating to it.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Write `bytes` to `path` atomically (tmp file + rename).
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = tmp_path(path);
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.flush()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let name = path.file_name().map(|n| n.to_string_lossy()).unwrap_or_default();
+    path.with_file_name(format!("{name}.tmp"))
+}
+
+/// Append-only trajectory sink that counts the bytes written, so the job
+/// lifecycle can commit "trajectory valid up to byte N" in `meta.json`.
+/// Writes are buffered; the byte count includes buffered bytes, and commit
+/// points flush before recording it.
+pub struct CountingFile {
+    file: io::BufWriter<File>,
+    bytes: u64,
+}
+
+impl CountingFile {
+    /// Open `path` for appending, truncated to `committed` bytes first
+    /// (dropping any frames written after the last checkpoint commit).
+    pub fn resume(path: &Path, committed: u64) -> io::Result<CountingFile> {
+        let mut file =
+            OpenOptions::new().create(true).truncate(false).read(true).write(true).open(path)?;
+        file.set_len(committed)?;
+        file.seek(SeekFrom::End(0))?;
+        Ok(CountingFile { file: io::BufWriter::new(file), bytes: committed })
+    }
+
+    /// Bytes written so far (including the committed prefix).
+    #[must_use]
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl Write for CountingFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.file.write(buf)?;
+        self.bytes += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.file.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_tmp() {
+        let dir = std::env::temp_dir().join("hibd_serve_output_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("f.json");
+        atomic_write(&path, b"one").unwrap();
+        atomic_write(&path, b"two").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"two");
+        assert!(!tmp_path(&path).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn counting_file_truncates_to_the_committed_prefix() {
+        let dir = std::env::temp_dir().join("hibd_serve_counting_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.xyz");
+        {
+            let mut f = CountingFile::resume(&path, 0).unwrap();
+            f.write_all(b"committed|uncommitted").unwrap();
+            assert_eq!(f.bytes(), 21);
+        }
+        // Restart: only the first 9 bytes were committed.
+        let mut f = CountingFile::resume(&path, 9).unwrap();
+        f.write_all(b"|replayed").unwrap();
+        assert_eq!(f.bytes(), 18);
+        drop(f);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "committed|replayed");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

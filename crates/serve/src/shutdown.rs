@@ -1,0 +1,62 @@
+//! Process-wide graceful-shutdown flag.
+//!
+//! `hibd serve` (and plain `hibd run`) must survive Ctrl-C without tearing a
+//! checkpoint: the signal handler only sets an atomic flag, and the stepping
+//! loops poll [`requested`] at step boundaries, finish the step, write a
+//! final checkpoint, and exit cleanly. The handler is installed with the
+//! libc `signal(2)` entry point directly — the service is dependency-free,
+//! and an atomic store is on the short list of async-signal-safe operations.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+const SIGINT: i32 = 2;
+#[cfg(unix)]
+const SIGTERM: i32 = 15;
+
+#[cfg(unix)]
+extern "C" fn on_signal(_sig: i32) {
+    // Async-signal-safe: a relaxed atomic store, nothing else.
+    REQUESTED.store(true, Ordering::Relaxed);
+}
+
+#[cfg(unix)]
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+/// Install the SIGINT/SIGTERM handler. Idempotent; a no-op on non-unix
+/// targets (the flag still works through [`request`]).
+pub fn install() {
+    #[cfg(unix)]
+    {
+        // SAFETY: `signal(2)` with a handler that only performs an
+        // async-signal-safe atomic store; the handler stays valid for the
+        // process lifetime (it is a plain fn item).
+        unsafe {
+            signal(SIGINT, on_signal);
+        }
+        // SAFETY: as above, for SIGTERM.
+        unsafe {
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+/// Has a shutdown been requested (signal received or [`request`] called)?
+#[must_use]
+pub fn requested() -> bool {
+    REQUESTED.load(Ordering::Relaxed)
+}
+
+/// Request a shutdown programmatically (tests, embedding).
+pub fn request() {
+    REQUESTED.store(true, Ordering::Relaxed);
+}
+
+/// Clear the flag (tests; the flag is process-global).
+pub fn reset() {
+    REQUESTED.store(false, Ordering::Relaxed);
+}

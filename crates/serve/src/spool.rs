@@ -1,0 +1,95 @@
+//! Spool directory scanning.
+//!
+//! Jobs are submitted by dropping an ordinary `hibd run` config file into
+//! the spool directory; the job name is the file stem (`colloid.conf` →
+//! `colloid`). A `<name>.cancel` sentinel requests cooperative cancellation.
+//! Scans are sorted by name so admission order — and therefore worker
+//! routing — is deterministic for a given spool content.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One deterministic snapshot of the spool directory.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SpoolScan {
+    /// Job name → config file path, sorted by name.
+    pub jobs: BTreeMap<String, PathBuf>,
+    /// Names with a `.cancel` sentinel present.
+    pub cancels: Vec<String>,
+}
+
+/// File stem used as the job name (`colloid.conf` → `colloid`; an
+/// extensionless file keeps its full name).
+fn job_name(path: &Path) -> Option<String> {
+    let stem = path.file_stem()?.to_str()?;
+    if stem.is_empty() || stem.starts_with('.') {
+        return None;
+    }
+    Some(stem.to_string())
+}
+
+/// Scan `dir`, returning the sorted job set and pending cancellations.
+/// Hidden files and in-flight `.tmp` writes are ignored; when two files
+/// share a stem the lexicographically first path wins.
+pub fn scan(dir: &Path) -> io::Result<SpoolScan> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if entry.file_type()?.is_file() {
+            paths.push(entry.path());
+        }
+    }
+    paths.sort();
+
+    let mut scan = SpoolScan::default();
+    for path in paths {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+        if name.starts_with('.') || name.ends_with(".tmp") {
+            continue;
+        }
+        if let Some(stem) = name.strip_suffix(".cancel") {
+            if !stem.is_empty() {
+                scan.cancels.push(stem.to_string());
+            }
+            continue;
+        }
+        if let Some(job) = job_name(&path) {
+            scan.jobs.entry(job).or_insert(path);
+        }
+    }
+    Ok(scan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_sorts_and_classifies() {
+        let dir = std::env::temp_dir().join("hibd_serve_spool_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        for f in ["b.conf", "a.conf", "c.cancel", ".hidden", "d.conf.tmp"] {
+            std::fs::write(dir.join(f), "x").unwrap();
+        }
+        let s = scan(&dir).unwrap();
+        let names: Vec<&String> = s.jobs.keys().collect();
+        assert_eq!(names, ["a", "b"]);
+        assert_eq!(s.cancels, ["c"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicate_stems_keep_the_first_path() {
+        let dir = std::env::temp_dir().join("hibd_serve_spool_dup_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("a.cfg"), "x").unwrap();
+        std::fs::write(dir.join("a.conf"), "x").unwrap();
+        let s = scan(&dir).unwrap();
+        assert_eq!(s.jobs.len(), 1);
+        assert_eq!(s.jobs["a"], dir.join("a.cfg"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

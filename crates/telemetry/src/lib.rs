@@ -156,10 +156,12 @@ pub enum Counter {
     /// FMM multipole-to-local translations applied (one per accepted
     /// target-node/source-node pair per apply).
     M2lTranslations = 9,
+    /// Engine plan-cache entries evicted by the LRU capacity bound.
+    PlanCacheEvictions = 10,
 }
 
 /// Number of counters in the registry.
-pub const NUM_COUNTERS: usize = 10;
+pub const NUM_COUNTERS: usize = 11;
 
 impl Counter {
     /// Every counter, in `repr` order.
@@ -174,6 +176,7 @@ impl Counter {
         Counter::PlanCacheHits,
         Counter::PlanCacheMisses,
         Counter::M2lTranslations,
+        Counter::PlanCacheEvictions,
     ];
 
     /// Stable snake_case name (used in JSON profiles).
@@ -190,6 +193,7 @@ impl Counter {
             Counter::PlanCacheHits => "plan_cache_hits",
             Counter::PlanCacheMisses => "plan_cache_misses",
             Counter::M2lTranslations => "m2l_translations",
+            Counter::PlanCacheEvictions => "plan_cache_evictions",
         }
     }
 

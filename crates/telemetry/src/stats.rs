@@ -132,6 +132,61 @@ impl Snapshot {
             };
         }
     }
+
+    /// Render the non-empty phase statistics as a JSON object, the shared
+    /// encoding of the `hibd-profile-v1` and `hibd-serve-v1` documents.
+    #[must_use]
+    pub fn phases_to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{");
+        let mut first = true;
+        for ph in Phase::ALL {
+            let st = self.phase(ph);
+            if st.count == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            write!(
+                out,
+                "\"{}\":{{\"count\":{},\"total_s\":{:e},\"min_ns\":{},\"max_ns\":{},\"mean_ns\":{:e},\"hist\":[",
+                ph.name(),
+                st.count,
+                st.total_secs(),
+                st.min_ns,
+                st.max_ns,
+                st.mean_ns()
+            )
+            .unwrap();
+            for (i, b) in st.hist.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write!(out, "{b}").unwrap();
+            }
+            out.push_str("]}");
+        }
+        out.push('}');
+        out
+    }
+
+    /// Render every counter as a JSON object (zero counters included, so
+    /// consumers can rely on the full registry being present).
+    #[must_use]
+    pub fn counters_to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{");
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write!(out, "\"{}\":{}", c.name(), self.counter(*c)).unwrap();
+        }
+        out.push('}');
+        out
+    }
 }
 
 /// A [`Snapshot`] tagged with a job / replica label, the unit the ensemble

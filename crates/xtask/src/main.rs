@@ -6,6 +6,9 @@
 //!
 //! `cargo run -p xtask -- validate-profile <path.json>`: check that a
 //! `hibd --profile` output document matches the `hibd-profile-v1` schema.
+//!
+//! `cargo run -p xtask -- validate-status <status.json>`: check that a
+//! `hibd serve` status document matches the `hibd-serve-v1` schema.
 
 use std::path::PathBuf;
 
@@ -90,10 +93,31 @@ fn main() {
                 }
             }
         }
+        Some("validate-status") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: cargo run -p xtask -- validate-status <status.json>");
+                std::process::exit(2);
+            };
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("validate-status: cannot read {path}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            match hibd_serve::validate_status(&text) {
+                Ok(()) => println!("status OK: {path}"),
+                Err(e) => {
+                    eprintln!("status INVALID: {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
         _ => {
             eprintln!(
                 "usage: cargo run -p xtask -- <audit [--root <workspace-dir>] \
-                 [--json <out.json>] [--github] | validate-profile <path.json>>"
+                 [--json <out.json>] [--github] | validate-profile <path.json> | \
+                 validate-status <status.json>>"
             );
             std::process::exit(2);
         }
